@@ -1,0 +1,166 @@
+(* Benchmark harness: regenerates every quantitative artifact of the paper.
+
+   The primary output is SIMULATED microseconds from the calibrated cycle
+   model (see lib/sim/cost_model.ml and DESIGN.md §2); a bechamel section
+   cross-checks that the relative wall-clock cost of each simulated path
+   moves in the same direction. *)
+
+module Machine = Smod_kern.Machine
+module Clock = Smod_sim.Clock
+module Cost = Smod_sim.Cost_model
+open Smod_bench_kit
+
+let print_testbed () =
+  print_endline "=== Simulated testbed (paper Figure 7) ===";
+  Printf.printf "cpu: Pentium III class, %.0f MHz (%.0f cycles/us)\n" Cost.mhz
+    Cost.cycles_per_us;
+  Printf.printf "os:  simulated OpenBSD 3.6 kernel (SecModule syscalls 301-320)\n";
+  Printf.printf "mem: 512 MB simulated, 4 KB pages\n\n"
+
+let run_figure8 ~full =
+  let config = if full then Figure8.paper_config else Figure8.quick_config in
+  Printf.printf "=== Figure 8: Performance Comparisons (%s counts) ===\n"
+    (if full then "paper-exact" else "scaled");
+  if not full then
+    print_endline
+      "(per-call means are independent of trial length; use --full for the\n\
+      \ paper's 1,000,000-call trials)";
+  let world = World.create () in
+  let rows = Figure8.run world config in
+  print_endline (Figure8.render rows);
+  (* Headline ratios the paper calls out in section 4.5 / section 5. *)
+  match rows with
+  | [ getpid; smod_getpid; smod_incr; rpc ] ->
+      Printf.printf "SMOD(test-incr) / getpid()        = %5.2fx (paper: %.2fx)\n"
+        (smod_incr.Trial.mean_us /. getpid.Trial.mean_us)
+        (6.407 /. 0.658);
+      Printf.printf
+        "RPC(test-incr)  / SMOD(test-incr) = %5.2fx (paper: %.2fx, \"factor of 10\")\n"
+        (rpc.Trial.mean_us /. smod_incr.Trial.mean_us)
+        (63.23 /. 6.407);
+      Printf.printf "SMOD(SMOD-getpid) - SMOD(test-incr) = %+.3f us (paper: %+.3f us)\n\n"
+        (smod_getpid.Trial.mean_us -. smod_incr.Trial.mean_us)
+        (6.532 -. 6.407)
+  | _ -> ()
+
+let run_ablation name entries = print_endline (Ablations.render ~title:name entries)
+
+let run_ablations ~full =
+  let scale n = if full then n * 5 else n in
+  run_ablation "E9: per-call policy complexity (section 5 prediction)"
+    (Ablations.policy_ablation ~calls:(scale 2000) ());
+  run_ablation "E10: shared stack vs copy-based marshaling (section 3)"
+    (Ablations.marshal_ablation ~calls:(scale 500) ());
+  run_ablation "E11: session establishment, encrypted vs unmap-only (section 4.1)"
+    (Ablations.protection_ablation ());
+  print_endline
+    (Ablations.render
+       ~title:"E12: shared-handle bottleneck, queued requests at service (section 4.3)"
+       ~unit_header:"mean queue depth" (Ablations.handle_sharing ()));
+  run_ablation "E13: per-call cost of TOCTOU mitigations (section 4.4)"
+    (Ablations.toctou_cost ~calls:(scale 1000) ());
+  run_ablation "E14: the section-5 future-work fast path"
+    (Ablations.fast_path ~calls:(scale 2000) ())
+
+(* ------------------------------------------------------------------ *)
+(* Wall-clock cross-check via bechamel                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Each "step world" parks a client coroutine that performs exactly one
+   operation per wakeup, so a bechamel run measures the wall-clock cost of
+   one simulated dispatch. *)
+let make_stepper ~op =
+  let world = World.create () in
+  let machine = world.World.machine in
+  let client_pid = ref 0 in
+  World.spawn_seclibc_client world ~name:"bench-step" (fun p conn ->
+      client_pid := p.Smod_kern.Proc.pid;
+      (* The stepper parks between iterations; that idle block is expected,
+         not a deadlock. *)
+      p.Smod_kern.Proc.daemon <- true;
+      let rpc = World.rpc_client world p ~client_port:42000 in
+      let rec loop i =
+        Effect.perform (Smod_kern.Sched.Block (Smod_kern.Sched.Custom "bench-idle"));
+        (match op with
+        | `Getpid -> ignore (Machine.sys_getpid machine p)
+        | `Smod_getpid -> ignore (Smod_libc.Seclibc.Client.getpid conn)
+        | `Smod_incr -> ignore (Smod_libc.Seclibc.Client.test_incr conn i)
+        | `Rpc_incr -> ignore (Smod_rpc.Testincr.incr rpc i));
+        loop (i + 1)
+      in
+      loop 0);
+  Machine.run machine;
+  fun () ->
+    Machine.wakeup machine !client_pid;
+    Machine.run machine
+
+let wallclock () =
+  let open Bechamel in
+  let open Toolkit in
+  print_endline "=== Wall-clock cross-check (bechamel, ns per simulated dispatch) ===";
+  let test name op = Test.make ~name (Staged.stage (make_stepper ~op)) in
+  let grouped =
+    Test.make_grouped ~name:"fig8"
+      [
+        test "native-getpid" `Getpid;
+        test "smod-getpid" `Smod_getpid;
+        test "smod-test-incr" `Smod_incr;
+        test "rpc-test-incr" `Rpc_incr;
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.3) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name est acc ->
+        let ns = match Analyze.OLS.estimates est with Some (e :: _) -> e | _ -> nan in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter (fun (name, ns) -> Printf.printf "  %-24s %12.1f ns/dispatch\n" name ns) rows;
+  print_endline
+    "  (absolute wall-clock is the OCaml simulator's speed, not the paper's\n\
+    \   hardware; only the ordering is meaningful here)\n"
+
+let main full no_wallclock only =
+  print_testbed ();
+  (match only with
+  | None ->
+      run_figure8 ~full;
+      run_ablations ~full
+  | Some "figure8" -> run_figure8 ~full
+  | Some "ablations" -> run_ablations ~full
+  | Some "e9" -> run_ablation "E9" (Ablations.policy_ablation ())
+  | Some "e10" -> run_ablation "E10" (Ablations.marshal_ablation ())
+  | Some "e11" -> run_ablation "E11" (Ablations.protection_ablation ())
+  | Some "e12" -> run_ablation "E12" (Ablations.handle_sharing ())
+  | Some "e13" -> run_ablation "E13" (Ablations.toctou_cost ())
+  | Some "e14" -> run_ablation "E14" (Ablations.fast_path ())
+  | Some "wallclock" -> ()
+  | Some other -> Printf.eprintf "unknown --only section %S\n" other);
+  let wallclock_wanted = only = None || only = Some "wallclock" in
+  if (not no_wallclock) && wallclock_wanted then wallclock ()
+
+open Cmdliner
+
+let full =
+  Arg.(value & flag & info [ "full" ] ~doc:"Run the paper-exact call counts (slow).")
+
+let no_wallclock =
+  Arg.(value & flag & info [ "no-wallclock" ] ~doc:"Skip the bechamel wall-clock section.")
+
+let only =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "only" ] ~docv:"BENCH"
+        ~doc:"Run only one section: figure8, ablations, e9..e14, wallclock.")
+
+let cmd =
+  let doc = "Regenerate the paper's tables and figures on the simulated testbed" in
+  Cmd.v (Cmd.info "smod-bench" ~doc) Term.(const main $ full $ no_wallclock $ only)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/analytics.ml: Array Bytes Credential Crt0 Format List Option Printf Registry Secmodule Smod Smod_kern Smod_modfmt Smod_svm Smod_vmem Stub Toolchain

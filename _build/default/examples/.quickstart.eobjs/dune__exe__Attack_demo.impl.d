@@ -1,0 +1,1 @@
+examples/attack_demo.ml: Credential Crt0 List Printf Registry Secmodule Smod Smod_kern Smod_libc Smod_modfmt Smod_vmem String Stub

@@ -1,0 +1,1 @@
+examples/licensed_library.ml: Credential Crt0 Policy Printf Registry Secmodule Smod Smod_kern Smod_keynote Smod_modfmt Smod_svm Stub Toolchain

@@ -1,0 +1,1 @@
+examples/licensed_library.mli:

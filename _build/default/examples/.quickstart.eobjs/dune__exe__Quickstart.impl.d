@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Credential Crt0 List Policy Printf Registry Secmodule Smod Smod_kern Smod_modfmt Smod_sim Smod_svm Stub Toolchain

@@ -1,0 +1,1 @@
+examples/resource_quota.ml: Credential Crt0 Option Policy Printf Secmodule Smod Smod_kern Smod_modfmt Smod_sim Smod_svm Stub Toolchain

@@ -1,0 +1,1 @@
+examples/rpc_compare.ml: Printf Smod_bench_kit Smod_kern Smod_libc Smod_rpc Smod_sim World

@@ -1,0 +1,1 @@
+examples/secure_libc.ml: Credential Format Printf Secmodule Smod Smod_kern Smod_libc Smod_sim Smod_vmem Stub

@@ -1,0 +1,1 @@
+examples/systrace_compare.ml: Bytes List Printf Smod_kern Smod_sim Smod_systrace Smod_vmem

@@ -1,0 +1,1 @@
+examples/systrace_compare.mli:

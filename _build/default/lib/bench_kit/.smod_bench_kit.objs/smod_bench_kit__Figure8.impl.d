@@ -1,0 +1,1 @@
+lib/bench_kit/figure8.ml: List Smod_kern Smod_libc Smod_rpc Trial World

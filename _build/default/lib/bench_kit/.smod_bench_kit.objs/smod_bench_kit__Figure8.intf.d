@@ -1,0 +1,1 @@
+lib/bench_kit/figure8.mli: Trial World

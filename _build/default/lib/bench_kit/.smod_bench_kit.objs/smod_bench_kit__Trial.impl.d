@@ -1,0 +1,1 @@
+lib/bench_kit/trial.ml: Array Buffer Float List Printf Smod_sim Smod_util String

@@ -1,0 +1,1 @@
+lib/bench_kit/trial.mli: Smod_sim

@@ -1,0 +1,1 @@
+lib/bench_kit/world.ml: Credential Crt0 Registry Secmodule Smod Smod_kern Smod_libc Smod_rpc

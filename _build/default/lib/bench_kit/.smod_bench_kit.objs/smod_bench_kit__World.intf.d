@@ -1,0 +1,1 @@
+lib/bench_kit/world.mli: Secmodule Smod_kern Smod_rpc

@@ -1,0 +1,43 @@
+(** Ablation benchmarks for the design claims the paper makes in prose.
+
+    - {!policy_ablation} — §5: "If we need to evaluate more complex policy
+      statements, we can expect a corresponding slowdown in proportion to
+      the complexity of the required access control check."
+    - {!marshal_ablation} — §3: an explicit-shared-memory design needs
+      XDR-style copies per call and "precludes sharing of large amounts of
+      data", unlike the full address-space share.
+    - {!protection_ablation} — §4.1: encrypted text versus unmap-only
+      protection (session setup pays the AES work; calls are unaffected).
+    - {!handle_sharing} — §4.3: "Multiple clients should not share the
+      handle, because a many-to-one mapping ... introduces a performance
+      bottleneck."
+    - {!toctou_cost} — §4.4: both anti-TOCTOU mitigations exist but
+      "neither approach is very desirable in terms of client efficiency." *)
+
+type entry = { label : string; mean_us : float; stdev_us : float }
+
+val policy_ablation : ?calls:int -> ?trials:int -> unit -> entry list
+(** Per-call cost of SMOD(test-incr) under: always-allow, session-lifetime,
+    call-quota, rate-limit, and KeyNote with 1, 4 and 16 assertions. *)
+
+val marshal_ablation : ?calls:int -> ?payload_sizes:int list -> unit -> entry list
+(** For each payload size: per-call cost of passing a buffer by pointer on
+    the shared stack versus copying it through the queue both ways. *)
+
+val protection_ablation : ?text_sizes:int list -> ?trials:int -> unit -> entry list
+(** Session-establishment cost, encrypted vs unmap-only, per text size. *)
+
+val handle_sharing : ?clients:int list -> ?calls_per_client:int -> unit -> entry list
+(** Mean request-queue depth observed at each service with K clients
+    multiplexed onto one server loop versus K private server loops (the
+    [mean_us] field holds the depth, not a time). *)
+
+val toctou_cost : ?calls:int -> ?trials:int -> unit -> entry list
+(** Per-call SMOD(test-incr) cost under each §4.4 mitigation. *)
+
+val fast_path : ?calls:int -> ?trials:int -> unit -> entry list
+(** E14 — the paper's §5 prediction that "its possible to gain even
+    greater performance gains by reducing redundant error checks":
+    per-call cost with and without {!Secmodule.Smod.set_call_fast_path}. *)
+
+val render : title:string -> ?unit_header:string -> entry list -> string

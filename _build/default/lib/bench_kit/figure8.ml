@@ -1,0 +1,48 @@
+module Machine = Smod_kern.Machine
+
+type config = { smod_calls : int; rpc_calls : int; trials : int; noise : float }
+
+let paper_config = { smod_calls = 1_000_000; rpc_calls = 100_000; trials = 10; noise = 0.012 }
+let quick_config = { smod_calls = 20_000; rpc_calls = 4_000; trials = 10; noise = 0.012 }
+
+let run (world : World.t) config =
+  let clock = Machine.clock world.World.machine in
+  let results = ref [] in
+  let push row = results := row :: !results in
+  (* All four rows run sequentially in one client process: the simulated
+     clock is global, so concurrent measurement processes would bill each
+     other's work to the row being timed. *)
+  World.spawn_seclibc_client world ~name:"fig8-client" (fun p conn ->
+      let spec name calls =
+        { Trial.name; calls_per_trial = calls; trials = config.trials; warmup = 100 }
+      in
+      push
+        (Trial.run ~clock ~noise:config.noise
+           (spec "getpid()" config.smod_calls)
+           (fun _ -> ignore (Machine.sys_getpid world.World.machine p)));
+      push
+        (Trial.run ~clock ~noise:config.noise
+           (spec "SMOD(SMOD-getpid)" config.smod_calls)
+           (fun _ -> ignore (Smod_libc.Seclibc.Client.getpid conn)));
+      push
+        (Trial.run ~clock ~noise:config.noise
+           (spec "SMOD(test-incr)" config.smod_calls)
+           (fun i -> ignore (Smod_libc.Seclibc.Client.test_incr conn i)));
+      let client = World.rpc_client world p ~client_port:41000 in
+      push
+        (Trial.run ~clock ~noise:config.noise
+           {
+             Trial.name = "RPC(test-incr)";
+             calls_per_trial = config.rpc_calls;
+             trials = config.trials;
+             warmup = 20;
+           }
+           (fun i -> ignore (Smod_rpc.Testincr.incr client i))));
+  World.run world;
+  (* Paper order: getpid, SMOD-getpid, SMOD(test-incr), RPC. *)
+  let order = [ "getpid()"; "SMOD(SMOD-getpid)"; "SMOD(test-incr)"; "RPC(test-incr)" ] in
+  List.filter_map
+    (fun name -> List.find_opt (fun (r : Trial.row) -> r.Trial.spec.Trial.name = name) !results)
+    order
+
+let render = Trial.figure8_table

@@ -1,0 +1,22 @@
+(** Reproduction of the paper's Figure 8: the four-row microbenchmark
+    comparing native getpid, SMOD(SMOD-getpid), SMOD(test-incr) and
+    RPC(test-incr). *)
+
+type config = {
+  smod_calls : int;  (** paper: 1_000_000 *)
+  rpc_calls : int;  (** paper: 100_000 *)
+  trials : int;  (** paper: 10 *)
+  noise : float;  (** per-trial load-factor sigma; 0.0 disables *)
+}
+
+val paper_config : config
+(** The paper's exact counts (slow under simulation: ~3×10^7 dispatches). *)
+
+val quick_config : config
+(** Scaled-down counts (per-call means are unaffected by trial length). *)
+
+val run : World.t -> config -> Trial.row list
+(** Rows in paper order: getpid, SMOD(SMOD-getpid), SMOD(test-incr),
+    RPC(test-incr). *)
+
+val render : Trial.row list -> string

@@ -1,0 +1,62 @@
+module Clock = Smod_sim.Clock
+module Stats = Smod_util.Stats
+module Rng = Smod_util.Rng
+module Table = Smod_util.Table
+
+type spec = { name : string; calls_per_trial : int; trials : int; warmup : int }
+
+type row = { spec : spec; mean_us : float; stdev_us : float; trial_means : float array }
+
+(* Thousands separators for the calls/trial column, e.g. 1,000,000. *)
+let with_commas n =
+  let s = string_of_int n in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let run ~clock ?(noise = 0.012) ?(noise_seed = 0xBE7C4A1L) spec f =
+  let rng = Rng.create noise_seed in
+  for i = 1 to spec.warmup do
+    f (-i)
+  done;
+  let trial_means =
+    Array.init spec.trials (fun trial ->
+        let t0 = Clock.now_cycles clock in
+        for i = 0 to spec.calls_per_trial - 1 do
+          f ((trial * spec.calls_per_trial) + i)
+        done;
+        let per_call = Clock.elapsed_us clock ~since:t0 /. float_of_int spec.calls_per_trial in
+        let factor = if noise = 0.0 then 1.0 else Rng.gaussian rng ~mu:1.0 ~sigma:noise in
+        per_call *. Float.max 0.5 factor)
+  in
+  {
+    spec;
+    mean_us = Stats.mean trial_means;
+    stdev_us = Stats.stdev trial_means;
+    trial_means;
+  }
+
+let figure8_table rows =
+  let counts = Table.create [ "Test"; "Number of Calls/Trial"; "Total Number of Trials" ] in
+  List.iter
+    (fun r ->
+      Table.add_row counts
+        [ r.spec.name; with_commas r.spec.calls_per_trial; string_of_int r.spec.trials ])
+    rows;
+  let results = Table.create [ "Test Function"; "microsec/CALL"; "stdev(microsec)" ] in
+  List.iter
+    (fun r ->
+      Table.add_row results
+        [ r.spec.name; Printf.sprintf "%.6f" r.mean_us; Printf.sprintf "%.8f" r.stdev_us ])
+    rows;
+  Table.render counts ^ "\n" ^ Table.render results
+
+let generic_table ~title ~header rows =
+  let t = Table.create header in
+  List.iter (Table.add_row t) rows;
+  Printf.sprintf "== %s ==\n%s" title (Table.render t)

@@ -1,0 +1,39 @@
+(** Trial runner for the Figure 8 methodology: T trials of N calls each;
+    report the per-call mean and the standard deviation across trial
+    means.
+
+    The simulated clock's per-charge jitter averages out over a long
+    trial, so an optional per-trial {e load factor} (Gaussian around 1.0)
+    models the run-to-run noise a real host shows from interrupts and
+    scheduler activity — that is what the paper's stdev column captures.
+    Disable it with [noise = 0.0] for exact accounting. *)
+
+type spec = {
+  name : string;
+  calls_per_trial : int;
+  trials : int;
+  warmup : int;  (** calls executed before timing starts *)
+}
+
+type row = {
+  spec : spec;
+  mean_us : float;  (** mean per-call cost over trials *)
+  stdev_us : float;  (** stdev of the trial means *)
+  trial_means : float array;
+}
+
+val run :
+  clock:Smod_sim.Clock.t ->
+  ?noise:float ->
+  ?noise_seed:int64 ->
+  spec ->
+  (int -> unit) ->
+  row
+(** [run ~clock spec f] calls [f i] for each call index, reading elapsed
+    simulated time around each trial.  [noise] is the per-trial load
+    factor's sigma (default 0.012). *)
+
+val figure8_table : row list -> string
+(** Render in the layout of the paper's Figure 8. *)
+
+val generic_table : title:string -> header:string list -> string list list -> string

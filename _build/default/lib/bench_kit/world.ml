@@ -1,0 +1,40 @@
+module Machine = Smod_kern.Machine
+open Secmodule
+
+type t = {
+  machine : Machine.t;
+  smod : Smod.t;
+  libc_entry : Registry.entry;
+  transport : Smod_rpc.Transport.t;
+  portmap : Smod_rpc.Portmap.t;
+  rpc_port : int;
+}
+
+let rpc_port = 2049
+
+let create ?seed ?jitter ?(protection = Registry.Encrypted) ?policy ?(with_rpc = true) () =
+  let machine = Machine.create ?seed ?jitter () in
+  let smod = Smod.install machine () in
+  let libc_entry = Smod_libc.Seclibc.install smod ~protection ?policy () in
+  let transport = Smod_rpc.Transport.create machine in
+  let portmap = Smod_rpc.Portmap.create () in
+  if with_rpc then
+    ignore
+      (Machine.spawn machine ~daemon:true ~name:"rpc.testincrd" (fun p ->
+           Smod_rpc.Server.serve_forever transport portmap p ~port:rpc_port
+             (Smod_rpc.Testincr.service ())));
+  { machine; smod; libc_entry; transport; portmap; rpc_port }
+
+let credential ?(principal = "client") _t = Credential.make ~principal ()
+
+let spawn_seclibc_client t ~name ?principal body =
+  let cred = credential ?principal t in
+  ignore
+    (Machine.spawn t.machine ~name (fun p ->
+         Crt0.run_client t.smod p ~module_name:Smod_libc.Seclibc.module_name
+           ~version:Smod_libc.Seclibc.version ~credential:cred (fun conn -> body p conn)))
+
+let rpc_client t proc ~client_port =
+  Smod_rpc.Client.create t.transport t.portmap proc ~client_port
+
+let run t = Machine.run t.machine

@@ -1,0 +1,34 @@
+(** The standard benchmark/example world: one simulated machine with the
+    SecModule subsystem installed, the converted libc registered, and the
+    RPC baseline (transport + portmapper + test-incr server) running. *)
+
+type t = {
+  machine : Smod_kern.Machine.t;
+  smod : Secmodule.Smod.t;
+  libc_entry : Secmodule.Registry.entry;
+  transport : Smod_rpc.Transport.t;
+  portmap : Smod_rpc.Portmap.t;
+  rpc_port : int;
+}
+
+val create :
+  ?seed:int64 ->
+  ?jitter:float ->
+  ?protection:Secmodule.Registry.protection ->
+  ?policy:Secmodule.Policy.t ->
+  ?with_rpc:bool ->
+  unit ->
+  t
+(** Spawns the RPC daemon unless [with_rpc] is false. *)
+
+val credential : ?principal:string -> t -> Secmodule.Credential.t
+(** An unsigned credential naming [principal] (default "client"). *)
+
+val spawn_seclibc_client :
+  t -> name:string -> ?principal:string -> (Smod_kern.Proc.t -> Secmodule.Stub.conn -> unit) -> unit
+(** Spawn a process that connects to seclibc through crt0 and runs the
+    body; the session closes when the body returns. *)
+
+val rpc_client : t -> Smod_kern.Proc.t -> client_port:int -> Smod_rpc.Client.t
+val run : t -> unit
+(** Drive the machine until everything except daemons has finished. *)

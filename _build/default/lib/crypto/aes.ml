@@ -1,0 +1,283 @@
+exception Bad_key_length of int
+
+(* ------------------------------------------------------------------ *)
+(* S-box construction: byte -> affine(inverse(byte)).                  *)
+(* ------------------------------------------------------------------ *)
+
+let rotl8 x k = ((x lsl k) lor (x lsr (8 - k))) land 0xff
+
+let affine x = x lxor rotl8 x 1 lxor rotl8 x 2 lxor rotl8 x 3 lxor rotl8 x 4 lxor 0x63
+
+let sbox_table =
+  Array.init 256 (fun i -> affine (Gf256.inv i))
+
+let inv_sbox_table =
+  let t = Array.make 256 0 in
+  Array.iteri (fun i v -> t.(v) <- i) sbox_table;
+  t
+
+let sbox i = sbox_table.(i land 0xff)
+let inv_sbox i = inv_sbox_table.(i land 0xff)
+
+(* ------------------------------------------------------------------ *)
+(* Key schedule.  Round keys are stored as a flat array of 32-bit      *)
+(* words (big-endian byte order within a word, as in FIPS-197).        *)
+(* ------------------------------------------------------------------ *)
+
+type key = { w : int array; nr : int; bits : int }
+
+let mask32 = 0xFFFFFFFF
+
+let sub_word w =
+  (sbox ((w lsr 24) land 0xff) lsl 24)
+  lor (sbox ((w lsr 16) land 0xff) lsl 16)
+  lor (sbox ((w lsr 8) land 0xff) lsl 8)
+  lor sbox (w land 0xff)
+
+let rot_word w = ((w lsl 8) lor (w lsr 24)) land mask32
+
+let rcon =
+  let t = Array.make 15 0 in
+  let v = ref 1 in
+  for i = 1 to 14 do
+    t.(i) <- !v lsl 24;
+    v := Gf256.xtime !v
+  done;
+  t
+
+let expand raw =
+  let nk =
+    match String.length raw with
+    | 16 -> 4
+    | 24 -> 6
+    | 32 -> 8
+    | n -> raise (Bad_key_length n)
+  in
+  let nr = nk + 6 in
+  let nwords = 4 * (nr + 1) in
+  let w = Array.make nwords 0 in
+  for i = 0 to nk - 1 do
+    w.(i) <-
+      (Char.code raw.[4 * i] lsl 24)
+      lor (Char.code raw.[(4 * i) + 1] lsl 16)
+      lor (Char.code raw.[(4 * i) + 2] lsl 8)
+      lor Char.code raw.[(4 * i) + 3]
+  done;
+  for i = nk to nwords - 1 do
+    let temp = w.(i - 1) in
+    let temp =
+      if i mod nk = 0 then sub_word (rot_word temp) lxor rcon.(i / nk)
+      else if nk > 6 && i mod nk = 4 then sub_word temp
+      else temp
+    in
+    w.(i) <- w.(i - nk) lxor temp
+  done;
+  { w; nr; bits = nk * 32 }
+
+let key_bits k = k.bits
+let rounds k = k.nr
+
+(* ------------------------------------------------------------------ *)
+(* Block transforms.  The state is kept as 16 ints in FIPS order:      *)
+(* state.(r + 4*c) = byte r of column c.                               *)
+(* ------------------------------------------------------------------ *)
+
+let add_round_key state key round =
+  for c = 0 to 3 do
+    let w = key.w.((4 * round) + c) in
+    state.((4 * c) + 0) <- state.((4 * c) + 0) lxor ((w lsr 24) land 0xff);
+    state.((4 * c) + 1) <- state.((4 * c) + 1) lxor ((w lsr 16) land 0xff);
+    state.((4 * c) + 2) <- state.((4 * c) + 2) lxor ((w lsr 8) land 0xff);
+    state.((4 * c) + 3) <- state.((4 * c) + 3) lxor (w land 0xff)
+  done
+
+let sub_bytes state = for i = 0 to 15 do state.(i) <- sbox_table.(state.(i)) done
+let inv_sub_bytes state = for i = 0 to 15 do state.(i) <- inv_sbox_table.(state.(i)) done
+
+(* Row r rotates left by r; in our layout row r is indices r, r+4, r+8, r+12. *)
+let shift_rows state =
+  let tmp = Array.copy state in
+  for r = 1 to 3 do
+    for c = 0 to 3 do
+      state.(r + (4 * c)) <- tmp.(r + (4 * ((c + r) mod 4)))
+    done
+  done
+
+let inv_shift_rows state =
+  let tmp = Array.copy state in
+  for r = 1 to 3 do
+    for c = 0 to 3 do
+      state.(r + (4 * ((c + r) mod 4))) <- tmp.(r + (4 * c))
+    done
+  done
+
+let mix_columns state =
+  for c = 0 to 3 do
+    let b = 4 * c in
+    let s0 = state.(b) and s1 = state.(b + 1) and s2 = state.(b + 2) and s3 = state.(b + 3) in
+    let m = Gf256.mul in
+    state.(b) <- m 2 s0 lxor m 3 s1 lxor s2 lxor s3;
+    state.(b + 1) <- s0 lxor m 2 s1 lxor m 3 s2 lxor s3;
+    state.(b + 2) <- s0 lxor s1 lxor m 2 s2 lxor m 3 s3;
+    state.(b + 3) <- m 3 s0 lxor s1 lxor s2 lxor m 2 s3
+  done
+
+let inv_mix_columns state =
+  for c = 0 to 3 do
+    let b = 4 * c in
+    let s0 = state.(b) and s1 = state.(b + 1) and s2 = state.(b + 2) and s3 = state.(b + 3) in
+    let m = Gf256.mul in
+    state.(b) <- m 14 s0 lxor m 11 s1 lxor m 13 s2 lxor m 9 s3;
+    state.(b + 1) <- m 9 s0 lxor m 14 s1 lxor m 11 s2 lxor m 13 s3;
+    state.(b + 2) <- m 13 s0 lxor m 9 s1 lxor m 14 s2 lxor m 11 s3;
+    state.(b + 3) <- m 11 s0 lxor m 13 s1 lxor m 9 s2 lxor m 14 s3
+  done
+
+let load_state state src off =
+  for i = 0 to 15 do state.(i) <- Char.code (Bytes.get src (off + i)) done
+
+let store_state state dst off =
+  for i = 0 to 15 do Bytes.set dst (off + i) (Char.chr state.(i)) done
+
+let encrypt_block key src ~src_off dst ~dst_off =
+  let state = Array.make 16 0 in
+  load_state state src src_off;
+  add_round_key state key 0;
+  for round = 1 to key.nr - 1 do
+    sub_bytes state;
+    shift_rows state;
+    mix_columns state;
+    add_round_key state key round
+  done;
+  sub_bytes state;
+  shift_rows state;
+  add_round_key state key key.nr;
+  store_state state dst dst_off
+
+let decrypt_block key src ~src_off dst ~dst_off =
+  let state = Array.make 16 0 in
+  load_state state src src_off;
+  add_round_key state key key.nr;
+  for round = key.nr - 1 downto 1 do
+    inv_shift_rows state;
+    inv_sub_bytes state;
+    add_round_key state key round;
+    inv_mix_columns state
+  done;
+  inv_shift_rows state;
+  inv_sub_bytes state;
+  add_round_key state key 0;
+  store_state state dst dst_off
+
+module Mode = struct
+  exception Bad_input_length of int
+  exception Bad_padding
+
+  let block = 16
+
+  let check_blocked data =
+    let n = Bytes.length data in
+    if n mod block <> 0 then raise (Bad_input_length n)
+
+  let check_iv iv = if Bytes.length iv <> block then raise (Bad_input_length (Bytes.length iv))
+
+  let ecb_encrypt key data =
+    check_blocked data;
+    let out = Bytes.create (Bytes.length data) in
+    let nblocks = Bytes.length data / block in
+    for i = 0 to nblocks - 1 do
+      encrypt_block key data ~src_off:(i * block) out ~dst_off:(i * block)
+    done;
+    out
+
+  let ecb_decrypt key data =
+    check_blocked data;
+    let out = Bytes.create (Bytes.length data) in
+    let nblocks = Bytes.length data / block in
+    for i = 0 to nblocks - 1 do
+      decrypt_block key data ~src_off:(i * block) out ~dst_off:(i * block)
+    done;
+    out
+
+  let xor_into dst dst_off src src_off n =
+    for i = 0 to n - 1 do
+      Bytes.set dst (dst_off + i)
+        (Char.chr
+           (Char.code (Bytes.get dst (dst_off + i))
+           lxor Char.code (Bytes.get src (src_off + i))))
+    done
+
+  let cbc_encrypt key ~iv data =
+    check_blocked data;
+    check_iv iv;
+    let out = Bytes.create (Bytes.length data) in
+    let prev = Bytes.copy iv in
+    let nblocks = Bytes.length data / block in
+    for i = 0 to nblocks - 1 do
+      let off = i * block in
+      let tmp = Bytes.sub data off block in
+      xor_into tmp 0 prev 0 block;
+      encrypt_block key tmp ~src_off:0 out ~dst_off:off;
+      Bytes.blit out off prev 0 block
+    done;
+    out
+
+  let cbc_decrypt key ~iv data =
+    check_blocked data;
+    check_iv iv;
+    let out = Bytes.create (Bytes.length data) in
+    let prev = Bytes.copy iv in
+    let nblocks = Bytes.length data / block in
+    for i = 0 to nblocks - 1 do
+      let off = i * block in
+      decrypt_block key data ~src_off:off out ~dst_off:off;
+      xor_into out off prev 0 block;
+      Bytes.blit data off prev 0 block
+    done;
+    out
+
+  let ctr_transform key ~nonce data =
+    check_iv nonce;
+    let n = Bytes.length data in
+    let out = Bytes.copy data in
+    let counter = Bytes.copy nonce in
+    let keystream = Bytes.create block in
+    let incr_counter () =
+      (* Big-endian increment over the whole 16-byte counter block. *)
+      let rec bump i =
+        if i >= 0 then begin
+          let v = (Char.code (Bytes.get counter i) + 1) land 0xff in
+          Bytes.set counter i (Char.chr v);
+          if v = 0 then bump (i - 1)
+        end
+      in
+      bump (block - 1)
+    in
+    let off = ref 0 in
+    while !off < n do
+      encrypt_block key counter ~src_off:0 keystream ~dst_off:0;
+      let chunk = min block (n - !off) in
+      xor_into out !off keystream 0 chunk;
+      incr_counter ();
+      off := !off + chunk
+    done;
+    out
+
+  let pkcs7_pad data =
+    let n = Bytes.length data in
+    let pad = block - (n mod block) in
+    let out = Bytes.create (n + pad) in
+    Bytes.blit data 0 out 0 n;
+    Bytes.fill out n pad (Char.chr pad);
+    out
+
+  let pkcs7_unpad data =
+    let n = Bytes.length data in
+    if n = 0 || n mod block <> 0 then raise Bad_padding;
+    let pad = Char.code (Bytes.get data (n - 1)) in
+    if pad = 0 || pad > block then raise Bad_padding;
+    for i = n - pad to n - 1 do
+      if Char.code (Bytes.get data i) <> pad then raise Bad_padding
+    done;
+    Bytes.sub data 0 (n - pad)
+end

@@ -1,0 +1,28 @@
+let xtime a =
+  let shifted = a lsl 1 in
+  if a land 0x80 <> 0 then (shifted lxor 0x1b) land 0xff else shifted land 0xff
+
+let mul a b =
+  (* Russian-peasant multiplication over GF(2^8). *)
+  let rec loop a b acc =
+    if b = 0 then acc
+    else begin
+      let acc = if b land 1 <> 0 then acc lxor a else acc in
+      loop (xtime a) (b lsr 1) acc
+    end
+  in
+  loop (a land 0xff) (b land 0xff) 0
+
+(* The multiplicative group of GF(2^8) has order 255, so a^254 = a^-1. *)
+let inv a =
+  if a = 0 then 0
+  else begin
+    let rec pow base e acc =
+      if e = 0 then acc
+      else begin
+        let acc = if e land 1 = 1 then mul acc base else acc in
+        pow (mul base base) (e lsr 1) acc
+      end
+    in
+    pow a 254 1
+  end

@@ -1,0 +1,13 @@
+(** Arithmetic in GF(2^8) with the AES reduction polynomial
+    x^8 + x^4 + x^3 + x + 1 (0x11b).  Exposed for tests and for the S-box
+    construction in {!Aes}. *)
+
+val xtime : int -> int
+(** Multiplication by x (i.e. by 2). *)
+
+val mul : int -> int -> int
+(** Full carry-less multiply-and-reduce.  Arguments and result in
+    [\[0, 255\]]. *)
+
+val inv : int -> int
+(** Multiplicative inverse; [inv 0 = 0] by AES convention. *)

@@ -1,0 +1,39 @@
+let block_size = 64
+
+let normalize_key key =
+  let k = if String.length key > block_size then Bytes.to_string (Sha256.digest_string key) else key in
+  let padded = Bytes.make block_size '\000' in
+  Bytes.blit_string k 0 padded 0 (String.length k);
+  padded
+
+let xor_pad key byte =
+  let out = Bytes.create block_size in
+  for i = 0 to block_size - 1 do
+    Bytes.set out i (Char.chr (Char.code (Bytes.get key i) lxor byte))
+  done;
+  out
+
+let mac ~key msg =
+  let k = normalize_key key in
+  let ipad = xor_pad k 0x36 and opad = xor_pad k 0x5c in
+  let inner = Sha256.init () in
+  Sha256.update inner ipad;
+  Sha256.update_string inner msg;
+  let inner_digest = Sha256.finalize inner in
+  let outer = Sha256.init () in
+  Sha256.update outer opad;
+  Sha256.update outer inner_digest;
+  Sha256.finalize outer
+
+let mac_hex ~key msg = Smod_util.Hexdump.to_hex (mac ~key msg)
+
+let verify ~key ~tag msg =
+  let expected = mac ~key msg in
+  if Bytes.length tag <> Bytes.length expected then false
+  else begin
+    let diff = ref 0 in
+    for i = 0 to Bytes.length tag - 1 do
+      diff := !diff lor (Char.code (Bytes.get tag i) lxor Char.code (Bytes.get expected i))
+    done;
+    !diff = 0
+  end

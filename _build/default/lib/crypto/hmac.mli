@@ -1,0 +1,14 @@
+(** HMAC-SHA256 (RFC 2104).
+
+    SecModule credentials and signed KeyNote assertions are authenticated
+    with HMAC tags: in the simulated single-host deployment, the kernel
+    plays the trusted party holding the MAC keys (paper §4.4: "the
+    operating system which hosts m has to be a trusted party"). *)
+
+val mac : key:string -> string -> bytes
+(** 32-byte tag. *)
+
+val mac_hex : key:string -> string -> string
+
+val verify : key:string -> tag:bytes -> string -> bool
+(** Constant-shape comparison (always scans the full tag). *)

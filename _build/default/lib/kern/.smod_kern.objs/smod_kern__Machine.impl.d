@@ -1,0 +1,1 @@
+lib/kern/machine.ml: Array Bytes Effect Errno Format Fun Hashtbl List Option Printf Proc Queue Sched Signal Smod_sim Smod_vmem String Sysno

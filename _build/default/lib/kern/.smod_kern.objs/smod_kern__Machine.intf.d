@@ -1,0 +1,1 @@
+lib/kern/machine.mli: Errno Format Proc Sched Smod_sim Smod_vmem

@@ -1,0 +1,1 @@
+lib/kern/proc.ml: Effect Format Sched Smod_vmem

@@ -1,0 +1,1 @@
+lib/kern/proc.mli: Effect Format Sched Smod_vmem

@@ -1,0 +1,1 @@
+lib/kern/sched.ml: Effect Format Signal

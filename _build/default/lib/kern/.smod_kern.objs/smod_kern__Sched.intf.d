@@ -1,0 +1,1 @@
+lib/kern/sched.mli: Effect Format

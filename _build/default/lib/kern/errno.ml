@@ -1,0 +1,44 @@
+type t =
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | EINTR
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | EINVAL
+  | ENOSYS
+  | EAGAIN
+  | EIDRM
+  | ECHILD
+  | EEXIST
+  | E2BIG
+  | ENOEXEC
+
+exception Error of t * string
+
+let raise_errno e ctx = raise (Error (e, ctx))
+
+let to_string = function
+  | EPERM -> "EPERM"
+  | ENOENT -> "ENOENT"
+  | ESRCH -> "ESRCH"
+  | EINTR -> "EINTR"
+  | ENOMEM -> "ENOMEM"
+  | EACCES -> "EACCES"
+  | EFAULT -> "EFAULT"
+  | EINVAL -> "EINVAL"
+  | ENOSYS -> "ENOSYS"
+  | EAGAIN -> "EAGAIN"
+  | EIDRM -> "EIDRM"
+  | ECHILD -> "ECHILD"
+  | EEXIST -> "EEXIST"
+  | E2BIG -> "E2BIG"
+  | ENOEXEC -> "ENOEXEC"
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Error (e, ctx) -> Some (Printf.sprintf "Kern.Errno.Error(%s, %s)" (to_string e) ctx)
+    | _ -> None)

@@ -1,0 +1,25 @@
+(** Kernel error codes, raised by syscalls as {!Error}. *)
+
+type t =
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | EINTR
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | EINVAL
+  | ENOSYS
+  | EAGAIN
+  | EIDRM  (** message queue removed *)
+  | ECHILD
+  | EEXIST
+  | E2BIG
+  | ENOEXEC
+
+exception Error of t * string
+(** The string names the syscall or subsystem that failed. *)
+
+val raise_errno : t -> string -> 'a
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

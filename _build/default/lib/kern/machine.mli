@@ -1,0 +1,150 @@
+(** The simulated machine: one kernel, one CPU, many processes.
+
+    Processes are cooperative coroutines driven by a FIFO scheduler.
+    Kernel facilities needed by SecModule — SysV message queues, syscall
+    dispatch with trap accounting, forced forks, ptrace and core-dump
+    restrictions — live here.  The SecModule syscalls themselves (numbers
+    301–320) are registered by the [secmodule] library through
+    {!register_syscall}, mirroring how the paper extends
+    [syscalls.master] (Figure 4). *)
+
+exception Deadlock of string
+
+type t
+
+type syscall_handler = t -> Proc.t -> int array -> int
+
+val create : ?seed:int64 -> ?jitter:float -> ?limit_frames:int -> unit -> t
+val clock : t -> Smod_sim.Clock.t
+val trace : t -> Smod_sim.Trace.t
+val phys : t -> Smod_vmem.Phys.t
+
+(** {1 Processes} *)
+
+val standard_aspace : t -> name:string -> Smod_vmem.Aspace.t
+(** Fresh address space with the conventional text / data / stack entries
+    of Figure 2 and the break set just above the static data. *)
+
+val spawn :
+  t ->
+  ?daemon:bool ->
+  ?aspace:Smod_vmem.Aspace.t ->
+  ?uid:int ->
+  name:string ->
+  (Proc.t -> unit) ->
+  Proc.t
+(** Create a process (initially ready).  Without [?aspace] a standard one
+    is built.  The body runs when the scheduler reaches it. *)
+
+val spawn_thread : t -> Proc.t -> name:string -> (Proc.t -> unit) -> Proc.t
+(** A second flow of control in the {e same} address space — the paper's
+    multi-threaded client (§4.4). *)
+
+val proc : t -> int -> Proc.t option
+val proc_exn : t -> int -> Proc.t
+val current : t -> Proc.t option
+val live_procs : t -> Proc.t list
+
+(** {1 Scheduling} *)
+
+val step : t -> bool
+(** Run one ready process until it blocks, yields or exits.  False when
+    the ready queue is empty. *)
+
+val run : t -> unit
+(** Run until the ready queue drains.  Raises {!Deadlock} if a non-daemon
+    process is still blocked at that point. *)
+
+val wakeup : t -> int -> unit
+(** Move a blocked process to the ready queue. *)
+
+val suspend_address_space : t -> Smod_vmem.Aspace.t -> except:int -> int list
+(** TOCTOU mitigation 2 (§4.4): forcibly remove every runnable process
+    sharing the address space (except [except]) from the ready queue.
+    Returns the suspended pids. *)
+
+val resume_pids : t -> int list -> unit
+
+(** {1 Process lifecycle} *)
+
+val sys_exit : t -> Proc.t -> int -> 'a
+val kill : t -> pid:int -> signal:int -> unit
+(** SIGKILL terminates (discontinuing any stored continuation); other
+    signals are left pending on the target. *)
+
+val sys_wait : t -> Proc.t -> Sched.exit_status * int
+(** Blocks until a child exits; returns (status, pid) and reaps it. *)
+
+val sys_fork : t -> Proc.t -> name:string -> child_body:(Proc.t -> unit) -> Proc.t
+(** Forks: the child receives a clone of the parent's address space.
+    (Simulator note: the child runs [child_body] rather than resuming the
+    parent's continuation — one-shot continuations cannot be resumed
+    twice.  Call sites pass the post-fork behaviour explicitly.) *)
+
+val forced_fork :
+  t ->
+  Proc.t ->
+  name:string ->
+  daemon:bool ->
+  role:Proc.role ->
+  aspace:Smod_vmem.Aspace.t ->
+  body:(Proc.t -> unit) ->
+  Proc.t
+(** The kernel-initiated fork used by [sys_smod_start_session] (paper §4,
+    step 2): the kernel "forcibly forks the child process" with an
+    explicitly prepared address space, role and body. *)
+
+val sys_execve : t -> Proc.t -> image:string -> unit
+(** Runs registered exec hooks (SecModule uses one to detach the session
+    and kill the handle, §4.3), resets the address space, and charges the
+    exec cost.  The caller-supplied body keeps running afterwards,
+    representing the new image. *)
+
+val add_exec_hook : t -> (t -> Proc.t -> string -> unit) -> unit
+
+(** {1 Syscall dispatch} *)
+
+val register_syscall : t -> int -> name:string -> syscall_handler -> unit
+val syscall : t -> Proc.t -> int -> int array -> int
+(** Trap into the kernel: charges trap enter/exit around the handler.
+    Raises {!Errno.Error} as the handler does. *)
+
+val set_syscall_filter :
+  t -> (Proc.t -> int -> int array -> [ `Allow | `Deny of Errno.t ]) option -> unit
+(** Interpose on every trap before the handler runs (the hook the
+    Systrace substrate uses).  A [`Deny e] decision makes the syscall fail
+    with [e]; trap costs are charged either way. *)
+
+val sys_getpid : t -> Proc.t -> int
+(** Via the numeric table; for a handle process this returns the client's
+    pid (paper §4.3). *)
+
+val sys_obreak : t -> Proc.t -> int -> unit
+val sys_ptrace_attach : t -> Proc.t -> target_pid:int -> unit
+
+(** {1 SysV message queues} *)
+
+val msgget : t -> Proc.t -> key:int -> int
+(** Returns the queue id, creating the queue if needed. *)
+
+val msgsnd : t -> Proc.t -> qid:int -> mtype:int -> bytes -> unit
+(** Blocks while the queue is full.  [mtype] must be positive. *)
+
+val msgrcv : t -> Proc.t -> qid:int -> mtype:int -> int * bytes
+(** Blocks until a matching message arrives.  [mtype] = 0 takes the head;
+    positive takes the first of that type; negative takes the lowest type
+    ≤ [-mtype].  Returns (mtype, payload). *)
+
+val msgctl_remove : t -> Proc.t -> qid:int -> unit
+
+val msgq_depth : t -> qid:int -> int
+(** Messages currently queued (introspection; no charge). *)
+
+(** {1 Introspection} *)
+
+val context_switches : t -> int
+val syscall_count : t -> int
+val core_dumps : t -> (int * string) list
+(** (pid, name) of processes that dumped core. *)
+
+val pp_procs : Format.formatter -> t -> unit

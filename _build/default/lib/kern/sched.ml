@@ -1,0 +1,26 @@
+type wait_reason =
+  | Msgq_receive of int
+  | Msgq_full of int
+  | Wait_child
+  | Suspended
+  | Custom of string
+
+type exit_status = Exited of int | Signaled of int
+
+exception Proc_exit of int
+exception Proc_killed of int
+
+type _ Effect.t += Block : wait_reason -> unit Effect.t | Yield : unit Effect.t
+
+let yield () = Effect.perform Yield
+
+let pp_wait_reason ppf = function
+  | Msgq_receive q -> Format.fprintf ppf "msgq-receive(%d)" q
+  | Msgq_full q -> Format.fprintf ppf "msgq-full(%d)" q
+  | Wait_child -> Format.pp_print_string ppf "wait-child"
+  | Suspended -> Format.pp_print_string ppf "suspended"
+  | Custom s -> Format.fprintf ppf "custom(%s)" s
+
+let pp_exit_status ppf = function
+  | Exited n -> Format.fprintf ppf "exited(%d)" n
+  | Signaled s -> Format.fprintf ppf "signaled(%s)" (Signal.name s)

@@ -1,0 +1,32 @@
+(** Scheduling effects.
+
+    Simulated processes are OCaml coroutines: a blocking kernel operation
+    performs {!Block}, which the machine's scheduler captures as a one-shot
+    continuation.  This gives real interleaving — enough to reproduce the
+    paper's client/handle handshake, multi-client handles, and the §4.4
+    multi-threaded TOCTOU attack. *)
+
+type wait_reason =
+  | Msgq_receive of int  (** blocked in [msgrcv] on this queue id *)
+  | Msgq_full of int  (** blocked in [msgsnd] on a full queue *)
+  | Wait_child
+  | Suspended  (** forcibly dequeued (TOCTOU mitigation 2, §4.4) *)
+  | Custom of string
+
+type exit_status = Exited of int | Signaled of int
+
+exception Proc_exit of int
+(** Raised by [sys_exit]; caught by the scheduler. *)
+
+exception Proc_killed of int
+(** Used to discontinue a killed process; carries the signal number. *)
+
+type _ Effect.t +=
+  | Block : wait_reason -> unit Effect.t
+  | Yield : unit Effect.t
+
+val yield : unit -> unit
+(** Voluntarily give up the CPU (goes to the back of the ready queue). *)
+
+val pp_wait_reason : Format.formatter -> wait_reason -> unit
+val pp_exit_status : Format.formatter -> exit_status -> unit

@@ -1,0 +1,19 @@
+let sighup = 1
+let sigint = 2
+let sigkill = 9
+let sigsegv = 11
+let sigterm = 15
+let sigchld = 20
+let sigusr1 = 30
+let sigusr2 = 31
+
+let name = function
+  | 1 -> "SIGHUP"
+  | 2 -> "SIGINT"
+  | 9 -> "SIGKILL"
+  | 11 -> "SIGSEGV"
+  | 15 -> "SIGTERM"
+  | 20 -> "SIGCHLD"
+  | 30 -> "SIGUSR1"
+  | 31 -> "SIGUSR2"
+  | n -> Printf.sprintf "SIG#%d" n

@@ -1,0 +1,11 @@
+(** Signal numbers (the OpenBSD subset the simulator needs). *)
+
+val sighup : int
+val sigint : int
+val sigkill : int
+val sigsegv : int
+val sigterm : int
+val sigchld : int
+val sigusr1 : int
+val sigusr2 : int
+val name : int -> string

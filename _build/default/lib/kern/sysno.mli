@@ -1,0 +1,38 @@
+(** Syscall numbers.  The standard ones follow OpenBSD 3.6's
+    [syscalls.master]; 301–320 are the SecModule additions from the
+    paper's Figure 4. *)
+
+val exit : int
+val fork : int
+val obreak : int
+val getpid : int
+val ptrace : int
+val kill : int
+val execve : int
+val wait4 : int
+val msgget : int
+val msgsnd : int
+val msgrcv : int
+
+(** 301 *)
+val smod_find : int
+
+(** 303: handle side only *)
+val smod_session_info : int
+
+(** 304: client side only *)
+val smod_handle_info : int
+
+(** 305 *)
+val smod_add : int
+
+(** 306 *)
+val smod_remove : int
+
+(** 307 *)
+val smod_call : int
+
+(** 320 *)
+val smod_start_session : int
+
+val name : int -> string

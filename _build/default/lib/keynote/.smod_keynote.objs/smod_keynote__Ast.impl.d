@@ -1,0 +1,1 @@
+lib/keynote/ast.ml: Buffer Format List Printf

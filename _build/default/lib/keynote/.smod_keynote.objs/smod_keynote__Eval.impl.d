@@ -1,0 +1,1 @@
+lib/keynote/eval.ml: Array Ast Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/keynote/eval.mli: Ast

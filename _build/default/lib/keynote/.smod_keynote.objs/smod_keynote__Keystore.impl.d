@@ -1,0 +1,1 @@
+lib/keynote/keystore.ml: Ast Hashtbl Smod_crypto Smod_util String

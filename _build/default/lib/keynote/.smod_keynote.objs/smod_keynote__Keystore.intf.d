@@ -1,0 +1,1 @@
+lib/keynote/keystore.mli: Ast

@@ -1,0 +1,1 @@
+lib/keynote/parse.ml: Ast Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/keynote/parse.mli: Ast

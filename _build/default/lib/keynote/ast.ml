@@ -1,0 +1,83 @@
+type term = Attr of string | Str of string | Int of int
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | True
+  | False
+  | Cmp of term * cmp * term
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+
+type clause = { guard : expr; value : string }
+
+type licensees =
+  | L_empty
+  | L_principal of string
+  | L_and of licensees * licensees
+  | L_or of licensees * licensees
+  | L_kof of int * licensees list
+
+type assertion = {
+  authorizer : string;
+  licensees : licensees;
+  conditions : clause list;
+  comment : string option;
+  signature : string option;
+}
+
+let cmp_to_string = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp_term ppf = function
+  | Attr a -> Format.pp_print_string ppf a
+  | Str s -> Format.fprintf ppf "%S" s
+  | Int i -> Format.pp_print_int ppf i
+
+let rec pp_expr ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Cmp (a, op, b) -> Format.fprintf ppf "%a %s %a" pp_term a (cmp_to_string op) pp_term b
+  | Not e -> Format.fprintf ppf "!(%a)" pp_expr e
+  | And (a, b) -> Format.fprintf ppf "(%a && %a)" pp_expr a pp_expr b
+  | Or (a, b) -> Format.fprintf ppf "(%a || %a)" pp_expr a pp_expr b
+
+let rec pp_licensees ppf = function
+  | L_empty -> Format.pp_print_string ppf "<none>"
+  | L_principal p -> Format.fprintf ppf "%S" p
+  | L_and (a, b) -> Format.fprintf ppf "(%a && %a)" pp_licensees a pp_licensees b
+  | L_or (a, b) -> Format.fprintf ppf "(%a || %a)" pp_licensees a pp_licensees b
+  | L_kof (k, ls) ->
+      Format.fprintf ppf "%d-of(%a)" k
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_licensees)
+        ls
+
+let canonical_body a =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "keynote-version: 2\n";
+  Buffer.add_string buf (Printf.sprintf "authorizer: %S\n" a.authorizer);
+  Buffer.add_string buf (Format.asprintf "licensees: %a\n" pp_licensees a.licensees);
+  if a.conditions <> [] then begin
+    Buffer.add_string buf "conditions:";
+    List.iter
+      (fun c ->
+        Buffer.add_string buf (Format.asprintf " %a -> %S;" pp_expr c.guard c.value))
+      a.conditions;
+    Buffer.add_char buf '\n'
+  end;
+  (match a.comment with
+  | Some c -> Buffer.add_string buf (Printf.sprintf "comment: %s\n" c)
+  | None -> ());
+  Buffer.contents buf
+
+let pp_assertion ppf a =
+  Format.fprintf ppf "%s" (canonical_body a);
+  match a.signature with
+  | Some s -> Format.fprintf ppf "signature: %S@\n" s
+  | None -> ()

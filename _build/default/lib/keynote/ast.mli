@@ -1,0 +1,49 @@
+(** Abstract syntax of KeyNote-style assertions (RFC 2704 subset).
+
+    The paper names KeyNote as the intended policy language for SecModule
+    (§5); this library implements enough of it to express and evaluate the
+    module-access policies the paper discusses: principals, delegation via
+    licensees expressions (with [&&], [||] and [k-of]), and a conditions
+    language over action attributes yielding ordered compliance values. *)
+
+type term =
+  | Attr of string  (** action-attribute reference; absent attributes read as "" *)
+  | Str of string
+  | Int of int
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | True
+  | False
+  | Cmp of term * cmp * term
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+
+type clause = { guard : expr; value : string }
+(** [guard -> "value";] — on a true guard the assertion can contribute
+    compliance level [value]. *)
+
+type licensees =
+  | L_empty  (** no licensees: the assertion authorizes nobody *)
+  | L_principal of string
+  | L_and of licensees * licensees
+  | L_or of licensees * licensees
+  | L_kof of int * licensees list
+
+type assertion = {
+  authorizer : string;  (** "POLICY" for root-of-trust assertions *)
+  licensees : licensees;
+  conditions : clause list;
+  comment : string option;
+  signature : string option;  (** hex HMAC tag over {!canonical_body} *)
+}
+
+val canonical_body : assertion -> string
+(** Deterministic serialisation of everything except the signature — the
+    string that gets MACed. *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_licensees : Format.formatter -> licensees -> unit
+val pp_assertion : Format.formatter -> assertion -> unit

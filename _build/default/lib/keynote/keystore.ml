@@ -1,0 +1,27 @@
+type t = { secrets : (string, string) Hashtbl.t }
+
+let create () = { secrets = Hashtbl.create 16 }
+let add_principal t ~name ~secret = Hashtbl.replace t.secrets name secret
+let has_principal t name = Hashtbl.mem t.secrets name
+
+let sign t (a : Ast.assertion) =
+  match Hashtbl.find_opt t.secrets a.authorizer with
+  | None -> raise Not_found
+  | Some secret ->
+      let tag = Smod_crypto.Hmac.mac_hex ~key:secret (Ast.canonical_body a) in
+      { a with signature = Some ("hmac-sha256:" ^ tag) }
+
+let verify t (a : Ast.assertion) =
+  if a.authorizer = "POLICY" then true
+  else begin
+    match (a.signature, Hashtbl.find_opt t.secrets a.authorizer) with
+    | Some s, Some secret -> (
+        match String.index_opt s ':' with
+        | Some i when String.sub s 0 i = "hmac-sha256" -> (
+            let hex = String.sub s (i + 1) (String.length s - i - 1) in
+            match Smod_util.Hexdump.of_hex hex with
+            | tag -> Smod_crypto.Hmac.verify ~key:secret ~tag (Ast.canonical_body a)
+            | exception Invalid_argument _ -> false)
+        | _ -> false)
+    | _ -> false
+  end

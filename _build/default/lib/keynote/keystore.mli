@@ -1,0 +1,23 @@
+(** Principal keys and assertion signatures.
+
+    Credentials (assertions whose authorizer is not "POLICY") must be
+    signed by their authorizer.  In the simulated single-host deployment
+    signatures are HMAC-SHA256 tags over the canonical assertion body,
+    with the per-principal secrets held by the trusted host (paper §4.4:
+    the OS hosting the module must be a trusted party, and the keys live
+    only in kernel space). *)
+
+type t
+
+val create : unit -> t
+val add_principal : t -> name:string -> secret:string -> unit
+val has_principal : t -> string -> bool
+
+val sign : t -> Ast.assertion -> Ast.assertion
+(** Fills in the signature field.  Raises [Not_found] if the authorizer
+    has no key registered. *)
+
+val verify : t -> Ast.assertion -> bool
+(** True iff the assertion carries a signature that matches its canonical
+    body under its authorizer's key.  POLICY assertions are locally
+    trusted and verify unconditionally (RFC 2704 §4.6.1). *)

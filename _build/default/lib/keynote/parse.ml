@@ -1,0 +1,505 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt = Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer for the expression dialects                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | KOF of int  (* "3-of" *)
+  | ANDAND
+  | OROR
+  | BANG
+  | LPAREN
+  | RPAREN
+  | EQEQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | ARROW
+  | SEMI
+  | COMMA
+  | EOF
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | STRING s -> Printf.sprintf "string %S" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | KOF k -> Printf.sprintf "%d-of" k
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | EQEQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | ARROW -> "->"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | EOF -> "end of input"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = '.'
+
+let tokenize ~line s =
+  let n = String.length s in
+  let toks = ref [] in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let emit t = toks := t :: !toks in
+  let starts_with prefix =
+    !pos + String.length prefix <= n && String.sub s !pos (String.length prefix) = prefix
+  in
+  while !pos < n do
+    match s.[!pos] with
+    | ' ' | '\t' | '\n' | '\r' -> incr pos
+    | '"' ->
+        let buf = Buffer.create 16 in
+        incr pos;
+        let rec scan () =
+          if !pos >= n then fail line "unterminated string literal"
+          else begin
+            match s.[!pos] with
+            | '"' -> incr pos
+            | '\\' when !pos + 1 < n ->
+                Buffer.add_char buf s.[!pos + 1];
+                pos := !pos + 2;
+                scan ()
+            | c ->
+                Buffer.add_char buf c;
+                incr pos;
+                scan ()
+          end
+        in
+        scan ();
+        emit (STRING (Buffer.contents buf))
+    | '0' .. '9' ->
+        let start = !pos in
+        while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+          incr pos
+        done;
+        let v = int_of_string (String.sub s start (!pos - start)) in
+        if starts_with "-of" then begin
+          pos := !pos + 3;
+          emit (KOF v)
+        end
+        else emit (INT v)
+    | '-' when starts_with "->" ->
+        pos := !pos + 2;
+        emit ARROW
+    | '-' when !pos + 1 < n && s.[!pos + 1] >= '0' && s.[!pos + 1] <= '9' ->
+        incr pos;
+        let start = !pos in
+        while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+          incr pos
+        done;
+        emit (INT (-int_of_string (String.sub s start (!pos - start))))
+    | '&' when starts_with "&&" ->
+        pos := !pos + 2;
+        emit ANDAND
+    | '|' when starts_with "||" ->
+        pos := !pos + 2;
+        emit OROR
+    | '=' when starts_with "==" ->
+        pos := !pos + 2;
+        emit EQEQ
+    | '!' when starts_with "!=" ->
+        pos := !pos + 2;
+        emit NE
+    | '!' ->
+        incr pos;
+        emit BANG
+    | '<' when starts_with "<=" ->
+        pos := !pos + 2;
+        emit LE
+    | '<' ->
+        incr pos;
+        emit LT
+    | '>' when starts_with ">=" ->
+        pos := !pos + 2;
+        emit GE
+    | '>' ->
+        incr pos;
+        emit GT
+    | '(' ->
+        incr pos;
+        emit LPAREN
+    | ')' ->
+        incr pos;
+        emit RPAREN
+    | ';' ->
+        incr pos;
+        emit SEMI
+    | ',' ->
+        incr pos;
+        emit COMMA
+    | c when is_ident_char c ->
+        let start = !pos in
+        while !pos < n && is_ident_char s.[!pos] do
+          incr pos
+        done;
+        emit (IDENT (String.sub s start (!pos - start)))
+    | c -> (
+        ignore (peek ());
+        fail line "unexpected character %C" c)
+  done;
+  List.rev (EOF :: !toks)
+
+(* ------------------------------------------------------------------ *)
+(* Recursive-descent parsers over a token cursor                       *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { mutable toks : token list; line : int }
+
+let peek_tok c = match c.toks with t :: _ -> t | [] -> EOF
+
+let advance c = match c.toks with _ :: rest -> c.toks <- rest | [] -> ()
+
+let expect c t =
+  let got = peek_tok c in
+  if got = t then advance c
+  else fail c.line "expected %s but found %s" (token_to_string t) (token_to_string got)
+
+let parse_term c =
+  match peek_tok c with
+  | IDENT "true" | IDENT "false" -> fail c.line "boolean literal used as comparison term"
+  | IDENT name ->
+      advance c;
+      Ast.Attr name
+  | STRING s ->
+      advance c;
+      Ast.Str s
+  | INT i ->
+      advance c;
+      Ast.Int i
+  | t -> fail c.line "expected a term, found %s" (token_to_string t)
+
+let parse_cmp_op c =
+  match peek_tok c with
+  | EQEQ ->
+      advance c;
+      Ast.Eq
+  | NE ->
+      advance c;
+      Ast.Ne
+  | LT ->
+      advance c;
+      Ast.Lt
+  | LE ->
+      advance c;
+      Ast.Le
+  | GT ->
+      advance c;
+      Ast.Gt
+  | GE ->
+      advance c;
+      Ast.Ge
+  | t -> fail c.line "expected a comparison operator, found %s" (token_to_string t)
+
+let rec parse_expr c = parse_or c
+
+and parse_or c =
+  let left = parse_and c in
+  if peek_tok c = OROR then begin
+    advance c;
+    Ast.Or (left, parse_or c)
+  end
+  else left
+
+and parse_and c =
+  let left = parse_not c in
+  if peek_tok c = ANDAND then begin
+    advance c;
+    Ast.And (left, parse_and c)
+  end
+  else left
+
+and parse_not c =
+  match peek_tok c with
+  | BANG ->
+      advance c;
+      Ast.Not (parse_not c)
+  | LPAREN ->
+      advance c;
+      let e = parse_expr c in
+      expect c RPAREN;
+      e
+  | IDENT "true" ->
+      advance c;
+      Ast.True
+  | IDENT "false" ->
+      advance c;
+      Ast.False
+  | _ ->
+      let a = parse_term c in
+      let op = parse_cmp_op c in
+      let b = parse_term c in
+      Ast.Cmp (a, op, b)
+
+let rec parse_licensees c = parse_lic_or c
+
+and parse_lic_or c =
+  let left = parse_lic_and c in
+  if peek_tok c = OROR then begin
+    advance c;
+    Ast.L_or (left, parse_lic_or c)
+  end
+  else left
+
+and parse_lic_and c =
+  let left = parse_lic_atom c in
+  if peek_tok c = ANDAND then begin
+    advance c;
+    Ast.L_and (left, parse_lic_and c)
+  end
+  else left
+
+and parse_lic_atom c =
+  match peek_tok c with
+  | STRING p ->
+      advance c;
+      Ast.L_principal p
+  | IDENT p ->
+      advance c;
+      Ast.L_principal p
+  | LPAREN ->
+      advance c;
+      let l = parse_licensees c in
+      expect c RPAREN;
+      l
+  | KOF k ->
+      advance c;
+      expect c LPAREN;
+      let rec members acc =
+        let m = parse_licensees c in
+        match peek_tok c with
+        | COMMA ->
+            advance c;
+            members (m :: acc)
+        | RPAREN ->
+            advance c;
+            List.rev (m :: acc)
+        | t -> fail c.line "expected ',' or ')' in k-of, found %s" (token_to_string t)
+      in
+      let ms = members [] in
+      if k <= 0 || k > List.length ms then fail c.line "k-of threshold %d out of range" k;
+      Ast.L_kof (k, ms)
+  | t -> fail c.line "expected a licensee, found %s" (token_to_string t)
+
+let parse_clauses c =
+  let rec loop acc =
+    if peek_tok c = EOF then List.rev acc
+    else begin
+      let guard = parse_expr c in
+      expect c ARROW;
+      let value =
+        match peek_tok c with
+        | STRING s ->
+            advance c;
+            s
+        | t -> fail c.line "expected a compliance level string, found %s" (token_to_string t)
+      in
+      expect c SEMI;
+      loop ({ Ast.guard; value } :: acc)
+    end
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Field-level assertion parsing                                       *)
+(* ------------------------------------------------------------------ *)
+
+let split_fields ~first_line text =
+  (* field: value, with indented continuation lines. *)
+  let lines = String.split_on_char '\n' text in
+  let fields = ref [] in
+  let cur : (int * string * Buffer.t) option ref = ref None in
+  let flush () =
+    match !cur with
+    | Some (l, name, buf) ->
+        fields := (l, name, String.trim (Buffer.contents buf)) :: !fields;
+        cur := None
+    | None -> ()
+  in
+  List.iteri
+    (fun i raw ->
+      let lineno = first_line + i in
+      if String.trim raw = "" then ()
+      else if raw.[0] = ' ' || raw.[0] = '\t' then begin
+        match !cur with
+        | Some (_, _, buf) ->
+            Buffer.add_char buf ' ';
+            Buffer.add_string buf (String.trim raw)
+        | None -> fail lineno "continuation line with no field"
+      end
+      else begin
+        match String.index_opt raw ':' with
+        | None -> fail lineno "expected 'field: value'"
+        | Some i_colon ->
+            flush ();
+            let name = String.lowercase_ascii (String.trim (String.sub raw 0 i_colon)) in
+            let buf = Buffer.create 64 in
+            Buffer.add_string buf
+              (String.sub raw (i_colon + 1) (String.length raw - i_colon - 1));
+            cur := Some (lineno, name, buf)
+      end)
+    lines;
+  flush ();
+  List.rev !fields
+
+let unquote ~line s =
+  let s = String.trim s in
+  if String.length s >= 2 && s.[0] = '"' && s.[String.length s - 1] = '"' then
+    String.sub s 1 (String.length s - 2)
+  else if s = "" then fail line "empty field"
+  else s
+
+(* local-constants: NAME = "value" pairs, substituted after all fields
+   are parsed (field order is free in RFC 2704). *)
+let parse_constants ~line value =
+  let c = { toks = tokenize ~line value; line } in
+  let rec loop acc =
+    match peek_tok c with
+    | EOF -> List.rev acc
+    | IDENT name -> (
+        advance c;
+        (match peek_tok c with
+        | EQEQ -> fail c.line "local-constants use '=', not '=='"
+        | _ -> ());
+        (* the tokenizer has no bare '='; re-lex by expecting STRING next
+           after an optional EQEQ-free gap: accept NAME "value" or
+           NAME == "value"?  RFC writes NAME = "value"; our tokenizer
+           folds '=' '=' into EQEQ only; a single '=' is unknown.  To keep
+           the lexer simple the dialect here is: NAME "value". *)
+        match peek_tok c with
+        | STRING v ->
+            advance c;
+            loop ((name, v) :: acc)
+        | t -> fail c.line "expected a quoted value after %s, found %s" name (token_to_string t))
+    | t -> fail c.line "expected a constant name, found %s" (token_to_string t)
+  in
+  loop []
+
+let substitute_constants consts assertion =
+  if consts = [] then assertion
+  else begin
+    let subst_name n = match List.assoc_opt n consts with Some v -> v | None -> n in
+    let rec subst_lic = function
+      | Ast.L_empty -> Ast.L_empty
+      | Ast.L_principal p -> Ast.L_principal (subst_name p)
+      | Ast.L_and (a, b) -> Ast.L_and (subst_lic a, subst_lic b)
+      | Ast.L_or (a, b) -> Ast.L_or (subst_lic a, subst_lic b)
+      | Ast.L_kof (k, ls) -> Ast.L_kof (k, List.map subst_lic ls)
+    in
+    let subst_term = function
+      | Ast.Attr n as t -> (
+          match List.assoc_opt n consts with Some v -> Ast.Str v | None -> t)
+      | t -> t
+    in
+    let rec subst_expr = function
+      | (Ast.True | Ast.False) as e -> e
+      | Ast.Cmp (a, op, b) -> Ast.Cmp (subst_term a, op, subst_term b)
+      | Ast.Not e -> Ast.Not (subst_expr e)
+      | Ast.And (a, b) -> Ast.And (subst_expr a, subst_expr b)
+      | Ast.Or (a, b) -> Ast.Or (subst_expr a, subst_expr b)
+    in
+    {
+      assertion with
+      Ast.authorizer = subst_name assertion.Ast.authorizer;
+      licensees = subst_lic assertion.Ast.licensees;
+      conditions =
+        List.map
+          (fun (cl : Ast.clause) -> { cl with Ast.guard = subst_expr cl.Ast.guard })
+          assertion.Ast.conditions;
+    }
+  end
+
+let assertion_of_fields fields =
+  let authorizer = ref None in
+  let licensees = ref Ast.L_empty in
+  let conditions = ref [] in
+  let comment = ref None in
+  let signature = ref None in
+  let constants = ref [] in
+  List.iter
+    (fun (line, name, value) ->
+      match name with
+      | "keynote-version" ->
+          if String.trim value <> "2" then fail line "unsupported keynote-version %S" value
+      | "authorizer" -> authorizer := Some (unquote ~line value)
+      | "local-constants" -> constants := !constants @ parse_constants ~line value
+      | "licensees" ->
+          let c = { toks = tokenize ~line value; line } in
+          let l = parse_licensees c in
+          expect c EOF;
+          licensees := l
+      | "conditions" ->
+          let c = { toks = tokenize ~line value; line } in
+          conditions := parse_clauses c
+      | "comment" -> comment := Some (String.trim value)
+      | "signature" -> signature := Some (unquote ~line value)
+      | other -> fail line "unknown field %S" other)
+    fields;
+  match !authorizer with
+  | None -> fail 0 "assertion has no authorizer"
+  | Some authorizer ->
+      substitute_constants !constants
+        {
+          Ast.authorizer;
+          licensees = !licensees;
+          conditions = !conditions;
+          comment = !comment;
+          signature = !signature;
+        }
+
+let assertion_of_string text = assertion_of_fields (split_fields ~first_line:1 text)
+
+let assertions_of_string text =
+  (* Blank lines separate assertions. *)
+  let lines = String.split_on_char '\n' text in
+  let groups = ref [] in
+  let cur = Buffer.create 128 in
+  let cur_start = ref 1 in
+  let cur_empty = ref true in
+  List.iteri
+    (fun i line ->
+      if String.trim line = "" then begin
+        if not !cur_empty then begin
+          groups := (!cur_start, Buffer.contents cur) :: !groups;
+          Buffer.clear cur;
+          cur_empty := true
+        end
+      end
+      else begin
+        if !cur_empty then cur_start := i + 1;
+        cur_empty := false;
+        Buffer.add_string cur line;
+        Buffer.add_char cur '\n'
+      end)
+    lines;
+  if not !cur_empty then groups := (!cur_start, Buffer.contents cur) :: !groups;
+  List.rev_map
+    (fun (first_line, text) -> assertion_of_fields (split_fields ~first_line text))
+    !groups
+
+let expr_of_string s =
+  let c = { toks = tokenize ~line:1 s; line = 1 } in
+  let e = parse_expr c in
+  expect c EOF;
+  e
+
+let licensees_of_string s =
+  let c = { toks = tokenize ~line:1 s; line = 1 } in
+  let l = parse_licensees c in
+  expect c EOF;
+  l

@@ -1,0 +1,25 @@
+(** Parser for the assertion surface syntax.
+
+    An assertion is a sequence of [field: value] lines; a line beginning
+    with whitespace continues the previous field.  Fields: [keynote-version]
+    (must be 2), [authorizer], [licensees], [conditions], [comment],
+    [signature].  Multiple assertions in one string are separated by blank
+    lines.
+
+    Conditions dialect: [guard -> "level";] clauses where a guard is a
+    boolean expression over comparisons of action attributes (bare
+    identifiers), string literals and integer literals, combined with
+    [&&], [||], [!] and parentheses.  Comparisons are numeric when both
+    sides are integers and lexicographic otherwise.
+
+    Licensees dialect: quoted principal names combined with [&&], [||],
+    parentheses, and [k-of(a, b, ...)] threshold groups. *)
+
+exception Parse_error of { line : int; message : string }
+
+val assertion_of_string : string -> Ast.assertion
+val assertions_of_string : string -> Ast.assertion list
+val expr_of_string : string -> Ast.expr
+(** Parse a bare conditions guard (used by tests and policy builders). *)
+
+val licensees_of_string : string -> Ast.licensees

@@ -1,0 +1,1 @@
+lib/libc/alloc.ml: Bytes List Printf Smod_sim Smod_vmem

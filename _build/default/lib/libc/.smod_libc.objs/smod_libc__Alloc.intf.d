@@ -1,0 +1,1 @@
+lib/libc/alloc.mli: Smod_vmem

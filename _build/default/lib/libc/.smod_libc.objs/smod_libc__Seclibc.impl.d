@@ -1,0 +1,1 @@
+lib/libc/seclibc.ml: Alloc Char List Registry Secmodule Smod Smod_kern Smod_modfmt Smod_sim Smod_svm Smod_vmem Sort Str Stub Toolchain

@@ -1,0 +1,1 @@
+lib/libc/seclibc.mli: Secmodule Smod_modfmt

@@ -1,0 +1,1 @@
+lib/libc/sort.ml: Smod_sim Smod_vmem

@@ -1,0 +1,1 @@
+lib/libc/sort.mli: Smod_vmem

@@ -1,0 +1,1 @@
+lib/libc/str.ml: Bytes Char List Smod_sim Smod_vmem String

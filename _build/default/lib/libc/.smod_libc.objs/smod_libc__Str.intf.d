@@ -1,0 +1,1 @@
+lib/libc/str.mli: Smod_vmem

@@ -1,0 +1,222 @@
+module Aspace = Smod_vmem.Aspace
+module Clock = Smod_sim.Clock
+module Cost = Smod_sim.Cost_model
+
+let magic = 0x11BC0DE
+
+(* Arena anchor at the heap base:
+     +0  magic
+     +4  free-list head (0 = empty)
+     +8  arena end (exclusive; every byte in [start, end) is in a block)
+     +12 reserved
+   Blocks: u32 size (including the 8-byte header), u32 next (free blocks
+   only).  All sizes 8-aligned, so the arena tiles contiguously. *)
+
+let anchor_size = 16
+let header_size = 8
+let min_block = 16
+
+let align8 v = (v + 7) land lnot 7
+
+let magic_addr a = Aspace.heap_base a
+let head_addr a = Aspace.heap_base a + 4
+let arena_end_addr a = Aspace.heap_base a + 8
+let arena_start a = Aspace.heap_base a + anchor_size
+
+let rd a addr = Aspace.read_word a ~addr
+let wr a addr v = Aspace.write_word a ~addr v
+
+let init a =
+  if Aspace.brk a < arena_start a then Aspace.obreak a (arena_start a);
+  if rd a (magic_addr a) <> magic then begin
+    wr a (magic_addr a) magic;
+    wr a (head_addr a) 0;
+    wr a (arena_end_addr a) (arena_start a)
+  end
+
+let ensure_init a =
+  if Aspace.brk a < arena_start a || rd a (magic_addr a) <> magic then init a
+
+(* Pull a block out of the free list given the address of the link slot
+   pointing at it. *)
+let unlink a slot block = wr a slot (rd a (block + 4))
+
+let grow_arena a want =
+  let arena_end = rd a (arena_end_addr a) in
+  (* Extend by at least a page to amortise obreak traffic. *)
+  let grow = max want 4096 in
+  (match Aspace.obreak a (arena_end + grow) with
+  | () -> ()
+  | exception Aspace.Bad_range _ -> raise Exit);
+  wr a (arena_end_addr a) (arena_end + grow);
+  wr a arena_end grow;
+  arena_end
+
+(* Sorted insert by address, coalescing both neighbours.  Shared by
+   [free] and the arena-growth remainder path. *)
+let insert_free a block =
+  let size = rd a block in
+  let rec find_slot slot =
+    let next = rd a slot in
+    if next = 0 || next > block then slot else find_slot (next + 4)
+  in
+  let slot = find_slot (head_addr a) in
+  let next = rd a slot in
+  if next = block then invalid_arg "free: double free";
+  let prev = if slot = head_addr a then 0 else slot - 4 in
+  if prev <> 0 && prev + rd a prev > block then invalid_arg "free: pointer inside free block";
+  if next <> 0 && block + size > next then invalid_arg "free: block overlaps free list";
+  if next <> 0 && block + size = next then begin
+    (* Coalesce with the following block. *)
+    wr a block (size + rd a next);
+    wr a (block + 4) (rd a (next + 4))
+  end
+  else wr a (block + 4) next;
+  if prev <> 0 && prev + rd a prev = block then
+    (* Coalesce with the preceding block. *)
+    begin
+      wr a prev (rd a prev + rd a block);
+      wr a (prev + 4) (rd a (block + 4))
+    end
+  else wr a slot block
+
+let malloc a size =
+  if size <= 0 then 0
+  else begin
+    ensure_init a;
+    Clock.charge (Aspace.clock a) Cost.Native_call_overhead;
+    let want = align8 (size + header_size) in
+    let rec fit slot =
+      let block = rd a slot in
+      if block = 0 then None
+      else begin
+        let bsize = rd a block in
+        if bsize >= want then Some (slot, block, bsize) else fit (block + 4)
+      end
+    in
+    let carve (slot, block, bsize) =
+      if bsize - want >= min_block then begin
+        (* Split: the tail stays free. *)
+        let rest = block + want in
+        wr a rest (bsize - want);
+        wr a (rest + 4) (rd a (block + 4));
+        wr a slot rest;
+        wr a block want
+      end
+      else unlink a slot block;
+      block + header_size
+    in
+    match fit (head_addr a) with
+    | Some found -> carve found
+    | None -> (
+        match grow_arena a want with
+        | block ->
+            let bsize = rd a block in
+            if bsize - want >= min_block then begin
+              let rest = block + want in
+              wr a rest (bsize - want);
+              wr a (rest + 4) 0;
+              wr a block want;
+              insert_free a rest
+            end;
+            block + header_size
+        | exception Exit -> 0)
+  end
+
+let block_sane a block =
+  let arena_end = rd a (arena_end_addr a) in
+  block >= arena_start a
+  && block < arena_end
+  &&
+  let size = rd a block in
+  size >= min_block && size land 7 = 0 && block + size <= arena_end
+
+let free a ptr =
+  if ptr <> 0 then begin
+    ensure_init a;
+    Clock.charge (Aspace.clock a) Cost.Native_call_overhead;
+    let block = ptr - header_size in
+    if not (block_sane a block) then invalid_arg "free: bad pointer";
+    insert_free a block
+  end
+
+let calloc a ~count ~size =
+  if count <= 0 || size <= 0 then 0
+  else begin
+    let total = count * size in
+    let ptr = malloc a total in
+    if ptr <> 0 then begin
+      Aspace.write_bytes a ~addr:ptr (Bytes.make total '\000');
+      Clock.charge (Aspace.clock a) (Cost.Copy_bytes total)
+    end;
+    ptr
+  end
+
+let realloc a ptr size =
+  if ptr = 0 then malloc a size
+  else if size <= 0 then begin
+    free a ptr;
+    0
+  end
+  else begin
+    let block = ptr - header_size in
+    if not (block_sane a block) then invalid_arg "realloc: bad pointer";
+    let old_payload = rd a block - header_size in
+    if old_payload >= size then ptr
+    else begin
+      let fresh = malloc a size in
+      if fresh = 0 then 0
+      else begin
+        let data = Aspace.read_bytes a ~addr:ptr ~len:old_payload in
+        Aspace.write_bytes a ~addr:fresh data;
+        Clock.charge (Aspace.clock a) (Cost.Copy_bytes old_payload);
+        free a ptr;
+        fresh
+      end
+    end
+  end
+
+let free_list_blocks a =
+  ensure_init a;
+  let rec walk block acc =
+    if block = 0 then List.rev acc else walk (rd a (block + 4)) ((block, rd a block) :: acc)
+  in
+  walk (rd a (head_addr a)) []
+
+let allocated_bytes a =
+  ensure_init a;
+  let free_set = List.map fst (free_list_blocks a) in
+  let arena_end = rd a (arena_end_addr a) in
+  let rec walk addr acc =
+    if addr >= arena_end then acc
+    else begin
+      let size = rd a addr in
+      if size < min_block || size land 7 <> 0 then acc (* corrupt: stop *)
+      else begin
+        let live = if List.mem addr free_set then 0 else size - header_size in
+        walk (addr + size) (acc + live)
+      end
+    end
+  in
+  walk (arena_start a) 0
+
+let check_invariants a =
+  ensure_init a;
+  let arena_end = rd a (arena_end_addr a) in
+  let rec check block prev_end =
+    if block = 0 then Ok ()
+    else if block < arena_start a || block >= arena_end then
+      Error (Printf.sprintf "free block 0x%x outside arena" block)
+    else begin
+      let size = rd a block in
+      if size < min_block || size land 7 <> 0 then
+        Error (Printf.sprintf "free block 0x%x has bad size %d" block size)
+      else if block + size > arena_end then
+        Error (Printf.sprintf "free block 0x%x overruns arena" block)
+      else if block < prev_end then Error "free list not sorted / overlapping"
+      else if block = prev_end && prev_end > 0 then
+        Error (Printf.sprintf "adjacent free blocks not coalesced at 0x%x" block)
+      else check (rd a (block + 4)) (block + size)
+    end
+  in
+  check (rd a (head_addr a)) 0

@@ -1,0 +1,40 @@
+(** The converted libc's [malloc]: a K&R-style first-fit free-list
+    allocator whose entire state — arena anchor, free-list links, block
+    headers — lives in {e simulated memory} on the process heap.
+
+    Because the state is in the shared data/heap range, a handle process
+    executing [malloc] on the client's behalf manipulates exactly the heap
+    the client sees, "working identically to its man-page specification
+    within the SecModule framework" (§3).  Heap growth goes through
+    {!Smod_vmem.Aspace.obreak}, whose SecModule modification keeps the
+    paired address space converged.
+
+    Block layout: an 8-byte header (u32 size including header, u32 next
+    free block) precedes every payload; payloads are 8-byte aligned. *)
+
+val magic : int
+
+val init : Smod_vmem.Aspace.t -> unit
+(** Idempotent; stamps the arena anchor at the heap base and reserves the
+    first 16 bytes. *)
+
+val malloc : Smod_vmem.Aspace.t -> int -> int
+(** Returns the payload address, or 0 for a non-positive size or when the
+    heap cannot grow. *)
+
+val free : Smod_vmem.Aspace.t -> int -> unit
+(** Accepts 0 as a no-op.  Raises [Invalid_argument] on a pointer that is
+    not currently an allocated payload (double free / wild free). *)
+
+val calloc : Smod_vmem.Aspace.t -> count:int -> size:int -> int
+val realloc : Smod_vmem.Aspace.t -> int -> int -> int
+
+val allocated_bytes : Smod_vmem.Aspace.t -> int
+(** Sum of live payload sizes (walks the arena; test instrumentation). *)
+
+val free_list_blocks : Smod_vmem.Aspace.t -> (int * int) list
+(** (block address, block size) of each free block, address order. *)
+
+val check_invariants : Smod_vmem.Aspace.t -> (unit, string) result
+(** Free list sorted, non-overlapping, fully coalesced, inside the
+    arena. *)

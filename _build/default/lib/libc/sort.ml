@@ -1,0 +1,118 @@
+module Aspace = Smod_vmem.Aspace
+module Clock = Smod_sim.Clock
+module Cost = Smod_sim.Cost_model
+
+type comparator = Words_unsigned | Words_signed | Words_unsigned_desc | Lexicographic
+
+let comparator_of_code = function
+  | 0 -> Some Words_unsigned
+  | 1 -> Some Words_signed
+  | 2 -> Some Words_unsigned_desc
+  | 3 -> Some Lexicographic
+  | _ -> None
+
+let to_signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let check_args ~nmemb ~size ~cmp =
+  if size <= 0 then invalid_arg "qsort: size";
+  if nmemb < 0 then invalid_arg "qsort: nmemb";
+  match cmp with
+  | Words_unsigned | Words_signed | Words_unsigned_desc ->
+      if size <> 4 then invalid_arg "qsort: word comparators need size 4"
+  | Lexicographic -> ()
+
+(* Compare the elements at indices i and j. *)
+let compare_elems a ~base ~size ~cmp i j =
+  match cmp with
+  | Words_unsigned ->
+      compare (Aspace.read_word a ~addr:(base + (4 * i))) (Aspace.read_word a ~addr:(base + (4 * j)))
+  | Words_unsigned_desc ->
+      compare (Aspace.read_word a ~addr:(base + (4 * j))) (Aspace.read_word a ~addr:(base + (4 * i)))
+  | Words_signed ->
+      compare
+        (to_signed (Aspace.read_word a ~addr:(base + (4 * i))))
+        (to_signed (Aspace.read_word a ~addr:(base + (4 * j))))
+  | Lexicographic ->
+      compare
+        (Aspace.read_bytes a ~addr:(base + (size * i)) ~len:size)
+        (Aspace.read_bytes a ~addr:(base + (size * j)) ~len:size)
+
+let swap_elems a ~base ~size i j =
+  if i <> j then begin
+    let ei = Aspace.read_bytes a ~addr:(base + (size * i)) ~len:size in
+    let ej = Aspace.read_bytes a ~addr:(base + (size * j)) ~len:size in
+    Aspace.write_bytes a ~addr:(base + (size * i)) ej;
+    Aspace.write_bytes a ~addr:(base + (size * j)) ei;
+    Clock.charge (Aspace.clock a) (Cost.Copy_bytes (2 * size))
+  end
+
+let qsort a ~base ~nmemb ~size ~cmp =
+  check_args ~nmemb ~size ~cmp;
+  let cmp_ij = compare_elems a ~base ~size ~cmp in
+  let swap = swap_elems a ~base ~size in
+  let insertion lo hi =
+    for i = lo + 1 to hi do
+      let j = ref i in
+      while !j > lo && cmp_ij !j (!j - 1) < 0 do
+        swap !j (!j - 1);
+        decr j
+      done
+    done
+  in
+  let rec sort lo hi =
+    if hi - lo < 8 then insertion lo hi
+    else begin
+      (* median-of-three pivot placed at hi *)
+      let mid = (lo + hi) / 2 in
+      if cmp_ij mid lo < 0 then swap mid lo;
+      if cmp_ij hi lo < 0 then swap hi lo;
+      if cmp_ij hi mid < 0 then swap hi mid;
+      swap mid hi;
+      let pivot = hi in
+      let store = ref lo in
+      for i = lo to hi - 1 do
+        if cmp_ij i pivot < 0 then begin
+          swap i !store;
+          incr store
+        end
+      done;
+      swap !store hi;
+      if !store > lo then sort lo (!store - 1);
+      if !store < hi then sort (!store + 1) hi
+    end
+  in
+  if nmemb > 1 then sort 0 (nmemb - 1)
+
+let compare_key a ~key ~base ~size ~cmp i =
+  match cmp with
+  | Words_unsigned ->
+      compare (Aspace.read_word a ~addr:key) (Aspace.read_word a ~addr:(base + (4 * i)))
+  | Words_unsigned_desc ->
+      compare (Aspace.read_word a ~addr:(base + (4 * i))) (Aspace.read_word a ~addr:key)
+  | Words_signed ->
+      compare
+        (to_signed (Aspace.read_word a ~addr:key))
+        (to_signed (Aspace.read_word a ~addr:(base + (4 * i))))
+  | Lexicographic ->
+      compare (Aspace.read_bytes a ~addr:key ~len:size)
+        (Aspace.read_bytes a ~addr:(base + (size * i)) ~len:size)
+
+let bsearch a ~key ~base ~nmemb ~size ~cmp =
+  check_args ~nmemb ~size ~cmp;
+  let rec search lo hi =
+    if lo > hi then 0
+    else begin
+      let mid = (lo + hi) / 2 in
+      let c = compare_key a ~key ~base ~size ~cmp mid in
+      if c = 0 then base + (size * mid)
+      else if c < 0 then search lo (mid - 1)
+      else search (mid + 1) hi
+    end
+  in
+  if nmemb = 0 then 0 else search 0 (nmemb - 1)
+
+let is_sorted a ~base ~nmemb ~size ~cmp =
+  check_args ~nmemb ~size ~cmp;
+  let cmp_ij = compare_elems a ~base ~size ~cmp in
+  let rec go i = i >= nmemb - 1 || (cmp_ij i (i + 1) <= 0 && go (i + 1)) in
+  nmemb <= 1 || go 0

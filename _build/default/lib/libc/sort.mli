@@ -1,0 +1,32 @@
+(** The converted libc's [qsort] and [bsearch], over simulated memory.
+
+    C's qsort takes a comparator {e function pointer} — but under
+    SecModule the comparator would be client code, and the whole point of
+    the framework is that the handle never executes anything the client
+    controls (§3.1: "there can be no trust placed on any memory portion
+    directly under the control of p").  The conversion therefore offers a
+    fixed comparator menu instead of a callback. *)
+
+type comparator =
+  | Words_unsigned  (** elements are 4-byte words, ascending unsigned *)
+  | Words_signed  (** 4-byte words, ascending two's-complement *)
+  | Words_unsigned_desc
+  | Lexicographic  (** arbitrary [size]-byte elements, memcmp order *)
+
+val comparator_of_code : int -> comparator option
+(** Wire encoding for the module interface: 0, 1, 2, 3 in declaration
+    order. *)
+
+val qsort :
+  Smod_vmem.Aspace.t -> base:int -> nmemb:int -> size:int -> cmp:comparator -> unit
+(** In-place quicksort (median-of-three, insertion sort below 8
+    elements).  Word comparators require [size = 4]; raises
+    [Invalid_argument] otherwise or on a non-positive size. *)
+
+val bsearch :
+  Smod_vmem.Aspace.t -> key:int -> base:int -> nmemb:int -> size:int -> cmp:comparator -> int
+(** Address of a matching element in a sorted array, or 0.  [key] is the
+    address of the probe element. *)
+
+val is_sorted :
+  Smod_vmem.Aspace.t -> base:int -> nmemb:int -> size:int -> cmp:comparator -> bool

@@ -1,0 +1,226 @@
+module Aspace = Smod_vmem.Aspace
+module Clock = Smod_sim.Clock
+module Cost = Smod_sim.Cost_model
+
+let max_str = 1 lsl 20
+
+let strlen a ptr =
+  let rec loop i =
+    if i >= max_str then invalid_arg "strlen: unterminated string"
+    else if Aspace.read_u8 a ~addr:(ptr + i) = 0 then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let strcpy a ~dst ~src =
+  let n = strlen a src in
+  let data = Aspace.read_bytes a ~addr:src ~len:(n + 1) in
+  Aspace.write_bytes a ~addr:dst data;
+  Clock.charge (Aspace.clock a) (Cost.Copy_bytes (n + 1));
+  dst
+
+let strncpy a ~dst ~src ~n =
+  let len = min (strlen a src) n in
+  let data = Aspace.read_bytes a ~addr:src ~len in
+  Aspace.write_bytes a ~addr:dst data;
+  if len < n then Aspace.write_bytes a ~addr:(dst + len) (Bytes.make (n - len) '\000');
+  Clock.charge (Aspace.clock a) (Cost.Copy_bytes n);
+  dst
+
+let strcmp a p q =
+  let rec loop i =
+    let ca = Aspace.read_u8 a ~addr:(p + i) and cb = Aspace.read_u8 a ~addr:(q + i) in
+    if ca <> cb then compare ca cb else if ca = 0 then 0 else loop (i + 1)
+  in
+  loop 0
+
+let strncmp a p q ~n =
+  let rec loop i =
+    if i >= n then 0
+    else begin
+      let ca = Aspace.read_u8 a ~addr:(p + i) and cb = Aspace.read_u8 a ~addr:(q + i) in
+      if ca <> cb then compare ca cb else if ca = 0 then 0 else loop (i + 1)
+    end
+  in
+  loop 0
+
+let strchr a ptr c =
+  let target = Char.code c in
+  let rec loop i =
+    if i >= max_str then 0
+    else begin
+      let v = Aspace.read_u8 a ~addr:(ptr + i) in
+      if v = target then ptr + i else if v = 0 then 0 else loop (i + 1)
+    end
+  in
+  loop 0
+
+let strcat a ~dst ~src =
+  let end_of_dst = dst + strlen a dst in
+  ignore (strcpy a ~dst:end_of_dst ~src);
+  dst
+
+let memcpy a ~dst ~src ~n =
+  if n > 0 then begin
+    let data = Aspace.read_bytes a ~addr:src ~len:n in
+    Aspace.write_bytes a ~addr:dst data;
+    Clock.charge (Aspace.clock a) (Cost.Copy_bytes n)
+  end;
+  dst
+
+let memset a ~dst ~byte ~n =
+  if n > 0 then begin
+    Aspace.write_bytes a ~addr:dst (Bytes.make n (Char.chr (byte land 0xff)));
+    Clock.charge (Aspace.clock a) (Cost.Copy_bytes n)
+  end;
+  dst
+
+let memcmp a p q ~n =
+  let rec loop i =
+    if i >= n then 0
+    else begin
+      let ca = Aspace.read_u8 a ~addr:(p + i) and cb = Aspace.read_u8 a ~addr:(q + i) in
+      if ca <> cb then compare ca cb else loop (i + 1)
+    end
+  in
+  loop 0
+
+let strncat a ~dst ~src ~n =
+  let end_of_dst = dst + strlen a dst in
+  let len = min (strlen a src) n in
+  let data = Aspace.read_bytes a ~addr:src ~len in
+  Aspace.write_bytes a ~addr:end_of_dst data;
+  Aspace.write_u8 a ~addr:(end_of_dst + len) 0;
+  Clock.charge (Aspace.clock a) (Cost.Copy_bytes (len + 1));
+  dst
+
+let strstr a ~haystack ~needle =
+  let nlen = strlen a needle in
+  if nlen = 0 then haystack
+  else begin
+    let hlen = strlen a haystack in
+    let rec scan i =
+      if i + nlen > hlen then 0
+      else begin
+        let rec matches j =
+          j >= nlen
+          || Aspace.read_u8 a ~addr:(haystack + i + j) = Aspace.read_u8 a ~addr:(needle + j)
+             && matches (j + 1)
+        in
+        if matches 0 then haystack + i else scan (i + 1)
+      end
+    in
+    scan 0
+  end
+
+let strrchr a ptr c =
+  let target = Char.code c in
+  let len = strlen a ptr in
+  let rec scan i = if i < 0 then 0 else if Aspace.read_u8 a ~addr:(ptr + i) = target then ptr + i else scan (i - 1) in
+  (* the terminating NUL is searchable, as in C *)
+  if target = 0 then ptr + len else scan (len - 1)
+
+let memmove a ~dst ~src ~n =
+  (* [read_bytes] stages the whole source before any write, so this is
+     overlap-safe by construction. *)
+  if n > 0 then begin
+    let data = Aspace.read_bytes a ~addr:src ~len:n in
+    Aspace.write_bytes a ~addr:dst data;
+    Clock.charge (Aspace.clock a) (Cost.Copy_bytes n)
+  end;
+  dst
+
+let memchr a ptr ~byte ~n =
+  let target = byte land 0xff in
+  let rec scan i =
+    if i >= n then 0 else if Aspace.read_u8 a ~addr:(ptr + i) = target then ptr + i else scan (i + 1)
+  in
+  scan 0
+
+let digit_value c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'z' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'Z' -> Char.code c - Char.code 'A' + 10
+  | _ -> 99
+
+let strtol a ptr ~base =
+  let len = strlen a ptr in
+  let s = Bytes.to_string (Aspace.read_bytes a ~addr:ptr ~len) in
+  let i = ref 0 in
+  while !i < len && (s.[!i] = ' ' || s.[!i] = '\t') do
+    incr i
+  done;
+  let negative =
+    if !i < len && (s.[!i] = '-' || s.[!i] = '+') then begin
+      let neg = s.[!i] = '-' in
+      incr i;
+      neg
+    end
+    else false
+  in
+  let base =
+    if base = 0 then begin
+      if !i + 1 < len && s.[!i] = '0' && (s.[!i + 1] = 'x' || s.[!i + 1] = 'X') then begin
+        i := !i + 2;
+        16
+      end
+      else if !i < len && s.[!i] = '0' then 8
+      else 10
+    end
+    else if base = 16 && !i + 1 < len && s.[!i] = '0' && (s.[!i + 1] = 'x' || s.[!i + 1] = 'X')
+    then begin
+      i := !i + 2;
+      16
+    end
+    else if base >= 2 && base <= 36 then base
+    else 10
+  in
+  let value = ref 0 in
+  let consumed = ref false in
+  let continue_ = ref true in
+  while !continue_ && !i < len do
+    let d = digit_value s.[!i] in
+    if d < base then begin
+      value := (!value * base) + d;
+      consumed := true;
+      incr i
+    end
+    else continue_ := false
+  done;
+  let v = if negative then - !value else !value in
+  ignore !consumed;
+  (v, ptr + !i)
+
+let itoa a ~value ~buf ~base =
+  let base = if base >= 2 && base <= 36 then base else 10 in
+  let digits = "0123456789abcdefghijklmnopqrstuvwxyz" in
+  let signed = base = 10 in
+  let v32 = value land 0xFFFFFFFF in
+  let negative = signed && v32 land 0x80000000 <> 0 in
+  let magnitude = if negative then 0x100000000 - v32 else v32 in
+  let rec render acc m = if m = 0 then acc else render (digits.[m mod base] :: acc) (m / base) in
+  let chars = if magnitude = 0 then [ '0' ] else render [] magnitude in
+  let chars = if negative then '-' :: chars else chars in
+  let s = String.init (List.length chars) (List.nth chars) in
+  Aspace.write_string a ~addr:buf s;
+  Clock.charge (Aspace.clock a) (Cost.Copy_bytes (String.length s + 1));
+  buf
+
+let atoi a ptr =
+  let len = strlen a ptr in
+  let s = Bytes.to_string (Aspace.read_bytes a ~addr:ptr ~len) in
+  let s = String.trim s in
+  let rec digits i acc seen =
+    if i >= String.length s then if seen then acc else 0
+    else begin
+      match s.[i] with
+      | '0' .. '9' -> digits (i + 1) ((acc * 10) + (Char.code s.[i] - Char.code '0')) true
+      | _ -> if seen then acc else 0
+    end
+  in
+  match s with
+  | "" -> 0
+  | _ when s.[0] = '-' -> -digits 1 0 false
+  | _ when s.[0] = '+' -> digits 1 0 false
+  | _ -> digits 0 0 false

@@ -1,0 +1,40 @@
+(** The converted libc's string and memory functions, operating on
+    simulated process memory.  Semantics follow the C man pages; addresses
+    are simulated virtual addresses. *)
+
+val strlen : Smod_vmem.Aspace.t -> int -> int
+val strcpy : Smod_vmem.Aspace.t -> dst:int -> src:int -> int
+(** Returns [dst]. *)
+
+val strncpy : Smod_vmem.Aspace.t -> dst:int -> src:int -> n:int -> int
+val strcmp : Smod_vmem.Aspace.t -> int -> int -> int
+(** -1 / 0 / 1. *)
+
+val strncmp : Smod_vmem.Aspace.t -> int -> int -> n:int -> int
+val strchr : Smod_vmem.Aspace.t -> int -> char -> int
+(** Address of the first occurrence, or 0. *)
+
+val strcat : Smod_vmem.Aspace.t -> dst:int -> src:int -> int
+val strncat : Smod_vmem.Aspace.t -> dst:int -> src:int -> n:int -> int
+val strstr : Smod_vmem.Aspace.t -> haystack:int -> needle:int -> int
+(** Address of the first occurrence, or 0. *)
+
+val strrchr : Smod_vmem.Aspace.t -> int -> char -> int
+val memcpy : Smod_vmem.Aspace.t -> dst:int -> src:int -> n:int -> int
+val memmove : Smod_vmem.Aspace.t -> dst:int -> src:int -> n:int -> int
+(** Overlap-safe (the source is staged before any destination write). *)
+
+val memchr : Smod_vmem.Aspace.t -> int -> byte:int -> n:int -> int
+val memset : Smod_vmem.Aspace.t -> dst:int -> byte:int -> n:int -> int
+val memcmp : Smod_vmem.Aspace.t -> int -> int -> n:int -> int
+val atoi : Smod_vmem.Aspace.t -> int -> int
+
+val strtol : Smod_vmem.Aspace.t -> int -> base:int -> int * int
+(** [(value, end address)] — the end address points at the first
+    unconsumed character, as C's [endptr].  Base 0 auto-detects 0x/0
+    prefixes; bases 2–36 accepted, others behave as base 10. *)
+
+val itoa : Smod_vmem.Aspace.t -> value:int -> buf:int -> base:int -> int
+(** Writes the NUL-terminated representation (lowercase digits) and
+    returns [buf].  The value is interpreted as signed 32-bit for base
+    10 and unsigned otherwise, matching the classic libc extension. *)

@@ -1,0 +1,1 @@
+lib/modfmt/smof.ml: Buffer Bytes Char Format List Printf Smod_crypto String

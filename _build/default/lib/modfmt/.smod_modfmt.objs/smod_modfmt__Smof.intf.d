@@ -1,0 +1,1 @@
+lib/modfmt/smof.mli:

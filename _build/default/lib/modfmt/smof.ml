@@ -1,0 +1,344 @@
+type impl_kind = Bytecode | Native of string
+
+type symbol = {
+  sym_name : string;
+  sym_offset : int;
+  sym_size : int;
+  sym_kind : impl_kind;
+  sym_global : bool;
+}
+
+type reloc_kind = Abs32
+
+type reloc = { rel_offset : int; rel_size : int; rel_kind : reloc_kind; rel_target : string }
+
+type t = {
+  mod_name : string;
+  mod_version : int;
+  text : bytes;
+  data : bytes;
+  symbols : symbol list;
+  relocs : reloc list;
+  text_digest : bytes;
+  encrypted : bool;
+}
+
+exception Malformed of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Malformed m)) fmt
+
+(* The digest covers the plaintext text with every relocation site zeroed,
+   so it stays valid after the linker patches those sites. *)
+let masked_digest text relocs =
+  let masked = Bytes.copy text in
+  List.iter
+    (fun r ->
+      for i = r.rel_offset to r.rel_offset + r.rel_size - 1 do
+        if i < Bytes.length masked then Bytes.set masked i '\000'
+      done)
+    relocs;
+  Smod_crypto.Sha256.digest masked
+
+(* Deterministic pseudo-text for native symbols: an expanding SHA-256
+   stream seeded by the name.  Looks like opaque machine code, verifiable
+   byte-for-byte, and gives the encryption/unmap machinery real bytes. *)
+let native_stub_image ~name ~size =
+  let out = Bytes.create size in
+  let pos = ref 0 in
+  let counter = ref 0 in
+  while !pos < size do
+    let block =
+      Smod_crypto.Sha256.digest_string (Printf.sprintf "smof-native:%s:%d" name !counter)
+    in
+    let chunk = min 32 (size - !pos) in
+    Bytes.blit block 0 out !pos chunk;
+    pos := !pos + chunk;
+    incr counter
+  done;
+  out
+
+module Builder = struct
+  type builder = {
+    name : string;
+    version : int;
+    text_buf : Buffer.t;
+    data_buf : Buffer.t;
+    mutable syms : symbol list;
+    mutable rels : reloc list;
+  }
+
+  let create ~name ~version =
+    {
+      name;
+      version;
+      text_buf = Buffer.create 1024;
+      data_buf = Buffer.create 256;
+      syms = [];
+      rels = [];
+    }
+
+  let align16 b =
+    while Buffer.length b.text_buf land 15 <> 0 do
+      Buffer.add_char b.text_buf '\000'
+    done
+
+  let add_function b ~name ?(global = true) ?(relocs = []) ~code () =
+    align16 b;
+    let off = Buffer.length b.text_buf in
+    Buffer.add_bytes b.text_buf code;
+    b.syms <-
+      {
+        sym_name = name;
+        sym_offset = off;
+        sym_size = Bytes.length code;
+        sym_kind = Bytecode;
+        sym_global = global;
+      }
+      :: b.syms;
+    List.iter
+      (fun (rel_off, target) ->
+        if rel_off < 0 || rel_off + 4 > Bytes.length code then
+          fail "relocation at %d outside function %s" rel_off name;
+        b.rels <-
+          { rel_offset = off + rel_off; rel_size = 4; rel_kind = Abs32; rel_target = target }
+          :: b.rels)
+      relocs;
+    off
+
+  let add_native_function b ~name ?(global = true) ~native ~size_hint () =
+    align16 b;
+    let off = Buffer.length b.text_buf in
+    let size = max 16 size_hint in
+    Buffer.add_bytes b.text_buf (native_stub_image ~name:native ~size);
+    b.syms <-
+      {
+        sym_name = name;
+        sym_offset = off;
+        sym_size = size;
+        sym_kind = Native native;
+        sym_global = global;
+      }
+      :: b.syms;
+    off
+
+  let add_data b data =
+    let off = Buffer.length b.data_buf in
+    Buffer.add_bytes b.data_buf data;
+    off
+
+  let finish b =
+    let text = Buffer.to_bytes b.text_buf in
+    let relocs = List.rev b.rels in
+    {
+      mod_name = b.name;
+      mod_version = b.version;
+      text;
+      data = Buffer.to_bytes b.data_buf;
+      symbols = List.rev b.syms;
+      relocs;
+      text_digest = masked_digest text relocs;
+      encrypted = false;
+    }
+end
+
+let find_symbol t name = List.find_opt (fun s -> s.sym_name = name) t.symbols
+
+let function_symbols t =
+  List.sort (fun a b -> compare a.sym_offset b.sym_offset) t.symbols
+
+let objdump_t t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "\n%s.smof:     file format smof-v1\n\n" t.mod_name);
+  Buffer.add_string buf "SYMBOL TABLE:\n";
+  List.iter
+    (fun s ->
+      let scope = if s.sym_global then "g" else "l" in
+      Buffer.add_string buf
+        (Printf.sprintf "%08x %s     F .text\t%08x %s\n" s.sym_offset scope s.sym_size
+           s.sym_name))
+    (function_symbols t);
+  Buffer.contents buf
+
+(* --------------------------------------------------------------- *)
+(* Encryption with relocation holes                                 *)
+(* --------------------------------------------------------------- *)
+
+let preserve_reloc_sites ~from_text ~into_text relocs =
+  List.iter
+    (fun r ->
+      let n = min r.rel_size (Bytes.length from_text - r.rel_offset) in
+      if n > 0 then Bytes.blit from_text r.rel_offset into_text r.rel_offset n)
+    relocs
+
+let encrypt_text t ~key ~nonce =
+  if t.encrypted then fail "module %s already encrypted" t.mod_name;
+  let k = Smod_crypto.Aes.expand key in
+  let ct = Smod_crypto.Aes.Mode.ctr_transform k ~nonce t.text in
+  preserve_reloc_sites ~from_text:t.text ~into_text:ct t.relocs;
+  { t with text = ct; encrypted = true }
+
+let decrypt_text t ~key ~nonce =
+  if not t.encrypted then fail "module %s is not encrypted" t.mod_name;
+  let k = Smod_crypto.Aes.expand key in
+  let pt = Smod_crypto.Aes.Mode.ctr_transform k ~nonce t.text in
+  preserve_reloc_sites ~from_text:t.text ~into_text:pt t.relocs;
+  let recovered = { t with text = pt; encrypted = false } in
+  if not (Bytes.equal (masked_digest pt t.relocs) t.text_digest) then
+    fail "module %s: text digest mismatch after decryption (wrong key?)" t.mod_name;
+  recovered
+
+let apply_relocations t ~resolve =
+  let text = Bytes.copy t.text in
+  List.iter
+    (fun r ->
+      match r.rel_kind with
+      | Abs32 ->
+          let v = resolve r.rel_target land 0xFFFFFFFF in
+          Bytes.set text r.rel_offset (Char.chr (v land 0xff));
+          Bytes.set text (r.rel_offset + 1) (Char.chr ((v lsr 8) land 0xff));
+          Bytes.set text (r.rel_offset + 2) (Char.chr ((v lsr 16) land 0xff));
+          Bytes.set text (r.rel_offset + 3) (Char.chr ((v lsr 24) land 0xff)))
+    t.relocs;
+  { t with text }
+
+(* --------------------------------------------------------------- *)
+(* Serialisation                                                    *)
+(* --------------------------------------------------------------- *)
+
+let magic = "SMOF"
+let format_version = 1
+
+let to_bytes t =
+  let buf = Buffer.create (Bytes.length t.text + 512) in
+  let u8 v = Buffer.add_char buf (Char.chr (v land 0xff)) in
+  let u16 v =
+    u8 v;
+    u8 (v lsr 8)
+  in
+  let u32 v =
+    u16 v;
+    u16 (v lsr 16)
+  in
+  let str16 s =
+    u16 (String.length s);
+    Buffer.add_string buf s
+  in
+  let bytes32 b =
+    u32 (Bytes.length b);
+    Buffer.add_bytes buf b
+  in
+  Buffer.add_string buf magic;
+  u32 format_version;
+  u32 (if t.encrypted then 1 else 0);
+  str16 t.mod_name;
+  u32 t.mod_version;
+  bytes32 t.text;
+  bytes32 t.data;
+  Buffer.add_bytes buf t.text_digest;
+  u32 (List.length t.symbols);
+  List.iter
+    (fun s ->
+      str16 s.sym_name;
+      u32 s.sym_offset;
+      u32 s.sym_size;
+      (match s.sym_kind with
+      | Bytecode -> u8 0
+      | Native n ->
+          u8 1;
+          str16 n);
+      u8 (if s.sym_global then 1 else 0))
+    t.symbols;
+  u32 (List.length t.relocs);
+  List.iter
+    (fun r ->
+      u32 r.rel_offset;
+      u32 r.rel_size;
+      u8 (match r.rel_kind with Abs32 -> 0);
+      str16 r.rel_target)
+    t.relocs;
+  Buffer.to_bytes buf
+
+let of_bytes data =
+  let pos = ref 0 in
+  let len = Bytes.length data in
+  let need n = if !pos + n > len then fail "truncated image (need %d at %d)" n !pos in
+  let u8 () =
+    need 1;
+    let v = Char.code (Bytes.get data !pos) in
+    incr pos;
+    v
+  in
+  let u16 () =
+    let a = u8 () in
+    let b = u8 () in
+    a lor (b lsl 8)
+  in
+  let u32 () =
+    let a = u16 () in
+    let b = u16 () in
+    a lor (b lsl 16)
+  in
+  let str16 () =
+    let n = u16 () in
+    need n;
+    let s = Bytes.sub_string data !pos n in
+    pos := !pos + n;
+    s
+  in
+  let bytes32 () =
+    let n = u32 () in
+    need n;
+    let b = Bytes.sub data !pos n in
+    pos := !pos + n;
+    b
+  in
+  need 4;
+  let m = Bytes.sub_string data 0 4 in
+  pos := 4;
+  if m <> magic then fail "bad magic %S" m;
+  let v = u32 () in
+  if v <> format_version then fail "unsupported format version %d" v;
+  let flags = u32 () in
+  let mod_name = str16 () in
+  let mod_version = u32 () in
+  let text = bytes32 () in
+  let data_section = bytes32 () in
+  need 32;
+  let text_digest = Bytes.sub data !pos 32 in
+  pos := !pos + 32;
+  let nsyms = u32 () in
+  (* Sanity-cap table sizes before allocating: a corrupt or hostile count
+     must fail cleanly, not exhaust memory. *)
+  if nsyms > 65536 then fail "implausible symbol count %d" nsyms;
+  let symbols =
+    List.init nsyms (fun _ ->
+        let sym_name = str16 () in
+        let sym_offset = u32 () in
+        let sym_size = u32 () in
+        let sym_kind = match u8 () with 0 -> Bytecode | 1 -> Native (str16 ()) | k -> fail "bad symbol kind %d" k in
+        let sym_global = u8 () = 1 in
+        if sym_offset + sym_size > Bytes.length text then
+          fail "symbol %s outside text" sym_name;
+        { sym_name; sym_offset; sym_size; sym_kind; sym_global })
+  in
+  let nrels = u32 () in
+  if nrels > 1_000_000 then fail "implausible relocation count %d" nrels;
+  let relocs =
+    List.init nrels (fun _ ->
+        let rel_offset = u32 () in
+        let rel_size = u32 () in
+        let rel_kind = match u8 () with 0 -> Abs32 | k -> fail "bad reloc kind %d" k in
+        let rel_target = str16 () in
+        if rel_offset + rel_size > Bytes.length text then fail "relocation outside text";
+        { rel_offset; rel_size; rel_kind; rel_target })
+  in
+  {
+    mod_name;
+    mod_version;
+    text;
+    data = data_section;
+    symbols;
+    relocs;
+    text_digest;
+    encrypted = flags land 1 = 1;
+  }

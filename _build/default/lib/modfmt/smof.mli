@@ -1,0 +1,117 @@
+(** SMOF — the SecModule object format.
+
+    A library destined for SecModule protection is packed into one of
+    these images: a text section holding every function's code, a symbol
+    table (the paper builds its stub list from [objdump -t | grep ' F '] —
+    {!objdump_t} reproduces that listing), and a relocation table.  Text
+    encryption deliberately skips relocation sites so the encrypted image
+    remains linkable by ordinary tools (paper §4.1, approach 1).
+
+    SMOF is pure data: execution semantics are bound when the module is
+    registered with the SecModule kernel side. *)
+
+type impl_kind =
+  | Bytecode  (** text bytes are module-VM code, executed by {!Smod_svm.Interp} *)
+  | Native of string
+      (** text bytes are a deterministic stand-in image; execution is
+          delegated to a host-registered native body of this name (used by
+          the converted libc, whose [malloc] is implemented against the
+          simulated heap rather than in bytecode) *)
+
+type symbol = {
+  sym_name : string;
+  sym_offset : int;  (** into the text section *)
+  sym_size : int;
+  sym_kind : impl_kind;
+  sym_global : bool;
+}
+
+type reloc_kind = Abs32  (** absolute 32-bit slot patched at link time *)
+
+type reloc = {
+  rel_offset : int;  (** into the text section *)
+  rel_size : int;
+  rel_kind : reloc_kind;
+  rel_target : string;  (** symbol the linker resolves *)
+}
+
+type t = {
+  mod_name : string;
+  mod_version : int;
+  text : bytes;
+  data : bytes;
+  symbols : symbol list;
+  relocs : reloc list;
+  text_digest : bytes;  (** SHA-256 of the {e plaintext} text section *)
+  encrypted : bool;
+}
+
+exception Malformed of string
+
+(** {1 Building} *)
+
+module Builder : sig
+  type builder
+
+  val create : name:string -> version:int -> builder
+
+  val add_function :
+    builder ->
+    name:string ->
+    ?global:bool ->
+    ?relocs:(int * string) list ->
+    code:bytes ->
+    unit ->
+    int
+  (** Appends [code] to the text section (16-byte aligned) and registers
+      the symbol.  [relocs] are (offset-within-code, target) pairs.
+      Returns the symbol's text offset. *)
+
+  val add_native_function :
+    builder -> name:string -> ?global:bool -> native:string -> size_hint:int -> unit -> int
+  (** Registers a native-backed symbol.  The text bytes are a deterministic
+      pseudo-image derived from the name (so encryption and unmap
+      protection operate on real bytes). *)
+
+  val add_data : builder -> bytes -> int
+  (** Appends to the data section, returning its offset. *)
+
+  val finish : builder -> t
+end
+
+(** {1 Introspection} *)
+
+val find_symbol : t -> string -> symbol option
+val function_symbols : t -> symbol list
+(** Symbols of function kind, in text order. *)
+
+val objdump_t : t -> string
+(** An [objdump -t]-style listing; function lines contain [" F "] so the
+    paper's grep pipeline works on it verbatim. *)
+
+val native_stub_image : name:string -> size:int -> bytes
+(** The deterministic pseudo-text used for native symbols (exposed so the
+    dispatcher can verify a mapped image byte-for-byte). *)
+
+(** {1 Encryption (paper §4.1 approach 1)} *)
+
+val encrypt_text : t -> key:string -> nonce:bytes -> t
+(** AES-CTR the text section, then restore plaintext at every relocation
+    site so the image stays linkable.  The [key] is 16/24/32 raw bytes and
+    never travels with the image.  Raises {!Malformed} if already
+    encrypted. *)
+
+val decrypt_text : t -> key:string -> nonce:bytes -> t
+(** Inverse of {!encrypt_text}; verifies the recovered text against
+    [text_digest] and raises {!Malformed} on mismatch (wrong key). *)
+
+val apply_relocations : t -> resolve:(string -> int) -> t
+(** Patch every Abs32 site with the resolved address.  Works identically
+    on encrypted and plaintext images — that is the point of skipping the
+    sites. *)
+
+(** {1 Serialisation} *)
+
+val to_bytes : t -> bytes
+val of_bytes : bytes -> t
+(** Raises {!Malformed} on bad magic, truncation or corrupt tables. *)

@@ -1,0 +1,1 @@
+lib/rpc/client.ml: Portmap Printf Rpc_msg Smod_kern Transport Xdr

@@ -1,0 +1,1 @@
+lib/rpc/client.mli: Portmap Rpc_msg Smod_kern Transport Xdr

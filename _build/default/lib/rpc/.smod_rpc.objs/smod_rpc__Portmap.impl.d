@@ -1,0 +1,1 @@
+lib/rpc/portmap.ml: Hashtbl Smod_sim

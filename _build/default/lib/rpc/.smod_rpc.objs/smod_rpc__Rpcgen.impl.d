@@ -1,0 +1,1 @@
+lib/rpc/rpcgen.ml: Buffer Client Format List Printf Server String Xdr

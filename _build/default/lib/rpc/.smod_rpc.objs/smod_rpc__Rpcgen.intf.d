@@ -1,0 +1,1 @@
+lib/rpc/rpcgen.mli: Client Server

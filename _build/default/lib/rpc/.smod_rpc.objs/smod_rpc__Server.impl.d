@@ -1,0 +1,1 @@
+lib/rpc/server.ml: Hashtbl Portmap Rpc_msg Smod_kern Smod_sim Transport Xdr

@@ -1,0 +1,1 @@
+lib/rpc/server.mli: Portmap Smod_kern Transport Xdr

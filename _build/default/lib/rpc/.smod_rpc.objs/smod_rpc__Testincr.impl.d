@@ -1,0 +1,1 @@
+lib/rpc/testincr.ml: Client Server Xdr

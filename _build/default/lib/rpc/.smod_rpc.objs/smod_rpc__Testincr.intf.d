@@ -1,0 +1,1 @@
+lib/rpc/testincr.mli: Client Server

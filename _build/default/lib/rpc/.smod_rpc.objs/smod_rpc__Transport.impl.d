@@ -1,0 +1,1 @@
+lib/rpc/transport.ml: Bytes Effect Hashtbl List Printf Smod_kern Smod_sim

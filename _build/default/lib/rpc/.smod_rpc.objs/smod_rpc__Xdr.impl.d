@@ -1,0 +1,1 @@
+lib/rpc/xdr.ml: Buffer Bytes Char Int64 List Printf Smod_sim

@@ -1,0 +1,1 @@
+lib/rpc/xdr.mli: Smod_sim

@@ -1,0 +1,45 @@
+module Machine = Smod_kern.Machine
+
+exception Rpc_failure of string
+
+type t = {
+  transport : Transport.t;
+  portmap : Portmap.t;
+  proc : Smod_kern.Proc.t;
+  client_port : int;
+  mutable next_xid : int;
+}
+
+let create transport portmap proc ~client_port =
+  Transport.bind transport proc ~port:client_port;
+  { transport; portmap; proc; client_port; next_xid = 1 }
+
+let call t ~prog ~vers ~proc ?(cred = Rpc_msg.Auth_none) ~encode_args ~decode_result () =
+  let clock = Machine.clock (Transport.machine t.transport) in
+  let server_port =
+    match Portmap.lookup t.portmap ~clock ~prog ~vers with
+    | Some port -> port
+    | None -> raise (Rpc_failure (Printf.sprintf "program %d.%d not registered" prog vers))
+  in
+  let xid = t.next_xid in
+  t.next_xid <- t.next_xid + 1;
+  let args_enc = Xdr.Encoder.create ~clock () in
+  encode_args args_enc;
+  let call_msg =
+    { Rpc_msg.xid; prog; vers; proc; cred; args = Xdr.Encoder.to_bytes args_enc }
+  in
+  Transport.sendto t.transport t.proc ~dst_port:server_port ~src_port:t.client_port
+    (Rpc_msg.encode_call ~clock call_msg);
+  let _, payload = Transport.recvfrom t.transport t.proc ~port:t.client_port in
+  let reply =
+    try Rpc_msg.decode_reply ~clock payload
+    with Rpc_msg.Bad_message m -> raise (Rpc_failure ("bad reply: " ^ m))
+  in
+  if reply.rxid <> xid then
+    raise (Rpc_failure (Printf.sprintf "xid mismatch: sent %d got %d" xid reply.rxid));
+  match reply.stat with
+  | Rpc_msg.Success results -> decode_result (Xdr.Decoder.of_bytes ~clock results)
+  | Rpc_msg.Prog_unavail -> raise (Rpc_failure "PROG_UNAVAIL")
+  | Rpc_msg.Prog_mismatch _ -> raise (Rpc_failure "PROG_MISMATCH")
+  | Rpc_msg.Proc_unavail -> raise (Rpc_failure "PROC_UNAVAIL")
+  | Rpc_msg.Garbage_args -> raise (Rpc_failure "GARBAGE_ARGS")

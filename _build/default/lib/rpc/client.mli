@@ -1,0 +1,23 @@
+(** RPC client stubs. *)
+
+exception Rpc_failure of string
+(** Raised on PROG_UNAVAIL / PROC_UNAVAIL / GARBAGE_ARGS / xid mismatch. *)
+
+type t
+
+val create :
+  Transport.t -> Portmap.t -> Smod_kern.Proc.t -> client_port:int -> t
+(** Binds [client_port] for replies. *)
+
+val call :
+  t ->
+  prog:int ->
+  vers:int ->
+  proc:int ->
+  ?cred:Rpc_msg.auth ->
+  encode_args:(Xdr.Encoder.t -> unit) ->
+  decode_result:(Xdr.Decoder.t -> 'a) ->
+  unit ->
+  'a
+(** Look up the server port, send the CALL, block for the matching REPLY
+    and decode the results. *)

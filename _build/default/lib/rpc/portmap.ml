@@ -1,0 +1,11 @@
+type t = { table : (int * int, int) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 16 }
+let set t ~prog ~vers ~port = Hashtbl.replace t.table (prog, vers) port
+let unset t ~prog ~vers = Hashtbl.remove t.table (prog, vers)
+
+let lookup t ~clock ~prog ~vers =
+  Smod_sim.Clock.charge clock Smod_sim.Cost_model.Registry_lookup;
+  Hashtbl.find_opt t.table (prog, vers)
+
+let entries t = Hashtbl.fold (fun (prog, vers) port acc -> (prog, vers, port) :: acc) t.table []

@@ -1,0 +1,12 @@
+(** Port mapper (RFC 1833 flavour): (program, version) → port. *)
+
+type t
+
+val create : unit -> t
+val set : t -> prog:int -> vers:int -> port:int -> unit
+val unset : t -> prog:int -> vers:int -> unit
+val lookup : t -> clock:Smod_sim.Clock.t -> prog:int -> vers:int -> int option
+(** Charges a registry-lookup cost. *)
+
+val entries : t -> (int * int * int) list
+(** (prog, vers, port), unordered. *)

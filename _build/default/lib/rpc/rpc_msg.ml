@@ -1,0 +1,121 @@
+type auth = Auth_none | Auth_sys of { uid : int; gid : int; machine : string }
+
+type call = { xid : int; prog : int; vers : int; proc : int; cred : auth; args : bytes }
+
+type accept_stat =
+  | Success of bytes
+  | Prog_unavail
+  | Prog_mismatch of { low : int; high : int }
+  | Proc_unavail
+  | Garbage_args
+
+type reply = { rxid : int; stat : accept_stat }
+
+exception Bad_message of string
+
+let msg_call = 0
+let msg_reply = 1
+let rpc_version = 2
+let reply_accepted = 0
+
+let encode_auth enc = function
+  | Auth_none ->
+      Xdr.Encoder.uint enc 0;
+      Xdr.Encoder.opaque enc Bytes.empty
+  | Auth_sys { uid; gid; machine } ->
+      Xdr.Encoder.uint enc 1;
+      let body = Xdr.Encoder.create () in
+      Xdr.Encoder.uint body 0 (* stamp *);
+      Xdr.Encoder.string body machine;
+      Xdr.Encoder.uint body uid;
+      Xdr.Encoder.uint body gid;
+      Xdr.Encoder.array body (Xdr.Encoder.uint body) [] (* gids *);
+      Xdr.Encoder.opaque enc (Xdr.Encoder.to_bytes body)
+
+let decode_auth dec =
+  let flavor = Xdr.Decoder.uint dec in
+  let body = Xdr.Decoder.opaque dec in
+  match flavor with
+  | 0 -> Auth_none
+  | 1 ->
+      let b = Xdr.Decoder.of_bytes body in
+      let _stamp = Xdr.Decoder.uint b in
+      let machine = Xdr.Decoder.string b in
+      let uid = Xdr.Decoder.uint b in
+      let gid = Xdr.Decoder.uint b in
+      let _gids = Xdr.Decoder.array b Xdr.Decoder.uint in
+      Auth_sys { uid; gid; machine }
+  | f -> raise (Bad_message (Printf.sprintf "unsupported auth flavor %d" f))
+
+let encode_call ?clock c =
+  let enc = Xdr.Encoder.create ?clock () in
+  Xdr.Encoder.uint enc c.xid;
+  Xdr.Encoder.uint enc msg_call;
+  Xdr.Encoder.uint enc rpc_version;
+  Xdr.Encoder.uint enc c.prog;
+  Xdr.Encoder.uint enc c.vers;
+  Xdr.Encoder.uint enc c.proc;
+  encode_auth enc c.cred;
+  encode_auth enc Auth_none (* verifier *);
+  Xdr.Encoder.opaque enc c.args;
+  Xdr.Encoder.to_bytes enc
+
+let decode_call ?clock data =
+  try
+    let dec = Xdr.Decoder.of_bytes ?clock data in
+    let xid = Xdr.Decoder.uint dec in
+    let mtype = Xdr.Decoder.uint dec in
+    if mtype <> msg_call then raise (Bad_message "not a CALL");
+    let rv = Xdr.Decoder.uint dec in
+    if rv <> rpc_version then raise (Bad_message "bad RPC version");
+    let prog = Xdr.Decoder.uint dec in
+    let vers = Xdr.Decoder.uint dec in
+    let proc = Xdr.Decoder.uint dec in
+    let cred = decode_auth dec in
+    let _verf = decode_auth dec in
+    let args = Xdr.Decoder.opaque dec in
+    { xid; prog; vers; proc; cred; args }
+  with Xdr.Decode_error m -> raise (Bad_message m)
+
+let encode_reply ?clock r =
+  let enc = Xdr.Encoder.create ?clock () in
+  Xdr.Encoder.uint enc r.rxid;
+  Xdr.Encoder.uint enc msg_reply;
+  Xdr.Encoder.uint enc reply_accepted;
+  encode_auth enc Auth_none (* verifier *);
+  (match r.stat with
+  | Success results ->
+      Xdr.Encoder.uint enc 0;
+      Xdr.Encoder.opaque enc results
+  | Prog_unavail -> Xdr.Encoder.uint enc 1
+  | Prog_mismatch { low; high } ->
+      Xdr.Encoder.uint enc 2;
+      Xdr.Encoder.uint enc low;
+      Xdr.Encoder.uint enc high
+  | Proc_unavail -> Xdr.Encoder.uint enc 3
+  | Garbage_args -> Xdr.Encoder.uint enc 4);
+  Xdr.Encoder.to_bytes enc
+
+let decode_reply ?clock data =
+  try
+    let dec = Xdr.Decoder.of_bytes ?clock data in
+    let rxid = Xdr.Decoder.uint dec in
+    let mtype = Xdr.Decoder.uint dec in
+    if mtype <> msg_reply then raise (Bad_message "not a REPLY");
+    let rstat = Xdr.Decoder.uint dec in
+    if rstat <> reply_accepted then raise (Bad_message "reply denied");
+    let _verf = decode_auth dec in
+    let stat =
+      match Xdr.Decoder.uint dec with
+      | 0 -> Success (Xdr.Decoder.opaque dec)
+      | 1 -> Prog_unavail
+      | 2 ->
+          let low = Xdr.Decoder.uint dec in
+          let high = Xdr.Decoder.uint dec in
+          Prog_mismatch { low; high }
+      | 3 -> Proc_unavail
+      | 4 -> Garbage_args
+      | s -> raise (Bad_message (Printf.sprintf "bad accept_stat %d" s))
+    in
+    { rxid; stat }
+  with Xdr.Decode_error m -> raise (Bad_message m)

@@ -1,0 +1,29 @@
+(** ONC RPC message format (RFC 1831 subset): CALL and REPLY headers with
+    AUTH_NONE/AUTH_SYS credentials, encoded over {!Xdr}. *)
+
+type auth = Auth_none | Auth_sys of { uid : int; gid : int; machine : string }
+
+type call = {
+  xid : int;
+  prog : int;
+  vers : int;
+  proc : int;
+  cred : auth;
+  args : bytes;  (** procedure-specific, already XDR-encoded *)
+}
+
+type accept_stat =
+  | Success of bytes  (** procedure results, XDR-encoded *)
+  | Prog_unavail
+  | Prog_mismatch of { low : int; high : int }
+  | Proc_unavail
+  | Garbage_args
+
+type reply = { rxid : int; stat : accept_stat }
+
+exception Bad_message of string
+
+val encode_call : ?clock:Smod_sim.Clock.t -> call -> bytes
+val decode_call : ?clock:Smod_sim.Clock.t -> bytes -> call
+val encode_reply : ?clock:Smod_sim.Clock.t -> reply -> bytes
+val decode_reply : ?clock:Smod_sim.Clock.t -> bytes -> reply

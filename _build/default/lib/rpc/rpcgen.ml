@@ -1,0 +1,234 @@
+type ty = T_void | T_int | T_uint | T_bool | T_string | T_opaque
+
+type proc_spec = { proc_name : string; proc_num : int; args : ty list; ret : ty }
+
+type spec = { spec_name : string; prog : int; vers : int; procs : proc_spec list }
+
+exception Syntax_error of { line : int; message : string }
+
+let fail line fmt = Format.kasprintf (fun message -> raise (Syntax_error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* IDL parsing                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type token = { line : int; text : string }
+
+let tokenize source =
+  let toks = ref [] in
+  List.iteri
+    (fun lineno raw ->
+      let line = lineno + 1 in
+      (* strip comments *)
+      let text =
+        match String.index_opt raw '#' with Some i -> String.sub raw 0 i | None -> raw
+      in
+      let buf = Buffer.create 8 in
+      let flush () =
+        if Buffer.length buf > 0 then begin
+          toks := { line; text = Buffer.contents buf } :: !toks;
+          Buffer.clear buf
+        end
+      in
+      String.iter
+        (fun c ->
+          match c with
+          | ' ' | '\t' | '\r' -> flush ()
+          | '{' | '}' | '(' | ')' | ',' | ';' | '=' ->
+              flush ();
+              toks := { line; text = String.make 1 c } :: !toks
+          | c -> Buffer.add_char buf c)
+        text;
+      flush ())
+    (String.split_on_char '\n' source);
+  List.rev !toks
+
+let ty_of_string line = function
+  | "void" -> T_void
+  | "int" -> T_int
+  | "uint" -> T_uint
+  | "bool" -> T_bool
+  | "string" -> T_string
+  | "opaque" -> T_opaque
+  | other -> fail line "unknown type %S" other
+
+let ty_to_string = function
+  | T_void -> "void"
+  | T_int -> "int"
+  | T_uint -> "uint"
+  | T_bool -> "bool"
+  | T_string -> "string"
+  | T_opaque -> "opaque"
+
+let int_of_token t =
+  match int_of_string_opt t.text with
+  | Some v -> v
+  | None -> fail t.line "expected a number, found %S" t.text
+
+let parse source =
+  let toks = ref (tokenize source) in
+  let peek () = match !toks with t :: _ -> Some t | [] -> None in
+  let next what =
+    match !toks with
+    | t :: rest ->
+        toks := rest;
+        t
+    | [] -> fail 0 "unexpected end of input (expected %s)" what
+  in
+  let expect text =
+    let t = next (Printf.sprintf "%S" text) in
+    if t.text <> text then fail t.line "expected %S, found %S" text t.text
+  in
+  expect "program";
+  let name_tok = next "program name" in
+  let prog = int_of_token (next "program number") in
+  expect "version";
+  let vers = int_of_token (next "version number") in
+  expect "{";
+  let procs = ref [] in
+  let rec parse_procs () =
+    match peek () with
+    | Some { text = "}"; _ } -> expect "}"
+    | Some _ ->
+        let ret_tok = next "return type" in
+        let ret = ty_of_string ret_tok.line ret_tok.text in
+        let pname = next "procedure name" in
+        expect "(";
+        let rec parse_args acc =
+          let t = next "argument type" in
+          match t.text with
+          | ")" -> List.rev acc
+          | "," -> parse_args acc
+          | word -> parse_args (ty_of_string t.line word :: acc)
+        in
+        let args = parse_args [] in
+        let args = match args with [ T_void ] -> [] | args -> args in
+        List.iter
+          (fun a -> if a = T_void then fail pname.line "void is not a valid argument type")
+          args;
+        expect "=";
+        let num = int_of_token (next "procedure number") in
+        expect ";";
+        if List.exists (fun p -> p.proc_name = pname.text) !procs then
+          fail pname.line "duplicate procedure name %S" pname.text;
+        if List.exists (fun p -> p.proc_num = num) !procs then
+          fail pname.line "duplicate procedure number %d" num;
+        procs := { proc_name = pname.text; proc_num = num; args; ret } :: !procs;
+        parse_procs ()
+    | None -> fail 0 "unexpected end of input (expected '}')"
+  in
+  parse_procs ();
+  (match peek () with
+  | Some t -> fail t.line "trailing input %S" t.text
+  | None -> ());
+  { spec_name = name_tok.text; prog; vers; procs = List.rev !procs }
+
+let find_proc spec name = List.find_opt (fun p -> p.proc_name = name) spec.procs
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type value =
+  | V_void
+  | V_int of int
+  | V_uint of int
+  | V_bool of bool
+  | V_string of string
+  | V_opaque of bytes
+
+exception Type_error of string
+
+let type_of_value = function
+  | V_void -> T_void
+  | V_int _ -> T_int
+  | V_uint _ -> T_uint
+  | V_bool _ -> T_bool
+  | V_string _ -> T_string
+  | V_opaque _ -> T_opaque
+
+let encode_value enc v =
+  match v with
+  | V_void -> ()
+  | V_int i -> Xdr.Encoder.int enc i
+  | V_uint i -> Xdr.Encoder.uint enc i
+  | V_bool b -> Xdr.Encoder.bool enc b
+  | V_string s -> Xdr.Encoder.string enc s
+  | V_opaque b -> Xdr.Encoder.opaque enc b
+
+let decode_value dec = function
+  | T_void -> V_void
+  | T_int -> V_int (Xdr.Decoder.int dec)
+  | T_uint -> V_uint (Xdr.Decoder.uint dec)
+  | T_bool -> V_bool (Xdr.Decoder.bool dec)
+  | T_string -> V_string (Xdr.Decoder.string dec)
+  | T_opaque -> V_opaque (Xdr.Decoder.opaque dec)
+
+let check_types ~what declared values =
+  if List.length declared <> List.length values then
+    raise
+      (Type_error
+         (Printf.sprintf "%s: expected %d values, got %d" what (List.length declared)
+            (List.length values)));
+  List.iter2
+    (fun ty v ->
+      if type_of_value v <> ty then
+        raise
+          (Type_error
+             (Printf.sprintf "%s: expected %s, got %s" what (ty_to_string ty)
+                (ty_to_string (type_of_value v)))))
+    declared values
+
+(* ------------------------------------------------------------------ *)
+(* Derived server and client                                           *)
+(* ------------------------------------------------------------------ *)
+
+let service spec ~impl =
+  let svc = Server.service ~prog:spec.prog ~vers:spec.vers in
+  List.iter
+    (fun p ->
+      Server.register_proc svc ~proc:p.proc_num (fun dec enc ->
+          let args = List.map (decode_value dec) p.args in
+          try
+            let result = impl p.proc_name args in
+            check_types ~what:(p.proc_name ^ " result") [ p.ret ] [ result ];
+            encode_value enc result
+          with Type_error _ ->
+            (* Surface as GARBAGE_ARGS via the decode-error path. *)
+            raise (Xdr.Decode_error "implementation type error")))
+    spec.procs;
+  svc
+
+let call spec client ~proc args =
+  match find_proc spec proc with
+  | None -> raise Not_found
+  | Some p ->
+      check_types ~what:(proc ^ " arguments") p.args args;
+      Client.call client ~prog:spec.prog ~vers:spec.vers ~proc:p.proc_num
+        ~encode_args:(fun enc -> List.iter (encode_value enc) args)
+        ~decode_result:(fun dec -> decode_value dec p.ret)
+        ()
+
+let header_source spec =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "/* generated by smod-rpcgen: do not edit */\n#define %s_PROG 0x%x\n#define %s_VERS %d\n\n"
+       spec.spec_name spec.prog spec.spec_name spec.vers);
+  List.iter
+    (fun p ->
+      let c_ty = function
+        | T_void -> "void"
+        | T_int -> "int32_t"
+        | T_uint -> "uint32_t"
+        | T_bool -> "bool_t"
+        | T_string -> "char *"
+        | T_opaque -> "struct opaque"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "#define %s_%s %d\nextern %s %s_%d(%s);\n\n"
+           spec.spec_name
+           (String.uppercase_ascii p.proc_name)
+           p.proc_num (c_ty p.ret) p.proc_name spec.vers
+           (if p.args = [] then "void" else String.concat ", " (List.map c_ty p.args))))
+    spec.procs;
+  Buffer.contents buf

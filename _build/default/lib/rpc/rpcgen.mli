@@ -1,0 +1,60 @@
+(** An rpcgen analogue.
+
+    The paper notes (§3) that the SecModule argument-marshaling problem
+    "develops the same flavor as that of the XDR Protocol used in RPC, and
+    we were considering the generation of tools akin to rpcgen".  This is
+    that tool for the RPC baseline: parse a small IDL, then derive both
+    the server dispatch (argument decoding, result encoding) and typed
+    client calls from the same specification.
+
+    IDL example:
+    {v
+      program CALC 0x20061234 version 2 {
+        void ping(void) = 0;
+        int add(int, int) = 1;
+        string greet(string) = 2;
+        bool check(opaque, uint) = 3;
+      }
+    v} *)
+
+type ty = T_void | T_int | T_uint | T_bool | T_string | T_opaque
+
+type proc_spec = { proc_name : string; proc_num : int; args : ty list; ret : ty }
+
+type spec = { spec_name : string; prog : int; vers : int; procs : proc_spec list }
+
+exception Syntax_error of { line : int; message : string }
+
+val parse : string -> spec
+(** Raises {!Syntax_error}; also rejects duplicate procedure names or
+    numbers. *)
+
+val find_proc : spec -> string -> proc_spec option
+
+(** Dynamically typed argument/result values. *)
+type value =
+  | V_void
+  | V_int of int
+  | V_uint of int
+  | V_bool of bool
+  | V_string of string
+  | V_opaque of bytes
+
+exception Type_error of string
+
+val type_of_value : value -> ty
+
+val service : spec -> impl:(string -> value list -> value) -> Server.service
+(** Build a server: for each procedure, decode the arguments per the
+    spec, apply [impl proc_name args], type-check the result against the
+    declared return type and encode it.  A {!Type_error} from the
+    implementation (or a result of the wrong type) yields GARBAGE_ARGS to
+    the caller rather than killing the server. *)
+
+val call : spec -> Client.t -> proc:string -> value list -> value
+(** Typed client call.  Raises {!Type_error} locally if the arguments do
+    not match the spec, [Not_found] for an unknown procedure, and
+    {!Client.Rpc_failure} for server-side failures. *)
+
+val header_source : spec -> string
+(** Generated C-style header, as rpcgen would emit (illustrative). *)

@@ -1,0 +1,45 @@
+module Machine = Smod_kern.Machine
+module Clock = Smod_sim.Clock
+module Cost = Smod_sim.Cost_model
+
+type handler = Xdr.Decoder.t -> Xdr.Encoder.t -> unit
+
+type service = { prog : int; vers : int; procs : (int, handler) Hashtbl.t }
+
+let service ~prog ~vers = { prog; vers; procs = Hashtbl.create 8 }
+let register_proc svc ~proc handler = Hashtbl.replace svc.procs proc handler
+
+let dispatch ~clock svc (call : Rpc_msg.call) =
+  Clock.charge clock Cost.Rpc_dispatch;
+  if call.prog <> svc.prog then Rpc_msg.Prog_unavail
+  else if call.vers <> svc.vers then Rpc_msg.Prog_mismatch { low = svc.vers; high = svc.vers }
+  else begin
+    match Hashtbl.find_opt svc.procs call.proc with
+    | None -> Rpc_msg.Proc_unavail
+    | Some handler -> (
+        let dec = Xdr.Decoder.of_bytes ~clock call.args in
+        let enc = Xdr.Encoder.create ~clock () in
+        match handler dec enc with
+        | () -> Rpc_msg.Success (Xdr.Encoder.to_bytes enc)
+        | exception Xdr.Decode_error _ -> Rpc_msg.Garbage_args)
+  end
+
+let handle_one transport p ~port svc =
+  let clock = Machine.clock (Transport.machine transport) in
+  let src_port, payload = Transport.recvfrom transport p ~port in
+  let reply =
+    match Rpc_msg.decode_call ~clock payload with
+    | call -> { Rpc_msg.rxid = call.xid; stat = dispatch ~clock svc call }
+    | exception Rpc_msg.Bad_message _ -> { Rpc_msg.rxid = 0; stat = Rpc_msg.Garbage_args }
+  in
+  Transport.sendto transport p ~dst_port:src_port ~src_port:port
+    (Rpc_msg.encode_reply ~clock reply)
+
+let serve_forever transport portmap p ~port svc =
+  Transport.bind transport p ~port;
+  Portmap.set portmap ~prog:svc.prog ~vers:svc.vers ~port;
+  let rec loop () =
+    handle_one transport p ~port svc;
+    loop ()
+  in
+  loop ()

@@ -1,0 +1,18 @@
+(** RPC server: per-program procedure dispatch over the loopback
+    transport. *)
+
+type handler = Xdr.Decoder.t -> Xdr.Encoder.t -> unit
+(** Decode arguments from the first, encode results into the second.
+    Raising {!Xdr.Decode_error} yields a GARBAGE_ARGS reply. *)
+
+type service
+
+val service : prog:int -> vers:int -> service
+val register_proc : service -> proc:int -> handler -> unit
+
+val serve_forever : Transport.t -> Portmap.t -> Smod_kern.Proc.t -> port:int -> service -> 'a
+(** Bind the port, publish in the portmapper, then loop: receive a call,
+    dispatch, reply.  Run inside a daemon process. *)
+
+val handle_one : Transport.t -> Smod_kern.Proc.t -> port:int -> service -> unit
+(** Process exactly one request (blocks for it). *)

@@ -1,0 +1,23 @@
+let program = 0x20060455
+let version = 1
+let proc_null = 0
+let proc_incr = 1
+
+let service () =
+  let svc = Server.service ~prog:program ~vers:version in
+  Server.register_proc svc ~proc:proc_null (fun _dec _enc -> ());
+  Server.register_proc svc ~proc:proc_incr (fun dec enc ->
+      let v = Xdr.Decoder.int dec in
+      Xdr.Encoder.int enc (v + 1));
+  svc
+
+let incr client v =
+  Client.call client ~prog:program ~vers:version ~proc:proc_incr
+    ~encode_args:(fun enc -> Xdr.Encoder.int enc v)
+    ~decode_result:Xdr.Decoder.int ()
+
+let null client =
+  Client.call client ~prog:program ~vers:version ~proc:proc_null
+    ~encode_args:(fun _ -> ())
+    ~decode_result:(fun _ -> ())
+    ()

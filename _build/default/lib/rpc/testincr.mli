@@ -1,0 +1,12 @@
+(** The paper's RPC benchmark service: [test-incr] returns its integer
+    argument incremented by one (§4.5: "The function tested for both RPC
+    and SecModule returns the argument value incremented by one"). *)
+
+val program : int
+val version : int
+val proc_null : int
+val proc_incr : int
+
+val service : unit -> Server.service
+val incr : Client.t -> int -> int
+val null : Client.t -> unit

@@ -1,0 +1,70 @@
+module Machine = Smod_kern.Machine
+module Proc = Smod_kern.Proc
+module Errno = Smod_kern.Errno
+module Sched = Smod_kern.Sched
+module Clock = Smod_sim.Clock
+module Cost = Smod_sim.Cost_model
+
+type endpoint = {
+  owner_pid : int;
+  mutable inbox : (int * bytes) list;  (* (src_port, payload), oldest first *)
+  mutable waiting : int option;  (* pid blocked in recvfrom *)
+}
+
+type t = { machine : Machine.t; endpoints : (int, endpoint) Hashtbl.t }
+
+let create machine = { machine; endpoints = Hashtbl.create 16 }
+let machine t = t.machine
+
+let bind t (p : Proc.t) ~port =
+  if Hashtbl.mem t.endpoints port then
+    Errno.raise_errno Errno.EEXIST (Printf.sprintf "port %d" port);
+  Hashtbl.replace t.endpoints port { owner_pid = p.pid; inbox = []; waiting = None }
+
+let unbind t ~port = Hashtbl.remove t.endpoints port
+
+let endpoint_exn t port =
+  match Hashtbl.find_opt t.endpoints port with
+  | Some e -> e
+  | None -> Errno.raise_errno Errno.ENOENT (Printf.sprintf "port %d" port)
+
+let sendto t (_p : Proc.t) ~dst_port ~src_port payload =
+  let clock = Machine.clock t.machine in
+  let dst = endpoint_exn t dst_port in
+  (* sendto(2): trap, socket bookkeeping, copyin, and the loopback stack. *)
+  Clock.charge clock Cost.Trap_enter;
+  Clock.charge clock Cost.Socket_op;
+  Clock.charge clock (Cost.Copy_bytes (Bytes.length payload));
+  Clock.charge clock Cost.Udp_send_stack;
+  Clock.charge clock Cost.Trap_exit;
+  dst.inbox <- dst.inbox @ [ (src_port, payload) ];
+  match dst.waiting with
+  | Some pid ->
+      dst.waiting <- None;
+      Machine.wakeup t.machine pid
+  | None -> ()
+
+let recvfrom t (p : Proc.t) ~port =
+  let clock = Machine.clock t.machine in
+  let e = endpoint_exn t port in
+  if e.owner_pid <> p.pid then Errno.raise_errno Errno.EACCES "recvfrom: not the binder";
+  let rec wait () =
+    match e.inbox with
+    | (src, payload) :: rest ->
+        e.inbox <- rest;
+        (* recvfrom(2): trap, stack receive path, copyout. *)
+        Clock.charge clock Cost.Trap_enter;
+        Clock.charge clock Cost.Socket_op;
+        Clock.charge clock Cost.Udp_recv_stack;
+        Clock.charge clock (Cost.Copy_bytes (Bytes.length payload));
+        Clock.charge clock Cost.Trap_exit;
+        (src, payload)
+    | [] ->
+        e.waiting <- Some p.pid;
+        Effect.perform (Sched.Block (Sched.Custom "udp-recv"));
+        wait ()
+  in
+  wait ()
+
+let pending t ~port =
+  match Hashtbl.find_opt t.endpoints port with Some e -> List.length e.inbox | None -> 0

@@ -1,0 +1,28 @@
+(** Loopback datagram transport.
+
+    Models the path a localhost UDP datagram takes on the paper's testbed:
+    socket syscall, copy into the kernel, trip down and back up the IP
+    stack via the loopback driver, copy out to the receiver, plus the
+    scheduler hand-off to the receiving process.  Each leg charges the cost
+    model, which is what makes local RPC roughly an order of magnitude more
+    expensive than a SecModule dispatch, as in Figure 8. *)
+
+type t
+
+val create : Smod_kern.Machine.t -> t
+val machine : t -> Smod_kern.Machine.t
+
+val bind : t -> Smod_kern.Proc.t -> port:int -> unit
+(** Raises {!Smod_kern.Errno.Error} EEXIST if the port is taken. *)
+
+val unbind : t -> port:int -> unit
+
+val sendto : t -> Smod_kern.Proc.t -> dst_port:int -> src_port:int -> bytes -> unit
+(** Fire-and-forget datagram; wakes the receiver if it is blocked in
+    {!recvfrom}.  ENOENT if nothing is bound to [dst_port]. *)
+
+val recvfrom : t -> Smod_kern.Proc.t -> port:int -> int * bytes
+(** Blocks until a datagram arrives on [port]; returns (source port,
+    payload).  Only the binding process may receive. *)
+
+val pending : t -> port:int -> int

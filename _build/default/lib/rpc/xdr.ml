@@ -1,0 +1,105 @@
+module Clock = Smod_sim.Clock
+module Cost = Smod_sim.Cost_model
+
+exception Decode_error of string
+
+let pad4 n = (4 - (n land 3)) land 3
+
+module Encoder = struct
+  type t = { buf : Buffer.t; clock : Clock.t option }
+
+  let create ?clock () = { buf = Buffer.create 64; clock }
+  let charge t op = match t.clock with Some c -> Clock.charge c op | None -> ()
+
+  let raw_word t v =
+    Buffer.add_char t.buf (Char.chr ((v lsr 24) land 0xff));
+    Buffer.add_char t.buf (Char.chr ((v lsr 16) land 0xff));
+    Buffer.add_char t.buf (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char t.buf (Char.chr (v land 0xff))
+
+  let uint t v =
+    charge t Cost.Xdr_encode_word;
+    raw_word t (v land 0xFFFFFFFF)
+
+  let int t v = uint t (v land 0xFFFFFFFF)
+
+  let hyper t v =
+    charge t Cost.Xdr_encode_word;
+    charge t Cost.Xdr_encode_word;
+    raw_word t (Int64.to_int (Int64.shift_right_logical v 32));
+    raw_word t (Int64.to_int (Int64.logand v 0xFFFFFFFFL))
+
+  let bool t b = uint t (if b then 1 else 0)
+
+  let opaque t data =
+    let n = Bytes.length data in
+    uint t n;
+    charge t (Cost.Xdr_bytes n);
+    Buffer.add_bytes t.buf data;
+    for _ = 1 to pad4 n do
+      Buffer.add_char t.buf '\000'
+    done
+
+  let string t s = opaque t (Bytes.of_string s)
+
+  let array t f xs =
+    uint t (List.length xs);
+    List.iter f xs
+
+  let to_bytes t = Buffer.to_bytes t.buf
+end
+
+module Decoder = struct
+  type t = { data : bytes; mutable pos : int; clock : Clock.t option }
+
+  let of_bytes ?clock data = { data; pos = 0; clock }
+  let charge t op = match t.clock with Some c -> Clock.charge c op | None -> ()
+  let remaining t = Bytes.length t.data - t.pos
+
+  let need t n =
+    if remaining t < n then raise (Decode_error (Printf.sprintf "need %d bytes at %d" n t.pos))
+
+  let raw_word t =
+    need t 4;
+    let b i = Char.code (Bytes.get t.data (t.pos + i)) in
+    let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    t.pos <- t.pos + 4;
+    v
+
+  let uint t =
+    charge t Cost.Xdr_decode_word;
+    raw_word t
+
+  let int t =
+    let v = uint t in
+    if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+  let hyper t =
+    charge t Cost.Xdr_decode_word;
+    charge t Cost.Xdr_decode_word;
+    let hi = raw_word t in
+    let lo = raw_word t in
+    Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo)
+
+  let bool t =
+    match uint t with
+    | 0 -> false
+    | 1 -> true
+    | v -> raise (Decode_error (Printf.sprintf "bad bool %d" v))
+
+  let opaque t =
+    let n = uint t in
+    if n < 0 || n > 16 * 1024 * 1024 then raise (Decode_error "opaque too large");
+    need t (n + pad4 n);
+    charge t (Cost.Xdr_bytes n);
+    let out = Bytes.sub t.data t.pos n in
+    t.pos <- t.pos + n + pad4 n;
+    out
+
+  let string t = Bytes.to_string (opaque t)
+
+  let array t f =
+    let n = uint t in
+    if n < 0 || n > 1_000_000 then raise (Decode_error "array too large");
+    List.init n (fun _ -> f t)
+end

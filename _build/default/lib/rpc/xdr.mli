@@ -1,0 +1,43 @@
+(** XDR — External Data Representation (RFC 1832 subset).
+
+    The marshaling layer of the paper's RPC baseline.  All quantities are
+    big-endian and padded to 4-byte units.  When built with a clock, every
+    operation charges the cost model, so marshaling shows up in the
+    simulated microseconds exactly where the paper's RPC numbers pay for
+    it. *)
+
+exception Decode_error of string
+
+module Encoder : sig
+  type t
+
+  val create : ?clock:Smod_sim.Clock.t -> unit -> t
+  val int : t -> int -> unit
+  (** 32-bit signed. *)
+
+  val uint : t -> int -> unit
+  val hyper : t -> int64 -> unit
+  val bool : t -> bool -> unit
+  val opaque : t -> bytes -> unit
+  (** Variable-length opaque: length word + payload + padding. *)
+
+  val string : t -> string -> unit
+  val array : t -> ('a -> unit) -> 'a list -> unit
+  (** Counted array: length word then each element via the callback. *)
+
+  val to_bytes : t -> bytes
+end
+
+module Decoder : sig
+  type t
+
+  val of_bytes : ?clock:Smod_sim.Clock.t -> bytes -> t
+  val int : t -> int
+  val uint : t -> int
+  val hyper : t -> int64
+  val bool : t -> bool
+  val opaque : t -> bytes
+  val string : t -> string
+  val array : t -> (t -> 'a) -> 'a list
+  val remaining : t -> int
+end

@@ -1,0 +1,1 @@
+lib/secmodule/credential.ml: Buffer Bytes List Printf Smod_keynote String

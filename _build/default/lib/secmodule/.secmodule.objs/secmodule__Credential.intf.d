@@ -1,0 +1,1 @@
+lib/secmodule/credential.mli: Smod_keynote

@@ -1,0 +1,1 @@
+lib/secmodule/crt0.ml: Fun Stub

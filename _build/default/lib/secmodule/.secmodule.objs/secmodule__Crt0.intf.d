@@ -1,0 +1,1 @@
+lib/secmodule/crt0.mli: Credential Smod Smod_kern Stub

@@ -1,0 +1,1 @@
+lib/secmodule/policy.ml: Array Credential List Printf Smod_keynote Smod_sim String

@@ -1,0 +1,1 @@
+lib/secmodule/policy.mli: Credential Smod_keynote Smod_sim

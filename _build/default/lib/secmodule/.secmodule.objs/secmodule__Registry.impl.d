@@ -1,0 +1,1 @@
+lib/secmodule/registry.ml: Array Hashtbl Policy Printf Smod_kern Smod_modfmt

@@ -1,0 +1,1 @@
+lib/secmodule/registry.mli: Hashtbl Policy Smod_kern Smod_modfmt

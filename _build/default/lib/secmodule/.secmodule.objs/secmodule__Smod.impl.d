@@ -1,0 +1,1 @@
+lib/secmodule/smod.ml: Array Bytes Credential Effect Hashtbl List Policy Printf Registry Smod_kern Smod_keynote Smod_modfmt Smod_sim Smod_svm Smod_vmem Wire

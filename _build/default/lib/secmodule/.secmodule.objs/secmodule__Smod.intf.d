@@ -1,0 +1,1 @@
+lib/secmodule/smod.mli: Credential Policy Registry Smod_kern Smod_keynote Smod_modfmt Smod_vmem

@@ -1,0 +1,1 @@
+lib/secmodule/special.ml: Fun List Registry Smod Smod_kern Smod_modfmt Stub

@@ -1,0 +1,1 @@
+lib/secmodule/special.mli: Smod Smod_kern Stub

@@ -1,0 +1,1 @@
+lib/secmodule/stub.ml: Array Bytes Credential Hashtbl List Printf Registry Smod Smod_kern Smod_modfmt Smod_sim Smod_vmem Wire

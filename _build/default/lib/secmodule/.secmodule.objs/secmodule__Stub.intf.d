@@ -1,0 +1,1 @@
+lib/secmodule/stub.mli: Credential Smod Smod_kern Wire

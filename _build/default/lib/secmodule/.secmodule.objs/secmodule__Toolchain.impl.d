@@ -1,0 +1,1 @@
+lib/secmodule/toolchain.ml: Buffer Bytes List Policy Printf Registry Smod Smod_crypto Smod_modfmt Smod_svm String

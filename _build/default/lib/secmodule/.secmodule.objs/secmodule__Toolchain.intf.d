@@ -1,0 +1,1 @@
+lib/secmodule/toolchain.mli: Policy Registry Smod Smod_modfmt

@@ -1,0 +1,1 @@
+lib/secmodule/wire.mli:

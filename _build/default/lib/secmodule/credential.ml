@@ -1,0 +1,42 @@
+module Ast = Smod_keynote.Ast
+module Parse = Smod_keynote.Parse
+module Keystore = Smod_keynote.Keystore
+
+type t = { principal : string; assertions : Ast.assertion list }
+
+exception Malformed of string
+
+let make ~principal ?(assertions = []) () = { principal; assertions }
+
+let assertion_to_text (a : Ast.assertion) =
+  let body = Ast.canonical_body a in
+  match a.signature with
+  | Some s -> body ^ Printf.sprintf "signature: %S\n" s
+  | None -> body
+
+let to_bytes t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf t.principal;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun a ->
+      Buffer.add_string buf (assertion_to_text a);
+      Buffer.add_char buf '\n')
+    t.assertions;
+  Buffer.to_bytes buf
+
+let of_bytes data =
+  let text = Bytes.to_string data in
+  match String.index_opt text '\n' with
+  | None -> raise (Malformed "credential: missing principal line")
+  | Some i -> (
+      let principal = String.sub text 0 i in
+      if principal = "" then raise (Malformed "credential: empty principal");
+      let rest = String.sub text (i + 1) (String.length text - i - 1) in
+      match Parse.assertions_of_string rest with
+      | assertions -> { principal; assertions }
+      | exception Parse.Parse_error { line; message } ->
+          raise (Malformed (Printf.sprintf "credential assertion line %d: %s" line message)))
+
+let verify_signatures keystore t =
+  List.for_all (fun a -> Keystore.verify keystore a) t.assertions

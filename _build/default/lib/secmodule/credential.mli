@@ -1,0 +1,22 @@
+(** Client credentials.
+
+    A credential names the requesting principal and carries zero or more
+    signed KeyNote assertions establishing a delegation chain from some
+    policy-trusted principal down to the requester.  Credentials travel
+    through simulated memory across the user/kernel boundary, so they have
+    a byte serialisation. *)
+
+type t = {
+  principal : string;
+  assertions : Smod_keynote.Ast.assertion list;
+}
+
+exception Malformed of string
+
+val make : principal:string -> ?assertions:Smod_keynote.Ast.assertion list -> unit -> t
+val to_bytes : t -> bytes
+val of_bytes : bytes -> t
+(** Raises {!Malformed}. *)
+
+val verify_signatures : Smod_keynote.Keystore.t -> t -> bool
+(** Every carried assertion must verify against the keystore. *)

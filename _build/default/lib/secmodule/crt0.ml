@@ -1,0 +1,3 @@
+let run_client smod proc ~module_name ~version ~credential main =
+  let conn = Stub.connect smod proc ~module_name ~version ~credential in
+  Fun.protect ~finally:(fun () -> Stub.close conn) (fun () -> main conn)

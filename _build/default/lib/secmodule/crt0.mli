@@ -1,0 +1,14 @@
+(** The SecModule-aware C runtime entry (§4.2): a client linked against a
+    converted library starts through this crt0, which opens the session
+    before handing control to [smod_client_main] and tears it down
+    afterwards. *)
+
+val run_client :
+  Smod.t ->
+  Smod_kern.Proc.t ->
+  module_name:string ->
+  version:int ->
+  credential:Credential.t ->
+  (Stub.conn -> 'a) ->
+  'a
+(** Connect, run the client main, close the session even on exceptions. *)

@@ -1,0 +1,107 @@
+module Clock = Smod_sim.Clock
+module Cost = Smod_sim.Cost_model
+module Eval = Smod_keynote.Eval
+
+type t =
+  | Always_allow
+  | Session_lifetime
+  | Call_quota of int
+  | Rate_limit of { max_calls : int; window_us : float }
+  | Time_window of { not_before_us : float; not_after_us : float }
+  | Keynote of {
+      policy : Smod_keynote.Ast.assertion list;
+      levels : string array;
+      min_level : string;
+      attrs : (string * string) list;
+    }
+  | All_of of t list
+
+type state =
+  | S_none
+  | S_quota of int ref
+  | S_rate of { mutable window_start : float; mutable in_window : int }
+  | S_list of state list
+
+type denial = { reason : string; policy : t }
+
+let rec initial_state = function
+  | Always_allow | Session_lifetime | Time_window _ | Keynote _ -> S_none
+  | Call_quota n -> S_quota (ref n)
+  | Rate_limit _ -> S_rate { window_start = 0.0; in_window = 0 }
+  | All_of ps -> S_list (List.map initial_state ps)
+
+let rec describe = function
+  | Always_allow -> "always-allow"
+  | Session_lifetime -> "session-lifetime"
+  | Call_quota n -> Printf.sprintf "call-quota(%d)" n
+  | Rate_limit { max_calls; window_us } ->
+      Printf.sprintf "rate-limit(%d per %.0fus)" max_calls window_us
+  | Time_window _ -> "time-window"
+  | Keynote { policy; _ } -> Printf.sprintf "keynote(%d assertions)" (List.length policy)
+  | All_of ps -> "all-of[" ^ String.concat "; " (List.map describe ps) ^ "]"
+
+let deny policy reason = Error { reason; policy }
+
+let rec check ~clock ~now_us ~credential ~attrs policy state =
+  match (policy, state) with
+  | Always_allow, S_none ->
+      Clock.charge clock Cost.Policy_always_allow;
+      Ok ()
+  | Session_lifetime, S_none ->
+      (* Granted at session establishment; per-call it is free beyond the
+         baseline credential check the dispatcher already performed. *)
+      Clock.charge clock Cost.Policy_always_allow;
+      Ok ()
+  | Call_quota _, S_quota remaining ->
+      Clock.charge clock Cost.Policy_counter_check;
+      if !remaining > 0 then begin
+        decr remaining;
+        Ok ()
+      end
+      else deny policy "call quota exhausted"
+  | Rate_limit { max_calls; window_us }, S_rate r ->
+      Clock.charge clock Cost.Policy_counter_check;
+      if now_us -. r.window_start > window_us then begin
+        r.window_start <- now_us;
+        r.in_window <- 0
+      end;
+      if r.in_window < max_calls then begin
+        r.in_window <- r.in_window + 1;
+        Ok ()
+      end
+      else deny policy "rate limit exceeded"
+  | Time_window { not_before_us; not_after_us }, S_none ->
+      Clock.charge clock Cost.Policy_counter_check;
+      if now_us >= not_before_us && now_us <= not_after_us then Ok ()
+      else deny policy "outside permitted time window"
+  | Keynote { policy = assertions; levels; min_level; attrs = static_attrs }, S_none -> (
+      let result =
+        Eval.query ~policy:assertions ~credentials:credential.Credential.assertions
+          ~attrs:(attrs @ static_attrs)
+          ~requesters:[ credential.Credential.principal ]
+          ~levels
+      in
+      Clock.charge_n clock Cost.Keynote_assertion_eval result.assertions_evaluated;
+      let min_index =
+        let rec find i =
+          if i >= Array.length levels then 0 else if levels.(i) = min_level then i else find (i + 1)
+        in
+        find 0
+      in
+      match result.index >= min_index with
+      | true -> Ok ()
+      | false ->
+          deny policy
+            (Printf.sprintf "keynote compliance %S below required %S" result.level min_level))
+  | All_of ps, S_list states ->
+      let rec all ps states =
+        match (ps, states) with
+        | [], [] -> Ok ()
+        | p :: ps', s :: ss' -> (
+            match check ~clock ~now_us ~credential ~attrs p s with
+            | Ok () -> all ps' ss'
+            | Error _ as e -> e)
+        | _ -> deny policy "policy/state shape mismatch"
+      in
+      all ps states
+  | _ -> deny policy "policy/state shape mismatch"

@@ -1,0 +1,47 @@
+(** Per-module access policies.
+
+    The paper implements only the "always allowed" policy and predicts
+    that richer policies cost time in proportion to their complexity (§5).
+    This module supplies that ladder: from the free [Always_allow] through
+    counters up to full KeyNote compliance queries, so the prediction can
+    be measured (bench E9). *)
+
+type t =
+  | Always_allow
+  | Session_lifetime
+      (** the paper's default: access for the lifetime of the client *)
+  | Call_quota of int  (** at most n calls per session *)
+  | Rate_limit of { max_calls : int; window_us : float }
+  | Time_window of { not_before_us : float; not_after_us : float }
+  | Keynote of {
+      policy : Smod_keynote.Ast.assertion list;
+      levels : string array;
+      min_level : string;
+      attrs : (string * string) list;  (** static action attributes *)
+    }
+  | All_of of t list
+
+type state
+(** Mutable per-session evaluation state (quota counters, rate windows). *)
+
+type denial = {
+  reason : string;
+  policy : t;
+}
+
+val initial_state : t -> state
+
+val check :
+  clock:Smod_sim.Clock.t ->
+  now_us:float ->
+  credential:Credential.t ->
+  attrs:(string * string) list ->
+  t ->
+  state ->
+  (unit, denial) result
+(** Evaluate one access request.  Charges the cost model per the policy's
+    complexity (counter checks, KeyNote assertion evaluations).  Updates
+    [state] (consumes quota, records the call for rate limiting) only on
+    success. *)
+
+val describe : t -> string

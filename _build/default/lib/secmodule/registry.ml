@@ -1,0 +1,86 @@
+module Smof = Smod_modfmt.Smof
+
+type protection = Encrypted | Unmap_only
+
+type native_fn = Smod_kern.Machine.t -> Smod_kern.Proc.t -> args_base:int -> int
+
+type entry = {
+  m_id : int;
+  image : Smof.t;
+  protection : protection;
+  policy : Policy.t;
+  admin_principal : string;
+  mutable kernel_key : string option;
+  mutable kernel_nonce : bytes option;
+  natives : (string, native_fn) Hashtbl.t;
+  functions : Smof.symbol array;
+}
+
+type t = { mutable next_id : int; by_id : (int, entry) Hashtbl.t }
+
+exception Not_registered of string
+exception Already_registered of string
+
+let create () = { next_id = 1; by_id = Hashtbl.create 16 }
+
+let find t ~name ~version =
+  Hashtbl.fold
+    (fun _ e acc ->
+      if e.image.Smof.mod_name = name && e.image.Smof.mod_version = version then Some e else acc)
+    t.by_id None
+
+let add t ~image ~protection ~policy ~admin_principal ?kernel_key ?kernel_nonce () =
+  (match find t ~name:image.Smof.mod_name ~version:image.Smof.mod_version with
+  | Some _ ->
+      raise
+        (Already_registered
+           (Printf.sprintf "%s v%d" image.Smof.mod_name image.Smof.mod_version))
+  | None -> ());
+  if image.Smof.encrypted && kernel_key = None then
+    invalid_arg "Registry.add: encrypted image requires a kernel key";
+  let entry =
+    {
+      m_id = t.next_id;
+      image;
+      protection;
+      policy;
+      admin_principal;
+      kernel_key;
+      kernel_nonce;
+      natives = Hashtbl.create 8;
+      functions = Array.of_list (Smof.function_symbols image);
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.by_id entry.m_id entry;
+  entry
+
+let remove t ~m_id =
+  if not (Hashtbl.mem t.by_id m_id) then
+    raise (Not_registered (Printf.sprintf "m_id %d" m_id));
+  Hashtbl.remove t.by_id m_id
+
+let find_by_id t m_id = Hashtbl.find_opt t.by_id m_id
+let entries t = Hashtbl.fold (fun _ e acc -> e :: acc) t.by_id []
+
+let plaintext_image e =
+  if not e.image.Smof.encrypted then e.image
+  else begin
+    match (e.kernel_key, e.kernel_nonce) with
+    | Some key, Some nonce -> Smof.decrypt_text e.image ~key ~nonce
+    | _ -> raise (Smof.Malformed "encrypted module has no kernel key")
+  end
+
+let func_id e name =
+  let rec scan i =
+    if i >= Array.length e.functions then None
+    else if e.functions.(i).Smof.sym_name = name then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let symbol_of_func_id e id =
+  if id >= 0 && id < Array.length e.functions then Some e.functions.(id) else None
+
+let bind_native e ~name fn = Hashtbl.replace e.natives name fn
+let native e name = Hashtbl.find_opt e.natives name

@@ -1,0 +1,62 @@
+(** The kernel's table of registered SecModules.
+
+    "A separate tool chain registers the SecModule m with the kernel,
+    which must keep track of the registered SecModules" (§3).  Entries
+    carry the module image (possibly text-encrypted), the access policy,
+    the kernel-held decryption key (§4.4: "the secret keys for each
+    encrypted segment in m exist only in kernel space"), and the bound
+    native implementations for native-backed symbols. *)
+
+type protection =
+  | Encrypted  (** §4.1 approach 1: AES-encrypted text, key in kernel *)
+  | Unmap_only  (** §4.1 approach 2: plaintext, but never mapped in clients *)
+
+type native_fn = Smod_kern.Machine.t -> Smod_kern.Proc.t -> args_base:int -> int
+(** Runs in handle context: the proc is the handle, whose address space
+    shares the client's data/heap/stack. *)
+
+type entry = {
+  m_id : int;
+  image : Smod_modfmt.Smof.t;
+  protection : protection;
+  policy : Policy.t;
+  admin_principal : string;  (** who may [sys_smod_remove] this module *)
+  mutable kernel_key : string option;
+  mutable kernel_nonce : bytes option;
+  natives : (string, native_fn) Hashtbl.t;
+  functions : Smod_modfmt.Smof.symbol array;  (** index = funcID *)
+}
+
+type t
+
+exception Not_registered of string
+exception Already_registered of string
+
+val create : unit -> t
+
+val add :
+  t ->
+  image:Smod_modfmt.Smof.t ->
+  protection:protection ->
+  policy:Policy.t ->
+  admin_principal:string ->
+  ?kernel_key:string ->
+  ?kernel_nonce:bytes ->
+  unit ->
+  entry
+(** Raises {!Already_registered} on a (name, version) collision and
+    [Invalid_argument] if an encrypted image is added without a key. *)
+
+val remove : t -> m_id:int -> unit
+val find : t -> name:string -> version:int -> entry option
+val find_by_id : t -> int -> entry option
+val entries : t -> entry list
+
+val plaintext_image : entry -> Smod_modfmt.Smof.t
+(** Decrypts with the kernel-held key when the entry is [Encrypted]
+    (raises {!Smod_modfmt.Smof.Malformed} if the key is wrong). *)
+
+val func_id : entry -> string -> int option
+val symbol_of_func_id : entry -> int -> Smod_modfmt.Smof.symbol option
+val bind_native : entry -> name:string -> native_fn -> unit
+val native : entry -> string -> native_fn option

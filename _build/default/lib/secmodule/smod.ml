@@ -1,0 +1,658 @@
+module Machine = Smod_kern.Machine
+module Proc = Smod_kern.Proc
+module Errno = Smod_kern.Errno
+module Signal = Smod_kern.Signal
+module Sysno = Smod_kern.Sysno
+module Sched = Smod_kern.Sched
+module Aspace = Smod_vmem.Aspace
+module Layout = Smod_vmem.Layout
+module Prot = Smod_vmem.Prot
+module Clock = Smod_sim.Clock
+module Cost = Smod_sim.Cost_model
+module Trace = Smod_sim.Trace
+module Smof = Smod_modfmt.Smof
+module Keystore = Smod_keynote.Keystore
+module Interp = Smod_svm.Interp
+
+type toctou_mitigation = No_mitigation | Unmap_during_call | Dequeue_client_threads
+
+type session = {
+  sid : int;
+  m_id : int;
+  entry : Registry.entry;
+  client_pid : int;
+  mutable handle_pid : int;
+  req_qid : int;
+  rep_qid : int;
+  credential : Credential.t;
+  policy_state : Policy.state;
+  module_text_base : int;
+  module_data_base : int;
+  mutable established : bool;
+  mutable detached : bool;
+  mutable calls : int;
+  mutable denied_calls : int;
+  mutable faulted_calls : int;
+  mutable handle_exec_us : float;
+  mutable client_waiting_handshake : bool;
+}
+
+type t = {
+  machine : Machine.t;
+  registry : Registry.t;
+  keystore : Keystore.t;
+  sessions_by_client : (int, session) Hashtbl.t;
+  sessions_by_handle : (int, session) Hashtbl.t;
+  mutable next_sid : int;
+  mutable toctou : toctou_mitigation;
+  mutable fast_path : bool;
+}
+
+exception Access_denied of string
+
+let machine t = t.machine
+let keystore t = t.keystore
+let registry t = t.registry
+let set_toctou_mitigation t m = t.toctou <- m
+let set_call_fast_path t b = t.fast_path <- b
+let call_fast_path t = t.fast_path
+let toctou_mitigation t = t.toctou
+
+(* Where module images land inside the handle's address space: text below
+   the client text limit (never inside the shared range), module-private
+   data just above it. *)
+let module_text_base_addr = 0x0060_0000
+let module_data_base_addr = 0x0300_0000
+let secret_stack_top = Layout.secret_base + (Layout.secret_pages * Layout.page_size)
+
+(* The kernel caches the client's pid at the base of the secret segment so
+   the converted getpid can answer without a nested trap (§4.3). *)
+let client_pid_cache_addr = Layout.secret_base
+
+let session_of_client t ~client_pid = Hashtbl.find_opt t.sessions_by_client client_pid
+let session_of_handle t ~handle_pid = Hashtbl.find_opt t.sessions_by_handle handle_pid
+
+let active_sessions t =
+  Hashtbl.fold (fun _ s acc -> if s.detached then acc else s :: acc) t.sessions_by_client []
+
+let handle_aspace t session =
+  let handle = Machine.proc_exn t.machine session.handle_pid in
+  handle.Proc.aspace
+
+(* ------------------------------------------------------------------ *)
+(* Registration (trusted tool chain)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let register t ~image ?(protection = Registry.Unmap_only) ?(policy = Policy.Session_lifetime)
+    ?(admin_principal = "root") ?kernel_key ?kernel_nonce () =
+  Registry.add t.registry ~image ~protection ~policy ~admin_principal ?kernel_key
+    ?kernel_nonce ()
+
+let bind_native t ~m_id ~name fn =
+  match Registry.find_by_id t.registry m_id with
+  | None -> raise (Registry.Not_registered (Printf.sprintf "m_id %d" m_id))
+  | Some entry -> Registry.bind_native entry ~name fn
+
+(* ------------------------------------------------------------------ *)
+(* Session teardown                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let detach_session t session =
+  if not session.detached then begin
+    session.detached <- true;
+    let clock = Machine.clock t.machine in
+    Trace.emitf (Machine.trace t.machine) ~clock ~actor:"kernel" "detach session %d (module %s)"
+      session.sid session.entry.Registry.image.Smof.mod_name;
+    Hashtbl.remove t.sessions_by_client session.client_pid;
+    Hashtbl.remove t.sessions_by_handle session.handle_pid;
+    (* Remove the pair's queues: a client blocked mid-call wakes with
+       EIDRM instead of hanging on a dead handle. *)
+    (match
+       List.find_opt
+         (fun pid -> Machine.proc t.machine pid <> None)
+         [ session.client_pid; session.handle_pid ]
+     with
+    | Some pid ->
+        let p = Machine.proc_exn t.machine pid in
+        (try Machine.msgctl_remove t.machine p ~qid:session.req_qid with Errno.Error _ -> ());
+        (try Machine.msgctl_remove t.machine p ~qid:session.rep_qid with Errno.Error _ -> ())
+    | None -> ());
+    (* Break the VM pairing first so future faults no longer share. *)
+    (match Machine.proc t.machine session.client_pid with
+    | Some client ->
+        Aspace.set_peer client.Proc.aspace None;
+        client.Proc.role <- Proc.Standalone
+    | None -> ());
+    (match Machine.proc t.machine session.handle_pid with
+    | Some handle ->
+        Aspace.set_peer handle.Proc.aspace None;
+        (try Machine.kill t.machine ~pid:session.handle_pid ~signal:Signal.sigkill
+         with Errno.Error _ -> ())
+    | None -> ())
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The handle body: smod_std_handle() (§4, step 2)                     *)
+(* ------------------------------------------------------------------ *)
+
+let execute_function t session (handle : Proc.t) (req : Wire.request) =
+  let clock = Machine.clock t.machine in
+  let exec_start = Clock.now_cycles clock in
+  let account (reply : Wire.reply) =
+    session.handle_exec_us <- session.handle_exec_us +. Clock.elapsed_us clock ~since:exec_start;
+    if reply.Wire.status <> 0 then session.faulted_calls <- session.faulted_calls + 1;
+    reply
+  in
+  let entry = session.entry in
+  match Registry.symbol_of_func_id entry req.Wire.func_id with
+  | None -> account { Wire.status = 2; retval = 0 }
+  | Some sym -> account (
+      (* smod_stub_receive: running on the secret stack, repoint to the
+         shared stack just above arg1 (Figure 3, step 3). *)
+      Clock.charge clock Cost.Stub_receive;
+      let saved_sp = handle.Proc.sp and saved_fp = handle.Proc.fp in
+      handle.Proc.sp <- req.Wire.args_base;
+      handle.Proc.fp <- req.Wire.client_fp;
+      let finish_frame () =
+        (* Step 4: restore the exact frame the client stub built. *)
+        Clock.charge clock Cost.Stub_return;
+        handle.Proc.sp <- saved_sp;
+        handle.Proc.fp <- saved_fp
+      in
+      let result =
+        match sym.Smof.sym_kind with
+        | Smof.Bytecode -> (
+            let env =
+              Interp.make_env ~aspace:handle.Proc.aspace ~clock
+                ~syscall:(fun ~nr args -> Machine.syscall t.machine handle nr args)
+                ()
+            in
+            try
+              (* The whole module text is addressable so relocated
+                 intra-module calls can land on sibling functions. *)
+              Ok
+                (Interp.run env ~code_base:session.module_text_base
+                   ~code_len:(Bytes.length entry.Registry.image.Smof.text)
+                   ~entry:sym.Smof.sym_offset ~args_base:req.Wire.args_base ())
+            with
+            | Interp.Fault _ -> Error 1
+            | Aspace.Segv _ | Aspace.Prot_violation _ -> Error 1)
+        | Smof.Native native_name -> (
+            match Registry.native entry native_name with
+            | None -> Error 3
+            | Some fn -> (
+                (* Integrity: the mapped image bytes must still be the
+                   registered native stand-in — a client cannot have
+                   substituted other code. *)
+                let mapped =
+                  Aspace.read_bytes handle.Proc.aspace
+                    ~addr:(session.module_text_base + sym.Smof.sym_offset)
+                    ~len:sym.Smof.sym_size
+                in
+                let expected =
+                  Smof.native_stub_image ~name:native_name ~size:sym.Smof.sym_size
+                in
+                if not (Bytes.equal mapped expected) then Error 4
+                else begin
+                  try Ok (fn t.machine handle ~args_base:req.Wire.args_base) with
+                  | Aspace.Segv _ | Aspace.Prot_violation _ -> Error 1
+                  | Errno.Error _ -> Error 1
+                end))
+      in
+      finish_frame ();
+      match result with
+      | Ok retval -> { Wire.status = 0; retval = retval land 0xFFFFFFFF }
+      | Error status -> { Wire.status; retval = 0 })
+
+let handle_main t session (handle : Proc.t) =
+  (* First: move onto the secret stack (Figure 2) — the standard stack
+     location is about to be replaced by the client's pages. *)
+  handle.Proc.sp <- secret_stack_top - 16;
+  handle.Proc.fp <- handle.Proc.sp;
+  (* Announce readiness; the kernel force-shares the address spaces. *)
+  ignore (Machine.syscall t.machine handle Sysno.smod_session_info [| 0 |]);
+  (* Serve until killed. *)
+  let rec serve () =
+    let _, payload = Machine.msgrcv t.machine handle ~qid:session.req_qid ~mtype:1 in
+    let req = Wire.request_of_bytes payload in
+    let reply = execute_function t session handle req in
+    Machine.msgsnd t.machine handle ~qid:session.rep_qid ~mtype:1 (Wire.reply_to_bytes reply);
+    serve ()
+  in
+  serve ()
+
+(* ------------------------------------------------------------------ *)
+(* sys_smod_start_session (320)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let read_descriptor clock (p : Proc.t) desc_addr =
+  let word addr = Aspace.read_word p.Proc.aspace ~addr in
+  let name_len = word desc_addr in
+  if name_len < 0 || name_len > 256 then Errno.raise_errno Errno.EINVAL "descriptor name";
+  let after_name = desc_addr + 4 + name_len in
+  let cred_len = word (after_name + 4) in
+  if cred_len < 0 || cred_len > 65536 then Errno.raise_errno Errno.EINVAL "descriptor cred";
+  let total = 4 + name_len + 8 + cred_len in
+  Clock.charge clock (Cost.Copy_bytes total);
+  Wire.descriptor_of_bytes (Aspace.read_bytes p.Proc.aspace ~addr:desc_addr ~len:total)
+
+let check_policy_or_deny t ~policy ~state ~credential ~attrs =
+  let clock = Machine.clock t.machine in
+  match
+    Policy.check ~clock ~now_us:(Clock.now_us clock) ~credential ~attrs policy state
+  with
+  | Ok () -> ()
+  | Error denial ->
+      Errno.raise_errno Errno.EACCES
+        (Printf.sprintf "policy %s: %s" (Policy.describe denial.Policy.policy)
+           denial.Policy.reason)
+
+let install_module_image t session_text_base session_data_base handle_aspace entry =
+  let clock = Machine.clock t.machine in
+  let image = entry.Registry.image in
+  (* Decrypt with the kernel-held key when necessary; charge the AES work. *)
+  let plaintext =
+    if image.Smof.encrypted then begin
+      Clock.charge clock Cost.Aes_key_schedule;
+      Clock.charge_n clock Cost.Aes_block ((Bytes.length image.Smof.text + 15) / 16);
+      Registry.plaintext_image entry
+    end
+    else image
+  in
+  (* Link: resolve every symbol to its final address in the handle. *)
+  let resolve name =
+    match Smof.find_symbol plaintext name with
+    | Some sym -> session_text_base + sym.Smof.sym_offset
+    | None -> 0
+  in
+  let linked = Smof.apply_relocations plaintext ~resolve in
+  let text_size = Layout.page_align_up (max 1 (Bytes.length linked.Smof.text)) in
+  Aspace.add_entry handle_aspace ~start_addr:session_text_base ~size:text_size ~prot:Prot.rw
+    ~kind:Aspace.Text ~name:("module:" ^ image.Smof.mod_name);
+  Aspace.write_bytes handle_aspace ~addr:session_text_base linked.Smof.text;
+  Clock.charge clock (Cost.Copy_bytes (Bytes.length linked.Smof.text));
+  Aspace.protect_range handle_aspace ~start_addr:session_text_base ~size:text_size
+    ~prot:Prot.rx;
+  if Bytes.length linked.Smof.data > 0 then begin
+    let data_size = Layout.page_align_up (Bytes.length linked.Smof.data) in
+    Aspace.add_entry handle_aspace ~start_addr:session_data_base ~size:data_size ~prot:Prot.rw
+      ~kind:Aspace.Data ~name:("module-data:" ^ image.Smof.mod_name);
+    Aspace.write_bytes handle_aspace ~addr:session_data_base linked.Smof.data;
+    Clock.charge clock (Cost.Copy_bytes (Bytes.length linked.Smof.data))
+  end
+
+let sys_start_session t (p : Proc.t) ~desc_addr =
+  let clock = Machine.clock t.machine in
+  if Hashtbl.mem t.sessions_by_client p.Proc.pid then
+    Errno.raise_errno Errno.EEXIST "smod_start_session: client already has a session";
+  let desc = read_descriptor clock p desc_addr in
+  let entry =
+    match
+      Registry.find t.registry ~name:desc.Wire.module_name ~version:desc.Wire.module_version
+    with
+    | Some e -> e
+    | None ->
+        Errno.raise_errno Errno.ENOENT
+          (Printf.sprintf "module %s v%d" desc.Wire.module_name desc.Wire.module_version)
+  in
+  Clock.charge clock Cost.Registry_lookup;
+  let credential =
+    match Credential.of_bytes desc.Wire.credential with
+    | c -> c
+    | exception Credential.Malformed m -> Errno.raise_errno Errno.EINVAL ("credential: " ^ m)
+  in
+  Clock.charge clock Cost.Cred_check;
+  if not (Credential.verify_signatures t.keystore credential) then
+    Errno.raise_errno Errno.EACCES "credential signature verification failed";
+  (* Establishment-time policy check (throwaway state: establishing a
+     session must not consume per-call quota). *)
+  check_policy_or_deny t ~policy:entry.Registry.policy
+    ~state:(Policy.initial_state entry.Registry.policy)
+    ~credential
+    ~attrs:
+      [
+        ("phase", "session");
+        ("module", entry.Registry.image.Smof.mod_name);
+        ("principal", credential.Credential.principal);
+      ];
+  (* §4.1 approach 2: if the client had a plain image of this library
+     mapped, forcibly unmap it and deny later re-mapping. *)
+  List.iter
+    (fun (e : Aspace.entry) ->
+      if e.Aspace.name = "lib:" ^ entry.Registry.image.Smof.mod_name then
+        Aspace.remove_range p.Proc.aspace ~start_addr:e.Aspace.start_addr
+          ~size:(e.Aspace.end_addr - e.Aspace.start_addr))
+    (Aspace.entries p.Proc.aspace);
+  (* Build the handle's private address space. *)
+  let handle_aspace =
+    Aspace.create ~phys:(Machine.phys t.machine) ~clock
+      ~name:(Printf.sprintf "handle-of-%d" p.Proc.pid)
+  in
+  install_module_image t module_text_base_addr module_data_base_addr handle_aspace entry;
+  (* Secret stack/heap segment, never shared, never client-visible. *)
+  Aspace.add_entry handle_aspace ~start_addr:Layout.secret_base
+    ~size:(Layout.secret_pages * Layout.page_size)
+    ~prot:Prot.rw ~kind:Aspace.Secret ~name:"secret";
+  Aspace.write_word handle_aspace ~addr:client_pid_cache_addr p.Proc.pid;
+  (* Message queues for the pair. *)
+  let sid = t.next_sid in
+  t.next_sid <- t.next_sid + 1;
+  let req_qid = Machine.msgget t.machine p ~key:(0x5E550000 lor (sid * 2)) in
+  let rep_qid = Machine.msgget t.machine p ~key:(0x5E550000 lor ((sid * 2) + 1)) in
+  (* Forcibly fork the handle. *)
+  let session =
+    {
+      sid;
+      m_id = entry.Registry.m_id;
+      entry;
+      client_pid = p.Proc.pid;
+      handle_pid = 0;
+      req_qid;
+      rep_qid;
+      credential;
+      policy_state = Policy.initial_state entry.Registry.policy;
+      module_text_base = module_text_base_addr;
+      module_data_base = module_data_base_addr;
+      established = false;
+      detached = false;
+      calls = 0;
+      denied_calls = 0;
+      faulted_calls = 0;
+      handle_exec_us = 0.0;
+      client_waiting_handshake = false;
+    }
+  in
+  let handle =
+    Machine.forced_fork t.machine p
+      ~name:(Printf.sprintf "smod-handle-%d" sid)
+      ~daemon:true
+      ~role:(Proc.Smod_handle { client_pid = p.Proc.pid })
+      ~aspace:handle_aspace
+      ~body:(fun handle -> handle_main t session handle)
+  in
+  (* §3.1: handle processes never dump core and can never be traced. *)
+  handle.Proc.no_core_dump <- true;
+  handle.Proc.no_ptrace <- true;
+  (* Handles are "periphery code" in the 80386 ring model the paper opens
+     with (§2): more privileged than any user process. *)
+  handle.Proc.ring <- 1;
+  session.handle_pid <- handle.Proc.pid;
+  p.Proc.role <- Proc.Smod_client { handle_pid = handle.Proc.pid };
+  Hashtbl.replace t.sessions_by_client p.Proc.pid session;
+  Hashtbl.replace t.sessions_by_handle handle.Proc.pid session;
+  (* The simplest policy allows access for the lifetime of p: tear the
+     session down when the client goes away — and equally if the handle
+     dies, so no client is left waiting on a dead enforcement point. *)
+  p.Proc.exit_hooks <- (fun _ -> detach_session t session) :: p.Proc.exit_hooks;
+  handle.Proc.exit_hooks <- (fun _ -> detach_session t session) :: handle.Proc.exit_hooks;
+  Trace.emitf (Machine.trace t.machine) ~clock ~actor:"kernel"
+    "start_session sid=%d module=%s client=%d handle=%d" sid
+    entry.Registry.image.Smof.mod_name p.Proc.pid handle.Proc.pid;
+  sid
+
+(* ------------------------------------------------------------------ *)
+(* sys_smod_session_info (303) — handle side                           *)
+(* ------------------------------------------------------------------ *)
+
+let sys_session_info t (p : Proc.t) =
+  let session =
+    match session_of_handle t ~handle_pid:p.Proc.pid with
+    | Some s -> s
+    | None -> Errno.raise_errno Errno.EPERM "smod_session_info: caller is not a handle"
+  in
+  let client = Machine.proc_exn t.machine session.client_pid in
+  (* Forcibly unmap the handle's data/heap/stack and share the client's
+     pages over the same range (uvmspace_force_share). *)
+  Aspace.force_share ~client:client.Proc.aspace ~handle:p.Proc.aspace ~lo:Layout.share_lo
+    ~hi:Layout.share_hi;
+  session.established <- true;
+  Trace.emitf (Machine.trace t.machine) ~clock:(Machine.clock t.machine) ~actor:p.Proc.name
+    "session_info: pair %d/%d sharing [0x%08x,0x%08x)" session.client_pid session.handle_pid
+    Layout.share_lo Layout.share_hi;
+  if session.client_waiting_handshake then begin
+    session.client_waiting_handshake <- false;
+    Machine.wakeup t.machine session.client_pid
+  end
+
+(* ------------------------------------------------------------------ *)
+(* sys_smod_handle_info (304) — client side                            *)
+(* ------------------------------------------------------------------ *)
+
+let sys_handle_info t (p : Proc.t) ~info_addr =
+  let session =
+    match session_of_client t ~client_pid:p.Proc.pid with
+    | Some s -> s
+    | None -> Errno.raise_errno Errno.EPERM "smod_handle_info: no session"
+  in
+  while not session.established do
+    session.client_waiting_handshake <- true;
+    Effect.perform (Sched.Block (Sched.Custom "smod-handshake"))
+  done;
+  let info =
+    {
+      Wire.m_id = session.m_id;
+      handle_pid = session.handle_pid;
+      req_qid = session.req_qid;
+      rep_qid = session.rep_qid;
+    }
+  in
+  Clock.charge (Machine.clock t.machine) (Cost.Copy_bytes Wire.handle_info_size);
+  Aspace.write_bytes p.Proc.aspace ~addr:info_addr (Wire.handle_info_to_bytes info)
+
+(* ------------------------------------------------------------------ *)
+(* sys_smod_call (307) — the indirect dispatch (Figure 3)              *)
+(* ------------------------------------------------------------------ *)
+
+type saved_prot = { entry_start : int; entry_size : int; old_prot : Prot.t }
+
+let apply_call_mitigation t (client : Proc.t) =
+  match t.toctou with
+  | No_mitigation -> `None
+  | Dequeue_client_threads ->
+      `Dequeued (Machine.suspend_address_space t.machine client.Proc.aspace ~except:client.Proc.pid)
+  | Unmap_during_call ->
+      (* Revoke the client's own access to its data/heap/stack for the
+         duration of the call; the handle's mappings are unaffected. *)
+      let saved =
+        List.filter_map
+          (fun (e : Aspace.entry) ->
+            match e.Aspace.kind with
+            | Aspace.Data | Aspace.Heap | Aspace.Stack ->
+                let s =
+                  {
+                    entry_start = e.Aspace.start_addr;
+                    entry_size = e.Aspace.end_addr - e.Aspace.start_addr;
+                    old_prot = e.Aspace.prot;
+                  }
+                in
+                Aspace.protect_range client.Proc.aspace ~start_addr:s.entry_start
+                  ~size:s.entry_size ~prot:Prot.none;
+                Some s
+            | Aspace.Text | Aspace.Secret | Aspace.Mmap -> None)
+          (Aspace.entries client.Proc.aspace)
+      in
+      `Protected saved
+
+let undo_call_mitigation t (client : Proc.t) = function
+  | `None -> ()
+  | `Dequeued pids -> Machine.resume_pids t.machine pids
+  | `Protected saved ->
+      List.iter
+        (fun s ->
+          Aspace.protect_range client.Proc.aspace ~start_addr:s.entry_start ~size:s.entry_size
+            ~prot:s.old_prot)
+        saved
+
+let sys_call t (p : Proc.t) ~framep ~rtnaddr ~m_id ~func_id =
+  let clock = Machine.clock t.machine in
+  let session =
+    match session_of_client t ~client_pid:p.Proc.pid with
+    | Some s -> s
+    | None -> Errno.raise_errno Errno.EPERM "smod_call: no session"
+  in
+  if session.detached || not session.established then
+    Errno.raise_errno Errno.EINVAL "smod_call: session not established";
+  (match Machine.proc t.machine session.handle_pid with
+  | Some h when not (Proc.is_zombie h) -> ()
+  | Some _ | None ->
+      detach_session t session;
+      Errno.raise_errno Errno.EIDRM "smod_call: handle process is gone");
+  if session.m_id <> m_id then Errno.raise_errno Errno.EINVAL "smod_call: wrong module id";
+  (* The §5 future-work fast path skips the re-verification only when the
+     policy is stateless-permissive: its answer cannot change after
+     session establishment. *)
+  let fast_path_applies =
+    t.fast_path
+    &&
+    match session.entry.Registry.policy with
+    | Policy.Always_allow | Policy.Session_lifetime -> true
+    | Policy.Call_quota _ | Policy.Rate_limit _ | Policy.Time_window _ | Policy.Keynote _
+    | Policy.All_of _ ->
+        false
+  in
+  if not fast_path_applies then begin
+    (* Per-call revalidation: the kernel "will then verify that p did
+       provide the proper credentials" (§3.1). *)
+    Clock.charge clock Cost.Cred_check;
+    let func_name =
+      match Registry.symbol_of_func_id session.entry func_id with
+      | Some sym -> sym.Smof.sym_name
+      | None -> Errno.raise_errno Errno.EINVAL "smod_call: bad funcID"
+    in
+    try
+      check_policy_or_deny t ~policy:session.entry.Registry.policy ~state:session.policy_state
+        ~credential:session.credential
+        ~attrs:
+          [
+            ("phase", "call");
+            ("function", func_name);
+            ("module", session.entry.Registry.image.Smof.mod_name);
+            ("calls_so_far", string_of_int session.calls);
+          ]
+    with Errno.Error _ as denial ->
+      session.denied_calls <- session.denied_calls + 1;
+      raise denial
+  end
+  else if Registry.symbol_of_func_id session.entry func_id = None then
+    Errno.raise_errno Errno.EINVAL "smod_call: bad funcID";
+  session.calls <- session.calls + 1;
+  let mitigation = apply_call_mitigation t p in
+  let request =
+    {
+      Wire.func_id;
+      (* Figure 3: the kernel technically only needs client_FP_1; arg1
+         sits two words above the saved frame pointer. *)
+      args_base = framep + 8;
+      client_sp = p.Proc.sp;
+      client_fp = framep;
+    }
+  in
+  ignore rtnaddr;
+  Machine.msgsnd t.machine p ~qid:session.req_qid ~mtype:1 (Wire.request_to_bytes request);
+  let _, payload = Machine.msgrcv t.machine p ~qid:session.rep_qid ~mtype:1 in
+  undo_call_mitigation t p mitigation;
+  let reply = Wire.reply_of_bytes payload in
+  match reply.Wire.status with
+  | 0 -> reply.Wire.retval
+  | 1 -> Errno.raise_errno Errno.EFAULT "smod_call: module function faulted"
+  | 2 -> Errno.raise_errno Errno.EINVAL "smod_call: no such function"
+  | 3 -> Errno.raise_errno Errno.ENOSYS "smod_call: native body not bound"
+  | 4 -> Errno.raise_errno Errno.EACCES "smod_call: module text integrity check failed"
+  | s -> Errno.raise_errno Errno.EINVAL (Printf.sprintf "smod_call: bad status %d" s)
+
+(* ------------------------------------------------------------------ *)
+(* sys_smod_find / add / remove                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sys_find t (p : Proc.t) ~name_addr ~version =
+  Clock.charge (Machine.clock t.machine) Cost.Registry_lookup;
+  let name = Aspace.read_string p.Proc.aspace ~addr:name_addr ~max_len:256 in
+  match Registry.find t.registry ~name ~version with
+  | Some entry -> entry.Registry.m_id
+  | None -> Errno.raise_errno Errno.ENOENT (Printf.sprintf "module %s v%d" name version)
+
+let sys_add t (p : Proc.t) ~info_addr =
+  let clock = Machine.clock t.machine in
+  if p.Proc.uid <> 0 then Errno.raise_errno Errno.EPERM "smod_add: not root";
+  let len = Aspace.read_word p.Proc.aspace ~addr:info_addr in
+  if len <= 0 || len > 4 * 1024 * 1024 then Errno.raise_errno Errno.EINVAL "smod_add: size";
+  Clock.charge clock (Cost.Copy_bytes len);
+  let image_bytes = Aspace.read_bytes p.Proc.aspace ~addr:(info_addr + 4) ~len in
+  let image =
+    match Smof.of_bytes image_bytes with
+    | i -> i
+    | exception Smof.Malformed m -> Errno.raise_errno Errno.ENOEXEC ("smod_add: " ^ m)
+  in
+  if image.Smof.encrypted then
+    Errno.raise_errno Errno.EINVAL "smod_add: encrypted images need the trusted tool chain";
+  let entry = register t ~image () in
+  entry.Registry.m_id
+
+let sys_remove t (p : Proc.t) ~m_id ~cred_addr ~cred_size =
+  let clock = Machine.clock t.machine in
+  let entry =
+    match Registry.find_by_id t.registry m_id with
+    | Some e -> e
+    | None -> Errno.raise_errno Errno.ENOENT "smod_remove"
+  in
+  Clock.charge clock (Cost.Copy_bytes cred_size);
+  let cred_bytes = Aspace.read_bytes p.Proc.aspace ~addr:cred_addr ~len:cred_size in
+  let credential =
+    match Credential.of_bytes cred_bytes with
+    | c -> c
+    | exception Credential.Malformed m -> Errno.raise_errno Errno.EINVAL ("credential: " ^ m)
+  in
+  Clock.charge clock Cost.Cred_check;
+  if not (Credential.verify_signatures t.keystore credential) then
+    Errno.raise_errno Errno.EACCES "smod_remove: bad credential signature";
+  if credential.Credential.principal <> entry.Registry.admin_principal then
+    Errno.raise_errno Errno.EACCES "smod_remove: not the module administrator";
+  (* Tear down any sessions using the module, then drop it. *)
+  List.iter
+    (fun s -> if s.m_id = m_id then detach_session t s)
+    (active_sessions t);
+  Registry.remove t.registry ~m_id
+
+(* ------------------------------------------------------------------ *)
+(* Installation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let install machine ?keystore () =
+  let t =
+    {
+      machine;
+      registry = Registry.create ();
+      keystore = (match keystore with Some k -> k | None -> Keystore.create ());
+      sessions_by_client = Hashtbl.create 16;
+      sessions_by_handle = Hashtbl.create 16;
+      next_sid = 1;
+      toctou = No_mitigation;
+      fast_path = false;
+    }
+  in
+  Machine.register_syscall machine Sysno.smod_find ~name:"smod_find" (fun _m p args ->
+      sys_find t p ~name_addr:args.(0) ~version:args.(1));
+  Machine.register_syscall machine Sysno.smod_start_session ~name:"smod_start_session"
+    (fun _m p args -> sys_start_session t p ~desc_addr:args.(0));
+  Machine.register_syscall machine Sysno.smod_session_info ~name:"smod_session_info"
+    (fun _m p _args ->
+      sys_session_info t p;
+      0);
+  Machine.register_syscall machine Sysno.smod_handle_info ~name:"smod_handle_info"
+    (fun _m p args ->
+      sys_handle_info t p ~info_addr:args.(0);
+      0);
+  Machine.register_syscall machine Sysno.smod_call ~name:"smod_call" (fun _m p args ->
+      sys_call t p ~framep:args.(0) ~rtnaddr:args.(1) ~m_id:args.(2) ~func_id:args.(3));
+  Machine.register_syscall machine Sysno.smod_add ~name:"smod_add" (fun _m p args ->
+      sys_add t p ~info_addr:args.(0));
+  Machine.register_syscall machine Sysno.smod_remove ~name:"smod_remove" (fun _m p args ->
+      sys_remove t p ~m_id:args.(0) ~cred_addr:args.(1) ~cred_size:args.(2);
+      0);
+  (* §4.3 execve: detach the requesting client, kill the handle, then let
+     the exec proceed. *)
+  Machine.add_exec_hook machine (fun _m p _image ->
+      match session_of_client t ~client_pid:p.Proc.pid with
+      | Some session -> detach_session t session
+      | None -> ());
+  t

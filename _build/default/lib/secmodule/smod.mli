@@ -1,0 +1,123 @@
+(** The SecModule kernel subsystem.
+
+    [install] registers the paper's seven syscalls (Figure 4) with a
+    simulated machine and returns the subsystem handle used by the trusted
+    tool chain (module registration, native binding) and by tests.
+
+    The session life cycle follows §3–§4 exactly:
+
+    + the client traps [sys_smod_start_session] with a descriptor naming
+      the module and carrying its credential;
+    + the kernel validates the credential, {e forcibly forks} a handle
+      co-process whose address space holds the (decrypted) module text and
+      a secret stack/heap segment, and connects the pair with two SysV
+      message queues;
+    + the handle's first act is [sys_smod_session_info], which force-shares
+      the client's data/heap/stack range into the handle (Figure 2) and
+      marks the session established;
+    + the client completes the handshake with [sys_smod_handle_info];
+    + each call then goes through [sys_smod_call]: per-call credential and
+      policy revalidation, a request message to the handle, the handle
+      executing the function on the shared stack from its secret stack,
+      and a reply message carrying the return value (Figure 3). *)
+
+type t
+
+type toctou_mitigation =
+  | No_mitigation
+  | Unmap_during_call  (** §4.4 approach 1: client loses data/stack access *)
+  | Dequeue_client_threads  (** §4.4 approach 2: sibling threads descheduled *)
+
+type session = {
+  sid : int;
+  m_id : int;
+  entry : Registry.entry;
+  client_pid : int;
+  mutable handle_pid : int;
+  req_qid : int;
+  rep_qid : int;
+  credential : Credential.t;
+  policy_state : Policy.state;
+  module_text_base : int;  (** in the handle's address space *)
+  module_data_base : int;
+  mutable established : bool;
+  mutable detached : bool;
+  mutable calls : int;
+  mutable denied_calls : int;  (** per-call policy denials (section 1's metering motivation) *)
+  mutable faulted_calls : int;
+  mutable handle_exec_us : float;
+      (** simulated time spent executing module code in the handle *)
+  mutable client_waiting_handshake : bool;
+}
+
+exception Access_denied of string
+
+val install : Smod_kern.Machine.t -> ?keystore:Smod_keynote.Keystore.t -> unit -> t
+val machine : t -> Smod_kern.Machine.t
+val keystore : t -> Smod_keynote.Keystore.t
+val registry : t -> Registry.t
+
+val set_toctou_mitigation : t -> toctou_mitigation -> unit
+val toctou_mitigation : t -> toctou_mitigation
+
+val set_call_fast_path : t -> bool -> unit
+(** The §5 future-work optimisation: "reducing redundant error checks and
+    cross-address copies in kernel-to-kernel calls".  When enabled,
+    [sys_smod_call] skips the per-call credential re-verification for
+    sessions whose policy is stateless-permissive ([Always_allow] or
+    [Session_lifetime]) — the check cannot change its answer after
+    establishment.  Policies with per-call state (quotas, rate limits,
+    KeyNote conditions over call attributes) are still evaluated every
+    time.  Default: off, matching the measured prototype. *)
+
+val call_fast_path : t -> bool
+
+(** {1 Trusted tool-chain interface (host level, not via traps)} *)
+
+val register :
+  t ->
+  image:Smod_modfmt.Smof.t ->
+  ?protection:Registry.protection ->
+  ?policy:Policy.t ->
+  ?admin_principal:string ->
+  ?kernel_key:string ->
+  ?kernel_nonce:bytes ->
+  unit ->
+  Registry.entry
+(** Defaults: [Unmap_only], [Session_lifetime], admin "root".  For
+    [Encrypted] protection the key/nonce must be supplied and stay
+    kernel-side. *)
+
+val bind_native : t -> m_id:int -> name:string -> Registry.native_fn -> unit
+
+val session_of_client : t -> client_pid:int -> session option
+val session_of_handle : t -> handle_pid:int -> session option
+val active_sessions : t -> session list
+
+val detach_session : t -> session -> unit
+(** Kill the handle, unlink the pair, remove the queues.  Idempotent.
+    Runs automatically when the client exits or execs (§4.3). *)
+
+(** {1 Syscall-level operations (what the stubs invoke)} *)
+
+val sys_find : t -> Smod_kern.Proc.t -> name_addr:int -> version:int -> int
+(** Returns m_id.  [name_addr] points at a NUL-terminated module name in
+    the caller's memory. *)
+
+val sys_start_session : t -> Smod_kern.Proc.t -> desc_addr:int -> int
+(** Returns the session id. *)
+
+val sys_handle_info : t -> Smod_kern.Proc.t -> info_addr:int -> unit
+(** Client side: blocks until the handle is ready, then writes a
+    {!Wire.handle_info} at [info_addr]. *)
+
+val sys_call : t -> Smod_kern.Proc.t -> framep:int -> rtnaddr:int -> m_id:int -> func_id:int -> int
+(** The indirect dispatch.  Raises {!Smod_kern.Errno.Error} EACCES on
+    policy denial, EFAULT if the module function faulted. *)
+
+(** {1 Introspection for tests and the layout example} *)
+
+val handle_aspace : t -> session -> Smod_vmem.Aspace.t
+val client_pid_cache_addr : int
+(** Address (in the secret segment) where the kernel caches the client's
+    pid for the converted getpid (§4.3). *)

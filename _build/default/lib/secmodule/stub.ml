@@ -1,0 +1,112 @@
+module Machine = Smod_kern.Machine
+module Proc = Smod_kern.Proc
+module Sysno = Smod_kern.Sysno
+module Aspace = Smod_vmem.Aspace
+module Clock = Smod_sim.Clock
+module Cost = Smod_sim.Cost_model
+module Smof = Smod_modfmt.Smof
+
+type conn = {
+  smod : Smod.t;
+  proc : Proc.t;
+  info : Wire.handle_info;
+  stub_table : (string, int) Hashtbl.t;
+  session : Smod.session;
+}
+
+(* A recognisable synthetic return address for the frames the stub builds. *)
+let synthetic_return_address = 0x0000BEE4
+
+let write_to_stack (p : Proc.t) data =
+  p.Proc.sp <- p.Proc.sp - ((Bytes.length data + 3) land lnot 3);
+  Aspace.write_bytes p.Proc.aspace ~addr:p.Proc.sp data;
+  p.Proc.sp
+
+let connect smod proc ~module_name ~version ~credential =
+  let machine = Smod.machine smod in
+  (* Step 1 (Figure 1): ask the kernel whether the module exists. *)
+  let saved_sp = proc.Proc.sp in
+  let name_addr = write_to_stack proc (Bytes.of_string (module_name ^ "\000")) in
+  let m_id = Machine.syscall machine proc Sysno.smod_find [| name_addr; version |] in
+  ignore m_id;
+  (* Write the session descriptor into client memory and start the
+     session; the kernel forcibly forks the handle. *)
+  let desc =
+    Wire.descriptor_to_bytes
+      {
+        Wire.module_name;
+        module_version = version;
+        credential = Credential.to_bytes credential;
+      }
+  in
+  let desc_addr = write_to_stack proc desc in
+  let _sid = Machine.syscall machine proc Sysno.smod_start_session [| desc_addr |] in
+  (* Complete the handshake; the kernel writes the handle info back. *)
+  let info_addr = write_to_stack proc (Bytes.make Wire.handle_info_size '\000') in
+  ignore (Machine.syscall machine proc Sysno.smod_handle_info [| info_addr |]);
+  let info =
+    Wire.handle_info_of_bytes
+      (Aspace.read_bytes proc.Proc.aspace ~addr:info_addr ~len:Wire.handle_info_size)
+  in
+  proc.Proc.sp <- saved_sp;
+  let session =
+    match Smod.session_of_client smod ~client_pid:proc.Proc.pid with
+    | Some s -> s
+    | None -> assert false
+  in
+  (* Stub table: one client stub per ' F ' symbol (§4.2). *)
+  let stub_table = Hashtbl.create 32 in
+  List.iteri
+    (fun id (sym : Smof.symbol) -> Hashtbl.replace stub_table sym.Smof.sym_name id)
+    (Smof.function_symbols session.Smod.entry.Registry.image);
+  { smod; proc; info; stub_table; session }
+
+let conn_info c = c.info
+let session_id c = c.session.Smod.sid
+let func_id c name = Hashtbl.find_opt c.stub_table name
+
+let call_id ?on_step c ~func_id args =
+  let machine = Smod.machine c.smod in
+  let clock = Machine.clock machine in
+  let p = c.proc in
+  let nargs = Array.length args in
+  Clock.charge clock (Cost.Stub_push_args nargs);
+  let entry_sp = p.Proc.sp and entry_fp = p.Proc.fp in
+  (* State 1: argN..arg1, return address, saved FP (which FP now names). *)
+  for i = nargs - 1 downto 0 do
+    Proc.push_word p args.(i)
+  done;
+  Proc.push_word p synthetic_return_address;
+  Proc.push_word p entry_fp;
+  p.Proc.fp <- p.Proc.sp;
+  (match on_step with Some f -> f 1 | None -> ());
+  (* State 2: moduleID, funcID, then the duplicated return address and
+     client FP so the kernel sees the relevant words at the stack top. *)
+  Proc.push_word p c.info.Wire.m_id;
+  Proc.push_word p func_id;
+  Proc.push_word p synthetic_return_address;
+  Proc.push_word p entry_fp;
+  (match on_step with Some f -> f 2 | None -> ());
+  let result =
+    Machine.syscall machine p Sysno.smod_call
+      [| p.Proc.fp; synthetic_return_address; c.info.Wire.m_id; func_id |]
+  in
+  (* Unwind: drop the duplicates and ids, restore FP, drop the frame. *)
+  ignore (Proc.pop_word p);
+  ignore (Proc.pop_word p);
+  ignore (Proc.pop_word p);
+  ignore (Proc.pop_word p);
+  let saved_fp = Proc.pop_word p in
+  ignore (Proc.pop_word p) (* return address *);
+  p.Proc.sp <- p.Proc.sp + (4 * nargs);
+  p.Proc.fp <- saved_fp;
+  (match on_step with Some f -> f 4 | None -> ());
+  assert (p.Proc.sp = entry_sp);
+  result
+
+let call ?on_step c ~func args =
+  match func_id c func with
+  | Some id -> call_id ?on_step c ~func_id:id args
+  | None -> invalid_arg (Printf.sprintf "Stub.call: no function %S in module" func)
+
+let close c = Smod.detach_session c.smod c.session

@@ -1,0 +1,36 @@
+(** Client-side stubs.
+
+    {!connect} performs the crt0 initialization sequence of Figure 1
+    (find → start_session → handle_info); {!call} performs the stack
+    choreography of Figure 3: push the arguments, the return address and
+    the saved frame pointer, push the [(moduleID, funcID)] pair, duplicate
+    the two words the kernel needs, then trap into [sys_smod_call].
+    On return the stub unwinds exactly what it pushed. *)
+
+type conn
+
+val connect :
+  Smod.t ->
+  Smod_kern.Proc.t ->
+  module_name:string ->
+  version:int ->
+  credential:Credential.t ->
+  conn
+(** Raises {!Smod_kern.Errno.Error} as the underlying syscalls do
+    (ENOENT unknown module, EACCES bad credential, ...). *)
+
+val conn_info : conn -> Wire.handle_info
+val session_id : conn -> int
+val func_id : conn -> string -> int option
+(** From the stub table generated off the module's symbol table. *)
+
+val call : ?on_step:(int -> unit) -> conn -> func:string -> int array -> int
+(** Invoke a module function with word arguments.  [on_step] fires after
+    Figure 3 states 1 (frame built), 2 (kernel view pushed) and 4
+    (frame restored) so tests can inspect the simulated stack.  Raises
+    [Invalid_argument] for an unknown function name and
+    {!Smod_kern.Errno.Error} for kernel-side failures. *)
+
+val call_id : ?on_step:(int -> unit) -> conn -> func_id:int -> int array -> int
+val close : conn -> unit
+(** Detach the session (kills the handle). *)

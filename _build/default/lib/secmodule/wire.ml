@@ -1,0 +1,83 @@
+let u32_at b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let set_u32 b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xff))
+
+type request = { func_id : int; args_base : int; client_sp : int; client_fp : int }
+
+type reply = { status : int; retval : int }
+
+let request_to_bytes r =
+  let b = Bytes.create 16 in
+  set_u32 b 0 r.func_id;
+  set_u32 b 4 r.args_base;
+  set_u32 b 8 r.client_sp;
+  set_u32 b 12 r.client_fp;
+  b
+
+let request_of_bytes b =
+  if Bytes.length b <> 16 then invalid_arg "Wire.request_of_bytes";
+  { func_id = u32_at b 0; args_base = u32_at b 4; client_sp = u32_at b 8; client_fp = u32_at b 12 }
+
+let reply_to_bytes r =
+  let b = Bytes.create 8 in
+  set_u32 b 0 r.status;
+  set_u32 b 4 r.retval;
+  b
+
+let reply_of_bytes b =
+  if Bytes.length b <> 8 then invalid_arg "Wire.reply_of_bytes";
+  { status = u32_at b 0; retval = u32_at b 4 }
+
+type session_descriptor = { module_name : string; module_version : int; credential : bytes }
+
+let descriptor_to_bytes d =
+  let name = Bytes.of_string d.module_name in
+  let total = 4 + Bytes.length name + 4 + 4 + Bytes.length d.credential in
+  let b = Bytes.create total in
+  set_u32 b 0 (Bytes.length name);
+  Bytes.blit name 0 b 4 (Bytes.length name);
+  let off = 4 + Bytes.length name in
+  set_u32 b off d.module_version;
+  set_u32 b (off + 4) (Bytes.length d.credential);
+  Bytes.blit d.credential 0 b (off + 8) (Bytes.length d.credential);
+  b
+
+let descriptor_of_bytes b =
+  let need off n =
+    if off + n > Bytes.length b then invalid_arg "Wire.descriptor_of_bytes: truncated"
+  in
+  need 0 4;
+  let name_len = u32_at b 0 in
+  need 4 name_len;
+  let module_name = Bytes.sub_string b 4 name_len in
+  let off = 4 + name_len in
+  need off 8;
+  let module_version = u32_at b off in
+  let cred_len = u32_at b (off + 4) in
+  need (off + 8) cred_len;
+  let credential = Bytes.sub b (off + 8) cred_len in
+  { module_name; module_version; credential }
+
+type handle_info = { m_id : int; handle_pid : int; req_qid : int; rep_qid : int }
+
+let handle_info_size = 16
+
+let handle_info_to_bytes h =
+  let b = Bytes.create handle_info_size in
+  set_u32 b 0 h.m_id;
+  set_u32 b 4 h.handle_pid;
+  set_u32 b 8 h.req_qid;
+  set_u32 b 12 h.rep_qid;
+  b
+
+let handle_info_of_bytes b =
+  if Bytes.length b <> handle_info_size then invalid_arg "Wire.handle_info_of_bytes";
+  { m_id = u32_at b 0; handle_pid = u32_at b 4; req_qid = u32_at b 8; rep_qid = u32_at b 12 }

@@ -1,0 +1,39 @@
+(** Fixed little-endian codecs for the kernel↔handle message-queue
+    protocol and for the descriptors that cross the user/kernel boundary
+    through simulated memory. *)
+
+type request = {
+  func_id : int;
+  args_base : int;  (** address of arg1 on the shared stack *)
+  client_sp : int;
+  client_fp : int;
+}
+
+type reply = { status : int; retval : int }
+
+val request_to_bytes : request -> bytes
+val request_of_bytes : bytes -> request
+val reply_to_bytes : reply -> bytes
+val reply_of_bytes : bytes -> reply
+
+type session_descriptor = {
+  module_name : string;
+  module_version : int;
+  credential : bytes;  (** serialised {!Credential.t} *)
+}
+
+val descriptor_to_bytes : session_descriptor -> bytes
+val descriptor_of_bytes : bytes -> session_descriptor
+(** Raises [Invalid_argument] on truncation. *)
+
+type handle_info = {
+  m_id : int;
+  handle_pid : int;
+  req_qid : int;
+  rep_qid : int;
+}
+(** What [sys_smod_handle_info] writes back into client memory. *)
+
+val handle_info_to_bytes : handle_info -> bytes
+val handle_info_of_bytes : bytes -> handle_info
+val handle_info_size : int

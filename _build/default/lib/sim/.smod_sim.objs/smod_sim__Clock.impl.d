@@ -1,0 +1,1 @@
+lib/sim/clock.ml: Cost_model Smod_util

@@ -1,0 +1,29 @@
+(** The simulated CPU clock.
+
+    All simulated components charge their work here.  Charges carry small
+    multiplicative jitter (deterministic, from the clock's own generator) so
+    repeated measurements have a realistic nonzero spread, as in the
+    paper's stdev column. *)
+
+type t
+
+val create : ?seed:int64 -> ?jitter:float -> unit -> t
+(** [jitter] is the half-width of the per-charge noise factor
+    (default 0.015, i.e. each charge is scaled by a uniform draw from
+    [\[0.985, 1.015\]]).  Pass [0.0] for exact, noise-free accounting. *)
+
+val charge : t -> Cost_model.op -> unit
+val charge_n : t -> Cost_model.op -> int -> unit
+(** [charge_n t op k] charges [k] occurrences (one jitter draw for the
+    batch, to keep million-iteration loops cheap). *)
+
+val charge_cycles : t -> float -> unit
+(** Raw cycle charge, no jitter.  For cost already aggregated elsewhere. *)
+
+val now_cycles : t -> float
+val now_us : t -> float
+val reset : t -> unit
+(** Zero the elapsed time (the RNG state is preserved). *)
+
+val elapsed_us : t -> since:float -> float
+(** [elapsed_us t ~since] where [since] is a previous [now_cycles]. *)

@@ -1,0 +1,127 @@
+type op =
+  | Trap_enter
+  | Trap_exit
+  | Getpid_body
+  | Getpid_client_fixup
+  | Context_switch
+  | Sched_enqueue
+  | Sched_wakeup
+  | Msgq_send
+  | Msgq_recv
+  | Copy_bytes of int
+  | Page_map
+  | Page_unmap
+  | Page_protect
+  | Tlb_flush
+  | Page_fault_resolve
+  | Peer_share_fault
+  | Cred_check
+  | Registry_lookup
+  | Policy_always_allow
+  | Policy_counter_check
+  | Keynote_assertion_eval
+  | Stub_push_args of int
+  | Stub_receive
+  | Stub_return
+  | Fork_base
+  | Exec_base
+  | Aes_block
+  | Aes_key_schedule
+  | Sha256_block
+  | Xdr_encode_word
+  | Xdr_decode_word
+  | Xdr_bytes of int
+  | Udp_send_stack
+  | Udp_recv_stack
+  | Socket_op
+  | Rpc_dispatch
+  | Svm_instr
+  | Native_call_overhead
+
+let mhz = 599.0
+let cycles_per_us = mhz
+let us_of_cycles c = c /. cycles_per_us
+
+(* Calibration anchor: native getpid = trap_enter + getpid_body + trap_exit
+   = 170 + 54 + 170 = 394 cycles = 0.658 us at 599 MHz, matching Figure 8
+   row 1.  Everything else is an estimate of the same machine's cost for
+   that category of work, in the same unit. *)
+let cycles = function
+  | Trap_enter -> 170.0
+  | Trap_exit -> 170.0
+  | Getpid_body -> 54.0
+  | Getpid_client_fixup -> 75.0
+  | Context_switch -> 800.0
+  | Sched_enqueue -> 60.0
+  | Sched_wakeup -> 140.0
+  | Msgq_send -> 260.0
+  | Msgq_recv -> 260.0
+  | Copy_bytes n -> 40.0 +. (0.3 *. float_of_int n)
+  | Page_map -> 130.0
+  | Page_unmap -> 110.0
+  | Page_protect -> 90.0
+  | Tlb_flush -> 220.0
+  | Page_fault_resolve -> 1400.0
+  | Peer_share_fault -> 1750.0
+  | Cred_check -> 150.0
+  | Registry_lookup -> 80.0
+  | Policy_always_allow -> 25.0
+  | Policy_counter_check -> 60.0
+  | Keynote_assertion_eval -> 420.0
+  | Stub_push_args n -> 18.0 +. (6.0 *. float_of_int n)
+  | Stub_receive -> 120.0
+  | Stub_return -> 70.0
+  | Fork_base -> 28000.0
+  | Exec_base -> 95000.0
+  | Aes_block -> 360.0
+  | Aes_key_schedule -> 1100.0
+  | Sha256_block -> 900.0
+  | Xdr_encode_word -> 22.0
+  | Xdr_decode_word -> 26.0
+  | Xdr_bytes n -> 30.0 +. (0.45 *. float_of_int n)
+  | Udp_send_stack -> 7600.0
+  | Udp_recv_stack -> 8200.0
+  | Socket_op -> 420.0
+  | Rpc_dispatch -> 240.0
+  | Svm_instr -> 3.0
+  | Native_call_overhead -> 8.0
+
+let describe = function
+  | Trap_enter -> "trap-enter"
+  | Trap_exit -> "trap-exit"
+  | Getpid_body -> "getpid-body"
+  | Getpid_client_fixup -> "getpid-client-fixup"
+  | Context_switch -> "context-switch"
+  | Sched_enqueue -> "sched-enqueue"
+  | Sched_wakeup -> "sched-wakeup"
+  | Msgq_send -> "msgq-send"
+  | Msgq_recv -> "msgq-recv"
+  | Copy_bytes n -> Printf.sprintf "copy-bytes[%d]" n
+  | Page_map -> "page-map"
+  | Page_unmap -> "page-unmap"
+  | Page_protect -> "page-protect"
+  | Tlb_flush -> "tlb-flush"
+  | Page_fault_resolve -> "page-fault"
+  | Peer_share_fault -> "peer-share-fault"
+  | Cred_check -> "cred-check"
+  | Registry_lookup -> "registry-lookup"
+  | Policy_always_allow -> "policy-always-allow"
+  | Policy_counter_check -> "policy-counter"
+  | Keynote_assertion_eval -> "keynote-assertion"
+  | Stub_push_args n -> Printf.sprintf "stub-push-args[%d]" n
+  | Stub_receive -> "stub-receive"
+  | Stub_return -> "stub-return"
+  | Fork_base -> "fork"
+  | Exec_base -> "exec"
+  | Aes_block -> "aes-block"
+  | Aes_key_schedule -> "aes-key-schedule"
+  | Sha256_block -> "sha256-block"
+  | Xdr_encode_word -> "xdr-encode-word"
+  | Xdr_decode_word -> "xdr-decode-word"
+  | Xdr_bytes n -> Printf.sprintf "xdr-bytes[%d]" n
+  | Udp_send_stack -> "udp-send-stack"
+  | Udp_recv_stack -> "udp-recv-stack"
+  | Socket_op -> "socket-op"
+  | Rpc_dispatch -> "rpc-dispatch"
+  | Svm_instr -> "svm-instr"
+  | Native_call_overhead -> "native-call"

@@ -1,0 +1,67 @@
+(** The cycle-cost model.
+
+    Every primitive event in the simulated machine is charged a number of
+    CPU cycles here.  The constants are calibrated against the paper's
+    testbed (Figure 7: Pentium III "Katmai", 599 MHz, 512 KB L2,
+    OpenBSD 3.6) such that the *native getpid* path lands near the paper's
+    0.658 µs/call.  Every other benchmark number is emergent: it is the sum
+    of the events that path actually executes, not a hard-coded answer.
+
+    Keeping all constants in this one module is deliberate — it is the
+    single place where "how expensive is the machine" is decided, and the
+    place DESIGN.md points reviewers at. *)
+
+type op =
+  | Trap_enter  (** user → kernel transition: int/sysenter + kernel prologue *)
+  | Trap_exit  (** kernel → user return path *)
+  | Getpid_body  (** the work of [sys_getpid] proper *)
+  | Getpid_client_fixup
+      (** SecModule special handling: map the handle-side getpid result back
+          to the client's pid (§4.3) *)
+  | Context_switch  (** scheduler switch between two processes *)
+  | Sched_enqueue
+  | Sched_wakeup
+  | Msgq_send  (** SysV [msgsnd], excluding any blocking *)
+  | Msgq_recv  (** SysV [msgrcv], excluding any blocking *)
+  | Copy_bytes of int  (** kernel/user or cross-process copy of [n] bytes *)
+  | Page_map
+  | Page_unmap
+  | Page_protect
+  | Tlb_flush
+  | Page_fault_resolve  (** ordinary fault: look up entry, map page *)
+  | Peer_share_fault
+      (** the paper's modified [uvm_fault]: consult the SecModule peer's map
+          and share its page (§4.1) *)
+  | Cred_check  (** per-call credential revalidation in [sys_smod_call] *)
+  | Registry_lookup  (** find a registered SecModule by id *)
+  | Policy_always_allow
+  | Policy_counter_check  (** quota / rate-limit style counters *)
+  | Keynote_assertion_eval  (** evaluating one KeyNote assertion *)
+  | Stub_push_args of int  (** client stub: push [n] argument words + ids *)
+  | Stub_receive  (** handle-side stack repointing ([smod_stub_receive]) *)
+  | Stub_return  (** frame restoration on the way back *)
+  | Fork_base
+  | Exec_base
+  | Aes_block  (** one 16-byte AES block (encrypt or decrypt) *)
+  | Aes_key_schedule
+  | Sha256_block
+  | Xdr_encode_word
+  | Xdr_decode_word
+  | Xdr_bytes of int  (** XDR opaque/string body of [n] bytes *)
+  | Udp_send_stack  (** socket → IP → loopback driver, one datagram out *)
+  | Udp_recv_stack  (** driver → IP → socket buffer, one datagram in *)
+  | Socket_op  (** socket bookkeeping around send/recv *)
+  | Rpc_dispatch  (** server-side program/procedure lookup *)
+  | Svm_instr  (** one interpreted module-VM instruction *)
+  | Native_call_overhead  (** plain user-level call/ret, for baselines *)
+
+val cycles : op -> float
+(** Cycle charge for one occurrence of [op]. *)
+
+val mhz : float
+(** Simulated CPU clock: 599.0 (Figure 7). *)
+
+val cycles_per_us : float
+val us_of_cycles : float -> float
+val describe : op -> string
+(** Short human-readable label, used by traces. *)

@@ -1,0 +1,39 @@
+type event = { timestamp_us : float; actor : string; label : string }
+
+type t = {
+  capacity : int;
+  mutable enabled : bool;
+  mutable events : event list;  (* newest first *)
+  mutable count : int;
+}
+
+let create ?(capacity = 4096) ?(enabled = true) () =
+  { capacity; enabled; events = []; count = 0 }
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+
+let emit t ~clock ~actor label =
+  if t.enabled then begin
+    let e = { timestamp_us = Clock.now_us clock; actor; label } in
+    t.events <- e :: t.events;
+    t.count <- t.count + 1;
+    if t.count > t.capacity then begin
+      (* Drop the oldest event; the list is newest-first. *)
+      t.events <- List.filteri (fun i _ -> i < t.capacity) t.events;
+      t.count <- t.capacity
+    end
+  end
+
+let emitf t ~clock ~actor fmt = Format.kasprintf (fun s -> emit t ~clock ~actor s) fmt
+let events t = List.rev t.events
+let labels t = List.map (fun e -> e.label) (events t)
+
+let clear t =
+  t.events <- [];
+  t.count <- 0
+
+let pp ppf t =
+  List.iter
+    (fun e -> Format.fprintf ppf "[%10.3f us] %-8s %s@\n" e.timestamp_us e.actor e.label)
+    (events t)

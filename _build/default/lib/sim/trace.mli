@@ -1,0 +1,23 @@
+(** Event tracing for the simulated machine.
+
+    Used to reproduce the paper's sequence diagrams (Figure 1's
+    initialization handshake, Figure 3's stack choreography) as observable,
+    testable event streams. *)
+
+type event = { timestamp_us : float; actor : string; label : string }
+
+type t
+
+val create : ?capacity:int -> ?enabled:bool -> unit -> t
+(** Ring buffer of at most [capacity] events (default 4096). *)
+
+val enable : t -> unit
+val disable : t -> unit
+val emit : t -> clock:Clock.t -> actor:string -> string -> unit
+val emitf : t -> clock:Clock.t -> actor:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val events : t -> event list
+(** Oldest first. *)
+
+val labels : t -> string list
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

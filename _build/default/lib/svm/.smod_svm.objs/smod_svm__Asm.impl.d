@@ -1,0 +1,1 @@
+lib/svm/asm.ml: Bytes Format Hashtbl Isa List String

@@ -1,0 +1,1 @@
+lib/svm/interp.ml: Array Bytes Hashtbl Isa List Printf Smod_sim Smod_vmem

@@ -1,0 +1,1 @@
+lib/svm/interp.mli: Smod_sim Smod_vmem

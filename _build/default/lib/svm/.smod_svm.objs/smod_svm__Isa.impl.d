@@ -1,0 +1,1 @@
+lib/svm/isa.ml: Bytes Char Format List Printf

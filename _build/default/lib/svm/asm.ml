@@ -1,0 +1,164 @@
+exception Error of { line : int; message : string }
+
+let fail line fmt = Format.kasprintf (fun message -> raise (Error { line; message })) fmt
+
+type stmt = { line : int; labels : string list; instr : pre_instr option }
+
+(* Jumps reference labels before resolution. *)
+and pre_instr = Resolved of Isa.instr | Jump of jump_kind * string | Call_sym of string
+and jump_kind = Kjmp | Kjz | Kjnz
+
+let parse_int line s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line "bad integer %S" s
+
+let split_words s =
+  String.split_on_char ' ' s |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse_line lineno raw =
+  let text = match String.index_opt raw ';' with Some i -> String.sub raw 0 i | None -> raw in
+  let text = String.trim text in
+  if text = "" then { line = lineno; labels = []; instr = None }
+  else begin
+    (* Leading "name:" prefixes are labels. *)
+    let rec strip_labels acc text =
+      match String.index_opt text ':' with
+      | Some i
+        when i > 0
+             && String.for_all
+                  (fun c -> c = '_' || c = '.' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9'))
+                  (String.sub text 0 i) ->
+          strip_labels (String.sub text 0 i :: acc) (String.trim (String.sub text (i + 1) (String.length text - i - 1)))
+      | _ -> (List.rev acc, text)
+    in
+    let labels, rest = strip_labels [] text in
+    if rest = "" then { line = lineno; labels; instr = None }
+    else begin
+      let instr =
+        match split_words rest with
+        | [ "nop" ] -> Resolved Isa.Nop
+        | [ "push"; v ] -> Resolved (Isa.Push (parse_int lineno v))
+        | [ "loadarg"; k ] -> Resolved (Isa.Loadarg (parse_int lineno k))
+        | [ "loadw" ] -> Resolved Isa.Loadw
+        | [ "storew" ] -> Resolved Isa.Storew
+        | [ "loadb" ] -> Resolved Isa.Loadb
+        | [ "storeb" ] -> Resolved Isa.Storeb
+        | [ "add" ] -> Resolved Isa.Add
+        | [ "sub" ] -> Resolved Isa.Sub
+        | [ "mul" ] -> Resolved Isa.Mul
+        | [ "divu" ] -> Resolved Isa.Divu
+        | [ "and" ] -> Resolved Isa.And
+        | [ "or" ] -> Resolved Isa.Or
+        | [ "xor" ] -> Resolved Isa.Xor
+        | [ "shl" ] -> Resolved Isa.Shl
+        | [ "shr" ] -> Resolved Isa.Shr
+        | [ "eq" ] -> Resolved Isa.Eq
+        | [ "lt" ] -> Resolved Isa.Lt
+        | [ "ltu" ] -> Resolved Isa.Ltu
+        | [ "call"; sym ] -> Call_sym sym
+        | [ "jmp"; l ] -> Jump (Kjmp, l)
+        | [ "jz"; l ] -> Jump (Kjz, l)
+        | [ "jnz"; l ] -> Jump (Kjnz, l)
+        | [ "dup" ] -> Resolved Isa.Dup
+        | [ "drop" ] -> Resolved Isa.Drop
+        | [ "swap" ] -> Resolved Isa.Swap
+        | [ "localget"; k ] -> Resolved (Isa.Localget (parse_int lineno k))
+        | [ "localset"; k ] -> Resolved (Isa.Localset (parse_int lineno k))
+        | [ "sys"; nr; nargs ] -> Resolved (Isa.Sys (parse_int lineno nr, parse_int lineno nargs))
+        | [ "ret" ] -> Resolved Isa.Ret
+        | w :: _ -> fail lineno "unknown mnemonic %S" w
+        | [] -> assert false
+      in
+      { line = lineno; labels; instr = Some instr }
+    end
+  end
+
+let placeholder_of_jump = function
+  | Kjmp -> Isa.Jmp 0
+  | Kjz -> Isa.Jz 0
+  | Kjnz -> Isa.Jnz 0
+
+let jump_with_disp kind disp =
+  match kind with Kjmp -> Isa.Jmp disp | Kjz -> Isa.Jz disp | Kjnz -> Isa.Jnz disp
+
+let assemble_function source =
+  let stmts = List.mapi (fun i raw -> parse_line (i + 1) raw) (String.split_on_char '\n' source) in
+  (* Pass 1: lay out offsets and record label positions. *)
+  let labels = Hashtbl.create 16 in
+  let offset = ref 0 in
+  let placed =
+    List.filter_map
+      (fun s ->
+        List.iter
+          (fun l ->
+            if Hashtbl.mem labels l then fail s.line "duplicate label %S" l;
+            Hashtbl.replace labels l !offset)
+          s.labels;
+        match s.instr with
+        | None -> None
+        | Some pre ->
+            let size =
+              Isa.length
+                (match pre with
+                | Resolved i -> i
+                | Jump (k, _) -> placeholder_of_jump k
+                | Call_sym _ -> Isa.Call 0)
+            in
+            let this = (!offset, s.line, pre) in
+            offset := !offset + size;
+            Some this)
+      stmts
+  in
+  (* Pass 2: resolve jumps (displacement is relative to the next
+     instruction, as the interpreter expects); record a relocation for
+     every cross-function call. *)
+  let relocs = ref [] in
+  let resolved =
+    List.map
+      (fun (off, line, pre) ->
+        match pre with
+        | Resolved i -> i
+        | Call_sym sym ->
+            (* operand starts one byte past the opcode *)
+            relocs := (off + 1, sym) :: !relocs;
+            Isa.Call 0
+        | Jump (kind, label) -> (
+            match Hashtbl.find_opt labels label with
+            | None -> fail line "undefined label %S" label
+            | Some target ->
+                let next = off + Isa.length (placeholder_of_jump kind) in
+                let disp = target - next in
+                if disp < -32768 || disp > 32767 then fail line "jump to %S out of range" label;
+                jump_with_disp kind disp))
+      placed
+  in
+  (Isa.encode resolved, List.rev !relocs)
+
+let assemble source =
+  match assemble_function source with
+  | code, [] -> code
+  | _, _ :: _ ->
+      raise
+        (Error
+           {
+             line = 0;
+             message = "source uses 'call': assemble_function is required for relocations";
+           })
+
+let disassemble code =
+  let n = Bytes.length code in
+  let rec loop off acc =
+    if off >= n then List.rev acc
+    else begin
+      let instr, next = Isa.decode_at code off in
+      loop next ((off, instr) :: acc)
+    end
+  in
+  loop 0 []
+
+let pp_listing ppf code =
+  List.iter
+    (fun (off, instr) -> Format.fprintf ppf "%04x: %a@\n" off Isa.pp instr)
+    (disassemble code)

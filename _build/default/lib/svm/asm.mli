@@ -1,0 +1,22 @@
+(** Two-pass assembler and disassembler for the module VM.
+
+    Syntax: one instruction per line, [;] starts a comment, [label:] on a
+    line of its own (or before an instruction) defines a jump target.
+    Jump instructions take a label name. *)
+
+exception Error of { line : int; message : string }
+
+val assemble : string -> bytes
+(** Raises {!Error} with a 1-based source line on any problem, including
+    use of [call] (which needs relocations — use {!assemble_function}). *)
+
+val assemble_function : string -> bytes * (int * string) list
+(** Like {!assemble} but supports [call <symbol>]: each call's 4-byte
+    operand is emitted as zero and reported as a relocation
+    [(operand offset, symbol name)] for {!Smod_modfmt.Smof.Builder} to
+    register — the linker patches the absolute address at load time. *)
+
+val disassemble : bytes -> (int * Isa.instr) list
+(** [(offset, instruction)] pairs covering the whole image. *)
+
+val pp_listing : Format.formatter -> bytes -> unit

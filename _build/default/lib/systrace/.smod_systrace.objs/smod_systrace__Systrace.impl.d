@@ -1,0 +1,1 @@
+lib/systrace/systrace.ml: Array Format Hashtbl List Smod_kern Smod_sim String

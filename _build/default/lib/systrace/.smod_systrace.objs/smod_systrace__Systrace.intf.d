@@ -1,0 +1,1 @@
+lib/systrace/systrace.mli: Smod_kern

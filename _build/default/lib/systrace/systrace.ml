@@ -1,0 +1,183 @@
+module Machine = Smod_kern.Machine
+module Proc = Smod_kern.Proc
+module Errno = Smod_kern.Errno
+module Sysno = Smod_kern.Sysno
+module Clock = Smod_sim.Clock
+
+type action = Permit | Deny of Errno.t
+
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+type condition = { arg_index : int; op : cmp; value : int }
+
+type rule = { sysname : string; cond : condition option; action : action }
+
+type policy = { policy_name : string; rules : rule list; default : action }
+
+exception Policy_error of { line : int; message : string }
+
+let fail line fmt = Format.kasprintf (fun message -> raise (Policy_error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Policy parsing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let errno_of_string line = function
+  | "EPERM" -> Errno.EPERM
+  | "EACCES" -> Errno.EACCES
+  | "ENOMEM" -> Errno.ENOMEM
+  | "EINVAL" -> Errno.EINVAL
+  | "ENOSYS" -> Errno.ENOSYS
+  | "ENOENT" -> Errno.ENOENT
+  | other -> fail line "unknown errno %S" other
+
+let parse_action line words =
+  match words with
+  | [ "permit" ] -> Permit
+  | [ "deny" ] -> Deny Errno.EPERM
+  | [ "deny"; e ] -> Deny (errno_of_string line e)
+  | _ -> fail line "expected 'permit' or 'deny [ERRNO]'"
+
+let parse_cmp line = function
+  | "<" -> Lt
+  | "<=" -> Le
+  | ">" -> Gt
+  | ">=" -> Ge
+  | "==" -> Eq
+  | "!=" -> Ne
+  | other -> fail line "unknown comparison %S" other
+
+let parse_arg_ref line word =
+  let n = String.length word in
+  if n > 3 && String.sub word 0 3 = "arg" then begin
+    match int_of_string_opt (String.sub word 3 (n - 3)) with
+    | Some k when k >= 0 && k < 8 -> k
+    | _ -> fail line "bad argument reference %S" word
+  end
+  else fail line "expected argN, found %S" word
+
+let words_of s =
+  String.split_on_char ' ' s |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse_policy source =
+  let name = ref None in
+  let rules = ref [] in
+  let default = ref (Deny Errno.EPERM) in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let text =
+        match String.index_opt raw '#' with Some j -> String.sub raw 0 j | None -> raw
+      in
+      let text = String.trim text in
+      if text <> "" then begin
+        match String.index_opt text ':' with
+        | None -> fail line "expected 'field: value'"
+        | Some j ->
+            let field = String.trim (String.sub text 0 j) in
+            let value = String.trim (String.sub text (j + 1) (String.length text - j - 1)) in
+            if field = "policy" then name := Some value
+            else if field = "default" then default := parse_action line (words_of value)
+            else begin
+              let sysname =
+                if String.length field > 7 && String.sub field 0 7 = "native-" then
+                  String.sub field 7 (String.length field - 7)
+                else fail line "rules must name native-<syscall>, found %S" field
+              in
+              let words = words_of value in
+              let cond, action_words =
+                match words with
+                | argref :: op :: v :: "then" :: rest ->
+                    let arg_index = parse_arg_ref line argref in
+                    let op = parse_cmp line op in
+                    let value =
+                      match int_of_string_opt v with
+                      | Some n -> n
+                      | None -> fail line "bad number %S" v
+                    in
+                    (Some { arg_index; op; value }, rest)
+                | words -> (None, words)
+              in
+              rules := { sysname; cond; action = parse_action line action_words } :: !rules
+            end
+      end)
+    (String.split_on_char '\n' source);
+  match !name with
+  | None -> fail 0 "missing 'policy:' header"
+  | Some policy_name -> { policy_name; rules = List.rev !rules; default = !default }
+
+(* ------------------------------------------------------------------ *)
+(* Decision                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cond_holds cond args =
+  let v = if cond.arg_index < Array.length args then args.(cond.arg_index) else 0 in
+  match cond.op with
+  | Lt -> v < cond.value
+  | Le -> v <= cond.value
+  | Gt -> v > cond.value
+  | Ge -> v >= cond.value
+  | Eq -> v = cond.value
+  | Ne -> v <> cond.value
+
+let decide policy ~sysname ~args =
+  let rec scan n = function
+    | [] -> (policy.default, n)
+    | r :: rest ->
+        if r.sysname = sysname && (match r.cond with None -> true | Some c -> cond_holds c args)
+        then (r.action, n + 1)
+        else scan (n + 1) rest
+  in
+  scan 0 policy.rules
+
+(* ------------------------------------------------------------------ *)
+(* Enforcement engine                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type event = {
+  ev_pid : int;
+  ev_sysno : int;
+  ev_sysname : string;
+  ev_args : int array;
+  ev_allowed : bool;
+}
+
+type t = {
+  machine : Machine.t;
+  policies : (int, policy) Hashtbl.t;
+  mutable events : event list;  (* newest first *)
+  mutable n_events : int;
+}
+
+let filter t (p : Proc.t) nr args =
+  match Hashtbl.find_opt t.policies p.Proc.pid with
+  | None -> `Allow
+  | Some policy ->
+      let sysname = Sysno.name nr in
+      let action, scanned = decide policy ~sysname ~args in
+      (* Rule evaluation costs the kernel time on every trap. *)
+      Clock.charge_cycles (Machine.clock t.machine) (30.0 +. (12.0 *. float_of_int scanned));
+      let allowed = action = Permit in
+      t.events <-
+        { ev_pid = p.Proc.pid; ev_sysno = nr; ev_sysname = sysname; ev_args = Array.copy args; ev_allowed = allowed }
+        :: t.events;
+      t.n_events <- t.n_events + 1;
+      (match action with Permit -> `Allow | Deny e -> `Deny e)
+
+let install machine =
+  let t = { machine; policies = Hashtbl.create 8; events = []; n_events = 0 } in
+  Machine.set_syscall_filter machine (Some (fun p nr args -> filter t p nr args));
+  t
+
+let attach t ~pid policy = Hashtbl.replace t.policies pid policy
+let detach t ~pid = Hashtbl.remove t.policies pid
+let attached t ~pid = Hashtbl.mem t.policies pid
+let audit t = List.rev t.events
+let audit_count t = t.n_events
+
+let clear_audit t =
+  t.events <- [];
+  t.n_events <- 0
+
+let uninstall t = Machine.set_syscall_filter t.machine None

@@ -1,0 +1,65 @@
+(** A Systrace-style syscall policy engine (Provos, USENIX Security 2003).
+
+    The paper's Background section (§2) positions SecModule against
+    Systrace: syscall-level policies are fine-grained but operate at the
+    wrong altitude — "the behavior of software captured by systrace is
+    (counter-intuitively) too verbose", one library-level operation
+    explodes into many syscall events, and "a misconfigured system call
+    policy" can interrupt a multi-syscall library operation midway,
+    "resulting in the library code being in an inconsistent state".
+
+    This substrate exists so those claims can be demonstrated and measured
+    (see [examples/systrace_compare.ml]): it interposes on the simulated
+    kernel's trap path, evaluates per-process policies, and keeps the
+    audit log whose sheer volume is the §2 argument.
+
+    Policy syntax (one rule per line, first match wins):
+    {v
+      policy: some-name
+      native-getpid: permit
+      native-obreak: arg0 < 73728 then permit
+      native-obreak: deny ENOMEM
+      default: deny
+    v} *)
+
+type action = Permit | Deny of Smod_kern.Errno.t
+
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+type condition = { arg_index : int; op : cmp; value : int }
+
+type rule = { sysname : string; cond : condition option; action : action }
+
+type policy = { policy_name : string; rules : rule list; default : action }
+
+exception Policy_error of { line : int; message : string }
+
+val parse_policy : string -> policy
+
+val decide : policy -> sysname:string -> args:int array -> action * int
+(** (decision, rules scanned) — exposed for tests and cost accounting. *)
+
+type event = {
+  ev_pid : int;
+  ev_sysno : int;
+  ev_sysname : string;
+  ev_args : int array;
+  ev_allowed : bool;
+}
+
+type t
+
+val install : Smod_kern.Machine.t -> t
+(** Claims the machine's syscall-filter hook.  Unattached processes are
+    unaffected. *)
+
+val attach : t -> pid:int -> policy -> unit
+val detach : t -> pid:int -> unit
+val attached : t -> pid:int -> bool
+val audit : t -> event list
+(** Oldest first; every trap by an attached process, allowed or not. *)
+
+val audit_count : t -> int
+val clear_audit : t -> unit
+val uninstall : t -> unit
+(** Release the machine hook. *)

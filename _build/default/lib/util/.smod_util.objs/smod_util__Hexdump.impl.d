@@ -1,0 +1,1 @@
+lib/util/hexdump.ml: Bytes Char Format String

@@ -1,0 +1,51 @@
+let hex_digits = "0123456789abcdef"
+
+let to_hex b =
+  let n = Bytes.length b in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let v = Char.code (Bytes.get b i) in
+    Bytes.set out (2 * i) hex_digits.[v lsr 4];
+    Bytes.set out ((2 * i) + 1) hex_digits.[v land 0xf]
+  done;
+  Bytes.unsafe_to_string out
+
+let digit_value c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Hexdump.of_hex: not a hex digit"
+
+let of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Hexdump.of_hex: odd length";
+  let out = Bytes.create (n / 2) in
+  for i = 0 to (n / 2) - 1 do
+    let hi = digit_value s.[2 * i] and lo = digit_value s.[(2 * i) + 1] in
+    Bytes.set out i (Char.chr ((hi lsl 4) lor lo))
+  done;
+  out
+
+let pp ppf b =
+  let n = Bytes.length b in
+  let lines = (n + 15) / 16 in
+  for line = 0 to lines - 1 do
+    let base = line * 16 in
+    Format.fprintf ppf "%08x  " base;
+    for i = 0 to 15 do
+      if base + i < n then Format.fprintf ppf "%02x " (Char.code (Bytes.get b (base + i)))
+      else Format.fprintf ppf "   ";
+      if i = 7 then Format.fprintf ppf " "
+    done;
+    Format.fprintf ppf " |";
+    for i = 0 to min 15 (n - base - 1) do
+      let c = Bytes.get b (base + i) in
+      let printable = if Char.code c >= 0x20 && Char.code c < 0x7f then c else '.' in
+      Format.fprintf ppf "%c" printable
+    done;
+    Format.fprintf ppf "|";
+    if line < lines - 1 then Format.fprintf ppf "@\n"
+  done
+
+let dump b = Format.asprintf "%a" pp b

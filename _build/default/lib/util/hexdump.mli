@@ -1,0 +1,13 @@
+(** Hex encoding and classic hexdump formatting. *)
+
+val to_hex : bytes -> string
+(** Lowercase hex, two characters per byte. *)
+
+val of_hex : string -> bytes
+(** Inverse of {!to_hex}.  Raises [Invalid_argument] on odd length or
+    non-hex characters. *)
+
+val pp : Format.formatter -> bytes -> unit
+(** 16-bytes-per-line dump with offsets and an ASCII gutter. *)
+
+val dump : bytes -> string

@@ -1,0 +1,51 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the simulator flows through this module so that every
+    run is reproducible from a single seed.  The generator is xoshiro256**
+    (Blackman & Vigna), seeded through splitmix64. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] builds a generator from a 64-bit seed.  Any seed is
+    acceptable, including [0L]. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits64 : t -> int64
+(** Alias of {!next_int64}. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val unit_float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal deviate via Box–Muller. *)
+
+val jitter : t -> float -> float
+(** [jitter t p] is a multiplicative noise factor uniform in
+    [\[1 -. p, 1 +. p\]]; used by the cost model to give measurements a
+    realistic spread. *)
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] random bytes. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** Derive an independent child generator; advances the parent. *)

@@ -1,0 +1,94 @@
+type summary = {
+  n : int;
+  mean : float;
+  stdev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) xs;
+    !acc /. float_of_int (n - 1)
+  end
+
+let stdev xs = sqrt (variance xs)
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median xs = percentile xs 50.0
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then { n = 0; mean = 0.0; stdev = 0.0; min = 0.0; max = 0.0; median = 0.0 }
+  else
+    {
+      n;
+      mean = mean xs;
+      stdev = stdev xs;
+      min = Array.fold_left min xs.(0) xs;
+      max = Array.fold_left max xs.(0) xs;
+      median = median xs;
+    }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.6f stdev=%.6f min=%.6f median=%.6f max=%.6f" s.n s.mean
+    s.stdev s.min s.median s.max
+
+let linear_regression pts =
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Stats.linear_regression: empty sample";
+  let fn = float_of_int n in
+  let sx = ref 0.0 and sy = ref 0.0 and sxx = ref 0.0 and sxy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y))
+    pts;
+  let denom = (fn *. !sxx) -. (!sx *. !sx) in
+  if Float.abs denom < 1e-12 then (0.0, !sy /. fn)
+  else begin
+    let slope = ((fn *. !sxy) -. (!sx *. !sy)) /. denom in
+    let intercept = (!sy -. (slope *. !sx)) /. fn in
+    (slope, intercept)
+  end
+
+module Online = struct
+  type t = { mutable count : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { count = 0; mean = 0.0; m2 = 0.0 }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.count
+  let mean t = t.mean
+  let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+  let stdev t = sqrt (variance t)
+end

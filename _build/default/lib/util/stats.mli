@@ -1,0 +1,37 @@
+(** Descriptive statistics over float samples. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stdev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val mean : float array -> float
+val variance : float array -> float
+(** Sample variance (n-1 denominator); 0 for fewer than two samples. *)
+
+val stdev : float array -> float
+val median : float array -> float
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]]; linear interpolation. *)
+
+val summarize : float array -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+val linear_regression : (float * float) array -> float * float
+(** [(slope, intercept)] of the least-squares fit. *)
+
+(** Numerically stable streaming mean/variance (Welford). *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stdev : t -> float
+end

@@ -1,0 +1,68 @@
+type align = Left | Right
+type row = Cells of string list | Separator
+type t = { headers : string list; aligns : align array; mutable rows : row list }
+
+let create ?aligns headers =
+  let ncols = List.length headers in
+  if ncols = 0 then invalid_arg "Table.create: no columns";
+  let aligns =
+    match aligns with
+    | Some l ->
+        if List.length l <> ncols then invalid_arg "Table.create: aligns/headers mismatch";
+        Array.of_list l
+    | None -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  { headers; aligns; rows = [] }
+
+let ncols t = List.length t.headers
+
+let add_row t cells =
+  let n = List.length cells in
+  if n > ncols t then invalid_arg "Table.add_row: too many cells";
+  let padded = cells @ List.init (ncols t - n) (fun _ -> "") in
+  t.rows <- Cells padded :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let note_row = function
+    | Separator -> ()
+    | Cells cells -> List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  List.iter note_row rows;
+  let buf = Buffer.create 256 in
+  let pad i cell =
+    let w = widths.(i) in
+    let gap = w - String.length cell in
+    match t.aligns.(i) with
+    | Left -> cell ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ cell
+  in
+  let emit_cells cells =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad i c))
+      cells;
+    Buffer.add_string buf " |\n"
+  in
+  let emit_sep () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_sep ();
+  emit_cells t.headers;
+  emit_sep ();
+  List.iter (function Separator -> emit_sep () | Cells cells -> emit_cells cells) rows;
+  emit_sep ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

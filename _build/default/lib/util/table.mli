@@ -1,0 +1,19 @@
+(** Plain-text aligned tables, used by the benchmark harness to print
+    Figure-8-style result tables. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table.  [aligns] defaults to left for the
+    first column and right for the rest, which suits name-then-numbers
+    benchmark rows. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer rows
+    raise [Invalid_argument]. *)
+
+val add_separator : t -> unit
+val render : t -> string
+val print : t -> unit

@@ -1,0 +1,1 @@
+lib/vmem/aspace.ml: Buffer Bytes Char Format Hashtbl Layout List Option Phys Prot Smod_sim

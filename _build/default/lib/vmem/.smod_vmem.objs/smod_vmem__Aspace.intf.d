@@ -1,0 +1,1 @@
+lib/vmem/aspace.mli: Format Phys Prot Smod_sim

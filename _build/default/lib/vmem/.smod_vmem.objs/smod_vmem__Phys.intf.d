@@ -1,0 +1,1 @@
+lib/vmem/phys.mli: Bytes

@@ -1,0 +1,445 @@
+module Clock = Smod_sim.Clock
+module Cost = Smod_sim.Cost_model
+
+type kind = Text | Data | Heap | Stack | Secret | Mmap
+
+type entry = {
+  mutable start_addr : int;
+  mutable end_addr : int;
+  mutable prot : Prot.t;
+  kind : kind;
+  name : string;
+  mutable inherited_from_peer : bool;
+}
+
+exception Segv of { addr : int; access : Prot.access }
+exception Prot_violation of { addr : int; access : Prot.access }
+exception Overlap of { start_addr : int; end_addr : int }
+exception Bad_range of string
+
+type mapping = { mutable frame : Phys.frame; mutable shared : bool }
+
+type t = {
+  phys : Phys.t;
+  clock : Clock.t;
+  name : string;
+  mutable entries : entry list;  (* sorted by start_addr *)
+  pages : (int, mapping) Hashtbl.t;  (* vpn -> mapping *)
+  mutable heap_base_addr : int;
+  mutable brk_addr : int;
+  mutable peer : t option;
+  mutable share_lo : int;
+  mutable share_hi : int;
+}
+
+let create ~phys ~clock ~name =
+  {
+    phys;
+    clock;
+    name;
+    entries = [];
+    pages = Hashtbl.create 256;
+    heap_base_addr = Layout.data_base;
+    brk_addr = Layout.data_base;
+    peer = None;
+    share_lo = 0;
+    share_hi = 0;
+  }
+
+let name t = t.name
+let phys t = t.phys
+let clock t = t.clock
+let entries t = t.entries
+let peer t = t.peer
+
+let in_share_range t addr = t.peer <> None && addr >= t.share_lo && addr < t.share_hi
+
+let check_range ~start_addr ~size =
+  if size <= 0 then raise (Bad_range "empty region");
+  if not (Layout.is_page_aligned start_addr) then raise (Bad_range "unaligned start");
+  if not (Layout.is_page_aligned size) then raise (Bad_range "unaligned size")
+
+let overlaps e lo hi = e.start_addr < hi && lo < e.end_addr
+
+let add_entry t ~start_addr ~size ~prot ~kind ~name =
+  check_range ~start_addr ~size;
+  let end_addr = start_addr + size in
+  List.iter
+    (fun e -> if overlaps e start_addr end_addr then raise (Overlap { start_addr; end_addr }))
+    t.entries;
+  let entry = { start_addr; end_addr; prot; kind; name; inherited_from_peer = false } in
+  t.entries <- List.sort (fun a b -> compare a.start_addr b.start_addr) (entry :: t.entries)
+
+let find_entry t addr =
+  List.find_opt (fun e -> addr >= e.start_addr && addr < e.end_addr) t.entries
+
+(* The entry that governs [addr] for protection purposes: a local one, or —
+   inside the forced-share range — the peer's (the paper's modified
+   uvm_fault consults the other process's map). *)
+let governing_entry t addr =
+  match find_entry t addr with
+  | Some _ as found -> found
+  | None ->
+      if in_share_range t addr then
+        match t.peer with Some p -> find_entry p addr | None -> None
+      else None
+
+let drop_page t vpn =
+  match Hashtbl.find_opt t.pages vpn with
+  | None -> ()
+  | Some m ->
+      Phys.decref t.phys m.frame;
+      Hashtbl.remove t.pages vpn;
+      Clock.charge t.clock Cost.Page_unmap
+
+let remove_range t ~start_addr ~size =
+  check_range ~start_addr ~size;
+  let end_addr = start_addr + size in
+  let lo_vpn = Layout.vpn_of_addr start_addr and hi_vpn = Layout.vpn_of_addr (end_addr - 1) in
+  for vpn = lo_vpn to hi_vpn do
+    drop_page t vpn
+  done;
+  Clock.charge t.clock Cost.Tlb_flush;
+  let adjust acc e =
+    if not (overlaps e start_addr end_addr) then e :: acc
+    else if e.start_addr >= start_addr && e.end_addr <= end_addr then acc (* fully covered *)
+    else if e.start_addr < start_addr && e.end_addr > end_addr then begin
+      (* split in two *)
+      let right =
+        {
+          start_addr = end_addr;
+          end_addr = e.end_addr;
+          prot = e.prot;
+          kind = e.kind;
+          name = e.name;
+          inherited_from_peer = e.inherited_from_peer;
+        }
+      in
+      e.end_addr <- start_addr;
+      right :: e :: acc
+    end
+    else if e.start_addr < start_addr then begin
+      e.end_addr <- start_addr;
+      e :: acc
+    end
+    else begin
+      e.start_addr <- end_addr;
+      e :: acc
+    end
+  in
+  t.entries <-
+    List.sort (fun a b -> compare a.start_addr b.start_addr) (List.fold_left adjust [] t.entries)
+
+let protect_range t ~start_addr ~size ~prot =
+  check_range ~start_addr ~size;
+  let end_addr = start_addr + size in
+  List.iter
+    (fun e ->
+      if overlaps e start_addr end_addr then begin
+        if e.start_addr < start_addr || e.end_addr > end_addr then
+          raise (Bad_range "protect_range must cover whole entries");
+        e.prot <- prot;
+        Clock.charge t.clock Cost.Page_protect
+      end)
+    t.entries;
+  Clock.charge t.clock Cost.Tlb_flush
+
+let install_shared t vpn frame =
+  Phys.incref frame;
+  Hashtbl.replace t.pages vpn { frame; shared = true };
+  Clock.charge t.clock Cost.Page_map
+
+let fault t ~addr ~access =
+  let vpn = Layout.vpn_of_addr addr in
+  match governing_entry t addr with
+  | None -> raise (Segv { addr; access })
+  | Some entry ->
+      if not (Prot.allows entry.prot access) then raise (Prot_violation { addr; access });
+      if not (Hashtbl.mem t.pages vpn) then begin
+        let peer_mapping =
+          if in_share_range t addr then
+            match t.peer with
+            | Some p -> Hashtbl.find_opt p.pages vpn
+            | None -> None
+          else None
+        in
+        match peer_mapping with
+        | Some pm ->
+            (* Modified uvm_fault: the peer already has this page — map the
+               same frame here as a share. *)
+            Clock.charge t.clock Cost.Peer_share_fault;
+            pm.shared <- true;
+            install_shared t vpn pm.frame
+        | None ->
+            Clock.charge t.clock Cost.Page_fault_resolve;
+            let frame = Phys.alloc t.phys in
+            let shared = in_share_range t addr in
+            Hashtbl.replace t.pages vpn { frame; shared };
+            Clock.charge t.clock Cost.Page_map
+      end
+
+let is_mapped t addr = Hashtbl.mem t.pages (Layout.vpn_of_addr addr)
+
+let is_shared_with_peer t addr =
+  match (Hashtbl.find_opt t.pages (Layout.vpn_of_addr addr), t.peer) with
+  | Some m, Some p -> (
+      match Hashtbl.find_opt p.pages (Layout.vpn_of_addr addr) with
+      | Some pm -> m.frame == pm.frame
+      | None -> false)
+  | _ -> false
+
+let frame_id t addr =
+  Option.map (fun m -> m.frame.Phys.id) (Hashtbl.find_opt t.pages (Layout.vpn_of_addr addr))
+
+let set_peer t p = t.peer <- p
+
+let force_share ~client ~handle ~lo ~hi =
+  if not (Layout.is_page_aligned lo && Layout.is_page_aligned hi && lo < hi) then
+    raise (Bad_range "force_share range");
+  (* 1. Unmap everything the handle holds in the range. *)
+  remove_range handle ~start_addr:lo ~size:(hi - lo);
+  (* 2. Duplicate the client's entries over the range into the handle. *)
+  List.iter
+    (fun e ->
+      if overlaps e lo hi then begin
+        let s = max e.start_addr lo and f = min e.end_addr hi in
+        handle.entries <-
+          {
+            start_addr = s;
+            end_addr = f;
+            prot = e.prot;
+            kind = e.kind;
+            name = e.name;
+            inherited_from_peer = true;
+          }
+          :: handle.entries
+      end)
+    client.entries;
+  handle.entries <-
+    List.sort (fun a b -> compare a.start_addr b.start_addr) handle.entries;
+  (* 3. Share every page the client has already materialised. *)
+  Hashtbl.iter
+    (fun vpn (m : mapping) ->
+      let addr = Layout.addr_of_vpn vpn in
+      if addr >= lo && addr < hi then begin
+        m.shared <- true;
+        install_shared handle vpn m.frame
+      end)
+    client.pages;
+  (* 4. Wire the pair up for future faults and heap growth. *)
+  client.peer <- Some handle;
+  handle.peer <- Some client;
+  client.share_lo <- lo;
+  client.share_hi <- hi;
+  handle.share_lo <- lo;
+  handle.share_hi <- hi;
+  handle.heap_base_addr <- client.heap_base_addr;
+  handle.brk_addr <- client.brk_addr;
+  Clock.charge client.clock Cost.Tlb_flush
+
+let heap_base t = t.heap_base_addr
+let brk t = t.brk_addr
+
+let set_heap_base t base =
+  if not (Layout.is_page_aligned base) then raise (Bad_range "heap base unaligned");
+  t.heap_base_addr <- base;
+  t.brk_addr <- base
+
+let heap_entry t = List.find_opt (fun e -> e.kind = Heap) t.entries
+
+let rec obreak t new_brk =
+  if new_brk < t.heap_base_addr then raise (Bad_range "break below heap base");
+  if new_brk >= Layout.stack_top - (Layout.default_stack_pages * Layout.page_size) then
+    raise (Bad_range "break collides with stack");
+  let old_end = Layout.page_align_up t.brk_addr in
+  let new_end = Layout.page_align_up new_brk in
+  let grow_entry () =
+    match heap_entry t with
+    | Some e ->
+        if new_end > e.end_addr then e.end_addr <- new_end
+        else if new_end < e.end_addr && new_end > e.start_addr then begin
+          remove_range t ~start_addr:new_end ~size:(e.end_addr - new_end);
+          ()
+        end
+        else if new_end <= e.start_addr then
+          remove_range t ~start_addr:e.start_addr ~size:(e.end_addr - e.start_addr)
+    | None ->
+        if new_end > t.heap_base_addr then
+          add_entry t ~start_addr:t.heap_base_addr
+            ~size:(new_end - t.heap_base_addr)
+            ~prot:Prot.rw ~kind:Heap ~name:"heap"
+  in
+  ignore old_end;
+  grow_entry ();
+  t.brk_addr <- new_brk;
+  (* Modified sys_obreak: keep the paired space's heap converged so that
+     faults on either side can resolve through the share. *)
+  match t.peer with
+  | Some p when p.brk_addr <> new_brk -> obreak p new_brk
+  | Some _ | None -> ()
+
+(* --------------------------------------------------------------- *)
+(* Byte access                                                      *)
+(* --------------------------------------------------------------- *)
+
+let ensure_mapped t addr access =
+  let vpn = Layout.vpn_of_addr addr in
+  (match Hashtbl.find_opt t.pages vpn with
+  | Some _ -> (
+      (* Page present: still verify protection via the governing entry. *)
+      match governing_entry t addr with
+      | Some e -> if not (Prot.allows e.prot access) then raise (Prot_violation { addr; access })
+      | None -> raise (Segv { addr; access }))
+  | None -> fault t ~addr ~access);
+  Hashtbl.find t.pages vpn
+
+let read_bytes t ~addr ~len =
+  if len < 0 then raise (Bad_range "negative length");
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let m = ensure_mapped t a Prot.Read in
+    let page_off = a land (Layout.page_size - 1) in
+    let chunk = min (Layout.page_size - page_off) (len - !pos) in
+    Bytes.blit m.frame.Phys.data page_off out !pos chunk;
+    pos := !pos + chunk
+  done;
+  out
+
+let write_bytes t ~addr data =
+  let len = Bytes.length data in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let m = ensure_mapped t a Prot.Write in
+    let page_off = a land (Layout.page_size - 1) in
+    let chunk = min (Layout.page_size - page_off) (len - !pos) in
+    Bytes.blit data !pos m.frame.Phys.data page_off chunk;
+    pos := !pos + chunk
+  done
+
+let read_u8 t ~addr =
+  let m = ensure_mapped t addr Prot.Read in
+  Char.code (Bytes.get m.frame.Phys.data (addr land (Layout.page_size - 1)))
+
+let write_u8 t ~addr v =
+  let m = ensure_mapped t addr Prot.Write in
+  Bytes.set m.frame.Phys.data (addr land (Layout.page_size - 1)) (Char.chr (v land 0xff))
+
+let read_word t ~addr =
+  let off = addr land (Layout.page_size - 1) in
+  if off <= Layout.page_size - 4 then begin
+    let m = ensure_mapped t addr Prot.Read in
+    let d = m.frame.Phys.data in
+    Char.code (Bytes.get d off)
+    lor (Char.code (Bytes.get d (off + 1)) lsl 8)
+    lor (Char.code (Bytes.get d (off + 2)) lsl 16)
+    lor (Char.code (Bytes.get d (off + 3)) lsl 24)
+  end
+  else begin
+    let b = read_bytes t ~addr ~len:4 in
+    Char.code (Bytes.get b 0)
+    lor (Char.code (Bytes.get b 1) lsl 8)
+    lor (Char.code (Bytes.get b 2) lsl 16)
+    lor (Char.code (Bytes.get b 3) lsl 24)
+  end
+
+let write_word t ~addr v =
+  let v = v land 0xFFFFFFFF in
+  let off = addr land (Layout.page_size - 1) in
+  if off <= Layout.page_size - 4 then begin
+    let m = ensure_mapped t addr Prot.Write in
+    let d = m.frame.Phys.data in
+    Bytes.set d off (Char.chr (v land 0xff));
+    Bytes.set d (off + 1) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set d (off + 2) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set d (off + 3) (Char.chr ((v lsr 24) land 0xff))
+  end
+  else begin
+    let b = Bytes.create 4 in
+    Bytes.set b 0 (Char.chr (v land 0xff));
+    Bytes.set b 1 (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set b 2 (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set b 3 (Char.chr ((v lsr 24) land 0xff));
+    write_bytes t ~addr b
+  end
+
+let read_string t ~addr ~max_len =
+  let buf = Buffer.create 32 in
+  let rec loop i =
+    if i >= max_len then Buffer.contents buf
+    else begin
+      let c = read_u8 t ~addr:(addr + i) in
+      if c = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Char.chr c);
+        loop (i + 1)
+      end
+    end
+  in
+  loop 0
+
+let write_string t ~addr s =
+  write_bytes t ~addr (Bytes.of_string (s ^ "\000"))
+
+let mapped_page_count t = Hashtbl.length t.pages
+
+let shared_page_count t =
+  Hashtbl.fold (fun _ m acc -> if m.shared then acc + 1 else acc) t.pages 0
+
+let destroy t =
+  Hashtbl.iter (fun _ m -> Phys.decref t.phys m.frame) t.pages;
+  Hashtbl.reset t.pages;
+  t.entries <- [];
+  t.peer <- None
+
+let clone t ~name =
+  let child = create ~phys:t.phys ~clock:t.clock ~name in
+  child.heap_base_addr <- t.heap_base_addr;
+  child.brk_addr <- t.brk_addr;
+  child.entries <-
+    List.map
+      (fun e ->
+        {
+          start_addr = e.start_addr;
+          end_addr = e.end_addr;
+          prot = e.prot;
+          kind = e.kind;
+          name = e.name;
+          inherited_from_peer = e.inherited_from_peer;
+        })
+      t.entries;
+  Hashtbl.iter
+    (fun vpn (m : mapping) ->
+      if m.shared then begin
+        Phys.incref m.frame;
+        Hashtbl.replace child.pages vpn { frame = m.frame; shared = true }
+      end
+      else begin
+        let f = Phys.alloc t.phys in
+        Bytes.blit m.frame.Phys.data 0 f.Phys.data 0 Layout.page_size;
+        Hashtbl.replace child.pages vpn { frame = f; shared = false };
+        Clock.charge t.clock (Cost.Copy_bytes Layout.page_size)
+      end)
+    t.pages;
+  child
+
+let pp_kind ppf = function
+  | Text -> Format.pp_print_string ppf "text"
+  | Data -> Format.pp_print_string ppf "data"
+  | Heap -> Format.pp_print_string ppf "heap"
+  | Stack -> Format.pp_print_string ppf "stack"
+  | Secret -> Format.pp_print_string ppf "secret"
+  | Mmap -> Format.pp_print_string ppf "mmap"
+
+let pp_layout ppf t =
+  Format.fprintf ppf "address space %S (brk=0x%08x, %d pages mapped, %d shared)@\n" t.name
+    t.brk_addr (mapped_page_count t) (shared_page_count t);
+  List.iter
+    (fun e ->
+      let kind = Format.asprintf "%a" pp_kind e.kind in
+      Format.fprintf ppf "  0x%08x-0x%08x %a %-6s %s%s@\n" e.start_addr e.end_addr Prot.pp
+        e.prot kind e.name
+        (if e.inherited_from_peer then " (shared-from-peer)" else ""))
+    t.entries

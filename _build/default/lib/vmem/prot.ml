@@ -1,0 +1,29 @@
+type t = int
+
+let read_bit = 1
+let write_bit = 2
+let exec_bit = 4
+let none = 0
+let r = read_bit
+let w = write_bit
+let x = exec_bit
+let rw = read_bit lor write_bit
+let rx = read_bit lor exec_bit
+let rwx = read_bit lor write_bit lor exec_bit
+let union = ( lor )
+let can_read t = t land read_bit <> 0
+let can_write t = t land write_bit <> 0
+let can_exec t = t land exec_bit <> 0
+
+type access = Read | Write | Exec
+
+let allows t = function
+  | Read -> can_read t
+  | Write -> can_write t
+  | Exec -> can_exec t
+
+let to_string t =
+  let c cond ch = if cond then ch else "-" in
+  c (can_read t) "r" ^ c (can_write t) "w" ^ c (can_exec t) "x"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,22 @@
+(** Page protection bits. *)
+
+type t = private int
+
+val none : t
+val r : t
+val rw : t
+val rx : t
+val rwx : t
+val w : t
+val x : t
+
+val union : t -> t -> t
+val can_read : t -> bool
+val can_write : t -> bool
+val can_exec : t -> bool
+
+type access = Read | Write | Exec
+
+val allows : t -> access -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

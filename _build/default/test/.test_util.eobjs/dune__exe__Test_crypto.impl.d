@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char Gen List Printf QCheck QCheck_alcotest Smod_crypto Smod_util String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Ablations Alcotest Figure8 Float Lazy List Printf Smod_bench_kit Smod_kern Smod_libc Smod_sim Smod_vmem String Trial World

@@ -1,0 +1,1 @@
+test/test_kern.ml: Alcotest Array Bytes List Smod_kern Smod_sim Smod_vmem

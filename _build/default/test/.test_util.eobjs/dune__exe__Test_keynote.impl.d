@@ -1,0 +1,1 @@
+test/test_keynote.ml: Alcotest Gen List Printf QCheck QCheck_alcotest Smod_keynote

@@ -1,0 +1,1 @@
+test/test_libc.ml: Alcotest Bytes Char Credential Crt0 Gen List Printf QCheck QCheck_alcotest Secmodule Smod Smod_kern Smod_libc Smod_modfmt Smod_vmem String

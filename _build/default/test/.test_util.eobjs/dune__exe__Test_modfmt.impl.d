@@ -1,0 +1,1 @@
+test/test_modfmt.ml: Alcotest Bytes Char Gen List Printf QCheck QCheck_alcotest Smod_modfmt String

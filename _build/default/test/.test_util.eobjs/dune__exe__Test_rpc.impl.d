@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Bytes Gen Int32 Int64 List Printf QCheck QCheck_alcotest Smod_kern Smod_rpc Smod_sim String

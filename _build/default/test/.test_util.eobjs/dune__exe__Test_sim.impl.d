@@ -1,0 +1,1 @@
+test/test_sim.ml: Ablations Alcotest Array List Printf Smod_bench_kit Smod_libc Smod_rpc Smod_sim String Trial World

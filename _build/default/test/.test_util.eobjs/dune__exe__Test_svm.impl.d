@@ -1,0 +1,1 @@
+test/test_svm.ml: Alcotest Array Bytes Format List Printf QCheck QCheck_alcotest Smod_sim Smod_svm Smod_vmem String

@@ -1,0 +1,1 @@
+test/test_systrace.ml: Alcotest Bytes Lazy List Printf Smod_kern Smod_sim Smod_systrace Smod_vmem

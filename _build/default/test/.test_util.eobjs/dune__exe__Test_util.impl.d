@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Float Fun Gen List QCheck QCheck_alcotest Smod_util String

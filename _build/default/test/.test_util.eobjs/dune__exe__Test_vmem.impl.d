@@ -1,0 +1,1 @@
+test/test_vmem.ml: Alcotest Bytes Gen List QCheck QCheck_alcotest Smod_sim Smod_vmem

@@ -1,0 +1,223 @@
+(* Integration tests: the paper's quantitative claims, asserted as shape
+   constraints on the simulated measurements (see EXPERIMENTS.md for the
+   paper-vs-measured record). *)
+
+module M = Smod_kern.Machine
+open Smod_bench_kit
+
+let mini_config = { Figure8.smod_calls = 3_000; rpc_calls = 600; trials = 4; noise = 0.0 }
+
+let figure8_rows = lazy (Figure8.run (World.create ()) mini_config)
+
+let row name =
+  match
+    List.find_opt (fun (r : Trial.row) -> r.Trial.spec.Trial.name = name) (Lazy.force figure8_rows)
+  with
+  | Some r -> r
+  | None -> Alcotest.failf "row %s missing" name
+
+let test_figure8_has_four_rows () =
+  Alcotest.(check int) "rows" 4 (List.length (Lazy.force figure8_rows))
+
+let test_getpid_near_paper () =
+  let r = row "getpid()" in
+  (* paper: 0.658 us; accept +-10% *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%.3f in [0.59,0.73]" r.Trial.mean_us)
+    true
+    (r.Trial.mean_us > 0.59 && r.Trial.mean_us < 0.73)
+
+let test_smod_vs_getpid_ratio () =
+  let smod = row "SMOD(test-incr)" and getpid = row "getpid()" in
+  let ratio = smod.Trial.mean_us /. getpid.Trial.mean_us in
+  (* paper: 9.74x; the claim is "about 10x a syscall" *)
+  Alcotest.(check bool) (Printf.sprintf "ratio %.2f in [7,13]" ratio) true
+    (ratio > 7.0 && ratio < 13.0)
+
+let test_rpc_vs_smod_ratio () =
+  let rpc = row "RPC(test-incr)" and smod = row "SMOD(test-incr)" in
+  let ratio = rpc.Trial.mean_us /. smod.Trial.mean_us in
+  (* paper: 9.87x — "roughly 10 times faster than ... RPC" *)
+  Alcotest.(check bool) (Printf.sprintf "ratio %.2f in [7,13]" ratio) true
+    (ratio > 7.0 && ratio < 13.0)
+
+let test_smod_getpid_slightly_slower () =
+  let g = row "SMOD(SMOD-getpid)" and i = row "SMOD(test-incr)" in
+  let gap = g.Trial.mean_us -. i.Trial.mean_us in
+  (* paper: +0.125 us; assert positive and under 1 us *)
+  Alcotest.(check bool) (Printf.sprintf "gap %.3f in (0, 1)" gap) true (gap > 0.0 && gap < 1.0)
+
+let test_smod_absolute_band () =
+  let smod = row "SMOD(test-incr)" in
+  (* paper: 6.407 us; accept +-15% *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%.3f in [5.4,7.4]" smod.Trial.mean_us)
+    true
+    (smod.Trial.mean_us > 5.4 && smod.Trial.mean_us < 7.4)
+
+let test_rpc_absolute_band () =
+  let rpc = row "RPC(test-incr)" in
+  (* paper: 63.23 us; accept +-15% *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%.2f in [53,73]" rpc.Trial.mean_us)
+    true
+    (rpc.Trial.mean_us > 53.0 && rpc.Trial.mean_us < 73.0)
+
+let test_stdev_small_relative_to_mean () =
+  List.iter
+    (fun (r : Trial.row) ->
+      Alcotest.(check bool)
+        (r.Trial.spec.Trial.name ^ " cv < 10%")
+        true
+        (r.Trial.stdev_us /. r.Trial.mean_us < 0.10))
+    (Lazy.force figure8_rows)
+
+(* ------------------------------- E9 -------------------------------- *)
+
+let test_policy_ablation_monotone () =
+  let entries = Ablations.policy_ablation ~calls:400 ~trials:3 () in
+  let find label =
+    (List.find (fun (e : Ablations.entry) -> e.Ablations.label = label) entries)
+      .Ablations.mean_us
+  in
+  Alcotest.(check bool) "quota >= always" true (find "call-quota" >= find "always-allow");
+  Alcotest.(check bool) "keynote-1 > always" true (find "keynote-1" > find "always-allow");
+  Alcotest.(check bool) "keynote-4 > keynote-1" true (find "keynote-4" > find "keynote-1");
+  Alcotest.(check bool) "keynote-16 > keynote-4" true (find "keynote-16" > find "keynote-4");
+  (* The section-5 prediction: the slowdown is roughly proportional to the
+     number of assertions evaluated. *)
+  let k1 = find "keynote-1" and k4 = find "keynote-4" and k16 = find "keynote-16" in
+  let base = find "always-allow" in
+  let per_assertion_4 = (k4 -. k1) /. 3.0 and per_assertion_16 = (k16 -. k4) /. 12.0 in
+  ignore base;
+  Alcotest.(check bool) "linear-ish in assertions" true
+    (Float.abs (per_assertion_4 -. per_assertion_16) /. per_assertion_4 < 0.3)
+
+(* ------------------------------- E10 ------------------------------- *)
+
+let test_marshal_crossover () =
+  let entries = Ablations.marshal_ablation ~calls:200 ~payload_sizes:[ 64; 65536 ] () in
+  let find label =
+    (List.find (fun (e : Ablations.entry) -> e.Ablations.label = label) entries)
+      .Ablations.mean_us
+  in
+  let shared_small = find "shared-stack     64 B" and shared_big = find "shared-stack  65536 B" in
+  let copy_small = find "copy-marshal     64 B" and copy_big = find "copy-marshal  65536 B" in
+  (* Sharing is size-independent; copying grows dramatically. *)
+  Alcotest.(check bool) "shared flat" true
+    (Float.abs (shared_big -. shared_small) /. shared_small < 0.15);
+  Alcotest.(check bool) "copying grows >10x" true (copy_big > copy_small *. 10.0);
+  Alcotest.(check bool) "copying loses at 64k" true (copy_big > shared_big *. 5.0)
+
+(* ------------------------------- E11 ------------------------------- *)
+
+let test_protection_establishment_costs () =
+  let entries = Ablations.protection_ablation ~text_sizes:[ 4096; 262144 ] ~trials:2 () in
+  let find prefix size =
+    (List.find
+       (fun (e : Ablations.entry) ->
+         e.Ablations.label = Printf.sprintf "%s %7d B text" prefix size)
+       entries)
+      .Ablations.mean_us
+  in
+  Alcotest.(check bool) "encryption costs more" true
+    (find "encrypted" 4096 > find "unmap-only" 4096);
+  (* AES work scales with text size much faster than the unmap path. *)
+  let enc_growth = find "encrypted" 262144 /. find "encrypted" 4096 in
+  let unmap_growth = find "unmap-only" 262144 /. find "unmap-only" 4096 in
+  Alcotest.(check bool) "encrypted scales worse" true (enc_growth > unmap_growth *. 2.0)
+
+(* ------------------------------- E12 ------------------------------- *)
+
+let test_handle_sharing_queue_depth () =
+  let entries = Ablations.handle_sharing ~clients:[ 1; 4 ] ~calls_per_client:100 () in
+  let find label =
+    (List.find (fun (e : Ablations.entry) -> e.Ablations.label = label) entries)
+      .Ablations.mean_us
+  in
+  Alcotest.(check (float 0.001)) "private handles never queue" 0.0
+    (find "4 clients, own handles");
+  Alcotest.(check bool) "shared handle queues" true (find "4 clients, shared handle" > 0.5)
+
+(* ------------------------------- E13 ------------------------------- *)
+
+let test_toctou_costs_ordered () =
+  let entries = Ablations.toctou_cost ~calls:300 ~trials:3 () in
+  let find label =
+    (List.find (fun (e : Ablations.entry) -> e.Ablations.label = label) entries)
+      .Ablations.mean_us
+  in
+  let none = find "no mitigation" in
+  let dequeue = find "dequeue client threads" in
+  let unmap = find "unmap during call" in
+  Alcotest.(check bool) "both mitigations cost something" true
+    (dequeue > none && unmap > none);
+  (* §4.4: dequeuing "has the benefit of lesser overhead for the kernel". *)
+  Alcotest.(check bool) "dequeue cheaper than unmap" true (dequeue < unmap)
+
+(* --------------------------- whole-system --------------------------- *)
+
+let test_trace_example_sequence () =
+  (* The Figure-1 sequence as an assertable event stream. *)
+  let world = World.create ~with_rpc:false () in
+  World.spawn_seclibc_client world ~name:"it-client" (fun _p conn ->
+      ignore (Smod_libc.Seclibc.Client.malloc conn 16));
+  World.run world;
+  let labels = Smod_sim.Trace.labels (M.trace world.World.machine) in
+  let has prefix =
+    List.exists
+      (fun l -> String.length l >= String.length prefix && String.sub l 0 (String.length prefix) = prefix)
+      labels
+  in
+  Alcotest.(check bool) "forced fork traced" true (has "forced fork");
+  Alcotest.(check bool) "start_session traced" true (has "start_session");
+  Alcotest.(check bool) "session_info traced" true (has "session_info");
+  Alcotest.(check bool) "detach traced" true (has "detach session")
+
+let test_many_sessions_frames_released () =
+  (* Repeated session open/close must not leak physical frames. *)
+  let world = World.create ~with_rpc:false () in
+  let m = world.World.machine in
+  let baseline = ref 0 in
+  for round = 1 to 5 do
+    World.spawn_seclibc_client world ~name:(Printf.sprintf "round-%d" round)
+      (fun _p conn -> ignore (Smod_libc.Seclibc.Client.malloc conn 128));
+    World.run world;
+    let live = Smod_vmem.Phys.live_frames (M.phys m) in
+    if round = 1 then baseline := live
+    else
+      Alcotest.(check bool)
+        (Printf.sprintf "round %d: %d frames vs baseline %d" round live !baseline)
+        true
+        (live <= !baseline + 8)
+  done
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "integration"
+    [
+      ( "figure8 shape",
+        [
+          tc "four rows" test_figure8_has_four_rows;
+          tc "getpid near paper" test_getpid_near_paper;
+          tc "SMOD ~10x getpid" test_smod_vs_getpid_ratio;
+          tc "RPC ~10x SMOD" test_rpc_vs_smod_ratio;
+          tc "SMOD-getpid slightly slower" test_smod_getpid_slightly_slower;
+          tc "SMOD absolute band" test_smod_absolute_band;
+          tc "RPC absolute band" test_rpc_absolute_band;
+          tc "stdev sane" test_stdev_small_relative_to_mean;
+        ] );
+      ( "ablations",
+        [
+          tc "E9 policy monotone + linear" test_policy_ablation_monotone;
+          tc "E10 marshal crossover" test_marshal_crossover;
+          tc "E11 protection costs" test_protection_establishment_costs;
+          tc "E12 shared-handle queueing" test_handle_sharing_queue_depth;
+          tc "E13 mitigation costs ordered" test_toctou_costs_ordered;
+        ] );
+      ( "whole system",
+        [
+          tc "figure-1 trace sequence" test_trace_example_sequence;
+          tc "no frame leaks across sessions" test_many_sessions_frames_released;
+        ] );
+    ]

@@ -1,0 +1,645 @@
+(* Tests for Smod_libc: the in-simulated-memory allocator and the string
+   functions, plus the seclibc module called through a real SecModule
+   session. *)
+
+module M = Smod_kern.Machine
+module Proc = Smod_kern.Proc
+module Aspace = Smod_vmem.Aspace
+module Layout = Smod_vmem.Layout
+module Alloc = Smod_libc.Alloc
+module Str_ = Smod_libc.Str
+open Secmodule
+
+let mk_space () =
+  let m = M.create ~jitter:0.0 () in
+  let a = M.standard_aspace m ~name:"libc-test" in
+  (m, a)
+
+(* ------------------------------ alloc ------------------------------ *)
+
+let test_malloc_basic () =
+  let _, a = mk_space () in
+  let p = Alloc.malloc a 100 in
+  Alcotest.(check bool) "non-null" true (p <> 0);
+  Alcotest.(check int) "8-aligned" 0 (p mod 8);
+  (* The payload is usable memory. *)
+  Aspace.write_word a ~addr:p 0xFEED;
+  Aspace.write_word a ~addr:(p + 96) 0xF00D;
+  Alcotest.(check int) "stores work" 0xFEED (Aspace.read_word a ~addr:p)
+
+let test_malloc_zero_and_negative () =
+  let _, a = mk_space () in
+  Alcotest.(check int) "size 0" 0 (Alloc.malloc a 0);
+  Alcotest.(check int) "negative" 0 (Alloc.malloc a (-5))
+
+let test_malloc_distinct_blocks () =
+  let _, a = mk_space () in
+  let p1 = Alloc.malloc a 32 and p2 = Alloc.malloc a 32 in
+  Alcotest.(check bool) "disjoint" true (p2 >= p1 + 32 || p1 >= p2 + 32)
+
+let test_free_and_reuse () =
+  let _, a = mk_space () in
+  let p1 = Alloc.malloc a 64 in
+  Alloc.free a p1;
+  let p2 = Alloc.malloc a 64 in
+  Alcotest.(check int) "block reused" p1 p2
+
+let test_free_null_ok () =
+  let _, a = mk_space () in
+  Alloc.free a 0
+
+let test_double_free_detected () =
+  let _, a = mk_space () in
+  let p = Alloc.malloc a 64 in
+  Alloc.free a p;
+  Alcotest.(check bool) "double free raises" true
+    (match Alloc.free a p with () -> false | exception Invalid_argument _ -> true)
+
+let test_wild_free_detected () =
+  let _, a = mk_space () in
+  let p = Alloc.malloc a 64 in
+  Alcotest.(check bool) "pointer inside a block" true
+    (match Alloc.free a (p + 4) with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "pointer outside arena" true
+    (match Alloc.free a 8 with () -> false | exception Invalid_argument _ -> true)
+
+let test_coalescing () =
+  let _, a = mk_space () in
+  let p1 = Alloc.malloc a 64 in
+  let p2 = Alloc.malloc a 64 in
+  let p3 = Alloc.malloc a 64 in
+  ignore (Alloc.malloc a 16) (* keep the tail allocated *);
+  Alloc.free a p1;
+  Alloc.free a p3;
+  Alloc.free a p2;
+  (* All three must have merged into one block. *)
+  (match Alloc.check_invariants a with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let big = Alloc.malloc a 200 in
+  Alcotest.(check int) "merged region satisfies big request" p1 big
+
+let test_split_leaves_remainder_usable () =
+  let _, a = mk_space () in
+  let p = Alloc.malloc a 4000 in
+  Alloc.free a p;
+  let small = Alloc.malloc a 16 in
+  let rest = Alloc.malloc a 3000 in
+  Alcotest.(check bool) "both satisfied from split" true (small <> 0 && rest <> 0);
+  match Alloc.check_invariants a with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_calloc_zeroes () =
+  let _, a = mk_space () in
+  let p = Alloc.malloc a 64 in
+  Aspace.write_word a ~addr:p 0xDEAD;
+  Alloc.free a p;
+  let q = Alloc.calloc a ~count:16 ~size:4 in
+  Alcotest.(check int) "reused block zeroed" 0 (Aspace.read_word a ~addr:q)
+
+let test_realloc_grow_preserves () =
+  let _, a = mk_space () in
+  let p = Alloc.malloc a 16 in
+  Aspace.write_word a ~addr:p 111;
+  Aspace.write_word a ~addr:(p + 12) 222;
+  let q = Alloc.realloc a p 4000 in
+  Alcotest.(check int) "word 0" 111 (Aspace.read_word a ~addr:q);
+  Alcotest.(check int) "word 3" 222 (Aspace.read_word a ~addr:(q + 12))
+
+let test_realloc_shrink_in_place () =
+  let _, a = mk_space () in
+  let p = Alloc.malloc a 100 in
+  Alcotest.(check int) "shrink keeps pointer" p (Alloc.realloc a p 50)
+
+let test_realloc_null_is_malloc () =
+  let _, a = mk_space () in
+  Alcotest.(check bool) "realloc NULL" true (Alloc.realloc a 0 32 <> 0)
+
+let test_realloc_zero_is_free () =
+  let _, a = mk_space () in
+  let p = Alloc.malloc a 32 in
+  Alcotest.(check int) "returns null" 0 (Alloc.realloc a p 0);
+  Alcotest.(check int) "freed" 0 (Alloc.allocated_bytes a)
+
+let test_allocated_bytes_accounting () =
+  let _, a = mk_space () in
+  Alcotest.(check int) "empty arena" 0 (Alloc.allocated_bytes a);
+  let p = Alloc.malloc a 100 in
+  Alcotest.(check bool) "tracks live bytes" true (Alloc.allocated_bytes a >= 100);
+  Alloc.free a p;
+  Alcotest.(check int) "back to zero" 0 (Alloc.allocated_bytes a)
+
+let test_heap_grows_on_demand () =
+  let _, a = mk_space () in
+  let brk0 = Aspace.brk a in
+  let p = Alloc.malloc a 100_000 in
+  Alcotest.(check bool) "satisfied" true (p <> 0);
+  Alcotest.(check bool) "brk advanced" true (Aspace.brk a > brk0 + 100_000)
+
+let prop_alloc_random_ops =
+  (* Random malloc/free interleavings keep the free-list invariants and
+     never hand out overlapping blocks. *)
+  QCheck.Test.make ~name:"random malloc/free keeps invariants" ~count:60
+    QCheck.(list_of_size Gen.(1 -- 60) (pair bool (int_bound 400)))
+    (fun ops ->
+      let _, a = mk_space () in
+      let live = ref [] in
+      List.iter
+        (fun (do_free, size) ->
+          if do_free && !live <> [] then begin
+            match !live with
+            | (p, _) :: rest ->
+                Alloc.free a p;
+                live := rest
+            | [] -> ()
+          end
+          else begin
+            let p = Alloc.malloc a (size + 1) in
+            if p <> 0 then live := (p, size + 1) :: !live
+          end)
+        ops;
+      (* no overlaps among live blocks *)
+      let sorted = List.sort compare !live in
+      let rec no_overlap = function
+        | (p1, s1) :: ((p2, _) :: _ as rest) -> p1 + s1 <= p2 && no_overlap rest
+        | _ -> true
+      in
+      no_overlap sorted && Alloc.check_invariants a = Ok ())
+
+(* ----------------------------- strings ----------------------------- *)
+
+let put _m a s =
+  let p = Alloc.malloc a (String.length s + 1) in
+  Aspace.write_string a ~addr:p s;
+  p
+
+let test_strlen () =
+  let m, a = mk_space () in
+  Alcotest.(check int) "hello" 5 (Str_.strlen a (put m a "hello"));
+  Alcotest.(check int) "empty" 0 (Str_.strlen a (put m a ""))
+
+let test_strcpy_strcmp () =
+  let m, a = mk_space () in
+  let src = put m a "copy me" in
+  let dst = Alloc.malloc a 32 in
+  Alcotest.(check int) "returns dst" dst (Str_.strcpy a ~dst ~src);
+  Alcotest.(check int) "equal" 0 (Str_.strcmp a src dst);
+  Alcotest.(check string) "content" "copy me" (Aspace.read_string a ~addr:dst ~max_len:32)
+
+let test_strcmp_ordering () =
+  let m, a = mk_space () in
+  let abc = put m a "abc" and abd = put m a "abd" and ab = put m a "ab" in
+  Alcotest.(check bool) "abc < abd" true (Str_.strcmp a abc abd < 0);
+  Alcotest.(check bool) "abd > abc" true (Str_.strcmp a abd abc > 0);
+  Alcotest.(check bool) "prefix is smaller" true (Str_.strcmp a ab abc < 0)
+
+let test_strncmp () =
+  let m, a = mk_space () in
+  let s1 = put m a "prefix_one" and s2 = put m a "prefix_two" in
+  Alcotest.(check int) "equal up to 7" 0 (Str_.strncmp a s1 s2 ~n:7);
+  Alcotest.(check bool) "differ at 8" true (Str_.strncmp a s1 s2 ~n:8 <> 0)
+
+let test_strncpy_pads () =
+  let m, a = mk_space () in
+  let src = put m a "ab" in
+  let dst = Alloc.malloc a 8 in
+  Aspace.write_bytes a ~addr:dst (Bytes.make 8 'x');
+  ignore (Str_.strncpy a ~dst ~src ~n:6);
+  Alcotest.(check string) "copied" "ab" (Aspace.read_string a ~addr:dst ~max_len:8);
+  (* NUL padding to n *)
+  Alcotest.(check int) "padded" 0 (Aspace.read_u8 a ~addr:(dst + 5))
+
+let test_strchr () =
+  let m, a = mk_space () in
+  let s = put m a "find the f" in
+  Alcotest.(check int) "first f" s (Str_.strchr a s 'f');
+  Alcotest.(check int) "the t" (s + 5) (Str_.strchr a s 't');
+  Alcotest.(check int) "missing" 0 (Str_.strchr a s 'z')
+
+let test_strcat () =
+  let m, a = mk_space () in
+  let dst = Alloc.malloc a 32 in
+  Aspace.write_string a ~addr:dst "hello ";
+  let src = put m a "world" in
+  ignore (Str_.strcat a ~dst ~src);
+  Alcotest.(check string) "concatenated" "hello world"
+    (Aspace.read_string a ~addr:dst ~max_len:32)
+
+let test_memcpy_memcmp_memset () =
+  let _, a = mk_space () in
+  let src = Alloc.malloc a 64 and dst = Alloc.malloc a 64 in
+  Aspace.write_bytes a ~addr:src (Bytes.init 64 (fun i -> Char.chr (i land 0xff)));
+  ignore (Str_.memcpy a ~dst ~src ~n:64);
+  Alcotest.(check int) "memcmp equal" 0 (Str_.memcmp a src dst ~n:64);
+  ignore (Str_.memset a ~dst:(dst + 32) ~byte:0xAB ~n:8);
+  Alcotest.(check bool) "memcmp differs after memset" true (Str_.memcmp a src dst ~n:64 <> 0);
+  Alcotest.(check int) "memset wrote" 0xAB (Aspace.read_u8 a ~addr:(dst + 35))
+
+let test_atoi () =
+  let m, a = mk_space () in
+  List.iter
+    (fun (s, want) -> Alcotest.(check int) s want (Str_.atoi a (put m a s)))
+    [ ("0", 0); ("42", 42); ("-17", -17); ("+8", 8); ("  12x", 12); ("junk", 0); ("", 0) ]
+
+let prop_str_matches_ocaml =
+  QCheck.Test.make ~name:"strlen/strcmp agree with OCaml" ~count:150
+    (let str_gen = QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (0 -- 50)) in
+     QCheck.(pair (make str_gen) (make str_gen)))
+    (fun (s1, s2) ->
+      let m, a = mk_space () in
+      let p1 = put m a s1 and p2 = put m a s2 in
+      Str_.strlen a p1 = String.length s1
+      && compare (Str_.strcmp a p1 p2) 0 = compare (compare s1 s2) 0)
+
+(* --------------------- seclibc through a session -------------------- *)
+
+let with_session f =
+  let m = M.create ~jitter:0.0 () in
+  let smod = Smod.install m () in
+  ignore (Smod_libc.Seclibc.install smod ());
+  ignore
+    (M.spawn m ~name:"client" (fun p ->
+         Crt0.run_client smod p ~module_name:"seclibc" ~version:1
+           ~credential:(Credential.make ~principal:"tester" ())
+           (fun conn -> f m p conn)));
+  M.run m
+
+let test_seclibc_malloc_on_client_heap () =
+  with_session (fun _m p conn ->
+      let module C = Smod_libc.Seclibc.Client in
+      let ptr = C.malloc conn 64 in
+      Alcotest.(check bool) "allocated" true (ptr <> 0);
+      (* The pointer is in the CLIENT's heap region and directly usable. *)
+      Alcotest.(check bool) "in heap range" true
+        (ptr >= Aspace.heap_base p.Proc.aspace && ptr < Layout.share_hi);
+      Aspace.write_string p.Proc.aspace ~addr:ptr "direct client write";
+      Alcotest.(check int) "handle strlen sees it" 19 (C.strlen conn ptr))
+
+let test_seclibc_malloc_free_cycles () =
+  with_session (fun _m p conn ->
+      let module C = Smod_libc.Seclibc.Client in
+      let ptrs = List.init 10 (fun i -> C.malloc conn ((i + 1) * 24)) in
+      List.iter (fun ptr -> C.free conn ptr) ptrs;
+      Alcotest.(check int) "all freed" 0 (Alloc.allocated_bytes p.Proc.aspace);
+      match Alloc.check_invariants p.Proc.aspace with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+
+let test_seclibc_string_functions_cross_process () =
+  with_session (fun _m p conn ->
+      let module C = Smod_libc.Seclibc.Client in
+      let s1 = C.malloc conn 32 and s2 = C.malloc conn 32 in
+      Aspace.write_string p.Proc.aspace ~addr:s1 "compare";
+      ignore (C.strcpy conn ~dst:s2 ~src:s1);
+      Alcotest.(check int) "strcmp equal" 0 (C.strcmp conn s1 s2);
+      Aspace.write_string p.Proc.aspace ~addr:s2 "compared";
+      Alcotest.(check bool) "strcmp detects difference" true (C.strcmp conn s1 s2 <> 0))
+
+let test_seclibc_memops () =
+  with_session (fun _m p conn ->
+      let module C = Smod_libc.Seclibc.Client in
+      let src = C.malloc conn 64 and dst = C.calloc conn ~count:16 ~size:4 in
+      Aspace.write_bytes p.Proc.aspace ~addr:src (Bytes.make 64 'Q');
+      ignore (C.memcpy conn ~dst ~src ~n:64);
+      Alcotest.(check int) "memcmp equal" 0 (C.memcmp conn src dst ~n:64);
+      ignore (C.memset conn ~dst ~byte:0 ~n:64);
+      Alcotest.(check bool) "memcmp differs" true (C.memcmp conn src dst ~n:64 <> 0))
+
+let test_seclibc_bytecode_members () =
+  with_session (fun _m _p conn ->
+      let module C = Smod_libc.Seclibc.Client in
+      Alcotest.(check int) "test_incr" 42 (C.test_incr conn 41);
+      Alcotest.(check int) "abs(-9)" 9 (C.abs conn (-9));
+      Alcotest.(check int) "abs(9)" 9 (C.abs conn 9);
+      Alcotest.(check int) "atoi via module" (-321)
+        (let ptr = C.malloc conn 8 in
+         Aspace.write_string _p.Proc.aspace ~addr:ptr "-321";
+         C.atoi conn ptr))
+
+let test_seclibc_getpid_is_client () =
+  with_session (fun _m p conn ->
+      Alcotest.(check int) "client pid" p.Proc.pid (Smod_libc.Seclibc.Client.getpid conn))
+
+let test_seclibc_image_inventory () =
+  let image = Smod_libc.Seclibc.image () in
+  let names =
+    List.map (fun s -> s.Smod_modfmt.Smof.sym_name) (Smod_modfmt.Smof.function_symbols image)
+  in
+  List.iter
+    (fun wanted ->
+      Alcotest.(check bool) (wanted ^ " present") true (List.mem wanted names))
+    [ "malloc"; "free"; "calloc"; "realloc"; "memcpy"; "strlen"; "strcmp"; "getpid"; "abs" ]
+
+
+(* --------------------------- new string ops ------------------------- *)
+
+let test_memmove_overlap () =
+  let _, a = mk_space () in
+  let buf = Alloc.malloc a 32 in
+  Aspace.write_bytes a ~addr:buf (Bytes.of_string "0123456789");
+  (* overlapping shift right by 3 *)
+  ignore (Str_.memmove a ~dst:(buf + 3) ~src:buf ~n:10);
+  Alcotest.(check string) "shifted" "0120123456789"
+    (Bytes.to_string (Aspace.read_bytes a ~addr:buf ~len:13));
+  (* overlapping shift left *)
+  ignore (Str_.memmove a ~dst:buf ~src:(buf + 3) ~n:10);
+  Alcotest.(check string) "shifted back" "0123456789"
+    (Bytes.to_string (Aspace.read_bytes a ~addr:buf ~len:10))
+
+let test_memchr () =
+  let _, a = mk_space () in
+  let buf = Alloc.malloc a 16 in
+  Aspace.write_bytes a ~addr:buf (Bytes.of_string "ab\x00cdc");
+  Alcotest.(check int) "finds byte" (buf + 3) (Str_.memchr a buf ~byte:(Char.code 'c') ~n:6);
+  Alcotest.(check int) "respects n" 0 (Str_.memchr a buf ~byte:(Char.code 'd') ~n:3);
+  Alcotest.(check int) "finds NUL" (buf + 2) (Str_.memchr a buf ~byte:0 ~n:6)
+
+let test_strstr () =
+  let m, a = mk_space () in
+  let hay = put m a "the quick brown fox" in
+  Alcotest.(check int) "found" (hay + 4) (Str_.strstr a ~haystack:hay ~needle:(put m a "quick"));
+  Alcotest.(check int) "missing" 0 (Str_.strstr a ~haystack:hay ~needle:(put m a "wolf"));
+  Alcotest.(check int) "empty needle" hay (Str_.strstr a ~haystack:hay ~needle:(put m a ""));
+  Alcotest.(check int) "suffix" (hay + 16) (Str_.strstr a ~haystack:hay ~needle:(put m a "fox"))
+
+let test_strrchr () =
+  let m, a = mk_space () in
+  let s = put m a "abcabc" in
+  Alcotest.(check int) "last b" (s + 4) (Str_.strrchr a s 'b');
+  Alcotest.(check int) "missing" 0 (Str_.strrchr a s 'z');
+  Alcotest.(check int) "NUL searchable" (s + 6) (Str_.strrchr a s '\000')
+
+let test_strncat () =
+  let m, a = mk_space () in
+  let dst = Alloc.malloc a 32 in
+  Aspace.write_string a ~addr:dst "ab";
+  ignore (Str_.strncat a ~dst ~src:(put m a "cdefgh") ~n:3);
+  Alcotest.(check string) "limited concat" "abcde" (Aspace.read_string a ~addr:dst ~max_len:32)
+
+let test_strtol () =
+  let m, a = mk_space () in
+  let case s base want want_consumed =
+    let ptr = put m a s in
+    let v, endp = Str_.strtol a ptr ~base in
+    Alcotest.(check int) (s ^ " value") want v;
+    Alcotest.(check int) (s ^ " end") (ptr + want_consumed) endp
+  in
+  case "123" 10 123 3;
+  case "  -42xyz" 10 (-42) 5;
+  case "ff" 16 255 2;
+  case "0x1A" 0 26 4;
+  case "0755" 0 493 4;
+  case "101" 2 5 3;
+  case "z" 36 35 1;
+  case "junk" 10 0 0
+
+let test_itoa () =
+  let _, a = mk_space () in
+  let buf = Alloc.malloc a 48 in
+  let case value base want =
+    ignore (Str_.itoa a ~value ~buf ~base);
+    Alcotest.(check string) (Printf.sprintf "%d base %d" value base) want
+      (Aspace.read_string a ~addr:buf ~max_len:48)
+  in
+  case 0 10 "0";
+  case 1234 10 "1234";
+  case (-17) 10 "-17";
+  case 255 16 "ff";
+  case 5 2 "101";
+  (* base 16 is unsigned: -1 is 0xffffffff *)
+  case (-1) 16 "ffffffff"
+
+let prop_strtol_matches_ocaml =
+  QCheck.Test.make ~name:"strtol base 10 matches int_of_string" ~count:200
+    QCheck.(int_range (-1000000) 1000000)
+    (fun v ->
+      let m, a = mk_space () in
+      let ptr = put m a (string_of_int v) in
+      fst (Str_.strtol a ptr ~base:10) = v)
+
+let prop_itoa_strtol_roundtrip =
+  QCheck.Test.make ~name:"itoa/strtol roundtrip across bases" ~count:200
+    QCheck.(pair (int_range 0 0xFFFFFF) (int_range 2 36))
+    (fun (v, base) ->
+      let _, a = mk_space () in
+      let buf = Alloc.malloc a 64 in
+      ignore (Str_.itoa a ~value:v ~buf ~base);
+      fst (Str_.strtol a buf ~base) = v)
+
+(* ------------------------------- sort -------------------------------- *)
+
+module Sort_ = Smod_libc.Sort
+
+let write_words a base xs = List.iteri (fun i v -> Aspace.write_word a ~addr:(base + (4 * i)) v) xs
+
+let read_words a base n = List.init n (fun i -> Aspace.read_word a ~addr:(base + (4 * i)))
+
+let test_qsort_words () =
+  let _, a = mk_space () in
+  let base = Alloc.malloc a 64 in
+  write_words a base [ 5; 3; 9; 1; 7; 3; 0; 8 ];
+  Sort_.qsort a ~base ~nmemb:8 ~size:4 ~cmp:Sort_.Words_unsigned;
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 3; 3; 5; 7; 8; 9 ] (read_words a base 8);
+  Alcotest.(check bool) "is_sorted" true
+    (Sort_.is_sorted a ~base ~nmemb:8 ~size:4 ~cmp:Sort_.Words_unsigned)
+
+let test_qsort_signed_vs_unsigned () =
+  let _, a = mk_space () in
+  let base = Alloc.malloc a 16 in
+  write_words a base [ 0xFFFFFFFF (* -1 *); 1; 0 ];
+  Sort_.qsort a ~base ~nmemb:3 ~size:4 ~cmp:Sort_.Words_signed;
+  Alcotest.(check (list int)) "signed order" [ 0xFFFFFFFF; 0; 1 ] (read_words a base 3);
+  Sort_.qsort a ~base ~nmemb:3 ~size:4 ~cmp:Sort_.Words_unsigned;
+  Alcotest.(check (list int)) "unsigned order" [ 0; 1; 0xFFFFFFFF ] (read_words a base 3)
+
+let test_qsort_descending () =
+  let _, a = mk_space () in
+  let base = Alloc.malloc a 32 in
+  write_words a base [ 2; 9; 4; 1 ];
+  Sort_.qsort a ~base ~nmemb:4 ~size:4 ~cmp:Sort_.Words_unsigned_desc;
+  Alcotest.(check (list int)) "descending" [ 9; 4; 2; 1 ] (read_words a base 4)
+
+let test_qsort_lexicographic () =
+  let _, a = mk_space () in
+  let base = Alloc.malloc a 64 in
+  let rows = [ "delta."; "alpha."; "chess."; "bravo." ] in
+  List.iteri
+    (fun i s -> Aspace.write_bytes a ~addr:(base + (6 * i)) (Bytes.of_string s))
+    rows;
+  Sort_.qsort a ~base ~nmemb:4 ~size:6 ~cmp:Sort_.Lexicographic;
+  let got = List.init 4 (fun i -> Bytes.to_string (Aspace.read_bytes a ~addr:(base + (6 * i)) ~len:6)) in
+  Alcotest.(check (list string)) "lex order" [ "alpha."; "bravo."; "chess."; "delta." ] got
+
+let test_qsort_edge_cases () =
+  let _, a = mk_space () in
+  let base = Alloc.malloc a 16 in
+  Sort_.qsort a ~base ~nmemb:0 ~size:4 ~cmp:Sort_.Words_unsigned;
+  write_words a base [ 42 ];
+  Sort_.qsort a ~base ~nmemb:1 ~size:4 ~cmp:Sort_.Words_unsigned;
+  Alcotest.(check (list int)) "singleton untouched" [ 42 ] (read_words a base 1);
+  Alcotest.(check bool) "word cmp needs size 4" true
+    (match Sort_.qsort a ~base ~nmemb:2 ~size:8 ~cmp:Sort_.Words_unsigned with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_bsearch () =
+  let _, a = mk_space () in
+  let base = Alloc.malloc a 64 in
+  write_words a base [ 2; 5; 9; 14; 20; 31 ];
+  let key = Alloc.malloc a 8 in
+  let find v =
+    Aspace.write_word a ~addr:key v;
+    Sort_.bsearch a ~key ~base ~nmemb:6 ~size:4 ~cmp:Sort_.Words_unsigned
+  in
+  Alcotest.(check int) "first" base (find 2);
+  Alcotest.(check int) "middle" (base + 12) (find 14);
+  Alcotest.(check int) "last" (base + 20) (find 31);
+  Alcotest.(check int) "absent" 0 (find 13);
+  Alcotest.(check int) "empty array" 0
+    (Sort_.bsearch a ~key ~base ~nmemb:0 ~size:4 ~cmp:Sort_.Words_unsigned)
+
+let prop_qsort_matches_list_sort =
+  QCheck.Test.make ~name:"qsort matches List.sort" ~count:100
+    QCheck.(list_of_size Gen.(0 -- 80) (int_bound 100000))
+    (fun xs ->
+      let _, a = mk_space () in
+      let n = List.length xs in
+      let base = Alloc.malloc a (max 4 (4 * n)) in
+      write_words a base xs;
+      Sort_.qsort a ~base ~nmemb:n ~size:4 ~cmp:Sort_.Words_unsigned;
+      read_words a base n = List.sort compare xs)
+
+let prop_bsearch_finds_all_members =
+  QCheck.Test.make ~name:"bsearch finds every member of a sorted array" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 40) (int_bound 10000))
+    (fun xs ->
+      let _, a = mk_space () in
+      let xs = List.sort_uniq compare xs in
+      let n = List.length xs in
+      let base = Alloc.malloc a (4 * n) in
+      write_words a base xs;
+      let key = Alloc.malloc a 8 in
+      List.for_all
+        (fun v ->
+          Aspace.write_word a ~addr:key v;
+          let hit = Sort_.bsearch a ~key ~base ~nmemb:n ~size:4 ~cmp:Sort_.Words_unsigned in
+          hit <> 0 && Aspace.read_word a ~addr:hit = v)
+        xs)
+
+(* --------------------- new functions over SecModule ------------------ *)
+
+let test_seclibc_qsort_bsearch () =
+  with_session (fun _m p conn ->
+      let module C = Smod_libc.Seclibc.Client in
+      let base = C.malloc conn 64 in
+      write_words p.Proc.aspace base [ 31; 2; 20; 9; 5; 14 ];
+      C.qsort conn ~base ~nmemb:6 ~size:4 ~cmp_code:0;
+      Alcotest.(check (list int)) "sorted via handle" [ 2; 5; 9; 14; 20; 31 ]
+        (read_words p.Proc.aspace base 6);
+      let key = C.malloc conn 8 in
+      Aspace.write_word p.Proc.aspace ~addr:key 20;
+      Alcotest.(check int) "bsearch via handle" (base + 16)
+        (C.bsearch conn ~key ~base ~nmemb:6 ~size:4 ~cmp_code:0))
+
+let test_seclibc_strtol_endptr () =
+  with_session (fun _m p conn ->
+      let module C = Smod_libc.Seclibc.Client in
+      let s = C.malloc conn 16 and endptr = C.malloc conn 8 in
+      Aspace.write_string p.Proc.aspace ~addr:s "-123xy";
+      Alcotest.(check int) "value" (-123) (C.strtol conn s ~endptr ~base:10);
+      Alcotest.(check int) "endptr written by handle" (s + 4)
+        (Aspace.read_word p.Proc.aspace ~addr:endptr))
+
+let test_seclibc_itoa_strstr () =
+  with_session (fun _m p conn ->
+      let module C = Smod_libc.Seclibc.Client in
+      let buf = C.malloc conn 32 in
+      ignore (C.itoa conn ~value:48879 ~buf ~base:16);
+      Alcotest.(check string) "beef" "beef" (Aspace.read_string p.Proc.aspace ~addr:buf ~max_len:8);
+      let hay = C.malloc conn 32 and needle = C.malloc conn 8 in
+      Aspace.write_string p.Proc.aspace ~addr:hay "dead beef cafe";
+      Aspace.write_string p.Proc.aspace ~addr:needle "beef";
+      Alcotest.(check int) "strstr via handle" (hay + 5)
+        (C.strstr conn ~haystack:hay ~needle))
+
+let test_seclibc_memmove_overlap () =
+  with_session (fun _m p conn ->
+      let module C = Smod_libc.Seclibc.Client in
+      let buf = C.malloc conn 32 in
+      Aspace.write_bytes p.Proc.aspace ~addr:buf (Bytes.of_string "0123456789");
+      ignore (C.memmove conn ~dst:(buf + 2) ~src:buf ~n:8);
+      Alcotest.(check string) "overlap-safe via handle" "0101234567"
+        (Bytes.to_string (Aspace.read_bytes p.Proc.aspace ~addr:buf ~len:10)))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "libc"
+    [
+      ( "alloc",
+        [
+          tc "malloc basic" test_malloc_basic;
+          tc "malloc size<=0" test_malloc_zero_and_negative;
+          tc "distinct blocks" test_malloc_distinct_blocks;
+          tc "free and reuse" test_free_and_reuse;
+          tc "free NULL" test_free_null_ok;
+          tc "double free" test_double_free_detected;
+          tc "wild free" test_wild_free_detected;
+          tc "coalescing" test_coalescing;
+          tc "split remainder" test_split_leaves_remainder_usable;
+          tc "calloc zeroes" test_calloc_zeroes;
+          tc "realloc grow" test_realloc_grow_preserves;
+          tc "realloc shrink in place" test_realloc_shrink_in_place;
+          tc "realloc NULL" test_realloc_null_is_malloc;
+          tc "realloc to zero" test_realloc_zero_is_free;
+          tc "allocated_bytes" test_allocated_bytes_accounting;
+          tc "heap grows" test_heap_grows_on_demand;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_alloc_random_ops ] );
+      ( "strings",
+        [
+          tc "strlen" test_strlen;
+          tc "strcpy/strcmp" test_strcpy_strcmp;
+          tc "strcmp ordering" test_strcmp_ordering;
+          tc "strncmp" test_strncmp;
+          tc "strncpy pads" test_strncpy_pads;
+          tc "strchr" test_strchr;
+          tc "strcat" test_strcat;
+          tc "mem ops" test_memcpy_memcmp_memset;
+          tc "atoi" test_atoi;
+          tc "memmove overlap" test_memmove_overlap;
+          tc "memchr" test_memchr;
+          tc "strstr" test_strstr;
+          tc "strrchr" test_strrchr;
+          tc "strncat" test_strncat;
+          tc "strtol" test_strtol;
+          tc "itoa" test_itoa;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_str_matches_ocaml; prop_strtol_matches_ocaml; prop_itoa_strtol_roundtrip ] );
+      ( "sort",
+        [
+          tc "qsort words" test_qsort_words;
+          tc "signed vs unsigned" test_qsort_signed_vs_unsigned;
+          tc "descending" test_qsort_descending;
+          tc "lexicographic" test_qsort_lexicographic;
+          tc "edge cases" test_qsort_edge_cases;
+          tc "bsearch" test_bsearch;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_qsort_matches_list_sort; prop_bsearch_finds_all_members ] );
+      ( "seclibc over SecModule",
+        [
+          tc "malloc on client heap" test_seclibc_malloc_on_client_heap;
+          tc "malloc/free cycles" test_seclibc_malloc_free_cycles;
+          tc "strings cross-process" test_seclibc_string_functions_cross_process;
+          tc "mem ops" test_seclibc_memops;
+          tc "bytecode members" test_seclibc_bytecode_members;
+          tc "getpid is client's" test_seclibc_getpid_is_client;
+          tc "image inventory" test_seclibc_image_inventory;
+          tc "qsort/bsearch" test_seclibc_qsort_bsearch;
+          tc "strtol endptr" test_seclibc_strtol_endptr;
+          tc "itoa + strstr" test_seclibc_itoa_strstr;
+          tc "memmove overlap" test_seclibc_memmove_overlap;
+        ] );
+    ]

@@ -1,0 +1,327 @@
+(* Tests for Smod_modfmt: the SMOF object format — builder, symbol
+   table, objdump listing, serialisation, relocation patching and the
+   relocation-hole text encryption of paper §4.1. *)
+
+module Smof = Smod_modfmt.Smof
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec scan i = i + m <= n && (String.sub haystack i m = needle || scan (i + 1)) in
+  scan 0
+
+let sample_code = Bytes.of_string "\x01\x2a\x00\x00\x00\x1c"
+(* push 42; ret *)
+
+let build_sample () =
+  let b = Smof.Builder.create ~name:"sample" ~version:2 in
+  let off1 = Smof.Builder.add_function b ~name:"alpha" ~code:sample_code () in
+  let off2 =
+    Smof.Builder.add_function b ~name:"beta" ~global:false
+      ~relocs:[ (1, "alpha") ]
+      ~code:(Bytes.cat sample_code sample_code) ()
+  in
+  let doff = Smof.Builder.add_data b (Bytes.of_string "static data") in
+  ignore (Smof.Builder.add_native_function b ~name:"gamma" ~native:"native_gamma" ~size_hint:40 ());
+  (Smof.Builder.finish b, off1, off2, doff)
+
+(* ------------------------------ builder ---------------------------- *)
+
+let test_builder_alignment () =
+  let image, off1, off2, _ = build_sample () in
+  Alcotest.(check int) "first at 0" 0 off1;
+  Alcotest.(check int) "16-byte aligned" 0 (off2 mod 16);
+  Alcotest.(check bool) "text covers both" true (Bytes.length image.Smof.text >= off2 + 12)
+
+let test_builder_symbols () =
+  let image, _, off2, _ = build_sample () in
+  (match Smof.find_symbol image "alpha" with
+  | Some s ->
+      Alcotest.(check int) "alpha size" 6 s.Smof.sym_size;
+      Alcotest.(check bool) "alpha global" true s.Smof.sym_global
+  | None -> Alcotest.fail "alpha missing");
+  (match Smof.find_symbol image "beta" with
+  | Some s ->
+      Alcotest.(check int) "beta offset" off2 s.Smof.sym_offset;
+      Alcotest.(check bool) "beta local" false s.Smof.sym_global
+  | None -> Alcotest.fail "beta missing");
+  Alcotest.(check bool) "no such symbol" true (Smof.find_symbol image "delta" = None)
+
+let test_builder_data_section () =
+  let image, _, _, doff = build_sample () in
+  Alcotest.(check string) "data" "static data"
+    (Bytes.sub_string image.Smof.data doff 11)
+
+let test_function_symbols_ordered () =
+  let image, _, _, _ = build_sample () in
+  let names = List.map (fun s -> s.Smof.sym_name) (Smof.function_symbols image) in
+  Alcotest.(check (list string)) "text order" [ "alpha"; "beta"; "gamma" ] names
+
+let test_reloc_out_of_function_rejected () =
+  let b = Smof.Builder.create ~name:"bad" ~version:1 in
+  Alcotest.(check bool) "rejected" true
+    (match
+       Smof.Builder.add_function b ~name:"f" ~relocs:[ (100, "x") ] ~code:sample_code ()
+     with
+    | _ -> false
+    | exception Smof.Malformed _ -> true)
+
+(* ------------------------------ objdump ---------------------------- *)
+
+let test_objdump_has_F_lines () =
+  let image, _, _, _ = build_sample () in
+  let dump = Smof.objdump_t image in
+  (* The paper greps for lines containing " F ". *)
+  let f_lines =
+    List.filter (fun l -> contains l " F ") (String.split_on_char '\n' dump)
+  in
+  Alcotest.(check int) "one F line per function" 3 (List.length f_lines);
+  Alcotest.(check bool) "mentions alpha" true (contains dump "alpha")
+
+let test_objdump_scope_letters () =
+  let image, _, _, _ = build_sample () in
+  let dump = Smof.objdump_t image in
+  Alcotest.(check bool) "global marker" true (contains dump "g     F");
+  Alcotest.(check bool) "local marker" true (contains dump "l     F")
+
+(* --------------------------- serialisation ------------------------- *)
+
+let test_serialisation_roundtrip () =
+  let image, _, _, _ = build_sample () in
+  let image2 = Smof.of_bytes (Smof.to_bytes image) in
+  Alcotest.(check string) "name" image.Smof.mod_name image2.Smof.mod_name;
+  Alcotest.(check int) "version" image.Smof.mod_version image2.Smof.mod_version;
+  Alcotest.(check bytes) "text" image.Smof.text image2.Smof.text;
+  Alcotest.(check bytes) "data" image.Smof.data image2.Smof.data;
+  Alcotest.(check bytes) "digest" image.Smof.text_digest image2.Smof.text_digest;
+  Alcotest.(check int) "symbols" (List.length image.Smof.symbols)
+    (List.length image2.Smof.symbols);
+  Alcotest.(check int) "relocs" (List.length image.Smof.relocs)
+    (List.length image2.Smof.relocs);
+  Alcotest.(check bool) "encrypted flag" image.Smof.encrypted image2.Smof.encrypted
+
+let test_bad_magic () =
+  Alcotest.(check bool) "rejected" true
+    (match Smof.of_bytes (Bytes.of_string "ELF\x7f the wrong thing entirely") with
+    | _ -> false
+    | exception Smof.Malformed _ -> true)
+
+let test_truncation_rejected () =
+  let image, _, _, _ = build_sample () in
+  let full = Smof.to_bytes image in
+  (* Every strict prefix must be rejected, never crash. *)
+  List.iter
+    (fun frac ->
+      let n = Bytes.length full * frac / 10 in
+      match Smof.of_bytes (Bytes.sub full 0 n) with
+      | _ -> Alcotest.fail (Printf.sprintf "accepted %d-byte prefix" n)
+      | exception Smof.Malformed _ -> ())
+    [ 0; 3; 5; 7; 9 ]
+
+let prop_serialisation_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      map2
+        (fun name funcs -> (name, funcs))
+        (string_size ~gen:(char_range 'a' 'z') (1 -- 12))
+        (list_size (1 -- 6)
+           (pair (string_size ~gen:(char_range 'a' 'z') (1 -- 10)) (string_size (1 -- 64)))))
+  in
+  QCheck.Test.make ~name:"serialisation roundtrip (random modules)" ~count:100 (QCheck.make gen)
+    (fun (name, funcs) ->
+      let b = Smof.Builder.create ~name ~version:1 in
+      List.iteri
+        (fun i (fname, code) ->
+          ignore
+            (Smof.Builder.add_function b
+               ~name:(Printf.sprintf "%s_%d" fname i)
+               ~code:(Bytes.of_string code) ()))
+        funcs;
+      let image = Smof.Builder.finish b in
+      let image2 = Smof.of_bytes (Smof.to_bytes image) in
+      Bytes.equal image.Smof.text image2.Smof.text
+      && image.Smof.mod_name = image2.Smof.mod_name
+      && List.length image.Smof.symbols = List.length image2.Smof.symbols)
+
+(* ---------------------------- encryption --------------------------- *)
+
+let key = "0123456789abcdef"
+let nonce = Bytes.make 16 'n'
+
+let build_with_relocs () =
+  let b = Smof.Builder.create ~name:"enc" ~version:1 in
+  ignore
+    (Smof.Builder.add_function b ~name:"f"
+       ~relocs:[ (4, "f"); (12, "g") ]
+       ~code:(Bytes.of_string "0123456789abcdefghij") ());
+  ignore (Smof.Builder.add_function b ~name:"g" ~code:(Bytes.of_string "GGGGGGGG") ());
+  Smof.Builder.finish b
+
+let test_encrypt_changes_text () =
+  let image = build_with_relocs () in
+  let enc = Smof.encrypt_text image ~key ~nonce in
+  Alcotest.(check bool) "flag set" true enc.Smof.encrypted;
+  Alcotest.(check bool) "text differs" false (Bytes.equal enc.Smof.text image.Smof.text)
+
+let test_encrypt_preserves_reloc_sites () =
+  let image = build_with_relocs () in
+  let enc = Smof.encrypt_text image ~key ~nonce in
+  List.iter
+    (fun r ->
+      Alcotest.(check bytes)
+        (Printf.sprintf "site at %d intact" r.Smof.rel_offset)
+        (Bytes.sub image.Smof.text r.Smof.rel_offset 4)
+        (Bytes.sub enc.Smof.text r.Smof.rel_offset 4))
+    image.Smof.relocs
+
+let test_decrypt_roundtrip () =
+  let image = build_with_relocs () in
+  let back = Smof.decrypt_text (Smof.encrypt_text image ~key ~nonce) ~key ~nonce in
+  Alcotest.(check bytes) "text restored" image.Smof.text back.Smof.text;
+  Alcotest.(check bool) "flag cleared" false back.Smof.encrypted
+
+let test_decrypt_wrong_key () =
+  let image = build_with_relocs () in
+  let enc = Smof.encrypt_text image ~key ~nonce in
+  Alcotest.(check bool) "digest catches wrong key" true
+    (match Smof.decrypt_text enc ~key:"fedcba9876543210" ~nonce with
+    | _ -> false
+    | exception Smof.Malformed _ -> true)
+
+let test_double_encrypt_rejected () =
+  let image = build_with_relocs () in
+  let enc = Smof.encrypt_text image ~key ~nonce in
+  Alcotest.(check bool) "double encrypt" true
+    (match Smof.encrypt_text enc ~key ~nonce with
+    | _ -> false
+    | exception Smof.Malformed _ -> true);
+  Alcotest.(check bool) "decrypt plaintext" true
+    (match Smof.decrypt_text image ~key ~nonce with
+    | _ -> false
+    | exception Smof.Malformed _ -> true)
+
+(* The property the paper designs for: the encrypted image is still
+   LINKABLE — patching relocations commutes with encryption. *)
+let test_relocation_commutes_with_encryption () =
+  let image = build_with_relocs () in
+  let resolve = function "f" -> 0x1000 | "g" -> 0x2000 | _ -> 0 in
+  let patch_then_encrypt =
+    Smof.encrypt_text (Smof.apply_relocations image ~resolve) ~key ~nonce
+  in
+  let encrypt_then_patch =
+    Smof.apply_relocations (Smof.encrypt_text image ~key ~nonce) ~resolve
+  in
+  Alcotest.(check bytes) "same bytes either way" patch_then_encrypt.Smof.text
+    encrypt_then_patch.Smof.text;
+  (* And decrypting the encrypt-then-patch image gives the patched text. *)
+  let decrypted = Smof.decrypt_text encrypt_then_patch ~key ~nonce in
+  Alcotest.(check bytes) "decrypts to patched plaintext"
+    (Smof.apply_relocations image ~resolve).Smof.text decrypted.Smof.text
+
+let test_apply_relocations_patches_abs32 () =
+  let image = build_with_relocs () in
+  let patched = Smof.apply_relocations image ~resolve:(fun _ -> 0xAABBCCDD) in
+  List.iter
+    (fun r ->
+      let word =
+        Char.code (Bytes.get patched.Smof.text r.Smof.rel_offset)
+        lor (Char.code (Bytes.get patched.Smof.text (r.Smof.rel_offset + 1)) lsl 8)
+        lor (Char.code (Bytes.get patched.Smof.text (r.Smof.rel_offset + 2)) lsl 16)
+        lor (Char.code (Bytes.get patched.Smof.text (r.Smof.rel_offset + 3)) lsl 24)
+      in
+      Alcotest.(check int) "patched LE word" 0xAABBCCDD word)
+    patched.Smof.relocs
+
+let test_native_stub_deterministic () =
+  let a = Smof.native_stub_image ~name:"malloc" ~size:100 in
+  let b = Smof.native_stub_image ~name:"malloc" ~size:100 in
+  let c = Smof.native_stub_image ~name:"free" ~size:100 in
+  Alcotest.(check bytes) "same name same bytes" a b;
+  Alcotest.(check bool) "different name different bytes" false (Bytes.equal a c);
+  Alcotest.(check int) "size respected" 100 (Bytes.length a)
+
+let prop_encrypt_roundtrip =
+  QCheck.Test.make ~name:"encrypt/decrypt roundtrip (random text)" ~count:100
+    QCheck.(string_of_size Gen.(1 -- 300))
+    (fun code ->
+      let b = Smof.Builder.create ~name:"p" ~version:1 in
+      ignore (Smof.Builder.add_function b ~name:"f" ~code:(Bytes.of_string code) ());
+      let image = Smof.Builder.finish b in
+      let back = Smof.decrypt_text (Smof.encrypt_text image ~key ~nonce) ~key ~nonce in
+      Bytes.equal image.Smof.text back.Smof.text)
+
+
+let prop_corruption_never_crashes =
+  (* Flipping any byte of a serialised image must yield either a valid
+     parse or Malformed — never an unguarded exception or a hang. *)
+  QCheck.Test.make ~name:"byte corruption yields Malformed or a parse" ~count:300
+    QCheck.(pair (int_bound 10_000) (int_bound 255))
+    (fun (pos_seed, new_byte) ->
+      let image, _, _, _ = build_sample () in
+      let data = Smof.to_bytes image in
+      let pos = pos_seed mod Bytes.length data in
+      let corrupt = Bytes.copy data in
+      Bytes.set corrupt pos (Char.chr new_byte);
+      match Smof.of_bytes corrupt with
+      | _ -> true
+      | exception Smof.Malformed _ -> true)
+
+let test_hostile_counts_capped () =
+  (* A crafted image claiming 2^31 symbols must fail fast. *)
+  let image, _, _, _ = build_sample () in
+  let data = Smof.to_bytes image in
+  (* locate the symbol-count word: magic(4) + ver(4) + flags(4) +
+     name(2+len) + modver(4) + text(4+len) + data(4+len) + digest(32) *)
+  let name_len = String.length image.Smof.mod_name in
+  let off =
+    4 + 4 + 4 + (2 + name_len) + 4
+    + (4 + Bytes.length image.Smof.text)
+    + (4 + Bytes.length image.Smof.data)
+    + 32
+  in
+  let hostile = Bytes.copy data in
+  Bytes.set hostile off '\xff';
+  Bytes.set hostile (off + 1) '\xff';
+  Bytes.set hostile (off + 2) '\xff';
+  Bytes.set hostile (off + 3) '\x7f';
+  Alcotest.(check bool) "rejected without allocation blowup" true
+    (match Smof.of_bytes hostile with
+    | _ -> false
+    | exception Smof.Malformed _ -> true)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "modfmt"
+    [
+      ( "builder",
+        [
+          tc "alignment" test_builder_alignment;
+          tc "symbols" test_builder_symbols;
+          tc "data section" test_builder_data_section;
+          tc "function order" test_function_symbols_ordered;
+          tc "reloc bounds checked" test_reloc_out_of_function_rejected;
+        ] );
+      ( "objdump",
+        [ tc "' F ' lines" test_objdump_has_F_lines; tc "scope letters" test_objdump_scope_letters ]
+      );
+      ( "serialisation",
+        [
+          tc "roundtrip" test_serialisation_roundtrip;
+          tc "bad magic" test_bad_magic;
+          tc "truncation" test_truncation_rejected;
+          tc "hostile counts capped" test_hostile_counts_capped;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_serialisation_roundtrip; prop_corruption_never_crashes ] );
+      ( "encryption (paper 4.1)",
+        [
+          tc "changes text" test_encrypt_changes_text;
+          tc "preserves reloc sites" test_encrypt_preserves_reloc_sites;
+          tc "decrypt roundtrip" test_decrypt_roundtrip;
+          tc "wrong key detected" test_decrypt_wrong_key;
+          tc "double encrypt rejected" test_double_encrypt_rejected;
+          tc "linking commutes with encryption" test_relocation_commutes_with_encryption;
+          tc "abs32 patching" test_apply_relocations_patches_abs32;
+          tc "native stubs deterministic" test_native_stub_deterministic;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_encrypt_roundtrip ] );
+    ]

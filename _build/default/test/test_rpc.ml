@@ -1,0 +1,540 @@
+(* Tests for Smod_rpc: XDR codecs, RPC message format, the loopback
+   transport, the portmapper, and end-to-end calls to test-incr. *)
+
+module M = Smod_kern.Machine
+module Proc = Smod_kern.Proc
+module Errno = Smod_kern.Errno
+module Xdr = Smod_rpc.Xdr
+module Rpc_msg = Smod_rpc.Rpc_msg
+module Transport = Smod_rpc.Transport
+module Portmap = Smod_rpc.Portmap
+module Server = Smod_rpc.Server
+module Client = Smod_rpc.Client
+module Testincr = Smod_rpc.Testincr
+
+(* ------------------------------- XDR ------------------------------- *)
+
+let enc_dec enc_fn dec_fn v =
+  let e = Xdr.Encoder.create () in
+  enc_fn e v;
+  dec_fn (Xdr.Decoder.of_bytes (Xdr.Encoder.to_bytes e))
+
+let test_xdr_int_roundtrip () =
+  List.iter
+    (fun v -> Alcotest.(check int) "int" v (enc_dec Xdr.Encoder.int Xdr.Decoder.int v))
+    [ 0; 1; -1; 42; -42; 0x7FFFFFFF; -0x80000000 ]
+
+let test_xdr_uint_roundtrip () =
+  List.iter
+    (fun v -> Alcotest.(check int) "uint" v (enc_dec Xdr.Encoder.uint Xdr.Decoder.uint v))
+    [ 0; 1; 0xDEADBEEF; 0xFFFFFFFF ]
+
+let test_xdr_hyper_roundtrip () =
+  List.iter
+    (fun v ->
+      Alcotest.(check int64) "hyper" v (enc_dec Xdr.Encoder.hyper Xdr.Decoder.hyper v))
+    [ 0L; 1L; -1L; Int64.max_int; Int64.min_int; 0x123456789ABCDEFL ]
+
+let test_xdr_bool_roundtrip () =
+  Alcotest.(check bool) "true" true (enc_dec Xdr.Encoder.bool Xdr.Decoder.bool true);
+  Alcotest.(check bool) "false" false (enc_dec Xdr.Encoder.bool Xdr.Decoder.bool false)
+
+let test_xdr_bool_invalid () =
+  let e = Xdr.Encoder.create () in
+  Xdr.Encoder.uint e 7;
+  Alcotest.(check bool) "bad bool" true
+    (match Xdr.Decoder.bool (Xdr.Decoder.of_bytes (Xdr.Encoder.to_bytes e)) with
+    | _ -> false
+    | exception Xdr.Decode_error _ -> true)
+
+let test_xdr_string_padding () =
+  List.iter
+    (fun s ->
+      let e = Xdr.Encoder.create () in
+      Xdr.Encoder.string e s;
+      let encoded = Xdr.Encoder.to_bytes e in
+      Alcotest.(check int) "padded to 4" 0 (Bytes.length encoded mod 4);
+      Alcotest.(check string) "roundtrip" s
+        (Xdr.Decoder.string (Xdr.Decoder.of_bytes encoded)))
+    [ ""; "a"; "ab"; "abc"; "abcd"; "hello world" ]
+
+let test_xdr_opaque_roundtrip () =
+  let b = Bytes.of_string "\x00\x01\x02\xff binary" in
+  Alcotest.(check bytes) "opaque" b (enc_dec Xdr.Encoder.opaque Xdr.Decoder.opaque b)
+
+let test_xdr_array_roundtrip () =
+  let e = Xdr.Encoder.create () in
+  Xdr.Encoder.array e (Xdr.Encoder.int e) [ 1; 2; 3; 4; 5 ];
+  let d = Xdr.Decoder.of_bytes (Xdr.Encoder.to_bytes e) in
+  Alcotest.(check (list int)) "array" [ 1; 2; 3; 4; 5 ] (Xdr.Decoder.array d Xdr.Decoder.int)
+
+let test_xdr_truncation () =
+  let e = Xdr.Encoder.create () in
+  Xdr.Encoder.string e "truncate me please";
+  let full = Xdr.Encoder.to_bytes e in
+  let cut = Bytes.sub full 0 (Bytes.length full - 4) in
+  Alcotest.(check bool) "decode error" true
+    (match Xdr.Decoder.string (Xdr.Decoder.of_bytes cut) with
+    | _ -> false
+    | exception Xdr.Decode_error _ -> true)
+
+let test_xdr_remaining () =
+  let e = Xdr.Encoder.create () in
+  Xdr.Encoder.int e 1;
+  Xdr.Encoder.int e 2;
+  let d = Xdr.Decoder.of_bytes (Xdr.Encoder.to_bytes e) in
+  Alcotest.(check int) "8 bytes" 8 (Xdr.Decoder.remaining d);
+  ignore (Xdr.Decoder.int d);
+  Alcotest.(check int) "4 left" 4 (Xdr.Decoder.remaining d)
+
+let prop_xdr_string =
+  QCheck.Test.make ~name:"xdr string roundtrip" ~count:300
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s ->
+      let e = Xdr.Encoder.create () in
+      Xdr.Encoder.string e s;
+      Xdr.Decoder.string (Xdr.Decoder.of_bytes (Xdr.Encoder.to_bytes e)) = s)
+
+let prop_xdr_int_list =
+  QCheck.Test.make ~name:"xdr int array roundtrip" ~count:300
+    QCheck.(list_of_size Gen.(0 -- 50) int32)
+    (fun xs ->
+      let xs = List.map Int32.to_int xs in
+      let e = Xdr.Encoder.create () in
+      Xdr.Encoder.array e (Xdr.Encoder.int e) xs;
+      Xdr.Decoder.array (Xdr.Decoder.of_bytes (Xdr.Encoder.to_bytes e)) Xdr.Decoder.int = xs)
+
+(* ---------------------------- RPC messages ------------------------- *)
+
+let sample_call cred =
+  {
+    Rpc_msg.xid = 0xCAFE;
+    prog = 100003;
+    vers = 3;
+    proc = 7;
+    cred;
+    args = Bytes.of_string "argument bytes";
+  }
+
+let test_call_roundtrip_auth_none () =
+  let c = sample_call Rpc_msg.Auth_none in
+  let c2 = Rpc_msg.decode_call (Rpc_msg.encode_call c) in
+  Alcotest.(check int) "xid" c.Rpc_msg.xid c2.Rpc_msg.xid;
+  Alcotest.(check int) "prog" c.Rpc_msg.prog c2.Rpc_msg.prog;
+  Alcotest.(check int) "proc" c.Rpc_msg.proc c2.Rpc_msg.proc;
+  Alcotest.(check bytes) "args" c.Rpc_msg.args c2.Rpc_msg.args
+
+let test_call_roundtrip_auth_sys () =
+  let cred = Rpc_msg.Auth_sys { uid = 1000; gid = 100; machine = "testhost" } in
+  let c2 = Rpc_msg.decode_call (Rpc_msg.encode_call (sample_call cred)) in
+  match c2.Rpc_msg.cred with
+  | Rpc_msg.Auth_sys { uid = 1000; gid = 100; machine = "testhost" } -> ()
+  | _ -> Alcotest.fail "auth_sys mismatch"
+
+let test_reply_roundtrips () =
+  let cases =
+    [
+      Rpc_msg.Success (Bytes.of_string "results");
+      Rpc_msg.Prog_unavail;
+      Rpc_msg.Prog_mismatch { low = 2; high = 3 };
+      Rpc_msg.Proc_unavail;
+      Rpc_msg.Garbage_args;
+    ]
+  in
+  List.iter
+    (fun stat ->
+      let r = { Rpc_msg.rxid = 7; stat } in
+      let r2 = Rpc_msg.decode_reply (Rpc_msg.encode_reply r) in
+      Alcotest.(check int) "xid" 7 r2.Rpc_msg.rxid;
+      Alcotest.(check bool) "stat" true (r2.Rpc_msg.stat = stat))
+    cases
+
+let test_reply_not_a_call () =
+  let r = Rpc_msg.encode_reply { Rpc_msg.rxid = 1; stat = Rpc_msg.Prog_unavail } in
+  Alcotest.(check bool) "decode_call rejects reply" true
+    (match Rpc_msg.decode_call r with
+    | _ -> false
+    | exception Rpc_msg.Bad_message _ -> true)
+
+let test_garbage_bytes_rejected () =
+  Alcotest.(check bool) "garbage" true
+    (match Rpc_msg.decode_call (Bytes.of_string "hi") with
+    | _ -> false
+    | exception Rpc_msg.Bad_message _ -> true)
+
+(* ----------------------------- transport --------------------------- *)
+
+let test_transport_delivery () =
+  let m = M.create ~jitter:0.0 () in
+  let t = Transport.create m in
+  let got = ref (0, Bytes.empty) in
+  ignore
+    (M.spawn m ~name:"receiver" (fun p ->
+         Transport.bind t p ~port:100;
+         got := Transport.recvfrom t p ~port:100));
+  ignore
+    (M.spawn m ~name:"sender" (fun p ->
+         Transport.sendto t p ~dst_port:100 ~src_port:200 (Bytes.of_string "datagram")));
+  M.run m;
+  let src, payload = !got in
+  Alcotest.(check int) "source port" 200 src;
+  Alcotest.(check string) "payload" "datagram" (Bytes.to_string payload)
+
+let test_transport_port_collision () =
+  let m = M.create () in
+  let t = Transport.create m in
+  let denied = ref false in
+  ignore
+    (M.spawn m ~name:"a" (fun p ->
+         Transport.bind t p ~port:9;
+         match Transport.bind t p ~port:9 with
+         | () -> ()
+         | exception Errno.Error (Errno.EEXIST, _) -> denied := true));
+  M.run m;
+  Alcotest.(check bool) "EEXIST" true !denied
+
+let test_transport_send_to_unbound () =
+  let m = M.create () in
+  let t = Transport.create m in
+  let failed = ref false in
+  ignore
+    (M.spawn m ~name:"a" (fun p ->
+         match Transport.sendto t p ~dst_port:4242 ~src_port:1 Bytes.empty with
+         | () -> ()
+         | exception Errno.Error (Errno.ENOENT, _) -> failed := true));
+  M.run m;
+  Alcotest.(check bool) "ENOENT" true !failed
+
+let test_transport_foreign_recv_denied () =
+  let m = M.create () in
+  let t = Transport.create m in
+  let owner = M.spawn m ~daemon:true ~name:"owner" (fun p ->
+      Transport.bind t p ~port:5;
+      ignore (Transport.recvfrom t p ~port:5))
+  in
+  ignore owner;
+  let denied = ref false in
+  ignore
+    (M.spawn m ~name:"thief" (fun p ->
+         Smod_kern.Sched.yield ();
+         match Transport.recvfrom t p ~port:5 with
+         | _ -> ()
+         | exception Errno.Error (Errno.EACCES, _) -> denied := true));
+  M.run m;
+  Alcotest.(check bool) "EACCES" true !denied
+
+let test_transport_queues_multiple () =
+  let m = M.create () in
+  let t = Transport.create m in
+  let got = ref [] in
+  ignore
+    (M.spawn m ~name:"r" (fun p ->
+         Transport.bind t p ~port:7;
+         Smod_kern.Sched.yield ();
+         for _ = 1 to 3 do
+           let _, b = Transport.recvfrom t p ~port:7 in
+           got := Bytes.to_string b :: !got
+         done));
+  ignore
+    (M.spawn m ~name:"s" (fun p ->
+         List.iter
+           (fun s -> Transport.sendto t p ~dst_port:7 ~src_port:8 (Bytes.of_string s))
+           [ "1"; "2"; "3" ]));
+  M.run m;
+  Alcotest.(check (list string)) "in order" [ "1"; "2"; "3" ] (List.rev !got)
+
+(* ----------------------------- portmap ----------------------------- *)
+
+let test_portmap () =
+  let pm = Portmap.create () in
+  let clock = Smod_sim.Clock.create () in
+  Portmap.set pm ~prog:100 ~vers:1 ~port:2049;
+  Alcotest.(check (option int)) "lookup" (Some 2049)
+    (Portmap.lookup pm ~clock ~prog:100 ~vers:1);
+  Alcotest.(check (option int)) "wrong version" None
+    (Portmap.lookup pm ~clock ~prog:100 ~vers:2);
+  Portmap.unset pm ~prog:100 ~vers:1;
+  Alcotest.(check (option int)) "after unset" None
+    (Portmap.lookup pm ~clock ~prog:100 ~vers:1);
+  Alcotest.(check int) "entries empty" 0 (List.length (Portmap.entries pm))
+
+(* ---------------------------- end to end --------------------------- *)
+
+let with_service f =
+  let m = M.create ~jitter:0.0 () in
+  let t = Transport.create m in
+  let pm = Portmap.create () in
+  ignore
+    (M.spawn m ~daemon:true ~name:"rpcd" (fun p ->
+         Server.serve_forever t pm p ~port:2049 (Testincr.service ())));
+  ignore (M.spawn m ~name:"client" (fun p -> f m t pm p));
+  M.run m
+
+let test_incr_end_to_end () =
+  let results = ref [] in
+  with_service (fun _m t pm p ->
+      let c = Client.create t pm p ~client_port:40000 in
+      List.iter (fun v -> results := Testincr.incr c v :: !results) [ 0; 41; -2; 1000 ]);
+  Alcotest.(check (list int)) "increments" [ 1; 42; -1; 1001 ] (List.rev !results)
+
+let test_null_procedure () =
+  let ok = ref false in
+  with_service (fun _m t pm p ->
+      let c = Client.create t pm p ~client_port:40000 in
+      Testincr.null c;
+      ok := true);
+  Alcotest.(check bool) "null returns" true !ok
+
+let test_unknown_program () =
+  let failed = ref false in
+  with_service (fun _m t pm p ->
+      let c = Client.create t pm p ~client_port:40000 in
+      match
+        Client.call c ~prog:0xBAD ~vers:1 ~proc:0
+          ~encode_args:(fun _ -> ())
+          ~decode_result:(fun _ -> ())
+          ()
+      with
+      | () -> ()
+      | exception Client.Rpc_failure _ -> failed := true);
+  Alcotest.(check bool) "not registered" true !failed
+
+let test_unknown_procedure () =
+  let failed = ref false in
+  with_service (fun _m t pm p ->
+      let c = Client.create t pm p ~client_port:40000 in
+      match
+        Client.call c ~prog:Testincr.program ~vers:Testincr.version ~proc:99
+          ~encode_args:(fun _ -> ())
+          ~decode_result:(fun _ -> ())
+          ()
+      with
+      | () -> ()
+      | exception Client.Rpc_failure msg -> failed := msg = "PROC_UNAVAIL");
+  Alcotest.(check bool) "PROC_UNAVAIL" true !failed
+
+let test_version_mismatch () =
+  let failed = ref false in
+  with_service (fun _m t pm p ->
+      Portmap.set pm ~prog:Testincr.program ~vers:99 ~port:2049;
+      let c = Client.create t pm p ~client_port:40000 in
+      match
+        Client.call c ~prog:Testincr.program ~vers:99 ~proc:Testincr.proc_incr
+          ~encode_args:(fun e -> Xdr.Encoder.int e 1)
+          ~decode_result:Xdr.Decoder.int ()
+      with
+      | _ -> ()
+      | exception Client.Rpc_failure msg -> failed := msg = "PROG_MISMATCH");
+  Alcotest.(check bool) "PROG_MISMATCH" true !failed
+
+let test_garbage_args () =
+  let failed = ref false in
+  with_service (fun _m t pm p ->
+      let c = Client.create t pm p ~client_port:40000 in
+      match
+        (* incr expects an int; send nothing *)
+        Client.call c ~prog:Testincr.program ~vers:Testincr.version ~proc:Testincr.proc_incr
+          ~encode_args:(fun _ -> ())
+          ~decode_result:Xdr.Decoder.int ()
+      with
+      | _ -> ()
+      | exception Client.Rpc_failure msg -> failed := msg = "GARBAGE_ARGS");
+  Alcotest.(check bool) "GARBAGE_ARGS" true !failed
+
+let test_rpc_cost_structure () =
+  (* The simulated cost of one local RPC must sit in the tens of
+     microseconds — an order of magnitude over a SecModule dispatch. *)
+  let cost = ref 0.0 in
+  with_service (fun m t pm p ->
+      let c = Client.create t pm p ~client_port:40000 in
+      ignore (Testincr.incr c 1);
+      let clock = M.clock m in
+      let t0 = Smod_sim.Clock.now_cycles clock in
+      for _ = 1 to 50 do
+        ignore (Testincr.incr c 1)
+      done;
+      cost := Smod_sim.Clock.elapsed_us clock ~since:t0 /. 50.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "40us < %.1f < 90us" !cost)
+    true
+    (!cost > 40.0 && !cost < 90.0)
+
+
+(* ------------------------------ rpcgen ----------------------------- *)
+
+module Rpcgen = Smod_rpc.Rpcgen
+
+let calc_idl =
+  "# demo program\n\
+   program CALC 0x20061234 version 2 {\n\
+     void ping(void) = 0;\n\
+     int add(int, int) = 1;\n\
+     string greet(string) = 2;\n\
+     bool check(opaque, uint) = 3;\n\
+   }\n"
+
+let test_rpcgen_parse () =
+  let spec = Rpcgen.parse calc_idl in
+  Alcotest.(check string) "name" "CALC" spec.Rpcgen.spec_name;
+  Alcotest.(check int) "prog" 0x20061234 spec.Rpcgen.prog;
+  Alcotest.(check int) "vers" 2 spec.Rpcgen.vers;
+  Alcotest.(check int) "procs" 4 (List.length spec.Rpcgen.procs);
+  match Rpcgen.find_proc spec "add" with
+  | Some p ->
+      Alcotest.(check int) "add num" 1 p.Rpcgen.proc_num;
+      Alcotest.(check int) "add arity" 2 (List.length p.Rpcgen.args)
+  | None -> Alcotest.fail "add missing"
+
+let test_rpcgen_parse_errors () =
+  let rejects src =
+    match Rpcgen.parse src with
+    | _ -> false
+    | exception Rpcgen.Syntax_error _ -> true
+  in
+  Alcotest.(check bool) "garbage" true (rejects "not an idl");
+  Alcotest.(check bool) "duplicate name" true
+    (rejects "program X 1 version 1 { int f(int) = 1; int f(int) = 2; }");
+  Alcotest.(check bool) "duplicate number" true
+    (rejects "program X 1 version 1 { int f(int) = 1; int g(int) = 1; }");
+  Alcotest.(check bool) "void argument" true
+    (rejects "program X 1 version 1 { int f(int, void) = 1; }");
+  Alcotest.(check bool) "unknown type" true
+    (rejects "program X 1 version 1 { float f(int) = 1; }");
+  Alcotest.(check bool) "trailing input" true
+    (rejects "program X 1 version 1 { } extra")
+
+let calc_impl name (args : Rpcgen.value list) =
+  match (name, args) with
+  | "ping", [] -> Rpcgen.V_void
+  | "add", [ Rpcgen.V_int a; Rpcgen.V_int b ] -> Rpcgen.V_int (a + b)
+  | "greet", [ Rpcgen.V_string s ] -> Rpcgen.V_string ("hello " ^ s)
+  | "check", [ Rpcgen.V_opaque b; Rpcgen.V_uint n ] -> Rpcgen.V_bool (Bytes.length b = n)
+  | "badtype", _ -> Rpcgen.V_string "not an int"
+  | _ -> raise (Rpcgen.Type_error "no such procedure")
+
+let with_calc f =
+  let m = M.create ~jitter:0.0 () in
+  let t = Transport.create m in
+  let pm = Portmap.create () in
+  let spec = Rpcgen.parse calc_idl in
+  ignore
+    (M.spawn m ~daemon:true ~name:"calcd" (fun p ->
+         Server.serve_forever t pm p ~port:3000 (Rpcgen.service spec ~impl:calc_impl)));
+  ignore
+    (M.spawn m ~name:"client" (fun p ->
+         let c = Client.create t pm p ~client_port:41000 in
+         f spec c));
+  M.run m
+
+let test_rpcgen_end_to_end () =
+  let results = ref [] in
+  with_calc (fun spec c ->
+      results := Rpcgen.call spec c ~proc:"ping" [] :: !results;
+      results := Rpcgen.call spec c ~proc:"add" [ Rpcgen.V_int 20; Rpcgen.V_int 22 ] :: !results;
+      results := Rpcgen.call spec c ~proc:"greet" [ Rpcgen.V_string "world" ] :: !results;
+      results :=
+        Rpcgen.call spec c ~proc:"check" [ Rpcgen.V_opaque (Bytes.create 3); Rpcgen.V_uint 3 ]
+        :: !results);
+  match List.rev !results with
+  | [ Rpcgen.V_void; Rpcgen.V_int 42; Rpcgen.V_string "hello world"; Rpcgen.V_bool true ] -> ()
+  | _ -> Alcotest.fail "unexpected results"
+
+let test_rpcgen_client_type_checking () =
+  let raised = ref false and unknown = ref false in
+  with_calc (fun spec c ->
+      (match Rpcgen.call spec c ~proc:"add" [ Rpcgen.V_string "not"; Rpcgen.V_int 1 ] with
+      | _ -> ()
+      | exception Rpcgen.Type_error _ -> raised := true);
+      match Rpcgen.call spec c ~proc:"nothere" [] with
+      | _ -> ()
+      | exception Not_found -> unknown := true);
+  Alcotest.(check bool) "argument type mismatch" true !raised;
+  Alcotest.(check bool) "unknown procedure" true !unknown
+
+let test_rpcgen_server_result_type_enforced () =
+  (* A buggy implementation returning the wrong type yields GARBAGE_ARGS,
+     not a wire-corrupting reply. *)
+  let m = M.create ~jitter:0.0 () in
+  let t = Transport.create m in
+  let pm = Portmap.create () in
+  let spec = Rpcgen.parse "program BUGGY 77 version 1 { int badtype(int) = 1; }" in
+  ignore
+    (M.spawn m ~daemon:true ~name:"buggyd" (fun p ->
+         Server.serve_forever t pm p ~port:3001 (Rpcgen.service spec ~impl:calc_impl)));
+  let failed = ref false in
+  ignore
+    (M.spawn m ~name:"client" (fun p ->
+         let c = Client.create t pm p ~client_port:41001 in
+         match Rpcgen.call spec c ~proc:"badtype" [ Rpcgen.V_int 1 ] with
+         | _ -> ()
+         | exception Client.Rpc_failure msg -> failed := msg = "GARBAGE_ARGS"));
+  M.run m;
+  Alcotest.(check bool) "GARBAGE_ARGS" true !failed
+
+let test_rpcgen_header () =
+  let spec = Rpcgen.parse calc_idl in
+  let header = Rpcgen.header_source spec in
+  let contains needle =
+    let n = String.length header and m = String.length needle in
+    let rec scan i = i + m <= n && (String.sub header i m = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "prog define" true (contains "#define CALC_PROG");
+  Alcotest.(check bool) "proc define" true (contains "#define CALC_ADD 1");
+  Alcotest.(check bool) "prototype" true (contains "int32_t add_2(int32_t, int32_t);")
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "rpc"
+    [
+      ( "xdr",
+        [
+          tc "int roundtrip" test_xdr_int_roundtrip;
+          tc "uint roundtrip" test_xdr_uint_roundtrip;
+          tc "hyper roundtrip" test_xdr_hyper_roundtrip;
+          tc "bool roundtrip" test_xdr_bool_roundtrip;
+          tc "bool invalid" test_xdr_bool_invalid;
+          tc "string padding" test_xdr_string_padding;
+          tc "opaque roundtrip" test_xdr_opaque_roundtrip;
+          tc "array roundtrip" test_xdr_array_roundtrip;
+          tc "truncation" test_xdr_truncation;
+          tc "remaining" test_xdr_remaining;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_xdr_string; prop_xdr_int_list ] );
+      ( "messages",
+        [
+          tc "call roundtrip auth_none" test_call_roundtrip_auth_none;
+          tc "call roundtrip auth_sys" test_call_roundtrip_auth_sys;
+          tc "reply roundtrips" test_reply_roundtrips;
+          tc "reply is not a call" test_reply_not_a_call;
+          tc "garbage rejected" test_garbage_bytes_rejected;
+        ] );
+      ( "transport",
+        [
+          tc "delivery" test_transport_delivery;
+          tc "port collision" test_transport_port_collision;
+          tc "send to unbound" test_transport_send_to_unbound;
+          tc "foreign recv denied" test_transport_foreign_recv_denied;
+          tc "queues multiple" test_transport_queues_multiple;
+        ] );
+      ("portmap", [ tc "set/lookup/unset" test_portmap ]);
+      ( "rpcgen",
+        [
+          tc "parse" test_rpcgen_parse;
+          tc "parse errors" test_rpcgen_parse_errors;
+          tc "end to end" test_rpcgen_end_to_end;
+          tc "client type checking" test_rpcgen_client_type_checking;
+          tc "server result types" test_rpcgen_server_result_type_enforced;
+          tc "header generation" test_rpcgen_header;
+        ] );
+      ( "end-to-end",
+        [
+          tc "test-incr" test_incr_end_to_end;
+          tc "null proc" test_null_procedure;
+          tc "unknown program" test_unknown_program;
+          tc "unknown procedure" test_unknown_procedure;
+          tc "version mismatch" test_version_mismatch;
+          tc "garbage args" test_garbage_args;
+          tc "cost structure ~60us" test_rpc_cost_structure;
+        ] );
+    ]

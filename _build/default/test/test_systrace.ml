@@ -1,0 +1,237 @@
+(* Tests for the Systrace substrate (paper §2's comparison point):
+   policy parsing, first-match decisions, enforcement through the kernel
+   trap path, auditing, and the interposition cost. *)
+
+module M = Smod_kern.Machine
+module Proc = Smod_kern.Proc
+module Errno = Smod_kern.Errno
+module Sysno = Smod_kern.Sysno
+module Aspace = Smod_vmem.Aspace
+module Systrace = Smod_systrace.Systrace
+
+let simple_policy =
+  "# comments are fine\n\
+   policy: demo\n\
+   native-getpid: permit\n\
+   native-obreak: arg0 < 1000 then deny ENOMEM\n\
+   native-obreak: permit\n\
+   default: deny EACCES\n"
+
+(* ------------------------------ parsing ----------------------------- *)
+
+let test_parse_basic () =
+  let p = Systrace.parse_policy simple_policy in
+  Alcotest.(check string) "name" "demo" p.Systrace.policy_name;
+  Alcotest.(check int) "rules" 3 (List.length p.Systrace.rules);
+  Alcotest.(check bool) "default" true (p.Systrace.default = Systrace.Deny Errno.EACCES)
+
+let test_parse_default_deny () =
+  let p = Systrace.parse_policy "policy: x\n" in
+  Alcotest.(check bool) "implicit default deny" true
+    (p.Systrace.default = Systrace.Deny Errno.EPERM)
+
+let test_parse_errors () =
+  let rejects src =
+    match Systrace.parse_policy src with
+    | _ -> false
+    | exception Systrace.Policy_error _ -> true
+  in
+  Alcotest.(check bool) "missing header" true (rejects "native-getpid: permit\n");
+  Alcotest.(check bool) "bad field" true (rejects "policy: x\ngetpid: permit\n");
+  Alcotest.(check bool) "bad action" true (rejects "policy: x\nnative-getpid: maybe\n");
+  Alcotest.(check bool) "bad errno" true (rejects "policy: x\nnative-getpid: deny EWHAT\n");
+  Alcotest.(check bool) "bad arg ref" true
+    (rejects "policy: x\nnative-obreak: argzz < 5 then permit\n");
+  Alcotest.(check bool) "bad comparison" true
+    (rejects "policy: x\nnative-obreak: arg0 ~ 5 then permit\n")
+
+let test_parse_error_line () =
+  Alcotest.(check bool) "line number" true
+    (match Systrace.parse_policy "policy: x\nnative-getpid: permit\nnonsense line\n" with
+    | _ -> false
+    | exception Systrace.Policy_error { line = 3; _ } -> true)
+
+(* ----------------------------- decisions ---------------------------- *)
+
+let policy = lazy (Systrace.parse_policy simple_policy)
+
+let test_decide_first_match_wins () =
+  let p = Lazy.force policy in
+  Alcotest.(check bool) "small obreak denied" true
+    (fst (Systrace.decide p ~sysname:"obreak" ~args:[| 500 |]) = Systrace.Deny Errno.ENOMEM);
+  Alcotest.(check bool) "large obreak permitted" true
+    (fst (Systrace.decide p ~sysname:"obreak" ~args:[| 5000 |]) = Systrace.Permit)
+
+let test_decide_default_applies () =
+  let p = Lazy.force policy in
+  Alcotest.(check bool) "unlisted syscall hits default" true
+    (fst (Systrace.decide p ~sysname:"fork" ~args:[||]) = Systrace.Deny Errno.EACCES)
+
+let test_decide_condition_ops () =
+  let mk op =
+    Systrace.parse_policy
+      (Printf.sprintf "policy: p\nnative-getpid: arg0 %s 10 then permit\ndefault: deny\n" op)
+  in
+  let allowed p v = fst (Systrace.decide p ~sysname:"getpid" ~args:[| v |]) = Systrace.Permit in
+  Alcotest.(check bool) "<" true (allowed (mk "<") 9 && not (allowed (mk "<") 10));
+  Alcotest.(check bool) "<=" true (allowed (mk "<=") 10 && not (allowed (mk "<=") 11));
+  Alcotest.(check bool) ">" true (allowed (mk ">") 11 && not (allowed (mk ">") 10));
+  Alcotest.(check bool) ">=" true (allowed (mk ">=") 10 && not (allowed (mk ">=") 9));
+  Alcotest.(check bool) "==" true (allowed (mk "==") 10 && not (allowed (mk "==") 9));
+  Alcotest.(check bool) "!=" true (allowed (mk "!=") 9 && not (allowed (mk "!=") 10))
+
+let test_decide_missing_arg_reads_zero () =
+  let p =
+    Systrace.parse_policy "policy: p\nnative-getpid: arg3 == 0 then permit\ndefault: deny\n"
+  in
+  Alcotest.(check bool) "absent arg treated as 0" true
+    (fst (Systrace.decide p ~sysname:"getpid" ~args:[||]) = Systrace.Permit)
+
+let test_decide_counts_scanned () =
+  let p = Lazy.force policy in
+  let _, scanned = Systrace.decide p ~sysname:"fork" ~args:[||] in
+  Alcotest.(check int) "scanned all rules" 3 scanned
+
+(* ---------------------------- enforcement --------------------------- *)
+
+let test_enforcement_denies () =
+  let m = M.create ~jitter:0.0 () in
+  let tracer = Systrace.install m in
+  let denied = ref false and allowed = ref false in
+  ignore
+    (M.spawn m ~name:"app" (fun p ->
+         Systrace.attach tracer ~pid:p.Proc.pid
+           (Systrace.parse_policy "policy: p\nnative-getpid: permit\ndefault: deny EACCES\n");
+         allowed := M.sys_getpid m p = p.Proc.pid;
+         match M.syscall m p Sysno.kill [| p.Proc.pid; 0 |] with
+         | _ -> ()
+         | exception Errno.Error (Errno.EACCES, _) -> denied := true));
+  M.run m;
+  Alcotest.(check bool) "permitted syscall works" true !allowed;
+  Alcotest.(check bool) "unlisted syscall denied" true !denied
+
+let test_enforcement_only_attached () =
+  let m = M.create ~jitter:0.0 () in
+  let tracer = Systrace.install m in
+  ignore tracer;
+  let ok = ref false in
+  ignore (M.spawn m ~name:"free-proc" (fun p -> ok := M.sys_getpid m p > 0));
+  M.run m;
+  Alcotest.(check bool) "unattached unaffected" true !ok
+
+let test_detach_restores () =
+  let m = M.create ~jitter:0.0 () in
+  let tracer = Systrace.install m in
+  let after_detach = ref false in
+  ignore
+    (M.spawn m ~name:"app" (fun p ->
+         Systrace.attach tracer ~pid:p.Proc.pid
+           (Systrace.parse_policy "policy: p\ndefault: deny\n");
+         (try ignore (M.sys_getpid m p) with Errno.Error _ -> ());
+         Systrace.detach tracer ~pid:p.Proc.pid;
+         after_detach := M.sys_getpid m p > 0));
+  M.run m;
+  Alcotest.(check bool) "detach lifts policy" true !after_detach
+
+let test_audit_records_everything () =
+  let m = M.create ~jitter:0.0 () in
+  let tracer = Systrace.install m in
+  ignore
+    (M.spawn m ~name:"app" (fun p ->
+         Systrace.attach tracer ~pid:p.Proc.pid
+           (Systrace.parse_policy "policy: p\nnative-getpid: permit\ndefault: deny\n");
+         ignore (M.sys_getpid m p);
+         try ignore (M.syscall m p Sysno.kill [| p.Proc.pid; 0 |]) with Errno.Error _ -> ()));
+  M.run m;
+  let events = Systrace.audit tracer in
+  Alcotest.(check int) "two events" 2 (List.length events);
+  (match events with
+  | [ a; b ] ->
+      Alcotest.(check string) "first" "getpid" a.Systrace.ev_sysname;
+      Alcotest.(check bool) "first allowed" true a.Systrace.ev_allowed;
+      Alcotest.(check string) "second" "kill" b.Systrace.ev_sysname;
+      Alcotest.(check bool) "second denied" false b.Systrace.ev_allowed
+  | _ -> Alcotest.fail "shape");
+  Systrace.clear_audit tracer;
+  Alcotest.(check int) "cleared" 0 (Systrace.audit_count tracer)
+
+let test_uninstall_releases_hook () =
+  let m = M.create ~jitter:0.0 () in
+  let tracer = Systrace.install m in
+  let ok = ref false in
+  ignore
+    (M.spawn m ~name:"app" (fun p ->
+         Systrace.attach tracer ~pid:p.Proc.pid
+           (Systrace.parse_policy "policy: p\ndefault: deny\n");
+         Systrace.uninstall tracer;
+         ok := M.sys_getpid m p > 0));
+  M.run m;
+  Alcotest.(check bool) "hook released" true !ok
+
+let test_interposition_costs_time () =
+  let run attach =
+    let m = M.create ~jitter:0.0 () in
+    let tracer = Systrace.install m in
+    let cost = ref 0.0 in
+    ignore
+      (M.spawn m ~name:"app" (fun p ->
+           if attach then
+             Systrace.attach tracer ~pid:p.Proc.pid
+               (Systrace.parse_policy "policy: p\nnative-getpid: permit\ndefault: deny\n");
+           let clock = M.clock m in
+           let t0 = Smod_sim.Clock.now_cycles clock in
+           for _ = 1 to 100 do
+             ignore (M.sys_getpid m p)
+           done;
+           cost := Smod_sim.Clock.elapsed_us clock ~since:t0));
+    M.run m;
+    !cost
+  in
+  Alcotest.(check bool) "rule scan charged" true (run true > run false)
+
+let test_trap_level_msg_syscalls () =
+  (* The msgsnd/msgrcv syscalls move payloads through user memory. *)
+  let m = M.create ~jitter:0.0 () in
+  let got = ref "" in
+  ignore
+    (M.spawn m ~name:"p" (fun p ->
+         let base = Aspace.heap_base p.Proc.aspace in
+         M.sys_obreak m p (base + 4096);
+         Aspace.write_string p.Proc.aspace ~addr:base "payload!";
+         let q = M.syscall m p Sysno.msgget [| 5 |] in
+         ignore (M.syscall m p Sysno.msgsnd [| q; 1; base; 8 |]);
+         let n = M.syscall m p Sysno.msgrcv [| q; 1; base + 64; 64 |] in
+         got := Bytes.to_string (Aspace.read_bytes p.Proc.aspace ~addr:(base + 64) ~len:n)));
+  M.run m;
+  Alcotest.(check string) "payload through memory" "payload!" !got
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "systrace"
+    [
+      ( "parsing",
+        [
+          tc "basic" test_parse_basic;
+          tc "implicit default" test_parse_default_deny;
+          tc "errors" test_parse_errors;
+          tc "error line numbers" test_parse_error_line;
+        ] );
+      ( "decisions",
+        [
+          tc "first match wins" test_decide_first_match_wins;
+          tc "default applies" test_decide_default_applies;
+          tc "condition operators" test_decide_condition_ops;
+          tc "missing arg reads 0" test_decide_missing_arg_reads_zero;
+          tc "scan counting" test_decide_counts_scanned;
+        ] );
+      ( "enforcement",
+        [
+          tc "denies per policy" test_enforcement_denies;
+          tc "only attached procs" test_enforcement_only_attached;
+          tc "detach restores" test_detach_restores;
+          tc "audit log" test_audit_records_everything;
+          tc "uninstall" test_uninstall_releases_hook;
+          tc "interposition cost" test_interposition_costs_time;
+          tc "trap-level msg syscalls" test_trap_level_msg_syscalls;
+        ] );
+    ]

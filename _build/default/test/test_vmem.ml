@@ -1,0 +1,443 @@
+(* Tests for Smod_vmem: frames, address spaces, faults, and — centrally —
+   the three UVM modifications from the paper's Figure 6. *)
+
+module Layout = Smod_vmem.Layout
+module Phys = Smod_vmem.Phys
+module Prot = Smod_vmem.Prot
+module Aspace = Smod_vmem.Aspace
+module Clock = Smod_sim.Clock
+
+let mk_clock () = Clock.create ~jitter:0.0 ()
+
+let mk_space ?(name = "t") phys clock =
+  let a = Aspace.create ~phys ~clock ~name in
+  Aspace.add_entry a ~start_addr:Layout.text_base ~size:(16 * Layout.page_size) ~prot:Prot.rx
+    ~kind:Aspace.Text ~name:"text";
+  Aspace.add_entry a ~start_addr:Layout.data_base ~size:(16 * Layout.page_size) ~prot:Prot.rw
+    ~kind:Aspace.Data ~name:"data";
+  let stack = Layout.default_stack_pages * Layout.page_size in
+  Aspace.add_entry a ~start_addr:(Layout.stack_top - stack) ~size:stack ~prot:Prot.rw
+    ~kind:Aspace.Stack ~name:"stack";
+  Aspace.set_heap_base a (Layout.data_base + (16 * Layout.page_size));
+  a
+
+let fresh () =
+  let phys = Phys.create () in
+  let clock = mk_clock () in
+  (phys, clock, mk_space phys clock)
+
+(* ------------------------------ layout ----------------------------- *)
+
+let test_layout_alignment () =
+  Alcotest.(check int) "align down" 0x4000 (Layout.page_align_down 0x4fff);
+  Alcotest.(check int) "align up" 0x5000 (Layout.page_align_up 0x4001);
+  Alcotest.(check int) "align up exact" 0x4000 (Layout.page_align_up 0x4000);
+  Alcotest.(check bool) "aligned" true (Layout.is_page_aligned 0x8000);
+  Alcotest.(check bool) "unaligned" false (Layout.is_page_aligned 0x8004);
+  Alcotest.(check int) "vpn" 4 (Layout.vpn_of_addr 0x4abc);
+  Alcotest.(check int) "addr of vpn" 0x4000 (Layout.addr_of_vpn 4)
+
+let test_layout_share_range () =
+  Alcotest.(check bool) "share range covers data..stack" true
+    (Layout.share_lo = Layout.data_base && Layout.share_hi = Layout.stack_top);
+  Alcotest.(check bool) "secret above stack top" true (Layout.secret_base >= Layout.stack_top)
+
+(* ------------------------------- phys ------------------------------ *)
+
+let test_phys_alloc_zeroed () =
+  let phys = Phys.create () in
+  let f = Phys.alloc phys in
+  Alcotest.(check int) "refcount 1" 1 f.Phys.refcount;
+  Alcotest.(check bool) "zeroed" true
+    (Bytes.for_all (fun c -> c = '\000') f.Phys.data)
+
+let test_phys_recycle () =
+  let phys = Phys.create () in
+  let f = Phys.alloc phys in
+  Bytes.set f.Phys.data 0 'x';
+  Phys.decref phys f;
+  Alcotest.(check int) "live back to 0" 0 (Phys.live_frames phys);
+  let g = Phys.alloc phys in
+  Alcotest.(check bool) "recycled frame is zeroed" true
+    (Bytes.get g.Phys.data 0 = '\000')
+
+let test_phys_refcounting () =
+  let phys = Phys.create () in
+  let f = Phys.alloc phys in
+  Phys.incref f;
+  Phys.decref phys f;
+  Alcotest.(check int) "still live" 1 (Phys.live_frames phys);
+  Phys.decref phys f;
+  Alcotest.(check int) "freed" 0 (Phys.live_frames phys)
+
+let test_phys_out_of_frames () =
+  let phys = Phys.create ~limit_frames:2 () in
+  let _a = Phys.alloc phys and _b = Phys.alloc phys in
+  Alcotest.check_raises "limit" Phys.Out_of_frames (fun () -> ignore (Phys.alloc phys))
+
+(* ------------------------------ aspace ----------------------------- *)
+
+let test_entry_overlap_rejected () =
+  let _, _, a = fresh () in
+  Alcotest.(check bool) "overlap raises" true
+    (match
+       Aspace.add_entry a ~start_addr:Layout.data_base ~size:Layout.page_size ~prot:Prot.rw
+         ~kind:Aspace.Mmap ~name:"clash"
+     with
+    | () -> false
+    | exception Aspace.Overlap _ -> true)
+
+let test_entry_unaligned_rejected () =
+  let _, _, a = fresh () in
+  Alcotest.(check bool) "unaligned raises" true
+    (match
+       Aspace.add_entry a ~start_addr:(Layout.data_base + 123) ~size:Layout.page_size
+         ~prot:Prot.rw ~kind:Aspace.Mmap ~name:"bad"
+     with
+    | () -> false
+    | exception Aspace.Bad_range _ -> true)
+
+let test_demand_paging () =
+  let _, _, a = fresh () in
+  Alcotest.(check int) "no pages yet" 0 (Aspace.mapped_page_count a);
+  Aspace.write_word a ~addr:Layout.data_base 0xdeadbeef;
+  Alcotest.(check int) "one page materialised" 1 (Aspace.mapped_page_count a);
+  Alcotest.(check int) "read back" 0xdeadbeef (Aspace.read_word a ~addr:Layout.data_base)
+
+let test_segv_outside_entries () =
+  let _, _, a = fresh () in
+  Alcotest.(check bool) "segv" true
+    (match Aspace.read_word a ~addr:0x7000_0000 with
+    | _ -> false
+    | exception Aspace.Segv _ -> true)
+
+let test_prot_violation_write_text () =
+  let _, _, a = fresh () in
+  Alcotest.(check bool) "write to r-x faults" true
+    (match Aspace.write_word a ~addr:Layout.text_base 1 with
+    | () -> false
+    | exception Aspace.Prot_violation _ -> true)
+
+let test_prot_violation_exec_data () =
+  let _, _, a = fresh () in
+  Aspace.write_word a ~addr:Layout.data_base 0;
+  Alcotest.(check bool) "exec of rw- page faults" true
+    (match Aspace.fault a ~addr:Layout.data_base ~access:Prot.Exec with
+    | () -> false
+    | exception Aspace.Prot_violation _ -> true)
+
+let test_cross_page_readwrite () =
+  let _, _, a = fresh () in
+  let addr = Layout.data_base + Layout.page_size - 3 in
+  let data = Bytes.of_string "spans a page boundary" in
+  Aspace.write_bytes a ~addr data;
+  Alcotest.(check bytes) "roundtrip" data
+    (Aspace.read_bytes a ~addr ~len:(Bytes.length data));
+  Alcotest.(check int) "two pages" 2 (Aspace.mapped_page_count a)
+
+let test_word_at_page_boundary () =
+  let _, _, a = fresh () in
+  let addr = Layout.data_base + Layout.page_size - 2 in
+  Aspace.write_word a ~addr 0x11223344;
+  Alcotest.(check int) "straddling word" 0x11223344 (Aspace.read_word a ~addr)
+
+let test_word_masking () =
+  let _, _, a = fresh () in
+  Aspace.write_word a ~addr:Layout.data_base (-1);
+  Alcotest.(check int) "truncated to 32 bits" 0xFFFFFFFF (Aspace.read_word a ~addr:Layout.data_base)
+
+let test_strings () =
+  let _, _, a = fresh () in
+  Aspace.write_string a ~addr:Layout.data_base "hello";
+  Alcotest.(check string) "read back" "hello"
+    (Aspace.read_string a ~addr:Layout.data_base ~max_len:100);
+  Alcotest.(check string) "max_len truncates" "he"
+    (Aspace.read_string a ~addr:Layout.data_base ~max_len:2)
+
+let test_remove_range_unmaps () =
+  let phys, _, a = fresh () in
+  Aspace.write_word a ~addr:Layout.data_base 1;
+  let live = Phys.live_frames phys in
+  Aspace.remove_range a ~start_addr:Layout.data_base ~size:(16 * Layout.page_size);
+  Alcotest.(check int) "frame released" (live - 1) (Phys.live_frames phys);
+  Alcotest.(check bool) "entry gone" true (Aspace.find_entry a Layout.data_base = None)
+
+let test_remove_range_splits () =
+  let _, _, a = fresh () in
+  let mid = Layout.data_base + (4 * Layout.page_size) in
+  Aspace.remove_range a ~start_addr:mid ~size:Layout.page_size;
+  (match Aspace.find_entry a Layout.data_base with
+  | Some e -> Alcotest.(check int) "left piece truncated" mid e.Aspace.end_addr
+  | None -> Alcotest.fail "left piece missing");
+  match Aspace.find_entry a (mid + Layout.page_size) with
+  | Some e ->
+      Alcotest.(check int) "right piece starts after hole" (mid + Layout.page_size)
+        e.Aspace.start_addr
+  | None -> Alcotest.fail "right piece missing"
+
+let test_protect_range () =
+  let _, _, a = fresh () in
+  Aspace.write_word a ~addr:Layout.data_base 7;
+  Aspace.protect_range a ~start_addr:Layout.data_base ~size:(16 * Layout.page_size)
+    ~prot:Prot.r;
+  Alcotest.(check int) "read still works" 7 (Aspace.read_word a ~addr:Layout.data_base);
+  Alcotest.(check bool) "write now faults" true
+    (match Aspace.write_word a ~addr:Layout.data_base 8 with
+    | () -> false
+    | exception Aspace.Prot_violation _ -> true)
+
+let test_obreak_grow_and_shrink () =
+  let _, _, a = fresh () in
+  let base = Aspace.heap_base a in
+  Aspace.obreak a (base + 10000);
+  Aspace.write_word a ~addr:(base + 8192) 42;
+  Alcotest.(check int) "heap usable" 42 (Aspace.read_word a ~addr:(base + 8192));
+  Aspace.obreak a (base + 4096);
+  Alcotest.(check bool) "shrunk region faults" true
+    (match Aspace.read_word a ~addr:(base + 8192) with
+    | _ -> false
+    | exception Aspace.Segv _ -> true)
+
+let test_obreak_below_base_rejected () =
+  let _, _, a = fresh () in
+  Alcotest.(check bool) "below base" true
+    (match Aspace.obreak a (Aspace.heap_base a - 1) with
+    | () -> false
+    | exception Aspace.Bad_range _ -> true)
+
+let test_obreak_into_stack_rejected () =
+  let _, _, a = fresh () in
+  Alcotest.(check bool) "collides with stack" true
+    (match Aspace.obreak a Layout.stack_top with
+    | () -> false
+    | exception Aspace.Bad_range _ -> true)
+
+(* --------------------- force_share (Figure 6) ---------------------- *)
+
+let make_pair () =
+  let phys = Phys.create () in
+  let clock = mk_clock () in
+  let client = mk_space ~name:"client" phys clock in
+  let handle = mk_space ~name:"handle" phys clock in
+  (phys, clock, client, handle)
+
+let test_force_share_same_frames () =
+  let _, _, client, handle = make_pair () in
+  Aspace.write_word client ~addr:Layout.data_base 0xabc;
+  Aspace.force_share ~client ~handle ~lo:Layout.share_lo ~hi:Layout.share_hi;
+  Alcotest.(check bool) "same frame" true
+    (Aspace.frame_id client Layout.data_base = Aspace.frame_id handle Layout.data_base);
+  Alcotest.(check int) "handle reads client data" 0xabc
+    (Aspace.read_word handle ~addr:Layout.data_base)
+
+let test_force_share_write_through () =
+  let _, _, client, handle = make_pair () in
+  Aspace.force_share ~client ~handle ~lo:Layout.share_lo ~hi:Layout.share_hi;
+  Aspace.write_word handle ~addr:(Layout.data_base + 64) 123;
+  Alcotest.(check int) "client sees handle write" 123
+    (Aspace.read_word client ~addr:(Layout.data_base + 64));
+  Aspace.write_word client ~addr:(Layout.data_base + 64) 456;
+  Alcotest.(check int) "handle sees client write" 456
+    (Aspace.read_word handle ~addr:(Layout.data_base + 64))
+
+let test_force_share_drops_handle_pages () =
+  let phys, _, client, handle = make_pair () in
+  (* The handle has private data pages before the share; they must be
+     unmapped and replaced. *)
+  Aspace.write_word handle ~addr:Layout.data_base 111;
+  Aspace.write_word client ~addr:Layout.data_base 222;
+  let live_before = Phys.live_frames phys in
+  Aspace.force_share ~client ~handle ~lo:Layout.share_lo ~hi:Layout.share_hi;
+  Alcotest.(check int) "handle sees client value" 222
+    (Aspace.read_word handle ~addr:Layout.data_base);
+  Alcotest.(check int) "handle's private frame freed" (live_before - 1)
+    (Phys.live_frames phys)
+
+let test_force_share_outside_range_private () =
+  let _, _, client, handle = make_pair () in
+  Aspace.force_share ~client ~handle ~lo:Layout.share_lo ~hi:Layout.share_hi;
+  (* Text is below share_lo: stays private. *)
+  Aspace.fault handle ~addr:Layout.text_base ~access:Prot.Read;
+  Alcotest.(check bool) "text not shared" false
+    (Aspace.is_shared_with_peer handle Layout.text_base)
+
+let test_fault_consults_peer_lazily () =
+  let _, _, client, handle = make_pair () in
+  Aspace.force_share ~client ~handle ~lo:Layout.share_lo ~hi:Layout.share_hi;
+  (* Client materialises a page AFTER the force-share; the handle's later
+     fault must find and share it (modified uvm_fault). *)
+  let addr = Layout.data_base + (8 * Layout.page_size) in
+  Aspace.write_word client ~addr 77;
+  Alcotest.(check bool) "handle not yet mapped" false (Aspace.is_mapped handle addr);
+  Alcotest.(check int) "handle faults into the shared page" 77
+    (Aspace.read_word handle ~addr);
+  Alcotest.(check bool) "now same frame" true
+    (Aspace.frame_id client addr = Aspace.frame_id handle addr)
+
+let test_fault_peer_entry_only () =
+  let _, _, client, handle = make_pair () in
+  Aspace.force_share ~client ~handle ~lo:Layout.share_lo ~hi:Layout.share_hi;
+  (* Client grows its heap; the handle touches the new range FIRST: its
+     fault resolves through the peer's entry, then the client's own fault
+     shares the same frame. *)
+  Aspace.obreak client (Aspace.heap_base client + 4096);
+  let addr = Aspace.heap_base client in
+  Aspace.write_word handle ~addr 31337;
+  Alcotest.(check int) "client reads handle-allocated heap" 31337
+    (Aspace.read_word client ~addr);
+  Alcotest.(check bool) "same frame" true
+    (Aspace.frame_id client addr = Aspace.frame_id handle addr)
+
+let test_obreak_propagates_to_peer () =
+  let _, _, client, handle = make_pair () in
+  Aspace.force_share ~client ~handle ~lo:Layout.share_lo ~hi:Layout.share_hi;
+  Aspace.obreak handle (Aspace.heap_base handle + 8192);
+  Alcotest.(check int) "peer brk converged" (Aspace.brk handle) (Aspace.brk client);
+  (* Both can use the new heap and see each other's data. *)
+  let addr = Aspace.heap_base client + 4096 in
+  Aspace.write_word client ~addr 5;
+  Alcotest.(check int) "handle sees it" 5 (Aspace.read_word handle ~addr)
+
+let test_set_peer_none_stops_sharing () =
+  let _, _, client, handle = make_pair () in
+  Aspace.force_share ~client ~handle ~lo:Layout.share_lo ~hi:Layout.share_hi;
+  Aspace.set_peer client None;
+  Aspace.set_peer handle None;
+  let addr = Layout.data_base + (12 * Layout.page_size) in
+  Aspace.write_word client ~addr 9;
+  Aspace.fault handle ~addr ~access:Prot.Read;
+  Alcotest.(check int) "handle gets a private zero page now" 0
+    (Aspace.read_word handle ~addr)
+
+let test_shared_page_count () =
+  let _, _, client, handle = make_pair () in
+  Aspace.write_word client ~addr:Layout.data_base 1;
+  Aspace.write_word client ~addr:(Layout.data_base + Layout.page_size) 2;
+  Aspace.force_share ~client ~handle ~lo:Layout.share_lo ~hi:Layout.share_hi;
+  Alcotest.(check int) "two pages shared into handle" 2 (Aspace.shared_page_count handle)
+
+(* ------------------------------ clone ------------------------------ *)
+
+let test_clone_copies_private () =
+  let _, _, a = fresh () in
+  Aspace.write_word a ~addr:Layout.data_base 42;
+  let b = Aspace.clone a ~name:"child" in
+  Alcotest.(check int) "child sees value" 42 (Aspace.read_word b ~addr:Layout.data_base);
+  Aspace.write_word b ~addr:Layout.data_base 43;
+  Alcotest.(check int) "parent unaffected" 42 (Aspace.read_word a ~addr:Layout.data_base)
+
+let test_clone_preserves_brk () =
+  let _, _, a = fresh () in
+  Aspace.obreak a (Aspace.heap_base a + 12288);
+  let b = Aspace.clone a ~name:"child" in
+  Alcotest.(check int) "brk" (Aspace.brk a) (Aspace.brk b)
+
+let test_destroy_releases_frames () =
+  let phys, clock, _ = fresh () in
+  let a = mk_space phys clock in
+  Aspace.write_word a ~addr:Layout.data_base 1;
+  Aspace.write_word a ~addr:(Layout.stack_top - 8) 2;
+  let live = Phys.live_frames phys in
+  Aspace.destroy a;
+  Alcotest.(check int) "frames released" (live - 2) (Phys.live_frames phys)
+
+(* --------------------------- properties ---------------------------- *)
+
+(* Random write/read roundtrip across the data region. *)
+let prop_write_read =
+  QCheck.Test.make ~name:"write/read roundtrip at random offsets" ~count:300
+    QCheck.(pair (int_bound ((16 * 4096) - 8)) (int_bound 0xFFFF))
+    (fun (off, v) ->
+      let _, _, a = fresh () in
+      let addr = Layout.data_base + off in
+      Aspace.write_word a ~addr v;
+      Aspace.read_word a ~addr = v)
+
+(* Sharing invariant: after any interleaving of client/handle writes in
+   the shared range, both sides read identical values everywhere. *)
+let prop_share_convergence =
+  QCheck.Test.make ~name:"paired spaces converge under random writes" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 40) (triple bool (int_bound ((16 * 4096) - 8)) (int_bound 10000)))
+    (fun ops ->
+      let _, _, client, handle = make_pair () in
+      Aspace.force_share ~client ~handle ~lo:Layout.share_lo ~hi:Layout.share_hi;
+      List.iter
+        (fun (use_handle, off, v) ->
+          let space = if use_handle then handle else client in
+          Aspace.write_word space ~addr:(Layout.data_base + off) v)
+        ops;
+      List.for_all
+        (fun (_, off, _) ->
+          Aspace.read_word client ~addr:(Layout.data_base + off)
+          = Aspace.read_word handle ~addr:(Layout.data_base + off))
+        ops)
+
+(* obreak keeps the pair's breaks equal through any grow/shrink dance. *)
+let prop_obreak_convergence =
+  QCheck.Test.make ~name:"obreak keeps pair converged" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 20) (pair bool (int_bound 100)))
+    (fun moves ->
+      let _, _, client, handle = make_pair () in
+      Aspace.force_share ~client ~handle ~lo:Layout.share_lo ~hi:Layout.share_hi;
+      List.iter
+        (fun (use_handle, pages) ->
+          let space = if use_handle then handle else client in
+          Aspace.obreak space (Aspace.heap_base space + (pages * Layout.page_size)))
+        moves;
+      Aspace.brk client = Aspace.brk handle)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "vmem"
+    [
+      ( "layout",
+        [ tc "alignment helpers" test_layout_alignment; tc "share range" test_layout_share_range ]
+      );
+      ( "phys",
+        [
+          tc "alloc zeroed" test_phys_alloc_zeroed;
+          tc "recycle zeroes" test_phys_recycle;
+          tc "refcounting" test_phys_refcounting;
+          tc "out of frames" test_phys_out_of_frames;
+        ] );
+      ( "aspace",
+        [
+          tc "entry overlap rejected" test_entry_overlap_rejected;
+          tc "unaligned entry rejected" test_entry_unaligned_rejected;
+          tc "demand paging" test_demand_paging;
+          tc "segv outside entries" test_segv_outside_entries;
+          tc "write to text faults" test_prot_violation_write_text;
+          tc "exec of data faults" test_prot_violation_exec_data;
+          tc "cross-page read/write" test_cross_page_readwrite;
+          tc "word at page boundary" test_word_at_page_boundary;
+          tc "word masking" test_word_masking;
+          tc "strings" test_strings;
+          tc "remove_range unmaps" test_remove_range_unmaps;
+          tc "remove_range splits entries" test_remove_range_splits;
+          tc "protect_range" test_protect_range;
+          tc "obreak grow/shrink" test_obreak_grow_and_shrink;
+          tc "obreak below base" test_obreak_below_base_rejected;
+          tc "obreak into stack" test_obreak_into_stack_rejected;
+        ] );
+      ( "force_share (paper Figure 6)",
+        [
+          tc "same frames" test_force_share_same_frames;
+          tc "write-through both ways" test_force_share_write_through;
+          tc "handle pages dropped" test_force_share_drops_handle_pages;
+          tc "outside range stays private" test_force_share_outside_range_private;
+          tc "modified uvm_fault shares lazily" test_fault_consults_peer_lazily;
+          tc "fault through peer entry" test_fault_peer_entry_only;
+          tc "modified sys_obreak propagates" test_obreak_propagates_to_peer;
+          tc "unpairing stops sharing" test_set_peer_none_stops_sharing;
+          tc "shared page accounting" test_shared_page_count;
+        ] );
+      ( "clone/destroy",
+        [
+          tc "clone deep-copies private pages" test_clone_copies_private;
+          tc "clone preserves brk" test_clone_preserves_brk;
+          tc "destroy releases frames" test_destroy_releases_frames;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_write_read; prop_share_convergence; prop_obreak_convergence ] );
+    ]
