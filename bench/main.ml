@@ -3,7 +3,11 @@
    The primary output is SIMULATED microseconds from the calibrated cycle
    model (see lib/sim/cost_model.ml and DESIGN.md §2); a bechamel section
    cross-checks that the relative wall-clock cost of each simulated path
-   moves in the same direction. *)
+   moves in the same direction.
+
+   With --json PATH every experiment row (E1, E9..E15) plus a snapshot of
+   the metric registry is also written as a versioned smod-bench JSON
+   document — the artifact bin/benchdiff.exe gates CI on. *)
 
 module Machine = Smod_kern.Machine
 module Clock = Smod_sim.Clock
@@ -17,6 +21,12 @@ let print_testbed () =
   Printf.printf "os:  simulated OpenBSD 3.6 kernel (SecModule syscalls 301-320)\n";
   Printf.printf "mem: 512 MB simulated, 4 KB pages\n\n"
 
+(* Experiments recorded for the --json document, in run order. *)
+let recorded : Bench_json.experiment list ref = ref []
+
+let record ~id ~title rows =
+  recorded := Bench_json.experiment ~id ~title rows :: !recorded
+
 let run_figure8 ~full =
   let config = if full then Figure8.paper_config else Figure8.quick_config in
   Printf.printf "=== Figure 8: Performance Comparisons (%s counts) ===\n"
@@ -28,6 +38,8 @@ let run_figure8 ~full =
   let world = World.create () in
   let rows = Figure8.run world config in
   print_endline (Figure8.render rows);
+  record ~id:"e1" ~title:"Figure 8: performance comparisons"
+    (List.map Bench_json.row_of_trial rows);
   (* Headline ratios the paper calls out in section 4.5 / section 5. *)
   match rows with
   | [ getpid; smod_getpid; smod_incr; rpc ] ->
@@ -43,24 +55,66 @@ let run_figure8 ~full =
         (6.532 -. 6.407)
   | _ -> ()
 
-let run_ablation name entries = print_endline (Ablations.render ~title:name entries)
+type ablation_section = {
+  a_id : string;
+  a_title : string;
+  a_unit : string;
+  a_run : full:bool -> Ablations.entry list;
+}
 
-let run_ablations ~full =
-  let scale n = if full then n * 5 else n in
-  run_ablation "E9: per-call policy complexity (section 5 prediction)"
-    (Ablations.policy_ablation ~calls:(scale 2000) ());
-  run_ablation "E10: shared stack vs copy-based marshaling (section 3)"
-    (Ablations.marshal_ablation ~calls:(scale 500) ());
-  run_ablation "E11: session establishment, encrypted vs unmap-only (section 4.1)"
-    (Ablations.protection_ablation ());
-  print_endline
-    (Ablations.render
-       ~title:"E12: shared-handle bottleneck, queued requests at service (section 4.3)"
-       ~unit_header:"mean queue depth" (Ablations.handle_sharing ()));
-  run_ablation "E13: per-call cost of TOCTOU mitigations (section 4.4)"
-    (Ablations.toctou_cost ~calls:(scale 1000) ());
-  run_ablation "E14: the section-5 future-work fast path"
-    (Ablations.fast_path ~calls:(scale 2000) ())
+let ablation_sections =
+  let scale ~full n = if full then n * 5 else n in
+  [
+    {
+      a_id = "e9";
+      a_title = "E9: per-call policy complexity (section 5 prediction)";
+      a_unit = "us/call";
+      a_run = (fun ~full -> Ablations.policy_ablation ~calls:(scale ~full 2000) ());
+    };
+    {
+      a_id = "e10";
+      a_title = "E10: shared stack vs copy-based marshaling (section 3)";
+      a_unit = "us/call";
+      a_run = (fun ~full -> Ablations.marshal_ablation ~calls:(scale ~full 500) ());
+    };
+    {
+      a_id = "e11";
+      a_title = "E11: session establishment, encrypted vs unmap-only (section 4.1)";
+      a_unit = "us/session";
+      a_run = (fun ~full:_ -> Ablations.protection_ablation ());
+    };
+    {
+      a_id = "e12";
+      a_title = "E12: shared-handle bottleneck, queued requests at service (section 4.3)";
+      a_unit = "mean queue depth";
+      a_run = (fun ~full:_ -> Ablations.handle_sharing ());
+    };
+    {
+      a_id = "e13";
+      a_title = "E13: per-call cost of TOCTOU mitigations (section 4.4)";
+      a_unit = "us/call";
+      a_run = (fun ~full -> Ablations.toctou_cost ~calls:(scale ~full 1000) ());
+    };
+    {
+      a_id = "e14";
+      a_title = "E14: the section-5 future-work fast path";
+      a_unit = "us/call";
+      a_run = (fun ~full -> Ablations.fast_path ~calls:(scale ~full 2000) ());
+    };
+    {
+      a_id = "e15";
+      a_title = "E15: per-trap overhead of syscall interposition (section 2)";
+      a_unit = "us/call";
+      a_run = (fun ~full -> Ablations.systrace_overhead ~calls:(scale ~full 1000) ());
+    };
+  ]
+
+let run_ablation_section ~full s =
+  let entries = s.a_run ~full in
+  print_endline (Ablations.render ~title:s.a_title ~unit_header:s.a_unit entries);
+  record ~id:s.a_id ~title:s.a_title (Bench_json.rows_of_entries ~unit_:s.a_unit entries)
+
+let run_ablations ~full = List.iter (run_ablation_section ~full) ablation_sections
 
 (* ------------------------------------------------------------------ *)
 (* Wall-clock cross-check via bechamel                                 *)
@@ -125,24 +179,52 @@ let wallclock () =
     "  (absolute wall-clock is the OCaml simulator's speed, not the paper's\n\
     \   hardware; only the ordering is meaningful here)\n"
 
-let main full no_wallclock only =
+let write_json ~full path =
+  let doc =
+    {
+      Bench_json.mode = (if full then "full" else "quick");
+      experiments = List.rev !recorded;
+      metrics = Smod_metrics.snapshot ();
+    }
+  in
+  let oc = open_out path in
+  output_string oc (Bench_json.to_string doc);
+  close_out oc;
+  Printf.printf "wrote %s (%d experiments, %d metrics)\n" path
+    (List.length doc.Bench_json.experiments)
+    (List.length doc.Bench_json.metrics)
+
+let main full no_wallclock only json_path =
   print_testbed ();
-  (match only with
-  | None ->
-      run_figure8 ~full;
-      run_ablations ~full
-  | Some "figure8" -> run_figure8 ~full
-  | Some "ablations" -> run_ablations ~full
-  | Some "e9" -> run_ablation "E9" (Ablations.policy_ablation ())
-  | Some "e10" -> run_ablation "E10" (Ablations.marshal_ablation ())
-  | Some "e11" -> run_ablation "E11" (Ablations.protection_ablation ())
-  | Some "e12" -> run_ablation "E12" (Ablations.handle_sharing ())
-  | Some "e13" -> run_ablation "E13" (Ablations.toctou_cost ())
-  | Some "e14" -> run_ablation "E14" (Ablations.fast_path ())
-  | Some "wallclock" -> ()
-  | Some other -> Printf.eprintf "unknown --only section %S\n" other);
+  let ablation_section id =
+    match List.find_opt (fun s -> s.a_id = id) ablation_sections with
+    | Some s ->
+        run_ablation_section ~full s;
+        true
+    | None -> false
+  in
+  let known =
+    match only with
+    | None ->
+        run_figure8 ~full;
+        run_ablations ~full;
+        true
+    | Some ("figure8" | "e1") ->
+        run_figure8 ~full;
+        true
+    | Some "ablations" ->
+        run_ablations ~full;
+        true
+    | Some "wallclock" -> true
+    | Some other -> ablation_section other
+  in
+  if not known then begin
+    Printf.eprintf "unknown --only section %S\n" (Option.value only ~default:"");
+    exit 2
+  end;
   let wallclock_wanted = only = None || only = Some "wallclock" in
-  if (not no_wallclock) && wallclock_wanted then wallclock ()
+  if (not no_wallclock) && wallclock_wanted then wallclock ();
+  Option.iter (write_json ~full) json_path
 
 open Cmdliner
 
@@ -157,10 +239,21 @@ let only =
     value
     & opt (some string) None
     & info [ "only" ] ~docv:"BENCH"
-        ~doc:"Run only one section: figure8, ablations, e9..e14, wallclock.")
+        ~doc:"Run only one section: figure8 (alias e1), ablations, e9..e15, wallclock.")
+
+let json_path =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:
+          "Write every experiment row plus a metric-registry snapshot to $(docv) as a \
+           versioned smod-bench JSON document (compare with benchdiff).")
 
 let cmd =
   let doc = "Regenerate the paper's tables and figures on the simulated testbed" in
-  Cmd.v (Cmd.info "smod-bench" ~doc) Term.(const main $ full $ no_wallclock $ only)
+  Cmd.v
+    (Cmd.info "smod-bench" ~doc)
+    Term.(const main $ full $ no_wallclock $ only $ json_path)
 
 let () = exit (Cmd.eval cmd)

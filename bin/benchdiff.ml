@@ -1,0 +1,95 @@
+(* benchdiff — the CI perf-regression gate.
+
+   Compares two smod-bench JSON documents (see lib/bench_kit/bench_json.ml)
+   row by row and exits non-zero when any per-call mean drifts beyond the
+   tolerance, or when nothing could be compared at all.
+
+   Usage: dune exec bin/benchdiff.exe -- bench/baseline.json out.json --tolerance 2% *)
+
+module Json = Smod_util.Json
+module Bench_json = Smod_bench_kit.Bench_json
+
+let read_doc path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  try Bench_json.of_string s
+  with Json.Parse_error msg ->
+    Printf.eprintf "benchdiff: %s: %s\n" path msg;
+    exit 2
+
+(* "2%" or "0.02" both mean a 2% relative tolerance. *)
+let parse_tolerance s =
+  let fail () =
+    Printf.eprintf "benchdiff: bad tolerance %S (want e.g. \"2%%\" or \"0.02\")\n" s;
+    exit 2
+  in
+  let v =
+    if String.length s > 0 && s.[String.length s - 1] = '%' then
+      match float_of_string_opt (String.sub s 0 (String.length s - 1)) with
+      | Some p -> p /. 100.0
+      | None -> fail ()
+    else match float_of_string_opt s with Some v -> v | None -> fail ()
+  in
+  if v < 0.0 || not (Float.is_finite v) then fail ();
+  v
+
+let main baseline_path current_path tolerance abs_eps =
+  let rel_tol = parse_tolerance tolerance in
+  let baseline = read_doc baseline_path in
+  let current = read_doc current_path in
+  let c = Bench_json.compare_docs ~rel_tol ~abs_eps ~baseline ~current () in
+  Printf.printf "benchdiff: %s vs %s (tolerance %.4g%%, abs epsilon %g)\n" baseline_path
+    current_path (rel_tol *. 100.0) abs_eps;
+  List.iter
+    (fun (d : Bench_json.drift) ->
+      let delta_pct =
+        if d.d_base = 0.0 then Float.abs (d.d_cur -. d.d_base) *. 100.0
+        else (d.d_cur -. d.d_base) /. Float.abs d.d_base *. 100.0
+      in
+      Printf.printf "  %-4s %-4s %-40s base %12.4f  cur %12.4f  (%+.3f%%)\n"
+        (if d.d_ok then "ok" else "FAIL")
+        d.d_experiment d.d_label d.d_base d.d_cur delta_pct)
+    c.Bench_json.drifts;
+  List.iter (fun k -> Printf.printf "  note  only in baseline: %s\n" k) c.Bench_json.missing;
+  List.iter (fun k -> Printf.printf "  note  only in current:  %s\n" k) c.Bench_json.extra;
+  let failed = List.filter (fun d -> not d.Bench_json.d_ok) c.Bench_json.drifts in
+  if c.Bench_json.compared = 0 then begin
+    Printf.eprintf "benchdiff: no rows in common between the two documents\n";
+    exit 1
+  end;
+  if failed <> [] then begin
+    Printf.printf "benchdiff: %d of %d rows drifted beyond tolerance\n" (List.length failed)
+      c.Bench_json.compared;
+    exit 1
+  end;
+  Printf.printf "benchdiff: %d rows compared, all within tolerance\n" c.Bench_json.compared
+
+open Cmdliner
+
+let baseline =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE" ~doc:"Baseline bench JSON.")
+
+let current =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"CURRENT" ~doc:"Current bench JSON.")
+
+let tolerance =
+  Arg.(
+    value
+    & opt string "2%"
+    & info [ "tolerance" ] ~docv:"TOL"
+        ~doc:"Maximum allowed relative drift of any per-row mean: \"2%\" or \"0.02\".")
+
+let abs_eps =
+  Arg.(
+    value
+    & opt float 1e-9
+    & info [ "abs-epsilon" ] ~docv:"EPS"
+        ~doc:"Additive slack so exact-zero baseline rows don't fail on any change.")
+
+let cmd =
+  let doc = "Compare two smod-bench JSON documents and gate on drift" in
+  Cmd.v (Cmd.info "benchdiff" ~doc) Term.(const main $ baseline $ current $ tolerance $ abs_eps)
+
+let () = exit (Cmd.eval cmd)

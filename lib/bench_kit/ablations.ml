@@ -268,10 +268,6 @@ let handle_sharing ?(clients = [ 1; 2; 4; 8 ]) ?(calls_per_client = 300) () =
     clients
 
 (* ------------------------------------------------------------------ *)
-(* E13 cost: TOCTOU mitigations                                        *)
-(* ------------------------------------------------------------------ *)
-
-(* ------------------------------------------------------------------ *)
 (* E14: the §5 "reduce redundant checks" future-work fast path          *)
 (* ------------------------------------------------------------------ *)
 
@@ -293,7 +289,53 @@ let fast_path ?(calls = 2_000) ?(trials = 5) () =
     [ ("prototype (per-call recheck)", false); ("fast path (checks hoisted)", true) ]
 
 (* ------------------------------------------------------------------ *)
-(* E13 cost: TOCTOU mitigations                                        *)
+(* E15: syscall-interposition overhead (section 2 comparison)           *)
+(* ------------------------------------------------------------------ *)
+
+module Systrace = Smod_systrace.Systrace
+
+let systrace_policy =
+  "policy: p\n\
+   native-msgsnd: permit\n\
+   native-msgrcv: permit\n\
+   native-obreak: permit\n\
+   native-getpid: permit\n\
+   default: deny\n"
+
+(* The paper's section-2 alternative: a syscall-level monitor pays a
+   linear rule scan on every trap.  Time getpid() bare and under a
+   systrace policy whose getpid rule sits last in a 4-rule list, per
+   trial, so the entries carry a real stdev like every other table. *)
+let systrace_overhead ?(calls = 1_000) ?(trials = 5) () =
+  let measure ~attach ~label =
+    let samples =
+      Array.init trials (fun i ->
+          let machine = Machine.create ~seed:(Int64.of_int (2000 + i)) ~jitter:0.0 () in
+          let tracer = Systrace.install machine in
+          let cost = ref 0.0 in
+          ignore
+            (Machine.spawn machine ~name:"systrace-app" (fun p ->
+                 if attach then
+                   Systrace.attach tracer ~pid:p.Proc.pid
+                     (Systrace.parse_policy systrace_policy);
+                 let clock = Machine.clock machine in
+                 let t0 = Clock.now_cycles clock in
+                 for _ = 1 to calls do
+                   ignore (Machine.sys_getpid machine p)
+                 done;
+                 cost := Clock.elapsed_us clock ~since:t0 /. float_of_int calls));
+          Machine.run machine;
+          !cost)
+    in
+    { label; mean_us = Smod_util.Stats.mean samples; stdev_us = Smod_util.Stats.stdev samples }
+  in
+  [
+    measure ~attach:false ~label:"getpid bare";
+    measure ~attach:true ~label:"getpid under systrace (4-rule scan)";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* E13 cost: TOCTOU mitigations (implementation)                       *)
 (* ------------------------------------------------------------------ *)
 
 let toctou_cost ?(calls = 1_000) ?(trials = 5) () =

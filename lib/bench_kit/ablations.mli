@@ -40,4 +40,9 @@ val fast_path : ?calls:int -> ?trials:int -> unit -> entry list
     greater performance gains by reducing redundant error checks":
     per-call cost with and without {!Secmodule.Smod.set_call_fast_path}. *)
 
+val systrace_overhead : ?calls:int -> ?trials:int -> unit -> entry list
+(** E15 — the §2 syscall-interposition alternative: getpid() per-call
+    cost bare versus under a systrace policy whose per-trap rule scan
+    reaches the getpid rule last. *)
+
 val render : title:string -> ?unit_header:string -> entry list -> string

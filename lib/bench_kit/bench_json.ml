@@ -1,0 +1,208 @@
+(* Machine-readable bench artifacts: a versioned JSON document holding
+   every experiment row the harness prints plus a snapshot of the metric
+   registry, and the drift comparison that CI gates on. *)
+
+module Json = Smod_util.Json
+module Cost = Smod_sim.Cost_model
+
+let schema_name = "smod-bench"
+let schema_version = 1
+
+type row = { r_label : string; r_unit : string; r_mean : float; r_stdev : float }
+type experiment = { e_id : string; e_title : string; e_rows : row list }
+
+type doc = {
+  mode : string;
+  experiments : experiment list;
+  metrics : Smod_metrics.snapshot;
+}
+
+let row ~label ?(unit_ = "us/call") ~mean ~stdev () =
+  { r_label = label; r_unit = unit_; r_mean = mean; r_stdev = stdev }
+
+let row_of_trial ?(unit_ = "us/call") (r : Trial.row) =
+  {
+    r_label = r.Trial.spec.Trial.name;
+    r_unit = unit_;
+    r_mean = r.Trial.mean_us;
+    r_stdev = r.Trial.stdev_us;
+  }
+
+let rows_of_entries ?(unit_ = "us/call") entries =
+  List.map
+    (fun (e : Ablations.entry) ->
+      { r_label = e.Ablations.label; r_unit = unit_; r_mean = e.mean_us; r_stdev = e.stdev_us })
+    entries
+
+let experiment ~id ~title rows = { e_id = id; e_title = title; e_rows = rows }
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_row r =
+  Json.Obj
+    [
+      ("label", Json.String r.r_label);
+      ("unit", Json.String r.r_unit);
+      ("mean", Json.Float r.r_mean);
+      ("stdev", Json.Float r.r_stdev);
+    ]
+
+let json_of_experiment e =
+  Json.Obj
+    [
+      ("id", Json.String e.e_id);
+      ("title", Json.String e.e_title);
+      ("rows", Json.Arr (List.map json_of_row e.e_rows));
+    ]
+
+let json_of_metric (name, sample) =
+  match (sample : Smod_metrics.sample) with
+  | Smod_metrics.Counter_sample v ->
+      Json.Obj
+        [ ("name", Json.String name); ("kind", Json.String "counter"); ("value", Json.Int v) ]
+  | Smod_metrics.Histogram_sample h ->
+      Json.Obj
+        [
+          ("name", Json.String name);
+          ("kind", Json.String "histogram");
+          ("edges", Json.Arr (Array.to_list (Array.map (fun e -> Json.Float e) h.hs_edges)));
+          ("counts", Json.Arr (Array.to_list (Array.map (fun c -> Json.Int c) h.hs_counts)));
+          ("count", Json.Int h.hs_count);
+          ("sum", Json.Float h.hs_sum);
+        ]
+
+let to_json doc =
+  Json.Obj
+    [
+      ("schema", Json.String schema_name);
+      ("schema_version", Json.Int schema_version);
+      ("mode", Json.String doc.mode);
+      ( "testbed",
+        Json.Obj
+          [ ("mhz", Json.Float Cost.mhz); ("cycles_per_us", Json.Float Cost.cycles_per_us) ] );
+      ("experiments", Json.Arr (List.map json_of_experiment doc.experiments));
+      ("metrics", Json.Arr (List.map json_of_metric doc.metrics));
+    ]
+
+let to_string doc = Json.to_string (to_json doc) ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Deserialisation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let row_of_json j =
+  {
+    r_label = Json.get_string (Json.member_exn "label" j);
+    r_unit = Json.get_string (Json.member_exn "unit" j);
+    r_mean = Json.get_float (Json.member_exn "mean" j);
+    r_stdev = Json.get_float (Json.member_exn "stdev" j);
+  }
+
+let experiment_of_json j =
+  {
+    e_id = Json.get_string (Json.member_exn "id" j);
+    e_title = Json.get_string (Json.member_exn "title" j);
+    e_rows = List.map row_of_json (Json.to_list (Json.member_exn "rows" j));
+  }
+
+let metric_of_json j =
+  let name = Json.get_string (Json.member_exn "name" j) in
+  match Json.get_string (Json.member_exn "kind" j) with
+  | "counter" -> (name, Smod_metrics.Counter_sample (Json.get_int (Json.member_exn "value" j)))
+  | "histogram" ->
+      ( name,
+        Smod_metrics.Histogram_sample
+          {
+            Smod_metrics.hs_edges =
+              Array.of_list
+                (List.map Json.get_float (Json.to_list (Json.member_exn "edges" j)));
+            hs_counts =
+              Array.of_list (List.map Json.get_int (Json.to_list (Json.member_exn "counts" j)));
+            hs_count = Json.get_int (Json.member_exn "count" j);
+            hs_sum = Json.get_float (Json.member_exn "sum" j);
+          } )
+  | kind -> raise (Json.Parse_error (Printf.sprintf "unknown metric kind %S" kind))
+
+let of_json j =
+  (match Json.member "schema" j with
+  | Some (Json.String s) when s = schema_name -> ()
+  | _ -> raise (Json.Parse_error "not a smod-bench document"));
+  (match Json.get_int (Json.member_exn "schema_version" j) with
+  | v when v = schema_version -> ()
+  | v ->
+      raise
+        (Json.Parse_error
+           (Printf.sprintf "schema_version %d unsupported (want %d)" v schema_version)));
+  {
+    mode = Json.get_string (Json.member_exn "mode" j);
+    experiments =
+      List.map experiment_of_json (Json.to_list (Json.member_exn "experiments" j));
+    metrics = List.map metric_of_json (Json.to_list (Json.member_exn "metrics" j));
+  }
+
+let of_string s = of_json (Json.of_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Drift comparison (the CI gate)                                      *)
+(* ------------------------------------------------------------------ *)
+
+type drift = {
+  d_experiment : string;
+  d_label : string;
+  d_base : float;
+  d_cur : float;
+  d_ok : bool;
+}
+
+type comparison = {
+  compared : int;
+  drifts : drift list;  (** rows present in both documents, one entry each *)
+  missing : string list;  (** "<exp>/<label>" in baseline but not current *)
+  extra : string list;  (** in current but not baseline *)
+}
+
+let comparison_ok c = c.compared > 0 && List.for_all (fun d -> d.d_ok) c.drifts
+
+let key e r = e.e_id ^ "/" ^ r.r_label
+
+let rows_by_key doc =
+  List.concat_map (fun e -> List.map (fun r -> (key e r, (e, r))) e.e_rows) doc.experiments
+
+(* A row passes when |cur - base| <= abs_eps + rel_tol * |base|.  The
+   additive epsilon keeps exact-zero baseline rows (e.g. the E12 private
+   handle queue depths) from turning any change into an infinite relative
+   drift. *)
+let compare_docs ?(rel_tol = 0.02) ?(abs_eps = 1e-9) ~baseline ~current () =
+  let base_rows = rows_by_key baseline and cur_rows = rows_by_key current in
+  let drifts =
+    List.filter_map
+      (fun (k, (e, br)) ->
+        match List.assoc_opt k cur_rows with
+        | None -> None
+        | Some (_, cr) ->
+            let ok =
+              Float.abs (cr.r_mean -. br.r_mean) <= abs_eps +. (rel_tol *. Float.abs br.r_mean)
+            in
+            Some
+              {
+                d_experiment = e.e_id;
+                d_label = br.r_label;
+                d_base = br.r_mean;
+                d_cur = cr.r_mean;
+                d_ok = ok;
+              })
+      base_rows
+  in
+  let missing =
+    List.filter_map
+      (fun (k, _) -> if List.mem_assoc k cur_rows then None else Some k)
+      base_rows
+  in
+  let extra =
+    List.filter_map
+      (fun (k, _) -> if List.mem_assoc k base_rows then None else Some k)
+      cur_rows
+  in
+  { compared = List.length drifts; drifts; missing; extra }

@@ -1,0 +1,63 @@
+(** Machine-readable bench artifacts.
+
+    The harness ([bench/main.ml --json PATH]) serialises every experiment
+    row it prints, plus a {!Smod_metrics.snapshot} of the default
+    registry, into a versioned JSON document.  [bin/benchdiff.ml] reloads
+    two such documents and applies {!compare_docs} — the regression gate
+    CI runs against [bench/baseline.json]. *)
+
+val schema_name : string
+val schema_version : int
+
+type row = { r_label : string; r_unit : string; r_mean : float; r_stdev : float }
+type experiment = { e_id : string; e_title : string; e_rows : row list }
+
+type doc = {
+  mode : string;  (** "quick" or "full" *)
+  experiments : experiment list;
+  metrics : Smod_metrics.snapshot;
+}
+
+val row : label:string -> ?unit_:string -> mean:float -> stdev:float -> unit -> row
+val row_of_trial : ?unit_:string -> Trial.row -> row
+val rows_of_entries : ?unit_:string -> Ablations.entry list -> row list
+val experiment : id:string -> title:string -> row list -> experiment
+
+val to_json : doc -> Smod_util.Json.t
+val to_string : doc -> string
+(** Pretty-printed, newline-terminated (the committed-baseline format). *)
+
+val of_json : Smod_util.Json.t -> doc
+val of_string : string -> doc
+(** Raise {!Smod_util.Json.Parse_error} on malformed input, a wrong
+    [schema] tag, or an unsupported [schema_version]. *)
+
+(** {1 Drift comparison} *)
+
+type drift = {
+  d_experiment : string;
+  d_label : string;
+  d_base : float;
+  d_cur : float;
+  d_ok : bool;
+}
+
+type comparison = {
+  compared : int;
+  drifts : drift list;  (** rows present in both documents, one entry each *)
+  missing : string list;  (** "<exp>/<label>" in baseline but not current *)
+  extra : string list;  (** in current but not baseline *)
+}
+
+val compare_docs :
+  ?rel_tol:float -> ?abs_eps:float -> baseline:doc -> current:doc -> unit -> comparison
+(** Compare per-row means over the intersection of rows.  A row passes
+    when [|cur - base| <= abs_eps + rel_tol * |base|]; the additive
+    [abs_eps] (default 1e-9) keeps exact-zero baseline rows from turning
+    any change into an infinite relative drift.  Rows only on one side
+    are reported but do not fail the comparison — CI smoke runs a subset
+    of the experiments in the committed baseline. *)
+
+val comparison_ok : comparison -> bool
+(** True when at least one row was compared and every compared row is
+    within tolerance. *)

@@ -8,6 +8,23 @@ module Prot = Smod_vmem.Prot
 
 exception Deadlock of string
 
+(* Observability (lib/metrics): the dispatch and IPC paths the paper's
+   Figure-8 numbers are made of.  One SMOD call is 2 context switches,
+   2 msgq sends and 2 receives; the counters let tests assert exactly
+   that (test_integration.ml) and the bench JSON track it over time. *)
+let m_scope = Smod_metrics.scope "kern"
+let m_context_switches = Smod_metrics.Scope.counter m_scope "context_switches"
+let m_syscalls = Smod_metrics.Scope.counter m_scope "syscalls"
+let m_msgq_sends = Smod_metrics.Scope.counter m_scope "msgq_sends"
+let m_msgq_recvs = Smod_metrics.Scope.counter m_scope "msgq_recvs"
+let m_msgq_bytes = Smod_metrics.Scope.counter m_scope "msgq_bytes"
+let m_sched_wakeups = Smod_metrics.Scope.counter m_scope "sched_wakeups"
+let m_procs_spawned = Smod_metrics.Scope.counter m_scope "procs_spawned"
+
+let m_msgq_message_bytes =
+  Smod_metrics.Scope.histogram m_scope "msgq_message_bytes"
+    ~edges:[| 16.0; 64.0; 256.0; 1024.0; 4096.0; 16384.0 |]
+
 type msgq = {
   key : int;
   mutable messages : (int * bytes) list;  (* in arrival order *)
@@ -191,6 +208,7 @@ let make_proc t ?(daemon = false) ?aspace ?(uid = 1000) ~ppid ~role ~name body =
   p.resume <- Proc.Start (run_body t p body);
   Hashtbl.replace t.procs pid p;
   Queue.add pid t.ready_queue;
+  Smod_metrics.Counter.incr m_procs_spawned;
   p
 
 let spawn t ?daemon ?aspace ?uid ~name body =
@@ -212,7 +230,8 @@ let spawn_thread t (parent : Proc.t) ~name body =
 let dispatch t (p : Proc.t) =
   if t.last_dispatched <> Some p.pid then begin
     Clock.charge t.clock Cost.Context_switch;
-    t.n_context_switches <- t.n_context_switches + 1
+    t.n_context_switches <- t.n_context_switches + 1;
+    Smod_metrics.Counter.incr m_context_switches
   end;
   t.last_dispatched <- Some p.pid;
   t.cur <- Some p.pid;
@@ -269,7 +288,8 @@ let wakeup t pid =
   | Some p when Proc.is_blocked p ->
       p.state <- Proc.Ready;
       Queue.add pid t.ready_queue;
-      Clock.charge t.clock Cost.Sched_wakeup
+      Clock.charge t.clock Cost.Sched_wakeup;
+      Smod_metrics.Counter.incr m_sched_wakeups
   | Some _ | None -> ()
 
 let block_current t (p : Proc.t) reason =
@@ -402,6 +422,7 @@ let set_syscall_filter t f = t.syscall_filter <- f
 let syscall t p nr args =
   Clock.charge t.clock Cost.Trap_enter;
   t.n_syscalls <- t.n_syscalls + 1;
+  Smod_metrics.Counter.incr m_syscalls;
   Fun.protect
     ~finally:(fun () -> Clock.charge t.clock Cost.Trap_exit)
     (fun () ->
@@ -479,6 +500,9 @@ let msgsnd t (p : Proc.t) ~qid ~mtype payload =
     else begin
       Clock.charge t.clock Cost.Msgq_send;
       Clock.charge t.clock (Cost.Copy_bytes (Bytes.length payload));
+      Smod_metrics.Counter.incr m_msgq_sends;
+      Smod_metrics.Counter.add m_msgq_bytes (Bytes.length payload);
+      Smod_metrics.Histogram.observe m_msgq_message_bytes (float_of_int (Bytes.length payload));
       q.messages <- q.messages @ [ (mtype, payload) ];
       q.cur_bytes <- q.cur_bytes + Bytes.length payload;
       match q.wait_recv with
@@ -537,6 +561,8 @@ let msgrcv t (p : Proc.t) ~qid ~mtype =
     | Some ((mt, payload), rest) ->
         Clock.charge t.clock Cost.Msgq_recv;
         Clock.charge t.clock (Cost.Copy_bytes (Bytes.length payload));
+        Smod_metrics.Counter.incr m_msgq_recvs;
+        Smod_metrics.Counter.add m_msgq_bytes (Bytes.length payload);
         q.messages <- rest;
         q.cur_bytes <- q.cur_bytes - Bytes.length payload;
         (match q.wait_send with

@@ -1,5 +1,12 @@
 type result = { level : string; index : int; assertions_evaluated : int }
 
+(* Observability (lib/metrics): the section-5 prediction — dispatch cost
+   grows with the number of assertions the policy check evaluates — in
+   counter form. *)
+let m_scope = Smod_metrics.scope "keynote"
+let m_queries = Smod_metrics.Scope.counter m_scope "queries"
+let m_assertions_evaluated = Smod_metrics.Scope.counter m_scope "assertions_evaluated"
+
 let term_value ~attrs = function
   | Ast.Str s -> s
   | Ast.Int i -> string_of_int i
@@ -88,4 +95,6 @@ let query ~policy ~credentials ~attrs ~requesters ~levels =
         if a.authorizer = "POLICY" then max acc (assertion_value a) else acc)
       0 policy
   in
+  Smod_metrics.Counter.incr m_queries;
+  Smod_metrics.Counter.add m_assertions_evaluated !evaluated;
   { level = levels.(index); index; assertions_evaluated = !evaluated }

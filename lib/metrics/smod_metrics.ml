@@ -1,0 +1,234 @@
+(* Process-wide observability: monotonic counters and fixed-bucket
+   histograms, grouped in registries with dot-separated named scopes.
+
+   The simulated kernel is single-threaded (one scheduler loop driving
+   effect-based coroutines), so plain mutable state is safe.  All hot-path
+   call sites register their instruments once at module-initialisation
+   time; per-event cost is a single field update (counters) or a short
+   bucket scan (histograms), cheap enough for the 1,000,000-call trials
+   the paper runs.
+
+   Instruments live in a registry keyed by name.  [default] is the
+   process-wide registry every subsystem reports into; bench and test code
+   read it with [snapshot]/[counter_value] and may [reset] it between
+   experiments. *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+type histogram = {
+  h_name : string;
+  h_edges : float array;  (* strictly increasing bucket upper bounds *)
+  h_counts : int array;  (* length edges+1; the last bucket is overflow *)
+  mutable h_total : int;
+  mutable h_sum : float;
+}
+
+type metric = M_counter of counter | M_histogram of histogram
+
+type t = { metrics : (string, metric) Hashtbl.t }
+
+let create () = { metrics = Hashtbl.create 64 }
+let default = create ()
+
+(* Simulated-microsecond latencies: 1 us .. ~1 ms, then overflow. *)
+let default_edges = [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0; 512.0; 1024.0 |]
+
+let validate_name name =
+  if name = "" then invalid_arg "Metrics: empty metric name";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> ()
+      | _ -> invalid_arg (Printf.sprintf "Metrics: invalid character in name %S" name))
+    name
+
+let validate_edges edges =
+  if Array.length edges = 0 then invalid_arg "Metrics: histogram needs at least one edge";
+  Array.iteri
+    (fun i e ->
+      if not (Float.is_finite e) then invalid_arg "Metrics: non-finite histogram edge";
+      if i > 0 && e <= edges.(i - 1) then
+        invalid_arg "Metrics: histogram edges must be strictly increasing")
+    edges
+
+module Counter = struct
+  type t = counter
+
+  let name c = c.c_name
+  let value c = c.c_value
+  let incr c = c.c_value <- c.c_value + 1
+
+  let add c n =
+    if n < 0 then
+      invalid_arg (Printf.sprintf "Counter.add %s: counters are monotonic" c.c_name);
+    c.c_value <- c.c_value + n
+end
+
+module Histogram = struct
+  type t = histogram
+
+  let name h = h.h_name
+  let edges h = Array.copy h.h_edges
+  let bucket_counts h = Array.copy h.h_counts
+  let count h = h.h_total
+  let sum h = h.h_sum
+  let mean h = if h.h_total = 0 then 0.0 else h.h_sum /. float_of_int h.h_total
+
+  (* Index of the bucket holding [v]: the first edge >= v, or the overflow
+     bucket when v exceeds every edge. *)
+  let bucket_index h v =
+    let n = Array.length h.h_edges in
+    let rec find i = if i >= n then n else if v <= h.h_edges.(i) then i else find (i + 1) in
+    find 0
+
+  let observe h v =
+    let i = bucket_index h v in
+    h.h_counts.(i) <- h.h_counts.(i) + 1;
+    h.h_total <- h.h_total + 1;
+    h.h_sum <- h.h_sum +. v
+end
+
+let find_or_register registry name build project =
+  match Hashtbl.find_opt registry.metrics name with
+  | Some m -> project m
+  | None ->
+      validate_name name;
+      let m = build () in
+      Hashtbl.replace registry.metrics name m;
+      project m
+
+let counter ?(registry = default) name =
+  find_or_register registry name
+    (fun () -> M_counter { c_name = name; c_value = 0 })
+    (function
+      | M_counter c -> c
+      | M_histogram _ ->
+          invalid_arg (Printf.sprintf "Metrics.counter %s: already a histogram" name))
+
+let histogram ?(registry = default) ?(edges = default_edges) name =
+  validate_edges edges;
+  find_or_register registry name
+    (fun () ->
+      M_histogram
+        {
+          h_name = name;
+          h_edges = Array.copy edges;
+          h_counts = Array.make (Array.length edges + 1) 0;
+          h_total = 0;
+          h_sum = 0.0;
+        })
+    (function
+      | M_histogram h -> h
+      | M_counter _ ->
+          invalid_arg (Printf.sprintf "Metrics.histogram %s: already a counter" name))
+
+(* ------------------------------------------------------------------ *)
+(* Scopes: namespaced instrument factories                             *)
+(* ------------------------------------------------------------------ *)
+
+module Scope = struct
+  type scope = { s_registry : t; prefix : string }
+
+  let full_name s name = s.prefix ^ "." ^ name
+  let make ?(registry = default) prefix =
+    validate_name prefix;
+    { s_registry = registry; prefix }
+
+  let sub s name =
+    validate_name name;
+    { s with prefix = full_name s name }
+
+  let name s = s.prefix
+  let counter s n = counter ~registry:s.s_registry (full_name s n)
+  let histogram ?edges s n = histogram ~registry:s.s_registry ?edges (full_name s n)
+end
+
+let scope = Scope.make
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type histogram_snapshot = {
+  hs_edges : float array;
+  hs_counts : int array;
+  hs_count : int;
+  hs_sum : float;
+}
+
+type sample = Counter_sample of int | Histogram_sample of histogram_snapshot
+type snapshot = (string * sample) list
+
+let sample_of = function
+  | M_counter c -> Counter_sample c.c_value
+  | M_histogram h ->
+      Histogram_sample
+        {
+          hs_edges = Array.copy h.h_edges;
+          hs_counts = Array.copy h.h_counts;
+          hs_count = h.h_total;
+          hs_sum = h.h_sum;
+        }
+
+let snapshot ?(registry = default) () =
+  Hashtbl.fold (fun name m acc -> (name, sample_of m) :: acc) registry.metrics []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counter_value ?(registry = default) name =
+  match Hashtbl.find_opt registry.metrics name with
+  | Some (M_counter c) -> Some c.c_value
+  | Some (M_histogram _) | None -> None
+
+let histogram_sample ?(registry = default) name =
+  match Hashtbl.find_opt registry.metrics name with
+  | Some (M_histogram h) -> (
+      match sample_of (M_histogram h) with Histogram_sample s -> Some s | _ -> None)
+  | Some (M_counter _) | None -> None
+
+let names ?(registry = default) () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) registry.metrics [] |> List.sort compare
+
+(* Zero every instrument but keep the registrations (call sites hold
+   direct references to the instruments, so dropping entries would
+   silently disconnect them). *)
+let reset ?(registry = default) () =
+  Hashtbl.iter
+    (fun _ -> function
+      | M_counter c -> c.c_value <- 0
+      | M_histogram h ->
+          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+          h.h_total <- 0;
+          h.h_sum <- 0.0)
+    registry.metrics
+
+(* Delta between two snapshots of the same registry: counters subtract,
+   histograms subtract bucket-wise.  Metrics absent from [before] are
+   reported at their [after] value. *)
+let delta ~before ~after =
+  List.filter_map
+    (fun (name, sa) ->
+      match (List.assoc_opt name before, sa) with
+      | None, _ -> Some (name, sa)
+      | Some (Counter_sample b), Counter_sample a -> Some (name, Counter_sample (a - b))
+      | Some (Histogram_sample b), Histogram_sample a
+        when Array.length b.hs_counts = Array.length a.hs_counts ->
+          Some
+            ( name,
+              Histogram_sample
+                {
+                  hs_edges = a.hs_edges;
+                  hs_counts = Array.mapi (fun i c -> c - b.hs_counts.(i)) a.hs_counts;
+                  hs_count = a.hs_count - b.hs_count;
+                  hs_sum = a.hs_sum -. b.hs_sum;
+                } )
+      | Some _, _ -> Some (name, sa))
+    after
+
+let pp ppf ?(registry = default) () =
+  List.iter
+    (fun (name, s) ->
+      match s with
+      | Counter_sample v -> Format.fprintf ppf "%-40s %d@\n" name v
+      | Histogram_sample h ->
+          Format.fprintf ppf "%-40s count=%d sum=%.3f@\n" name h.hs_count h.hs_sum)
+    (snapshot ~registry ())

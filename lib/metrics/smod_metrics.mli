@@ -1,0 +1,95 @@
+(** Observability for the simulated kernel: monotonic counters and
+    fixed-bucket histograms in named registries.
+
+    Every subsystem registers its instruments in {!default} at module
+    initialisation; the bench harness serialises {!snapshot}s into the
+    machine-readable bench JSON (see [lib/bench_kit/bench_json.ml]) and
+    tests assert on {!counter_value} deltas. *)
+
+type t
+(** A registry: a flat namespace of instruments keyed by dotted name. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry all built-in instrumentation reports to. *)
+
+val default_edges : float array
+(** Default latency bucket edges, in simulated microseconds. *)
+
+module Counter : sig
+  type t
+
+  val name : t -> string
+  val value : t -> int
+  val incr : t -> unit
+
+  val add : t -> int -> unit
+  (** Raises [Invalid_argument] on a negative increment: counters are
+      monotonic. *)
+end
+
+module Histogram : sig
+  type t
+
+  val name : t -> string
+  val edges : t -> float array
+  val bucket_counts : t -> int array
+  (** One count per edge, plus a final overflow bucket. Bucket [i] holds
+      observations [v] with [edges.(i-1) < v <= edges.(i)]. *)
+
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  val observe : t -> float -> unit
+end
+
+val counter : ?registry:t -> string -> Counter.t
+(** Find-or-create. Raises [Invalid_argument] if the name is registered as
+    a histogram or contains characters outside [[A-Za-z0-9._-]]. *)
+
+val histogram : ?registry:t -> ?edges:float array -> string -> Histogram.t
+(** Find-or-create; [edges] (default {!default_edges}) must be strictly
+    increasing and is only consulted on first registration. *)
+
+(** Namespaced instrument factories: [Scope.counter (scope "kern") "traps"]
+    registers ["kern.traps"]. *)
+module Scope : sig
+  type scope
+
+  val make : ?registry:t -> string -> scope
+  val sub : scope -> string -> scope
+  val name : scope -> string
+  val counter : scope -> string -> Counter.t
+  val histogram : ?edges:float array -> scope -> string -> Histogram.t
+end
+
+val scope : ?registry:t -> string -> Scope.scope
+
+(** {1 Snapshots} *)
+
+type histogram_snapshot = {
+  hs_edges : float array;
+  hs_counts : int array;
+  hs_count : int;
+  hs_sum : float;
+}
+
+type sample = Counter_sample of int | Histogram_sample of histogram_snapshot
+
+type snapshot = (string * sample) list
+(** Sorted by name; deterministic across runs. *)
+
+val snapshot : ?registry:t -> unit -> snapshot
+val counter_value : ?registry:t -> string -> int option
+val histogram_sample : ?registry:t -> string -> histogram_snapshot option
+val names : ?registry:t -> unit -> string list
+
+val reset : ?registry:t -> unit -> unit
+(** Zero every instrument, keeping registrations (call sites hold direct
+    references). *)
+
+val delta : before:snapshot -> after:snapshot -> snapshot
+(** Instrument-wise difference of two snapshots of the same registry. *)
+
+val pp : Format.formatter -> ?registry:t -> unit -> unit

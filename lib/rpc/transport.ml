@@ -13,6 +13,14 @@ type endpoint = {
 
 type t = { machine : Machine.t; endpoints : (int, endpoint) Hashtbl.t }
 
+(* Observability (lib/metrics): loopback datagram traffic behind the RPC
+   baseline (send/recv pairs and payload volume). *)
+let m_scope = Smod_metrics.scope "rpc"
+let m_datagrams_sent = Smod_metrics.Scope.counter m_scope "datagrams_sent"
+let m_datagrams_received = Smod_metrics.Scope.counter m_scope "datagrams_received"
+let m_bytes_sent = Smod_metrics.Scope.counter m_scope "bytes_sent"
+let m_bytes_received = Smod_metrics.Scope.counter m_scope "bytes_received"
+
 let create machine = { machine; endpoints = Hashtbl.create 16 }
 let machine t = t.machine
 
@@ -37,6 +45,8 @@ let sendto t (_p : Proc.t) ~dst_port ~src_port payload =
   Clock.charge clock (Cost.Copy_bytes (Bytes.length payload));
   Clock.charge clock Cost.Udp_send_stack;
   Clock.charge clock Cost.Trap_exit;
+  Smod_metrics.Counter.incr m_datagrams_sent;
+  Smod_metrics.Counter.add m_bytes_sent (Bytes.length payload);
   dst.inbox <- dst.inbox @ [ (src_port, payload) ];
   match dst.waiting with
   | Some pid ->
@@ -58,6 +68,8 @@ let recvfrom t (p : Proc.t) ~port =
         Clock.charge clock Cost.Udp_recv_stack;
         Clock.charge clock (Cost.Copy_bytes (Bytes.length payload));
         Clock.charge clock Cost.Trap_exit;
+        Smod_metrics.Counter.incr m_datagrams_received;
+        Smod_metrics.Counter.add m_bytes_received (Bytes.length payload);
         (src, payload)
     | [] ->
         e.waiting <- Some p.pid;

@@ -3,6 +3,12 @@ module Cost = Smod_sim.Cost_model
 
 exception Decode_error of string
 
+(* Observability (lib/metrics): marshalling volume for the RPC baseline —
+   the paper attributes most of RPC's 27 us/call to argument copying. *)
+let m_scope = Smod_metrics.scope "rpc"
+let m_encoded_bytes = Smod_metrics.Scope.counter m_scope "xdr_encoded_bytes"
+let m_decoded_bytes = Smod_metrics.Scope.counter m_scope "xdr_decoded_bytes"
+
 let pad4 n = (4 - (n land 3)) land 3
 
 module Encoder = struct
@@ -12,6 +18,7 @@ module Encoder = struct
   let charge t op = match t.clock with Some c -> Clock.charge c op | None -> ()
 
   let raw_word t v =
+    Smod_metrics.Counter.add m_encoded_bytes 4;
     Buffer.add_char t.buf (Char.chr ((v lsr 24) land 0xff));
     Buffer.add_char t.buf (Char.chr ((v lsr 16) land 0xff));
     Buffer.add_char t.buf (Char.chr ((v lsr 8) land 0xff));
@@ -35,6 +42,7 @@ module Encoder = struct
     let n = Bytes.length data in
     uint t n;
     charge t (Cost.Xdr_bytes n);
+    Smod_metrics.Counter.add m_encoded_bytes (n + pad4 n);
     Buffer.add_bytes t.buf data;
     for _ = 1 to pad4 n do
       Buffer.add_char t.buf '\000'
@@ -61,6 +69,7 @@ module Decoder = struct
 
   let raw_word t =
     need t 4;
+    Smod_metrics.Counter.add m_decoded_bytes 4;
     let b i = Char.code (Bytes.get t.data (t.pos + i)) in
     let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
     t.pos <- t.pos + 4;
@@ -92,6 +101,7 @@ module Decoder = struct
     if n < 0 || n > 16 * 1024 * 1024 then raise (Decode_error "opaque too large");
     need t (n + pad4 n);
     charge t (Cost.Xdr_bytes n);
+    Smod_metrics.Counter.add m_decoded_bytes (n + pad4 n);
     let out = Bytes.sub t.data t.pos n in
     t.pos <- t.pos + n + pad4 n;
     out

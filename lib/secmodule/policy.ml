@@ -42,7 +42,13 @@ let rec describe = function
 
 let deny policy reason = Error { reason; policy }
 
-let rec check ~clock ~now_us ~credential ~attrs policy state =
+(* Observability (lib/metrics): per-call policy evaluation volume and
+   outcome, matching the paper's "access control check per call" step. *)
+let m_scope = Smod_metrics.scope "secmodule"
+let m_policy_checks = Smod_metrics.Scope.counter m_scope "policy_checks"
+let m_policy_denials = Smod_metrics.Scope.counter m_scope "policy_denials"
+
+let rec check_inner ~clock ~now_us ~credential ~attrs policy state =
   match (policy, state) with
   | Always_allow, S_none ->
       Clock.charge clock Cost.Policy_always_allow;
@@ -98,10 +104,18 @@ let rec check ~clock ~now_us ~credential ~attrs policy state =
         match (ps, states) with
         | [], [] -> Ok ()
         | p :: ps', s :: ss' -> (
-            match check ~clock ~now_us ~credential ~attrs p s with
+            match check_inner ~clock ~now_us ~credential ~attrs p s with
             | Ok () -> all ps' ss'
             | Error _ as e -> e)
         | _ -> deny policy "policy/state shape mismatch"
       in
       all ps states
   | _ -> deny policy "policy/state shape mismatch"
+
+let check ~clock ~now_us ~credential ~attrs policy state =
+  Smod_metrics.Counter.incr m_policy_checks;
+  match check_inner ~clock ~now_us ~credential ~attrs policy state with
+  | Ok () as ok -> ok
+  | Error _ as e ->
+      Smod_metrics.Counter.incr m_policy_denials;
+      e

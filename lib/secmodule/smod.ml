@@ -50,6 +50,19 @@ type t = {
 
 exception Access_denied of string
 
+(* Observability (lib/metrics): the SMOD dispatch path itself — call
+   volume, denials, session churn, and the per-call latency distribution
+   that Figure 8 summarises as a single mean. *)
+let m_scope = Smod_metrics.scope "secmodule"
+let m_calls = Smod_metrics.Scope.counter m_scope "calls"
+let m_calls_denied = Smod_metrics.Scope.counter m_scope "calls_denied"
+let m_sessions_started = Smod_metrics.Scope.counter m_scope "sessions_started"
+let m_sessions_detached = Smod_metrics.Scope.counter m_scope "sessions_detached"
+
+let m_call_us =
+  Smod_metrics.Scope.histogram m_scope "call_us"
+    ~edges:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0 |]
+
 let machine t = t.machine
 let keystore t = t.keystore
 let registry t = t.registry
@@ -100,6 +113,7 @@ let bind_native t ~m_id ~name fn =
 let detach_session t session =
   if not session.detached then begin
     session.detached <- true;
+    Smod_metrics.Counter.incr m_sessions_detached;
     let clock = Machine.clock t.machine in
     Trace.emitf (Machine.trace t.machine) ~clock ~actor:"kernel" "detach session %d (module %s)"
       session.sid session.entry.Registry.image.Smof.mod_name;
@@ -388,6 +402,7 @@ let sys_start_session t (p : Proc.t) ~desc_addr =
   Trace.emitf (Machine.trace t.machine) ~clock ~actor:"kernel"
     "start_session sid=%d module=%s client=%d handle=%d" sid
     entry.Registry.image.Smof.mod_name p.Proc.pid handle.Proc.pid;
+  Smod_metrics.Counter.incr m_sessions_started;
   sid
 
 (* ------------------------------------------------------------------ *)
@@ -485,6 +500,7 @@ let undo_call_mitigation t (client : Proc.t) = function
 
 let sys_call t (p : Proc.t) ~framep ~rtnaddr ~m_id ~func_id =
   let clock = Machine.clock t.machine in
+  let t0_us = Clock.now_us clock in
   let session =
     match session_of_client t ~client_pid:p.Proc.pid with
     | Some s -> s
@@ -531,11 +547,13 @@ let sys_call t (p : Proc.t) ~framep ~rtnaddr ~m_id ~func_id =
           ]
     with Errno.Error _ as denial ->
       session.denied_calls <- session.denied_calls + 1;
+      Smod_metrics.Counter.incr m_calls_denied;
       raise denial
   end
   else if Registry.symbol_of_func_id session.entry func_id = None then
     Errno.raise_errno Errno.EINVAL "smod_call: bad funcID";
   session.calls <- session.calls + 1;
+  Smod_metrics.Counter.incr m_calls;
   let mitigation = apply_call_mitigation t p in
   let request =
     {
@@ -551,6 +569,7 @@ let sys_call t (p : Proc.t) ~framep ~rtnaddr ~m_id ~func_id =
   Machine.msgsnd t.machine p ~qid:session.req_qid ~mtype:1 (Wire.request_to_bytes request);
   let _, payload = Machine.msgrcv t.machine p ~qid:session.rep_qid ~mtype:1 in
   undo_call_mitigation t p mitigation;
+  Smod_metrics.Histogram.observe m_call_us (Clock.now_us clock -. t0_us);
   let reply = Wire.reply_of_bytes payload in
   match reply.Wire.status with
   | 0 -> reply.Wire.retval

@@ -6,6 +6,10 @@ module Cost = Smod_sim.Cost_model
 
 exception Fault of { pc : int; reason : string }
 
+(* Observability (lib/metrics): module-VM work executed inside handles. *)
+let m_instructions = Smod_metrics.counter "svm.instructions"
+let m_runs = Smod_metrics.counter "svm.runs"
+
 type env = {
   aspace : Aspace.t;
   clock : Clock.t;
@@ -23,6 +27,7 @@ let mask32 = 0xFFFFFFFF
 let to_signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
 
 let run env ~code_base ~code_len ?(entry = 0) ~args_base () =
+  Smod_metrics.Counter.incr m_runs;
   let aspace = env.aspace in
   (* Instruction fetch happens through the address space with execute
      access: verify each touched code page once, then read the bytes. *)
@@ -70,6 +75,7 @@ let run env ~code_base ~code_len ?(entry = 0) ~args_base () =
       with Invalid_argument msg -> raise (Fault { pc; reason = msg })
     in
     env.executed <- env.executed + 1;
+    Smod_metrics.Counter.incr m_instructions;
     Clock.charge env.clock Cost.Svm_instr;
     let binop f =
       let b = pop pc in

@@ -1,0 +1,306 @@
+(* A small hand-rolled JSON tree, emitter and parser — the bench harness
+   serialises its machine-readable artifacts with this instead of pulling
+   in an external dependency.  Covers the full JSON grammar; numbers are
+   split into [Int] and [Float] so integer counters round-trip exactly,
+   and float emission picks the shortest decimal form that parses back to
+   the same IEEE value. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Shortest decimal representation that round-trips.  JSON has no
+   NaN/Infinity; the bench schema never produces them, so reject early
+   rather than emit an unparsable token. *)
+let float_token f =
+  if not (Float.is_finite f) then invalid_arg "Json: cannot emit non-finite float";
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let short = Printf.sprintf "%.12g" f in
+    if float_of_string short = f then short else Printf.sprintf "%.17g" f
+
+let to_buffer ?(minify = false) buf t =
+  let nl indent =
+    if not minify then begin
+      Buffer.add_char buf '\n';
+      for _ = 1 to indent do
+        Buffer.add_string buf "  "
+      done
+    end
+  in
+  let rec emit indent = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_token f)
+    | String s -> escape_string buf s
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            nl (indent + 1);
+            emit (indent + 1) item)
+          items;
+        nl indent;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            nl (indent + 1);
+            escape_string buf k;
+            Buffer.add_string buf (if minify then ":" else ": ");
+            emit (indent + 1) v)
+          fields;
+        nl indent;
+        Buffer.add_char buf '}'
+  in
+  emit 0 t
+
+let to_string ?minify t =
+  let buf = Buffer.create 1024 in
+  to_buffer ?minify buf t;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { text : string; mutable pos : int }
+
+let fail st fmt =
+  Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "at offset %d: %s" st.pos m))) fmt
+
+let peek st = if st.pos < String.length st.text then Some st.text.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance st
+    | _ -> continue_ := false
+  done
+
+let expect st c =
+  match peek st with
+  | Some got when got = c -> advance st
+  | Some got -> fail st "expected %c, found %c" c got
+  | None -> fail st "expected %c, found end of input" c
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.text && String.sub st.text st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st "invalid literal"
+
+let parse_hex4 st =
+  if st.pos + 4 > String.length st.text then fail st "truncated \\u escape";
+  let v = ref 0 in
+  for i = 0 to 3 do
+    let c = st.text.[st.pos + i] in
+    let d =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail st "bad hex digit %c in \\u escape" c
+    in
+    v := (!v * 16) + d
+  done;
+  st.pos <- st.pos + 4;
+  !v
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> fail st "truncated escape"
+        | Some c ->
+            advance st;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                let cp = parse_hex4 st in
+                let u =
+                  match Uchar.of_int cp with u -> u | exception Invalid_argument _ -> Uchar.rep
+                in
+                Buffer.add_utf_8_uchar buf u
+            | c -> fail st "unknown escape \\%c" c);
+            loop ())
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Some ('0' .. '9' | '-' | '+') -> advance st
+    | Some ('.' | 'e' | 'E') ->
+        is_float := true;
+        advance st
+    | _ -> continue_ := false
+  done;
+  if st.pos = start then fail st "expected a number";
+  let token = String.sub st.text start (st.pos - start) in
+  if !is_float then
+    match float_of_string_opt token with
+    | Some f -> Float f
+    | None -> fail st "bad float %S" token
+  else
+    match int_of_string_opt token with
+    | Some i -> Int i
+    | None -> (
+        (* Integer syntax too large for the int range: keep the value. *)
+        match float_of_string_opt token with
+        | Some f -> Float f
+        | None -> fail st "bad number %S" token)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws st;
+          let key = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          fields := (key, v) :: !fields;
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              members ()
+          | Some '}' -> advance st
+          | _ -> fail st "expected , or } in object"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        Arr []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value st in
+          items := v :: !items;
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              elements ()
+          | Some ']' -> advance st
+          | _ -> fail st "expected , or ] in array"
+        in
+        elements ();
+        Arr (List.rev !items)
+      end
+  | Some '"' -> String (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some _ -> parse_number st
+
+let of_string text =
+  let st = { text; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length text then fail st "trailing garbage after document";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let member_exn key t =
+  match member key t with
+  | Some v -> v
+  | None -> raise (Parse_error (Printf.sprintf "missing field %S" key))
+
+let to_list = function Arr items -> items | _ -> raise (Parse_error "expected an array")
+
+let get_string = function
+  | String s -> s
+  | _ -> raise (Parse_error "expected a string")
+
+let get_int = function Int i -> i | _ -> raise (Parse_error "expected an integer")
+
+let get_float = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | _ -> raise (Parse_error "expected a number")
+
+let get_bool = function Bool b -> b | _ -> raise (Parse_error "expected a bool")

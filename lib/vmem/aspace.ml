@@ -1,6 +1,17 @@
 module Clock = Smod_sim.Clock
 module Cost = Smod_sim.Cost_model
 
+(* Observability (lib/metrics): the paper's modified-UVM events —
+   ordinary fault resolutions, faults resolved by mapping the peer's
+   frame (modified uvm_fault), and uvmspace_force_share calls. *)
+let m_scope = Smod_metrics.scope "vmem"
+let m_faults = Smod_metrics.Scope.counter m_scope "faults"
+let m_peer_share_faults = Smod_metrics.Scope.counter m_scope "peer_share_faults"
+let m_pages_mapped = Smod_metrics.Scope.counter m_scope "pages_mapped"
+let m_pages_unmapped = Smod_metrics.Scope.counter m_scope "pages_unmapped"
+let m_force_shares = Smod_metrics.Scope.counter m_scope "force_share_calls"
+let m_pages_force_shared = Smod_metrics.Scope.counter m_scope "pages_force_shared"
+
 type kind = Text | Data | Heap | Stack | Secret | Mmap
 
 type entry = {
@@ -90,6 +101,7 @@ let drop_page t vpn =
   | Some m ->
       Phys.decref t.phys m.frame;
       Hashtbl.remove t.pages vpn;
+      Smod_metrics.Counter.incr m_pages_unmapped;
       Clock.charge t.clock Cost.Page_unmap
 
 let remove_range t ~start_addr ~size =
@@ -147,6 +159,7 @@ let protect_range t ~start_addr ~size ~prot =
 let install_shared t vpn frame =
   Phys.incref frame;
   Hashtbl.replace t.pages vpn { frame; shared = true };
+  Smod_metrics.Counter.incr m_pages_mapped;
   Clock.charge t.clock Cost.Page_map
 
 let fault t ~addr ~access =
@@ -163,11 +176,13 @@ let fault t ~addr ~access =
             | None -> None
           else None
         in
+        Smod_metrics.Counter.incr m_faults;
         match peer_mapping with
         | Some pm ->
             (* Modified uvm_fault: the peer already has this page — map the
                same frame here as a share. *)
             Clock.charge t.clock Cost.Peer_share_fault;
+            Smod_metrics.Counter.incr m_peer_share_faults;
             pm.shared <- true;
             install_shared t vpn pm.frame
         | None ->
@@ -175,6 +190,7 @@ let fault t ~addr ~access =
             let frame = Phys.alloc t.phys in
             let shared = in_share_range t addr in
             Hashtbl.replace t.pages vpn { frame; shared };
+            Smod_metrics.Counter.incr m_pages_mapped;
             Clock.charge t.clock Cost.Page_map
       end
 
@@ -196,6 +212,7 @@ let set_peer t p = t.peer <- p
 let force_share ~client ~handle ~lo ~hi =
   if not (Layout.is_page_aligned lo && Layout.is_page_aligned hi && lo < hi) then
     raise (Bad_range "force_share range");
+  Smod_metrics.Counter.incr m_force_shares;
   (* 1. Unmap everything the handle holds in the range. *)
   remove_range handle ~start_addr:lo ~size:(hi - lo);
   (* 2. Duplicate the client's entries over the range into the handle. *)
@@ -223,6 +240,7 @@ let force_share ~client ~handle ~lo ~hi =
       let addr = Layout.addr_of_vpn vpn in
       if addr >= lo && addr < hi then begin
         m.shared <- true;
+        Smod_metrics.Counter.incr m_pages_force_shared;
         install_shared handle vpn m.frame
       end)
     client.pages;

@@ -174,6 +174,58 @@ let test_trace_example_sequence () =
   Alcotest.(check bool) "session_info traced" true (has "session_info");
   Alcotest.(check bool) "detach traced" true (has "detach session")
 
+let test_one_dispatch_metric_deltas () =
+  (* One steady-state SMOD dispatch, counted by the lib/metrics
+     instrumentation: the client traps once, the request and reply each
+     cross a message queue (2 sends + 2 receives), the scheduler switches
+     client->handle->client, the policy is checked once, and the handle
+     runs at least one VM instruction. *)
+  let counter name =
+    match Smod_metrics.counter_value name with
+    | Some v -> v
+    | None -> Alcotest.failf "counter %s not registered" name
+  in
+  let watched =
+    [
+      "kern.context_switches";
+      "kern.msgq_sends";
+      "kern.msgq_recvs";
+      "kern.syscalls";
+      "secmodule.calls";
+      "secmodule.policy_checks";
+      "svm.instructions";
+    ]
+  in
+  let deltas = ref [] in
+  let world = World.create ~with_rpc:false () in
+  World.spawn_seclibc_client world ~name:"metrics-client" (fun _p conn ->
+      (* Warm up: session handshake and first-touch page faults happen
+         here, leaving the measured call in steady state. *)
+      ignore (Smod_libc.Seclibc.Client.test_incr conn 1);
+      let before = List.map (fun n -> (n, counter n)) watched in
+      ignore (Smod_libc.Seclibc.Client.test_incr conn 2);
+      deltas := List.map (fun (n, b) -> (n, counter n - b)) before);
+  World.run world;
+  let delta name =
+    match List.assoc_opt name !deltas with
+    | Some d -> d
+    | None -> Alcotest.failf "no delta for %s" name
+  in
+  Alcotest.(check int) "2 context switches" 2 (delta "kern.context_switches");
+  Alcotest.(check int) "2 msgq sends" 2 (delta "kern.msgq_sends");
+  Alcotest.(check int) "2 msgq recvs" 2 (delta "kern.msgq_recvs");
+  Alcotest.(check int) "1 kernel trap" 1 (delta "kern.syscalls");
+  Alcotest.(check int) "1 dispatched call" 1 (delta "secmodule.calls");
+  Alcotest.(check int) "1 policy evaluation" 1 (delta "secmodule.policy_checks");
+  Alcotest.(check bool)
+    (Printf.sprintf "%d svm instructions > 0" (delta "svm.instructions"))
+    true
+    (delta "svm.instructions" > 0);
+  (* The histogram saw exactly the calls this world dispatched. *)
+  match Smod_metrics.histogram_sample "secmodule.call_us" with
+  | None -> Alcotest.fail "secmodule.call_us not registered"
+  | Some h -> Alcotest.(check bool) "call_us populated" true (h.Smod_metrics.hs_count >= 2)
+
 let test_many_sessions_frames_released () =
   (* Repeated session open/close must not leak physical frames. *)
   let world = World.create ~with_rpc:false () in
@@ -218,6 +270,7 @@ let () =
       ( "whole system",
         [
           tc "figure-1 trace sequence" test_trace_example_sequence;
+          tc "one dispatch, counted" test_one_dispatch_metric_deltas;
           tc "no frame leaks across sessions" test_many_sessions_frames_released;
         ] );
     ]

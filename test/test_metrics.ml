@@ -1,0 +1,241 @@
+(* lib/metrics semantics, the hand-rolled JSON layer underneath the bench
+   artifacts, and the benchdiff drift gate. *)
+
+module Metrics = Smod_metrics
+module Json = Smod_util.Json
+module Bench_json = Smod_bench_kit.Bench_json
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_basics () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "test.counter" in
+  Alcotest.(check int) "starts at zero" 0 (Metrics.Counter.value c);
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 41;
+  Alcotest.(check int) "incr + add" 42 (Metrics.Counter.value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Counter.add test.counter: counters are monotonic") (fun () ->
+      Metrics.Counter.add c (-1))
+
+let test_counter_find_or_create () =
+  let r = Metrics.create () in
+  let a = Metrics.counter ~registry:r "x.same" in
+  Metrics.Counter.add a 7;
+  let b = Metrics.counter ~registry:r "x.same" in
+  Alcotest.(check int) "same instrument" 7 (Metrics.Counter.value b);
+  Alcotest.(check bool) "cross-kind rejected" true
+    (try
+       ignore (Metrics.histogram ~registry:r "x.same");
+       false
+     with Invalid_argument _ -> true)
+
+let test_scope_naming () =
+  let r = Metrics.create () in
+  let s = Metrics.Scope.sub (Metrics.scope ~registry:r "kern") "msgq" in
+  let c = Metrics.Scope.counter s "sends" in
+  Metrics.Counter.incr c;
+  Alcotest.(check (option int)) "dotted name" (Some 1)
+    (Metrics.counter_value ~registry:r "kern.msgq.sends")
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_buckets () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r ~edges:[| 1.0; 10.0; 100.0 |] "test.hist" in
+  (* bucket i holds v <= edges.(i); the last bucket is overflow *)
+  List.iter (Metrics.Histogram.observe h) [ 0.5; 1.0; 5.0; 100.0; 1000.0 ];
+  Alcotest.(check (array int)) "bucket counts" [| 2; 1; 1; 1 |] (Metrics.Histogram.bucket_counts h);
+  Alcotest.(check int) "count" 5 (Metrics.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 1106.5 (Metrics.Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "mean" (1106.5 /. 5.0) (Metrics.Histogram.mean h)
+
+let test_snapshot_delta_reset () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "a.count" in
+  let h = Metrics.histogram ~registry:r ~edges:[| 1.0 |] "b.hist" in
+  Metrics.Counter.add c 5;
+  Metrics.Histogram.observe h 0.5;
+  let before = Metrics.snapshot ~registry:r () in
+  Metrics.Counter.add c 3;
+  Metrics.Histogram.observe h 2.0;
+  let after = Metrics.snapshot ~registry:r () in
+  (match Metrics.delta ~before ~after with
+  | [ ("a.count", Metrics.Counter_sample d); ("b.hist", Metrics.Histogram_sample hs) ] ->
+      Alcotest.(check int) "counter delta" 3 d;
+      Alcotest.(check int) "histogram count delta" 1 hs.Metrics.hs_count;
+      Alcotest.(check (array int)) "histogram bucket delta" [| 0; 1 |] hs.Metrics.hs_counts
+  | _ -> Alcotest.fail "unexpected delta shape");
+  Metrics.reset ~registry:r ();
+  Alcotest.(check (option int)) "reset keeps registration" (Some 0)
+    (Metrics.counter_value ~registry:r "a.count");
+  Alcotest.(check int) "live handle still works" 0 (Metrics.Counter.value c)
+
+(* ------------------------------------------------------------------ *)
+(* JSON emitter / parser                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_round_trip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.String "quote \" slash \\ newline \n tab \t unicode \xc3\xa9");
+        ("i", Json.Int 1_579);
+        ("f", Json.Float 6.40700000000000003);
+        ("zero", Json.Float 0.0);
+        ("neg", Json.Int (-42));
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("arr", Json.Arr [ Json.Int 1; Json.Float 0.5; Json.String "" ]);
+        ("empty_obj", Json.Obj []);
+        ("empty_arr", Json.Arr []);
+      ]
+  in
+  Alcotest.(check bool) "pretty round-trip" true (Json.of_string (Json.to_string doc) = doc);
+  Alcotest.(check bool) "minified round-trip" true
+    (Json.of_string (Json.to_string ~minify:true doc) = doc)
+
+let test_json_float_fidelity () =
+  (* The bench means are arbitrary doubles; emission must parse back to
+     the bit-identical value or baseline comparisons would drift. *)
+  List.iter
+    (fun f ->
+      match Json.of_string (Json.to_string (Json.Float f)) with
+      | Json.Float g ->
+          Alcotest.(check bool) (Printf.sprintf "%h survives" f) true (Int64.bits_of_float f = Int64.bits_of_float g)
+      | _ -> Alcotest.fail "float did not parse back as float")
+    [ 6.3715460403545432; 0.65453278710851048; 1e-9; 1.0 /. 3.0; 63.651549932924389; 1e17 ]
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "%S rejected" s) true
+        (try
+           ignore (Json.of_string s);
+           false
+         with Json.Parse_error _ -> true))
+    [ ""; "{"; "[1,]"; "{\"a\":1,}"; "tru"; "1 2"; "\"unterminated"; "{\"a\" 1}"; "nan" ]
+
+(* ------------------------------------------------------------------ *)
+(* Bench documents and the drift gate                                  *)
+(* ------------------------------------------------------------------ *)
+
+let sample_doc ?(smod_mean = 6.407) () =
+  {
+    Bench_json.mode = "quick";
+    experiments =
+      [
+        Bench_json.experiment ~id:"e1" ~title:"Figure 8"
+          [
+            Bench_json.row ~label:"getpid()" ~mean:0.658 ~stdev:0.005 ();
+            Bench_json.row ~label:"SMOD(test-incr)" ~mean:smod_mean ~stdev:0.06 ();
+          ];
+        Bench_json.experiment ~id:"e12" ~title:"queueing"
+          [ Bench_json.row ~label:"1 clients, own handles" ~unit_:"depth" ~mean:0.0 ~stdev:0.0 () ];
+      ];
+    metrics =
+      [
+        ("kern.syscalls", Metrics.Counter_sample 12345);
+        ( "secmodule.call_us",
+          Metrics.Histogram_sample
+            { Metrics.hs_edges = [| 1.0; 8.0 |]; hs_counts = [| 0; 3; 1 |]; hs_count = 4; hs_sum = 26.2 } );
+      ];
+  }
+
+let test_bench_json_round_trip () =
+  let doc = sample_doc () in
+  let doc' = Bench_json.of_string (Bench_json.to_string doc) in
+  Alcotest.(check bool) "round-trips" true (doc = doc')
+
+let test_bench_json_rejects_wrong_schema () =
+  Alcotest.(check bool) "wrong schema tag rejected" true
+    (try
+       ignore (Bench_json.of_string "{\"schema\": \"other\", \"schema_version\": 1}");
+       false
+     with Json.Parse_error _ -> true);
+  Alcotest.(check bool) "future version rejected" true
+    (try
+       ignore
+         (Bench_json.of_string
+            "{\"schema\": \"smod-bench\", \"schema_version\": 999, \"mode\": \"quick\", \
+             \"experiments\": [], \"metrics\": []}");
+       false
+     with Json.Parse_error _ -> true)
+
+let test_compare_within_tolerance () =
+  let baseline = sample_doc () in
+  let current = sample_doc ~smod_mean:(6.407 *. 1.01) () in
+  let c = Bench_json.compare_docs ~rel_tol:0.02 ~baseline ~current () in
+  Alcotest.(check int) "all rows compared" 3 c.Bench_json.compared;
+  Alcotest.(check bool) "1% drift passes at 2%" true (Bench_json.comparison_ok c)
+
+let test_compare_flags_drift () =
+  let baseline = sample_doc () in
+  let current = sample_doc ~smod_mean:(6.407 *. 1.05) () in
+  let c = Bench_json.compare_docs ~rel_tol:0.02 ~baseline ~current () in
+  Alcotest.(check bool) "5% drift fails at 2%" false (Bench_json.comparison_ok c);
+  let failed = List.filter (fun d -> not d.Bench_json.d_ok) c.Bench_json.drifts in
+  Alcotest.(check (list string)) "only the drifted row" [ "SMOD(test-incr)" ]
+    (List.map (fun d -> d.Bench_json.d_label) failed)
+
+let test_compare_zero_row_epsilon () =
+  (* E12 private-handle rows are exactly 0.0; a pure relative test would
+     fail on any change and pass on none.  The additive epsilon absorbs
+     rounding while still catching real movement. *)
+  let baseline = sample_doc () in
+  let perturbed =
+    {
+      baseline with
+      Bench_json.experiments =
+        [
+          Bench_json.experiment ~id:"e12" ~title:"queueing"
+            [ Bench_json.row ~label:"1 clients, own handles" ~unit_:"depth" ~mean:0.25 ~stdev:0.0 () ];
+        ];
+    }
+  in
+  let c = Bench_json.compare_docs ~rel_tol:0.02 ~baseline ~current:perturbed () in
+  Alcotest.(check bool) "0.0 -> 0.25 caught" false (Bench_json.comparison_ok c)
+
+let test_compare_subset_and_empty () =
+  let baseline = sample_doc () in
+  let subset = { baseline with Bench_json.experiments = [ List.hd baseline.Bench_json.experiments ] } in
+  let c = Bench_json.compare_docs ~baseline ~current:subset () in
+  Alcotest.(check bool) "subset run passes" true (Bench_json.comparison_ok c);
+  Alcotest.(check (list string)) "missing rows reported" [ "e12/1 clients, own handles" ]
+    c.Bench_json.missing;
+  let disjoint = { baseline with Bench_json.experiments = [] } in
+  let c0 = Bench_json.compare_docs ~baseline ~current:disjoint () in
+  Alcotest.(check bool) "nothing compared fails" false (Bench_json.comparison_ok c0)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "metrics"
+    [
+      ( "counters",
+        [
+          tc "basics" test_counter_basics;
+          tc "find-or-create" test_counter_find_or_create;
+          tc "scopes" test_scope_naming;
+        ] );
+      ( "histograms",
+        [ tc "buckets" test_histogram_buckets; tc "snapshot/delta/reset" test_snapshot_delta_reset ] );
+      ( "json",
+        [
+          tc "round-trip" test_json_round_trip;
+          tc "float fidelity" test_json_float_fidelity;
+          tc "rejects garbage" test_json_rejects_garbage;
+        ] );
+      ( "bench documents",
+        [
+          tc "round-trip" test_bench_json_round_trip;
+          tc "schema guard" test_bench_json_rejects_wrong_schema;
+          tc "within tolerance" test_compare_within_tolerance;
+          tc "flags drift" test_compare_flags_drift;
+          tc "zero-row epsilon" test_compare_zero_row_epsilon;
+          tc "subset and empty" test_compare_subset_and_empty;
+        ] );
+    ]
