@@ -107,6 +107,12 @@ let ablation_sections =
       a_unit = "us/call";
       a_run = (fun ~full -> Ablations.systrace_overhead ~calls:(scale ~full 1000) ());
     };
+    {
+      a_id = "e16";
+      a_title = "E16: smodd session pooling, cold fork vs pooled attach (lib/pool)";
+      a_unit = "us/session (throughput rows: kcalls/s)";
+      a_run = (fun ~full -> Ablations.pooling ~calls:(scale ~full 150) ());
+    };
   ]
 
 let run_ablation_section ~full s =
@@ -203,26 +209,35 @@ let main full no_wallclock only json_path =
         true
     | None -> false
   in
-  let known =
-    match only with
-    | None ->
-        run_figure8 ~full;
-        run_ablations ~full;
-        true
-    | Some ("figure8" | "e1") ->
+  (* --only accepts a comma-separated list of sections: --only e1,e16 *)
+  let run_section = function
+    | "figure8" | "e1" ->
         run_figure8 ~full;
         true
-    | Some "ablations" ->
+    | "ablations" ->
         run_ablations ~full;
         true
-    | Some "wallclock" -> true
-    | Some other -> ablation_section other
+    | "wallclock" -> true
+    | other -> ablation_section other
   in
-  if not known then begin
-    Printf.eprintf "unknown --only section %S\n" (Option.value only ~default:"");
-    exit 2
-  end;
-  let wallclock_wanted = only = None || only = Some "wallclock" in
+  let sections =
+    match only with
+    | None -> []
+    | Some s -> String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "")
+  in
+  (match only with
+  | None ->
+      run_figure8 ~full;
+      run_ablations ~full
+  | Some _ ->
+      List.iter
+        (fun id ->
+          if not (run_section id) then begin
+            Printf.eprintf "unknown --only section %S\n" id;
+            exit 2
+          end)
+        sections);
+  let wallclock_wanted = only = None || List.mem "wallclock" sections in
   if (not no_wallclock) && wallclock_wanted then wallclock ();
   Option.iter (write_json ~full) json_path
 
@@ -239,7 +254,9 @@ let only =
     value
     & opt (some string) None
     & info [ "only" ] ~docv:"BENCH"
-        ~doc:"Run only one section: figure8 (alias e1), ablations, e9..e15, wallclock.")
+        ~doc:
+          "Run only the given comma-separated sections: figure8 (alias e1), ablations, \
+           e9..e16, wallclock.  Example: --only e1,e16.")
 
 let json_path =
   Arg.(

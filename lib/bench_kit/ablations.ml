@@ -335,6 +335,100 @@ let systrace_overhead ?(calls = 1_000) ?(trials = 5) () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* E16: smodd session pooling (lib/pool)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* One module, so the per-module cap is the global cap; queue deep enough
+   that 64 steady-state clients never see EAGAIN. *)
+let pool_config =
+  {
+    Smod_pool.Smodd.default_config with
+    max_handles_per_module = 16;
+    max_total_handles = 16;
+    max_queue_depth = 128;
+  }
+
+(* Establishment latency, cold fork vs warm pooled attach.  The pooled
+   world gets exactly one handle so every timed session reuses it; the
+   warmup connect pays the one-off fork. *)
+let measure_start_session ~pooled ~sessions ~trials =
+  let samples =
+    Array.init trials (fun i ->
+        let pool =
+          if pooled then
+            Some { pool_config with max_handles_per_module = 1; max_total_handles = 1 }
+          else None
+        in
+        let world = World.create ~seed:(Int64.of_int (3000 + i)) ?pool ~with_rpc:false () in
+        let clock = Machine.clock world.World.machine in
+        let mean = ref 0.0 in
+        ignore
+          (Machine.spawn world.World.machine ~name:"pool-estab-client" (fun p ->
+               let credential = Credential.make ~principal:"client" () in
+               let connect () =
+                 Stub.connect world.World.smod p ~module_name:Smod_libc.Seclibc.module_name
+                   ~version:Smod_libc.Seclibc.version ~credential
+               in
+               Stub.close (connect ());
+               let total = ref 0.0 in
+               for _ = 1 to sessions do
+                 let t0 = Clock.now_cycles clock in
+                 let conn = connect () in
+                 total := !total +. Clock.elapsed_us clock ~since:t0;
+                 Stub.close conn
+               done;
+               mean := !total /. float_of_int sessions));
+        World.run world;
+        !mean)
+  in
+  {
+    label = (if pooled then "pooled attach (smodd, warm)" else "cold fork per session");
+    mean_us = Smod_util.Stats.mean samples;
+    stdev_us = Smod_util.Stats.stdev samples;
+  }
+
+(* Steady state: K clients each run a connect / calls / close lifetime;
+   kcalls/s over the whole run.  Beyond 16 clients smodd multiplexes the
+   population through the admission queue. *)
+let measure_throughput ~pooled ~k ~calls ~trials =
+  let samples =
+    Array.init trials (fun i ->
+        let pool = if pooled then Some pool_config else None in
+        let world =
+          World.create ~seed:(Int64.of_int (4000 + (17 * i))) ?pool ~with_rpc:false ()
+        in
+        let clock = Machine.clock world.World.machine in
+        for c = 0 to k - 1 do
+          World.spawn_seclibc_client world
+            ~name:(Printf.sprintf "pool-tp-%d" c)
+            (fun _p conn ->
+              for j = 1 to calls do
+                ignore (Smod_libc.Seclibc.Client.test_incr conn j)
+              done)
+        done;
+        World.run world;
+        float_of_int (k * calls) *. 1_000.0 /. Clock.now_us clock)
+  in
+  {
+    label = Printf.sprintf "%s %2d clients (kcalls/s)" (if pooled then "pooled" else "cold  ") k;
+    mean_us = Smod_util.Stats.mean samples;
+    stdev_us = Smod_util.Stats.stdev samples;
+  }
+
+let pooling ?(sessions = 20) ?(calls = 150) ?(clients = [ 1; 8; 64 ]) ?(trials = 3) () =
+  [
+    measure_start_session ~pooled:false ~sessions ~trials;
+    measure_start_session ~pooled:true ~sessions ~trials;
+  ]
+  @ List.concat_map
+      (fun k ->
+        [
+          measure_throughput ~pooled:false ~k ~calls ~trials;
+          measure_throughput ~pooled:true ~k ~calls ~trials;
+        ])
+      clients
+
+(* ------------------------------------------------------------------ *)
 (* E13 cost: TOCTOU mitigations (implementation)                       *)
 (* ------------------------------------------------------------------ *)
 

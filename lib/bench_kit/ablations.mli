@@ -45,4 +45,12 @@ val systrace_overhead : ?calls:int -> ?trials:int -> unit -> entry list
     cost bare versus under a systrace policy whose per-trap rule scan
     reaches the getpid rule last. *)
 
+val pooling :
+  ?sessions:int -> ?calls:int -> ?clients:int list -> ?trials:int -> unit -> entry list
+(** E16 — smodd session pooling (lib/pool): session-establishment
+    latency, cold fork-per-session versus warm pooled attach, then
+    steady-state throughput (the [(kcalls/s)] rows hold kilo-calls per
+    second, not microseconds) with 1 / 8 / 64 clients, cold versus
+    pooled. *)
+
 val render : title:string -> ?unit_header:string -> entry list -> string

@@ -8,13 +8,16 @@ type t = {
   transport : Smod_rpc.Transport.t;
   portmap : Smod_rpc.Portmap.t;
   rpc_port : int;
+  pool : Smod_pool.Smodd.t option;
 }
 
 let rpc_port = 2049
 
-let create ?seed ?jitter ?(protection = Registry.Encrypted) ?policy ?(with_rpc = true) () =
+let create ?seed ?jitter ?(protection = Registry.Encrypted) ?policy ?pool ?(with_rpc = true) ()
+    =
   let machine = Machine.create ?seed ?jitter () in
   let smod = Smod.install machine () in
+  let pool = Option.map (fun config -> Smod_pool.Smodd.install smod ~config ()) pool in
   let libc_entry = Smod_libc.Seclibc.install smod ~protection ?policy () in
   let transport = Smod_rpc.Transport.create machine in
   let portmap = Smod_rpc.Portmap.create () in
@@ -23,7 +26,7 @@ let create ?seed ?jitter ?(protection = Registry.Encrypted) ?policy ?(with_rpc =
       (Machine.spawn machine ~daemon:true ~name:"rpc.testincrd" (fun p ->
            Smod_rpc.Server.serve_forever transport portmap p ~port:rpc_port
              (Smod_rpc.Testincr.service ())));
-  { machine; smod; libc_entry; transport; portmap; rpc_port }
+  { machine; smod; libc_entry; transport; portmap; rpc_port; pool }
 
 let credential ?(principal = "client") _t = Credential.make ~principal ()
 

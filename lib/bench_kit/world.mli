@@ -9,6 +9,7 @@ type t = {
   transport : Smod_rpc.Transport.t;
   portmap : Smod_rpc.Portmap.t;
   rpc_port : int;
+  pool : Smod_pool.Smodd.t option;
 }
 
 val create :
@@ -16,10 +17,13 @@ val create :
   ?jitter:float ->
   ?protection:Secmodule.Registry.protection ->
   ?policy:Secmodule.Policy.t ->
+  ?pool:Smod_pool.Smodd.config ->
   ?with_rpc:bool ->
   unit ->
   t
-(** Spawns the RPC daemon unless [with_rpc] is false. *)
+(** Spawns the RPC daemon unless [with_rpc] is false.  [pool] installs
+    the smodd service layer with the given configuration before any
+    module registration (sessions then attach to pooled handles). *)
 
 val credential : ?principal:string -> t -> Secmodule.Credential.t
 (** An unsigned credential naming [principal] (default "client"). *)

@@ -581,6 +581,16 @@ let msgrcv t (p : Proc.t) ~qid ~mtype =
 let msgq_depth t ~qid =
   match Hashtbl.find_opt t.msgqs qid with Some q -> List.length q.messages | None -> 0
 
+let msgq_flush t ~qid =
+  let q = msgq_exn t qid in
+  let dropped = List.length q.messages in
+  q.messages <- [];
+  q.cur_bytes <- 0;
+  let senders = q.wait_send in
+  q.wait_send <- [];
+  List.iter (wakeup t) senders;
+  dropped
+
 let msgctl_remove t _p ~qid =
   let q = msgq_exn t qid in
   q.removed <- true;

@@ -137,6 +137,13 @@ val msgrcv : t -> Proc.t -> qid:int -> mtype:int -> int * bytes
 
 val msgctl_remove : t -> Proc.t -> qid:int -> unit
 
+val msgq_flush : t -> qid:int -> int
+(** Discard every pending message and wake blocked senders, keeping the
+    queue itself alive.  Used when a pooled handle is recycled between
+    tenants so no stale request or reply can leak across sessions.
+    Returns the number of messages dropped (kernel bookkeeping; the
+    recycle cost is charged by the caller). *)
+
 val msgq_depth : t -> qid:int -> int
 (** Messages currently queued (introspection; no charge). *)
 

@@ -3,6 +3,7 @@ type wait_reason =
   | Msgq_full of int
   | Wait_child
   | Suspended
+  | Pool_park of int
   | Custom of string
 
 type exit_status = Exited of int | Signaled of int
@@ -19,6 +20,7 @@ let pp_wait_reason ppf = function
   | Msgq_full q -> Format.fprintf ppf "msgq-full(%d)" q
   | Wait_child -> Format.pp_print_string ppf "wait-child"
   | Suspended -> Format.pp_print_string ppf "suspended"
+  | Pool_park m -> Format.fprintf ppf "pool-park(module %d)" m
   | Custom s -> Format.fprintf ppf "custom(%s)" s
 
 let pp_exit_status ppf = function

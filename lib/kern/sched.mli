@@ -11,6 +11,10 @@ type wait_reason =
   | Msgq_full of int  (** blocked in [msgsnd] on a full queue *)
   | Wait_child
   | Suspended  (** forcibly dequeued (TOCTOU mitigation 2, §4.4) *)
+  | Pool_park of int
+      (** a reusable pooled handle parked between tenants, waiting for the
+          smodd service layer (lib/pool) to attach the next session to the
+          module with this id *)
   | Custom of string
 
 type exit_status = Exited of int | Signaled of int

@@ -1,8 +1,19 @@
-type t = { secrets : (string, string) Hashtbl.t }
+type t = {
+  secrets : (string, string) Hashtbl.t;
+  mutable generation : int;
+  mutable change_hooks : (unit -> unit) list;
+}
 
-let create () = { secrets = Hashtbl.create 16 }
-let add_principal t ~name ~secret = Hashtbl.replace t.secrets name secret
+let create () = { secrets = Hashtbl.create 16; generation = 0; change_hooks = [] }
+
+let add_principal t ~name ~secret =
+  Hashtbl.replace t.secrets name secret;
+  t.generation <- t.generation + 1;
+  List.iter (fun hook -> hook ()) t.change_hooks
+
 let has_principal t name = Hashtbl.mem t.secrets name
+let generation t = t.generation
+let on_change t hook = t.change_hooks <- hook :: t.change_hooks
 
 let sign t (a : Ast.assertion) =
   match Hashtbl.find_opt t.secrets a.authorizer with

@@ -13,6 +13,15 @@ val create : unit -> t
 val add_principal : t -> name:string -> secret:string -> unit
 val has_principal : t -> string -> bool
 
+val generation : t -> int
+(** Bumped every time the key material changes.  Cached policy decisions
+    derived from credential signatures are only valid for the generation
+    they were computed under. *)
+
+val on_change : t -> (unit -> unit) -> unit
+(** Register a hook fired after every key-material change.  smodd
+    (lib/pool) uses this to flush its policy-decision cache. *)
+
 val sign : t -> Ast.assertion -> Ast.assertion
 (** Fills in the signature field.  Raises [Not_found] if the authorizer
     has no key registered. *)

@@ -1,0 +1,470 @@
+module Smod = Secmodule.Smod
+module Registry = Secmodule.Registry
+module Machine = Smod_kern.Machine
+module Proc = Smod_kern.Proc
+module Errno = Smod_kern.Errno
+module Sched = Smod_kern.Sched
+module Clock = Smod_sim.Clock
+module Smof = Smod_modfmt.Smof
+module Keystore = Smod_keynote.Keystore
+
+(* pool.hit / pool.miss are the pair the tests pin exactly: hit = the
+   session landed on an already-forked handle, miss = a fresh fork was
+   needed.  hit + miss = attached sessions that went through the pool. *)
+let m_scope = Smod_metrics.scope "pool"
+let m_hit = Smod_metrics.Scope.counter m_scope "hit"
+let m_miss = Smod_metrics.Scope.counter m_scope "miss"
+let m_attaches = Smod_metrics.Scope.counter m_scope "attaches"
+let m_parks = Smod_metrics.Scope.counter m_scope "parks"
+let m_spawns = Smod_metrics.Scope.counter m_scope "spawns"
+let m_deaths = Smod_metrics.Scope.counter m_scope "deaths"
+let m_reclaims = Smod_metrics.Scope.counter m_scope "reclaims"
+let m_rejects = Smod_metrics.Scope.counter m_scope "rejects"
+let m_waits = Smod_metrics.Scope.counter m_scope "waits"
+let m_cancelled = Smod_metrics.Scope.counter m_scope "cancelled"
+
+let m_wait_us =
+  Smod_metrics.Scope.histogram
+    ~edges:[| 10.; 50.; 100.; 500.; 1_000.; 5_000.; 10_000.; 50_000. |]
+    m_scope "attach_wait_us"
+
+type overflow = Reject | Wait
+
+type config = {
+  max_handles_per_module : int;
+  max_total_handles : int;
+  max_queue_depth : int;
+  overflow : overflow;
+  cache_enabled : bool;
+  cache_ttl_us : float;
+  cache_capacity : int;
+}
+
+let default_config =
+  {
+    max_handles_per_module = 4;
+    max_total_handles = 16;
+    max_queue_depth = 64;
+    overflow = Wait;
+    cache_enabled = true;
+    cache_ttl_us = 1_000_000.0;
+    cache_capacity = 1024;
+  }
+
+type waiter = {
+  w_pid : int;
+  mutable w_granted : Smod.pooled_handle option;
+  mutable w_cancelled : bool;
+}
+
+type mod_pool = {
+  mp_entry : Registry.entry;
+  mutable mp_free : Smod.pooled_handle list;
+  mutable mp_handles : int;  (* live handles: parked + reserved + busy *)
+  mp_waiters : waiter Queue.t;  (* FIFO; may hold cancelled entries *)
+  mutable mp_spawned : int;
+  mutable mp_retired : int;
+}
+
+type t = {
+  smod : Smod.t;
+  machine : Machine.t;
+  cfg : config;
+  pools : (int, mod_pool) Hashtbl.t;  (* m_id -> pool *)
+  members : (int, mod_pool * Smod.pooled_handle) Hashtbl.t;
+      (* handle pid -> owner.  Source of truth for capacity accounting:
+         retire paths unaccount synchronously, the exit hook unaccounts
+         lazily, and whichever runs second finds the pid gone. *)
+  mutable total_handles : int;
+  mutable total_waiters : int;  (* live (non-cancelled) queued clients *)
+  cache : Policy_cache.t option;
+  cred_digests : (int, string) Hashtbl.t;  (* sid -> credential digest *)
+}
+
+let config t = t.cfg
+
+let pool_for t (entry : Registry.entry) =
+  match Hashtbl.find_opt t.pools entry.Registry.m_id with
+  | Some mp -> mp
+  | None ->
+      let mp =
+        {
+          mp_entry = entry;
+          mp_free = [];
+          mp_handles = 0;
+          mp_waiters = Queue.create ();
+          mp_spawned = 0;
+          mp_retired = 0;
+        }
+      in
+      Hashtbl.replace t.pools entry.Registry.m_id mp;
+      mp
+
+let live_waiters mp = Queue.fold (fun n w -> if w.w_cancelled then n else n + 1) 0 mp.mp_waiters
+
+let rec take_waiter mp =
+  match Queue.take_opt mp.mp_waiters with
+  | None -> None
+  | Some w when w.w_cancelled -> take_waiter mp  (* already uncounted at cancel *)
+  | Some w -> Some w
+
+(* Drop a handle from the capacity books.  Returns false if some other
+   path (synchronous retire vs the deferred exit hook) got there first. *)
+let unaccount t ph =
+  let pid = Smod.pooled_handle_pid ph in
+  match Hashtbl.find_opt t.members pid with
+  | None -> false
+  | Some (mp, _) ->
+      Hashtbl.remove t.members pid;
+      mp.mp_handles <- mp.mp_handles - 1;
+      mp.mp_retired <- mp.mp_retired + 1;
+      mp.mp_free <- List.filter (fun h -> h != ph) mp.mp_free;
+      t.total_handles <- t.total_handles - 1;
+      true
+
+let grant t w ph =
+  Smod.reserve_pooled_handle ph;
+  w.w_granted <- Some ph;
+  t.total_waiters <- t.total_waiters - 1;
+  Machine.wakeup t.machine w.w_pid
+
+let rec spawn_for t mp =
+  let ph =
+    Smod.spawn_pooled_handle t.smod ~entry:mp.mp_entry
+      ~on_park:(fun ph -> handle_parked t ph)
+      ~on_death:(fun ph -> handle_died t ph)
+  in
+  Hashtbl.replace t.members (Smod.pooled_handle_pid ph) (mp, ph);
+  mp.mp_handles <- mp.mp_handles + 1;
+  mp.mp_spawned <- mp.mp_spawned + 1;
+  t.total_handles <- t.total_handles + 1;
+  Smod_metrics.Counter.incr m_spawns;
+  ph
+
+(* Handle context, each time a pooled handle frees up: hand it straight
+   to the oldest queued client for its module, else park it. *)
+and handle_parked t ph =
+  Smod_metrics.Counter.incr m_parks;
+  match Hashtbl.find_opt t.pools (Smod.pooled_handle_entry ph).Registry.m_id with
+  | None -> ()  (* module removed; retire already queued for us *)
+  | Some mp -> (
+      match take_waiter mp with
+      | Some w ->
+          Smod_metrics.Counter.incr m_hit;
+          grant t w ph
+      | None -> mp.mp_free <- ph :: mp.mp_free)
+
+and handle_died t ph =
+  if unaccount t ph then begin
+    Smod_metrics.Counter.incr m_deaths;
+    pump t
+  end
+
+(* Freed capacity goes to queued clients, least-served module first —
+   the per-module fairness half of the admission queue (FIFO within a
+   module via take_waiter). *)
+and pump t =
+  let progress = ref true in
+  while !progress && t.total_handles < t.cfg.max_total_handles do
+    progress := false;
+    let best =
+      Hashtbl.fold
+        (fun _ mp acc ->
+          if live_waiters mp = 0 || mp.mp_handles >= t.cfg.max_handles_per_module then acc
+          else
+            match acc with
+            | Some b
+              when (b.mp_handles, b.mp_entry.Registry.m_id)
+                   <= (mp.mp_handles, mp.mp_entry.Registry.m_id) ->
+                acc
+            | _ -> Some mp)
+        t.pools None
+    in
+    match best with
+    | None -> ()
+    | Some mp -> (
+        match take_waiter mp with
+        | None -> ()
+        | Some w ->
+            Smod_metrics.Counter.incr m_miss;
+            grant t w (spawn_for t mp);
+            progress := true)
+  done
+
+(* Steal global capacity back from another module's idle handle (the
+   donor with the most parked handles).  The retire is synchronous on
+   the books even though the kill lands at the victim's next dispatch. *)
+let reclaim_idle t ~for_m_id =
+  let donor =
+    Hashtbl.fold
+      (fun m_id mp acc ->
+        if m_id = for_m_id || mp.mp_free = [] then acc
+        else
+          match acc with
+          | Some b when List.length b.mp_free >= List.length mp.mp_free -> acc
+          | _ -> Some mp)
+      t.pools None
+  in
+  match donor with
+  | None -> false
+  | Some mp -> (
+      match mp.mp_free with
+      | [] -> false
+      | ph :: _ ->
+          ignore (unaccount t ph);
+          Smod.retire_pooled_handle t.smod ph;
+          Smod_metrics.Counter.incr m_reclaims;
+          true)
+
+let saturated_error t =
+  match t.cfg.overflow with
+  | Reject ->
+      Smod_metrics.Counter.incr m_rejects;
+      Errno.raise_errno Errno.EAGAIN "smodd: handle pool saturated"
+  | Wait ->
+      Smod_metrics.Counter.incr m_rejects;
+      Errno.raise_errno Errno.EAGAIN "smodd: admission queue full"
+
+(* The session broker: runs in client context inside sys_start_session,
+   after the kernel validated the descriptor, credential and
+   establishment policy. *)
+let acquire t (p : Proc.t) (entry : Registry.entry) =
+  let mp = pool_for t entry in
+  match mp.mp_free with
+  | ph :: rest ->
+      mp.mp_free <- rest;
+      Smod.reserve_pooled_handle ph;
+      Smod_metrics.Counter.incr m_hit;
+      ph
+  | [] ->
+      if mp.mp_handles >= t.cfg.max_handles_per_module then
+        (match t.cfg.overflow with Reject -> saturated_error t | Wait -> ())
+      else if t.total_handles >= t.cfg.max_total_handles then
+        (* At the global cap but under the per-module one: try to evict
+           an idle handle parked under some other module. *)
+        if not (reclaim_idle t ~for_m_id:entry.Registry.m_id) then
+          match t.cfg.overflow with Reject -> saturated_error t | Wait -> ()
+        else ();
+      if mp.mp_handles < t.cfg.max_handles_per_module && t.total_handles < t.cfg.max_total_handles
+      then begin
+        Smod_metrics.Counter.incr m_miss;
+        let ph = spawn_for t mp in
+        Smod.reserve_pooled_handle ph;
+        ph
+      end
+      else begin
+        (* overflow = Wait: join the admission queue *)
+        if t.total_waiters >= t.cfg.max_queue_depth then saturated_error t;
+        let w = { w_pid = p.Proc.pid; w_granted = None; w_cancelled = false } in
+        Queue.add w mp.mp_waiters;
+        t.total_waiters <- t.total_waiters + 1;
+        Smod_metrics.Counter.incr m_waits;
+        while w.w_granted = None && not w.w_cancelled do
+          Effect.perform (Sched.Block (Sched.Custom "smodd-admission"))
+        done;
+        match w.w_granted with
+        | Some ph when not (Smod.pooled_handle_dead ph) -> ph
+        | _ ->
+            (* Module removed while queued, or granted a handle that was
+               retired before we ran again. *)
+            Errno.raise_errno Errno.ENOENT "smodd: module removed while queued"
+      end
+
+let broker t p entry credential =
+  let clock = Machine.clock t.machine in
+  let t0 = Clock.now_us clock in
+  let ph = acquire t p entry in
+  Smod_metrics.Histogram.observe m_wait_us (Clock.now_us clock -. t0);
+  let sid = Smod.attach_pooled t.smod p ph ~credential in
+  Smod_metrics.Counter.incr m_attaches;
+  if t.cache <> None then begin
+    if Hashtbl.length t.cred_digests > 8192 then Hashtbl.reset t.cred_digests;
+    Hashtbl.replace t.cred_digests sid (Policy_cache.credential_digest credential)
+  end;
+  Some sid
+
+(* sys_smod_remove: every handle of the module dies (parked ones now,
+   busy ones as soon as their — already detached — session unwinds),
+   queued clients fail with ENOENT, and the module's cached decisions
+   are dropped. *)
+let on_module_remove t ~m_id =
+  (match t.cache with Some c -> ignore (Policy_cache.invalidate_module c ~m_id) | None -> ());
+  match Hashtbl.find_opt t.pools m_id with
+  | None -> ()
+  | Some mp ->
+      Hashtbl.remove t.pools m_id;
+      let victims =
+        Hashtbl.fold (fun _ (mp', ph) acc -> if mp' == mp then ph :: acc else acc) t.members []
+      in
+      List.iter
+        (fun ph ->
+          ignore (unaccount t ph);
+          Smod.retire_pooled_handle t.smod ph)
+        victims;
+      Queue.iter
+        (fun w ->
+          if (not w.w_cancelled) && w.w_granted = None then begin
+            w.w_cancelled <- true;
+            t.total_waiters <- t.total_waiters - 1;
+            Smod_metrics.Counter.incr m_cancelled;
+            Machine.wakeup t.machine w.w_pid
+          end)
+        mp.mp_waiters;
+      Queue.clear mp.mp_waiters;
+      pump t
+
+(* Map the kernel-side cache hooks onto the cache proper.  The digest is
+   memoised per session: the credential bytes were already hashed during
+   signature verification at establishment, so the probe itself is the
+   only per-call cost. *)
+let digest_for t (session : Smod.session) =
+  match Hashtbl.find_opt t.cred_digests session.Smod.sid with
+  | Some d -> d
+  | None ->
+      let d = Policy_cache.credential_digest session.Smod.credential in
+      if Hashtbl.length t.cred_digests > 8192 then Hashtbl.reset t.cred_digests;
+      Hashtbl.replace t.cred_digests session.Smod.sid d;
+      d
+
+let cache_hooks t cache =
+  let keystore_gen () = Keystore.generation (Smod.keystore t.smod) in
+  {
+    Smod.cache_lookup =
+      (fun session ~func_name ->
+        match
+          Policy_cache.lookup cache ~cred_digest:(digest_for t session) ~func_name
+            ~m_id:session.Smod.m_id ~policy_rev:session.Smod.entry.Registry.policy_rev
+            ~keystore_gen:(keystore_gen ())
+        with
+        | Some Policy_cache.Allow -> Some Smod.Cache_allow
+        | Some (Policy_cache.Deny reason) -> Some (Smod.Cache_deny reason)
+        | None -> None);
+    Smod.cache_store =
+      (fun session ~func_name decision ->
+        let decision =
+          match decision with
+          | Smod.Cache_allow -> Policy_cache.Allow
+          | Smod.Cache_deny reason -> Policy_cache.Deny reason
+        in
+        Policy_cache.store cache ~cred_digest:(digest_for t session) ~func_name
+          ~m_id:session.Smod.m_id ~policy_rev:session.Smod.entry.Registry.policy_rev
+          ~keystore_gen:(keystore_gen ()) decision);
+  }
+
+let install smod ?(config = default_config) () =
+  let machine = Smod.machine smod in
+  let cache =
+    if config.cache_enabled then
+      Some
+        (Policy_cache.create ~clock:(Machine.clock machine) ~ttl_us:config.cache_ttl_us
+           ~capacity:config.cache_capacity)
+    else None
+  in
+  let t =
+    {
+      smod;
+      machine;
+      cfg = config;
+      pools = Hashtbl.create 8;
+      members = Hashtbl.create 32;
+      total_handles = 0;
+      total_waiters = 0;
+      cache;
+      cred_digests = Hashtbl.create 64;
+    }
+  in
+  Smod.set_session_broker smod (Some (fun p entry credential -> broker t p entry credential));
+  (match cache with
+   | Some c ->
+       Smod.set_policy_cache smod (Some (cache_hooks t c));
+       (* Generation is in the key, so a keystore change already misses;
+          the flush additionally reclaims the dead entries' space. *)
+       Keystore.on_change (Smod.keystore smod) (fun () -> ignore (Policy_cache.flush c))
+   | None -> ());
+  Smod.add_module_remove_hook smod (fun ~m_id -> on_module_remove t ~m_id);
+  t
+
+let uninstall t =
+  Smod.set_session_broker t.smod None;
+  Smod.set_policy_cache t.smod None;
+  let victims = Hashtbl.fold (fun _ (_, ph) acc -> ph :: acc) t.members [] in
+  List.iter
+    (fun ph ->
+      ignore (unaccount t ph);
+      Smod.retire_pooled_handle t.smod ph)
+    victims;
+  (match t.cache with Some c -> ignore (Policy_cache.flush c) | None -> ());
+  Hashtbl.reset t.cred_digests
+
+type module_status = {
+  ms_m_id : int;
+  ms_module : string;
+  ms_handles : int;
+  ms_parked : int;
+  ms_busy : int;
+  ms_waiters : int;
+  ms_spawned : int;
+  ms_retired : int;
+  ms_tenants : int;
+}
+
+type status = {
+  st_modules : module_status list;
+  st_total_handles : int;
+  st_total_waiters : int;
+  st_cache_size : int option;
+  st_cache_capacity : int option;
+}
+
+let status t =
+  let modules =
+    Hashtbl.fold
+      (fun m_id mp acc ->
+        let parked = List.length mp.mp_free in
+        let tenants =
+          Hashtbl.fold
+            (fun _ (mp', ph) n -> if mp' == mp then n + Smod.pooled_handle_tenants ph else n)
+            t.members 0
+        in
+        {
+          ms_m_id = m_id;
+          ms_module = mp.mp_entry.Registry.image.Smof.mod_name;
+          ms_handles = mp.mp_handles;
+          ms_parked = parked;
+          ms_busy = mp.mp_handles - parked;
+          ms_waiters = live_waiters mp;
+          ms_spawned = mp.mp_spawned;
+          ms_retired = mp.mp_retired;
+          ms_tenants = tenants;
+        }
+        :: acc)
+      t.pools []
+    |> List.sort (fun a b -> compare a.ms_m_id b.ms_m_id)
+  in
+  {
+    st_modules = modules;
+    st_total_handles = t.total_handles;
+    st_total_waiters = t.total_waiters;
+    st_cache_size = Option.map Policy_cache.size t.cache;
+    st_cache_capacity = Option.map Policy_cache.capacity t.cache;
+  }
+
+let render_status t =
+  let st = status t in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "  mid  module            handles parked busy waiters spawned retired tenants\n";
+  List.iter
+    (fun ms ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %3d  %-16s %7d %6d %4d %7d %7d %7d %7d\n" ms.ms_m_id ms.ms_module
+           ms.ms_handles ms.ms_parked ms.ms_busy ms.ms_waiters ms.ms_spawned ms.ms_retired
+           ms.ms_tenants))
+    st.st_modules;
+  Buffer.add_string buf
+    (Printf.sprintf "  total: %d handle(s), %d waiter(s)" st.st_total_handles st.st_total_waiters);
+  (match (st.st_cache_size, st.st_cache_capacity) with
+  | Some size, Some cap ->
+      Buffer.add_string buf (Printf.sprintf "; policy cache %d/%d entries" size cap)
+  | _ -> Buffer.add_string buf "; policy cache disabled");
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

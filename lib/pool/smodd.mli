@@ -1,0 +1,81 @@
+(** smodd — the session-multiplexing service layer.
+
+    The paper's [sys_smod_start_session] forcibly forks a fresh handle
+    per client (§4, Figure 8 row 5): the fork, module-image installation
+    (and AES decryption under the Encrypted protection) dominate session
+    establishment.  smodd replaces that with a bounded pool of pre-forked
+    reusable handles per module: a client's start_session attaches to a
+    parked handle (re-running [force_share] against the new client — the
+    safety-relevant part — while the fork and image work were paid once,
+    off-path), and detach returns the handle to the pool after it scrubs
+    its secret segment.
+
+    Admission is a bounded FIFO queue with per-module fairness: when the
+    pool is saturated, [Reject] fails start_session with EAGAIN while
+    [Wait] parks the client until a handle frees up; freed capacity goes
+    to the least-served module with queued waiters.  A saturated pool may
+    also reclaim an idle handle parked under a different module.
+
+    A policy-decision cache (see {!Policy_cache}) memoises cacheable
+    per-call verdicts, replacing the per-call credential check and policy
+    walk with one probe.
+
+    Installing smodd changes no client-visible semantics: the stub API,
+    handshake, per-call dispatch, and every policy outcome are identical
+    — only the latency profile moves. *)
+
+type overflow =
+  | Reject  (** saturated pool fails [start_session] with EAGAIN *)
+  | Wait  (** block the client in the admission queue (FIFO, fair) *)
+
+type config = {
+  max_handles_per_module : int;
+  max_total_handles : int;
+  max_queue_depth : int;  (** queued clients across all modules *)
+  overflow : overflow;
+  cache_enabled : bool;
+  cache_ttl_us : float;  (** simulated; non-positive = no expiry *)
+  cache_capacity : int;
+}
+
+val default_config : config
+(** 4 handles/module, 16 total, queue depth 64, [Wait], cache on
+    (1 s TTL, 1024 entries). *)
+
+type t
+
+val install : Secmodule.Smod.t -> ?config:config -> unit -> t
+(** Register smodd on the subsystem: session broker, policy cache and
+    module-removal hook.  At most one smodd per subsystem. *)
+
+val uninstall : t -> unit
+(** Deregister the hooks and retire every pooled handle. *)
+
+val config : t -> config
+
+(** {1 Introspection (smodctl pool status, tests)} *)
+
+type module_status = {
+  ms_m_id : int;
+  ms_module : string;
+  ms_handles : int;  (** live handles (parked + busy) *)
+  ms_parked : int;
+  ms_busy : int;
+  ms_waiters : int;  (** clients queued for this module *)
+  ms_spawned : int;  (** handles ever forked for this module *)
+  ms_retired : int;
+  ms_tenants : int;  (** sessions served by the live handles *)
+}
+
+type status = {
+  st_modules : module_status list;  (** sorted by m_id *)
+  st_total_handles : int;
+  st_total_waiters : int;
+  st_cache_size : int option;  (** [None] when the cache is disabled *)
+  st_cache_capacity : int option;
+}
+
+val status : t -> status
+val render_status : t -> string
+(** Table form, one row per module plus totals — what
+    [smodctl pool status] prints. *)

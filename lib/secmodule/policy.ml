@@ -42,6 +42,36 @@ let rec describe = function
 
 let deny policy reason = Error { reason; policy }
 
+(* Cacheability for the smodd policy-decision cache (lib/pool).  A decision
+   may be reused across calls only when it is a pure function of
+   (credential, module, function, policy revision): no per-session mutable
+   state, no clock dependence, and no condition guard that reads an action
+   attribute that varies call to call. *)
+let volatile_attrs = [ "calls_so_far" ]
+
+let rec term_volatile = function
+  | Smod_keynote.Ast.Attr name -> List.mem name volatile_attrs
+  | Smod_keynote.Ast.Str _ | Smod_keynote.Ast.Int _ -> false
+
+and expr_volatile = function
+  | Smod_keynote.Ast.True | Smod_keynote.Ast.False -> false
+  | Smod_keynote.Ast.Cmp (a, _, b) -> term_volatile a || term_volatile b
+  | Smod_keynote.Ast.Not e -> expr_volatile e
+  | Smod_keynote.Ast.And (a, b) | Smod_keynote.Ast.Or (a, b) ->
+      expr_volatile a || expr_volatile b
+
+let assertion_volatile (a : Smod_keynote.Ast.assertion) =
+  List.exists (fun (c : Smod_keynote.Ast.clause) -> expr_volatile c.guard) a.conditions
+
+let rec cacheable = function
+  | Always_allow | Session_lifetime -> true
+  | Call_quota _ | Rate_limit _ | Time_window _ -> false
+  | Keynote { policy; _ } -> not (List.exists assertion_volatile policy)
+  | All_of ps -> List.for_all cacheable ps
+
+let credential_cacheable (c : Credential.t) =
+  not (List.exists assertion_volatile c.Credential.assertions)
+
 (* Observability (lib/metrics): per-call policy evaluation volume and
    outcome, matching the paper's "access control check per call" step. *)
 let m_scope = Smod_metrics.scope "secmodule"

@@ -8,7 +8,8 @@ type entry = {
   m_id : int;
   image : Smof.t;
   protection : protection;
-  policy : Policy.t;
+  mutable policy : Policy.t;
+  mutable policy_rev : int;
   admin_principal : string;
   mutable kernel_key : string option;
   mutable kernel_nonce : bytes option;
@@ -44,6 +45,7 @@ let add t ~image ~protection ~policy ~admin_principal ?kernel_key ?kernel_nonce 
       image;
       protection;
       policy;
+      policy_rev = 1;
       admin_principal;
       kernel_key;
       kernel_nonce;
@@ -81,6 +83,10 @@ let func_id e name =
 
 let symbol_of_func_id e id =
   if id >= 0 && id < Array.length e.functions then Some e.functions.(id) else None
+
+let set_policy e policy =
+  e.policy <- policy;
+  e.policy_rev <- e.policy_rev + 1
 
 let bind_native e ~name fn = Hashtbl.replace e.natives name fn
 let native e name = Hashtbl.find_opt e.natives name

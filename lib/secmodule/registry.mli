@@ -19,7 +19,10 @@ type entry = {
   m_id : int;
   image : Smod_modfmt.Smof.t;
   protection : protection;
-  policy : Policy.t;
+  mutable policy : Policy.t;  (** swap with {!set_policy}, never directly *)
+  mutable policy_rev : int;
+      (** revision counter keying cached policy decisions (lib/pool);
+          bumped by {!set_policy} *)
   admin_principal : string;  (** who may [sys_smod_remove] this module *)
   mutable kernel_key : string option;
   mutable kernel_nonce : bytes option;
@@ -55,6 +58,10 @@ val entries : t -> entry list
 val plaintext_image : entry -> Smod_modfmt.Smof.t
 (** Decrypts with the kernel-held key when the entry is [Encrypted]
     (raises {!Smod_modfmt.Smof.Malformed} if the key is wrong). *)
+
+val set_policy : entry -> Policy.t -> unit
+(** Replace the module's access policy and bump [policy_rev] so stale
+    cached decisions can never be served against the new policy. *)
 
 val func_id : entry -> string -> int option
 val symbol_of_func_id : entry -> int -> Smod_modfmt.Smof.symbol option

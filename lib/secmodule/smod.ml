@@ -35,6 +35,32 @@ type session = {
   mutable faulted_calls : int;
   mutable handle_exec_us : float;
   mutable client_waiting_handshake : bool;
+  pooled : bool;
+}
+
+(* A reusable handle co-process managed by the smodd service layer
+   (lib/pool): it outlives any single session, parking between tenants
+   instead of dying with its client. *)
+type pooled_handle = {
+  ph_entry : Registry.entry;
+  mutable ph_pid : int;
+  ph_req_qid : int;
+  ph_rep_qid : int;
+  ph_aspace : Aspace.t;
+  mutable ph_session : session option;
+  mutable ph_dead : bool;
+  mutable ph_reserved : bool;
+      (** claimed for a specific incoming client; skip the park callback *)
+  mutable ph_tenants : int;
+  ph_on_park : pooled_handle -> unit;
+  ph_on_death : pooled_handle -> unit;
+}
+
+type cached_decision = Cache_allow | Cache_deny of string
+
+type policy_cache_hooks = {
+  cache_lookup : session -> func_name:string -> cached_decision option;
+  cache_store : session -> func_name:string -> cached_decision -> unit;
 }
 
 type t = {
@@ -43,9 +69,14 @@ type t = {
   keystore : Keystore.t;
   sessions_by_client : (int, session) Hashtbl.t;
   sessions_by_handle : (int, session) Hashtbl.t;
+  pooled_handles_by_pid : (int, pooled_handle) Hashtbl.t;
   mutable next_sid : int;
+  mutable next_pool_serial : int;
   mutable toctou : toctou_mitigation;
   mutable fast_path : bool;
+  mutable broker : (Smod_kern.Proc.t -> Registry.entry -> Credential.t -> int option) option;
+  mutable policy_cache : policy_cache_hooks option;
+  mutable remove_hooks : (m_id:int -> unit) list;
 }
 
 exception Access_denied of string
@@ -58,6 +89,8 @@ let m_calls = Smod_metrics.Scope.counter m_scope "calls"
 let m_calls_denied = Smod_metrics.Scope.counter m_scope "calls_denied"
 let m_sessions_started = Smod_metrics.Scope.counter m_scope "sessions_started"
 let m_sessions_detached = Smod_metrics.Scope.counter m_scope "sessions_detached"
+let m_handle_scrubs = Smod_metrics.Scope.counter m_scope "handle_scrubs"
+let m_scrub_bytes = Smod_metrics.Scope.counter m_scope "scrub_bytes"
 
 let m_call_us =
   Smod_metrics.Scope.histogram m_scope "call_us"
@@ -110,6 +143,11 @@ let bind_native t ~m_id ~name fn =
 (* Session teardown                                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* Requests travel as mtype 1; a detach control message for a pooled
+   handle as mtype 2.  The handle drains its queue in arrival order, so an
+   in-flight request is always served before the detach is honoured. *)
+let pool_detach_mtype = 2
+
 let detach_session t session =
   if not session.detached then begin
     session.detached <- true;
@@ -119,30 +157,65 @@ let detach_session t session =
       session.sid session.entry.Registry.image.Smof.mod_name;
     Hashtbl.remove t.sessions_by_client session.client_pid;
     Hashtbl.remove t.sessions_by_handle session.handle_pid;
-    (* Remove the pair's queues: a client blocked mid-call wakes with
-       EIDRM instead of hanging on a dead handle. *)
-    (match
-       List.find_opt
-         (fun pid -> Machine.proc t.machine pid <> None)
-         [ session.client_pid; session.handle_pid ]
-     with
-    | Some pid ->
-        let p = Machine.proc_exn t.machine pid in
-        (try Machine.msgctl_remove t.machine p ~qid:session.req_qid with Errno.Error _ -> ());
-        (try Machine.msgctl_remove t.machine p ~qid:session.rep_qid with Errno.Error _ -> ())
-    | None -> ());
-    (* Break the VM pairing first so future faults no longer share. *)
-    (match Machine.proc t.machine session.client_pid with
-    | Some client ->
-        Aspace.set_peer client.Proc.aspace None;
-        client.Proc.role <- Proc.Standalone
-    | None -> ());
-    (match Machine.proc t.machine session.handle_pid with
-    | Some handle ->
-        Aspace.set_peer handle.Proc.aspace None;
-        (try Machine.kill t.machine ~pid:session.handle_pid ~signal:Signal.sigkill
-         with Errno.Error _ -> ())
-    | None -> ())
+    if session.pooled then begin
+      (* Break the client half of the pairing; the handle unshares and
+         scrubs itself on the way back to the pool, so its queues and
+         process survive for the next tenant. *)
+      (match Machine.proc t.machine session.client_pid with
+      | Some client ->
+          Aspace.set_peer client.Proc.aspace None;
+          client.Proc.role <- Proc.Standalone
+      | None -> ());
+      let handle_live =
+        match Machine.proc t.machine session.handle_pid with
+        | Some h -> not (Proc.is_zombie h)
+        | None -> false
+      in
+      match Hashtbl.find_opt t.pooled_handles_by_pid session.handle_pid with
+      | Some ph when (not ph.ph_dead) && handle_live ->
+          (* msgsnd needs a process context; the client may already be a
+             zombie (exit-hook detach), in which case the handle itself —
+             blocked in msgrcv on this very queue — serves as sender. *)
+          let sender =
+            match Machine.proc t.machine session.client_pid with
+            | Some c when not (Proc.is_zombie c) -> c
+            | Some _ | None -> Machine.proc_exn t.machine session.handle_pid
+          in
+          (try
+             Machine.msgsnd t.machine sender ~qid:session.req_qid ~mtype:pool_detach_mtype
+               (Bytes.create 0)
+           with Errno.Error _ -> ())
+      | Some _ | None ->
+          (* Handle already dead or dying: its exit hook removes the
+             queues and reports the death to smodd. *)
+          ()
+    end
+    else begin
+      (* Remove the pair's queues: a client blocked mid-call wakes with
+         EIDRM instead of hanging on a dead handle. *)
+      (match
+         List.find_opt
+           (fun pid -> Machine.proc t.machine pid <> None)
+           [ session.client_pid; session.handle_pid ]
+       with
+      | Some pid ->
+          let p = Machine.proc_exn t.machine pid in
+          (try Machine.msgctl_remove t.machine p ~qid:session.req_qid with Errno.Error _ -> ());
+          (try Machine.msgctl_remove t.machine p ~qid:session.rep_qid with Errno.Error _ -> ())
+      | None -> ());
+      (* Break the VM pairing first so future faults no longer share. *)
+      (match Machine.proc t.machine session.client_pid with
+      | Some client ->
+          Aspace.set_peer client.Proc.aspace None;
+          client.Proc.role <- Proc.Standalone
+      | None -> ());
+      (match Machine.proc t.machine session.handle_pid with
+      | Some handle ->
+          Aspace.set_peer handle.Proc.aspace None;
+          (try Machine.kill t.machine ~pid:session.handle_pid ~signal:Signal.sigkill
+           with Errno.Error _ -> ())
+      | None -> ())
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -236,6 +309,68 @@ let handle_main t session (handle : Proc.t) =
   serve ()
 
 (* ------------------------------------------------------------------ *)
+(* Pooled handles (the smodd service layer, lib/pool)                  *)
+(* ------------------------------------------------------------------ *)
+
+let scrub_pooled_handle t ph =
+  let clock = Machine.clock t.machine in
+  (* Drop every mapping the departed tenant's force-share left in the
+     handle (releasing the client's frames) and break the pairing. *)
+  Aspace.remove_range ph.ph_aspace ~start_addr:Layout.share_lo
+    ~size:(Layout.share_hi - Layout.share_lo);
+  Aspace.set_peer ph.ph_aspace None;
+  (* Zero the secret segment so the next tenant cannot observe the
+     previous tenant's secret stack or pid cache. *)
+  let zeroed =
+    Aspace.zero_materialized ph.ph_aspace ~start_addr:Layout.secret_base
+      ~size:(Layout.secret_pages * Layout.page_size)
+  in
+  Clock.charge clock (Cost.Copy_bytes zeroed);
+  Smod_metrics.Counter.incr m_handle_scrubs;
+  Smod_metrics.Counter.add m_scrub_bytes zeroed
+
+(* The body of a pooled handle: park → recycle for the assigned tenant →
+   handshake → serve until the detach control message → scrub → park. *)
+let pooled_handle_main t ph (handle : Proc.t) =
+  let clock = Machine.clock t.machine in
+  let rec serve session =
+    let mtype, payload = Machine.msgrcv t.machine handle ~qid:ph.ph_req_qid ~mtype:0 in
+    if mtype <> pool_detach_mtype then begin
+      let req = Wire.request_of_bytes payload in
+      let reply = execute_function t session handle req in
+      Machine.msgsnd t.machine handle ~qid:ph.ph_rep_qid ~mtype:1 (Wire.reply_to_bytes reply);
+      serve session
+    end
+  in
+  let rec loop () =
+    (match ph.ph_session with
+    | None when not ph.ph_dead ->
+        if not ph.ph_reserved then ph.ph_on_park ph;
+        while ph.ph_session = None && not ph.ph_dead do
+          Effect.perform (Sched.Block (Sched.Pool_park ph.ph_entry.Registry.m_id))
+        done
+    | Some _ | None -> ());
+    if ph.ph_dead then raise (Sched.Proc_exit 0);
+    match ph.ph_session with
+    | None -> loop ()
+    | Some session ->
+        (* Recycle for the new tenant: drop any stale messages, return to
+           the secret stack, refresh the cached client pid (§4.3). *)
+        ignore (Machine.msgq_flush t.machine ~qid:ph.ph_req_qid);
+        ignore (Machine.msgq_flush t.machine ~qid:ph.ph_rep_qid);
+        handle.Proc.sp <- secret_stack_top - 16;
+        handle.Proc.fp <- handle.Proc.sp;
+        Aspace.write_word ph.ph_aspace ~addr:client_pid_cache_addr session.client_pid;
+        Clock.charge clock Cost.Handle_recycle;
+        ignore (Machine.syscall t.machine handle Sysno.smod_session_info [| 0 |]);
+        serve session;
+        scrub_pooled_handle t ph;
+        ph.ph_session <- None;
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
 (* sys_smod_start_session (320)                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -295,6 +430,222 @@ let install_module_image t session_text_base session_data_base handle_aspace ent
     Clock.charge clock (Cost.Copy_bytes (Bytes.length linked.Smof.data))
   end
 
+(* Spawn a reusable handle for [entry], owned by the smodd service layer.
+   Everything a cold fork would build per session — address space, module
+   image (decrypted once), secret segment, queue pair, the fork itself —
+   is paid here, off the client's start_session path. *)
+let spawn_pooled_handle t ~entry ~on_park ~on_death =
+  let clock = Machine.clock t.machine in
+  let serial = t.next_pool_serial in
+  t.next_pool_serial <- t.next_pool_serial + 1;
+  let mod_name = entry.Registry.image.Smof.mod_name in
+  let handle_aspace =
+    Aspace.create ~phys:(Machine.phys t.machine) ~clock
+      ~name:(Printf.sprintf "pool-handle-%s-%d" mod_name serial)
+  in
+  install_module_image t module_text_base_addr module_data_base_addr handle_aspace entry;
+  Aspace.add_entry handle_aspace ~start_addr:Layout.secret_base
+    ~size:(Layout.secret_pages * Layout.page_size)
+    ~prot:Prot.rw ~kind:Aspace.Secret ~name:"secret";
+  Clock.charge clock Cost.Fork_base;
+  (* The body needs the pooled_handle record, which needs the pid: tie the
+     knot through a ref — the body cannot run before spawn returns. *)
+  let ph_ref = ref None in
+  let handle =
+    Machine.spawn t.machine ~daemon:true ~aspace:handle_aspace
+      ~name:(Printf.sprintf "smod-pool-%s-%d" mod_name serial)
+      (fun h -> pooled_handle_main t (Option.get !ph_ref) h)
+  in
+  handle.Proc.role <- Proc.Smod_handle { client_pid = 0 };
+  handle.Proc.no_core_dump <- true;
+  handle.Proc.no_ptrace <- true;
+  handle.Proc.ring <- 1;
+  let req_qid = Machine.msgget t.machine handle ~key:(0x5D0D0000 lor (serial * 2)) in
+  let rep_qid = Machine.msgget t.machine handle ~key:(0x5D0D0000 lor ((serial * 2) + 1)) in
+  let ph =
+    {
+      ph_entry = entry;
+      ph_pid = handle.Proc.pid;
+      ph_req_qid = req_qid;
+      ph_rep_qid = rep_qid;
+      ph_aspace = handle_aspace;
+      ph_session = None;
+      ph_dead = false;
+      ph_reserved = false;
+      ph_tenants = 0;
+      ph_on_park = on_park;
+      ph_on_death = on_death;
+    }
+  in
+  ph_ref := Some ph;
+  Hashtbl.replace t.pooled_handles_by_pid handle.Proc.pid ph;
+  handle.Proc.exit_hooks <-
+    (fun h ->
+      ph.ph_dead <- true;
+      (* Died mid-session (killed, faulted): tear the session down fully
+         so the client is not left talking to a corpse. *)
+      (match ph.ph_session with
+      | Some s -> detach_session t s
+      | None -> ());
+      ph.ph_session <- None;
+      Hashtbl.remove t.pooled_handles_by_pid ph.ph_pid;
+      (try Machine.msgctl_remove t.machine h ~qid:ph.ph_req_qid with Errno.Error _ -> ());
+      (try Machine.msgctl_remove t.machine h ~qid:ph.ph_rep_qid with Errno.Error _ -> ());
+      ph.ph_on_death ph)
+    :: handle.Proc.exit_hooks;
+  Trace.emitf (Machine.trace t.machine) ~clock ~actor:"smodd"
+    "spawned pooled handle pid=%d for module %s" handle.Proc.pid mod_name;
+  ph
+
+let pooled_handle_pid ph = ph.ph_pid
+let pooled_handle_entry ph = ph.ph_entry
+let pooled_handle_busy ph = ph.ph_session <> None
+let pooled_handle_dead ph = ph.ph_dead
+let pooled_handle_tenants ph = ph.ph_tenants
+let pooled_handle_aspace ph = ph.ph_aspace
+let reserve_pooled_handle ph = ph.ph_reserved <- true
+
+let retire_pooled_handle t ph =
+  if not ph.ph_dead then begin
+    ph.ph_dead <- true;
+    Trace.emitf (Machine.trace t.machine) ~clock:(Machine.clock t.machine) ~actor:"smodd"
+      "retire pooled handle pid=%d (module %s)" ph.ph_pid
+      ph.ph_entry.Registry.image.Smof.mod_name;
+    match Machine.proc t.machine ph.ph_pid with
+    | Some h when not (Proc.is_zombie h) -> (
+        try Machine.kill t.machine ~pid:ph.ph_pid ~signal:Signal.sigkill
+        with Errno.Error _ -> ())
+    | Some _ | None -> ()
+  end
+
+(* Attach a new client session to a parked (or freshly spawned) pooled
+   handle: the cheap path that replaces the cold fork. *)
+let attach_pooled t (p : Proc.t) ph ~credential =
+  if ph.ph_dead then invalid_arg "attach_pooled: handle is dead";
+  if ph.ph_session <> None then invalid_arg "attach_pooled: handle is busy";
+  if Hashtbl.mem t.sessions_by_client p.Proc.pid then
+    Errno.raise_errno Errno.EEXIST "smod_start_session: client already has a session";
+  let clock = Machine.clock t.machine in
+  let entry = ph.ph_entry in
+  let sid = t.next_sid in
+  t.next_sid <- t.next_sid + 1;
+  let session =
+    {
+      sid;
+      m_id = entry.Registry.m_id;
+      entry;
+      client_pid = p.Proc.pid;
+      handle_pid = ph.ph_pid;
+      req_qid = ph.ph_req_qid;
+      rep_qid = ph.ph_rep_qid;
+      credential;
+      policy_state = Policy.initial_state entry.Registry.policy;
+      module_text_base = module_text_base_addr;
+      module_data_base = module_data_base_addr;
+      established = false;
+      detached = false;
+      calls = 0;
+      denied_calls = 0;
+      faulted_calls = 0;
+      handle_exec_us = 0.0;
+      client_waiting_handshake = false;
+      pooled = true;
+    }
+  in
+  ph.ph_session <- Some session;
+  ph.ph_reserved <- false;
+  ph.ph_tenants <- ph.ph_tenants + 1;
+  let handle = Machine.proc_exn t.machine ph.ph_pid in
+  handle.Proc.role <- Proc.Smod_handle { client_pid = p.Proc.pid };
+  p.Proc.role <- Proc.Smod_client { handle_pid = ph.ph_pid };
+  Hashtbl.replace t.sessions_by_client p.Proc.pid session;
+  Hashtbl.replace t.sessions_by_handle ph.ph_pid session;
+  p.Proc.exit_hooks <- (fun _ -> detach_session t session) :: p.Proc.exit_hooks;
+  Clock.charge clock Cost.Pool_admission;
+  (* A parked handle is blocked on Pool_park; a fresh spawn is already
+     ready and this is a no-op. *)
+  Machine.wakeup t.machine ph.ph_pid;
+  Trace.emitf (Machine.trace t.machine) ~clock ~actor:"kernel"
+    "attach sid=%d module=%s client=%d pooled-handle=%d (tenant %d)" sid
+    entry.Registry.image.Smof.mod_name p.Proc.pid ph.ph_pid ph.ph_tenants;
+  Smod_metrics.Counter.incr m_sessions_started;
+  sid
+
+let set_session_broker t broker = t.broker <- broker
+let set_policy_cache t hooks = t.policy_cache <- hooks
+let add_module_remove_hook t hook = t.remove_hooks <- hook :: t.remove_hooks
+
+let cold_start_session t (p : Proc.t) entry credential =
+  let clock = Machine.clock t.machine in
+  (* Build the handle's private address space. *)
+  let handle_aspace =
+    Aspace.create ~phys:(Machine.phys t.machine) ~clock
+      ~name:(Printf.sprintf "handle-of-%d" p.Proc.pid)
+  in
+  install_module_image t module_text_base_addr module_data_base_addr handle_aspace entry;
+  (* Secret stack/heap segment, never shared, never client-visible. *)
+  Aspace.add_entry handle_aspace ~start_addr:Layout.secret_base
+    ~size:(Layout.secret_pages * Layout.page_size)
+    ~prot:Prot.rw ~kind:Aspace.Secret ~name:"secret";
+  Aspace.write_word handle_aspace ~addr:client_pid_cache_addr p.Proc.pid;
+  (* Message queues for the pair. *)
+  let sid = t.next_sid in
+  t.next_sid <- t.next_sid + 1;
+  let req_qid = Machine.msgget t.machine p ~key:(0x5E550000 lor (sid * 2)) in
+  let rep_qid = Machine.msgget t.machine p ~key:(0x5E550000 lor ((sid * 2) + 1)) in
+  (* Forcibly fork the handle. *)
+  let session =
+    {
+      sid;
+      m_id = entry.Registry.m_id;
+      entry;
+      client_pid = p.Proc.pid;
+      handle_pid = 0;
+      req_qid;
+      rep_qid;
+      credential;
+      policy_state = Policy.initial_state entry.Registry.policy;
+      module_text_base = module_text_base_addr;
+      module_data_base = module_data_base_addr;
+      established = false;
+      detached = false;
+      calls = 0;
+      denied_calls = 0;
+      faulted_calls = 0;
+      handle_exec_us = 0.0;
+      client_waiting_handshake = false;
+      pooled = false;
+    }
+  in
+  let handle =
+    Machine.forced_fork t.machine p
+      ~name:(Printf.sprintf "smod-handle-%d" sid)
+      ~daemon:true
+      ~role:(Proc.Smod_handle { client_pid = p.Proc.pid })
+      ~aspace:handle_aspace
+      ~body:(fun handle -> handle_main t session handle)
+  in
+  (* §3.1: handle processes never dump core and can never be traced. *)
+  handle.Proc.no_core_dump <- true;
+  handle.Proc.no_ptrace <- true;
+  (* Handles are "periphery code" in the 80386 ring model the paper opens
+     with (§2): more privileged than any user process. *)
+  handle.Proc.ring <- 1;
+  session.handle_pid <- handle.Proc.pid;
+  p.Proc.role <- Proc.Smod_client { handle_pid = handle.Proc.pid };
+  Hashtbl.replace t.sessions_by_client p.Proc.pid session;
+  Hashtbl.replace t.sessions_by_handle handle.Proc.pid session;
+  (* The simplest policy allows access for the lifetime of p: tear the
+     session down when the client goes away — and equally if the handle
+     dies, so no client is left waiting on a dead enforcement point. *)
+  p.Proc.exit_hooks <- (fun _ -> detach_session t session) :: p.Proc.exit_hooks;
+  handle.Proc.exit_hooks <- (fun _ -> detach_session t session) :: handle.Proc.exit_hooks;
+  Trace.emitf (Machine.trace t.machine) ~clock ~actor:"kernel"
+    "start_session sid=%d module=%s client=%d handle=%d" sid
+    entry.Registry.image.Smof.mod_name p.Proc.pid handle.Proc.pid;
+  Smod_metrics.Counter.incr m_sessions_started;
+  sid
+
 let sys_start_session t (p : Proc.t) ~desc_addr =
   let clock = Machine.clock t.machine in
   if Hashtbl.mem t.sessions_by_client p.Proc.pid then
@@ -337,73 +688,15 @@ let sys_start_session t (p : Proc.t) ~desc_addr =
         Aspace.remove_range p.Proc.aspace ~start_addr:e.Aspace.start_addr
           ~size:(e.Aspace.end_addr - e.Aspace.start_addr))
     (Aspace.entries p.Proc.aspace);
-  (* Build the handle's private address space. *)
-  let handle_aspace =
-    Aspace.create ~phys:(Machine.phys t.machine) ~clock
-      ~name:(Printf.sprintf "handle-of-%d" p.Proc.pid)
-  in
-  install_module_image t module_text_base_addr module_data_base_addr handle_aspace entry;
-  (* Secret stack/heap segment, never shared, never client-visible. *)
-  Aspace.add_entry handle_aspace ~start_addr:Layout.secret_base
-    ~size:(Layout.secret_pages * Layout.page_size)
-    ~prot:Prot.rw ~kind:Aspace.Secret ~name:"secret";
-  Aspace.write_word handle_aspace ~addr:client_pid_cache_addr p.Proc.pid;
-  (* Message queues for the pair. *)
-  let sid = t.next_sid in
-  t.next_sid <- t.next_sid + 1;
-  let req_qid = Machine.msgget t.machine p ~key:(0x5E550000 lor (sid * 2)) in
-  let rep_qid = Machine.msgget t.machine p ~key:(0x5E550000 lor ((sid * 2) + 1)) in
-  (* Forcibly fork the handle. *)
-  let session =
-    {
-      sid;
-      m_id = entry.Registry.m_id;
-      entry;
-      client_pid = p.Proc.pid;
-      handle_pid = 0;
-      req_qid;
-      rep_qid;
-      credential;
-      policy_state = Policy.initial_state entry.Registry.policy;
-      module_text_base = module_text_base_addr;
-      module_data_base = module_data_base_addr;
-      established = false;
-      detached = false;
-      calls = 0;
-      denied_calls = 0;
-      faulted_calls = 0;
-      handle_exec_us = 0.0;
-      client_waiting_handshake = false;
-    }
-  in
-  let handle =
-    Machine.forced_fork t.machine p
-      ~name:(Printf.sprintf "smod-handle-%d" sid)
-      ~daemon:true
-      ~role:(Proc.Smod_handle { client_pid = p.Proc.pid })
-      ~aspace:handle_aspace
-      ~body:(fun handle -> handle_main t session handle)
-  in
-  (* §3.1: handle processes never dump core and can never be traced. *)
-  handle.Proc.no_core_dump <- true;
-  handle.Proc.no_ptrace <- true;
-  (* Handles are "periphery code" in the 80386 ring model the paper opens
-     with (§2): more privileged than any user process. *)
-  handle.Proc.ring <- 1;
-  session.handle_pid <- handle.Proc.pid;
-  p.Proc.role <- Proc.Smod_client { handle_pid = handle.Proc.pid };
-  Hashtbl.replace t.sessions_by_client p.Proc.pid session;
-  Hashtbl.replace t.sessions_by_handle handle.Proc.pid session;
-  (* The simplest policy allows access for the lifetime of p: tear the
-     session down when the client goes away — and equally if the handle
-     dies, so no client is left waiting on a dead enforcement point. *)
-  p.Proc.exit_hooks <- (fun _ -> detach_session t session) :: p.Proc.exit_hooks;
-  handle.Proc.exit_hooks <- (fun _ -> detach_session t session) :: handle.Proc.exit_hooks;
-  Trace.emitf (Machine.trace t.machine) ~clock ~actor:"kernel"
-    "start_session sid=%d module=%s client=%d handle=%d" sid
-    entry.Registry.image.Smof.mod_name p.Proc.pid handle.Proc.pid;
-  Smod_metrics.Counter.incr m_sessions_started;
-  sid
+  (* With smodd installed the broker multiplexes this client onto the
+     pool; otherwise (or if it declines) fork a fresh handle per session,
+     the paper's own model. *)
+  match t.broker with
+  | Some broker -> (
+      match broker p entry credential with
+      | Some sid -> sid
+      | None -> cold_start_session t p entry credential)
+  | None -> cold_start_session t p entry credential
 
 (* ------------------------------------------------------------------ *)
 (* sys_smod_session_info (303) — handle side                           *)
@@ -527,28 +820,56 @@ let sys_call t (p : Proc.t) ~framep ~rtnaddr ~m_id ~func_id =
         false
   in
   if not fast_path_applies then begin
-    (* Per-call revalidation: the kernel "will then verify that p did
-       provide the proper credentials" (§3.1). *)
-    Clock.charge clock Cost.Cred_check;
     let func_name =
       match Registry.symbol_of_func_id session.entry func_id with
       | Some sym -> sym.Smof.sym_name
       | None -> Errno.raise_errno Errno.EINVAL "smod_call: bad funcID"
     in
-    try
-      check_policy_or_deny t ~policy:session.entry.Registry.policy ~state:session.policy_state
-        ~credential:session.credential
-        ~attrs:
-          [
-            ("phase", "call");
-            ("function", func_name);
-            ("module", session.entry.Registry.image.Smof.mod_name);
-            ("calls_so_far", string_of_int session.calls);
-          ]
-    with Errno.Error _ as denial ->
-      session.denied_calls <- session.denied_calls + 1;
-      Smod_metrics.Counter.incr m_calls_denied;
-      raise denial
+    (* smodd's policy-decision cache: only consulted when the decision is
+       a pure function of (credential, module, function, policy revision)
+       — stateful or per-call-attribute policies always re-evaluate. *)
+    let cache =
+      match t.policy_cache with
+      | Some hooks
+        when Policy.cacheable session.entry.Registry.policy
+             && Policy.credential_cacheable session.credential ->
+          Some hooks
+      | Some _ | None -> None
+    in
+    let cached =
+      match cache with Some hooks -> hooks.cache_lookup session ~func_name | None -> None
+    in
+    match cached with
+    | Some Cache_allow -> ()
+    | Some (Cache_deny reason) ->
+        session.denied_calls <- session.denied_calls + 1;
+        Smod_metrics.Counter.incr m_calls_denied;
+        Errno.raise_errno Errno.EACCES reason
+    | None -> (
+        (* Per-call revalidation: the kernel "will then verify that p did
+           provide the proper credentials" (§3.1). *)
+        Clock.charge clock Cost.Cred_check;
+        try
+          check_policy_or_deny t ~policy:session.entry.Registry.policy
+            ~state:session.policy_state ~credential:session.credential
+            ~attrs:
+              [
+                ("phase", "call");
+                ("function", func_name);
+                ("module", session.entry.Registry.image.Smof.mod_name);
+                ("calls_so_far", string_of_int session.calls);
+              ];
+          match cache with
+          | Some hooks -> hooks.cache_store session ~func_name Cache_allow
+          | None -> ()
+        with Errno.Error (errno, msg) as denial ->
+          (match cache with
+          | Some hooks when errno = Errno.EACCES ->
+              hooks.cache_store session ~func_name (Cache_deny msg)
+          | Some _ | None -> ());
+          session.denied_calls <- session.denied_calls + 1;
+          Smod_metrics.Counter.incr m_calls_denied;
+          raise denial)
   end
   else if Registry.symbol_of_func_id session.entry func_id = None then
     Errno.raise_errno Errno.EINVAL "smod_call: bad funcID";
@@ -626,10 +947,13 @@ let sys_remove t (p : Proc.t) ~m_id ~cred_addr ~cred_size =
     Errno.raise_errno Errno.EACCES "smod_remove: bad credential signature";
   if credential.Credential.principal <> entry.Registry.admin_principal then
     Errno.raise_errno Errno.EACCES "smod_remove: not the module administrator";
-  (* Tear down any sessions using the module, then drop it. *)
+  (* Tear down any sessions using the module, notify the pool layer
+     (smodd kills the module's parked handles and evicts its cached
+     policy decisions), then drop it. *)
   List.iter
     (fun s -> if s.m_id = m_id then detach_session t s)
     (active_sessions t);
+  List.iter (fun hook -> hook ~m_id) t.remove_hooks;
   Registry.remove t.registry ~m_id
 
 (* ------------------------------------------------------------------ *)
@@ -644,9 +968,14 @@ let install machine ?keystore () =
       keystore = (match keystore with Some k -> k | None -> Keystore.create ());
       sessions_by_client = Hashtbl.create 16;
       sessions_by_handle = Hashtbl.create 16;
+      pooled_handles_by_pid = Hashtbl.create 16;
       next_sid = 1;
+      next_pool_serial = 1;
       toctou = No_mitigation;
       fast_path = false;
+      broker = None;
+      policy_cache = None;
+      remove_hooks = [];
     }
   in
   Machine.register_syscall machine Sysno.smod_find ~name:"smod_find" (fun _m p args ->

@@ -48,6 +48,7 @@ type session = {
   mutable handle_exec_us : float;
       (** simulated time spent executing module code in the handle *)
   mutable client_waiting_handshake : bool;
+  pooled : bool;  (** served by a smodd pooled handle, not a private fork *)
 }
 
 exception Access_denied of string
@@ -114,6 +115,83 @@ val sys_handle_info : t -> Smod_kern.Proc.t -> info_addr:int -> unit
 val sys_call : t -> Smod_kern.Proc.t -> framep:int -> rtnaddr:int -> m_id:int -> func_id:int -> int
 (** The indirect dispatch.  Raises {!Smod_kern.Errno.Error} EACCES on
     policy denial, EFAULT if the module function faulted. *)
+
+(** {1 Session pooling (the smodd service layer, lib/pool)}
+
+    A pooled handle is a handle co-process that outlives any single
+    session: between tenants it scrubs its secret segment, unshares the
+    departed client's range, and parks on {!Smod_kern.Sched.Pool_park}
+    until the pool layer attaches the next client.  The per-session costs
+    that remain are exactly the safety-relevant ones — [force_share]
+    against the new client and the handshake — while the fork, module
+    image installation and decryption are paid once at spawn. *)
+
+type pooled_handle
+
+val spawn_pooled_handle :
+  t ->
+  entry:Registry.entry ->
+  on_park:(pooled_handle -> unit) ->
+  on_death:(pooled_handle -> unit) ->
+  pooled_handle
+(** Pre-fork a reusable handle for [entry].  [on_park] fires (in handle
+    context) each time the handle becomes free — including right after
+    spawn if no tenant is attached before it first runs — unless the
+    handle was {!reserve_pooled_handle}d for a specific client.
+    [on_death] fires from the handle's exit hook after its queues are
+    removed and any live session detached. *)
+
+val attach_pooled : t -> Smod_kern.Proc.t -> pooled_handle -> credential:Credential.t -> int
+(** Bind a new session for this client to a free pooled handle and wake
+    it; returns the session id.  The caller (smodd's broker) must have
+    validated the credential and policy — this is the post-validation
+    half of [sys_start_session].  Raises [Invalid_argument] if the handle
+    is busy or dead. *)
+
+val retire_pooled_handle : t -> pooled_handle -> unit
+(** Mark the handle dead and SIGKILL it; its exit hook detaches any live
+    session, removes the queues and fires [on_death].  Idempotent. *)
+
+val reserve_pooled_handle : pooled_handle -> unit
+(** Claim a free handle for a specific incoming client so the park
+    callback is not re-fired (and the handle not double-assigned) before
+    {!attach_pooled} runs. *)
+
+val pooled_handle_pid : pooled_handle -> int
+val pooled_handle_entry : pooled_handle -> Registry.entry
+val pooled_handle_busy : pooled_handle -> bool
+val pooled_handle_dead : pooled_handle -> bool
+
+val pooled_handle_tenants : pooled_handle -> int
+(** Sessions this handle has served so far. *)
+
+val pooled_handle_aspace : pooled_handle -> Smod_vmem.Aspace.t
+
+val set_session_broker :
+  t -> (Smod_kern.Proc.t -> Registry.entry -> Credential.t -> int option) option -> unit
+(** Interpose on [sys_start_session] after validation: [Some sid] means
+    the broker placed the session on a pooled handle; [None] falls back
+    to the paper's cold fork-per-session path. *)
+
+val add_module_remove_hook : t -> (m_id:int -> unit) -> unit
+(** Fired by [sys_smod_remove] after active sessions are detached and
+    before the registry entry disappears — smodd kills the module's
+    parked handles and evicts its policy-cache entries here. *)
+
+type cached_decision = Cache_allow | Cache_deny of string
+
+type policy_cache_hooks = {
+  cache_lookup : session -> func_name:string -> cached_decision option;
+  cache_store : session -> func_name:string -> cached_decision -> unit;
+}
+
+val set_policy_cache : t -> policy_cache_hooks option -> unit
+(** Install smodd's policy-decision cache on the [sys_smod_call] path.
+    Only consulted when {!Policy.cacheable} holds for the session's policy
+    and {!Policy.credential_cacheable} for its credential; a hit replaces
+    the per-call credential re-verification and policy evaluation, a miss
+    evaluates as usual and stores the outcome (denials included — they
+    still count and raise exactly as uncached ones do). *)
 
 (** {1 Introspection for tests and the layout example} *)
 

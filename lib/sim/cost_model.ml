@@ -37,6 +37,10 @@ type op =
   | Rpc_dispatch
   | Svm_instr
   | Native_call_overhead
+  | Pool_admission
+  | Handle_recycle
+  | Policy_cache_probe
+  | Policy_cache_insert
 
 let mhz = 599.0
 let cycles_per_us = mhz
@@ -85,6 +89,10 @@ let cycles = function
   | Rpc_dispatch -> 240.0
   | Svm_instr -> 3.0
   | Native_call_overhead -> 8.0
+  | Pool_admission -> 180.0
+  | Handle_recycle -> 420.0
+  | Policy_cache_probe -> 55.0
+  | Policy_cache_insert -> 95.0
 
 let describe = function
   | Trap_enter -> "trap-enter"
@@ -125,3 +133,7 @@ let describe = function
   | Rpc_dispatch -> "rpc-dispatch"
   | Svm_instr -> "svm-instr"
   | Native_call_overhead -> "native-call"
+  | Pool_admission -> "pool-admission"
+  | Handle_recycle -> "handle-recycle"
+  | Policy_cache_probe -> "policy-cache-probe"
+  | Policy_cache_insert -> "policy-cache-insert"

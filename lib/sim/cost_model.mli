@@ -54,6 +54,18 @@ type op =
   | Rpc_dispatch  (** server-side program/procedure lookup *)
   | Svm_instr  (** one interpreted module-VM instruction *)
   | Native_call_overhead  (** plain user-level call/ret, for baselines *)
+  | Pool_admission
+      (** smodd (lib/pool): admission-queue bookkeeping when a client asks
+          for a pooled handle — free-list probe, fairness cursor, waiter
+          enqueue/dequeue *)
+  | Handle_recycle
+      (** smodd: resetting a parked handle for its next tenant — queue
+          flush, stack re-point, pid-cache rewrite (the secret scrub is
+          charged separately as {!Copy_bytes}) *)
+  | Policy_cache_probe
+      (** smodd: one lookup in the policy-decision cache (hash of the
+          credential digest + module + revision key) *)
+  | Policy_cache_insert  (** smodd: storing a freshly computed decision *)
 
 val cycles : op -> float
 (** Cycle charge for one occurrence of [op]. *)

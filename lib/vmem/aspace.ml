@@ -108,9 +108,20 @@ let remove_range t ~start_addr ~size =
   check_range ~start_addr ~size;
   let end_addr = start_addr + size in
   let lo_vpn = Layout.vpn_of_addr start_addr and hi_vpn = Layout.vpn_of_addr (end_addr - 1) in
-  for vpn = lo_vpn to hi_vpn do
-    drop_page t vpn
-  done;
+  if hi_vpn - lo_vpn + 1 <= Hashtbl.length t.pages then
+    for vpn = lo_vpn to hi_vpn do
+      drop_page t vpn
+    done
+  else begin
+    (* Sparse mapping under a huge range (e.g. the ~3 GB force-share
+       window): walk the page table rather than every vpn in the range. *)
+    let victims =
+      Hashtbl.fold
+        (fun vpn _ acc -> if vpn >= lo_vpn && vpn <= hi_vpn then vpn :: acc else acc)
+        t.pages []
+    in
+    List.iter (drop_page t) victims
+  end;
   Clock.charge t.clock Cost.Tlb_flush;
   let adjust acc e =
     if not (overlaps e start_addr end_addr) then e :: acc
@@ -400,6 +411,20 @@ let read_string t ~addr ~max_len =
 
 let write_string t ~addr s =
   write_bytes t ~addr (Bytes.of_string (s ^ "\000"))
+
+let zero_materialized t ~start_addr ~size =
+  check_range ~start_addr ~size;
+  let end_addr = start_addr + size in
+  let lo_vpn = Layout.vpn_of_addr start_addr and hi_vpn = Layout.vpn_of_addr (end_addr - 1) in
+  let zeroed = ref 0 in
+  Hashtbl.iter
+    (fun vpn (m : mapping) ->
+      if vpn >= lo_vpn && vpn <= hi_vpn then begin
+        Bytes.fill m.frame.Phys.data 0 Layout.page_size '\000';
+        zeroed := !zeroed + Layout.page_size
+      end)
+    t.pages;
+  !zeroed
 
 let mapped_page_count t = Hashtbl.length t.pages
 

@@ -106,6 +106,13 @@ val read_string : t -> addr:int -> max_len:int -> string
 val write_string : t -> addr:int -> string -> unit
 (** Writes the bytes plus a terminating NUL. *)
 
+val zero_materialized : t -> start_addr:int -> size:int -> int
+(** Overwrite every already-materialised page in the range with zeros and
+    return the number of bytes cleared.  Pages never touched are skipped —
+    they demand-zero on their next fault anyway.  This is the secret-segment
+    scrub a pooled handle performs between tenants (the caller charges the
+    copy cost); no entries or frames are released. *)
+
 val mapped_page_count : t -> int
 val shared_page_count : t -> int
 

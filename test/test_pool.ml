@@ -1,0 +1,395 @@
+(* lib/pool: the smodd session-multiplexing service layer — handle reuse,
+   secret scrubbing between tenants, admission-queue overflow, the
+   policy-decision cache, and invalidation on module removal. *)
+
+module M = Smod_kern.Machine
+module Proc = Smod_kern.Proc
+module Sched = Smod_kern.Sched
+module Errno = Smod_kern.Errno
+module Sysno = Smod_kern.Sysno
+module Aspace = Smod_vmem.Aspace
+module Layout = Smod_vmem.Layout
+module Clock = Smod_sim.Clock
+module Cost = Smod_sim.Cost_model
+module Keystore = Smod_keynote.Keystore
+module Smof = Smod_modfmt.Smof
+module World = Smod_bench_kit.World
+module Smodd = Smod_pool.Smodd
+module Policy_cache = Smod_pool.Policy_cache
+open Secmodule
+
+let counter name =
+  match Smod_metrics.counter_value name with
+  | Some v -> v
+  | None -> Alcotest.failf "counter %s not registered" name
+
+(* One handle total: every session after the first must reuse it. *)
+let one_handle overflow =
+  { Smodd.default_config with max_handles_per_module = 1; max_total_handles = 1; overflow }
+
+let handle_pid_of smod p =
+  match Smod.session_of_client smod ~client_pid:p.Proc.pid with
+  | Some s -> s.Smod.handle_pid
+  | None -> Alcotest.fail "no session for client"
+
+(* ----------------------------- reuse -------------------------------- *)
+
+let test_attach_detach_reuse () =
+  let world = World.create ~pool:(one_handle Smodd.Wait) ~with_rpc:false () in
+  let hit0 = counter "pool.hit"
+  and miss0 = counter "pool.miss"
+  and scrubs0 = counter "secmodule.handle_scrubs" in
+  let pids = ref [] in
+  for round = 1 to 3 do
+    ignore
+      (M.spawn world.World.machine
+         ~name:(Printf.sprintf "tenant-%d" round)
+         (fun p ->
+           let conn =
+             Stub.connect world.World.smod p ~module_name:Smod_libc.Seclibc.module_name
+               ~version:Smod_libc.Seclibc.version
+               ~credential:(Credential.make ~principal:"client" ())
+           in
+           pids := handle_pid_of world.World.smod p :: !pids;
+           Alcotest.(check int) "call works" (round + 1)
+             (Smod_libc.Seclibc.Client.test_incr conn round);
+           Stub.close conn));
+    World.run world
+  done;
+  (match !pids with
+  | [ a; b; c ] ->
+      Alcotest.(check int) "round 2 reuses the handle" a b;
+      Alcotest.(check int) "round 3 reuses the handle" b c
+  | _ -> Alcotest.fail "expected three sessions");
+  Alcotest.(check int) "exactly one pool.miss (the first fork)" 1 (counter "pool.miss" - miss0);
+  Alcotest.(check int) "exactly two pool.hits (the reuses)" 2 (counter "pool.hit" - hit0);
+  Alcotest.(check int) "one scrub per detach" 3 (counter "secmodule.handle_scrubs" - scrubs0);
+  let st = Smodd.status (Option.get world.World.pool) in
+  Alcotest.(check int) "one live handle" 1 st.Smodd.st_total_handles;
+  match st.Smodd.st_modules with
+  | [ ms ] ->
+      Alcotest.(check int) "3 tenants served" 3 ms.Smodd.ms_tenants;
+      Alcotest.(check int) "parked between tenants" 1 ms.Smodd.ms_parked;
+      Alcotest.(check int) "single fork" 1 ms.Smodd.ms_spawned
+  | _ -> Alcotest.fail "expected one module row"
+
+(* ------------------------ secret scrubbing --------------------------- *)
+
+(* A module whose natives read and write a fixed slot in the handle's
+   secret segment: tenant A plants a value, tenant B on the same pooled
+   handle must read it back as zero. *)
+let secret_slot = Layout.secret_base + 512
+
+let secret_module smod =
+  let b = Smof.Builder.create ~name:"secretmod" ~version:1 in
+  ignore (Smof.Builder.add_native_function b ~name:"poke" ~native:"poke" ~size_hint:32 ());
+  ignore (Smof.Builder.add_native_function b ~name:"peek" ~native:"peek" ~size_hint:32 ());
+  let entry = Toolchain.package smod ~image:(Smof.Builder.finish b) () in
+  Smod.bind_native smod ~m_id:entry.Registry.m_id ~name:"poke" (fun _m h ~args_base ->
+      Aspace.write_word h.Proc.aspace ~addr:secret_slot
+        (Aspace.read_word h.Proc.aspace ~addr:args_base);
+      0);
+  Smod.bind_native smod ~m_id:entry.Registry.m_id ~name:"peek" (fun _m h ~args_base:_ ->
+      Aspace.read_word h.Proc.aspace ~addr:secret_slot);
+  entry
+
+let test_secret_scrubbed_between_tenants () =
+  let machine = M.create ~jitter:0.0 () in
+  let smod = Smod.install machine () in
+  let pool = Smodd.install smod ~config:(one_handle Smodd.Wait) () in
+  ignore (secret_module smod);
+  let seen = ref (-1) in
+  ignore
+    (M.spawn machine ~name:"tenant-a" (fun p ->
+         let conn =
+           Stub.connect smod p ~module_name:"secretmod" ~version:1
+             ~credential:(Credential.make ~principal:"alice" ())
+         in
+         ignore (Stub.call conn ~func:"poke" [| 0xBEEF |]);
+         Alcotest.(check int) "tenant A sees its own secret" 0xBEEF
+           (Stub.call conn ~func:"peek" [||]);
+         Stub.close conn));
+  M.run machine;
+  ignore
+    (M.spawn machine ~name:"tenant-b" (fun p ->
+         let conn =
+           Stub.connect smod p ~module_name:"secretmod" ~version:1
+             ~credential:(Credential.make ~principal:"bob" ())
+         in
+         seen := Stub.call conn ~func:"peek" [||];
+         Stub.close conn));
+  M.run machine;
+  Alcotest.(check int) "tenant B reads a scrubbed slot" 0 !seen;
+  let st = Smodd.status pool in
+  Alcotest.(check int) "same single handle served both" 1 st.Smodd.st_total_handles;
+  Alcotest.(check bool) "scrub bytes counted" true (counter "secmodule.scrub_bytes" > 0)
+
+(* ------------------------- admission queue --------------------------- *)
+
+(* A holds the only handle and blocks inside a call so B's start_session
+   runs while the pool is saturated. *)
+let overflow_world overflow ~on_b =
+  let world = World.create ~pool:(one_handle overflow) ~with_rpc:false () in
+  ignore
+    (M.spawn world.World.machine ~name:"holder" (fun p ->
+         let conn =
+           Stub.connect world.World.smod p ~module_name:Smod_libc.Seclibc.module_name
+             ~version:Smod_libc.Seclibc.version
+             ~credential:(Credential.make ~principal:"holder" ())
+         in
+         let holder_handle = handle_pid_of world.World.smod p in
+         ignore
+           (M.spawn world.World.machine ~name:"second" (fun q ->
+                on_b world q ~holder_handle));
+         (* The reply block inside this call is where "second" runs. *)
+         ignore (Smod_libc.Seclibc.Client.test_incr conn 1);
+         Stub.close conn));
+  World.run world
+
+let test_admission_reject () =
+  let rejects0 = counter "pool.rejects" in
+  let outcome = ref `Nothing in
+  overflow_world Smodd.Reject ~on_b:(fun world q ~holder_handle:_ ->
+      match
+        Stub.connect world.World.smod q ~module_name:Smod_libc.Seclibc.module_name
+          ~version:Smod_libc.Seclibc.version
+          ~credential:(Credential.make ~principal:"second" ())
+      with
+      | _ -> outcome := `Connected
+      | exception Errno.Error (Errno.EAGAIN, msg) -> outcome := `Rejected msg);
+  (match !outcome with
+  | `Rejected msg ->
+      Alcotest.(check bool) "smodd names itself in the error" true
+        (String.length msg >= 5 && String.sub msg 0 5 = "smodd")
+  | `Connected -> Alcotest.fail "saturated pool accepted a session"
+  | `Nothing -> Alcotest.fail "second client never ran");
+  Alcotest.(check int) "one pool.reject" 1 (counter "pool.rejects" - rejects0)
+
+let test_admission_wait () =
+  let waits0 = counter "pool.waits" in
+  let second_handle = ref (-1) and holder = ref (-1) in
+  overflow_world Smodd.Wait ~on_b:(fun world q ~holder_handle ->
+      holder := holder_handle;
+      let conn =
+        Stub.connect world.World.smod q ~module_name:Smod_libc.Seclibc.module_name
+          ~version:Smod_libc.Seclibc.version
+          ~credential:(Credential.make ~principal:"second" ())
+      in
+      second_handle := handle_pid_of world.World.smod q;
+      Alcotest.(check int) "queued client's calls work" 8
+        (Smod_libc.Seclibc.Client.test_incr conn 7);
+      Stub.close conn);
+  Alcotest.(check int) "waiter got the holder's recycled handle" !holder !second_handle;
+  Alcotest.(check int) "one pool.wait" 1 (counter "pool.waits" - waits0)
+
+(* ---------------------- one pooled dispatch, counted ----------------- *)
+
+let test_one_pooled_dispatch_deltas () =
+  let watched =
+    [
+      "secmodule.calls";
+      "secmodule.policy_checks";
+      "policy_cache.hits";
+      "policy_cache.misses";
+      "policy_cache.inserts";
+      "kern.syscalls";
+      "kern.msgq_sends";
+      "kern.msgq_recvs";
+    ]
+  in
+  let deltas = ref [] in
+  let world = World.create ~pool:Smodd.default_config ~with_rpc:false () in
+  World.spawn_seclibc_client world ~name:"cache-client" (fun _p conn ->
+      (* Call 1 probes (miss) and populates the cache; call 2 is the
+         steady state being pinned here. *)
+      ignore (Smod_libc.Seclibc.Client.test_incr conn 1);
+      let before = List.map (fun n -> (n, counter n)) watched in
+      ignore (Smod_libc.Seclibc.Client.test_incr conn 2);
+      deltas := List.map (fun (n, b) -> (n, counter n - b)) before);
+  World.run world;
+  let delta name =
+    match List.assoc_opt name !deltas with
+    | Some d -> d
+    | None -> Alcotest.failf "no delta for %s" name
+  in
+  Alcotest.(check int) "1 dispatched call" 1 (delta "secmodule.calls");
+  Alcotest.(check int) "1 cache hit" 1 (delta "policy_cache.hits");
+  Alcotest.(check int) "0 cache misses" 0 (delta "policy_cache.misses");
+  Alcotest.(check int) "0 inserts" 0 (delta "policy_cache.inserts");
+  Alcotest.(check int) "policy evaluation replaced by the probe" 0
+    (delta "secmodule.policy_checks");
+  Alcotest.(check int) "1 kernel trap" 1 (delta "kern.syscalls");
+  Alcotest.(check int) "2 msgq sends" 2 (delta "kern.msgq_sends");
+  Alcotest.(check int) "2 msgq recvs" 2 (delta "kern.msgq_recvs")
+
+let test_quota_policy_never_cached () =
+  let world =
+    World.create ~policy:(Policy.Call_quota 1_000) ~pool:Smodd.default_config ~with_rpc:false ()
+  in
+  let deltas = ref (0, 0) in
+  World.spawn_seclibc_client world ~name:"quota-client" (fun _p conn ->
+      (* Baseline after connect: the establishment-phase policy check is
+         not the per-call evaluation being pinned here. *)
+      let inserts0 = counter "policy_cache.inserts" in
+      let checks0 = counter "secmodule.policy_checks" in
+      ignore (Smod_libc.Seclibc.Client.test_incr conn 1);
+      ignore (Smod_libc.Seclibc.Client.test_incr conn 2);
+      deltas :=
+        (counter "policy_cache.inserts" - inserts0, counter "secmodule.policy_checks" - checks0));
+  World.run world;
+  let inserts, checks = !deltas in
+  Alcotest.(check int) "stateful policy bypasses the cache" 0 inserts;
+  Alcotest.(check int) "every call fully evaluated" 2 checks
+
+(* --------------------------- cache unit ------------------------------ *)
+
+let test_cache_ttl_and_eviction () =
+  let clock = Clock.create ~jitter:0.0 () in
+  let cache = Policy_cache.create ~clock ~ttl_us:100.0 ~capacity:2 in
+  let exp0 = counter "policy_cache.expirations" and ev0 = counter "policy_cache.evictions" in
+  let probe d =
+    Policy_cache.lookup cache ~cred_digest:d ~func_name:"f" ~m_id:1 ~policy_rev:1
+      ~keystore_gen:0
+  in
+  let put d =
+    Policy_cache.store cache ~cred_digest:d ~func_name:"f" ~m_id:1 ~policy_rev:1 ~keystore_gen:0
+      Policy_cache.Allow
+  in
+  put "a";
+  Alcotest.(check bool) "fresh entry hits" true (probe "a" = Some Policy_cache.Allow);
+  Clock.charge_cycles clock (200.0 *. Cost.cycles_per_us);
+  Alcotest.(check bool) "expired after the TTL" true (probe "a" = None);
+  Alcotest.(check int) "expiration counted" 1 (counter "policy_cache.expirations" - exp0);
+  (* FIFO eviction at capacity 2. *)
+  put "a";
+  put "b";
+  put "c";
+  Alcotest.(check int) "capacity bound holds" 2 (Policy_cache.size cache);
+  Alcotest.(check bool) "oldest evicted" true (probe "a" = None);
+  Alcotest.(check bool) "newest kept" true (probe "c" = Some Policy_cache.Allow);
+  Alcotest.(check int) "eviction counted" 1 (counter "policy_cache.evictions" - ev0);
+  (* A denial round-trips with its reason. *)
+  Policy_cache.store cache ~cred_digest:"d" ~func_name:"g" ~m_id:2 ~policy_rev:1 ~keystore_gen:0
+    (Policy_cache.Deny "quota");
+  Alcotest.(check bool) "denial cached" true
+    (Policy_cache.lookup cache ~cred_digest:"d" ~func_name:"g" ~m_id:2 ~policy_rev:1
+       ~keystore_gen:0
+    = Some (Policy_cache.Deny "quota"));
+  Alcotest.(check int) "invalidate_module drops only module 2" 1
+    (Policy_cache.invalidate_module cache ~m_id:2);
+  Alcotest.(check bool) "flush empties" true (Policy_cache.flush cache >= 0);
+  Alcotest.(check int) "empty after flush" 0 (Policy_cache.size cache)
+
+let test_keystore_change_flushes () =
+  let world = World.create ~pool:Smodd.default_config ~with_rpc:false () in
+  let flushes0 = counter "policy_cache.flushes" in
+  World.spawn_seclibc_client world ~name:"ks-client" (fun _p conn ->
+      ignore (Smod_libc.Seclibc.Client.test_incr conn 1);
+      Keystore.add_principal (Smod.keystore world.World.smod) ~name:"newkey" ~secret:"s";
+      (* Generation moved: the next call re-evaluates and re-populates. *)
+      ignore (Smod_libc.Seclibc.Client.test_incr conn 2));
+  World.run world;
+  Alcotest.(check int) "keystore change flushed the cache" 1
+    (counter "policy_cache.flushes" - flushes0);
+  let st = Smodd.status (Option.get world.World.pool) in
+  Alcotest.(check (option int)) "repopulated under the new generation" (Some 1)
+    st.Smodd.st_cache_size
+
+(* ----------------------- module removal ------------------------------ *)
+
+let test_remove_module_retires_pool () =
+  let world = World.create ~pool:(one_handle Smodd.Wait) ~with_rpc:false () in
+  let machine = world.World.machine and smod = world.World.smod in
+  let pool = Option.get world.World.pool in
+  let parked_pid = ref (-1) in
+  ignore
+    (M.spawn machine ~name:"warm" (fun p ->
+         let conn =
+           Stub.connect smod p ~module_name:Smod_libc.Seclibc.module_name
+             ~version:Smod_libc.Seclibc.version
+             ~credential:(Credential.make ~principal:"client" ())
+         in
+         parked_pid := handle_pid_of smod p;
+         ignore (Smod_libc.Seclibc.Client.test_incr conn 1);
+         Stub.close conn));
+  World.run world;
+  let inval0 = counter "policy_cache.invalidations" in
+  let m_id = world.World.libc_entry.Registry.m_id in
+  ignore
+    (M.spawn machine ~name:"admin" (fun p ->
+         let bytes = Credential.to_bytes (Credential.make ~principal:"root" ()) in
+         let addr = Layout.data_base + 512 in
+         Aspace.write_bytes p.Proc.aspace ~addr bytes;
+         ignore (M.syscall machine p Sysno.smod_remove [| m_id; addr; Bytes.length bytes |])));
+  World.run world;
+  Alcotest.(check int) "no pooled handles survive removal" 0
+    (Smodd.status pool).Smodd.st_total_handles;
+  Alcotest.(check bool) "cached decisions evicted" true
+    (counter "policy_cache.invalidations" - inval0 >= 1);
+  Alcotest.(check bool) "parked handle process is gone" true
+    (match M.proc machine !parked_pid with None -> true | Some h -> Proc.is_zombie h);
+  (* A client arriving after removal must see ENOENT, never a stale
+     handle for the dead module. *)
+  let outcome = ref `Nothing in
+  ignore
+    (M.spawn machine ~name:"late" (fun p ->
+         match
+           Stub.connect smod p ~module_name:Smod_libc.Seclibc.module_name
+             ~version:Smod_libc.Seclibc.version
+             ~credential:(Credential.make ~principal:"late" ())
+         with
+         | _ -> outcome := `Connected
+         | exception Errno.Error (Errno.ENOENT, _) -> outcome := `Enoent));
+  World.run world;
+  Alcotest.(check bool) "late client gets ENOENT" true (!outcome = `Enoent)
+
+(* ------------------------------ hygiene ------------------------------ *)
+
+let test_pooled_churn_no_frame_leak () =
+  let world = World.create ~pool:(one_handle Smodd.Wait) ~with_rpc:false () in
+  let machine = world.World.machine in
+  let baseline = ref 0 in
+  for round = 1 to 5 do
+    ignore
+      (M.spawn machine ~name:(Printf.sprintf "churn-%d" round) (fun p ->
+           let conn =
+             Stub.connect world.World.smod p ~module_name:Smod_libc.Seclibc.module_name
+               ~version:Smod_libc.Seclibc.version
+               ~credential:(Credential.make ~principal:"client" ())
+           in
+           ignore (Smod_libc.Seclibc.Client.malloc conn 128);
+           Stub.close conn));
+    World.run world;
+    let live = Smod_vmem.Phys.live_frames (M.phys machine) in
+    if round = 1 then baseline := live
+    else
+      Alcotest.(check bool)
+        (Printf.sprintf "round %d: %d frames vs baseline %d" round live !baseline)
+        true
+        (live <= !baseline + 8)
+  done
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "pool"
+    [
+      ( "pooled sessions",
+        [
+          tc "attach/detach reuses the handle" test_attach_detach_reuse;
+          tc "secret scrubbed between tenants" test_secret_scrubbed_between_tenants;
+          tc "admission overflow: Reject" test_admission_reject;
+          tc "admission overflow: Wait" test_admission_wait;
+        ] );
+      ( "policy cache",
+        [
+          tc "one pooled dispatch, counted" test_one_pooled_dispatch_deltas;
+          tc "stateful policies bypass the cache" test_quota_policy_never_cached;
+          tc "TTL, FIFO eviction, invalidation" test_cache_ttl_and_eviction;
+          tc "keystore change flushes" test_keystore_change_flushes;
+        ] );
+      ( "lifecycle",
+        [
+          tc "sys_smod_remove retires pooled handles" test_remove_module_retires_pool;
+          tc "no frame leaks across pooled churn" test_pooled_churn_no_frame_leak;
+        ] );
+    ]
