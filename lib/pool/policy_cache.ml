@@ -16,19 +16,31 @@ let m_flushes = Smod_metrics.Scope.counter m_scope "flushes"
 
 type decision = Allow | Deny of string
 
-type entry = { e_decision : decision; e_m_id : int; e_stored_us : float }
+type entry = { e_decision : decision; e_m_id : int; e_stored_us : float; e_seq : int }
 
 type t = {
   clock : Clock.t;
   ttl_us : float;
   cap : int;
   table : (string, entry) Hashtbl.t;
-  order : string Queue.t;  (* insertion order, oldest first, for eviction *)
+  order : (string * int) Queue.t;
+      (* (key, seq) in insertion order, oldest first, for eviction.  The
+         sequence number marks stale records: a key removed by expiry or
+         invalidation and later re-stored gets a fresh seq, so eviction
+         skips the old record instead of dropping the refreshed entry. *)
+  mutable seq : int;
 }
 
 let create ~clock ~ttl_us ~capacity =
   if capacity <= 0 then invalid_arg "Policy_cache.create: capacity";
-  { clock; ttl_us; cap = capacity; table = Hashtbl.create 64; order = Queue.create () }
+  {
+    clock;
+    ttl_us;
+    cap = capacity;
+    table = Hashtbl.create 64;
+    order = Queue.create ();
+    seq = 0;
+  }
 
 let ttl_us t = t.ttl_us
 let capacity t = t.cap
@@ -63,22 +75,30 @@ let lookup t ~cred_digest ~func_name ~m_id ~policy_rev ~keystore_gen =
 let rec evict_one t =
   match Queue.take_opt t.order with
   | None -> ()
-  | Some k ->
-      (* The order queue can hold keys already removed by expiry or
-         invalidation; skip those and evict the oldest live one. *)
-      if Hashtbl.mem t.table k then begin
-        Hashtbl.remove t.table k;
-        Smod_metrics.Counter.incr m_evictions
-      end
-      else evict_one t
+  | Some (k, seq) -> (
+      (* Skip stale records — keys removed by expiry or invalidation, or
+         re-stored since (fresh seq) — and evict the oldest live entry. *)
+      match Hashtbl.find_opt t.table k with
+      | Some e when e.e_seq = seq ->
+          Hashtbl.remove t.table k;
+          Smod_metrics.Counter.incr m_evictions
+      | Some _ | None -> evict_one t)
 
 let store t ~cred_digest ~func_name ~m_id ~policy_rev ~keystore_gen decision =
   Clock.charge t.clock Cost.Policy_cache_insert;
   let k = key ~cred_digest ~func_name ~m_id ~policy_rev ~keystore_gen in
-  if (not (Hashtbl.mem t.table k)) && Hashtbl.length t.table >= t.cap then evict_one t;
-  if not (Hashtbl.mem t.table k) then Queue.add k t.order;
+  let seq =
+    match Hashtbl.find_opt t.table k with
+    | Some e -> e.e_seq  (* refresh in place: the FIFO position is kept *)
+    | None ->
+        if Hashtbl.length t.table >= t.cap then evict_one t;
+        let seq = t.seq in
+        t.seq <- t.seq + 1;
+        Queue.add (k, seq) t.order;
+        seq
+  in
   Hashtbl.replace t.table k
-    { e_decision = decision; e_m_id = m_id; e_stored_us = Clock.now_us t.clock };
+    { e_decision = decision; e_m_id = m_id; e_stored_us = Clock.now_us t.clock; e_seq = seq };
   Smod_metrics.Counter.incr m_inserts
 
 let invalidate_module t ~m_id =

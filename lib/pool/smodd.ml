@@ -55,6 +55,7 @@ type waiter = {
   w_pid : int;
   mutable w_granted : Smod.pooled_handle option;
   mutable w_cancelled : bool;
+  mutable w_done : bool;  (* acquire returned (or raised); exit hook is a no-op *)
 }
 
 type mod_pool = {
@@ -79,6 +80,8 @@ type t = {
   mutable total_waiters : int;  (* live (non-cancelled) queued clients *)
   cache : Policy_cache.t option;
   cred_digests : (int, string) Hashtbl.t;  (* sid -> credential digest *)
+  mutable remove_hook : (m_id:int -> unit) option;
+      (* the hook registered on the Smod.t, deregistered by uninstall *)
 }
 
 let config t = t.cfg
@@ -142,7 +145,11 @@ let rec spawn_for t mp =
   ph
 
 (* Handle context, each time a pooled handle frees up: hand it straight
-   to the oldest queued client for its module, else park it. *)
+   to the oldest queued client for its module, else park it — unless the
+   global cap binds and another module's client is starving in the queue,
+   in which case parking would strand that waiter forever (pump can only
+   spawn under the cap, and it only runs on handle death).  Retire the
+   parking handle instead so the freed slot is granted right away. *)
 and handle_parked t ph =
   Smod_metrics.Counter.incr m_parks;
   match Hashtbl.find_opt t.pools (Smod.pooled_handle_entry ph).Registry.m_id with
@@ -152,7 +159,26 @@ and handle_parked t ph =
       | Some w ->
           Smod_metrics.Counter.incr m_hit;
           grant t w ph
-      | None -> mp.mp_free <- ph :: mp.mp_free)
+      | None ->
+          let starving_elsewhere =
+            t.total_handles >= t.cfg.max_total_handles
+            && Hashtbl.fold
+                 (fun _ mp' acc ->
+                   acc
+                   || (mp' != mp
+                      && mp'.mp_handles < t.cfg.max_handles_per_module
+                      && live_waiters mp' > 0))
+                 t.pools false
+          in
+          if starving_elsewhere then begin
+            ignore (unaccount t ph);
+            Smod_metrics.Counter.incr m_reclaims;
+            pump t;
+            (* Last: when the parking handle is the running process, the
+               kill raises Proc_killed out of this very call. *)
+            Smod.retire_pooled_handle t.smod ph
+          end
+          else mp.mp_free <- ph :: mp.mp_free)
 
 and handle_died t ph =
   if unaccount t ph then begin
@@ -190,6 +216,31 @@ and pump t =
             grant t w (spawn_for t mp);
             progress := true)
   done
+
+(* Client exit hook, registered the moment a waiter joins the admission
+   queue: a client killed while blocked must not stay counted in
+   total_waiters, and if handle_parked already granted it a handle, that
+   handle (reserved, off mp_free, still on the capacity books) must go
+   back to the pool instead of leaking. *)
+let waiter_client_exited t w =
+  if not w.w_done then begin
+    match w.w_granted with
+    | Some ph ->
+        (* Granted but never attached: the grant already uncounted the
+           waiter; return the handle to the pool (or the next waiter). *)
+        w.w_cancelled <- true;
+        Smod_metrics.Counter.incr m_cancelled;
+        if not (Smod.pooled_handle_dead ph) then begin
+          Smod.unreserve_pooled_handle ph;
+          handle_parked t ph
+        end
+    | None ->
+        if not w.w_cancelled then begin
+          w.w_cancelled <- true;
+          t.total_waiters <- t.total_waiters - 1;
+          Smod_metrics.Counter.incr m_cancelled
+        end
+  end
 
 (* Steal global capacity back from another module's idle handle (the
    donor with the most parked handles).  The retire is synchronous on
@@ -255,18 +306,22 @@ let acquire t (p : Proc.t) (entry : Registry.entry) =
       else begin
         (* overflow = Wait: join the admission queue *)
         if t.total_waiters >= t.cfg.max_queue_depth then saturated_error t;
-        let w = { w_pid = p.Proc.pid; w_granted = None; w_cancelled = false } in
+        let w =
+          { w_pid = p.Proc.pid; w_granted = None; w_cancelled = false; w_done = false }
+        in
         Queue.add w mp.mp_waiters;
         t.total_waiters <- t.total_waiters + 1;
         Smod_metrics.Counter.incr m_waits;
+        p.Proc.exit_hooks <- (fun _ -> waiter_client_exited t w) :: p.Proc.exit_hooks;
         while w.w_granted = None && not w.w_cancelled do
           Effect.perform (Sched.Block (Sched.Custom "smodd-admission"))
         done;
+        w.w_done <- true;
         match w.w_granted with
         | Some ph when not (Smod.pooled_handle_dead ph) -> ph
         | _ ->
-            (* Module removed while queued, or granted a handle that was
-               retired before we ran again. *)
+            (* Module removed (or smodd uninstalled) while queued, or
+               granted a handle that was retired before we ran again. *)
             Errno.raise_errno Errno.ENOENT "smodd: module removed while queued"
       end
 
@@ -371,6 +426,7 @@ let install smod ?(config = default_config) () =
       total_waiters = 0;
       cache;
       cred_digests = Hashtbl.create 64;
+      remove_hook = None;
     }
   in
   Smod.set_session_broker smod (Some (fun p entry credential -> broker t p entry credential));
@@ -381,12 +437,37 @@ let install smod ?(config = default_config) () =
           the flush additionally reclaims the dead entries' space. *)
        Keystore.on_change (Smod.keystore smod) (fun () -> ignore (Policy_cache.flush c))
    | None -> ());
-  Smod.add_module_remove_hook smod (fun ~m_id -> on_module_remove t ~m_id);
+  let remove_hook ~m_id = on_module_remove t ~m_id in
+  Smod.add_module_remove_hook smod remove_hook;
+  t.remove_hook <- Some remove_hook;
   t
 
 let uninstall t =
   Smod.set_session_broker t.smod None;
   Smod.set_policy_cache t.smod None;
+  (match t.remove_hook with
+  | Some hook ->
+      Smod.remove_module_remove_hook t.smod hook;
+      t.remove_hook <- None
+  | None -> ());
+  (* Wake every queued client first (they fail with ENOENT, exactly as on
+     module removal) so nobody stays blocked on a pool that no longer
+     exists... *)
+  Hashtbl.iter
+    (fun _ mp ->
+      Queue.iter
+        (fun w ->
+          if (not w.w_cancelled) && w.w_granted = None then begin
+            w.w_cancelled <- true;
+            t.total_waiters <- t.total_waiters - 1;
+            Smod_metrics.Counter.incr m_cancelled;
+            Machine.wakeup t.machine w.w_pid
+          end)
+        mp.mp_waiters;
+      Queue.clear mp.mp_waiters)
+    t.pools;
+  Hashtbl.reset t.pools;
+  (* ...then retire the handles themselves. *)
   let victims = Hashtbl.fold (fun _ (_, ph) acc -> ph :: acc) t.members [] in
   List.iter
     (fun ph ->

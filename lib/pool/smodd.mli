@@ -14,7 +14,11 @@
     pool is saturated, [Reject] fails start_session with EAGAIN while
     [Wait] parks the client until a handle frees up; freed capacity goes
     to the least-served module with queued waiters.  A saturated pool may
-    also reclaim an idle handle parked under a different module.
+    also reclaim an idle handle parked under a different module — both at
+    acquire time and when a handle parks while another module's client is
+    starving in the queue, so no waiter is stranded behind idle capacity.
+    A client killed while queued is uncounted (and any handle it was
+    granted but never attached to returns to the pool).
 
     A policy-decision cache (see {!Policy_cache}) memoises cacheable
     per-call verdicts, replacing the per-call credential check and policy
@@ -49,7 +53,9 @@ val install : Secmodule.Smod.t -> ?config:config -> unit -> t
     module-removal hook.  At most one smodd per subsystem. *)
 
 val uninstall : t -> unit
-(** Deregister the hooks and retire every pooled handle. *)
+(** Deregister the hooks (the module-remove hook included), wake every
+    queued client (they fail with ENOENT, as on module removal) and
+    retire every pooled handle. *)
 
 val config : t -> config
 

@@ -47,6 +47,8 @@ type pooled_handle = {
   ph_req_qid : int;
   ph_rep_qid : int;
   ph_aspace : Aspace.t;
+  ph_data_image : bytes;
+      (** pristine (linked) module data segment, re-installed between tenants *)
   mutable ph_session : session option;
   mutable ph_dead : bool;
   mutable ph_reserved : bool;
@@ -325,9 +327,26 @@ let scrub_pooled_handle t ph =
     Aspace.zero_materialized ph.ph_aspace ~start_addr:Layout.secret_base
       ~size:(Layout.secret_pages * Layout.page_size)
   in
-  Clock.charge clock (Cost.Copy_bytes zeroed);
+  (* Reset the module's rw data segment to its freshly-installed image:
+     under the paper's cold-fork model every session starts with pristine
+     module globals, so a pooled handle must not let one tenant's writes
+     (state or data) survive into the next session.  Zero first so the
+     page-aligned slack beyond the image is covered too. *)
+  let data_len = Bytes.length ph.ph_data_image in
+  let data_cleared =
+    if data_len = 0 then 0
+    else begin
+      let cleared =
+        Aspace.zero_materialized ph.ph_aspace ~start_addr:module_data_base_addr
+          ~size:(Layout.page_align_up data_len)
+      in
+      Aspace.write_bytes ph.ph_aspace ~addr:module_data_base_addr ph.ph_data_image;
+      cleared + data_len
+    end
+  in
+  Clock.charge clock (Cost.Copy_bytes (zeroed + data_cleared));
   Smod_metrics.Counter.incr m_handle_scrubs;
-  Smod_metrics.Counter.add m_scrub_bytes zeroed
+  Smod_metrics.Counter.add m_scrub_bytes (zeroed + data_cleared)
 
 (* The body of a pooled handle: park → recycle for the assigned tenant →
    handshake → serve until the detach control message → scrub → park. *)
@@ -428,7 +447,8 @@ let install_module_image t session_text_base session_data_base handle_aspace ent
       ~kind:Aspace.Data ~name:("module-data:" ^ image.Smof.mod_name);
     Aspace.write_bytes handle_aspace ~addr:session_data_base linked.Smof.data;
     Clock.charge clock (Cost.Copy_bytes (Bytes.length linked.Smof.data))
-  end
+  end;
+  linked
 
 (* Spawn a reusable handle for [entry], owned by the smodd service layer.
    Everything a cold fork would build per session — address space, module
@@ -443,7 +463,9 @@ let spawn_pooled_handle t ~entry ~on_park ~on_death =
     Aspace.create ~phys:(Machine.phys t.machine) ~clock
       ~name:(Printf.sprintf "pool-handle-%s-%d" mod_name serial)
   in
-  install_module_image t module_text_base_addr module_data_base_addr handle_aspace entry;
+  let linked =
+    install_module_image t module_text_base_addr module_data_base_addr handle_aspace entry
+  in
   Aspace.add_entry handle_aspace ~start_addr:Layout.secret_base
     ~size:(Layout.secret_pages * Layout.page_size)
     ~prot:Prot.rw ~kind:Aspace.Secret ~name:"secret";
@@ -469,6 +491,7 @@ let spawn_pooled_handle t ~entry ~on_park ~on_death =
       ph_req_qid = req_qid;
       ph_rep_qid = rep_qid;
       ph_aspace = handle_aspace;
+      ph_data_image = linked.Smof.data;
       ph_session = None;
       ph_dead = false;
       ph_reserved = false;
@@ -504,6 +527,7 @@ let pooled_handle_dead ph = ph.ph_dead
 let pooled_handle_tenants ph = ph.ph_tenants
 let pooled_handle_aspace ph = ph.ph_aspace
 let reserve_pooled_handle ph = ph.ph_reserved <- true
+let unreserve_pooled_handle ph = ph.ph_reserved <- false
 
 let retire_pooled_handle t ph =
   if not ph.ph_dead then begin
@@ -575,6 +599,9 @@ let set_session_broker t broker = t.broker <- broker
 let set_policy_cache t hooks = t.policy_cache <- hooks
 let add_module_remove_hook t hook = t.remove_hooks <- hook :: t.remove_hooks
 
+let remove_module_remove_hook t hook =
+  t.remove_hooks <- List.filter (fun h -> h != hook) t.remove_hooks
+
 let cold_start_session t (p : Proc.t) entry credential =
   let clock = Machine.clock t.machine in
   (* Build the handle's private address space. *)
@@ -582,7 +609,7 @@ let cold_start_session t (p : Proc.t) entry credential =
     Aspace.create ~phys:(Machine.phys t.machine) ~clock
       ~name:(Printf.sprintf "handle-of-%d" p.Proc.pid)
   in
-  install_module_image t module_text_base_addr module_data_base_addr handle_aspace entry;
+  ignore (install_module_image t module_text_base_addr module_data_base_addr handle_aspace entry);
   (* Secret stack/heap segment, never shared, never client-visible. *)
   Aspace.add_entry handle_aspace ~start_addr:Layout.secret_base
     ~size:(Layout.secret_pages * Layout.page_size)

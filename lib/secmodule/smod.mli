@@ -119,7 +119,9 @@ val sys_call : t -> Smod_kern.Proc.t -> framep:int -> rtnaddr:int -> m_id:int ->
 (** {1 Session pooling (the smodd service layer, lib/pool)}
 
     A pooled handle is a handle co-process that outlives any single
-    session: between tenants it scrubs its secret segment, unshares the
+    session: between tenants it scrubs its secret segment, restores the
+    module's data segment to its pristine image (cold-fork semantics:
+    module globals never carry state across sessions), unshares the
     departed client's range, and parks on {!Smod_kern.Sched.Pool_park}
     until the pool layer attaches the next client.  The per-session costs
     that remain are exactly the safety-relevant ones — [force_share]
@@ -157,6 +159,10 @@ val reserve_pooled_handle : pooled_handle -> unit
     callback is not re-fired (and the handle not double-assigned) before
     {!attach_pooled} runs. *)
 
+val unreserve_pooled_handle : pooled_handle -> unit
+(** Release a reservation whose client went away before {!attach_pooled}
+    (killed while queued) so the handle can be re-parked or re-granted. *)
+
 val pooled_handle_pid : pooled_handle -> int
 val pooled_handle_entry : pooled_handle -> Registry.entry
 val pooled_handle_busy : pooled_handle -> bool
@@ -177,6 +183,11 @@ val add_module_remove_hook : t -> (m_id:int -> unit) -> unit
 (** Fired by [sys_smod_remove] after active sessions are detached and
     before the registry entry disappears — smodd kills the module's
     parked handles and evicts its policy-cache entries here. *)
+
+val remove_module_remove_hook : t -> (m_id:int -> unit) -> unit
+(** Deregister a hook previously passed to {!add_module_remove_hook}
+    (matched by physical equality) — smodd's [uninstall] path, so a
+    reinstalled pool does not leave the stale hook firing. *)
 
 type cached_decision = Cache_allow | Cache_deny of string
 

@@ -76,21 +76,42 @@ let test_attach_detach_reuse () =
 (* ------------------------ secret scrubbing --------------------------- *)
 
 (* A module whose natives read and write a fixed slot in the handle's
-   secret segment: tenant A plants a value, tenant B on the same pooled
-   handle must read it back as zero. *)
+   secret segment plus a mutable global in its own data segment: tenant A
+   plants values in both, tenant B on the same pooled handle must read
+   the secret slot back as zero and the global back at its pristine
+   image value — cold-fork semantics, not last-tenant leftovers. *)
 let secret_slot = Layout.secret_base + 512
+let pristine_global = 0x5EED1234
 
 let secret_module smod =
   let b = Smof.Builder.create ~name:"secretmod" ~version:1 in
   ignore (Smof.Builder.add_native_function b ~name:"poke" ~native:"poke" ~size_hint:32 ());
   ignore (Smof.Builder.add_native_function b ~name:"peek" ~native:"peek" ~size_hint:32 ());
+  ignore (Smof.Builder.add_native_function b ~name:"gpoke" ~native:"gpoke" ~size_hint:32 ());
+  ignore (Smof.Builder.add_native_function b ~name:"gpeek" ~native:"gpeek" ~size_hint:32 ());
+  let global_off =
+    let init = Bytes.create 4 in
+    Bytes.set_int32_le init 0 (Int32.of_int pristine_global);
+    Smof.Builder.add_data b init
+  in
   let entry = Toolchain.package smod ~image:(Smof.Builder.finish b) () in
+  let global_addr h =
+    match Smod.session_of_handle smod ~handle_pid:h.Proc.pid with
+    | Some s -> s.Smod.module_data_base + global_off
+    | None -> Alcotest.fail "native ran outside a session"
+  in
   Smod.bind_native smod ~m_id:entry.Registry.m_id ~name:"poke" (fun _m h ~args_base ->
       Aspace.write_word h.Proc.aspace ~addr:secret_slot
         (Aspace.read_word h.Proc.aspace ~addr:args_base);
       0);
   Smod.bind_native smod ~m_id:entry.Registry.m_id ~name:"peek" (fun _m h ~args_base:_ ->
       Aspace.read_word h.Proc.aspace ~addr:secret_slot);
+  Smod.bind_native smod ~m_id:entry.Registry.m_id ~name:"gpoke" (fun _m h ~args_base ->
+      Aspace.write_word h.Proc.aspace ~addr:(global_addr h)
+        (Aspace.read_word h.Proc.aspace ~addr:args_base);
+      0);
+  Smod.bind_native smod ~m_id:entry.Registry.m_id ~name:"gpeek" (fun _m h ~args_base:_ ->
+      Aspace.read_word h.Proc.aspace ~addr:(global_addr h));
   entry
 
 let test_secret_scrubbed_between_tenants () =
@@ -98,7 +119,7 @@ let test_secret_scrubbed_between_tenants () =
   let smod = Smod.install machine () in
   let pool = Smodd.install smod ~config:(one_handle Smodd.Wait) () in
   ignore (secret_module smod);
-  let seen = ref (-1) in
+  let seen = ref (-1) and seen_global = ref (-1) in
   ignore
     (M.spawn machine ~name:"tenant-a" (fun p ->
          let conn =
@@ -108,6 +129,11 @@ let test_secret_scrubbed_between_tenants () =
          ignore (Stub.call conn ~func:"poke" [| 0xBEEF |]);
          Alcotest.(check int) "tenant A sees its own secret" 0xBEEF
            (Stub.call conn ~func:"peek" [||]);
+         Alcotest.(check int) "tenant A sees the pristine global" pristine_global
+           (Stub.call conn ~func:"gpeek" [||]);
+         ignore (Stub.call conn ~func:"gpoke" [| 0xFACE |]);
+         Alcotest.(check int) "tenant A sees its own global write" 0xFACE
+           (Stub.call conn ~func:"gpeek" [||]);
          Stub.close conn));
   M.run machine;
   ignore
@@ -117,9 +143,12 @@ let test_secret_scrubbed_between_tenants () =
              ~credential:(Credential.make ~principal:"bob" ())
          in
          seen := Stub.call conn ~func:"peek" [||];
+         seen_global := Stub.call conn ~func:"gpeek" [||];
          Stub.close conn));
   M.run machine;
   Alcotest.(check int) "tenant B reads a scrubbed slot" 0 !seen;
+  Alcotest.(check int) "tenant B reads the re-installed global, not tenant A's"
+    pristine_global !seen_global;
   let st = Smodd.status pool in
   Alcotest.(check int) "same single handle served both" 1 st.Smodd.st_total_handles;
   Alcotest.(check bool) "scrub bytes counted" true (counter "secmodule.scrub_bytes" > 0)
@@ -181,6 +210,159 @@ let test_admission_wait () =
       Stub.close conn);
   Alcotest.(check int) "waiter got the holder's recycled handle" !holder !second_handle;
   Alcotest.(check int) "one pool.wait" 1 (counter "pool.waits" - waits0)
+
+(* A waiter queued because the global cap binds must be served when a
+   handle of a *different* module parks: the parking handle is retired
+   and the freed slot spawned for the starved module — parking it idle
+   would strand the waiter forever. *)
+let ping_module smod ~name =
+  let b = Smof.Builder.create ~name ~version:1 in
+  ignore (Smof.Builder.add_native_function b ~name:"ping" ~native:"ping" ~size_hint:32 ());
+  let entry = Toolchain.package smod ~image:(Smof.Builder.finish b) () in
+  Smod.bind_native smod ~m_id:entry.Registry.m_id ~name:"ping" (fun _m _h ~args_base:_ -> 7);
+  entry
+
+let test_parked_handle_yields_to_starved_module () =
+  let machine = M.create ~jitter:0.0 () in
+  let smod = Smod.install machine () in
+  let pool = Smodd.install smod ~config:(one_handle Smodd.Wait) () in
+  ignore (ping_module smod ~name:"alpha");
+  ignore (ping_module smod ~name:"beta");
+  let reclaims0 = counter "pool.reclaims" in
+  let beta_result = ref (-1) in
+  ignore
+    (M.spawn machine ~name:"alpha-client" (fun p ->
+         let conn =
+           Stub.connect smod p ~module_name:"alpha" ~version:1
+             ~credential:(Credential.make ~principal:"alice" ())
+         in
+         ignore
+           (M.spawn machine ~name:"beta-client" (fun q ->
+                let conn =
+                  Stub.connect smod q ~module_name:"beta" ~version:1
+                    ~credential:(Credential.make ~principal:"bob" ())
+                in
+                beta_result := Stub.call conn ~func:"ping" [||];
+                Stub.close conn));
+         (* beta-client queues inside this call's reply block (alpha's
+            handle holds the only global slot); closing parks the handle,
+            which must yield the slot rather than idle. *)
+         ignore (Stub.call conn ~func:"ping" [||]);
+         Stub.close conn));
+  M.run machine;
+  Alcotest.(check int) "starved beta client was served" 7 !beta_result;
+  Alcotest.(check int) "alpha's parking handle was reclaimed" 1
+    (counter "pool.reclaims" - reclaims0);
+  let st = Smodd.status pool in
+  Alcotest.(check int) "global cap still respected" 1 st.Smodd.st_total_handles;
+  Alcotest.(check int) "nobody left queued" 0 st.Smodd.st_total_waiters
+
+(* A client SIGKILLed while blocked in the admission queue must drop out
+   of the waiter accounting, and any handle granted but never attached
+   must return to the pool — no leaked capacity either way. *)
+let test_killed_waiter_releases_capacity () =
+  let world = World.create ~pool:(one_handle Smodd.Wait) ~with_rpc:false () in
+  let machine = world.World.machine and smod = world.World.smod in
+  let cancelled0 = counter "pool.cancelled" in
+  ignore
+    (M.spawn machine ~name:"holder" (fun p ->
+         let conn =
+           Stub.connect smod p ~module_name:Smod_libc.Seclibc.module_name
+             ~version:Smod_libc.Seclibc.version
+             ~credential:(Credential.make ~principal:"holder" ())
+         in
+         let victim =
+           M.spawn machine ~name:"victim" (fun q ->
+               ignore
+                 (Stub.connect smod q ~module_name:Smod_libc.Seclibc.module_name
+                    ~version:Smod_libc.Seclibc.version
+                    ~credential:(Credential.make ~principal:"victim" ()));
+               Alcotest.fail "killed waiter must never attach")
+         in
+         (* The victim queues inside this call's reply block. *)
+         ignore (Smod_libc.Seclibc.Client.test_incr conn 1);
+         M.kill machine ~pid:victim.Proc.pid ~signal:Smod_kern.Signal.sigkill;
+         Stub.close conn));
+  World.run world;
+  Alcotest.(check int) "victim uncounted" 1 (counter "pool.cancelled" - cancelled0);
+  let st = Smodd.status (Option.get world.World.pool) in
+  Alcotest.(check int) "no waiter left on the books" 0 st.Smodd.st_total_waiters;
+  Alcotest.(check int) "handle survived" 1 st.Smodd.st_total_handles;
+  (* The slot the victim would have consumed is still usable. *)
+  let hit0 = counter "pool.hit" in
+  ignore
+    (M.spawn machine ~name:"after" (fun p ->
+         let conn =
+           Stub.connect smod p ~module_name:Smod_libc.Seclibc.module_name
+             ~version:Smod_libc.Seclibc.version
+             ~credential:(Credential.make ~principal:"after" ())
+         in
+         Alcotest.(check int) "pool still serves" 3
+           (Smod_libc.Seclibc.Client.test_incr conn 2);
+         Stub.close conn));
+  World.run world;
+  Alcotest.(check int) "later client reuses the parked handle" 1 (counter "pool.hit" - hit0)
+
+(* uninstall must wake queued clients (ENOENT, as on module removal),
+   deregister its module-remove hook, and leave the subsystem clean
+   enough that a fresh smodd can be installed. *)
+let test_uninstall_wakes_waiters () =
+  let world = World.create ~pool:(one_handle Smodd.Wait) ~with_rpc:false () in
+  let machine = world.World.machine and smod = world.World.smod in
+  let pool = Option.get world.World.pool in
+  let outcome = ref `Nothing in
+  ignore
+    (M.spawn machine ~name:"holder" (fun p ->
+         let conn =
+           Stub.connect smod p ~module_name:Smod_libc.Seclibc.module_name
+             ~version:Smod_libc.Seclibc.version
+             ~credential:(Credential.make ~principal:"holder" ())
+         in
+         ignore
+           (M.spawn machine ~name:"queued" (fun q ->
+                match
+                  Stub.connect smod q ~module_name:Smod_libc.Seclibc.module_name
+                    ~version:Smod_libc.Seclibc.version
+                    ~credential:(Credential.make ~principal:"queued" ())
+                with
+                | _ -> outcome := `Connected
+                | exception Errno.Error (Errno.ENOENT, _) -> outcome := `Enoent));
+         ignore (Smod_libc.Seclibc.Client.test_incr conn 1);
+         (* "queued" is blocked in the admission queue; tear smodd down
+            from under both of us. *)
+         Smodd.uninstall pool));
+  World.run world;
+  Alcotest.(check bool) "queued client woken with ENOENT" true (!outcome = `Enoent);
+  let st = Smodd.status pool in
+  Alcotest.(check int) "no handles left" 0 st.Smodd.st_total_handles;
+  Alcotest.(check int) "no waiters left" 0 st.Smodd.st_total_waiters;
+  (* A fresh smodd installs cleanly and module removal touches only it —
+     the old pool's remove hook is gone. *)
+  let pool2 = Smodd.install smod ~config:(one_handle Smodd.Wait) () in
+  ignore
+    (M.spawn machine ~name:"fresh" (fun p ->
+         let conn =
+           Stub.connect smod p ~module_name:Smod_libc.Seclibc.module_name
+             ~version:Smod_libc.Seclibc.version
+             ~credential:(Credential.make ~principal:"fresh" ())
+         in
+         ignore (Smod_libc.Seclibc.Client.test_incr conn 1);
+         Stub.close conn));
+  M.run machine;
+  Alcotest.(check int) "reinstalled pool serves" 1
+    (Smodd.status pool2).Smodd.st_total_handles;
+  ignore
+    (M.spawn machine ~name:"admin" (fun p ->
+         let bytes = Credential.to_bytes (Credential.make ~principal:"root" ()) in
+         let addr = Layout.data_base + 512 in
+         Aspace.write_bytes p.Proc.aspace ~addr bytes;
+         ignore
+           (M.syscall machine p Sysno.smod_remove
+              [| world.World.libc_entry.Registry.m_id; addr; Bytes.length bytes |])));
+  M.run machine;
+  Alcotest.(check int) "removal drains only the live pool" 0
+    (Smodd.status pool2).Smodd.st_total_handles;
+  Smodd.uninstall pool2
 
 (* ---------------------- one pooled dispatch, counted ----------------- *)
 
@@ -279,6 +461,34 @@ let test_cache_ttl_and_eviction () =
     (Policy_cache.invalidate_module cache ~m_id:2);
   Alcotest.(check bool) "flush empties" true (Policy_cache.flush cache >= 0);
   Alcotest.(check int) "empty after flush" 0 (Policy_cache.size cache)
+
+(* A key that left the table (expiry, invalidation) and was re-stored
+   must occupy its *new* FIFO position: eviction skips the stale order
+   record instead of dropping the freshly refreshed entry. *)
+let test_cache_refresh_keeps_fifo_order () =
+  let clock = Clock.create ~jitter:0.0 () in
+  let cache = Policy_cache.create ~clock ~ttl_us:0.0 ~capacity:2 in
+  let probe d m =
+    Policy_cache.lookup cache ~cred_digest:d ~func_name:"f" ~m_id:m ~policy_rev:1
+      ~keystore_gen:0
+  in
+  let put d m =
+    Policy_cache.store cache ~cred_digest:d ~func_name:"f" ~m_id:m ~policy_rev:1 ~keystore_gen:0
+      Policy_cache.Allow
+  in
+  put "a" 1;
+  put "b" 2;
+  (* "a" leaves the table (module 1 invalidated) and is re-stored: it is
+     now the *newest* entry even though a stale order record for it still
+     sits at the head of the queue. *)
+  Alcotest.(check int) "invalidation drops a" 1 (Policy_cache.invalidate_module cache ~m_id:1);
+  put "a" 1;
+  put "c" 3;
+  Alcotest.(check int) "capacity bound holds" 2 (Policy_cache.size cache);
+  Alcotest.(check bool) "refreshed a survives (not evicted via its stale record)" true
+    (probe "a" 1 = Some Policy_cache.Allow);
+  Alcotest.(check bool) "b, the oldest live entry, was evicted" true (probe "b" 2 = None);
+  Alcotest.(check bool) "c kept" true (probe "c" 3 = Some Policy_cache.Allow)
 
 let test_keystore_change_flushes () =
   let world = World.create ~pool:Smodd.default_config ~with_rpc:false () in
@@ -379,17 +589,21 @@ let () =
           tc "secret scrubbed between tenants" test_secret_scrubbed_between_tenants;
           tc "admission overflow: Reject" test_admission_reject;
           tc "admission overflow: Wait" test_admission_wait;
+          tc "parked handle yields to a starved module" test_parked_handle_yields_to_starved_module;
+          tc "killed waiter releases its capacity" test_killed_waiter_releases_capacity;
         ] );
       ( "policy cache",
         [
           tc "one pooled dispatch, counted" test_one_pooled_dispatch_deltas;
           tc "stateful policies bypass the cache" test_quota_policy_never_cached;
           tc "TTL, FIFO eviction, invalidation" test_cache_ttl_and_eviction;
+          tc "re-stored key keeps FIFO order" test_cache_refresh_keeps_fifo_order;
           tc "keystore change flushes" test_keystore_change_flushes;
         ] );
       ( "lifecycle",
         [
           tc "sys_smod_remove retires pooled handles" test_remove_module_retires_pool;
+          tc "uninstall wakes queued waiters" test_uninstall_wakes_waiters;
           tc "no frame leaks across pooled churn" test_pooled_churn_no_frame_leak;
         ] );
     ]
