@@ -113,6 +113,12 @@ let ablation_sections =
       a_unit = "us/session (throughput rows: kcalls/s)";
       a_run = (fun ~full -> Ablations.pooling ~calls:(scale ~full 150) ());
     };
+    {
+      a_id = "e18";
+      a_title = "E18: dispatch rings vs msgq transport, per-call latency by batch size (lib/ring)";
+      a_unit = "us/call";
+      a_run = (fun ~full -> Ablations.ring_dispatch ~rounds:(scale ~full 200) ());
+    };
   ]
 
 let run_ablation_section ~full s =
@@ -256,7 +262,7 @@ let only =
     & info [ "only" ] ~docv:"BENCH"
         ~doc:
           "Run only the given comma-separated sections: figure8 (alias e1), ablations, \
-           e9..e16, wallclock.  Example: --only e1,e16.")
+           e9..e18, wallclock.  Example: --only e1,e16,e18.")
 
 let json_path =
   Arg.(

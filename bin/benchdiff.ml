@@ -35,22 +35,28 @@ let parse_tolerance s =
   if v < 0.0 || not (Float.is_finite v) then fail ();
   v
 
-let main baseline_path current_path tolerance abs_eps =
+let main baseline_path current_path tolerance abs_eps abs_eps_for =
   let rel_tol = parse_tolerance tolerance in
   let baseline = read_doc baseline_path in
   let current = read_doc current_path in
-  let c = Bench_json.compare_docs ~rel_tol ~abs_eps ~baseline ~current () in
+  let c = Bench_json.compare_docs ~rel_tol ~abs_eps ~abs_eps_for ~baseline ~current () in
   Printf.printf "benchdiff: %s vs %s (tolerance %.4g%%, abs epsilon %g)\n" baseline_path
     current_path (rel_tol *. 100.0) abs_eps;
+  List.iter
+    (fun (id, eps) -> Printf.printf "  (epsilon override: %s rows judged with %g)\n" id eps)
+    abs_eps_for;
   List.iter
     (fun (d : Bench_json.drift) ->
       let delta_pct =
         if d.d_base = 0.0 then Float.abs (d.d_cur -. d.d_base) *. 100.0
         else (d.d_cur -. d.d_base) /. Float.abs d.d_base *. 100.0
       in
-      Printf.printf "  %-4s %-4s %-40s base %12.4f  cur %12.4f  (%+.3f%%)\n"
+      (* Flag the rows judged under a per-experiment epsilon override so a
+         reader can tell which tolerance actually applied. *)
+      let eps_note = if d.d_abs_eps = abs_eps then "" else Printf.sprintf "  [eps %g]" d.d_abs_eps in
+      Printf.printf "  %-4s %-4s %-40s base %12.4f  cur %12.4f  (%+.3f%%)%s\n"
         (if d.d_ok then "ok" else "FAIL")
-        d.d_experiment d.d_label d.d_base d.d_cur delta_pct)
+        d.d_experiment d.d_label d.d_base d.d_cur delta_pct eps_note)
     c.Bench_json.drifts;
   List.iter (fun k -> Printf.printf "  note  only in baseline: %s\n" k) c.Bench_json.missing;
   List.iter (fun k -> Printf.printf "  note  only in current:  %s\n" k) c.Bench_json.extra;
@@ -88,8 +94,19 @@ let abs_eps =
     & info [ "abs-epsilon" ] ~docv:"EPS"
         ~doc:"Additive slack so exact-zero baseline rows don't fail on any change.")
 
+let abs_eps_for =
+  Arg.(
+    value
+    & opt_all (pair ~sep:'=' string float) []
+    & info [ "abs-epsilon-for" ] ~docv:"EXP=EPS"
+        ~doc:
+          "Override the additive epsilon for one experiment id, e.g. \
+           $(b,--abs-epsilon-for e18=0.05).  Repeatable; rows judged under an \
+           override are flagged in the report.")
+
 let cmd =
   let doc = "Compare two smod-bench JSON documents and gate on drift" in
-  Cmd.v (Cmd.info "benchdiff" ~doc) Term.(const main $ baseline $ current $ tolerance $ abs_eps)
+  Cmd.v (Cmd.info "benchdiff" ~doc)
+    Term.(const main $ baseline $ current $ tolerance $ abs_eps $ abs_eps_for)
 
 let () = exit (Cmd.eval cmd)

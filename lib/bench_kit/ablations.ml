@@ -429,6 +429,69 @@ let pooling ?(sessions = 20) ?(calls = 150) ?(clients = [ 1; 8; 64 ]) ?(trials =
       clients
 
 (* ------------------------------------------------------------------ *)
+(* E18: shared-memory dispatch rings vs msgq transport                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-call latency of the same test-incr workload over the two
+   transports, as a function of batch size.  The msgq rows issue the
+   batch as back-to-back legacy calls (each paying its own trap, two
+   message-queue crossings and a policy evaluation); the ring rows
+   submit the batch through the shared-memory ring (one trap, one
+   policy evaluation and at most one handle wakeup per batch).  At
+   batch 1 the ring still pays its own round trip, so it must merely
+   not lose; the amortisation shows from batch 4 up.  Mean and p99
+   rows are both recorded — the ring's tail is what the doorbell
+   fallback and spin budget are for. *)
+let ring_dispatch ?(batches = [ 1; 4; 16; 64 ]) ?(rounds = 200) ?(trials = 5) () =
+  let measure ~use_ring ~batch =
+    let means = Array.make trials 0.0 and p99s = Array.make trials 0.0 in
+    for t = 0 to trials - 1 do
+      let world =
+        World.create ~seed:(Int64.of_int (5000 + (13 * t))) ~with_rpc:false ()
+      in
+      let clock = Machine.clock world.World.machine in
+      World.spawn_seclibc_client world ~name:"ring-bench" (fun _p conn ->
+          if use_ring then ignore (Stub.arm_ring conn);
+          let argss = List.init batch (fun i -> [| i |]) in
+          let do_batch () =
+            if use_ring then ignore (Stub.call_batch conn ~func:"test_incr" argss)
+            else List.iter (fun args -> ignore (Stub.call conn ~func:"test_incr" args)) argss
+          in
+          (* Warm the session (symbol lookup, ring registration). *)
+          do_batch ();
+          let samples = Array.make rounds 0.0 in
+          for r = 0 to rounds - 1 do
+            let t0 = Clock.now_cycles clock in
+            do_batch ();
+            samples.(r) <- Clock.elapsed_us clock ~since:t0 /. float_of_int batch
+          done;
+          means.(t) <- Smod_util.Stats.mean samples;
+          p99s.(t) <- Smod_util.Stats.percentile samples 99.0);
+      World.run world
+    done;
+    (means, p99s)
+  in
+  List.concat_map
+    (fun batch ->
+      List.concat_map
+        (fun (transport, use_ring) ->
+          let means, p99s = measure ~use_ring ~batch in
+          [
+            {
+              label = Printf.sprintf "%s batch %2d (mean)" transport batch;
+              mean_us = Smod_util.Stats.mean means;
+              stdev_us = Smod_util.Stats.stdev means;
+            };
+            {
+              label = Printf.sprintf "%s batch %2d (p99)" transport batch;
+              mean_us = Smod_util.Stats.mean p99s;
+              stdev_us = Smod_util.Stats.stdev p99s;
+            };
+          ])
+        [ ("msgq", false); ("ring", true) ])
+    batches
+
+(* ------------------------------------------------------------------ *)
 (* E13 cost: TOCTOU mitigations (implementation)                       *)
 (* ------------------------------------------------------------------ *)
 

@@ -54,3 +54,11 @@ val pooling :
     pooled. *)
 
 val render : title:string -> ?unit_header:string -> entry list -> string
+
+val ring_dispatch : ?batches:int list -> ?rounds:int -> ?trials:int -> unit -> entry list
+(** E18 — shared-memory dispatch rings (lib/ring): per-call latency of
+    the test-incr workload over the legacy msgq transport versus the
+    batched ring fast path, at batch sizes 1 / 4 / 16 / 64.  Two rows
+    per (transport, batch): the mean and the p99 of the per-round
+    per-call latency.  At batch 1 the ring must not lose; at batch 16
+    it amortises the trap, wakeup and policy work across the batch. *)

@@ -71,6 +71,13 @@ let json_of_metric (name, sample) =
           ("counts", Json.Arr (Array.to_list (Array.map (fun c -> Json.Int c) h.hs_counts)));
           ("count", Json.Int h.hs_count);
           ("sum", Json.Float h.hs_sum);
+          (* Interpolated latency quantiles (PR 3 satellite): readable
+             straight off the artifact without re-deriving them from the
+             buckets.  [of_json] ignores them — the counts stay the
+             source of truth. *)
+          ("p50", Json.Float (Smod_metrics.snapshot_quantile h 0.5));
+          ("p90", Json.Float (Smod_metrics.snapshot_quantile h 0.9));
+          ("p99", Json.Float (Smod_metrics.snapshot_quantile h 0.99));
         ]
 
 let to_json doc =
@@ -154,6 +161,7 @@ type drift = {
   d_base : float;
   d_cur : float;
   d_ok : bool;
+  d_abs_eps : float;  (** the additive epsilon this row was judged with *)
 }
 
 type comparison = {
@@ -173,8 +181,13 @@ let rows_by_key doc =
 (* A row passes when |cur - base| <= abs_eps + rel_tol * |base|.  The
    additive epsilon keeps exact-zero baseline rows (e.g. the E12 private
    handle queue depths) from turning any change into an infinite relative
-   drift. *)
-let compare_docs ?(rel_tol = 0.02) ?(abs_eps = 1e-9) ~baseline ~current () =
+   drift.  [abs_eps_for] overrides the epsilon per experiment id — some
+   experiments (queue-depth counts, sub-microsecond ring rows) need a
+   looser or tighter absolute band than the document-wide default; each
+   drift records the epsilon it was judged with so reports can show
+   which rows ran under an override. *)
+let compare_docs ?(rel_tol = 0.02) ?(abs_eps = 1e-9) ?(abs_eps_for = []) ~baseline ~current ()
+    =
   let base_rows = rows_by_key baseline and cur_rows = rows_by_key current in
   let drifts =
     List.filter_map
@@ -182,8 +195,11 @@ let compare_docs ?(rel_tol = 0.02) ?(abs_eps = 1e-9) ~baseline ~current () =
         match List.assoc_opt k cur_rows with
         | None -> None
         | Some (_, cr) ->
+            let eps =
+              match List.assoc_opt e.e_id abs_eps_for with Some e -> e | None -> abs_eps
+            in
             let ok =
-              Float.abs (cr.r_mean -. br.r_mean) <= abs_eps +. (rel_tol *. Float.abs br.r_mean)
+              Float.abs (cr.r_mean -. br.r_mean) <= eps +. (rel_tol *. Float.abs br.r_mean)
             in
             Some
               {
@@ -192,6 +208,7 @@ let compare_docs ?(rel_tol = 0.02) ?(abs_eps = 1e-9) ~baseline ~current () =
                 d_base = br.r_mean;
                 d_cur = cr.r_mean;
                 d_ok = ok;
+                d_abs_eps = eps;
               })
       base_rows
   in

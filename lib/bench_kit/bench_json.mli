@@ -40,6 +40,7 @@ type drift = {
   d_base : float;
   d_cur : float;
   d_ok : bool;
+  d_abs_eps : float;  (** the additive epsilon this row was judged with *)
 }
 
 type comparison = {
@@ -50,13 +51,21 @@ type comparison = {
 }
 
 val compare_docs :
-  ?rel_tol:float -> ?abs_eps:float -> baseline:doc -> current:doc -> unit -> comparison
+  ?rel_tol:float ->
+  ?abs_eps:float ->
+  ?abs_eps_for:(string * float) list ->
+  baseline:doc ->
+  current:doc ->
+  unit ->
+  comparison
 (** Compare per-row means over the intersection of rows.  A row passes
     when [|cur - base| <= abs_eps + rel_tol * |base|]; the additive
     [abs_eps] (default 1e-9) keeps exact-zero baseline rows from turning
-    any change into an infinite relative drift.  Rows only on one side
-    are reported but do not fail the comparison — CI smoke runs a subset
-    of the experiments in the committed baseline. *)
+    any change into an infinite relative drift.  [abs_eps_for] overrides
+    the epsilon for specific experiment ids ([("e12", 0.05)]); every
+    {!drift} records the epsilon it was judged with.  Rows only on one
+    side are reported but do not fail the comparison — CI smoke runs a
+    subset of the experiments in the committed baseline. *)
 
 val comparison_ok : comparison -> bool
 (** True when at least one row was compared and every compared row is

@@ -5,6 +5,7 @@ module Aspace = Smod_vmem.Aspace
 module Layout = Smod_vmem.Layout
 module Phys = Smod_vmem.Phys
 module Prot = Smod_vmem.Prot
+module Ring = Smod_ring.Ring
 
 exception Deadlock of string
 
@@ -25,6 +26,12 @@ let m_msgq_message_bytes =
   Smod_metrics.Scope.histogram m_scope "msgq_message_bytes"
     ~edges:[| 16.0; 64.0; 256.0; 1024.0; 4096.0; 16384.0 |]
 
+(* Dispatch-ring lifecycle (the rest of the ring.* scope lives in
+   lib/secmodule where submission/claiming happen). *)
+let m_ring_scope = Smod_metrics.scope "ring"
+let m_ring_setups = Smod_metrics.Scope.counter m_ring_scope "setups"
+let m_ring_teardowns = Smod_metrics.Scope.counter m_ring_scope "teardowns"
+
 type msgq = {
   key : int;
   mutable messages : (int * bytes) list;  (* in arrival order *)
@@ -34,6 +41,13 @@ type msgq = {
   max_bytes : int;
   mutable removed : bool;
 }
+
+(* One registered dispatch ring per client pid.  [rr_stamped] is the
+   kernel-private admission cursor: the handle may only claim slots with
+   seq below it, and it only advances through [sys_smod_call_batch]'s
+   stamping loop — header words in the (client-writable) ring memory are
+   never trusted for admission. *)
+type ring_reg = { rr_base : int; rr_nslots : int; mutable rr_stamped : int }
 
 type t = {
   clock : Clock.t;
@@ -52,6 +66,7 @@ type t = {
   mutable n_context_switches : int;
   mutable n_syscalls : int;
   mutable cores : (int * string) list;
+  rings : (int, ring_reg) Hashtbl.t;  (* client pid -> registration *)
 }
 
 and allow_deny = [ `Allow | `Deny of Errno.t ]
@@ -291,6 +306,14 @@ let wakeup t pid =
       Clock.charge t.clock Cost.Sched_wakeup;
       Smod_metrics.Counter.incr m_sched_wakeups
   | Some _ | None -> ()
+
+let wake t (wq : Sched.waitq) =
+  (* Drain a Sched wait queue: the wake half of wait_on/wake lives here
+     because the machine owns the ready queue. *)
+  let pids = wq.Sched.wq_pids in
+  wq.Sched.wq_pids <- [];
+  List.iter (wakeup t) pids;
+  List.length pids
 
 let block_current t (p : Proc.t) reason =
   assert (t.cur = Some p.pid);
@@ -607,6 +630,65 @@ let context_switches t = t.n_context_switches
 let syscall_count t = t.n_syscalls
 let core_dumps t = t.cores
 
+(* --------------------------- dispatch rings ------------------------ *)
+
+let ring_registration t ~pid =
+  Hashtbl.find_opt t.rings pid |> Option.map (fun r -> (r.rr_base, r.rr_nslots))
+
+let ring_stamped t ~pid =
+  match Hashtbl.find_opt t.rings pid with Some r -> r.rr_stamped | None -> 0
+
+let ring_advance_stamped t ~pid ~seq =
+  match Hashtbl.find_opt t.rings pid with
+  | Some r -> if seq > r.rr_stamped then r.rr_stamped <- seq
+  | None -> ()
+
+let ring_teardown t ~pid =
+  if Hashtbl.mem t.rings pid then begin
+    Hashtbl.remove t.rings pid;
+    Smod_metrics.Counter.incr m_ring_teardowns
+  end
+
+let max_ring_slots = 1024
+
+let sys_smod_ring_setup t (p : Proc.t) args =
+  if Array.length args < 2 then Errno.raise_errno Errno.EINVAL "smod_ring_setup";
+  let base = args.(0) and nslots = args.(1) in
+  match Hashtbl.find_opt t.rings p.pid with
+  | Some r when r.rr_base = base && r.rr_nslots = nslots -> 0 (* idempotent *)
+  | Some _ ->
+      Errno.raise_errno Errno.EEXIST "smod_ring_setup: geometry already pinned"
+  | None ->
+      if nslots <= 0 || nslots > max_ring_slots then
+        Errno.raise_errno Errno.EINVAL "smod_ring_setup: slot count";
+      if base land 3 <> 0 then
+        Errno.raise_errno Errno.EINVAL "smod_ring_setup: alignment";
+      let size = Ring.size_bytes ~nslots in
+      if base < Layout.share_lo || base + size > Layout.share_hi then
+        Errno.raise_errno Errno.EINVAL
+          "smod_ring_setup: ring must live inside the share window";
+      (* Every page of the ring must already be mapped by the caller. *)
+      let check addr =
+        match Aspace.find_entry p.aspace addr with
+        | Some _ -> ()
+        | None ->
+            Errno.raise_errno Errno.EFAULT "smod_ring_setup: unmapped ring memory"
+      in
+      let pos = ref base in
+      while !pos < base + size do
+        check !pos;
+        pos := !pos + Layout.page_size
+      done;
+      check (base + size - 1);
+      (* Re-arm zeroed under kernel control: nothing the client pre-wrote
+         (forged verdicts, fake cursors) survives registration. *)
+      ignore (Ring.init p.aspace ~base ~nslots);
+      Clock.charge t.clock (Cost.Copy_bytes size);
+      Hashtbl.replace t.rings p.pid
+        { rr_base = base; rr_nslots = nslots; rr_stamped = 0 };
+      Smod_metrics.Counter.incr m_ring_setups;
+      0
+
 let pp_procs ppf t =
   Hashtbl.iter
     (fun pid (p : Proc.t) ->
@@ -633,6 +715,7 @@ let create ?seed ?jitter ?limit_frames () =
       n_context_switches = 0;
       n_syscalls = 0;
       cores = [];
+      rings = Hashtbl.create 8;
     }
   in
   register_syscall t Sysno.getpid ~name:"getpid" getpid_handler;
@@ -664,6 +747,8 @@ let create ?seed ?jitter ?limit_frames () =
       if p.uid <> 0 && target.uid <> p.uid then Errno.raise_errno Errno.EPERM "ptrace";
       target.traced_by <- Some p.pid;
       0);
+  register_syscall t Sysno.smod_ring_setup ~name:"smod_ring_setup"
+    sys_smod_ring_setup;
   register_syscall t Sysno.msgget ~name:"msgget" (fun t p args ->
       msgget t p ~key:args.(0));
   (* Trap-level msgsnd/msgrcv move the payload through user memory:

@@ -58,6 +58,11 @@ val run : t -> unit
 val wakeup : t -> int -> unit
 (** Move a blocked process to the ready queue. *)
 
+val wake : t -> Sched.waitq -> int
+(** Drain a {!Sched.waitq}, waking every pid on it; returns how many were
+    woken.  The blocking half is [Sched.wait_on] — together they are the
+    dispatch ring's spin-then-block slow path. *)
+
 val suspend_address_space : t -> Smod_vmem.Aspace.t -> except:int -> int list
 (** TOCTOU mitigation 2 (§4.4): forcibly remove every runnable process
     sharing the address space (except [except]) from the ready queue.
@@ -146,6 +151,32 @@ val msgq_flush : t -> qid:int -> int
 
 val msgq_depth : t -> qid:int -> int
 (** Messages currently queued (introspection; no charge). *)
+
+(** {1 Dispatch rings}
+
+    [sys_smod_ring_setup] (syscall 321, registered by {!create}) pins one
+    shared-memory dispatch ring per client pid: it validates that the
+    ring lies wholly inside the force-share window and is mapped, then
+    re-arms it zeroed so nothing the client pre-wrote survives
+    registration.  The stamped cursor is kernel-private: only
+    [sys_smod_call_batch] (lib/secmodule) advances it, and the handle
+    refuses to claim slots at or above it. *)
+
+val ring_registration : t -> pid:int -> (int * int) option
+(** [(base, nslots)] of the ring registered to this client, if any. *)
+
+val ring_stamped : t -> pid:int -> int
+(** Kernel-private admission cursor (0 when no ring is registered). *)
+
+val ring_advance_stamped : t -> pid:int -> seq:int -> unit
+(** Raise the admission cursor to [seq] (never lowers it).  Kernel-side
+    callers only (the batch syscall's stamping loop). *)
+
+val ring_teardown : t -> pid:int -> unit
+(** Drop the registration (detach, scrub, or client death).  The memory
+    itself belongs to the client and is scrubbed by the caller. *)
+
+val max_ring_slots : int
 
 (** {1 Introspection} *)
 

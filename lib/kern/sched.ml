@@ -4,7 +4,12 @@ type wait_reason =
   | Wait_child
   | Suspended
   | Pool_park of int
+  | Waitq of string
   | Custom of string
+
+type waitq = { wq_label : string; mutable wq_pids : int list }
+
+let waitq label = { wq_label = label; wq_pids = [] }
 
 type exit_status = Exited of int | Signaled of int
 
@@ -15,12 +20,17 @@ type _ Effect.t += Block : wait_reason -> unit Effect.t | Yield : unit Effect.t
 
 let yield () = Effect.perform Yield
 
+let wait_on wq pid =
+  if not (List.mem pid wq.wq_pids) then wq.wq_pids <- wq.wq_pids @ [ pid ];
+  Effect.perform (Block (Waitq wq.wq_label))
+
 let pp_wait_reason ppf = function
   | Msgq_receive q -> Format.fprintf ppf "msgq-receive(%d)" q
   | Msgq_full q -> Format.fprintf ppf "msgq-full(%d)" q
   | Wait_child -> Format.pp_print_string ppf "wait-child"
   | Suspended -> Format.pp_print_string ppf "suspended"
   | Pool_park m -> Format.fprintf ppf "pool-park(module %d)" m
+  | Waitq l -> Format.fprintf ppf "waitq(%s)" l
   | Custom s -> Format.fprintf ppf "custom(%s)" s
 
 let pp_exit_status ppf = function

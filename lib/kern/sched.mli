@@ -15,7 +15,18 @@ type wait_reason =
       (** a reusable pooled handle parked between tenants, waiting for the
           smodd service layer (lib/pool) to attach the next session to the
           module with this id *)
+  | Waitq of string
+      (** blocked on a named {!waitq} — the dispatch ring's spin-then-block
+          slow path parks here until the peer calls [Machine.wake] *)
   | Custom of string
+
+type waitq = { wq_label : string; mutable wq_pids : int list }
+(** A minimal wait queue: an ordered set of blocked pids under a label.
+    Enqueue + block with {!wait_on}; drain with [Machine.wake] (the wake
+    half lives in the machine, which owns the ready queue). *)
+
+val waitq : string -> waitq
+(** Fresh empty wait queue with the given label. *)
 
 type exit_status = Exited of int | Signaled of int
 
@@ -31,6 +42,11 @@ type _ Effect.t +=
 
 val yield : unit -> unit
 (** Voluntarily give up the CPU (goes to the back of the ready queue). *)
+
+val wait_on : waitq -> int -> unit
+(** [wait_on wq pid] enqueues the calling process (which must be [pid])
+    on [wq] and blocks it until [Machine.wake] drains the queue.  Must be
+    performed from inside a simulated process body. *)
 
 val pp_wait_reason : Format.formatter -> wait_reason -> unit
 val pp_exit_status : Format.formatter -> exit_status -> unit

@@ -35,4 +35,10 @@ val smod_call : int
 (** 320 *)
 val smod_start_session : int
 
+(** 321: register a shared-memory dispatch ring for the caller's session *)
+val smod_ring_setup : int
+
+(** 322: submit a batch of calls through the dispatch ring in one trap *)
+val smod_call_batch : int
+
 val name : int -> string

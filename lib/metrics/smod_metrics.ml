@@ -64,6 +64,33 @@ module Counter = struct
     c.c_value <- c.c_value + n
 end
 
+(* Quantile estimate from bucketed counts: find the bucket holding the
+   q-rank observation and interpolate linearly inside it.  The first
+   bucket's lower bound is 0 (latencies and sizes are non-negative);
+   ranks landing in the overflow bucket clamp to the last edge — the
+   histogram cannot know how far beyond it the tail reaches. *)
+let quantile_of ~edges ~counts ~total q =
+  if total = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. float_of_int total in
+    let n = Array.length edges in
+    let rec go i seen =
+      if i >= Array.length counts then edges.(n - 1)
+      else
+        let c = counts.(i) in
+        let seen' = seen + c in
+        if c > 0 && float_of_int seen' >= rank then
+          if i >= n then edges.(n - 1)
+          else
+            let lo = if i = 0 then 0.0 else edges.(i - 1) in
+            let hi = edges.(i) in
+            lo +. ((hi -. lo) *. ((rank -. float_of_int seen) /. float_of_int c))
+        else go (i + 1) seen'
+    in
+    go 0 0
+  end
+
 module Histogram = struct
   type t = histogram
 
@@ -86,6 +113,8 @@ module Histogram = struct
     h.h_counts.(i) <- h.h_counts.(i) + 1;
     h.h_total <- h.h_total + 1;
     h.h_sum <- h.h_sum +. v
+
+  let quantile h q = quantile_of ~edges:h.h_edges ~counts:h.h_counts ~total:h.h_total q
 end
 
 let find_or_register registry name build project =
@@ -159,6 +188,9 @@ type histogram_snapshot = {
 type sample = Counter_sample of int | Histogram_sample of histogram_snapshot
 type snapshot = (string * sample) list
 
+let snapshot_quantile hs q =
+  quantile_of ~edges:hs.hs_edges ~counts:hs.hs_counts ~total:hs.hs_count q
+
 let sample_of = function
   | M_counter c -> Counter_sample c.c_value
   | M_histogram h ->
@@ -230,5 +262,7 @@ let pp ppf ?(registry = default) () =
       match s with
       | Counter_sample v -> Format.fprintf ppf "%-40s %d@\n" name v
       | Histogram_sample h ->
-          Format.fprintf ppf "%-40s count=%d sum=%.3f@\n" name h.hs_count h.hs_sum)
+          Format.fprintf ppf "%-40s count=%d sum=%.3f p50=%.3f p90=%.3f p99=%.3f@\n" name
+            h.hs_count h.hs_sum (snapshot_quantile h 0.5) (snapshot_quantile h 0.9)
+            (snapshot_quantile h 0.99))
     (snapshot ~registry ())

@@ -42,6 +42,12 @@ module Histogram : sig
   val sum : t -> float
   val mean : t -> float
   val observe : t -> float -> unit
+
+  val quantile : t -> float -> float
+  (** [quantile h q] estimates the q-quantile ([0.0..1.0]) from the
+      bucketed counts, interpolating linearly inside the bucket holding
+      the rank; ranks in the overflow bucket clamp to the last edge, and
+      an empty histogram reports 0. *)
 end
 
 val counter : ?registry:t -> string -> Counter.t
@@ -79,6 +85,10 @@ type sample = Counter_sample of int | Histogram_sample of histogram_snapshot
 
 type snapshot = (string * sample) list
 (** Sorted by name; deterministic across runs. *)
+
+val snapshot_quantile : histogram_snapshot -> float -> float
+(** {!Histogram.quantile} over a snapshot — what bench JSON emission and
+    report renderers use for p50/p90/p99. *)
 
 val snapshot : ?registry:t -> unit -> snapshot
 val counter_value : ?registry:t -> string -> int option

@@ -495,6 +495,9 @@ type status = {
   st_total_waiters : int;
   st_cache_size : int option;
   st_cache_capacity : int option;
+  st_ring_batches : int;
+  st_ring_submits : int;
+  st_ring_stale_drops : int;
 }
 
 let status t =
@@ -522,12 +525,20 @@ let status t =
       t.pools []
     |> List.sort (fun a b -> compare a.ms_m_id b.ms_m_id)
   in
+  (* Ring traffic is recorded in the process-wide metric registry (the
+     ring lives in lib/secmodule, below this layer); surfacing it here
+     lets the pool table answer "are the pooled tenants on the fast
+     path?" in one place. *)
+  let ring_counter name = Option.value ~default:0 (Smod_metrics.counter_value name) in
   {
     st_modules = modules;
     st_total_handles = t.total_handles;
     st_total_waiters = t.total_waiters;
     st_cache_size = Option.map Policy_cache.size t.cache;
     st_cache_capacity = Option.map Policy_cache.capacity t.cache;
+    st_ring_batches = ring_counter "ring.batches";
+    st_ring_submits = ring_counter "ring.submits";
+    st_ring_stale_drops = ring_counter "ring.stale_drops";
   }
 
 let render_status t =
@@ -547,5 +558,8 @@ let render_status t =
   | Some size, Some cap ->
       Buffer.add_string buf (Printf.sprintf "; policy cache %d/%d entries" size cap)
   | _ -> Buffer.add_string buf "; policy cache disabled");
+  Buffer.add_string buf
+    (Printf.sprintf "; ring: %d call(s) in %d batch(es), %d stale drop(s)" st.st_ring_submits
+       st.st_ring_batches st.st_ring_stale_drops);
   Buffer.add_char buf '\n';
   Buffer.contents buf

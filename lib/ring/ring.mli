@@ -1,0 +1,119 @@
+(** Fixed-slot SPSC submission/completion ring in simulated shared memory.
+
+    One producer (the client stub) fills slots with (module, func, args)
+    and bumps [head]; the kernel stamps admission verdicts during
+    [sys_smod_call_batch] (it is the only legitimate writer of the
+    verdict word, and it rewrites it unconditionally — client forgeries
+    are overwritten); one consumer (the handle) claims stamped slots up
+    to the kernel's private cursor and completes them in place.  Slot
+    lifecycle: Free -> Submitted -> Claimed -> Completed -> Free, with a
+    kernel shortcut Submitted -> Completed for denied calls.
+
+    The ring itself holds no authority: it is plain client-mapped memory
+    and every security-relevant decision is re-derived from kernel state
+    by the caller. *)
+
+type t
+(** A view of one ring: an address space + base address + geometry.
+    Client, kernel, and handle each hold their own view over the same
+    (shared) frames. *)
+
+type slot = {
+  seq : int;  (** monotonic sequence number; slot index is [seq mod nslots] *)
+  m_id : int;
+  func_id : int;
+  nargs : int;
+  client_sp : int;
+  client_fp : int;
+  args_base : int;  (** address of argument word 0 inside the slot *)
+}
+(** What [claim] hands the handle — mirrors [Wire.request] plus identity. *)
+
+val max_args : int
+(** Arguments a slot can carry inline (4); larger calls use the msgq path. *)
+
+val size_bytes : nslots:int -> int
+(** Bytes of shared memory a ring with [nslots] slots occupies. *)
+
+val init : Smod_vmem.Aspace.t -> base:int -> nslots:int -> t
+(** Zero the region and write the header.  The caller owns placement
+    (inside the session's share window) and validation. *)
+
+val attach : Smod_vmem.Aspace.t -> base:int -> t option
+(** Re-derive a view from a mapped header; [None] if the magic or
+    geometry is implausible. *)
+
+val reset : t -> unit
+(** Re-zero everything and re-arm the header — the scrub path. *)
+
+val base : t -> int
+val nslots : t -> int
+
+(** {2 Cursors (header words, shared)} *)
+
+val head : t -> int
+(** Total slots ever submitted (client-written). *)
+
+val claimed : t -> int
+(** Handle's claim cursor: slots below it were claimed or skipped. *)
+
+val completed : t -> int
+(** Total slots ever completed (handle- or kernel-written). *)
+
+val reaped : t -> int
+(** Client's reap cursor. *)
+
+val in_flight : t -> int
+(** [head - reaped]: submitted but not yet reaped. *)
+
+val space : t -> int
+(** Free slots available to submit into. *)
+
+(** {2 Client side} *)
+
+val try_submit :
+  t ->
+  m_id:int ->
+  func_id:int ->
+  client_sp:int ->
+  client_fp:int ->
+  args:int array ->
+  int option
+(** Fill the next slot; [None] when the ring is full.  Raises
+    [Invalid_argument] on more than [max_args] arguments. *)
+
+val reap : t -> (int * int * int) option
+(** In-order reap of the next Completed slot: [(seq, status, retval)],
+    freeing the slot.  [None] if the next slot is still in flight. *)
+
+(** {2 Kernel side} *)
+
+val submitted_info : t -> seq:int -> (int * int) option
+(** [(m_id, func_id)] of a slot still in Submitted state, else [None]. *)
+
+val stamp : t -> seq:int -> allow:bool -> unit
+(** Write the admission verdict (kernel only). *)
+
+val kernel_complete : t -> seq:int -> status:int -> unit
+(** Complete a slot kernel-side (denied or malformed) so it never
+    reaches the handle; the client reaps the status as usual. *)
+
+(** {2 Handle side} *)
+
+val claim : t -> limit:int -> slot option
+(** Claim the next allow-stamped Submitted slot with [seq < limit]
+    (the kernel's stamped cursor), skipping kernel-completed ones.
+    [None] when caught up. *)
+
+val complete : t -> seq:int -> status:int -> retval:int -> unit
+
+(** {2 Introspection} *)
+
+val occupancy : t -> int
+(** Slots not currently Free. *)
+
+val stale_submitted : t -> int
+(** Slots stuck in Submitted/Claimed — what a client that died
+    mid-batch leaves behind; the scrub path must drain these. *)
+
+val pp : Format.formatter -> t -> unit

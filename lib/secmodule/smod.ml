@@ -13,8 +13,22 @@ module Trace = Smod_sim.Trace
 module Smof = Smod_modfmt.Smof
 module Keystore = Smod_keynote.Keystore
 module Interp = Smod_svm.Interp
+module Ring = Smod_ring.Ring
 
 type toctou_mitigation = No_mitigation | Unmap_during_call | Dequeue_client_threads
+
+(* Per-session dispatch-ring state, bound lazily on the first
+   [sys_smod_call_batch] after the client registered a ring (syscall
+   321).  The wait queues are the two halves of the spin-then-block
+   protocol; [r_handle_engaged] flips once the handle has entered its
+   ring-aware serve loop — before that it still blocks in [msgrcv], so
+   the kernel's doorbell must fall back to an mtype-3 msgq message. *)
+type ring_state = {
+  r_ring : Ring.t;
+  r_client_wq : Sched.waitq;
+  r_handle_wq : Sched.waitq;
+  mutable r_handle_engaged : bool;
+}
 
 type session = {
   sid : int;
@@ -36,6 +50,7 @@ type session = {
   mutable handle_exec_us : float;
   mutable client_waiting_handshake : bool;
   pooled : bool;
+  mutable ring : ring_state option;
 }
 
 (* A reusable handle co-process managed by the smodd service layer
@@ -98,6 +113,25 @@ let m_call_us =
   Smod_metrics.Scope.histogram m_scope "call_us"
     ~edges:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0 |]
 
+(* ring.* scope: the shared-memory fast path (setups/teardowns are
+   counted by the kernel in lib/kern/machine.ml). *)
+let m_ring_scope = Smod_metrics.scope "ring"
+let m_ring_submits = Smod_metrics.Scope.counter m_ring_scope "submits"
+let m_ring_batches = Smod_metrics.Scope.counter m_ring_scope "batches"
+let m_ring_denied = Smod_metrics.Scope.counter m_ring_scope "denied"
+let m_ring_doorbell_wakes = Smod_metrics.Scope.counter m_ring_scope "doorbell_wakes"
+
+let m_ring_doorbell_fallbacks =
+  Smod_metrics.Scope.counter m_ring_scope "doorbell_fallbacks"
+
+let m_ring_spin_wakeups = Smod_metrics.Scope.counter m_ring_scope "spin_wakeups"
+let m_ring_block_wakeups = Smod_metrics.Scope.counter m_ring_scope "block_wakeups"
+let m_ring_stale_drops = Smod_metrics.Scope.counter m_ring_scope "stale_drops"
+
+let m_ring_batch_size =
+  Smod_metrics.Scope.histogram m_ring_scope "batch_size"
+    ~edges:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0 |]
+
 let machine t = t.machine
 let keystore t = t.keystore
 let registry t = t.registry
@@ -147,8 +181,11 @@ let bind_native t ~m_id ~name fn =
 
 (* Requests travel as mtype 1; a detach control message for a pooled
    handle as mtype 2.  The handle drains its queue in arrival order, so an
-   in-flight request is always served before the detach is honoured. *)
+   in-flight request is always served before the detach is honoured.
+   mtype 3 is the ring doorbell: a zero-byte kick for a handle still
+   blocked in msgrcv when ring work is stamped. *)
 let pool_detach_mtype = 2
+let ring_doorbell_mtype = 3
 
 let detach_session t session =
   if not session.detached then begin
@@ -159,6 +196,23 @@ let detach_session t session =
       session.sid session.entry.Registry.image.Smof.mod_name;
     Hashtbl.remove t.sessions_by_client session.client_pid;
     Hashtbl.remove t.sessions_by_handle session.handle_pid;
+    (* Tear the dispatch ring down first: count what a client that died
+       mid-batch left behind (Submitted/Claimed slots nobody will ever
+       complete), unblock both sides of the spin-then-block protocol, and
+       drop the kernel's registration so a recycled handle can never
+       claim from it again — the next tenant registers a fresh ring that
+       syscall 321 re-arms zeroed. *)
+    (match session.ring with
+    | Some rs ->
+        (try
+           let stale = Ring.stale_submitted rs.r_ring in
+           if stale > 0 then Smod_metrics.Counter.add m_ring_stale_drops stale
+         with Aspace.Segv _ | Aspace.Prot_violation _ -> ());
+        session.ring <- None;
+        ignore (Machine.wake t.machine rs.r_client_wq);
+        ignore (Machine.wake t.machine rs.r_handle_wq)
+    | None -> ());
+    Machine.ring_teardown t.machine ~pid:session.client_pid;
     if session.pooled then begin
       (* Break the client half of the pairing; the handle unshares and
          scrubs itself on the way back to the pool, so its queues and
@@ -293,6 +347,110 @@ let execute_function t session (handle : Proc.t) (req : Wire.request) =
       | Ok retval -> { Wire.status = 0; retval = retval land 0xFFFFFFFF }
       | Error status -> { Wire.status; retval = 0 })
 
+(* How many yield-and-recheck iterations either side of the ring burns
+   before giving up the CPU for real (the adaptive spin-then-block). *)
+let handle_spin_budget = 4
+
+(* Drain every claimable slot: claim below the kernel's stamped cursor,
+   execute, complete in place.  One wake of the client's wait queue per
+   drain, however many slots it covered — that is the amortization. *)
+let drain_ring t session (handle : Proc.t) rs =
+  let limit = Machine.ring_stamped t.machine ~pid:session.client_pid in
+  let drained = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    match Ring.claim rs.r_ring ~limit with
+    | Some slot ->
+        let req =
+          {
+            Wire.func_id = slot.Ring.func_id;
+            args_base = slot.Ring.args_base;
+            client_sp = slot.Ring.client_sp;
+            client_fp = slot.Ring.client_fp;
+          }
+        in
+        let reply = execute_function t session handle req in
+        Ring.complete rs.r_ring ~seq:slot.Ring.seq ~status:reply.Wire.status
+          ~retval:reply.Wire.retval;
+        incr drained
+    | None -> continue_ := false
+  done;
+  if !drained > 0 then ignore (Machine.wake t.machine rs.r_client_wq);
+  !drained
+
+let ring_work_available t session rs =
+  let limit = Machine.ring_stamped t.machine ~pid:session.client_pid in
+  Ring.claimed rs.r_ring < min limit (Ring.head rs.r_ring)
+
+(* The handle's serve loop, shared by cold-fork and pooled handles.
+   Starts in plain msgq mode; once the session has a bound ring it
+   becomes ring-first: drain, then poll the queue (never blocking in
+   msgrcv again — control messages are found via depth), then
+   spin-then-block on the handle wait queue.  Returns when a pooled
+   detach control message (mtype 2) arrives; cold-fork handles are
+   simply killed at detach. *)
+let serve_session t session (handle : Proc.t) ~req_qid ~rep_qid =
+  let clock = Machine.clock t.machine in
+  let serve_msgq_request payload =
+    let reply =
+      match Wire.request_of_bytes_res payload with
+      | Ok req -> execute_function t session handle req
+      | Error _ -> { Wire.status = 5; retval = 0 }
+    in
+    Machine.msgsnd t.machine handle ~qid:rep_qid ~mtype:1 (Wire.reply_to_bytes reply)
+  in
+  let rec serve () =
+    match session.ring with
+    | None ->
+        let mtype, payload = Machine.msgrcv t.machine handle ~qid:req_qid ~mtype:0 in
+        if mtype = pool_detach_mtype then ()
+        else begin
+          if mtype <> ring_doorbell_mtype then serve_msgq_request payload;
+          serve ()
+        end
+    | Some rs ->
+        rs.r_handle_engaged <- true;
+        ring_serve rs
+  and ring_serve rs =
+    (* Detach first: once the tenant is gone its address space — and the
+       ring that lives in it — may already be torn down, so the handle
+       must never touch the ring again. *)
+    if session.detached then ()
+    else begin
+      let drained = drain_ring t session handle rs in
+      if Machine.msgq_depth t.machine ~qid:req_qid > 0 then begin
+        let mtype, payload = Machine.msgrcv t.machine handle ~qid:req_qid ~mtype:0 in
+        if mtype = pool_detach_mtype then ()
+        else begin
+          if mtype <> ring_doorbell_mtype then serve_msgq_request payload;
+          ring_serve rs
+        end
+      end
+      else if drained > 0 then ring_serve rs
+      else spin rs handle_spin_budget
+    end
+  and spin rs budget =
+    if budget = 0 then begin
+      Sched.wait_on rs.r_handle_wq handle.Proc.pid;
+      Smod_metrics.Counter.incr m_ring_block_wakeups;
+      ring_serve rs
+    end
+    else begin
+      Clock.charge clock Cost.Ring_spin;
+      Sched.yield ();
+      if
+        session.detached
+        || ring_work_available t session rs
+        || Machine.msgq_depth t.machine ~qid:req_qid > 0
+      then begin
+        Smod_metrics.Counter.incr m_ring_spin_wakeups;
+        ring_serve rs
+      end
+      else spin rs (budget - 1)
+    end
+  in
+  serve ()
+
 let handle_main t session (handle : Proc.t) =
   (* First: move onto the secret stack (Figure 2) — the standard stack
      location is about to be replaced by the client's pages. *)
@@ -301,14 +459,7 @@ let handle_main t session (handle : Proc.t) =
   (* Announce readiness; the kernel force-shares the address spaces. *)
   ignore (Machine.syscall t.machine handle Sysno.smod_session_info [| 0 |]);
   (* Serve until killed. *)
-  let rec serve () =
-    let _, payload = Machine.msgrcv t.machine handle ~qid:session.req_qid ~mtype:1 in
-    let req = Wire.request_of_bytes payload in
-    let reply = execute_function t session handle req in
-    Machine.msgsnd t.machine handle ~qid:session.rep_qid ~mtype:1 (Wire.reply_to_bytes reply);
-    serve ()
-  in
-  serve ()
+  serve_session t session handle ~req_qid:session.req_qid ~rep_qid:session.rep_qid
 
 (* ------------------------------------------------------------------ *)
 (* Pooled handles (the smodd service layer, lib/pool)                  *)
@@ -352,15 +503,6 @@ let scrub_pooled_handle t ph =
    handshake → serve until the detach control message → scrub → park. *)
 let pooled_handle_main t ph (handle : Proc.t) =
   let clock = Machine.clock t.machine in
-  let rec serve session =
-    let mtype, payload = Machine.msgrcv t.machine handle ~qid:ph.ph_req_qid ~mtype:0 in
-    if mtype <> pool_detach_mtype then begin
-      let req = Wire.request_of_bytes payload in
-      let reply = execute_function t session handle req in
-      Machine.msgsnd t.machine handle ~qid:ph.ph_rep_qid ~mtype:1 (Wire.reply_to_bytes reply);
-      serve session
-    end
-  in
   let rec loop () =
     (match ph.ph_session with
     | None when not ph.ph_dead ->
@@ -382,7 +524,7 @@ let pooled_handle_main t ph (handle : Proc.t) =
         Aspace.write_word ph.ph_aspace ~addr:client_pid_cache_addr session.client_pid;
         Clock.charge clock Cost.Handle_recycle;
         ignore (Machine.syscall t.machine handle Sysno.smod_session_info [| 0 |]);
-        serve session;
+        serve_session t session handle ~req_qid:ph.ph_req_qid ~rep_qid:ph.ph_rep_qid;
         scrub_pooled_handle t ph;
         ph.ph_session <- None;
         loop ()
@@ -402,7 +544,9 @@ let read_descriptor clock (p : Proc.t) desc_addr =
   if cred_len < 0 || cred_len > 65536 then Errno.raise_errno Errno.EINVAL "descriptor cred";
   let total = 4 + name_len + 8 + cred_len in
   Clock.charge clock (Cost.Copy_bytes total);
-  Wire.descriptor_of_bytes (Aspace.read_bytes p.Proc.aspace ~addr:desc_addr ~len:total)
+  match Wire.descriptor_of_bytes_res (Aspace.read_bytes p.Proc.aspace ~addr:desc_addr ~len:total) with
+  | Ok d -> d
+  | Error m -> Errno.raise_errno Errno.EINVAL ("smod_start_session: " ^ m)
 
 let check_policy_or_deny t ~policy ~state ~credential ~attrs =
   let clock = Machine.clock t.machine in
@@ -574,6 +718,7 @@ let attach_pooled t (p : Proc.t) ph ~credential =
       handle_exec_us = 0.0;
       client_waiting_handshake = false;
       pooled = true;
+      ring = None;
     }
   in
   ph.ph_session <- Some session;
@@ -642,6 +787,7 @@ let cold_start_session t (p : Proc.t) entry credential =
       handle_exec_us = 0.0;
       client_waiting_handshake = false;
       pooled = false;
+      ring = None;
     }
   in
   let handle =
@@ -915,6 +1061,11 @@ let sys_call t (p : Proc.t) ~framep ~rtnaddr ~m_id ~func_id =
   in
   ignore rtnaddr;
   Machine.msgsnd t.machine p ~qid:session.req_qid ~mtype:1 (Wire.request_to_bytes request);
+  (* Mixed-mode: a ring-engaged handle never blocks in msgrcv — it finds
+     queued requests by depth from its serve loop — so kick its waitq. *)
+  (match session.ring with
+  | Some rs -> ignore (Machine.wake t.machine rs.r_handle_wq)
+  | None -> ());
   let _, payload = Machine.msgrcv t.machine p ~qid:session.rep_qid ~mtype:1 in
   undo_call_mitigation t p mitigation;
   Smod_metrics.Histogram.observe m_call_us (Clock.now_us clock -. t0_us);
@@ -926,6 +1077,201 @@ let sys_call t (p : Proc.t) ~framep ~rtnaddr ~m_id ~func_id =
   | 3 -> Errno.raise_errno Errno.ENOSYS "smod_call: native body not bound"
   | 4 -> Errno.raise_errno Errno.EACCES "smod_call: module text integrity check failed"
   | s -> Errno.raise_errno Errno.EINVAL (Printf.sprintf "smod_call: bad status %d" s)
+
+(* ------------------------------------------------------------------ *)
+(* sys_smod_call_batch (322) — the dispatch-ring fast path             *)
+(* ------------------------------------------------------------------ *)
+
+(* Bind the session to the client's registered ring on the first batch
+   trap after syscall 321.  The kernel attaches its own view over the
+   client's pages; the two wait queues are created here and live for the
+   session. *)
+let bind_session_ring t (p : Proc.t) session =
+  match session.ring with
+  | Some rs -> rs
+  | None -> (
+      match Machine.ring_registration t.machine ~pid:p.Proc.pid with
+      | None -> Errno.raise_errno Errno.EINVAL "smod_call_batch: no ring registered"
+      | Some (base, _nslots) -> (
+          match Ring.attach p.Proc.aspace ~base with
+          | None -> Errno.raise_errno Errno.EINVAL "smod_call_batch: ring header corrupt"
+          | Some ring ->
+              let rs =
+                {
+                  r_ring = ring;
+                  r_client_wq = Sched.waitq (Printf.sprintf "ring-client-%d" session.sid);
+                  r_handle_wq = Sched.waitq (Printf.sprintf "ring-handle-%d" session.sid);
+                  r_handle_engaged = false;
+                }
+              in
+              session.ring <- Some rs;
+              (* The handle may be parked in a legacy blocking msgrcv from
+                 before the ring existed; a zero-byte doorbell bounces it
+                 into the ring-aware serve loop. *)
+              (try
+                 Machine.msgsnd t.machine p ~qid:session.req_qid ~mtype:ring_doorbell_mtype
+                   (Bytes.create 0)
+               with Errno.Error _ -> ());
+              rs))
+
+(* Evaluate admission for every submitted-but-unstamped slot, once per
+   distinct (credential, func) for cacheable policies — the per-batch
+   amortization of the policy cost.  Stateful policies (quota, rate,
+   time-window, volatile Keynote) are forced through a per-slot
+   evaluation so their ordering semantics match the per-call path. *)
+let sys_call_batch t (p : Proc.t) ~m_id ~max_slots =
+  let session =
+    match session_of_client t ~client_pid:p.Proc.pid with
+    | Some s -> s
+    | None -> Errno.raise_errno Errno.EPERM "smod_call_batch: no session"
+  in
+  if session.detached || not session.established then
+    Errno.raise_errno Errno.EINVAL "smod_call_batch: session not established";
+  (match Machine.proc t.machine session.handle_pid with
+  | Some h when not (Proc.is_zombie h) -> ()
+  | Some _ | None ->
+      detach_session t session;
+      Errno.raise_errno Errno.EIDRM "smod_call_batch: handle process is gone");
+  if session.m_id <> m_id then
+    Errno.raise_errno Errno.EINVAL "smod_call_batch: wrong module id";
+  (* The TOCTOU mitigations bracket each call with an unmap/dequeue of
+     the client — meaningless when the client keeps running to submit
+     more slots.  Force such configurations onto the per-call path. *)
+  if t.toctou <> No_mitigation then
+    Errno.raise_errno Errno.EPERM "smod_call_batch: TOCTOU mitigation forces per-call path";
+  let clock = Machine.clock t.machine in
+  let rs = bind_session_ring t p session in
+  let ring = rs.r_ring in
+  let fast_path_applies =
+    t.fast_path
+    &&
+    match session.entry.Registry.policy with
+    | Policy.Always_allow | Policy.Session_lifetime -> true
+    | Policy.Call_quota _ | Policy.Rate_limit _ | Policy.Time_window _ | Policy.Keynote _
+    | Policy.All_of _ ->
+        false
+  in
+  let policy_cacheable = Policy.cacheable session.entry.Registry.policy in
+  let cache =
+    match t.policy_cache with
+    | Some hooks
+      when policy_cacheable && Policy.credential_cacheable session.credential ->
+        Some hooks
+    | Some _ | None -> None
+  in
+  (* Per-batch memo: distinct funcIDs in this batch each cost at most one
+     policy evaluation when the policy is cacheable. *)
+  let memo : (int, cached_decision) Hashtbl.t = Hashtbl.create 4 in
+  let decide func_id =
+    match Registry.symbol_of_func_id session.entry func_id with
+    | None -> Cache_deny "no such function"
+    | Some _ when fast_path_applies -> Cache_allow
+    | Some sym -> (
+        let func_name = sym.Smof.sym_name in
+        let memoized =
+          if policy_cacheable then Hashtbl.find_opt memo func_id else None
+        in
+        match memoized with
+        | Some d -> d
+        | None ->
+            let d =
+              match
+                match cache with
+                | Some hooks -> hooks.cache_lookup session ~func_name
+                | None -> None
+              with
+              | Some d -> d
+              | None -> (
+                  Clock.charge clock Cost.Cred_check;
+                  try
+                    check_policy_or_deny t ~policy:session.entry.Registry.policy
+                      ~state:session.policy_state ~credential:session.credential
+                      ~attrs:
+                        [
+                          ("phase", "call");
+                          ("function", func_name);
+                          ("module", session.entry.Registry.image.Smof.mod_name);
+                          ("calls_so_far", string_of_int session.calls);
+                        ];
+                    (match cache with
+                    | Some hooks -> hooks.cache_store session ~func_name Cache_allow
+                    | None -> ());
+                    Cache_allow
+                  with Errno.Error (errno, msg) ->
+                    (match cache with
+                    | Some hooks when errno = Errno.EACCES ->
+                        hooks.cache_store session ~func_name (Cache_deny msg)
+                    | Some _ | None -> ());
+                    Cache_deny msg)
+            in
+            if policy_cacheable then Hashtbl.replace memo func_id d;
+            d)
+  in
+  let stamped0 = Machine.ring_stamped t.machine ~pid:p.Proc.pid in
+  let limit = min (Ring.head ring) (stamped0 + max max_slots 0) in
+  let n = ref 0 and allowed = ref 0 in
+  for seq = stamped0 to limit - 1 do
+    incr n;
+    (match Ring.submitted_info ring ~seq with
+    | None ->
+        (* Torn or never-written slot below head: fail it kernel-side so
+           the client's in-order reap is never stuck on garbage. *)
+        Ring.kernel_complete ring ~seq ~status:5
+    | Some (slot_m_id, func_id) ->
+        if slot_m_id <> session.m_id then begin
+          session.denied_calls <- session.denied_calls + 1;
+          Smod_metrics.Counter.incr m_calls_denied;
+          Smod_metrics.Counter.incr m_ring_denied;
+          Ring.kernel_complete ring ~seq ~status:6
+        end
+        else begin
+          match decide func_id with
+          | Cache_allow ->
+              session.calls <- session.calls + 1;
+              Smod_metrics.Counter.incr m_calls;
+              incr allowed;
+              Ring.stamp ring ~seq ~allow:true
+          | Cache_deny _ ->
+              session.denied_calls <- session.denied_calls + 1;
+              Smod_metrics.Counter.incr m_calls_denied;
+              Smod_metrics.Counter.incr m_ring_denied;
+              Ring.kernel_complete ring ~seq ~status:6
+        end);
+    Machine.ring_advance_stamped t.machine ~pid:p.Proc.pid ~seq:(seq + 1)
+  done;
+  if !n > 0 then begin
+    Smod_metrics.Counter.incr m_ring_batches;
+    Smod_metrics.Counter.add m_ring_submits !n;
+    Smod_metrics.Histogram.observe m_ring_batch_size (float_of_int !n)
+  end;
+  if !allowed > 0 then begin
+    let woken = Machine.wake t.machine rs.r_handle_wq in
+    if woken > 0 then Smod_metrics.Counter.incr m_ring_doorbell_wakes
+    else if not rs.r_handle_engaged then begin
+      (* Handle is still in its legacy blocking msgrcv: only a message
+         can unblock it.  This costs one msgsnd — once, on the first
+         batch of a session — and nothing on the steady-state path. *)
+      Smod_metrics.Counter.incr m_ring_doorbell_fallbacks;
+      try
+        Machine.msgsnd t.machine p ~qid:session.req_qid ~mtype:ring_doorbell_mtype
+          (Bytes.create 0)
+      with Errno.Error _ -> ()
+    end
+    (* else: engaged and mid-spin — it will see the stamped slots on its
+       next work-available check without any kick. *)
+  end;
+  !n
+
+(* The client stub's slow-path block while waiting for completions:
+   returns immediately when no ring is bound (detach tore it down — the
+   caller rechecks [session.detached]). *)
+let ring_client_wait _t session (p : Proc.t) =
+  match session.ring with
+  | Some rs -> Sched.wait_on rs.r_client_wq p.Proc.pid
+  | None -> ()
+
+let session_ring session =
+  match session.ring with Some rs -> Some rs.r_ring | None -> None
 
 (* ------------------------------------------------------------------ *)
 (* sys_smod_find / add / remove                                        *)
@@ -1019,6 +1365,8 @@ let install machine ?keystore () =
       0);
   Machine.register_syscall machine Sysno.smod_call ~name:"smod_call" (fun _m p args ->
       sys_call t p ~framep:args.(0) ~rtnaddr:args.(1) ~m_id:args.(2) ~func_id:args.(3));
+  Machine.register_syscall machine Sysno.smod_call_batch ~name:"smod_call_batch"
+    (fun _m p args -> sys_call_batch t p ~m_id:args.(0) ~max_slots:args.(1));
   Machine.register_syscall machine Sysno.smod_add ~name:"smod_add" (fun _m p args ->
       sys_add t p ~info_addr:args.(0));
   Machine.register_syscall machine Sysno.smod_remove ~name:"smod_remove" (fun _m p args ->

@@ -28,6 +28,11 @@ type toctou_mitigation =
   | Unmap_during_call  (** §4.4 approach 1: client loses data/stack access *)
   | Dequeue_client_threads  (** §4.4 approach 2: sibling threads descheduled *)
 
+type ring_state
+(** Per-session dispatch-ring binding (PR 3): the kernel's view of the
+    client's ring plus the two wait queues of the spin-then-block
+    protocol.  Bound lazily on the first [sys_smod_call_batch]. *)
+
 type session = {
   sid : int;
   m_id : int;
@@ -49,6 +54,7 @@ type session = {
       (** simulated time spent executing module code in the handle *)
   mutable client_waiting_handshake : bool;
   pooled : bool;  (** served by a smodd pooled handle, not a private fork *)
+  mutable ring : ring_state option;
 }
 
 exception Access_denied of string
@@ -115,6 +121,27 @@ val sys_handle_info : t -> Smod_kern.Proc.t -> info_addr:int -> unit
 val sys_call : t -> Smod_kern.Proc.t -> framep:int -> rtnaddr:int -> m_id:int -> func_id:int -> int
 (** The indirect dispatch.  Raises {!Smod_kern.Errno.Error} EACCES on
     policy denial, EFAULT if the module function faulted. *)
+
+val sys_call_batch : t -> Smod_kern.Proc.t -> m_id:int -> max_slots:int -> int
+(** The dispatch-ring fast path (syscall 322): stamp an admission verdict
+    into every submitted-but-unstamped slot of the caller's registered
+    ring (at most [max_slots] of them), evaluating cacheable policies
+    once per distinct function per batch, then wake the handle.  Denied
+    or malformed slots are completed kernel-side with an error status
+    rather than failing the whole batch.  Returns the number of slots
+    processed.  Raises EINVAL when no ring is registered, EPERM when a
+    TOCTOU mitigation is active (those semantics need the per-call
+    path). *)
+
+val ring_client_wait : t -> session -> Smod_kern.Proc.t -> unit
+(** Client-side slow path while waiting for completions: block on the
+    session's ring wait queue until the handle's next drain (or detach)
+    wakes it.  Returns immediately if the session has no bound ring —
+    callers recheck [session.detached] after every wake. *)
+
+val session_ring : session -> Smod_ring.Ring.t option
+(** The kernel's view of the session's bound dispatch ring, for
+    introspection ([smodctl ring status], tests). *)
 
 (** {1 Session pooling (the smodd service layer, lib/pool)}
 

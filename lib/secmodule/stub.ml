@@ -1,10 +1,13 @@
 module Machine = Smod_kern.Machine
 module Proc = Smod_kern.Proc
+module Errno = Smod_kern.Errno
 module Sysno = Smod_kern.Sysno
+module Sched = Smod_kern.Sched
 module Aspace = Smod_vmem.Aspace
 module Clock = Smod_sim.Clock
 module Cost = Smod_sim.Cost_model
 module Smof = Smod_modfmt.Smof
+module Ring = Smod_ring.Ring
 
 type conn = {
   smod : Smod.t;
@@ -12,6 +15,7 @@ type conn = {
   info : Wire.handle_info;
   stub_table : (string, int) Hashtbl.t;
   session : Smod.session;
+  mutable ring : Ring.t option;  (** the client's view, armed by {!arm_ring} *)
 }
 
 (* A recognisable synthetic return address for the frames the stub builds. *)
@@ -59,7 +63,7 @@ let connect smod proc ~module_name ~version ~credential =
   List.iteri
     (fun id (sym : Smof.symbol) -> Hashtbl.replace stub_table sym.Smof.sym_name id)
     (Smof.function_symbols session.Smod.entry.Registry.image);
-  { smod; proc; info; stub_table; session }
+  { smod; proc; info; stub_table; session; ring = None }
 
 let conn_info c = c.info
 let session_id c = c.session.Smod.sid
@@ -108,5 +112,117 @@ let call ?on_step c ~func args =
   match func_id c func with
   | Some id -> call_id ?on_step c ~func_id:id args
   | None -> invalid_arg (Printf.sprintf "Stub.call: no function %S in module" func)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch-ring fast path (PR 3)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let default_ring_slots = 64
+let client_spin_budget = 4
+
+let arm_ring ?(nslots = default_ring_slots) c =
+  match c.ring with
+  | Some r -> r
+  | None ->
+      let machine = Smod.machine c.smod in
+      let p = c.proc in
+      (* Carve the ring out of the heap, cache-line aligned: obreak
+         growth inside an established pair installs shared mappings on
+         both sides, so the handle addresses the same frames. *)
+      let base = (Aspace.brk p.Proc.aspace + 63) land lnot 63 in
+      let size = Ring.size_bytes ~nslots in
+      ignore (Machine.syscall machine p Sysno.obreak [| base + size |]);
+      (* Materialize the pages client-side, then register with the
+         kernel — which re-zeros the region (nothing pre-written is
+         trusted) and pins the geometry. *)
+      let ring = Ring.init p.Proc.aspace ~base ~nslots in
+      ignore (Machine.syscall machine p Sysno.smod_ring_setup [| base; nslots |]);
+      c.ring <- Some ring;
+      ring
+
+let ring c = c.ring
+
+let decode_slot ~status ~retval =
+  match status with
+  | 0 -> Ok retval
+  | 1 -> Error (Errno.EFAULT, "module function faulted")
+  | 2 -> Error (Errno.EINVAL, "no such function")
+  | 3 -> Error (Errno.ENOSYS, "native body not bound")
+  | 4 -> Error (Errno.EACCES, "module text integrity check failed")
+  | 5 -> Error (Errno.EINVAL, "malformed slot")
+  | 6 -> Error (Errno.EACCES, "policy denied")
+  | s -> Error (Errno.EINVAL, Printf.sprintf "bad completion status %d" s)
+
+(* Wait for the next in-order completion: spin (yielding the CPU each
+   iteration so the handle can run), then block on the session's ring
+   wait queue until the handle's next drain wakes us. *)
+let reap_blocking c ring =
+  let machine = Smod.machine c.smod in
+  let clock = Machine.clock machine in
+  let p = c.proc in
+  let check_detached () =
+    if c.session.Smod.detached then
+      Errno.raise_errno Errno.EIDRM "smod_call_batch: session detached mid-batch"
+  in
+  let rec wait budget =
+    check_detached ();
+    match Ring.reap ring with
+    | Some (_seq, status, retval) -> decode_slot ~status ~retval
+    | None ->
+        if budget > 0 then begin
+          Clock.charge clock Cost.Ring_spin;
+          Sched.yield ();
+          wait (budget - 1)
+        end
+        else begin
+          Smod.ring_client_wait c.smod c.session p;
+          wait client_spin_budget
+        end
+  in
+  wait client_spin_budget
+
+let call_batch_id c ~func_id argss =
+  let machine = Smod.machine c.smod in
+  let clock = Machine.clock machine in
+  let p = c.proc in
+  let ring = arm_ring c in
+  let calls = Array.of_list argss in
+  let n_total = Array.length calls in
+  let results = Array.make n_total (Error (Errno.EINVAL, "not completed")) in
+  let next = ref 0 and reaped = ref 0 in
+  while !reaped < n_total do
+    (* Fill as many slots as the ring has room for. *)
+    let chunk = ref 0 in
+    let full = ref false in
+    while (not !full) && !next < n_total do
+      let args = calls.(!next) in
+      Clock.charge clock (Cost.Stub_push_args (Array.length args));
+      match
+        Ring.try_submit ring ~m_id:c.info.Wire.m_id ~func_id ~client_sp:p.Proc.sp
+          ~client_fp:p.Proc.fp ~args
+      with
+      | Some _seq ->
+          incr next;
+          incr chunk
+      | None -> full := true
+    done;
+    (* One trap stamps the whole chunk and wakes the handle. *)
+    if !chunk > 0 then
+      ignore
+        (Machine.syscall machine p Sysno.smod_call_batch [| c.info.Wire.m_id; !chunk |]);
+    (* Drain this chunk's completions in submission order before
+       submitting more — frees the slots for the next chunk. *)
+    let target = !reaped + !chunk in
+    while !reaped < target do
+      results.(!reaped) <- reap_blocking c ring;
+      incr reaped
+    done
+  done;
+  Array.to_list results
+
+let call_batch c ~func argss =
+  match func_id c func with
+  | Some id -> call_batch_id c ~func_id:id argss
+  | None -> invalid_arg (Printf.sprintf "Stub.call_batch: no function %S in module" func)
 
 let close c = Smod.detach_session c.smod c.session

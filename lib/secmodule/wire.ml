@@ -22,9 +22,22 @@ let request_to_bytes r =
   set_u32 b 12 r.client_fp;
   b
 
+let request_of_bytes_res b =
+  if Bytes.length b <> 16 then
+    Error (Printf.sprintf "request: expected 16 bytes, got %d" (Bytes.length b))
+  else
+    Ok
+      {
+        func_id = u32_at b 0;
+        args_base = u32_at b 4;
+        client_sp = u32_at b 8;
+        client_fp = u32_at b 12;
+      }
+
 let request_of_bytes b =
-  if Bytes.length b <> 16 then invalid_arg "Wire.request_of_bytes";
-  { func_id = u32_at b 0; args_base = u32_at b 4; client_sp = u32_at b 8; client_fp = u32_at b 12 }
+  match request_of_bytes_res b with
+  | Ok r -> r
+  | Error m -> invalid_arg ("Wire.request_of_bytes: " ^ m)
 
 let reply_to_bytes r =
   let b = Bytes.create 8 in
@@ -32,9 +45,15 @@ let reply_to_bytes r =
   set_u32 b 4 r.retval;
   b
 
+let reply_of_bytes_res b =
+  if Bytes.length b <> 8 then
+    Error (Printf.sprintf "reply: expected 8 bytes, got %d" (Bytes.length b))
+  else Ok { status = u32_at b 0; retval = u32_at b 4 }
+
 let reply_of_bytes b =
-  if Bytes.length b <> 8 then invalid_arg "Wire.reply_of_bytes";
-  { status = u32_at b 0; retval = u32_at b 4 }
+  match reply_of_bytes_res b with
+  | Ok r -> r
+  | Error m -> invalid_arg ("Wire.reply_of_bytes: " ^ m)
 
 type session_descriptor = { module_name : string; module_version : int; credential : bytes }
 
@@ -50,21 +69,29 @@ let descriptor_to_bytes d =
   Bytes.blit d.credential 0 b (off + 8) (Bytes.length d.credential);
   b
 
-let descriptor_of_bytes b =
+let descriptor_of_bytes_res b =
+  let ( let* ) = Result.bind in
   let need off n =
-    if off + n > Bytes.length b then invalid_arg "Wire.descriptor_of_bytes: truncated"
+    if n < 0 then Error "descriptor: negative length"
+    else if off + n > Bytes.length b then Error "descriptor: truncated"
+    else Ok ()
   in
-  need 0 4;
+  let* () = need 0 4 in
   let name_len = u32_at b 0 in
-  need 4 name_len;
+  let* () = need 4 name_len in
   let module_name = Bytes.sub_string b 4 name_len in
   let off = 4 + name_len in
-  need off 8;
+  let* () = need off 8 in
   let module_version = u32_at b off in
   let cred_len = u32_at b (off + 4) in
-  need (off + 8) cred_len;
+  let* () = need (off + 8) cred_len in
   let credential = Bytes.sub b (off + 8) cred_len in
-  { module_name; module_version; credential }
+  Ok { module_name; module_version; credential }
+
+let descriptor_of_bytes b =
+  match descriptor_of_bytes_res b with
+  | Ok d -> d
+  | Error m -> invalid_arg ("Wire.descriptor_of_bytes: " ^ m)
 
 type handle_info = { m_id : int; handle_pid : int; req_qid : int; rep_qid : int }
 
@@ -78,6 +105,15 @@ let handle_info_to_bytes h =
   set_u32 b 12 h.rep_qid;
   b
 
+let handle_info_of_bytes_res b =
+  if Bytes.length b <> handle_info_size then
+    Error
+      (Printf.sprintf "handle_info: expected %d bytes, got %d" handle_info_size
+         (Bytes.length b))
+  else
+    Ok { m_id = u32_at b 0; handle_pid = u32_at b 4; req_qid = u32_at b 8; rep_qid = u32_at b 12 }
+
 let handle_info_of_bytes b =
-  if Bytes.length b <> handle_info_size then invalid_arg "Wire.handle_info_of_bytes";
-  { m_id = u32_at b 0; handle_pid = u32_at b 4; req_qid = u32_at b 8; rep_qid = u32_at b 12 }
+  match handle_info_of_bytes_res b with
+  | Ok h -> h
+  | Error m -> invalid_arg ("Wire.handle_info_of_bytes: " ^ m)

@@ -16,6 +16,14 @@ val request_of_bytes : bytes -> request
 val reply_to_bytes : reply -> bytes
 val reply_of_bytes : bytes -> reply
 
+val request_of_bytes_res : bytes -> (request, string) result
+(** Total decoder: truncated or oversized buffers return [Error] instead
+    of raising — the form kernel-side paths must use, since an escaped
+    [Invalid_argument] would abort the whole simulation rather than fail
+    the one call. *)
+
+val reply_of_bytes_res : bytes -> (reply, string) result
+
 type session_descriptor = {
   module_name : string;
   module_version : int;
@@ -25,6 +33,8 @@ type session_descriptor = {
 val descriptor_to_bytes : session_descriptor -> bytes
 val descriptor_of_bytes : bytes -> session_descriptor
 (** Raises [Invalid_argument] on truncation. *)
+
+val descriptor_of_bytes_res : bytes -> (session_descriptor, string) result
 
 type handle_info = {
   m_id : int;
@@ -36,4 +46,5 @@ type handle_info = {
 
 val handle_info_to_bytes : handle_info -> bytes
 val handle_info_of_bytes : bytes -> handle_info
+val handle_info_of_bytes_res : bytes -> (handle_info, string) result
 val handle_info_size : int

@@ -41,6 +41,12 @@ type op =
   | Handle_recycle
   | Policy_cache_probe
   | Policy_cache_insert
+  | Ring_submit
+  | Ring_claim
+  | Ring_complete
+  | Ring_reap
+  | Ring_stamp
+  | Ring_spin
 
 let mhz = 599.0
 let cycles_per_us = mhz
@@ -93,6 +99,12 @@ let cycles = function
   | Handle_recycle -> 420.0
   | Policy_cache_probe -> 55.0
   | Policy_cache_insert -> 95.0
+  | Ring_submit -> 70.0
+  | Ring_claim -> 40.0
+  | Ring_complete -> 40.0
+  | Ring_reap -> 30.0
+  | Ring_stamp -> 30.0
+  | Ring_spin -> 20.0
 
 let describe = function
   | Trap_enter -> "trap-enter"
@@ -137,3 +149,9 @@ let describe = function
   | Handle_recycle -> "handle-recycle"
   | Policy_cache_probe -> "policy-cache-probe"
   | Policy_cache_insert -> "policy-cache-insert"
+  | Ring_submit -> "ring-submit"
+  | Ring_claim -> "ring-claim"
+  | Ring_complete -> "ring-complete"
+  | Ring_reap -> "ring-reap"
+  | Ring_stamp -> "ring-stamp"
+  | Ring_spin -> "ring-spin"

@@ -66,6 +66,19 @@ type op =
       (** smodd: one lookup in the policy-decision cache (hash of the
           credential digest + module + revision key) *)
   | Policy_cache_insert  (** smodd: storing a freshly computed decision *)
+  | Ring_submit
+      (** dispatch ring (lib/ring): client fills one submission slot —
+          sequence bump, state store, argument words already in shared
+          memory so no copy is charged *)
+  | Ring_claim  (** handle side: acquire one stamped Submitted slot *)
+  | Ring_complete  (** handle side: store status/retval, flip to Completed *)
+  | Ring_reap  (** client side: read one Completed slot and free it *)
+  | Ring_stamp
+      (** kernel: validate one slot's (module, func) pair and write the
+          admission verdict into it during [sys_smod_call_batch] *)
+  | Ring_spin
+      (** one iteration of the adaptive spin before falling back to a
+          blocking wait (both sides of the ring) *)
 
 val cycles : op -> float
 (** Cycle charge for one occurrence of [op]. *)

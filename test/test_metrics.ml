@@ -200,6 +200,98 @@ let test_compare_zero_row_epsilon () =
   let c = Bench_json.compare_docs ~rel_tol:0.02 ~baseline ~current:perturbed () in
   Alcotest.(check bool) "0.0 -> 0.25 caught" false (Bench_json.comparison_ok c)
 
+let test_quantiles () =
+  (* 10 observations spread as 4 in (0,1], 4 in (1,2], 2 in (2,4]:
+     ranks interpolate linearly inside their bucket. *)
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r ~edges:[| 1.0; 2.0; 4.0 |] "q" in
+  List.iter (Metrics.Histogram.observe h)
+    [ 0.2; 0.4; 0.6; 0.8; 1.2; 1.4; 1.6; 1.8; 2.5; 3.5 ];
+  let q p = Metrics.Histogram.quantile h p in
+  (* p50: rank 5 is the 1st of 4 observations in (1,2] -> 1 + 1/4. *)
+  Alcotest.(check (float 1e-9)) "p50" 1.25 (q 0.5);
+  (* p90: rank 9 is the 1st of 2 observations in (2,4] -> 2 + 2/2. *)
+  Alcotest.(check (float 1e-9)) "p90" 3.0 (q 0.9);
+  (* p10: rank 1 is the 1st of 4 in the first bucket, lower bound 0. *)
+  Alcotest.(check (float 1e-9)) "p10" 0.25 (q 0.1);
+  (* q clamps to [0,1]. *)
+  Alcotest.(check (float 1e-9)) "q>1 clamps" (q 1.0) (q 2.5)
+
+let test_quantile_overflow_and_empty () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r ~edges:[| 1.0; 2.0 |] "q" in
+  Alcotest.(check (float 1e-9)) "empty histogram reports 0" 0.0
+    (Metrics.Histogram.quantile h 0.5);
+  (* Everything lands in the overflow bucket: the estimate clamps to the
+     last edge — the histogram cannot see past it. *)
+  List.iter (Metrics.Histogram.observe h) [ 10.0; 20.0; 30.0 ];
+  Alcotest.(check (float 1e-9)) "overflow clamps to last edge" 2.0
+    (Metrics.Histogram.quantile h 0.99);
+  (* Snapshot-side computation agrees with the live instrument. *)
+  match Metrics.histogram_sample ~registry:r "q" with
+  | Some hs ->
+      Alcotest.(check (float 1e-9)) "snapshot_quantile agrees"
+        (Metrics.Histogram.quantile h 0.5)
+        (Metrics.snapshot_quantile hs 0.5)
+  | None -> Alcotest.fail "histogram not registered"
+
+let test_bench_json_emits_quantiles () =
+  (* Histogram metrics in the artifact carry p50/p90/p99 fields derived
+     from the buckets; of_json ignores them (counts stay the source of
+     truth), so the round-trip test above is unaffected. *)
+  let doc = sample_doc () in
+  let j = Bench_json.to_json doc in
+  let metric =
+    match Json.member_exn "metrics" j with
+    | Json.Arr ms ->
+        List.find
+          (fun m -> Json.get_string (Json.member_exn "name" m) = "secmodule.call_us")
+          ms
+    | _ -> Alcotest.fail "metrics not an array"
+  in
+  let hs =
+    { Metrics.hs_edges = [| 1.0; 8.0 |]; hs_counts = [| 0; 3; 1 |]; hs_count = 4; hs_sum = 26.2 }
+  in
+  List.iter
+    (fun (field, q) ->
+      Alcotest.(check (float 1e-9))
+        field
+        (Metrics.snapshot_quantile hs q)
+        (Json.get_float (Json.member_exn field metric)))
+    [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ]
+
+let test_compare_abs_eps_override () =
+  (* A 0.0 -> 0.25 jump fails under the document-wide epsilon but passes
+     when e12 runs under a looser per-experiment override; rows record
+     which epsilon judged them. *)
+  let baseline = sample_doc () in
+  let current =
+    {
+      baseline with
+      Bench_json.experiments =
+        [
+          Bench_json.experiment ~id:"e1" ~title:"Figure 8"
+            [ Bench_json.row ~label:"getpid()" ~mean:0.658 ~stdev:0.005 () ];
+          Bench_json.experiment ~id:"e12" ~title:"queueing"
+            [ Bench_json.row ~label:"1 clients, own handles" ~unit_:"depth" ~mean:0.25 ~stdev:0.0 () ];
+        ];
+    }
+  in
+  let strict = Bench_json.compare_docs ~rel_tol:0.02 ~baseline ~current () in
+  Alcotest.(check bool) "fails without override" false (Bench_json.comparison_ok strict);
+  let eased =
+    Bench_json.compare_docs ~rel_tol:0.02 ~abs_eps_for:[ ("e12", 0.5) ] ~baseline ~current ()
+  in
+  Alcotest.(check bool) "passes with e12 override" true (Bench_json.comparison_ok eased);
+  List.iter
+    (fun (d : Bench_json.drift) ->
+      let expected = if d.Bench_json.d_experiment = "e12" then 0.5 else 1e-9 in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "%s/%s judged with its epsilon" d.Bench_json.d_experiment
+           d.Bench_json.d_label)
+        expected d.Bench_json.d_abs_eps)
+    eased.Bench_json.drifts
+
 let test_compare_subset_and_empty () =
   let baseline = sample_doc () in
   let subset = { baseline with Bench_json.experiments = [ List.hd baseline.Bench_json.experiments ] } in
@@ -222,7 +314,12 @@ let () =
           tc "scopes" test_scope_naming;
         ] );
       ( "histograms",
-        [ tc "buckets" test_histogram_buckets; tc "snapshot/delta/reset" test_snapshot_delta_reset ] );
+        [
+          tc "buckets" test_histogram_buckets;
+          tc "snapshot/delta/reset" test_snapshot_delta_reset;
+          tc "quantiles interpolate" test_quantiles;
+          tc "quantile overflow and empty" test_quantile_overflow_and_empty;
+        ] );
       ( "json",
         [
           tc "round-trip" test_json_round_trip;
@@ -236,6 +333,8 @@ let () =
           tc "within tolerance" test_compare_within_tolerance;
           tc "flags drift" test_compare_flags_drift;
           tc "zero-row epsilon" test_compare_zero_row_epsilon;
+          tc "emits quantiles" test_bench_json_emits_quantiles;
+          tc "per-experiment epsilon override" test_compare_abs_eps_override;
           tc "subset and empty" test_compare_subset_and_empty;
         ] );
     ]

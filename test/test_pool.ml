@@ -303,6 +303,77 @@ let test_killed_waiter_releases_capacity () =
   World.run world;
   Alcotest.(check int) "later client reuses the parked handle" 1 (counter "pool.hit" - hit0)
 
+(* A pooled tenant killed mid-batch — ring slots Submitted but the batch
+   trap never issued, so the kernel never stamped them and the handle
+   never claimed them — must not leak those slots into the next tenancy:
+   the recycle path counts and drops them, and the next tenant's ring
+   starts zeroed. *)
+let test_killed_mid_batch_scrubs_ring () =
+  let world = World.create ~pool:(one_handle Smodd.Wait) ~with_rpc:false () in
+  let machine = world.World.machine and smod = world.World.smod in
+  let stale0 = counter "ring.stale_drops" in
+  let victim_handle = ref (-1) in
+  let victim =
+    M.spawn machine ~name:"ring-victim" (fun p ->
+        let conn =
+          Stub.connect smod p ~module_name:Smod_libc.Seclibc.module_name
+            ~version:Smod_libc.Seclibc.version
+            ~credential:(Credential.make ~principal:"victim" ())
+        in
+        victim_handle := handle_pid_of smod p;
+        let r = Stub.arm_ring conn in
+        (* One clean batch proves the fast path is live for this tenant. *)
+        ignore (Stub.call_batch conn ~func:"test_incr" (List.init 4 (fun i -> [| i |])));
+        (* Now die mid-batch: fill slots by hand, never trap. *)
+        let info = Stub.conn_info conn in
+        let fid = Option.get (Stub.func_id conn "test_incr") in
+        for i = 1 to 3 do
+          ignore
+            (Smod_ring.Ring.try_submit r ~m_id:info.Wire.m_id ~func_id:fid
+               ~client_sp:p.Proc.sp ~client_fp:0 ~args:[| i |])
+        done;
+        Alcotest.(check int) "3 slots left in flight" 3 (Smod_ring.Ring.stale_submitted r);
+        (* Park so the kill lands while the slots are still Submitted. *)
+        p.Proc.daemon <- true;
+        Effect.perform (Sched.Block (Sched.Custom "mid-batch")))
+  in
+  M.run machine;
+  M.kill machine ~pid:victim.Proc.pid ~signal:Smod_kern.Signal.sigkill;
+  M.run machine;
+  Alcotest.(check int) "3 stale slots counted at recycle" 3
+    (counter "ring.stale_drops" - stale0);
+  let st = Smodd.status (Option.get world.World.pool) in
+  Alcotest.(check int) "handle survived the kill" 1 st.Smodd.st_total_handles;
+  Alcotest.(check int) "status surfaces the drops" 3
+    (st.Smodd.st_ring_stale_drops - stale0);
+  (* The recycled handle serves the next tenant, whose ring starts
+     zeroed and whose batch sees only its own results. *)
+  ignore
+    (M.spawn machine ~name:"ring-next" (fun p ->
+         let conn =
+           Stub.connect smod p ~module_name:Smod_libc.Seclibc.module_name
+             ~version:Smod_libc.Seclibc.version
+             ~credential:(Credential.make ~principal:"next" ())
+         in
+         Alcotest.(check int) "recycled the victim's handle" !victim_handle
+           (handle_pid_of smod p);
+         let r = Stub.arm_ring conn in
+         Alcotest.(check int) "fresh ring: head 0" 0 (Smod_ring.Ring.head r);
+         Alcotest.(check int) "fresh ring: occupancy 0" 0 (Smod_ring.Ring.occupancy r);
+         let results =
+           Stub.call_batch conn ~func:"test_incr" (List.init 8 (fun i -> [| i * 2 |]))
+         in
+         List.iteri
+           (fun i res ->
+             match res with
+             | Ok v -> Alcotest.(check int) (Printf.sprintf "slot %d" i) ((i * 2) + 1) v
+             | Error (_, m) -> Alcotest.failf "slot %d: %s" i m)
+           results;
+         Alcotest.(check int) "nothing stale after the batch" 0
+           (Smod_ring.Ring.stale_submitted r);
+         Stub.close conn));
+  M.run machine
+
 (* uninstall must wake queued clients (ENOENT, as on module removal),
    deregister its module-remove hook, and leave the subsystem clean
    enough that a fresh smodd can be installed. *)
@@ -591,6 +662,7 @@ let () =
           tc "admission overflow: Wait" test_admission_wait;
           tc "parked handle yields to a starved module" test_parked_handle_yields_to_starved_module;
           tc "killed waiter releases its capacity" test_killed_waiter_releases_capacity;
+          tc "kill mid-batch scrubs the ring" test_killed_mid_batch_scrubs_ring;
         ] );
       ( "policy cache",
         [

@@ -1,0 +1,284 @@
+(* Dispatch-ring tests (PR 3): SPSC slot lifecycle and wrap handling at
+   the unit level, then the end-to-end batched fast path — including the
+   trust-model cases (kernel re-zero at setup, forged verdicts, denied
+   slots failing alone) and the setup syscall's validation. *)
+
+module M = Smod_kern.Machine
+module Proc = Smod_kern.Proc
+module Errno = Smod_kern.Errno
+module Sysno = Smod_kern.Sysno
+module Aspace = Smod_vmem.Aspace
+module Layout = Smod_vmem.Layout
+module Ring = Smod_ring.Ring
+open Smod_bench_kit
+open Secmodule
+
+(* ---------------------------- unit level ---------------------------- *)
+
+let mk_aspace ?(nslots = 4) () =
+  let m = M.create () in
+  let a = M.standard_aspace m ~name:"ring-test" in
+  let base = (Aspace.brk a + 63) land lnot 63 in
+  Aspace.obreak a (base + Ring.size_bytes ~nslots);
+  (a, base)
+
+let test_slot_lifecycle () =
+  let a, base = mk_aspace () in
+  let r = Ring.init a ~base ~nslots:4 in
+  Alcotest.(check int) "empty" 0 (Ring.occupancy r);
+  let seq = Ring.try_submit r ~m_id:1 ~func_id:7 ~client_sp:0 ~client_fp:0 ~args:[| 41 |] in
+  Alcotest.(check (option int)) "first seq is 0" (Some 0) seq;
+  (* An unstamped slot is not claimable even below the limit. *)
+  Alcotest.(check bool) "claim refuses unstamped" true (Ring.claim r ~limit:1 = None);
+  Ring.stamp r ~seq:0 ~allow:true;
+  (* The stamped cursor is the hard boundary. *)
+  Alcotest.(check bool) "claim respects limit" true (Ring.claim r ~limit:0 = None);
+  (match Ring.claim r ~limit:1 with
+  | None -> Alcotest.fail "claim failed on a stamped slot"
+  | Some slot ->
+      Alcotest.(check int) "func id" 7 slot.Ring.func_id;
+      Alcotest.(check int) "nargs" 1 slot.Ring.nargs;
+      Alcotest.(check int) "arg inline" 41 (Aspace.read_word a ~addr:slot.Ring.args_base);
+      Ring.complete r ~seq:slot.Ring.seq ~status:0 ~retval:42);
+  (match Ring.reap r with
+  | Some (0, 0, 42) -> ()
+  | Some (seq, st, rv) -> Alcotest.failf "reap got (%d,%d,%d)" seq st rv
+  | None -> Alcotest.fail "reap found nothing");
+  Alcotest.(check int) "empty again" 0 (Ring.occupancy r)
+
+let test_wrap_and_full () =
+  let a, base = mk_aspace () in
+  let r = Ring.init a ~base ~nslots:4 in
+  (* Push 10 calls through a 4-slot ring, one in flight at a time past
+     the first fill: sequence numbers grow monotonically while slot
+     indices wrap. *)
+  for seq = 0 to 9 do
+    (match Ring.try_submit r ~m_id:1 ~func_id:0 ~client_sp:0 ~client_fp:0 ~args:[| seq |] with
+    | Some s -> Alcotest.(check int) "monotonic seq" seq s
+    | None -> Alcotest.failf "ring full at seq %d" seq);
+    Ring.stamp r ~seq ~allow:true;
+    (match Ring.claim r ~limit:(seq + 1) with
+    | Some slot -> Ring.complete r ~seq:slot.Ring.seq ~status:0 ~retval:(100 + seq)
+    | None -> Alcotest.failf "claim failed at seq %d" seq);
+    match Ring.reap r with
+    | Some (s, 0, rv) ->
+        Alcotest.(check int) "in-order reap" seq s;
+        Alcotest.(check int) "retval" (100 + seq) rv
+    | _ -> Alcotest.failf "reap failed at seq %d" seq
+  done;
+  (* Fill it completely: the 5th concurrent submit must refuse. *)
+  for i = 0 to 3 do
+    match Ring.try_submit r ~m_id:1 ~func_id:0 ~client_sp:0 ~client_fp:0 ~args:[| i |] with
+    | Some _ -> ()
+    | None -> Alcotest.failf "submit %d refused with space left" i
+  done;
+  Alcotest.(check bool) "full ring refuses" true
+    (Ring.try_submit r ~m_id:1 ~func_id:0 ~client_sp:0 ~client_fp:0 ~args:[||] = None);
+  Alcotest.(check int) "stale submissions visible" 4 (Ring.stale_submitted r)
+
+let test_kernel_complete_skipped_by_claim () =
+  let a, base = mk_aspace () in
+  let r = Ring.init a ~base ~nslots:4 in
+  ignore (Ring.try_submit r ~m_id:1 ~func_id:0 ~client_sp:0 ~client_fp:0 ~args:[||]);
+  ignore (Ring.try_submit r ~m_id:1 ~func_id:1 ~client_sp:0 ~client_fp:0 ~args:[||]);
+  (* Kernel denies slot 0, allows slot 1: the handle's claim walks over
+     the completed slot and takes the allowed one. *)
+  Ring.kernel_complete r ~seq:0 ~status:6;
+  Ring.stamp r ~seq:1 ~allow:true;
+  (match Ring.claim r ~limit:2 with
+  | Some slot -> Alcotest.(check int) "claimed past denial" 1 slot.Ring.seq
+  | None -> Alcotest.fail "claim did not skip the denied slot");
+  Ring.complete r ~seq:1 ~status:0 ~retval:0;
+  (* The client reaps both, in order, the denial first. *)
+  (match Ring.reap r with
+  | Some (0, 6, _) -> ()
+  | _ -> Alcotest.fail "denied slot not reaped first");
+  match Ring.reap r with
+  | Some (1, 0, _) -> ()
+  | _ -> Alcotest.fail "completed slot not reaped second"
+
+(* ------------------------- setup validation ------------------------- *)
+
+let setup_errno body =
+  let machine = M.create () in
+  let result = ref None in
+  ignore
+    (M.spawn machine ~name:"setup-probe" (fun p ->
+         result :=
+           Some
+             (try
+                ignore (M.syscall machine p Sysno.smod_ring_setup (body p));
+                Ok ()
+              with Errno.Error (e, _) -> Error e)));
+  M.run machine;
+  match !result with Some r -> r | None -> Alcotest.fail "probe never ran"
+
+let test_setup_validation () =
+  (* Outside the share window: the kernel would be stamping into memory
+     the handle can never see. *)
+  Alcotest.(check bool) "text-segment base refused" true
+    (setup_errno (fun _p -> [| Layout.text_base; 8 |]) = Error Errno.EINVAL);
+  Alcotest.(check bool) "misaligned base refused" true
+    (setup_errno (fun _p -> [| Layout.data_base + 2; 8 |]) = Error Errno.EINVAL);
+  Alcotest.(check bool) "zero slots refused" true
+    (setup_errno (fun _p -> [| Layout.data_base; 0 |]) = Error Errno.EINVAL);
+  Alcotest.(check bool) "oversized ring refused" true
+    (setup_errno (fun _p -> [| Layout.data_base; M.max_ring_slots + 1 |]) = Error Errno.EINVAL);
+  (* Inside the window but unmapped. *)
+  Alcotest.(check bool) "unmapped base refused" true
+    (setup_errno (fun _p -> [| Layout.data_base + 0x0100_0000; 8 |]) = Error Errno.EFAULT);
+  (* A mapped, aligned, in-window ring registers fine. *)
+  Alcotest.(check bool) "valid ring accepted" true
+    (setup_errno (fun p ->
+         let base = (Aspace.brk p.Proc.aspace + 63) land lnot 63 in
+         Aspace.obreak p.Proc.aspace (base + Ring.size_bytes ~nslots:8);
+         [| base; 8 |])
+    = Ok ())
+
+let test_setup_rezeroes () =
+  (* Nothing the client pre-writes into the ring region survives
+     registration: a pre-faked head/verdict is erased kernel-side. *)
+  let machine = M.create () in
+  let checked = ref false in
+  ignore
+    (M.spawn machine ~name:"rezero-probe" (fun p ->
+         let base = (Aspace.brk p.Proc.aspace + 63) land lnot 63 in
+         Aspace.obreak p.Proc.aspace (base + Ring.size_bytes ~nslots:8);
+         let r = Ring.init p.Proc.aspace ~base ~nslots:8 in
+         ignore (Ring.try_submit r ~m_id:9 ~func_id:9 ~client_sp:0 ~client_fp:0 ~args:[| 9 |]);
+         Aspace.write_word p.Proc.aspace ~addr:(base + 8) 5 (* forged head *);
+         ignore (M.syscall machine p Sysno.smod_ring_setup [| base; 8 |]);
+         (match Ring.attach p.Proc.aspace ~base with
+         | None -> Alcotest.fail "re-armed ring header unreadable"
+         | Some r' ->
+             Alcotest.(check int) "head reset" 0 (Ring.head r');
+             Alcotest.(check int) "occupancy reset" 0 (Ring.occupancy r'));
+         Alcotest.(check int) "stamped cursor starts at 0" 0
+           (M.ring_stamped machine ~pid:p.Proc.pid);
+         checked := true));
+  M.run machine;
+  Alcotest.(check bool) "probe ran" true !checked
+
+(* ------------------------- end-to-end batches ------------------------ *)
+
+let ok_or_fail i = function
+  | Ok v -> v
+  | Error (_, m) -> Alcotest.failf "slot %d failed: %s" i m
+
+let test_batch_end_to_end () =
+  let world = World.create ~with_rpc:false () in
+  let results = ref [] in
+  World.spawn_seclibc_client world ~name:"ring-client" (fun _p conn ->
+      let inputs = List.init 16 (fun i -> [| i |]) in
+      results := Stub.call_batch conn ~func:"test_incr" inputs);
+  World.run world;
+  Alcotest.(check int) "16 results" 16 (List.length !results);
+  List.iteri
+    (fun i r -> Alcotest.(check int) (Printf.sprintf "slot %d" i) (i + 1) (ok_or_fail i r))
+    !results
+
+let test_batch_chunks_over_small_ring () =
+  (* 10 calls through a 4-slot ring: three traps, same results. *)
+  let world = World.create ~with_rpc:false () in
+  let results = ref [] in
+  World.spawn_seclibc_client world ~name:"chunk-client" (fun _p conn ->
+      ignore (Stub.arm_ring ~nslots:4 conn);
+      results := Stub.call_batch conn ~func:"test_incr" (List.init 10 (fun i -> [| i * 3 |])));
+  World.run world;
+  Alcotest.(check int) "10 results" 10 (List.length !results);
+  List.iteri
+    (fun i r ->
+      Alcotest.(check int) (Printf.sprintf "slot %d" i) ((i * 3) + 1) (ok_or_fail i r))
+    !results
+
+let test_mixed_ring_and_msgq () =
+  (* A ring-engaged handle still serves plain msgq calls: batch, then a
+     legacy call, then another batch, all on one session. *)
+  let world = World.create ~with_rpc:false () in
+  let ok = ref false in
+  World.spawn_seclibc_client world ~name:"mixed-client" (fun _p conn ->
+      let r1 = Stub.call_batch conn ~func:"test_incr" [ [| 1 |]; [| 2 |] ] in
+      let legacy = Stub.call conn ~func:"test_incr" [| 10 |] in
+      let r2 = Stub.call_batch conn ~func:"test_incr" [ [| 20 |] ] in
+      Alcotest.(check (list int)) "first batch" [ 2; 3 ]
+        (List.mapi ok_or_fail r1);
+      Alcotest.(check int) "legacy call between batches" 11 legacy;
+      Alcotest.(check (list int)) "second batch" [ 21 ] (List.mapi ok_or_fail r2);
+      ok := true);
+  World.run world;
+  Alcotest.(check bool) "client finished" true !ok
+
+let test_stateful_policy_denies_per_slot () =
+  (* Call_quota is stateful, so the batch path evaluates it per slot:
+     the first 3 slots pass, the last 2 fail alone with EACCES — the
+     batch itself succeeds. *)
+  let world = World.create ~with_rpc:false ~policy:(Policy.Call_quota 3) () in
+  let results = ref [] in
+  World.spawn_seclibc_client world ~name:"quota-client" (fun _p conn ->
+      results := Stub.call_batch conn ~func:"test_incr" (List.init 5 (fun i -> [| i |])));
+  World.run world;
+  let statuses =
+    List.map (function Ok _ -> `Ok | Error (e, _) -> `Err e) !results
+  in
+  Alcotest.(check int) "5 results" 5 (List.length statuses);
+  List.iteri
+    (fun i s ->
+      if i < 3 then Alcotest.(check bool) (Printf.sprintf "slot %d allowed" i) true (s = `Ok)
+      else
+        Alcotest.(check bool)
+          (Printf.sprintf "slot %d denied EACCES" i)
+          true
+          (s = `Err Errno.EACCES))
+    statuses
+
+let test_forged_verdict_overwritten () =
+  (* The client stamps its own slot "allowed" before trapping; the
+     session's quota is already exhausted, so policy denies the slot.
+     The kernel must rewrite the verdict: the forged allow never reaches
+     the handle. *)
+  let world = World.create ~with_rpc:false ~policy:(Policy.Call_quota 1) () in
+  let results = ref [] in
+  World.spawn_seclibc_client world ~name:"forger" (fun p conn ->
+      (* Consume the quota on the legacy path. *)
+      ignore (Stub.call conn ~func:"test_incr" [| 0 |]);
+      (* Submit one slot by hand so we can forge before the trap. *)
+      let r = Stub.arm_ring conn in
+      ignore
+        (Ring.try_submit r
+           ~m_id:(Stub.conn_info conn).Wire.m_id
+           ~func_id:0 ~client_sp:p.Proc.sp ~client_fp:p.Proc.fp ~args:[| 1 |]);
+      (* verdict word of slot 0: header (32 B) + 4 words in. *)
+      Aspace.write_word p.Proc.aspace ~addr:(Ring.base r + 32 + 16) 1;
+      ignore
+        (M.syscall world.World.machine p Sysno.smod_call_batch
+           [| (Stub.conn_info conn).Wire.m_id; 1 |]);
+      match Ring.reap r with
+      | Some (_, status, _) -> results := [ status ]
+      | None -> ());
+  World.run world;
+  Alcotest.(check (list int)) "forged slot denied kernel-side" [ 6 ] !results
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ring"
+    [
+      ( "spsc ring",
+        [
+          tc "slot lifecycle" test_slot_lifecycle;
+          tc "wrap + full" test_wrap_and_full;
+          tc "claim skips kernel-completed" test_kernel_complete_skipped_by_claim;
+        ] );
+      ( "setup syscall",
+        [
+          tc "validation" test_setup_validation;
+          tc "re-zeroes client writes" test_setup_rezeroes;
+        ] );
+      ( "batched dispatch",
+        [
+          tc "end-to-end" test_batch_end_to_end;
+          tc "chunking over a small ring" test_batch_chunks_over_small_ring;
+          tc "mixed ring + msgq" test_mixed_ring_and_msgq;
+          tc "stateful policy denies per-slot" test_stateful_policy_denies_per_slot;
+          tc "forged verdict overwritten" test_forged_verdict_overwritten;
+        ] );
+    ]

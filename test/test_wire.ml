@@ -1,0 +1,148 @@
+(* Randomized round-trip and corruption tests for the wire codecs
+   (PR 3 satellite): every encoder/decoder pair is exercised over
+   Rng-seeded inputs, and the total [_res] decoders must return [Error]
+   — never raise — on truncated or corrupt buffers, since an escaped
+   exception on a kernel-side decode aborts the whole simulation. *)
+
+module Rng = Smod_util.Rng
+open Secmodule
+
+let rounds = 500
+let seed = 0x5EC0_0DE3L
+
+(* Wire words are u32: keep generated ints in range so round-trips are
+   exact. *)
+let word rng = Rng.int rng 0x4000_0000
+
+let random_bytes rng len = Bytes.init len (fun _ -> Char.chr (Rng.int rng 256))
+
+let test_request_roundtrip () =
+  let rng = Rng.create seed in
+  for _ = 1 to rounds do
+    let r =
+      {
+        Wire.func_id = word rng;
+        args_base = word rng;
+        client_sp = word rng;
+        client_fp = word rng;
+      }
+    in
+    Alcotest.(check bool) "request round-trip" true
+      (Wire.request_of_bytes (Wire.request_to_bytes r) = r)
+  done
+
+let test_reply_roundtrip () =
+  let rng = Rng.create seed in
+  for _ = 1 to rounds do
+    let r = { Wire.status = Rng.int rng 16; retval = word rng } in
+    Alcotest.(check bool) "reply round-trip" true
+      (Wire.reply_of_bytes (Wire.reply_to_bytes r) = r)
+  done
+
+let test_descriptor_roundtrip () =
+  let rng = Rng.create seed in
+  for _ = 1 to rounds do
+    let d =
+      {
+        Wire.module_name = String.init (Rng.int rng 40) (fun _ -> Char.chr (Rng.int_in rng 32 126));
+        module_version = Rng.int rng 100;
+        credential = random_bytes rng (Rng.int rng 200);
+      }
+    in
+    match Wire.descriptor_of_bytes_res (Wire.descriptor_to_bytes d) with
+    | Ok d' -> Alcotest.(check bool) "descriptor round-trip" true (d = d')
+    | Error m -> Alcotest.failf "descriptor round-trip failed: %s" m
+  done
+
+let test_handle_info_roundtrip () =
+  let rng = Rng.create seed in
+  for _ = 1 to rounds do
+    let h =
+      {
+        Wire.m_id = word rng;
+        handle_pid = word rng;
+        req_qid = word rng;
+        rep_qid = word rng;
+      }
+    in
+    Alcotest.(check bool) "handle_info round-trip" true
+      (Wire.handle_info_of_bytes (Wire.handle_info_to_bytes h) = h)
+  done
+
+(* Every prefix (strict truncation) and a batch of random corruptions of
+   a valid encoding must come back [Error] or [Ok], never raise. *)
+let total_on_garbage (type a) name (decode : bytes -> (a, string) result) valid =
+  (* Truncations: every strict prefix. *)
+  for len = 0 to Bytes.length valid - 1 do
+    match decode (Bytes.sub valid 0 len) with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "%s raised %s on a %d-byte truncation" name (Printexc.to_string e) len
+  done;
+  (* Extensions and random byte flips. *)
+  let rng = Rng.create seed in
+  for _ = 1 to rounds do
+    let b = Bytes.copy valid in
+    let b =
+      if Rng.bool rng then Bytes.cat b (random_bytes rng (1 + Rng.int rng 32)) else b
+    in
+    let flips = 1 + Rng.int rng 4 in
+    for _ = 1 to flips do
+      Bytes.set b (Rng.int rng (Bytes.length b)) (Char.chr (Rng.int rng 256))
+    done;
+    match decode b with
+    | Ok _ | Error _ -> ()
+    | exception e -> Alcotest.failf "%s raised %s on corrupt input" name (Printexc.to_string e)
+  done;
+  (* Pure noise, including lengths that embed absurd inner sizes. *)
+  for _ = 1 to rounds do
+    let b = random_bytes rng (Rng.int rng 64) in
+    match decode b with
+    | Ok _ | Error _ -> ()
+    | exception e -> Alcotest.failf "%s raised %s on noise" name (Printexc.to_string e)
+  done
+
+let test_decoders_total () =
+  total_on_garbage "request_of_bytes_res" Wire.request_of_bytes_res
+    (Wire.request_to_bytes { Wire.func_id = 1; args_base = 2; client_sp = 3; client_fp = 4 });
+  total_on_garbage "reply_of_bytes_res" Wire.reply_of_bytes_res
+    (Wire.reply_to_bytes { Wire.status = 0; retval = 7 });
+  total_on_garbage "descriptor_of_bytes_res" Wire.descriptor_of_bytes_res
+    (Wire.descriptor_to_bytes
+       { Wire.module_name = "seclibc"; module_version = 1; credential = Bytes.create 32 });
+  total_on_garbage "handle_info_of_bytes_res" Wire.handle_info_of_bytes_res
+    (Wire.handle_info_to_bytes { Wire.m_id = 1; handle_pid = 2; req_qid = 3; rep_qid = 4 })
+
+let test_truncated_descriptor_is_error () =
+  (* The specific historical hazard: a name length larger than the
+     buffer.  Must be [Error], and the raising variant must raise
+     [Invalid_argument] (not an out-of-bounds exception). *)
+  let b = Bytes.create 4 in
+  Bytes.set b 0 '\xff';
+  Bytes.set b 1 '\xff';
+  Bytes.set b 2 '\x00';
+  Bytes.set b 3 '\x00';
+  (match Wire.descriptor_of_bytes_res b with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized name length accepted");
+  match Wire.descriptor_of_bytes b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "raising variant did not raise Invalid_argument"
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "wire"
+    [
+      ( "round-trips",
+        [
+          tc "request" test_request_roundtrip;
+          tc "reply" test_reply_roundtrip;
+          tc "descriptor" test_descriptor_roundtrip;
+          tc "handle_info" test_handle_info_roundtrip;
+        ] );
+      ( "total decoding",
+        [
+          tc "truncation/corruption/noise" test_decoders_total;
+          tc "oversized name length" test_truncated_descriptor_is_error;
+        ] );
+    ]
