@@ -42,12 +42,28 @@ type msgq = {
   mutable removed : bool;
 }
 
+(* What the kernel decided about one stamped slot, recorded at stamp
+   time in kernel-private memory.  The handle claims from these records
+   — never from the (client-writable) ring slots — so a client that
+   rewrites a slot's m_id/func_id/verdict/state words after admission
+   can neither change which function runs nor resurrect a denied or
+   already-executed slot.  [sr_seq] disambiguates a stale record whose
+   ring index has since wrapped. *)
+type stamp_rec = { sr_seq : int; sr_m_id : int; sr_func_id : int; sr_allow : bool }
+
 (* One registered dispatch ring per client pid.  [rr_stamped] is the
    kernel-private admission cursor: the handle may only claim slots with
    seq below it, and it only advances through [sys_smod_call_batch]'s
-   stamping loop — header words in the (client-writable) ring memory are
-   never trusted for admission. *)
-type ring_reg = { rr_base : int; rr_nslots : int; mutable rr_stamped : int }
+   stamping loop.  [rr_claimed] is the handle's claim cursor, also
+   kernel-private — header words in the (client-writable) ring memory
+   are never trusted for admission, ordering, or replay protection. *)
+type ring_reg = {
+  rr_base : int;
+  rr_nslots : int;
+  mutable rr_stamped : int;
+  mutable rr_claimed : int;
+  rr_shadow : stamp_rec option array;  (* length rr_nslots, index seq mod nslots *)
+}
 
 type t = {
   clock : Clock.t;
@@ -638,10 +654,39 @@ let ring_registration t ~pid =
 let ring_stamped t ~pid =
   match Hashtbl.find_opt t.rings pid with Some r -> r.rr_stamped | None -> 0
 
-let ring_advance_stamped t ~pid ~seq =
+let ring_record_stamp t ~pid ~seq ~m_id ~func_id ~allow =
   match Hashtbl.find_opt t.rings pid with
-  | Some r -> if seq > r.rr_stamped then r.rr_stamped <- seq
   | None -> ()
+  | Some r ->
+      r.rr_shadow.(seq mod r.rr_nslots) <-
+        Some { sr_seq = seq; sr_m_id = m_id; sr_func_id = func_id; sr_allow = allow };
+      if seq + 1 > r.rr_stamped then r.rr_stamped <- seq + 1
+
+let ring_claim_next t ~pid =
+  match Hashtbl.find_opt t.rings pid with
+  | None -> None
+  | Some r ->
+      (* Walk the kernel-private claim cursor towards the stamped cursor,
+         skipping slots the kernel already completed (denied/malformed)
+         and stale wrapped records; only an allow record stamped for
+         exactly this seq is handed to the handle. *)
+      let rec go () =
+        if r.rr_claimed >= r.rr_stamped then None
+        else begin
+          let seq = r.rr_claimed in
+          r.rr_claimed <- seq + 1;
+          match r.rr_shadow.(seq mod r.rr_nslots) with
+          | Some sr when sr.sr_seq = seq && sr.sr_allow ->
+              Some (seq, sr.sr_m_id, sr.sr_func_id)
+          | Some _ | None -> go ()
+        end
+      in
+      go ()
+
+let ring_claimable t ~pid =
+  match Hashtbl.find_opt t.rings pid with
+  | Some r -> r.rr_claimed < r.rr_stamped
+  | None -> false
 
 let ring_teardown t ~pid =
   if Hashtbl.mem t.rings pid then begin
@@ -685,7 +730,13 @@ let sys_smod_ring_setup t (p : Proc.t) args =
       ignore (Ring.init p.aspace ~base ~nslots);
       Clock.charge t.clock (Cost.Copy_bytes size);
       Hashtbl.replace t.rings p.pid
-        { rr_base = base; rr_nslots = nslots; rr_stamped = 0 };
+        {
+          rr_base = base;
+          rr_nslots = nslots;
+          rr_stamped = 0;
+          rr_claimed = 0;
+          rr_shadow = Array.make nslots None;
+        };
       Smod_metrics.Counter.incr m_ring_setups;
       0
 

@@ -158,19 +158,38 @@ val msgq_depth : t -> qid:int -> int
     shared-memory dispatch ring per client pid: it validates that the
     ring lies wholly inside the force-share window and is mapped, then
     re-arms it zeroed so nothing the client pre-wrote survives
-    registration.  The stamped cursor is kernel-private: only
-    [sys_smod_call_batch] (lib/secmodule) advances it, and the handle
-    refuses to claim slots at or above it. *)
+    registration.  Everything admission-relevant lives kernel-side: at
+    stamp time [sys_smod_call_batch] (lib/secmodule) records each slot's
+    (seq, moduleID, funcID, verdict) in a kernel-private shadow, and the
+    handle claims from that shadow via {!ring_claim_next} — never from
+    the client-writable ring words — so post-stamp rewrites of a slot's
+    identity, verdict, or state, and rewinds of the shared cursor words,
+    cannot change what executes or replay an executed slot. *)
 
 val ring_registration : t -> pid:int -> (int * int) option
-(** [(base, nslots)] of the ring registered to this client, if any. *)
+(** [(base, nslots)] of the ring registered to this client, if any.
+    This pinned geometry — not the client-writable header word — is what
+    kernel and handle views of the ring must be built from. *)
 
 val ring_stamped : t -> pid:int -> int
 (** Kernel-private admission cursor (0 when no ring is registered). *)
 
-val ring_advance_stamped : t -> pid:int -> seq:int -> unit
-(** Raise the admission cursor to [seq] (never lowers it).  Kernel-side
-    callers only (the batch syscall's stamping loop). *)
+val ring_record_stamp :
+  t -> pid:int -> seq:int -> m_id:int -> func_id:int -> allow:bool -> unit
+(** Record the kernel's admission decision for slot [seq] and advance the
+    stamped cursor past it.  Kernel-side callers only (the batch
+    syscall's stamping loop); denied and malformed slots are recorded
+    with [allow:false] so the handle's claim walks over them. *)
+
+val ring_claim_next : t -> pid:int -> (int * int * int) option
+(** Hand the handle the next allow-stamped slot as [(seq, m_id, func_id)]
+    from the kernel-private shadow, advancing the kernel-private claim
+    cursor (skipping denied/malformed/stale records).  [None] when the
+    handle has caught up with the stamped cursor. *)
+
+val ring_claimable : t -> pid:int -> bool
+(** Whether the claim cursor is behind the stamped cursor (cheap
+    work-available probe for the handle's spin loop). *)
 
 val ring_teardown : t -> pid:int -> unit
 (** Drop the registration (detach, scrub, or client death).  The memory

@@ -20,10 +20,16 @@
    a rejected call never reaches the handle.
 
    Trust: everything here is client-mapped memory, so nothing the client
-   writes is believed.  The handle only claims slots below the kernel's
-   private stamped cursor (held in Machine, not here), and the kernel
-   rewrites the verdict word of every slot it stamps — a forged
-   "allowed" verdict is overwritten before the handle can see it. *)
+   writes is believed.  Admission state never round-trips through these
+   words: at stamp time the kernel records (seq, moduleID, funcID,
+   verdict) in its private per-registration shadow (Machine.ring_reg),
+   and the handle claims from that shadow — [claim_stamped] takes the
+   authoritative identity as arguments rather than re-reading it here.
+   The verdict/state words below are written only so the *client* can
+   observe progress; cursors the kernel or handle act on (stamped,
+   claimed) live kernel-side.  Kernel and handle views are built from
+   the geometry pinned at sys_smod_ring_setup ([of_registration]), not
+   from the client-writable nslots header word. *)
 
 module Aspace = Smod_vmem.Aspace
 module Clock = Smod_sim.Clock
@@ -118,6 +124,18 @@ let attach aspace ~base =
       let nslots = Aspace.read_word aspace ~addr:(base + 4) in
       if nslots <= 0 || nslots > 65536 then None else Some { aspace; base; nslots }
 
+let of_registration aspace ~base ~nslots =
+  if nslots <= 0 then None
+  else
+    match Aspace.read_word aspace ~addr:base with
+    | exception _ -> None
+    | m when m <> magic -> None
+    | _ ->
+        (* The geometry comes from the kernel's registration; a header
+           word that disagrees is client tampering, not a bigger ring. *)
+        if Aspace.read_word aspace ~addr:(base + 4) <> nslots then None
+        else Some { aspace; base; nslots }
+
 let reset = zero
 
 (* ------------------------------ client ----------------------------- *)
@@ -180,36 +198,28 @@ let kernel_complete t ~seq ~status =
 
 (* ------------------------------ handle ----------------------------- *)
 
-let claim t ~limit =
-  let rec go () =
-    let c = claimed t in
-    if c >= limit || c >= head t then None
-    else
-      let st = slot_word t c s_state in
-      if st = st_completed then begin
-        (* kernel-denied slot: already completed, skip it *)
-        set_hdr t h_claimed (c + 1);
-        go ()
-      end
-      else if st = st_submitted && slot_word t c s_verdict = verdict_allow then begin
-        Clock.charge (clock t) Cost.Ring_claim;
-        set_slot_word t c s_state st_claimed;
-        set_hdr t h_claimed (c + 1);
-        Some
-          {
-            seq = c;
-            m_id = slot_word t c s_m_id;
-            func_id = slot_word t c s_func;
-            nargs = slot_word t c s_nargs;
-            client_sp = slot_word t c s_csp;
-            client_fp = slot_word t c s_cfp;
-            args_base = slot_addr t c + (s_arg0 * 4);
-          }
-      end
-      else (* unstamped, forged verdict, or torn slot: not ours to take *)
-        None
-  in
-  go ()
+let claim_stamped t ~seq ~m_id ~func_id =
+  (* The caller (the handle, via Machine.ring_claim_next) holds the
+     kernel-private admission record for [seq]: identity and verdict are
+     passed in, not re-read from the slot, so post-stamp rewrites of the
+     client-writable identity/verdict/state words change nothing.  Only
+     the call's *data* — arg count, frame pointers, inline args — comes
+     from shared memory, exactly as the legacy msgq path reads argument
+     words from the shared client stack at call time. *)
+  Clock.charge (clock t) Cost.Ring_claim;
+  set_slot_word t seq s_state st_claimed;
+  (* Shared claim word is a progress mirror for the client and pp only;
+     nothing reads it for admission. *)
+  if seq + 1 > claimed t then set_hdr t h_claimed (seq + 1);
+  {
+    seq;
+    m_id;
+    func_id;
+    nargs = slot_word t seq s_nargs;
+    client_sp = slot_word t seq s_csp;
+    client_fp = slot_word t seq s_cfp;
+    args_base = slot_addr t seq + (s_arg0 * 4);
+  }
 
 let complete t ~seq ~status ~retval =
   Clock.charge (clock t) Cost.Ring_complete;

@@ -1,17 +1,22 @@
 (** Fixed-slot SPSC submission/completion ring in simulated shared memory.
 
     One producer (the client stub) fills slots with (module, func, args)
-    and bumps [head]; the kernel stamps admission verdicts during
-    [sys_smod_call_batch] (it is the only legitimate writer of the
-    verdict word, and it rewrites it unconditionally — client forgeries
-    are overwritten); one consumer (the handle) claims stamped slots up
-    to the kernel's private cursor and completes them in place.  Slot
-    lifecycle: Free -> Submitted -> Claimed -> Completed -> Free, with a
-    kernel shortcut Submitted -> Completed for denied calls.
+    and bumps [head]; the kernel evaluates admission during
+    [sys_smod_call_batch] and records each decision — (seq, moduleID,
+    funcID, verdict) — in kernel-private shadow state (Machine); one
+    consumer (the handle) claims from that shadow via
+    [Machine.ring_claim_next] + {!claim_stamped} and completes slots in
+    place.  Slot lifecycle: Free -> Submitted -> Claimed -> Completed ->
+    Free, with a kernel shortcut Submitted -> Completed for denied
+    calls.
 
-    The ring itself holds no authority: it is plain client-mapped memory
-    and every security-relevant decision is re-derived from kernel state
-    by the caller. *)
+    The ring itself holds no authority: it is plain client-mapped
+    memory, and nothing admission-relevant is ever read back from it
+    after the stamp.  The verdict/state words exist so the client can
+    observe progress; the cursors that gate execution (stamped, claimed)
+    are kernel-private.  Kernel and handle construct their views from
+    the geometry pinned at registration ({!of_registration}), never from
+    the client-writable header. *)
 
 type t
 (** A view of one ring: an address space + base address + geometry.
@@ -41,7 +46,15 @@ val init : Smod_vmem.Aspace.t -> base:int -> nslots:int -> t
 
 val attach : Smod_vmem.Aspace.t -> base:int -> t option
 (** Re-derive a view from a mapped header; [None] if the magic or
-    geometry is implausible. *)
+    geometry is implausible.  Client-side only — the header is
+    client-writable, so kernel and handle must use {!of_registration}. *)
+
+val of_registration : Smod_vmem.Aspace.t -> base:int -> nslots:int -> t option
+(** Build the kernel/handle view from the geometry pinned at
+    [sys_smod_ring_setup].  [None] if the magic is gone or the header's
+    nslots word disagrees with the registered [nslots] (client
+    tampering) — callers must treat that as EINVAL, never fall back to
+    the header word. *)
 
 val reset : t -> unit
 (** Re-zero everything and re-arm the header — the scrub path. *)
@@ -55,7 +68,9 @@ val head : t -> int
 (** Total slots ever submitted (client-written). *)
 
 val claimed : t -> int
-(** Handle's claim cursor: slots below it were claimed or skipped. *)
+(** Progress mirror of the handle's claim cursor — written for client
+    visibility and [pp] only; the authoritative cursor is kernel-private
+    (Machine). *)
 
 val completed : t -> int
 (** Total slots ever completed (handle- or kernel-written). *)
@@ -89,10 +104,14 @@ val reap : t -> (int * int * int) option
 (** {2 Kernel side} *)
 
 val submitted_info : t -> seq:int -> (int * int) option
-(** [(m_id, func_id)] of a slot still in Submitted state, else [None]. *)
+(** [(m_id, func_id)] of a slot still in Submitted state, else [None].
+    This is the one read of client identity words — made once, at stamp
+    time, under the trap; the kernel snapshots the result into its
+    shadow and never reads them again. *)
 
 val stamp : t -> seq:int -> allow:bool -> unit
-(** Write the admission verdict (kernel only). *)
+(** Write the admission verdict (kernel only).  Client-visible progress
+    word; the authoritative verdict is the kernel's shadow record. *)
 
 val kernel_complete : t -> seq:int -> status:int -> unit
 (** Complete a slot kernel-side (denied or malformed) so it never
@@ -100,10 +119,12 @@ val kernel_complete : t -> seq:int -> status:int -> unit
 
 (** {2 Handle side} *)
 
-val claim : t -> limit:int -> slot option
-(** Claim the next allow-stamped Submitted slot with [seq < limit]
-    (the kernel's stamped cursor), skipping kernel-completed ones.
-    [None] when caught up. *)
+val claim_stamped : t -> seq:int -> m_id:int -> func_id:int -> slot
+(** Materialize the slot the kernel-private shadow just handed the
+    handle ([Machine.ring_claim_next]): identity and verdict come from
+    the arguments, not from the client-writable slot words — only the
+    call's data (nargs, frame pointers, inline args) is read from shared
+    memory, as the legacy msgq path does from the shared stack. *)
 
 val complete : t -> seq:int -> status:int -> retval:int -> unit
 

@@ -351,16 +351,18 @@ let execute_function t session (handle : Proc.t) (req : Wire.request) =
    before giving up the CPU for real (the adaptive spin-then-block). *)
 let handle_spin_budget = 4
 
-(* Drain every claimable slot: claim below the kernel's stamped cursor,
-   execute, complete in place.  One wake of the client's wait queue per
-   drain, however many slots it covered — that is the amortization. *)
+(* Drain every claimable slot: pull the next admission record from the
+   kernel-private shadow (identity + verdict as stamped — whatever the
+   client has since scribbled on the ring words), execute, complete in
+   place.  One wake of the client's wait queue per drain, however many
+   slots it covered — that is the amortization. *)
 let drain_ring t session (handle : Proc.t) rs =
-  let limit = Machine.ring_stamped t.machine ~pid:session.client_pid in
   let drained = ref 0 in
   let continue_ = ref true in
   while !continue_ do
-    match Ring.claim rs.r_ring ~limit with
-    | Some slot ->
+    match Machine.ring_claim_next t.machine ~pid:session.client_pid with
+    | Some (seq, m_id, func_id) ->
+        let slot = Ring.claim_stamped rs.r_ring ~seq ~m_id ~func_id in
         let req =
           {
             Wire.func_id = slot.Ring.func_id;
@@ -378,9 +380,8 @@ let drain_ring t session (handle : Proc.t) rs =
   if !drained > 0 then ignore (Machine.wake t.machine rs.r_client_wq);
   !drained
 
-let ring_work_available t session rs =
-  let limit = Machine.ring_stamped t.machine ~pid:session.client_pid in
-  Ring.claimed rs.r_ring < min limit (Ring.head rs.r_ring)
+let ring_work_available t session _rs =
+  Machine.ring_claimable t.machine ~pid:session.client_pid
 
 (* The handle's serve loop, shared by cold-fork and pooled handles.
    Starts in plain msgq mode; once the session has a bound ring it
@@ -1092,8 +1093,11 @@ let bind_session_ring t (p : Proc.t) session =
   | None -> (
       match Machine.ring_registration t.machine ~pid:p.Proc.pid with
       | None -> Errno.raise_errno Errno.EINVAL "smod_call_batch: no ring registered"
-      | Some (base, _nslots) -> (
-          match Ring.attach p.Proc.aspace ~base with
+      | Some (base, nslots) -> (
+          (* Geometry comes from the registration pinned at setup; a
+             header nslots word rewritten since then is tampering, not a
+             bigger ring — of_registration rejects the mismatch. *)
+          match Ring.of_registration p.Proc.aspace ~base ~nslots with
           | None -> Errno.raise_errno Errno.EINVAL "smod_call_batch: ring header corrupt"
           | Some ring ->
               let rs =
@@ -1208,20 +1212,32 @@ let sys_call_batch t (p : Proc.t) ~m_id ~max_slots =
             d)
   in
   let stamped0 = Machine.ring_stamped t.machine ~pid:p.Proc.pid in
-  let limit = min (Ring.head ring) (stamped0 + max max_slots 0) in
+  (* [head] is a client-writable header word and [max_slots] an
+     arbitrary trap argument: clamp the per-trap work by the registered
+     geometry so a forged head (or a huge max_slots) cannot drive one
+     trap through an unbounded kernel loop. *)
+  let budget = max 0 (min max_slots (Ring.nslots ring)) in
+  let limit = min (Ring.head ring) (stamped0 + budget) in
   let n = ref 0 and allowed = ref 0 in
   for seq = stamped0 to limit - 1 do
     incr n;
+    (* Every decision is recorded in the kernel-private shadow
+       (Machine.ring_record_stamp) — that record, not the ring words
+       rewritten below, is what the handle's claim acts on. *)
     (match Ring.submitted_info ring ~seq with
     | None ->
         (* Torn or never-written slot below head: fail it kernel-side so
            the client's in-order reap is never stuck on garbage. *)
+        Machine.ring_record_stamp t.machine ~pid:p.Proc.pid ~seq ~m_id:0
+          ~func_id:0 ~allow:false;
         Ring.kernel_complete ring ~seq ~status:5
     | Some (slot_m_id, func_id) ->
         if slot_m_id <> session.m_id then begin
           session.denied_calls <- session.denied_calls + 1;
           Smod_metrics.Counter.incr m_calls_denied;
           Smod_metrics.Counter.incr m_ring_denied;
+          Machine.ring_record_stamp t.machine ~pid:p.Proc.pid ~seq
+            ~m_id:slot_m_id ~func_id ~allow:false;
           Ring.kernel_complete ring ~seq ~status:6
         end
         else begin
@@ -1230,14 +1246,17 @@ let sys_call_batch t (p : Proc.t) ~m_id ~max_slots =
               session.calls <- session.calls + 1;
               Smod_metrics.Counter.incr m_calls;
               incr allowed;
+              Machine.ring_record_stamp t.machine ~pid:p.Proc.pid ~seq
+                ~m_id:slot_m_id ~func_id ~allow:true;
               Ring.stamp ring ~seq ~allow:true
           | Cache_deny _ ->
               session.denied_calls <- session.denied_calls + 1;
               Smod_metrics.Counter.incr m_calls_denied;
               Smod_metrics.Counter.incr m_ring_denied;
+              Machine.ring_record_stamp t.machine ~pid:p.Proc.pid ~seq
+                ~m_id:slot_m_id ~func_id ~allow:false;
               Ring.kernel_complete ring ~seq ~status:6
-        end);
-    Machine.ring_advance_stamped t.machine ~pid:p.Proc.pid ~seq:(seq + 1)
+        end)
   done;
   if !n > 0 then begin
     Smod_metrics.Counter.incr m_ring_batches;

@@ -28,18 +28,14 @@ let test_slot_lifecycle () =
   Alcotest.(check int) "empty" 0 (Ring.occupancy r);
   let seq = Ring.try_submit r ~m_id:1 ~func_id:7 ~client_sp:0 ~client_fp:0 ~args:[| 41 |] in
   Alcotest.(check (option int)) "first seq is 0" (Some 0) seq;
-  (* An unstamped slot is not claimable even below the limit. *)
-  Alcotest.(check bool) "claim refuses unstamped" true (Ring.claim r ~limit:1 = None);
   Ring.stamp r ~seq:0 ~allow:true;
-  (* The stamped cursor is the hard boundary. *)
-  Alcotest.(check bool) "claim respects limit" true (Ring.claim r ~limit:0 = None);
-  (match Ring.claim r ~limit:1 with
-  | None -> Alcotest.fail "claim failed on a stamped slot"
-  | Some slot ->
-      Alcotest.(check int) "func id" 7 slot.Ring.func_id;
-      Alcotest.(check int) "nargs" 1 slot.Ring.nargs;
-      Alcotest.(check int) "arg inline" 41 (Aspace.read_word a ~addr:slot.Ring.args_base);
-      Ring.complete r ~seq:slot.Ring.seq ~status:0 ~retval:42);
+  (* The handle claims with the identity the kernel recorded at stamp
+     time (here: the test playing the kernel) — never from the slot. *)
+  let slot = Ring.claim_stamped r ~seq:0 ~m_id:1 ~func_id:7 in
+  Alcotest.(check int) "func id" 7 slot.Ring.func_id;
+  Alcotest.(check int) "nargs" 1 slot.Ring.nargs;
+  Alcotest.(check int) "arg inline" 41 (Aspace.read_word a ~addr:slot.Ring.args_base);
+  Ring.complete r ~seq:slot.Ring.seq ~status:0 ~retval:42;
   (match Ring.reap r with
   | Some (0, 0, 42) -> ()
   | Some (seq, st, rv) -> Alcotest.failf "reap got (%d,%d,%d)" seq st rv
@@ -57,9 +53,8 @@ let test_wrap_and_full () =
     | Some s -> Alcotest.(check int) "monotonic seq" seq s
     | None -> Alcotest.failf "ring full at seq %d" seq);
     Ring.stamp r ~seq ~allow:true;
-    (match Ring.claim r ~limit:(seq + 1) with
-    | Some slot -> Ring.complete r ~seq:slot.Ring.seq ~status:0 ~retval:(100 + seq)
-    | None -> Alcotest.failf "claim failed at seq %d" seq);
+    let slot = Ring.claim_stamped r ~seq ~m_id:1 ~func_id:0 in
+    Ring.complete r ~seq:slot.Ring.seq ~status:0 ~retval:(100 + seq);
     match Ring.reap r with
     | Some (s, 0, rv) ->
         Alcotest.(check int) "in-order reap" seq s;
@@ -81,21 +76,53 @@ let test_kernel_complete_skipped_by_claim () =
   let r = Ring.init a ~base ~nslots:4 in
   ignore (Ring.try_submit r ~m_id:1 ~func_id:0 ~client_sp:0 ~client_fp:0 ~args:[||]);
   ignore (Ring.try_submit r ~m_id:1 ~func_id:1 ~client_sp:0 ~client_fp:0 ~args:[||]);
-  (* Kernel denies slot 0, allows slot 1: the handle's claim walks over
-     the completed slot and takes the allowed one. *)
+  (* Kernel denies slot 0, allows slot 1: the denied slot never reaches
+     the handle (its claim walks the kernel shadow, which skips it), yet
+     the client still reaps both in order, the denial first. *)
   Ring.kernel_complete r ~seq:0 ~status:6;
   Ring.stamp r ~seq:1 ~allow:true;
-  (match Ring.claim r ~limit:2 with
-  | Some slot -> Alcotest.(check int) "claimed past denial" 1 slot.Ring.seq
-  | None -> Alcotest.fail "claim did not skip the denied slot");
+  let slot = Ring.claim_stamped r ~seq:1 ~m_id:1 ~func_id:1 in
+  Alcotest.(check int) "claimed past denial" 1 slot.Ring.seq;
   Ring.complete r ~seq:1 ~status:0 ~retval:0;
-  (* The client reaps both, in order, the denial first. *)
   (match Ring.reap r with
   | Some (0, 6, _) -> ()
   | _ -> Alcotest.fail "denied slot not reaped first");
   match Ring.reap r with
   | Some (1, 0, _) -> ()
   | _ -> Alcotest.fail "completed slot not reaped second"
+
+(* The claim discipline — refuse unstamped, skip denied, never hand out
+   the same seq twice — lives in the kernel-private shadow, where a
+   client rewriting ring words (or rewinding the shared claim-cursor
+   word) cannot reach it. *)
+let test_shadow_claim_discipline () =
+  let machine = M.create () in
+  let checked = ref false in
+  ignore
+    (M.spawn machine ~name:"shadow-probe" (fun p ->
+         let base = (Aspace.brk p.Proc.aspace + 63) land lnot 63 in
+         Aspace.obreak p.Proc.aspace (base + Ring.size_bytes ~nslots:4);
+         ignore (M.syscall machine p Sysno.smod_ring_setup [| base; 4 |]);
+         let pid = p.Proc.pid in
+         Alcotest.(check bool) "nothing claimable before any stamp" false
+           (M.ring_claimable machine ~pid);
+         Alcotest.(check bool) "claim refuses unstamped" true
+           (M.ring_claim_next machine ~pid = None);
+         (* Kernel denies seq 0 and allows seq 1. *)
+         M.ring_record_stamp machine ~pid ~seq:0 ~m_id:1 ~func_id:9 ~allow:false;
+         M.ring_record_stamp machine ~pid ~seq:1 ~m_id:1 ~func_id:7 ~allow:true;
+         Alcotest.(check bool) "work visible" true (M.ring_claimable machine ~pid);
+         (match M.ring_claim_next machine ~pid with
+         | Some (1, 1, 7) -> ()
+         | Some (s, m, f) -> Alcotest.failf "claimed (%d,%d,%d)" s m f
+         | None -> Alcotest.fail "allow-stamped slot not claimable");
+         (* Replay: the claim cursor is kernel-private and only moves
+            forward — an executed seq can never be handed out again. *)
+         Alcotest.(check bool) "no replay" true (M.ring_claim_next machine ~pid = None);
+         Alcotest.(check bool) "drained" false (M.ring_claimable machine ~pid);
+         checked := true));
+  M.run machine;
+  Alcotest.(check bool) "probe ran" true !checked
 
 (* ------------------------- setup validation ------------------------- *)
 
@@ -258,6 +285,84 @@ let test_forged_verdict_overwritten () =
   World.run world;
   Alcotest.(check (list int)) "forged slot denied kernel-side" [ 6 ] !results
 
+(* Busy-reap from a raw client ring view, yielding so the handle runs. *)
+let rec reap_yielding r budget =
+  if budget = 0 then Alcotest.fail "no completion arrived"
+  else
+    match Ring.reap r with
+    | Some (_seq, status, retval) -> (status, retval)
+    | None ->
+        Smod_kern.Sched.yield ();
+        reap_yielding r (budget - 1)
+
+let test_func_swap_after_stamp_ignored () =
+  (* TOCTOU on the identity words: the client submits test_incr (func 0),
+     lets the kernel stamp it allowed, then rewrites the slot to abs
+     (func 1) and re-forges verdict/state before the handle runs.  The
+     handle must execute what was admitted — test_incr(41) = 42, not
+     abs(41) = 41. *)
+  let world = World.create ~with_rpc:false () in
+  let results = ref [] in
+  World.spawn_seclibc_client world ~name:"func-swapper" (fun p conn ->
+      let r = Stub.arm_ring conn in
+      let m_id = (Stub.conn_info conn).Wire.m_id in
+      Alcotest.(check (option int)) "abs is func 1" (Some 1) (Stub.func_id conn "abs");
+      ignore
+        (Ring.try_submit r ~m_id ~func_id:0 ~client_sp:p.Proc.sp ~client_fp:p.Proc.fp
+           ~args:[| 41 |]);
+      ignore
+        (M.syscall world.World.machine p Sysno.smod_call_batch [| m_id; 1 |]);
+      (* Slot 0 sits at header (32 B): state +0, func +12, verdict +16;
+         shared claim-cursor word is header word 3. *)
+      Aspace.write_word p.Proc.aspace ~addr:(Ring.base r + 32 + 12) 1;
+      Aspace.write_word p.Proc.aspace ~addr:(Ring.base r + 32 + 16) 1;
+      Aspace.write_word p.Proc.aspace ~addr:(Ring.base r + 32) 1;
+      Aspace.write_word p.Proc.aspace ~addr:(Ring.base r + 12) 0;
+      results := [ reap_yielding r 10_000 ]);
+  World.run world;
+  match !results with
+  | [ (0, 42) ] -> ()
+  | [ (st, rv) ] -> Alcotest.failf "swapped slot returned (%d,%d), wanted (0,42)" st rv
+  | _ -> Alcotest.fail "no result"
+
+let test_header_nslots_forgery_rejected () =
+  (* Growing the header's nslots word after setup must not widen the
+     kernel/handle view past the registered, validated region: the batch
+     trap refuses the mismatched header outright. *)
+  let world = World.create ~with_rpc:false () in
+  let err = ref None in
+  World.spawn_seclibc_client world ~name:"geom-forger" (fun p conn ->
+      let r = Stub.arm_ring conn in
+      let m_id = (Stub.conn_info conn).Wire.m_id in
+      ignore
+        (Ring.try_submit r ~m_id ~func_id:0 ~client_sp:p.Proc.sp ~client_fp:p.Proc.fp
+           ~args:[| 1 |]);
+      Aspace.write_word p.Proc.aspace ~addr:(Ring.base r + 4) 65536;
+      match M.syscall world.World.machine p Sysno.smod_call_batch [| m_id; 1 |] with
+      | _ -> err := Some `No_error
+      | exception Errno.Error (e, _) -> err := Some (`Errno e));
+  World.run world;
+  Alcotest.(check bool) "batch refused with EINVAL" true
+    (!err = Some (`Errno Errno.EINVAL))
+
+let test_forged_head_bounded () =
+  (* A forged head of 2^20 plus a huge max_slots must not drive one trap
+     through a 2^20-iteration kernel loop: per-trap work is clamped by
+     the registered slot count. *)
+  let world = World.create ~with_rpc:false () in
+  let stamped = ref (-1) in
+  World.spawn_seclibc_client world ~name:"head-forger" (fun p conn ->
+      let r = Stub.arm_ring ~nslots:4 conn in
+      let m_id = (Stub.conn_info conn).Wire.m_id in
+      ignore
+        (Ring.try_submit r ~m_id ~func_id:0 ~client_sp:p.Proc.sp ~client_fp:p.Proc.fp
+           ~args:[| 1 |]);
+      Aspace.write_word p.Proc.aspace ~addr:(Ring.base r + 8) 0x100000;
+      stamped :=
+        M.syscall world.World.machine p Sysno.smod_call_batch [| m_id; 0x40000000 |]);
+  World.run world;
+  Alcotest.(check int) "one trap covers at most nslots slots" 4 !stamped
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "ring"
@@ -267,6 +372,7 @@ let () =
           tc "slot lifecycle" test_slot_lifecycle;
           tc "wrap + full" test_wrap_and_full;
           tc "claim skips kernel-completed" test_kernel_complete_skipped_by_claim;
+          tc "shadow claim discipline" test_shadow_claim_discipline;
         ] );
       ( "setup syscall",
         [
@@ -280,5 +386,8 @@ let () =
           tc "mixed ring + msgq" test_mixed_ring_and_msgq;
           tc "stateful policy denies per-slot" test_stateful_policy_denies_per_slot;
           tc "forged verdict overwritten" test_forged_verdict_overwritten;
+          tc "func swap after stamp ignored" test_func_swap_after_stamp_ignored;
+          tc "header nslots forgery rejected" test_header_nslots_forgery_rejected;
+          tc "forged head bounded" test_forged_head_bounded;
         ] );
     ]
