@@ -119,6 +119,14 @@ let ablation_sections =
       a_unit = "us/call";
       a_run = (fun ~full -> Ablations.ring_dispatch ~rounds:(scale ~full 200) ());
     };
+    {
+      a_id = "e19";
+      a_title =
+        "E19: compiled decision programs vs interpreted KeyNote, per-call latency by \
+         assertion count (lib/keynote/compile)";
+      a_unit = "us/call";
+      a_run = (fun ~full -> Ablations.policy_compile_dispatch ~rounds:(scale ~full 100) ());
+    };
   ]
 
 let run_ablation_section ~full s =
@@ -262,7 +270,7 @@ let only =
     & info [ "only" ] ~docv:"BENCH"
         ~doc:
           "Run only the given comma-separated sections: figure8 (alias e1), ablations, \
-           e9..e18, wallclock.  Example: --only e1,e16,e18.")
+           e9..e19, wallclock.  Example: --only e1,e16,e18,e19.")
 
 let json_path =
   Arg.(

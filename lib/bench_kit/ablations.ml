@@ -54,8 +54,9 @@ let policy_ladder ~budget =
     ("keynote-16", keynote_policy_with 15);
   ]
 
-let measure_calls ~policy ~label ~calls ~trials =
+let measure_calls ?(compile = false) ~policy ~label ~calls ~trials () =
   let world = World.create ~policy ~with_rpc:false () in
+  if compile then Smod.set_policy_compile world.World.smod true;
   let clock = Machine.clock world.World.machine in
   let result = ref None in
   World.spawn_seclibc_client world ~name:"ablation-client" (fun _p conn ->
@@ -67,11 +68,23 @@ let measure_calls ~policy ~label ~calls ~trials =
   World.run world;
   match !result with Some r -> entry_of_row label r | None -> assert false
 
+(* The interpreted ladder first (rows byte-compatible with earlier
+   baselines), then the keynote rungs again with the compiled engine
+   (PR 4): same policies, same worlds, only [Smod.set_policy_compile]
+   flipped, so any difference is the engine. *)
 let policy_ablation ?(calls = 2_000) ?(trials = 5) () =
   let budget = (calls * trials) + 100 in
-  List.map
-    (fun (label, policy) -> measure_calls ~policy ~label ~calls ~trials)
-    (policy_ladder ~budget)
+  let ladder = policy_ladder ~budget in
+  List.map (fun (label, policy) -> measure_calls ~policy ~label ~calls ~trials ()) ladder
+  @ List.filter_map
+      (fun (label, policy) ->
+        match policy with
+        | Policy.Keynote _ ->
+            Some
+              (measure_calls ~compile:true ~policy ~label:(label ^ " compiled") ~calls
+                 ~trials ())
+        | _ -> None)
+      ladder
 
 (* ------------------------------------------------------------------ *)
 (* E10: shared stack vs copy-based marshaling                          *)
@@ -490,6 +503,106 @@ let ring_dispatch ?(batches = [ 1; 4; 16; 64 ]) ?(rounds = 200) ?(trials = 5) ()
           ])
         [ ("msgq", false); ("ring", true) ])
     batches
+
+(* ------------------------------------------------------------------ *)
+(* E19: compiled decision programs vs interpreted KeyNote              *)
+(* ------------------------------------------------------------------ *)
+
+(* The E9 ladder again, but with the matching rung reading a volatile
+   attribute (calls_so_far), so the verdict is not a pure function of its
+   inputs: smodd's decision cache cannot memoise it and the batch path
+   must evaluate policy per slot.  This is the worst case for the
+   interpreter — a full assertion walk per call — and exactly where the
+   compiled engine's flat opcode program earns its keep.  The bound is
+   effectively infinite, so every call is allowed and the establishment
+   check (where calls_so_far is unset and compares lexicographically)
+   passes too. *)
+let volatile_keynote_policy_with n =
+  let assertions =
+    List.init n (fun i ->
+        Parse.assertion_of_string
+          (Printf.sprintf
+             "keynote-version: 2\n\
+              authorizer: \"POLICY\"\n\
+              licensees: \"client\"\n\
+              conditions: module == \"seclibc\" && clause == %d -> \"allow\";\n"
+             i))
+  in
+  let assertions =
+    Parse.assertion_of_string
+      "keynote-version: 2\n\
+       authorizer: \"POLICY\"\n\
+       licensees: \"client\"\n\
+       conditions: module == \"seclibc\" && calls_so_far < 1000000000 -> \"allow\";\n"
+    :: assertions
+  in
+  Policy.Keynote
+    { policy = assertions; levels = [| "deny"; "allow" |]; min_level = "allow"; attrs = [] }
+
+(* Per-call latency by assertion count, over both transports and both
+   engines.  The msgq rows issue plain calls; the ring rows submit
+   [batch]-slot batches (amortising trap and wakeup, but still one
+   policy evaluation per slot — the volatile guard forbids anything
+   less).  Interpreted rows pay the full KeyNote walk per slot; compiled
+   rows pay the session-memo check plus the opcode program.  Mean and
+   p99 per configuration, like E18. *)
+let policy_compile_dispatch ?(assertions = [ 1; 4; 16; 64 ]) ?(batch = 16) ?(rounds = 100)
+    ?(trials = 5) () =
+  let measure ~use_ring ~compile ~n =
+    let means = Array.make trials 0.0 and p99s = Array.make trials 0.0 in
+    for t = 0 to trials - 1 do
+      let world =
+        World.create
+          ~seed:(Int64.of_int (6000 + (13 * t)))
+          ~policy:(volatile_keynote_policy_with (n - 1))
+          ~with_rpc:false ()
+      in
+      Smod.set_policy_compile world.World.smod compile;
+      let clock = Machine.clock world.World.machine in
+      World.spawn_seclibc_client world ~name:"compile-bench" (fun _p conn ->
+          if use_ring then ignore (Stub.arm_ring conn);
+          let argss = List.init batch (fun i -> [| i |]) in
+          let do_batch () =
+            if use_ring then ignore (Stub.call_batch conn ~func:"test_incr" argss)
+            else List.iter (fun args -> ignore (Stub.call conn ~func:"test_incr" args)) argss
+          in
+          (* Warm the session: symbol lookup, ring registration and — on
+             the compiled rows — the one-off compilation. *)
+          do_batch ();
+          let samples = Array.make rounds 0.0 in
+          for r = 0 to rounds - 1 do
+            let t0 = Clock.now_cycles clock in
+            do_batch ();
+            samples.(r) <- Clock.elapsed_us clock ~since:t0 /. float_of_int batch
+          done;
+          means.(t) <- Smod_util.Stats.mean samples;
+          p99s.(t) <- Smod_util.Stats.percentile samples 99.0);
+      World.run world
+    done;
+    (means, p99s)
+  in
+  List.concat_map
+    (fun n ->
+      List.concat_map
+        (fun (transport, use_ring) ->
+          List.concat_map
+            (fun (engine, compile) ->
+              let means, p99s = measure ~use_ring ~compile ~n in
+              [
+                {
+                  label = Printf.sprintf "%s kn-%2d %-8s (mean)" transport n engine;
+                  mean_us = Smod_util.Stats.mean means;
+                  stdev_us = Smod_util.Stats.stdev means;
+                };
+                {
+                  label = Printf.sprintf "%s kn-%2d %-8s (p99)" transport n engine;
+                  mean_us = Smod_util.Stats.mean p99s;
+                  stdev_us = Smod_util.Stats.stdev p99s;
+                };
+              ])
+            [ ("interp", false); ("compiled", true) ])
+        [ ("msgq", false); ("ring", true) ])
+    assertions
 
 (* ------------------------------------------------------------------ *)
 (* E13 cost: TOCTOU mitigations (implementation)                       *)

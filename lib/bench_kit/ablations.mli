@@ -18,7 +18,10 @@ type entry = { label : string; mean_us : float; stdev_us : float }
 
 val policy_ablation : ?calls:int -> ?trials:int -> unit -> entry list
 (** Per-call cost of SMOD(test-incr) under: always-allow, session-lifetime,
-    call-quota, rate-limit, and KeyNote with 1, 4 and 16 assertions. *)
+    call-quota, rate-limit, and KeyNote with 1, 4 and 16 assertions — the
+    interpreted ladder first (labels and worlds unchanged from earlier
+    baselines), then the keynote rungs again with
+    {!Secmodule.Smod.set_policy_compile} on ([... compiled] labels). *)
 
 val marshal_ablation : ?calls:int -> ?payload_sizes:int list -> unit -> entry list
 (** For each payload size: per-call cost of passing a buffer by pointer on
@@ -62,3 +65,14 @@ val ring_dispatch : ?batches:int list -> ?rounds:int -> ?trials:int -> unit -> e
     per (transport, batch): the mean and the p99 of the per-round
     per-call latency.  At batch 1 the ring must not lose; at batch 16
     it amortises the trap, wakeup and policy work across the batch. *)
+
+val policy_compile_dispatch :
+  ?assertions:int list -> ?batch:int -> ?rounds:int -> ?trials:int -> unit -> entry list
+(** E19 — the compiled policy engine (lib/keynote/compile): per-call
+    latency of test-incr under a volatile KeyNote ladder (the matching
+    rung reads [calls_so_far], so smodd's decision cache cannot memoise
+    the verdict and every slot pays a policy evaluation), at 1 / 4 / 16 /
+    64 assertions, over both transports (plain msgq calls versus
+    [batch]-slot ring batches) and both engines (interpreted walk versus
+    compiled opcode program).  Two rows — mean and p99 — per
+    (transport, assertion count, engine). *)

@@ -1,0 +1,423 @@
+(* Flattening [Eval.query] into a postfix decision program.
+
+   The compile-time walk below is the *same* depth-first traversal the
+   interpreter performs at query time — same visit order (principals under
+   [&&]/[||] right-to-left, matching the interpreter's argument evaluation
+   order; k-of members left-to-right), same requester short-circuit, same
+   cycle cut, same memoization — except that instead of computing values it
+   emits opcodes.  That structural mirroring is what makes the differential
+   guarantee in the .mli hold: the traversal is independent of the action
+   attributes, so resolving it once is sound. *)
+
+type operand = O_str of string | O_attr of string
+
+type instr =
+  | Test of operand * Ast.cmp * operand  (* push guard comparison result *)
+  | Push_bool of bool
+  | Not_top
+  | Jfalse of int  (* top false: jump keeping it; else pop and fall through *)
+  | Jtrue of int
+  | Node_begin  (* clause accumulator := 0 *)
+  | Clause of int  (* pop guard; if it held, accumulator := max acc level *)
+  | Push_level of int
+  | Load_node of int
+  | Min2
+  | Max2
+  | Kof of int * int  (* (k, n): pop n values, push the k-th largest *)
+  | Node_end of int  (* pop licensee value; node := min acc value *)
+  | Node_end_const of int * int  (* licensee value folded at compile time *)
+  | Store_node of int  (* pop a computed value into a shared node *)
+  | Root of int * int array  (* push max of a constant and the given nodes *)
+
+type t = { instrs : instr array; nnodes : int; levels : string array }
+
+type outcome = { level : string; index : int; ops : int }
+
+let mnemonic = function
+  | Test _ -> "test"
+  | Push_bool _ -> "push-bool"
+  | Not_top -> "not"
+  | Jfalse _ -> "jfalse"
+  | Jtrue _ -> "jtrue"
+  | Node_begin -> "node-begin"
+  | Clause _ -> "clause"
+  | Push_level _ -> "push-level"
+  | Load_node _ -> "load-node"
+  | Min2 -> "min"
+  | Max2 -> "max"
+  | Kof _ -> "k-of"
+  | Node_end _ -> "node-end"
+  | Node_end_const _ -> "node-end-const"
+  | Store_node _ -> "store-node"
+  | Root _ -> "root"
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A value source resolved at compile time: either a constant compliance
+   index or a node the program computes once per run. *)
+type src = Const of int | Node of int
+
+(* Licensee sub-expression after principal resolution and constant
+   folding, ready to emit as stack code. *)
+type lsrc =
+  | L_const of int
+  | L_node of int
+  | L_min of lsrc * lsrc
+  | L_max of lsrc * lsrc
+  | L_kth of int * lsrc list
+
+exception Unknown_level of string
+
+let kth_largest k values =
+  let sorted = List.sort (fun a b -> compare b a) values in
+  match List.nth_opt sorted (k - 1) with Some v -> v | None -> 0
+
+let compile ~policy ~credentials ~requesters ~levels =
+  if Array.length levels = 0 then Error "compile: empty levels"
+  else begin
+    let max_index = Array.length levels - 1 in
+    let level_index name =
+      let rec find i =
+        if i > max_index then raise (Unknown_level name)
+        else if levels.(i) = name then i
+        else find (i + 1)
+      in
+      find 0
+    in
+    let code = ref (Array.make 64 Node_begin) in
+    let len = ref 0 in
+    let emit i =
+      if !len >= Array.length !code then begin
+        let bigger = Array.make (2 * Array.length !code) Node_begin in
+        Array.blit !code 0 bigger 0 !len;
+        code := bigger
+      end;
+      !code.(!len) <- i;
+      incr len
+    in
+    let patch pos i = !code.(pos) <- i in
+    let nnodes = ref 0 in
+    let new_node () =
+      let i = !nnodes in
+      incr nnodes;
+      i
+    in
+    let rec comp_expr (e : Ast.expr) =
+      match e with
+      | Ast.True -> emit (Push_bool true)
+      | Ast.False -> emit (Push_bool false)
+      | Ast.Cmp (a, op, b) ->
+          let operand = function
+            | Ast.Attr n -> O_attr n
+            | Ast.Str s -> O_str s
+            | Ast.Int i -> O_str (string_of_int i)
+          in
+          emit (Test (operand a, op, operand b))
+      | Ast.Not e ->
+          comp_expr e;
+          emit Not_top
+      | Ast.And (a, b) ->
+          comp_expr a;
+          let j = !len in
+          emit (Jfalse 0);
+          comp_expr b;
+          patch j (Jfalse !len)
+      | Ast.Or (a, b) ->
+          comp_expr a;
+          let j = !len in
+          emit (Jtrue 0);
+          comp_expr b;
+          patch j (Jtrue !len)
+    in
+    let rec emit_lsrc = function
+      | L_const c -> emit (Push_level c)
+      | L_node i -> emit (Load_node i)
+      | L_min (a, b) ->
+          emit_lsrc a;
+          emit_lsrc b;
+          emit Min2
+      | L_max (a, b) ->
+          emit_lsrc a;
+          emit_lsrc b;
+          emit Max2
+      | L_kth (k, ls) ->
+          List.iter emit_lsrc ls;
+          emit (Kof (k, List.length ls))
+    in
+    let mk_min a b =
+      match (a, b) with
+      | L_const 0, _ | _, L_const 0 -> L_const 0
+      | L_const x, L_const y -> L_const (min x y)
+      | _ -> L_min (a, b)
+    in
+    let mk_max a b =
+      match (a, b) with
+      | L_const x, L_const y -> L_const (max x y)
+      | L_const 0, s | s, L_const 0 -> s
+      | _ -> L_max (a, b)
+    in
+    let mk_kof k ls =
+      let const = function L_const c -> Some c | _ -> None in
+      match
+        List.fold_left
+          (fun acc l ->
+            match (acc, const l) with Some cs, Some c -> Some (c :: cs) | _ -> None)
+          (Some []) ls
+      with
+      | Some cs -> L_const (kth_largest k (List.rev cs))
+      | None -> L_kth (k, ls)
+    in
+    (* The interpreter's [memo]/[in_progress] tables, reproduced over
+       emission: a memoized principal becomes a shared node (computed once
+       per run, exactly like a memo hit), an in-progress one the cycle
+       constant. *)
+    let in_progress = Hashtbl.create 16 in
+    let memo : (string, src) Hashtbl.t = Hashtbl.create 16 in
+    let rec principal_src p =
+      if List.mem p requesters then Const max_index
+      else if Hashtbl.mem in_progress p then Const 0
+      else begin
+        match Hashtbl.find_opt memo p with
+        | Some s -> s
+        | None ->
+            Hashtbl.replace in_progress p ();
+            let srcs =
+              List.filter_map
+                (fun (a : Ast.assertion) ->
+                  if a.authorizer = p then Some (assertion_src a) else None)
+                credentials
+            in
+            Hashtbl.remove in_progress p;
+            let base =
+              List.fold_left
+                (fun acc s -> match s with Const c -> max acc c | Node _ -> acc)
+                0 srcs
+            in
+            let nodes = List.filter_map (function Node i -> Some i | Const _ -> None) srcs in
+            let s =
+              match (nodes, base) with
+              | [], _ -> Const base
+              | [ i ], 0 -> Node i
+              | _ ->
+                  let idx = new_node () in
+                  emit (Push_level base);
+                  List.iter
+                    (fun i ->
+                      emit (Load_node i);
+                      emit Max2)
+                    nodes;
+                  emit (Store_node idx);
+                  Node idx
+            in
+            Hashtbl.replace memo p s;
+            s
+      end
+    and licensees_src = function
+      | Ast.L_empty -> L_const 0
+      | Ast.L_principal p -> (
+          match principal_src p with Const c -> L_const c | Node i -> L_node i)
+      | Ast.L_and (a, b) ->
+          (* Right-to-left, matching the interpreter's evaluation order of
+             [min (licensees_value a) (licensees_value b)] — the order
+             determines where delegation cycles are cut. *)
+          let sb = licensees_src b in
+          let sa = licensees_src a in
+          mk_min sa sb
+      | Ast.L_or (a, b) ->
+          let sb = licensees_src b in
+          let sa = licensees_src a in
+          mk_max sa sb
+      | Ast.L_kof (k, ls) -> mk_kof k (List.map licensees_src ls)
+    and assertion_src (a : Ast.assertion) =
+      (* Licensees resolve before conditions emit, mirroring the
+         interpreter's argument order in
+         [min (conditions_value a) (licensees_value a.licensees)]. *)
+      let lic = licensees_src a.licensees in
+      match (a.conditions, lic) with
+      | [], _ | _, L_const 0 ->
+          (* conditions of [] evaluate to 0; min against a licensee value
+             of 0 is 0 — either way no clause can raise the result. *)
+          Const 0
+      | clauses, lic ->
+          let idx = new_node () in
+          emit Node_begin;
+          List.iter
+            (fun (c : Ast.clause) ->
+              comp_expr c.Ast.guard;
+              emit (Clause (level_index c.Ast.value)))
+            clauses;
+          (match lic with
+          | L_const c -> emit (Node_end_const (idx, c))
+          | lic ->
+              emit_lsrc lic;
+              emit (Node_end idx));
+          Node idx
+    in
+    match
+      (* Total counterpart of the interpreter's lazy [Invalid_argument]:
+         validate every clause level up front, including clauses constant
+         folding would drop, so a bad level always fails closed here. *)
+      List.iter
+        (fun (a : Ast.assertion) ->
+          List.iter
+            (fun (c : Ast.clause) -> ignore (level_index c.Ast.value))
+            a.conditions)
+        (policy @ credentials);
+      let roots =
+        List.filter_map
+          (fun (a : Ast.assertion) ->
+            if a.authorizer = "POLICY" then Some (assertion_src a) else None)
+          policy
+      in
+      let base =
+        List.fold_left
+          (fun acc s -> match s with Const c -> max acc c | Node _ -> acc)
+          0 roots
+      in
+      let nodes = List.filter_map (function Node i -> Some i | Const _ -> None) roots in
+      emit (Root (base, Array.of_list nodes))
+    with
+    | () -> Ok { instrs = Array.sub !code 0 !len; nnodes = !nnodes; levels }
+    | exception Unknown_level name ->
+        Error (Printf.sprintf "compile: unknown compliance level %S" name)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The interpreter loop                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Same comparison rule as [Eval]: numeric iff both sides parse as
+   integers, lexicographic otherwise; absent attributes read as "". *)
+let compare_values a b =
+  match (int_of_string_opt a, int_of_string_opt b) with
+  | Some ia, Some ib -> compare ia ib
+  | _ -> compare a b
+
+let m_scope = Smod_metrics.scope "keynote"
+let m_compiled_runs = Smod_metrics.Scope.counter m_scope "compiled_runs"
+let m_compiled_ops = Smod_metrics.Scope.counter m_scope "compiled_ops"
+
+let run t ~attrs =
+  let n = Array.length t.instrs in
+  let nodes = Array.make (max t.nnodes 1) 0 in
+  (* Every opcode pushes at most one value, so [n] bounds the stack. *)
+  let stack = Array.make (n + 1) 0 in
+  let sp = ref 0 in
+  let push v =
+    stack.(!sp) <- v;
+    incr sp
+  in
+  let pop () =
+    decr sp;
+    stack.(!sp)
+  in
+  let operand_value = function
+    | O_str s -> s
+    | O_attr a -> ( match List.assoc_opt a attrs with Some v -> v | None -> "")
+  in
+  let acc = ref 0 in
+  let ops = ref 0 in
+  let pc = ref 0 in
+  while !pc < n do
+    incr ops;
+    match t.instrs.(!pc) with
+    | Test (a, op, b) ->
+        let c = compare_values (operand_value a) (operand_value b) in
+        let holds =
+          match op with
+          | Ast.Eq -> c = 0
+          | Ast.Ne -> c <> 0
+          | Ast.Lt -> c < 0
+          | Ast.Le -> c <= 0
+          | Ast.Gt -> c > 0
+          | Ast.Ge -> c >= 0
+        in
+        push (if holds then 1 else 0);
+        incr pc
+    | Push_bool b ->
+        push (if b then 1 else 0);
+        incr pc
+    | Not_top ->
+        stack.(!sp - 1) <- (if stack.(!sp - 1) = 0 then 1 else 0);
+        incr pc
+    | Jfalse target ->
+        if stack.(!sp - 1) = 0 then pc := target
+        else begin
+          ignore (pop ());
+          incr pc
+        end
+    | Jtrue target ->
+        if stack.(!sp - 1) <> 0 then pc := target
+        else begin
+          ignore (pop ());
+          incr pc
+        end
+    | Node_begin ->
+        acc := 0;
+        incr pc
+    | Clause level ->
+        if pop () <> 0 then acc := max !acc level;
+        incr pc
+    | Push_level v ->
+        push v;
+        incr pc
+    | Load_node i ->
+        push nodes.(i);
+        incr pc
+    | Min2 ->
+        let b = pop () in
+        let a = pop () in
+        push (min a b);
+        incr pc
+    | Max2 ->
+        let b = pop () in
+        let a = pop () in
+        push (max a b);
+        incr pc
+    | Kof (k, count) ->
+        let members = ref [] in
+        for _ = 1 to count do
+          members := pop () :: !members
+        done;
+        push (kth_largest k !members);
+        incr pc
+    | Node_end i ->
+        let lic = pop () in
+        nodes.(i) <- min !acc lic;
+        incr pc
+    | Node_end_const (i, lic) ->
+        nodes.(i) <- min !acc lic;
+        incr pc
+    | Store_node i ->
+        nodes.(i) <- pop ();
+        incr pc
+    | Root (base, roots) ->
+        let v = Array.fold_left (fun m i -> max m nodes.(i)) base roots in
+        push v;
+        incr pc
+  done;
+  let raw = if !sp > 0 then stack.(!sp - 1) else 0 in
+  let index = max 0 (min (Array.length t.levels - 1) raw) in
+  Smod_metrics.Counter.incr m_compiled_runs;
+  Smod_metrics.Counter.add m_compiled_ops !ops;
+  { level = t.levels.(index); index; ops = !ops }
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let length t = Array.length t.instrs
+let node_count t = t.nnodes
+
+let op_counts t =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun i ->
+      let m = mnemonic i in
+      Hashtbl.replace tbl m (1 + Option.value ~default:0 (Hashtbl.find_opt tbl m)))
+    t.instrs;
+  Hashtbl.fold (fun m n acc -> (m, n) :: acc) tbl []
+  |> List.sort (fun (ma, na) (mb, nb) ->
+         if na <> nb then compare nb na else compare ma mb)

@@ -1,5 +1,9 @@
 exception Parse_error of { line : int; message : string }
 
+type diagnostic = { line : int; message : string }
+
+let pp_diagnostic ppf (d : diagnostic) = Format.fprintf ppf "line %d: %s" d.line d.message
+
 let fail line fmt = Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
 
 (* ------------------------------------------------------------------ *)
@@ -88,7 +92,11 @@ let tokenize ~line s =
         while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
           incr pos
         done;
-        let v = int_of_string (String.sub s start (!pos - start)) in
+        let v =
+          match int_of_string_opt (String.sub s start (!pos - start)) with
+          | Some v -> v
+          | None -> fail line "integer literal out of range"
+        in
         if starts_with "-of" then begin
           pos := !pos + 3;
           emit (KOF v)
@@ -103,7 +111,9 @@ let tokenize ~line s =
         while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
           incr pos
         done;
-        emit (INT (-int_of_string (String.sub s start (!pos - start))))
+        (match int_of_string_opt (String.sub s start (!pos - start)) with
+        | Some v -> emit (INT (-v))
+        | None -> fail line "integer literal out of range")
     | '&' when starts_with "&&" ->
         pos := !pos + 2;
         emit ANDAND
@@ -159,11 +169,25 @@ let tokenize ~line s =
 (* Recursive-descent parsers over a token cursor                       *)
 (* ------------------------------------------------------------------ *)
 
-type cursor = { mutable toks : token list; line : int }
+type cursor = { mutable toks : token list; line : int; mutable depth : int }
+
+let cursor ~line toks = { toks; line; depth = 0 }
 
 let peek_tok c = match c.toks with t :: _ -> t | [] -> EOF
 
 let advance c = match c.toks with _ :: rest -> c.toks <- rest | [] -> ()
+
+(* Hostile input can nest ['!'], parentheses and [k-of] groups arbitrarily
+   deep; the recursive-descent productions below would otherwise turn that
+   into a stack overflow, which no caller can catch usefully.  The [&&]/[||]
+   chains are parsed iteratively, so only bracketing nests. *)
+let max_depth = 256
+
+let enter c =
+  c.depth <- c.depth + 1;
+  if c.depth > max_depth then fail c.line "nesting deeper than %d levels" max_depth
+
+let leave c = c.depth <- c.depth - 1
 
 let expect c t =
   let got = peek_tok c in
@@ -206,32 +230,54 @@ let parse_cmp_op c =
       Ast.Ge
   | t -> fail c.line "expected a comparison operator, found %s" (token_to_string t)
 
+(* [a && b && c] chains are collected iteratively and folded back into
+   the same right-associated tree the old right-recursive productions
+   built, so arbitrarily long chains cost heap, not stack. *)
+let fold_right_assoc mk = function
+  | [] -> assert false
+  | last :: rev_rest -> List.fold_left (fun r l -> mk l r) last rev_rest
+
 let rec parse_expr c = parse_or c
 
 and parse_or c =
-  let left = parse_and c in
-  if peek_tok c = OROR then begin
-    advance c;
-    Ast.Or (left, parse_or c)
-  end
-  else left
+  let rec collect acc =
+    let acc = parse_and c :: acc in
+    if peek_tok c = OROR then begin
+      advance c;
+      collect acc
+    end
+    else acc
+  in
+  match collect [] with
+  | [ e ] -> e
+  | rev -> fold_right_assoc (fun a b -> Ast.Or (a, b)) rev
 
 and parse_and c =
-  let left = parse_not c in
-  if peek_tok c = ANDAND then begin
-    advance c;
-    Ast.And (left, parse_and c)
-  end
-  else left
+  let rec collect acc =
+    let acc = parse_not c :: acc in
+    if peek_tok c = ANDAND then begin
+      advance c;
+      collect acc
+    end
+    else acc
+  in
+  match collect [] with
+  | [ e ] -> e
+  | rev -> fold_right_assoc (fun a b -> Ast.And (a, b)) rev
 
 and parse_not c =
   match peek_tok c with
   | BANG ->
       advance c;
-      Ast.Not (parse_not c)
+      enter c;
+      let e = parse_not c in
+      leave c;
+      Ast.Not e
   | LPAREN ->
       advance c;
+      enter c;
       let e = parse_expr c in
+      leave c;
       expect c RPAREN;
       e
   | IDENT "true" ->
@@ -249,20 +295,30 @@ and parse_not c =
 let rec parse_licensees c = parse_lic_or c
 
 and parse_lic_or c =
-  let left = parse_lic_and c in
-  if peek_tok c = OROR then begin
-    advance c;
-    Ast.L_or (left, parse_lic_or c)
-  end
-  else left
+  let rec collect acc =
+    let acc = parse_lic_and c :: acc in
+    if peek_tok c = OROR then begin
+      advance c;
+      collect acc
+    end
+    else acc
+  in
+  match collect [] with
+  | [ l ] -> l
+  | rev -> fold_right_assoc (fun a b -> Ast.L_or (a, b)) rev
 
 and parse_lic_and c =
-  let left = parse_lic_atom c in
-  if peek_tok c = ANDAND then begin
-    advance c;
-    Ast.L_and (left, parse_lic_and c)
-  end
-  else left
+  let rec collect acc =
+    let acc = parse_lic_atom c :: acc in
+    if peek_tok c = ANDAND then begin
+      advance c;
+      collect acc
+    end
+    else acc
+  in
+  match collect [] with
+  | [ l ] -> l
+  | rev -> fold_right_assoc (fun a b -> Ast.L_and (a, b)) rev
 
 and parse_lic_atom c =
   match peek_tok c with
@@ -274,11 +330,14 @@ and parse_lic_atom c =
       Ast.L_principal p
   | LPAREN ->
       advance c;
+      enter c;
       let l = parse_licensees c in
+      leave c;
       expect c RPAREN;
       l
   | KOF k ->
       advance c;
+      enter c;
       expect c LPAREN;
       let rec members acc =
         let m = parse_licensees c in
@@ -292,6 +351,7 @@ and parse_lic_atom c =
         | t -> fail c.line "expected ',' or ')' in k-of, found %s" (token_to_string t)
       in
       let ms = members [] in
+      leave c;
       if k <= 0 || k > List.length ms then fail c.line "k-of threshold %d out of range" k;
       Ast.L_kof (k, ms)
   | t -> fail c.line "expected a licensee, found %s" (token_to_string t)
@@ -367,7 +427,7 @@ let unquote ~line s =
 (* local-constants: NAME = "value" pairs, substituted after all fields
    are parsed (field order is free in RFC 2704). *)
 let parse_constants ~line value =
-  let c = { toks = tokenize ~line value; line } in
+  let c = cursor ~line (tokenize ~line value) in
   let rec loop acc =
     match peek_tok c with
     | EOF -> List.rev acc
@@ -439,12 +499,12 @@ let assertion_of_fields fields =
       | "authorizer" -> authorizer := Some (unquote ~line value)
       | "local-constants" -> constants := !constants @ parse_constants ~line value
       | "licensees" ->
-          let c = { toks = tokenize ~line value; line } in
+          let c = cursor ~line (tokenize ~line value) in
           let l = parse_licensees c in
           expect c EOF;
           licensees := l
       | "conditions" ->
-          let c = { toks = tokenize ~line value; line } in
+          let c = cursor ~line (tokenize ~line value) in
           conditions := parse_clauses c
       | "comment" -> comment := Some (String.trim value)
       | "signature" -> signature := Some (unquote ~line value)
@@ -493,13 +553,29 @@ let assertions_of_string text =
     !groups
 
 let expr_of_string s =
-  let c = { toks = tokenize ~line:1 s; line = 1 } in
+  let c = cursor ~line:1 (tokenize ~line:1 s) in
   let e = parse_expr c in
   expect c EOF;
   e
 
 let licensees_of_string s =
-  let c = { toks = tokenize ~line:1 s; line = 1 } in
+  let c = cursor ~line:1 (tokenize ~line:1 s) in
   let l = parse_licensees c in
   expect c EOF;
   l
+
+(* ------------------------------------------------------------------ *)
+(* Total entry points                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* With the overflow and nesting guards above, [Parse_error] is the only
+   exception the parsers can raise, so catching it makes these total. *)
+let total f x =
+  match f x with
+  | v -> Ok v
+  | exception Parse_error { line; message } -> Error { line; message }
+
+let assertion_of_string_res = total assertion_of_string
+let assertions_of_string_res = total assertions_of_string
+let expr_of_string_res = total expr_of_string
+let licensees_of_string_res = total licensees_of_string

@@ -17,9 +17,29 @@
 
 exception Parse_error of { line : int; message : string }
 
+type diagnostic = { line : int; message : string }
+(** A typed parse failure; what the raising entry points pack into
+    {!Parse_error} and the [_res] ones return. *)
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
 val assertion_of_string : string -> Ast.assertion
 val assertions_of_string : string -> Ast.assertion list
 val expr_of_string : string -> Ast.expr
 (** Parse a bare conditions guard (used by tests and policy builders). *)
 
 val licensees_of_string : string -> Ast.licensees
+
+(** {2 Total variants}
+
+    The same parsers, total on hostile input: any malformed assertion —
+    including oversized integer literals and pathologically deep
+    [!]/paren/[k-of] nesting, which used to escape as [Failure] or a stack
+    overflow — comes back as [Error] with a typed diagnostic.  Kernel-path
+    callers ([Credential.of_bytes] and everything above it) use these so a
+    forged credential can cost the requester an errno but never a crash. *)
+
+val assertion_of_string_res : string -> (Ast.assertion, diagnostic) result
+val assertions_of_string_res : string -> (Ast.assertion list, diagnostic) result
+val expr_of_string_res : string -> (Ast.expr, diagnostic) result
+val licensees_of_string_res : string -> (Ast.licensees, diagnostic) result

@@ -55,11 +55,44 @@ val store :
 (** Charges one {!Smod_sim.Cost_model.Policy_cache_insert}; evicts the
     oldest entry first when at capacity ([policy_cache.evictions]). *)
 
+(** {2 Compiled-program handles}
+
+    Decision programs ({!Secmodule.Policy.compiled}) cached pool-side, so
+    every session a credential opens — across pooled handles — reuses one
+    compilation.  Keyed by (credential digest, m_id, policy revision,
+    keystore generation); no TTL, since a program is immutable and its
+    key pins exactly the inputs it was compiled against. *)
+
+val lookup_compiled :
+  t ->
+  cred_digest:string ->
+  m_id:int ->
+  policy_rev:int ->
+  keystore_gen:int ->
+  Secmodule.Policy.compiled option
+(** Charges nothing (the dispatch layer charges one probe per
+    session-memo miss); counts [policy_cache.compiled_hits] /
+    [policy_cache.compiled_misses]. *)
+
+val store_compiled :
+  t ->
+  cred_digest:string ->
+  m_id:int ->
+  policy_rev:int ->
+  keystore_gen:int ->
+  Secmodule.Policy.compiled ->
+  unit
+(** Charges one {!Smod_sim.Cost_model.Policy_cache_insert}; FIFO-evicts
+    at [capacity]. *)
+
+val compiled_size : t -> int
+
 val invalidate_module : t -> m_id:int -> int
-(** Drop every entry for the module (the [sys_smod_remove] hook).
-    Returns the number of entries evicted; counts
-    [policy_cache.invalidations]. *)
+(** Drop every entry for the module — cached decisions and compiled
+    programs (the [sys_smod_remove] hook).  Returns the number of entries
+    evicted; counts [policy_cache.invalidations]. *)
 
 val flush : t -> int
-(** Drop everything (keystore change).  Returns the number of entries
-    dropped; counts [policy_cache.flushes]. *)
+(** Drop everything, compiled programs included (keystore change).
+    Returns the number of entries dropped; counts
+    [policy_cache.flushes]. *)

@@ -33,10 +33,10 @@ let of_bytes data =
       let principal = String.sub text 0 i in
       if principal = "" then raise (Malformed "credential: empty principal");
       let rest = String.sub text (i + 1) (String.length text - i - 1) in
-      match Parse.assertions_of_string rest with
-      | assertions -> { principal; assertions }
-      | exception Parse.Parse_error { line; message } ->
-          raise (Malformed (Printf.sprintf "credential assertion line %d: %s" line message)))
+      match Parse.assertions_of_string_res rest with
+      | Ok assertions -> { principal; assertions }
+      | Error d ->
+          raise (Malformed (Format.asprintf "credential assertion %a" Parse.pp_diagnostic d)))
 
 let verify_signatures keystore t =
   List.for_all (fun a -> Keystore.verify keystore a) t.assertions

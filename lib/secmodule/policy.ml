@@ -1,6 +1,7 @@
 module Clock = Smod_sim.Clock
 module Cost = Smod_sim.Cost_model
 module Eval = Smod_keynote.Eval
+module Compile = Smod_keynote.Compile
 
 type t =
   | Always_allow
@@ -149,3 +150,150 @@ let check ~clock ~now_us ~credential ~attrs policy state =
   | Error _ as e ->
       Smod_metrics.Counter.incr m_policy_denials;
       e
+
+(* ------------------------------------------------------------------ *)
+(* Compiled policies                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* KeyNote arms flattened into decision programs, with the credential
+   chain verified once here instead of per call.  Non-KeyNote arms keep
+   their interpreted (and stateful) evaluation — they are already a single
+   counter check.  A compiled policy is valid for exactly one (credential,
+   policy revision, keystore generation) triple; the caches in
+   [Registry]/[Smod.policy_of] and [Pool.Policy_cache] key on that. *)
+type compiled =
+  | C_pass of t
+  | C_keynote of {
+      program : Compile.t;
+      min_index : int;
+      min_level : string;
+      static_attrs : (string * string) list;
+      policy : t;
+    }
+  | C_deny of { reason : string; policy : t }
+  | C_all of compiled list * t
+
+let m_policy_compiles = Smod_metrics.Scope.counter m_scope "policy_compiles"
+let m_policy_compile_denials = Smod_metrics.Scope.counter m_scope "policy_compile_denials"
+
+let compile ~clock ~keystore ~credential policy =
+  Smod_metrics.Counter.incr m_policy_compiles;
+  (* Hoisted credential-chain verification: one signature check per
+     credential assertion now, none per call. *)
+  Clock.charge_n clock Cost.Cred_check
+    (max 1 (List.length credential.Credential.assertions));
+  let verified = Credential.verify_signatures keystore credential in
+  let rec arm p =
+    match p with
+    | Keynote { policy = assertions; levels; min_level; attrs = static_attrs } ->
+        if not verified then begin
+          Smod_metrics.Counter.incr m_policy_compile_denials;
+          C_deny { reason = "credential signature verification failed"; policy = p }
+        end
+        else begin
+          Clock.charge_n clock Cost.Policy_compile_assertion
+            (List.length assertions + List.length credential.Credential.assertions);
+          match
+            Compile.compile ~policy:assertions
+              ~credentials:credential.Credential.assertions
+              ~requesters:[ credential.Credential.principal ]
+              ~levels
+          with
+          | Ok program ->
+              let min_index =
+                let rec find i =
+                  if i >= Array.length levels then 0
+                  else if levels.(i) = min_level then i
+                  else find (i + 1)
+                in
+                find 0
+              in
+              C_keynote { program; min_index; min_level; static_attrs; policy = p }
+          | Error reason ->
+              Smod_metrics.Counter.incr m_policy_compile_denials;
+              C_deny { reason; policy = p }
+        end
+    | All_of ps -> C_all (List.map arm ps, p)
+    | p -> C_pass p
+  in
+  arm policy
+
+let rec check_compiled_inner ~clock ~now_us ~credential ~attrs compiled state =
+  match (compiled, state) with
+  | C_pass p, s -> check_inner ~clock ~now_us ~credential ~attrs p s
+  | C_keynote { program; min_index; min_level; static_attrs; policy }, S_none -> (
+      let outcome = Compile.run program ~attrs:(attrs @ static_attrs) in
+      Clock.charge_n clock Cost.Policy_compiled_op outcome.Compile.ops;
+      match outcome.Compile.index >= min_index with
+      | true -> Ok ()
+      | false ->
+          deny policy
+            (Printf.sprintf "keynote compliance %S below required %S"
+               outcome.Compile.level min_level))
+  | C_deny { reason; policy }, _ ->
+      Clock.charge clock Cost.Policy_compiled_op;
+      deny policy reason
+  | C_all (cs, policy), S_list states ->
+      let rec all cs states =
+        match (cs, states) with
+        | [], [] -> Ok ()
+        | c :: cs', s :: ss' -> (
+            match check_compiled_inner ~clock ~now_us ~credential ~attrs c s with
+            | Ok () -> all cs' ss'
+            | Error _ as e -> e)
+        | _ -> deny policy "policy/state shape mismatch"
+      in
+      all cs states
+  | C_keynote { policy; _ }, _ | C_all (_, policy), _ ->
+      deny policy "policy/state shape mismatch"
+
+let check_compiled ~clock ~now_us ~credential ~attrs compiled state =
+  Smod_metrics.Counter.incr m_policy_checks;
+  match check_compiled_inner ~clock ~now_us ~credential ~attrs compiled state with
+  | Ok () as ok -> ok
+  | Error _ as e ->
+      Smod_metrics.Counter.incr m_policy_denials;
+      e
+
+type compiled_stats = {
+  programs : int;
+  opcodes : int;
+  value_nodes : int;
+  opcode_counts : (string * int) list;
+  denied : string option;
+}
+
+let compiled_stats compiled =
+  let merge counts extra =
+    List.fold_left
+      (fun acc (m, n) ->
+        let prev = Option.value ~default:0 (List.assoc_opt m acc) in
+        (m, prev + n) :: List.remove_assoc m acc)
+      counts extra
+  in
+  let rec fold acc = function
+    | C_pass _ -> acc
+    | C_keynote { program; _ } ->
+        {
+          acc with
+          programs = acc.programs + 1;
+          opcodes = acc.opcodes + Compile.length program;
+          value_nodes = acc.value_nodes + Compile.node_count program;
+          opcode_counts = merge acc.opcode_counts (Compile.op_counts program);
+        }
+    | C_deny { reason; _ } ->
+        if acc.denied = None then { acc with denied = Some reason } else acc
+    | C_all (cs, _) -> List.fold_left fold acc cs
+  in
+  let acc =
+    fold
+      { programs = 0; opcodes = 0; value_nodes = 0; opcode_counts = []; denied = None }
+      compiled
+  in
+  {
+    acc with
+    opcode_counts =
+      List.sort
+        (fun (ma, na) (mb, nb) -> if na <> nb then compare nb na else compare ma mb)
+        acc.opcode_counts;
+  }

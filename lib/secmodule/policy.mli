@@ -44,6 +44,54 @@ val check :
     [state] (consumes quota, records the call for rate limiting) only on
     success. *)
 
+type compiled
+(** A policy compiled for one (credential, policy revision, keystore
+    generation) triple: KeyNote arms flattened into decision programs
+    ([Smod_keynote.Compile]) with the credential's signature chain
+    verified once at compile time; counter-style arms keep their
+    interpreted per-call check.  Kernel-side only — a compiled policy is
+    never serialized into client-shared memory. *)
+
+val compile :
+  clock:Smod_sim.Clock.t ->
+  keystore:Smod_keynote.Keystore.t ->
+  credential:Credential.t ->
+  t ->
+  compiled
+(** Charges {!Smod_sim.Cost_model.Cred_check} per credential assertion
+    (the hoisted chain verification) and
+    {!Smod_sim.Cost_model.Policy_compile_assertion} per assertion
+    flattened.  Never raises: a failed signature chain or an
+    uncompilable KeyNote arm (unknown compliance level) yields a policy
+    that denies every call with the reason recorded — EACCES at the
+    dispatch layer, not a crash. *)
+
+val check_compiled :
+  clock:Smod_sim.Clock.t ->
+  now_us:float ->
+  credential:Credential.t ->
+  attrs:(string * string) list ->
+  compiled ->
+  state ->
+  (unit, denial) result
+(** The compiled counterpart of {!check}: same verdicts over the same
+    [state] (asserted by test/test_compile.ml), but KeyNote arms charge
+    {!Smod_sim.Cost_model.Policy_compiled_op} per executed opcode instead
+    of 420-cycle assertion evaluations, and no per-call credential
+    revalidation is needed (the chain was pre-verified). *)
+
+type compiled_stats = {
+  programs : int;  (** KeyNote arms compiled to decision programs *)
+  opcodes : int;  (** total static program size *)
+  value_nodes : int;
+  opcode_counts : (string * int) list;  (** by mnemonic, most frequent first *)
+  denied : string option;
+      (** when the compiled policy is a deny-all stub, why *)
+}
+
+val compiled_stats : compiled -> compiled_stats
+(** Introspection for [smodctl policy status]. *)
+
 val cacheable : t -> bool
 (** True when a decision under this policy is a pure function of
     (credential, module, function, policy revision) — safe for the smodd

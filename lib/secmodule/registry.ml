@@ -15,6 +15,16 @@ type entry = {
   mutable kernel_nonce : bytes option;
   natives : (string, native_fn) Hashtbl.t;
   functions : Smof.symbol array;
+  (* Compiled-policy cache: Policy.compiled keyed by
+     "<credential digest>\x00<policy_rev>\x00<keystore generation>", so a
+     stale program can never be returned — but stale entries are also
+     flushed eagerly (policy change here, keystore change and module
+     removal in Smod) to keep the table bounded and the invalidation
+     counters honest. *)
+  compiled_cache : (string, Policy.compiled) Hashtbl.t;
+  mutable compile_hits : int;
+  mutable compile_misses : int;
+  mutable compile_invalidations : int;
 }
 
 type t = { mutable next_id : int; by_id : (int, entry) Hashtbl.t }
@@ -51,6 +61,10 @@ let add t ~image ~protection ~policy ~admin_principal ?kernel_key ?kernel_nonce 
       kernel_nonce;
       natives = Hashtbl.create 8;
       functions = Array.of_list (Smof.function_symbols image);
+      compiled_cache = Hashtbl.create 8;
+      compile_hits = 0;
+      compile_misses = 0;
+      compile_invalidations = 0;
     }
   in
   t.next_id <- t.next_id + 1;
@@ -84,9 +98,32 @@ let func_id e name =
 let symbol_of_func_id e id =
   if id >= 0 && id < Array.length e.functions then Some e.functions.(id) else None
 
+let flush_compiled e =
+  let n = Hashtbl.length e.compiled_cache in
+  if n > 0 then begin
+    Hashtbl.reset e.compiled_cache;
+    e.compile_invalidations <- e.compile_invalidations + n
+  end;
+  n
+
+let compiled_key ~cred_digest ~policy_rev ~keystore_gen =
+  Printf.sprintf "%s\x00%d\x00%d" cred_digest policy_rev keystore_gen
+
+let find_compiled e key =
+  match Hashtbl.find_opt e.compiled_cache key with
+  | Some c ->
+      e.compile_hits <- e.compile_hits + 1;
+      Some c
+  | None -> None
+
+let store_compiled e key compiled =
+  e.compile_misses <- e.compile_misses + 1;
+  Hashtbl.replace e.compiled_cache key compiled
+
 let set_policy e policy =
   e.policy <- policy;
-  e.policy_rev <- e.policy_rev + 1
+  e.policy_rev <- e.policy_rev + 1;
+  ignore (flush_compiled e)
 
 let bind_native e ~name fn = Hashtbl.replace e.natives name fn
 let native e name = Hashtbl.find_opt e.natives name

@@ -28,6 +28,11 @@ type entry = {
   mutable kernel_nonce : bytes option;
   natives : (string, native_fn) Hashtbl.t;
   functions : Smod_modfmt.Smof.symbol array;  (** index = funcID *)
+  compiled_cache : (string, Policy.compiled) Hashtbl.t;
+      (** compiled decision programs, keyed with {!compiled_key} *)
+  mutable compile_hits : int;
+  mutable compile_misses : int;
+  mutable compile_invalidations : int;
 }
 
 type t
@@ -61,7 +66,22 @@ val plaintext_image : entry -> Smod_modfmt.Smof.t
 
 val set_policy : entry -> Policy.t -> unit
 (** Replace the module's access policy and bump [policy_rev] so stale
-    cached decisions can never be served against the new policy. *)
+    cached decisions can never be served against the new policy; also
+    flushes the compiled-program cache. *)
+
+val compiled_key : cred_digest:string -> policy_rev:int -> keystore_gen:int -> string
+(** Cache key for one compiled policy: everything a program's verdicts
+    depend on besides per-call action attributes. *)
+
+val find_compiled : entry -> string -> Policy.compiled option
+(** Probe the compiled-program cache (counts a hit). *)
+
+val store_compiled : entry -> string -> Policy.compiled -> unit
+(** Insert a freshly compiled program (counts a miss). *)
+
+val flush_compiled : entry -> int
+(** Drop every cached program, e.g. after a keystore rotation; returns
+    how many entries were evicted (added to [compile_invalidations]). *)
 
 val func_id : entry -> string -> int option
 val symbol_of_func_id : entry -> int -> Smod_modfmt.Smof.symbol option

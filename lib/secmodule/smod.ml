@@ -51,6 +51,8 @@ type session = {
   mutable client_waiting_handshake : bool;
   pooled : bool;
   mutable ring : ring_state option;
+  mutable cred_digest : string option;
+  mutable compiled_memo : (int * int * Policy.compiled) option;
 }
 
 (* A reusable handle co-process managed by the smodd service layer
@@ -78,6 +80,8 @@ type cached_decision = Cache_allow | Cache_deny of string
 type policy_cache_hooks = {
   cache_lookup : session -> func_name:string -> cached_decision option;
   cache_store : session -> func_name:string -> cached_decision -> unit;
+  compiled_lookup : session -> Policy.compiled option;
+  compiled_store : session -> Policy.compiled -> unit;
 }
 
 type t = {
@@ -94,6 +98,7 @@ type t = {
   mutable broker : (Smod_kern.Proc.t -> Registry.entry -> Credential.t -> int option) option;
   mutable policy_cache : policy_cache_hooks option;
   mutable remove_hooks : (m_id:int -> unit) list;
+  mutable compile_policies : bool;
 }
 
 exception Access_denied of string
@@ -108,6 +113,14 @@ let m_sessions_started = Smod_metrics.Scope.counter m_scope "sessions_started"
 let m_sessions_detached = Smod_metrics.Scope.counter m_scope "sessions_detached"
 let m_handle_scrubs = Smod_metrics.Scope.counter m_scope "handle_scrubs"
 let m_scrub_bytes = Smod_metrics.Scope.counter m_scope "scrub_bytes"
+
+(* Compiled-policy cache traffic (the caches themselves live on registry
+   entries and, when smodd is installed, in the pool's policy cache). *)
+let m_compile_hits = Smod_metrics.Scope.counter m_scope "policy_compile_hits"
+let m_compile_misses = Smod_metrics.Scope.counter m_scope "policy_compile_misses"
+
+let m_compile_invalidations =
+  Smod_metrics.Scope.counter m_scope "policy_compile_invalidations"
 
 let m_call_us =
   Smod_metrics.Scope.histogram m_scope "call_us"
@@ -138,6 +151,8 @@ let registry t = t.registry
 let set_toctou_mitigation t m = t.toctou <- m
 let set_call_fast_path t b = t.fast_path <- b
 let call_fast_path t = t.fast_path
+let set_policy_compile t b = t.compile_policies <- b
+let policy_compile_enabled t = t.compile_policies
 let toctou_mitigation t = t.toctou
 
 (* Where module images land inside the handle's address space: text below
@@ -560,6 +575,80 @@ let check_policy_or_deny t ~policy ~state ~credential ~attrs =
         (Printf.sprintf "policy %s: %s" (Policy.describe denial.Policy.policy)
            denial.Policy.reason)
 
+let check_compiled_or_deny t ~compiled ~state ~credential ~attrs =
+  let clock = Machine.clock t.machine in
+  match
+    Policy.check_compiled ~clock ~now_us:(Clock.now_us clock) ~credential ~attrs compiled
+      state
+  with
+  | Ok () -> ()
+  | Error denial ->
+      Errno.raise_errno Errno.EACCES
+        (Printf.sprintf "policy %s: %s" (Policy.describe denial.Policy.policy)
+           denial.Policy.reason)
+
+let session_cred_digest session =
+  match session.cred_digest with
+  | Some d -> d
+  | None ->
+      let d =
+        Bytes.to_string (Smod_crypto.Sha256.digest (Credential.to_bytes session.credential))
+      in
+      session.cred_digest <- Some d;
+      d
+
+(* The compiled program for this session's (credential, policy revision,
+   keystore generation), or [None] when compilation is off.  Steady state
+   is the per-session memo (two integer compares); a memo miss probes the
+   pool's compiled-handle table (when smodd is installed), then the
+   registry entry's cache, and only compiles — charging the one-time
+   flattening and hoisted signature checks — when both miss. *)
+let policy_of t session =
+  if not t.compile_policies then None
+  else begin
+    let entry = session.entry in
+    let rev = entry.Registry.policy_rev in
+    let gen = Keystore.generation t.keystore in
+    match session.compiled_memo with
+    | Some (r, g, c) when r = rev && g = gen -> Some c
+    | _ ->
+        let clock = Machine.clock t.machine in
+        Clock.charge clock Cost.Policy_cache_probe;
+        let compiled =
+          let pool_cached =
+            match t.policy_cache with
+            | Some hooks -> hooks.compiled_lookup session
+            | None -> None
+          in
+          match pool_cached with
+          | Some c ->
+              Smod_metrics.Counter.incr m_compile_hits;
+              c
+          | None -> (
+              let key =
+                Registry.compiled_key ~cred_digest:(session_cred_digest session)
+                  ~policy_rev:rev ~keystore_gen:gen
+              in
+              match Registry.find_compiled entry key with
+              | Some c ->
+                  Smod_metrics.Counter.incr m_compile_hits;
+                  c
+              | None ->
+                  let c =
+                    Policy.compile ~clock ~keystore:t.keystore
+                      ~credential:session.credential entry.Registry.policy
+                  in
+                  Smod_metrics.Counter.incr m_compile_misses;
+                  Registry.store_compiled entry key c;
+                  (match t.policy_cache with
+                  | Some hooks -> hooks.compiled_store session c
+                  | None -> ());
+                  c)
+        in
+        session.compiled_memo <- Some (rev, gen, compiled);
+        Some compiled
+  end
+
 let install_module_image t session_text_base session_data_base handle_aspace entry =
   let clock = Machine.clock t.machine in
   let image = entry.Registry.image in
@@ -720,6 +809,8 @@ let attach_pooled t (p : Proc.t) ph ~credential =
       client_waiting_handshake = false;
       pooled = true;
       ring = None;
+      cred_digest = None;
+      compiled_memo = None;
     }
   in
   ph.ph_session <- Some session;
@@ -789,6 +880,8 @@ let cold_start_session t (p : Proc.t) entry credential =
       client_waiting_handshake = false;
       pooled = false;
       ring = None;
+      cred_digest = None;
+      compiled_memo = None;
     }
   in
   let handle =
@@ -1020,19 +1113,27 @@ let sys_call t (p : Proc.t) ~framep ~rtnaddr ~m_id ~func_id =
         Smod_metrics.Counter.incr m_calls_denied;
         Errno.raise_errno Errno.EACCES reason
     | None -> (
-        (* Per-call revalidation: the kernel "will then verify that p did
-           provide the proper credentials" (§3.1). *)
-        Clock.charge clock Cost.Cred_check;
+        let attrs =
+          [
+            ("phase", "call");
+            ("function", func_name);
+            ("module", session.entry.Registry.image.Smof.mod_name);
+            ("calls_so_far", string_of_int session.calls);
+          ]
+        in
         try
-          check_policy_or_deny t ~policy:session.entry.Registry.policy
-            ~state:session.policy_state ~credential:session.credential
-            ~attrs:
-              [
-                ("phase", "call");
-                ("function", func_name);
-                ("module", session.entry.Registry.image.Smof.mod_name);
-                ("calls_so_far", string_of_int session.calls);
-              ];
+          (match policy_of t session with
+          | Some compiled ->
+              (* Compiled path: the credential chain was verified when the
+                 program was compiled, so no per-call Cred_check. *)
+              check_compiled_or_deny t ~compiled ~state:session.policy_state
+                ~credential:session.credential ~attrs
+          | None ->
+              (* Per-call revalidation: the kernel "will then verify that p
+                 did provide the proper credentials" (§3.1). *)
+              Clock.charge clock Cost.Cred_check;
+              check_policy_or_deny t ~policy:session.entry.Registry.policy
+                ~state:session.policy_state ~credential:session.credential ~attrs);
           match cache with
           | Some hooks -> hooks.cache_store session ~func_name Cache_allow
           | None -> ()
@@ -1186,17 +1287,28 @@ let sys_call_batch t (p : Proc.t) ~m_id ~max_slots =
               with
               | Some d -> d
               | None -> (
-                  Clock.charge clock Cost.Cred_check;
+                  let attrs =
+                    [
+                      ("phase", "call");
+                      ("function", func_name);
+                      ("module", session.entry.Registry.image.Smof.mod_name);
+                      ("calls_so_far", string_of_int session.calls);
+                    ]
+                  in
                   try
-                    check_policy_or_deny t ~policy:session.entry.Registry.policy
-                      ~state:session.policy_state ~credential:session.credential
-                      ~attrs:
-                        [
-                          ("phase", "call");
-                          ("function", func_name);
-                          ("module", session.entry.Registry.image.Smof.mod_name);
-                          ("calls_so_far", string_of_int session.calls);
-                        ];
+                    (match policy_of t session with
+                    | Some compiled ->
+                        (* Compiled path: chain verification was hoisted to
+                           compile time — no per-slot Cred_check. *)
+                        check_compiled_or_deny t ~compiled
+                          ~state:session.policy_state
+                          ~credential:session.credential ~attrs
+                    | None ->
+                        Clock.charge clock Cost.Cred_check;
+                        check_policy_or_deny t
+                          ~policy:session.entry.Registry.policy
+                          ~state:session.policy_state
+                          ~credential:session.credential ~attrs);
                     (match cache with
                     | Some hooks -> hooks.cache_store session ~func_name Cache_allow
                     | None -> ());
@@ -1346,7 +1458,46 @@ let sys_remove t (p : Proc.t) ~m_id ~cred_addr ~cred_size =
     (fun s -> if s.m_id = m_id then detach_session t s)
     (active_sessions t);
   List.iter (fun hook -> hook ~m_id) t.remove_hooks;
+  Smod_metrics.Counter.add m_compile_invalidations (Registry.flush_compiled entry);
   Registry.remove t.registry ~m_id
+
+(* ------------------------------------------------------------------ *)
+(* Compiled-policy introspection (smodctl policy status)               *)
+(* ------------------------------------------------------------------ *)
+
+type compile_status = {
+  cs_m_id : int;
+  cs_module : string;
+  cs_policy : string;
+  cs_policy_rev : int;
+  cs_cached : int;
+  cs_hits : int;
+  cs_misses : int;
+  cs_invalidations : int;
+  cs_stats : Policy.compiled_stats option;
+}
+
+let policy_compile_status t =
+  Registry.entries t.registry
+  |> List.map (fun (e : Registry.entry) ->
+         let stats =
+           Hashtbl.fold
+             (fun _ c acc ->
+               match acc with Some _ -> acc | None -> Some (Policy.compiled_stats c))
+             e.Registry.compiled_cache None
+         in
+         {
+           cs_m_id = e.Registry.m_id;
+           cs_module = e.Registry.image.Smof.mod_name;
+           cs_policy = Policy.describe e.Registry.policy;
+           cs_policy_rev = e.Registry.policy_rev;
+           cs_cached = Hashtbl.length e.Registry.compiled_cache;
+           cs_hits = e.Registry.compile_hits;
+           cs_misses = e.Registry.compile_misses;
+           cs_invalidations = e.Registry.compile_invalidations;
+           cs_stats = stats;
+         })
+  |> List.sort (fun a b -> compare a.cs_m_id b.cs_m_id)
 
 (* ------------------------------------------------------------------ *)
 (* Installation                                                        *)
@@ -1368,8 +1519,20 @@ let install machine ?keystore () =
       broker = None;
       policy_cache = None;
       remove_hooks = [];
+      compile_policies = false;
     }
   in
+  (* Keystore rotation invalidates every compiled program in the same
+     step as the rotation itself: hooks fire synchronously from
+     [Keystore.add_principal], before any further call can observe the
+     new generation with a stale program (the smodd decision cache flushes
+     from its own hook in the same iteration). *)
+  Keystore.on_change t.keystore (fun () ->
+      List.iter
+        (fun e ->
+          Smod_metrics.Counter.add m_compile_invalidations (Registry.flush_compiled e))
+        (Registry.entries t.registry);
+      Hashtbl.iter (fun _ s -> s.compiled_memo <- None) t.sessions_by_client);
   Machine.register_syscall machine Sysno.smod_find ~name:"smod_find" (fun _m p args ->
       sys_find t p ~name_addr:args.(0) ~version:args.(1));
   Machine.register_syscall machine Sysno.smod_start_session ~name:"smod_start_session"

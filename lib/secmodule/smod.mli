@@ -55,6 +55,12 @@ type session = {
   mutable client_waiting_handshake : bool;
   pooled : bool;  (** served by a smodd pooled handle, not a private fork *)
   mutable ring : ring_state option;
+  mutable cred_digest : string option;
+      (** lazily computed SHA-256 of the wire credential; part of every
+          compiled-program cache key *)
+  mutable compiled_memo : (int * int * Policy.compiled) option;
+      (** the session's compiled policy, valid while the stamped
+          (policy_rev, keystore generation) pair still matches *)
 }
 
 exception Access_denied of string
@@ -221,6 +227,11 @@ type cached_decision = Cache_allow | Cache_deny of string
 type policy_cache_hooks = {
   cache_lookup : session -> func_name:string -> cached_decision option;
   cache_store : session -> func_name:string -> cached_decision -> unit;
+  compiled_lookup : session -> Policy.compiled option;
+      (** probe smodd's compiled-program table — so a decision-cache miss
+          (or an uncacheable policy) still runs the compiled program
+          instead of re-verifying and re-interpreting *)
+  compiled_store : session -> Policy.compiled -> unit;
 }
 
 val set_policy_cache : t -> policy_cache_hooks option -> unit
@@ -230,6 +241,38 @@ val set_policy_cache : t -> policy_cache_hooks option -> unit
     the per-call credential re-verification and policy evaluation, a miss
     evaluates as usual and stores the outcome (denials included — they
     still count and raise exactly as uncached ones do). *)
+
+val set_policy_compile : t -> bool -> unit
+(** Switch admission onto compiled decision programs ({!Policy.compile}):
+    on the first policy evaluation for a session the KeyNote arms are
+    flattened once — signature chain verified, delegation graph resolved,
+    conditions lowered to opcodes — and every subsequent evaluation for
+    that (credential, policy revision, keystore generation) runs the
+    program at {!Smod_sim.Cost_model.Policy_compiled_op} per opcode with
+    no per-call [Cred_check].  Programs are cached per registry entry and
+    (when smodd is installed) in the pool, and are invalidated by
+    [Registry.set_policy], keystore changes and [sys_smod_remove].
+    Default: off — the interpreted path is byte-for-byte what the
+    baselines measured. *)
+
+val policy_compile_enabled : t -> bool
+
+type compile_status = {
+  cs_m_id : int;
+  cs_module : string;
+  cs_policy : string;
+  cs_policy_rev : int;
+  cs_cached : int;  (** programs currently cached for this entry *)
+  cs_hits : int;
+  cs_misses : int;
+  cs_invalidations : int;
+  cs_stats : Policy.compiled_stats option;
+      (** a representative cached program's size/opcode breakdown *)
+}
+
+val policy_compile_status : t -> compile_status list
+(** Per-module compile state for [smodctl policy status], sorted by
+    m_id. *)
 
 (** {1 Introspection for tests and the layout example} *)
 

@@ -20,6 +20,8 @@ type op =
   | Policy_always_allow
   | Policy_counter_check
   | Keynote_assertion_eval
+  | Policy_compiled_op
+  | Policy_compile_assertion
   | Stub_push_args of int
   | Stub_receive
   | Stub_return
@@ -78,6 +80,8 @@ let cycles = function
   | Policy_always_allow -> 25.0
   | Policy_counter_check -> 60.0
   | Keynote_assertion_eval -> 420.0
+  | Policy_compiled_op -> 12.0
+  | Policy_compile_assertion -> 700.0
   | Stub_push_args n -> 18.0 +. (6.0 *. float_of_int n)
   | Stub_receive -> 120.0
   | Stub_return -> 70.0
@@ -128,6 +132,8 @@ let describe = function
   | Policy_always_allow -> "policy-always-allow"
   | Policy_counter_check -> "policy-counter"
   | Keynote_assertion_eval -> "keynote-assertion"
+  | Policy_compiled_op -> "policy-compiled-op"
+  | Policy_compile_assertion -> "policy-compile-assertion"
   | Stub_push_args n -> Printf.sprintf "stub-push-args[%d]" n
   | Stub_receive -> "stub-receive"
   | Stub_return -> "stub-return"

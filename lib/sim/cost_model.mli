@@ -37,6 +37,14 @@ type op =
   | Policy_always_allow
   | Policy_counter_check  (** quota / rate-limit style counters *)
   | Keynote_assertion_eval  (** evaluating one KeyNote assertion *)
+  | Policy_compiled_op
+      (** one opcode of a compiled decision program
+          ([Smod_keynote.Compile]) — the tight-loop replacement for
+          {!Keynote_assertion_eval} *)
+  | Policy_compile_assertion
+      (** flattening one assertion into a decision program: delegation
+          walk share, constant folding, opcode emission (one-time, cached
+          per (credential, policy revision, keystore generation)) *)
   | Stub_push_args of int  (** client stub: push [n] argument words + ids *)
   | Stub_receive  (** handle-side stack repointing ([smod_stub_receive]) *)
   | Stub_return  (** frame restoration on the way back *)

@@ -1,0 +1,702 @@
+(* The compiled policy engine (PR 4): randomized differential testing of
+   Compile.run against Eval.query, Policy.check_compiled against
+   Policy.check, the fail-closed divergences (unknown levels, unverified
+   chains), hostile-input parser hardening, and the cache-invalidation
+   story — keystore rotation must evict compiled programs and pooled
+   decisions in the same step, including between session establishment
+   and the first batched call. *)
+
+module M = Smod_kern.Machine
+module Proc = Smod_kern.Proc
+module Errno = Smod_kern.Errno
+module Clock = Smod_sim.Clock
+module Ast = Smod_keynote.Ast
+module Parse = Smod_keynote.Parse
+module Eval = Smod_keynote.Eval
+module Compile = Smod_keynote.Compile
+module Keystore = Smod_keynote.Keystore
+module World = Smod_bench_kit.World
+module Smodd = Smod_pool.Smodd
+open Secmodule
+
+let levels = [| "deny"; "review"; "allow" |]
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Randomized differential: Compile.run ≡ Eval.query                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A small closed world of principals and attributes so generated
+   delegation graphs actually connect (and cycle), and generated guards
+   actually flip on the generated attrs. *)
+let principals = [ "alice"; "kp0"; "kp1"; "kp2" ]
+
+let gen_query =
+  let open QCheck.Gen in
+  let gen_principal = oneofl principals in
+  let gen_attr_name = oneofl [ "a"; "b"; "c"; "module" ] in
+  let gen_value = oneof [ map string_of_int (int_range (-2) 3); oneofl [ "x"; "libc"; "" ] ] in
+  let gen_term =
+    oneof
+      [
+        map (fun n -> Ast.Attr n) gen_attr_name;
+        map (fun s -> Ast.Str s) gen_value;
+        map (fun i -> Ast.Int i) (int_range (-2) 3);
+      ]
+  in
+  let gen_cmp = oneofl [ Ast.Eq; Ast.Ne; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ] in
+  let rec gen_expr n =
+    if n = 0 then
+      oneof
+        [
+          return Ast.True;
+          return Ast.False;
+          map3 (fun a o b -> Ast.Cmp (a, o, b)) gen_term gen_cmp gen_term;
+        ]
+    else
+      oneof
+        [
+          map3 (fun a o b -> Ast.Cmp (a, o, b)) gen_term gen_cmp gen_term;
+          map (fun e -> Ast.Not e) (gen_expr (n - 1));
+          map2 (fun a b -> Ast.And (a, b)) (gen_expr (n - 1)) (gen_expr (n - 1));
+          map2 (fun a b -> Ast.Or (a, b)) (gen_expr (n - 1)) (gen_expr (n - 1));
+        ]
+  in
+  let rec gen_lic n =
+    if n = 0 then
+      oneof [ map (fun p -> Ast.L_principal p) gen_principal; return Ast.L_empty ]
+    else
+      oneof
+        [
+          map (fun p -> Ast.L_principal p) gen_principal;
+          map2 (fun a b -> Ast.L_and (a, b)) (gen_lic (n - 1)) (gen_lic (n - 1));
+          map2 (fun a b -> Ast.L_or (a, b)) (gen_lic (n - 1)) (gen_lic (n - 1));
+          ( list_size (2 -- 4) (gen_lic (n - 1)) >>= fun ls ->
+            int_range 1 (List.length ls) >|= fun k -> Ast.L_kof (k, ls) );
+        ]
+  in
+  let gen_clauses =
+    list_size (0 -- 3)
+      (map2
+         (fun guard value -> { Ast.guard; value })
+         (gen_expr 2)
+         (oneofl [ "deny"; "review"; "allow" ]))
+  in
+  let gen_assertion authorizer =
+    map2
+      (fun licensees conditions ->
+        { Ast.authorizer; licensees; conditions; comment = None; signature = None })
+      (gen_lic 2) gen_clauses
+  in
+  list_size (1 -- 3) (gen_assertion "POLICY") >>= fun policy ->
+  list_size (0 -- 4) (gen_principal >>= gen_assertion) >>= fun credentials ->
+  list_size (0 -- 3) (pair gen_attr_name gen_value) >>= fun attrs ->
+  list_size (1 -- 2) gen_principal >|= fun requesters ->
+  (policy, credentials, attrs, requesters)
+
+let print_query (policy, credentials, attrs, requesters) =
+  Printf.sprintf "policy:\n%s\ncredentials:\n%s\nattrs: %s\nrequesters: %s"
+    (String.concat "---\n" (List.map Ast.canonical_body policy))
+    (String.concat "---\n" (List.map Ast.canonical_body credentials))
+    (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs))
+    (String.concat ", " requesters)
+
+let prop_compiled_matches_interpreted =
+  QCheck.Test.make ~name:"compiled verdict = interpreted verdict" ~count:2000
+    (QCheck.make ~print:print_query gen_query)
+    (fun (policy, credentials, attrs, requesters) ->
+      let r = Eval.query ~policy ~credentials ~attrs ~requesters ~levels in
+      match Compile.compile ~policy ~credentials ~requesters ~levels with
+      | Error e -> QCheck.Test.fail_reportf "compile failed on valid levels: %s" e
+      | Ok prog ->
+          let o = Compile.run prog ~attrs in
+          if o.Compile.index <> r.Eval.index || o.Compile.level <> r.Eval.level then
+            QCheck.Test.fail_reportf "compiled (%s,%d) <> interpreted (%s,%d)"
+              o.Compile.level o.Compile.index r.Eval.level r.Eval.index
+          else true)
+
+(* One program, many attribute sets: re-running a cached program must not
+   leak evaluation state between runs. *)
+let prop_program_reusable_across_attrs =
+  QCheck.Test.make ~name:"one compiled program serves many attr sets" ~count:500
+    (QCheck.make ~print:print_query gen_query)
+    (fun (policy, credentials, attrs, requesters) ->
+      match Compile.compile ~policy ~credentials ~requesters ~levels with
+      | Error e -> QCheck.Test.fail_reportf "compile failed: %s" e
+      | Ok prog ->
+          List.for_all
+            (fun attrs' ->
+              let r = Eval.query ~policy ~credentials ~attrs:attrs' ~requesters ~levels in
+              let o = Compile.run prog ~attrs:attrs' in
+              o.Compile.index = r.Eval.index)
+            [ attrs; []; [ ("a", "1") ]; attrs @ attrs ])
+
+(* The E9 bench ladder, exactly as lib/bench_kit/ablations.ml builds it:
+   n non-matching assertions behind one matching one. *)
+let e9_policy n =
+  let non_matching =
+    List.init n (fun i ->
+        Parse.assertion_of_string
+          (Printf.sprintf
+             "keynote-version: 2\n\
+              authorizer: \"POLICY\"\n\
+              licensees: \"client\"\n\
+              conditions: module == \"seclibc\" && clause == %d -> \"allow\";\n"
+             i))
+  in
+  Parse.assertion_of_string
+    "keynote-version: 2\n\
+     authorizer: \"POLICY\"\n\
+     licensees: \"client\"\n\
+     conditions: module == \"seclibc\" -> \"allow\";\n"
+  :: non_matching
+
+let test_e9_ladder_differential () =
+  let levels = [| "deny"; "allow" |] in
+  List.iter
+    (fun n ->
+      let policy = e9_policy n in
+      List.iter
+        (fun attrs ->
+          let r =
+            Eval.query ~policy ~credentials:[] ~attrs ~requesters:[ "client" ] ~levels
+          in
+          match Compile.compile ~policy ~credentials:[] ~requesters:[ "client" ] ~levels with
+          | Error e -> Alcotest.failf "keynote-%d failed to compile: %s" (n + 1) e
+          | Ok prog ->
+              let o = Compile.run prog ~attrs in
+              Alcotest.(check int)
+                (Printf.sprintf "keynote-%d index" (n + 1))
+                r.Eval.index o.Compile.index;
+              Alcotest.(check string)
+                (Printf.sprintf "keynote-%d level" (n + 1))
+                r.Eval.level o.Compile.level)
+        [
+          [ ("phase", "call"); ("function", "test_incr"); ("module", "seclibc");
+            ("calls_so_far", "5") ];
+          [ ("module", "other") ];
+          [];
+        ])
+    [ 0; 3; 15 ]
+
+(* The compiled E9 slope: a non-matching ladder assertion costs a handful
+   of fused opcodes, not a 420-cycle interpreted walk.  Pin the per-
+   assertion op growth so the >= 4x slope cut in bench E9 cannot silently
+   regress to interpreted-shaped costs. *)
+let test_e9_op_slope () =
+  let levels = [| "deny"; "allow" |] in
+  let attrs = [ ("module", "seclibc"); ("calls_so_far", "5") ] in
+  let ops n =
+    match Compile.compile ~policy:(e9_policy n) ~credentials:[] ~requesters:[ "client" ]
+            ~levels
+    with
+    | Ok prog -> (Compile.run prog ~attrs).Compile.ops
+    | Error e -> Alcotest.failf "compile: %s" e
+  in
+  let o1 = ops 0 and o16 = ops 15 in
+  let per_assertion = float_of_int (o16 - o1) /. 15.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "per-assertion op growth %.1f stays under 8" per_assertion)
+    true (per_assertion <= 8.0)
+
+(* ------------------------------------------------------------------ *)
+(* Policy.check ≡ Policy.check_compiled                                *)
+(* ------------------------------------------------------------------ *)
+
+let mk_clock () = M.clock (M.create ~jitter:0.0 ())
+
+let vendor_keystore () =
+  let ks = Keystore.create () in
+  Keystore.add_principal ks ~name:"vendor" ~secret:"vk";
+  ks
+
+let signed_license ks ?(conds = "true -> \"allow\";") () =
+  Keystore.sign ks
+    (Parse.assertion_of_string
+       (Printf.sprintf
+          "keynote-version: 2\nauthorizer: \"vendor\"\nlicensees: \"alice\"\n\
+           conditions: %s\n"
+          conds))
+
+let policy_trusting_vendor ?(conds = "calls_so_far < 3 -> \"allow\";") () =
+  Policy.Keynote
+    {
+      policy =
+        [
+          Parse.assertion_of_string
+            (Printf.sprintf
+               "keynote-version: 2\nauthorizer: \"POLICY\"\nlicensees: \"vendor\"\n\
+                conditions: %s\n"
+               conds);
+        ];
+      levels;
+      min_level = "allow";
+      attrs = [ ("color", "red") ];
+    }
+
+(* Stateful composite over a volatile keynote arm: verdict-for-verdict
+   (and reason-for-reason) parity across a call sequence, with each path
+   consuming its own quota state. *)
+let test_policy_check_parity () =
+  let clock = mk_clock () in
+  let ks = vendor_keystore () in
+  let credential =
+    Credential.make ~principal:"alice" ~assertions:[ signed_license ks () ] ()
+  in
+  let policy = Policy.All_of [ Policy.Call_quota 4; policy_trusting_vendor () ] in
+  let s_interp = Policy.initial_state policy in
+  let s_comp = Policy.initial_state policy in
+  let compiled = Policy.compile ~clock ~keystore:ks ~credential policy in
+  for i = 0 to 5 do
+    let attrs = [ ("calls_so_far", string_of_int i) ] in
+    let a = Policy.check ~clock ~now_us:0.0 ~credential ~attrs policy s_interp in
+    let b = Policy.check_compiled ~clock ~now_us:0.0 ~credential ~attrs compiled s_comp in
+    match (a, b) with
+    | Ok (), Ok () -> Alcotest.(check bool) (Printf.sprintf "call %d allowed" i) true (i < 3)
+    | Error da, Error db ->
+        Alcotest.(check bool) (Printf.sprintf "call %d denied" i) true (i >= 3);
+        Alcotest.(check string)
+          (Printf.sprintf "call %d same reason" i)
+          da.Policy.reason db.Policy.reason
+    | Ok (), Error d ->
+        Alcotest.failf "call %d: interpreted allowed, compiled denied (%s)" i d.Policy.reason
+    | Error d, Ok () ->
+        Alcotest.failf "call %d: interpreted denied (%s), compiled allowed" i d.Policy.reason
+  done
+
+(* Deliberate divergence 1: a clause naming an unknown compliance level
+   makes the interpreter raise lazily; the compiler validates up front
+   and the compiled policy denies instead. *)
+let test_unknown_level_fails_closed () =
+  let clock = mk_clock () in
+  let ks = vendor_keystore () in
+  let credential =
+    Credential.make ~principal:"alice" ~assertions:[ signed_license ks () ] ()
+  in
+  let policy = policy_trusting_vendor ~conds:"true -> \"sudo\";" () in
+  let compiled = Policy.compile ~clock ~keystore:ks ~credential policy in
+  (match Policy.check_compiled ~clock ~now_us:0.0 ~credential ~attrs:[] compiled
+           (Policy.initial_state policy)
+   with
+  | Ok () -> Alcotest.fail "unknown level must deny"
+  | Error d ->
+      Alcotest.(check bool) "reason names the level" true
+        (contains d.Policy.reason "sudo"));
+  match Policy.compiled_stats compiled with
+  | { Policy.denied = Some _; programs = 0; _ } -> ()
+  | _ -> Alcotest.fail "expected a deny-all stub with no program"
+
+(* Deliberate divergence 2: compilation hoists the signature check, so a
+   credential whose chain does not verify compiles to a deny-all stub
+   (the interpreted per-call path trusts establishment to have done
+   this). *)
+let test_unverified_chain_fails_closed () =
+  let clock = mk_clock () in
+  let ks = vendor_keystore () in
+  let unsigned =
+    Parse.assertion_of_string
+      "keynote-version: 2\nauthorizer: \"vendor\"\nlicensees: \"alice\"\n\
+       conditions: true -> \"allow\";\n"
+  in
+  let credential = Credential.make ~principal:"alice" ~assertions:[ unsigned ] () in
+  let policy = policy_trusting_vendor () in
+  let compiled = Policy.compile ~clock ~keystore:ks ~credential policy in
+  match Policy.check_compiled ~clock ~now_us:0.0 ~credential
+          ~attrs:[ ("calls_so_far", "0") ]
+          compiled (Policy.initial_state policy)
+  with
+  | Ok () -> Alcotest.fail "unverified chain must deny"
+  | Error d ->
+      Alcotest.(check bool) "reason names verification" true
+        (contains d.Policy.reason "verification")
+
+(* Compiling charges the hoisted work; running charges per opcode.  The
+   steady state (one compile, many runs) must be cheaper than the
+   interpreter for the 16-assertion ladder. *)
+let test_compiled_cycles_cheaper () =
+  let machine = M.create ~jitter:0.0 () in
+  let clock = M.clock machine in
+  let ks = vendor_keystore () in
+  let credential = Credential.make ~principal:"client" () in
+  let policy =
+    Policy.Keynote
+      { policy = e9_policy 15; levels = [| "deny"; "allow" |]; min_level = "allow"; attrs = [] }
+  in
+  let attrs = [ ("module", "seclibc") ] in
+  let state = Policy.initial_state policy in
+  let interp_t0 = Clock.now_us clock in
+  for _ = 1 to 100 do
+    match Policy.check ~clock ~now_us:0.0 ~credential ~attrs policy state with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "interpreted denied"
+  done;
+  let interp_us = Clock.now_us clock -. interp_t0 in
+  let compiled = Policy.compile ~clock ~keystore:ks ~credential policy in
+  let comp_t0 = Clock.now_us clock in
+  for _ = 1 to 100 do
+    match Policy.check_compiled ~clock ~now_us:0.0 ~credential ~attrs compiled state with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "compiled denied"
+  done;
+  let comp_us = Clock.now_us clock -. comp_t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "compiled %.1fus < a quarter of interpreted %.1fus" comp_us interp_us)
+    true
+    (comp_us *. 4.0 < interp_us)
+
+(* ------------------------------------------------------------------ *)
+(* Hostile input: the parser is total (satellite 1)                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_huge_int_literal () =
+  let text = "x < 99999999999999999999999999999999999999" in
+  (match Parse.expr_of_string text with
+  | _ -> Alcotest.fail "overflowing literal must not parse"
+  | exception Parse.Parse_error _ -> ()
+  | exception e -> Alcotest.failf "escaped as %s" (Printexc.to_string e));
+  match Parse.expr_of_string_res text with
+  | Error { Parse.message; _ } ->
+      Alcotest.(check bool) "diagnostic names the range" true
+        (contains message "range")
+  | Ok _ -> Alcotest.fail "res variant must report the error"
+
+let test_parse_deep_nesting_bounded () =
+  let bomb = String.concat "" (List.init 400 (fun _ -> "!(")) ^ "true"
+             ^ String.concat "" (List.init 400 (fun _ -> ")")) in
+  (match Parse.expr_of_string_res bomb with
+  | Error { Parse.message; _ } ->
+      Alcotest.(check bool) "diagnostic names nesting" true
+        (contains message "nesting")
+  | Ok _ -> Alcotest.fail "400-deep nesting must be rejected");
+  let lic_bomb =
+    String.concat "" (List.init 400 (fun _ -> "(")) ^ "\"a\""
+    ^ String.concat "" (List.init 400 (fun _ -> ")"))
+  in
+  match Parse.licensees_of_string_res lic_bomb with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "400-deep licensee nesting must be rejected"
+
+let test_parse_shallow_nesting_still_works () =
+  let ok = String.concat "" (List.init 100 (fun _ -> "!(")) ^ "true"
+           ^ String.concat "" (List.init 100 (fun _ -> ")")) in
+  match Parse.expr_of_string_res ok with
+  | Ok e -> Alcotest.(check bool) "evaluates" true (Eval.eval_expr ~attrs:[] e)
+  | Error d -> Alcotest.failf "100-deep rejected at line %d: %s" d.Parse.line d.Parse.message
+
+let test_parse_long_chains_iterative () =
+  (* Right-recursive descent would blow the stack here; the chain
+     collector must stay iterative. *)
+  let n = 20_000 in
+  let chain = String.concat " && " (List.init n (fun _ -> "true")) in
+  (match Parse.expr_of_string_res chain with
+  | Ok e -> Alcotest.(check bool) "all-true chain" true (Eval.eval_expr ~attrs:[] e)
+  | Error d -> Alcotest.failf "chain rejected: line %d" d.Parse.line);
+  let lic_chain = String.concat " || " (List.init n (fun _ -> "\"p\"")) in
+  match Parse.licensees_of_string_res lic_chain with
+  | Ok _ -> ()
+  | Error d -> Alcotest.failf "licensee chain rejected: line %d" d.Parse.line
+
+let test_parse_res_reports_line () =
+  match
+    Parse.assertions_of_string_res
+      "keynote-version: 2\nauthorizer: \"P\"\nconditions: == -> \"x\";\n"
+  with
+  | Error { Parse.line = 3; _ } -> ()
+  | Error { Parse.line; _ } -> Alcotest.failf "wrong line %d" line
+  | Ok _ -> Alcotest.fail "malformed assertion accepted"
+
+(* A credential carrying an assertion that names a level outside the
+   module policy's ordering: the compiled path must deny with EACCES at
+   dispatch, never crash the kernel. *)
+let test_hostile_credential_denied_not_crash () =
+  let world =
+    World.create ~with_rpc:false
+      ~policy:
+        (Policy.Keynote
+           {
+             policy =
+               [
+                 Parse.assertion_of_string
+                   "keynote-version: 2\nauthorizer: \"POLICY\"\nlicensees: \"vendor\"\n\
+                    conditions: module == \"seclibc\" -> \"allow\";\n";
+               ];
+             levels = [| "deny"; "allow" |];
+             min_level = "allow";
+             attrs = [];
+           })
+      ()
+  in
+  let smod = world.World.smod in
+  Smod.set_policy_compile smod true;
+  let ks = Smod.keystore smod in
+  Keystore.add_principal ks ~name:"vendor" ~secret:"vk";
+  (* The hostile clause only fires at call time, so establishment (which
+     still interprets) succeeds and the compiled path is what meets it. *)
+  let license =
+    Keystore.sign ks
+      (Parse.assertion_of_string
+         "keynote-version: 2\nauthorizer: \"vendor\"\nlicensees: \"alice\"\n\
+          conditions: phase == \"call\" -> \"sudo\"; true -> \"allow\";\n")
+  in
+  let credential = Credential.make ~principal:"alice" ~assertions:[ license ] () in
+  let outcome = ref `Unset in
+  ignore
+    (M.spawn world.World.machine ~name:"hostile" (fun p ->
+         Crt0.run_client smod p ~module_name:Smod_libc.Seclibc.module_name
+           ~version:Smod_libc.Seclibc.version ~credential (fun conn ->
+             match Stub.call conn ~func:"test_incr" [| 1 |] with
+             | v -> outcome := `Allowed v
+             | exception Errno.Error (Errno.EACCES, _) -> outcome := `Denied)));
+  World.run world;
+  Alcotest.(check bool) "EACCES, not a crash" true (!outcome = `Denied)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch integration: compiled programs on the call paths           *)
+(* ------------------------------------------------------------------ *)
+
+let client_keynote_policy ?(volatile = false) () =
+  let conds =
+    if volatile then "module == \"seclibc\" && calls_so_far < 3 -> \"allow\";"
+    else "module == \"seclibc\" -> \"allow\";"
+  in
+  Policy.Keynote
+    {
+      policy =
+        [
+          Parse.assertion_of_string
+            (Printf.sprintf
+               "keynote-version: 2\nauthorizer: \"POLICY\"\nlicensees: \"client\"\n\
+                conditions: %s\n"
+               conds);
+        ];
+      levels = [| "deny"; "allow" |];
+      min_level = "allow";
+      attrs = [];
+    }
+
+let test_compiled_dispatch_end_to_end () =
+  let world =
+    World.create ~pool:Smodd.default_config ~with_rpc:false
+      ~policy:(client_keynote_policy ()) ()
+  in
+  let smod = world.World.smod in
+  Smod.set_policy_compile smod true;
+  Alcotest.(check bool) "toggle visible" true (Smod.policy_compile_enabled smod);
+  let results = ref [] in
+  World.spawn_seclibc_client world ~name:"compiled-client" (fun _p conn ->
+      for i = 1 to 5 do
+        results := Smod_libc.Seclibc.Client.test_incr conn i :: !results
+      done);
+  World.run world;
+  Alcotest.(check (list int)) "all calls answered" [ 6; 5; 4; 3; 2 ] !results;
+  let entry = world.World.libc_entry in
+  Alcotest.(check int) "one program cached registry-side" 1
+    (Hashtbl.length entry.Registry.compiled_cache);
+  Alcotest.(check int) "one compile miss" 1 entry.Registry.compile_misses;
+  let st = Smodd.status (Option.get world.World.pool) in
+  Alcotest.(check (option int)) "program cached pool-side" (Some 1) st.Smodd.st_cache_compiled;
+  match Smod.policy_compile_status smod with
+  | [ cs ] ->
+      Alcotest.(check string) "module name" "seclibc" cs.Smod.cs_module;
+      Alcotest.(check int) "cached" 1 cs.Smod.cs_cached;
+      (match cs.Smod.cs_stats with
+      | Some stats ->
+          Alcotest.(check int) "one program" 1 stats.Policy.programs;
+          Alcotest.(check bool) "has opcodes" true (stats.Policy.opcodes > 0)
+      | None -> Alcotest.fail "no stats for a cached program")
+  | l -> Alcotest.failf "expected one status row, got %d" (List.length l)
+
+(* The batch path evaluates volatile compiled programs per slot with the
+   same verdicts the interpreter produces: 3 allowed, then denials as
+   calls_so_far crosses the threshold. *)
+let batch_statuses ~compile () =
+  let world =
+    World.create ~with_rpc:false ~policy:(client_keynote_policy ~volatile:true ()) ()
+  in
+  Smod.set_policy_compile world.World.smod compile;
+  let results = ref [] in
+  World.spawn_seclibc_client world ~name:"batch-client" (fun _p conn ->
+      results := Stub.call_batch conn ~func:"test_incr" (List.init 5 (fun i -> [| i |])));
+  World.run world;
+  List.map (function Ok _ -> `Ok | Error (e, _) -> `Err e) !results
+
+let test_batch_volatile_compiled_per_slot () =
+  let compiled = batch_statuses ~compile:true () in
+  let interpreted = batch_statuses ~compile:false () in
+  Alcotest.(check int) "5 slots" 5 (List.length compiled);
+  Alcotest.(check bool) "same verdict sequence as interpreted" true
+    (compiled = interpreted);
+  List.iteri
+    (fun i s ->
+      if i < 3 then
+        Alcotest.(check bool) (Printf.sprintf "slot %d allowed" i) true (s = `Ok)
+      else
+        Alcotest.(check bool) (Printf.sprintf "slot %d denied" i) true (s = `Err Errno.EACCES))
+    compiled
+
+(* ------------------------------------------------------------------ *)
+(* Invalidation: rotation evicts everything in the same step           *)
+(* ------------------------------------------------------------------ *)
+
+let test_rotation_evicts_same_step () =
+  let world =
+    World.create ~pool:Smodd.default_config ~with_rpc:false
+      ~policy:(client_keynote_policy ()) ()
+  in
+  let smod = world.World.smod in
+  Smod.set_policy_compile smod true;
+  World.spawn_seclibc_client world ~name:"warm" (fun _p conn ->
+      ignore (Stub.call conn ~func:"test_incr" [| 1 |]));
+  World.run world;
+  let entry = world.World.libc_entry in
+  let pool = Option.get world.World.pool in
+  Alcotest.(check int) "program cached" 1 (Hashtbl.length entry.Registry.compiled_cache);
+  let st = Smodd.status pool in
+  Alcotest.(check bool) "decision cached" true (st.Smodd.st_cache_size > Some 0);
+  Alcotest.(check (option int)) "program cached pool-side" (Some 1) st.Smodd.st_cache_compiled;
+  (* The rotation itself: hooks fire synchronously inside add_principal,
+     so by the next statement every layer is already empty. *)
+  Keystore.add_principal (Smod.keystore smod) ~name:"rotated-in" ~secret:"s";
+  Alcotest.(check int) "registry programs evicted in the same step" 0
+    (Hashtbl.length entry.Registry.compiled_cache);
+  Alcotest.(check bool) "invalidation counted" true (entry.Registry.compile_invalidations >= 1);
+  let st = Smodd.status pool in
+  Alcotest.(check (option int)) "pool decisions evicted in the same step" (Some 0)
+    st.Smodd.st_cache_size;
+  Alcotest.(check (option int)) "pool programs evicted in the same step" (Some 0)
+    st.Smodd.st_cache_compiled;
+  (* The world keeps working: the next session recompiles. *)
+  let misses0 = world.World.libc_entry.Registry.compile_misses in
+  World.spawn_seclibc_client world ~name:"after-rotation" (fun _p conn ->
+      ignore (Stub.call conn ~func:"test_incr" [| 2 |]));
+  World.run world;
+  Alcotest.(check int) "recompiled once" (misses0 + 1) entry.Registry.compile_misses
+
+(* Satellite 2's exact scenario: the keystore rotates between
+   sys_smod_start_session and the session's first sys_smod_call_batch.
+   The program compiled for an earlier session of the same credential
+   must be evicted in the same step as the rotation, and the batch must
+   re-verify under the new generation — denying every slot, since the
+   license was signed under the old key. *)
+let test_rotation_between_session_and_first_batch () =
+  let world =
+    World.create ~pool:Smodd.default_config ~with_rpc:false
+      ~policy:
+        (Policy.Keynote
+           {
+             policy =
+               [
+                 Parse.assertion_of_string
+                   "keynote-version: 2\nauthorizer: \"POLICY\"\nlicensees: \"vendor\"\n\
+                    conditions: module == \"seclibc\" -> \"allow\";\n";
+               ];
+             levels = [| "deny"; "allow" |];
+             min_level = "allow";
+             attrs = [];
+           })
+      ()
+  in
+  let smod = world.World.smod in
+  Smod.set_policy_compile smod true;
+  let ks = Smod.keystore smod in
+  Keystore.add_principal ks ~name:"vendor" ~secret:"vk1";
+  let license = signed_license ks () in
+  let credential = Credential.make ~principal:"alice" ~assertions:[ license ] () in
+  let entry = world.World.libc_entry in
+  let pool = Option.get world.World.pool in
+  let spawn name body =
+    ignore
+      (M.spawn world.World.machine ~name (fun p ->
+           Crt0.run_client smod p ~module_name:Smod_libc.Seclibc.module_name
+             ~version:Smod_libc.Seclibc.version ~credential body))
+  in
+  (* Warm: an earlier session of the same credential leaves a compiled
+     program in both caches. *)
+  spawn "warm" (fun conn -> ignore (Stub.call conn ~func:"test_incr" [| 1 |]));
+  World.run world;
+  Alcotest.(check int) "program cached before rotation" 1
+    (Hashtbl.length entry.Registry.compiled_cache);
+  let same_step_ok = ref false in
+  let statuses = ref [] in
+  spawn "victim" (fun conn ->
+      (* Established under the old generation; rotate before the first
+         batched call of this session. *)
+      Keystore.add_principal ks ~name:"vendor" ~secret:"vk2";
+      let st = Smodd.status pool in
+      same_step_ok :=
+        Hashtbl.length entry.Registry.compiled_cache = 0
+        && st.Smodd.st_cache_size = Some 0
+        && st.Smodd.st_cache_compiled = Some 0;
+      let rs = Stub.call_batch conn ~func:"test_incr" (List.init 4 (fun i -> [| i |])) in
+      statuses := List.map (function Ok _ -> `Ok | Error (e, _) -> `Err e) rs);
+  World.run world;
+  Alcotest.(check bool) "all caches empty in the rotation step" true !same_step_ok;
+  Alcotest.(check int) "4 slots" 4 (List.length !statuses);
+  List.iteri
+    (fun i s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d re-verified and denied" i)
+        true
+        (s = `Err Errno.EACCES))
+    !statuses
+
+(* set_policy on a live entry must drop its programs too. *)
+let test_set_policy_evicts () =
+  let world =
+    World.create ~with_rpc:false ~policy:(client_keynote_policy ()) ()
+  in
+  let smod = world.World.smod in
+  Smod.set_policy_compile smod true;
+  World.spawn_seclibc_client world ~name:"warm" (fun _p conn ->
+      ignore (Stub.call conn ~func:"test_incr" [| 1 |]));
+  World.run world;
+  let entry = world.World.libc_entry in
+  Alcotest.(check int) "cached" 1 (Hashtbl.length entry.Registry.compiled_cache);
+  let rev0 = entry.Registry.policy_rev in
+  Registry.set_policy entry Policy.Always_allow;
+  Alcotest.(check int) "evicted" 0 (Hashtbl.length entry.Registry.compiled_cache);
+  Alcotest.(check int) "revision bumped" (rev0 + 1) entry.Registry.policy_rev
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "compile"
+    [
+      ( "differential",
+        [
+          tc "E9 ladder" test_e9_ladder_differential;
+          tc "E9 op slope" test_e9_op_slope;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_compiled_matches_interpreted; prop_program_reusable_across_attrs ] );
+      ( "policy",
+        [
+          tc "check parity over stateful sequence" test_policy_check_parity;
+          tc "unknown level fails closed" test_unknown_level_fails_closed;
+          tc "unverified chain fails closed" test_unverified_chain_fails_closed;
+          tc "compiled cycles cheaper" test_compiled_cycles_cheaper;
+        ] );
+      ( "hostile input",
+        [
+          tc "huge int literal" test_parse_huge_int_literal;
+          tc "deep nesting bounded" test_parse_deep_nesting_bounded;
+          tc "shallow nesting works" test_parse_shallow_nesting_still_works;
+          tc "long chains iterative" test_parse_long_chains_iterative;
+          tc "res reports line" test_parse_res_reports_line;
+          tc "hostile credential EACCES" test_hostile_credential_denied_not_crash;
+        ] );
+      ( "dispatch",
+        [
+          tc "end to end with caches" test_compiled_dispatch_end_to_end;
+          tc "batch volatile per slot" test_batch_volatile_compiled_per_slot;
+        ] );
+      ( "invalidation",
+        [
+          tc "rotation evicts same step" test_rotation_evicts_same_step;
+          tc "rotation before first batch" test_rotation_between_session_and_first_batch;
+          tc "set_policy evicts" test_set_policy_evicts;
+        ] );
+    ]
