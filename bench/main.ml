@@ -1,16 +1,22 @@
 (* Benchmark harness: regenerates every quantitative artifact of the paper.
 
+   The experiment catalog lives in lib/bench_kit/experiments.ml; this file
+   is only the CLI around it — section selection, the --jobs domain-parallel
+   runner, JSON emission and the bechamel wall-clock cross-check.
+
    The primary output is SIMULATED microseconds from the calibrated cycle
-   model (see lib/sim/cost_model.ml and DESIGN.md §2); a bechamel section
+   model (see lib/sim/cost_model.ml and DESIGN.md §2); the bechamel section
    cross-checks that the relative wall-clock cost of each simulated path
    moves in the same direction.
 
-   With --json PATH every experiment row (E1, E9..E15) plus a snapshot of
+   With --json PATH every experiment row (E1, E9..E20) plus a snapshot of
    the metric registry is also written as a versioned smod-bench JSON
-   document — the artifact bin/benchdiff.exe gates CI on. *)
+   document — the artifact bin/benchdiff.exe gates CI on.  The document is
+   identical for any --jobs value: each task runs in a private world with
+   coordinate-derived seeds and a fresh metric registry, and snapshots
+   merge in task order. *)
 
 module Machine = Smod_kern.Machine
-module Clock = Smod_sim.Clock
 module Cost = Smod_sim.Cost_model
 open Smod_bench_kit
 
@@ -21,120 +27,28 @@ let print_testbed () =
   Printf.printf "os:  simulated OpenBSD 3.6 kernel (SecModule syscalls 301-320)\n";
   Printf.printf "mem: 512 MB simulated, 4 KB pages\n\n"
 
-(* Experiments recorded for the --json document, in run order. *)
-let recorded : Bench_json.experiment list ref = ref []
+let all_ids = List.map (fun s -> s.Experiments.s_id) Experiments.sections
 
-let record ~id ~title rows =
-  recorded := Bench_json.experiment ~id ~title rows :: !recorded
+(* --only accepts catalog ids plus a few aliases. *)
+let resolve_section = function
+  | "figure8" -> Some [ "e1" ]
+  | "ablations" ->
+      Some (List.filter (fun id -> id <> "e1") all_ids)
+  | "wallclock" -> Some []
+  | id -> if Experiments.find id <> None then Some [ id ] else None
 
-let run_figure8 ~full =
-  let config = if full then Figure8.paper_config else Figure8.quick_config in
-  Printf.printf "=== Figure 8: Performance Comparisons (%s counts) ===\n"
-    (if full then "paper-exact" else "scaled");
-  if not full then
-    print_endline
-      "(per-call means are independent of trial length; use --full for the\n\
-      \ paper's 1,000,000-call trials)";
-  let world = World.create () in
-  let rows = Figure8.run world config in
-  print_endline (Figure8.render rows);
-  record ~id:"e1" ~title:"Figure 8: performance comparisons"
-    (List.map Bench_json.row_of_trial rows);
-  (* Headline ratios the paper calls out in section 4.5 / section 5. *)
-  match rows with
-  | [ getpid; smod_getpid; smod_incr; rpc ] ->
-      Printf.printf "SMOD(test-incr) / getpid()        = %5.2fx (paper: %.2fx)\n"
-        (smod_incr.Trial.mean_us /. getpid.Trial.mean_us)
-        (6.407 /. 0.658);
-      Printf.printf
-        "RPC(test-incr)  / SMOD(test-incr) = %5.2fx (paper: %.2fx, \"factor of 10\")\n"
-        (rpc.Trial.mean_us /. smod_incr.Trial.mean_us)
-        (63.23 /. 6.407);
-      Printf.printf "SMOD(SMOD-getpid) - SMOD(test-incr) = %+.3f us (paper: %+.3f us)\n\n"
-        (smod_getpid.Trial.mean_us -. smod_incr.Trial.mean_us)
-        (6.532 -. 6.407)
-  | _ -> ()
-
-type ablation_section = {
-  a_id : string;
-  a_title : string;
-  a_unit : string;
-  a_run : full:bool -> Ablations.entry list;
-}
-
-let ablation_sections =
-  let scale ~full n = if full then n * 5 else n in
-  [
-    {
-      a_id = "e9";
-      a_title = "E9: per-call policy complexity (section 5 prediction)";
-      a_unit = "us/call";
-      a_run = (fun ~full -> Ablations.policy_ablation ~calls:(scale ~full 2000) ());
-    };
-    {
-      a_id = "e10";
-      a_title = "E10: shared stack vs copy-based marshaling (section 3)";
-      a_unit = "us/call";
-      a_run = (fun ~full -> Ablations.marshal_ablation ~calls:(scale ~full 500) ());
-    };
-    {
-      a_id = "e11";
-      a_title = "E11: session establishment, encrypted vs unmap-only (section 4.1)";
-      a_unit = "us/session";
-      a_run = (fun ~full:_ -> Ablations.protection_ablation ());
-    };
-    {
-      a_id = "e12";
-      a_title = "E12: shared-handle bottleneck, queued requests at service (section 4.3)";
-      a_unit = "mean queue depth";
-      a_run = (fun ~full:_ -> Ablations.handle_sharing ());
-    };
-    {
-      a_id = "e13";
-      a_title = "E13: per-call cost of TOCTOU mitigations (section 4.4)";
-      a_unit = "us/call";
-      a_run = (fun ~full -> Ablations.toctou_cost ~calls:(scale ~full 1000) ());
-    };
-    {
-      a_id = "e14";
-      a_title = "E14: the section-5 future-work fast path";
-      a_unit = "us/call";
-      a_run = (fun ~full -> Ablations.fast_path ~calls:(scale ~full 2000) ());
-    };
-    {
-      a_id = "e15";
-      a_title = "E15: per-trap overhead of syscall interposition (section 2)";
-      a_unit = "us/call";
-      a_run = (fun ~full -> Ablations.systrace_overhead ~calls:(scale ~full 1000) ());
-    };
-    {
-      a_id = "e16";
-      a_title = "E16: smodd session pooling, cold fork vs pooled attach (lib/pool)";
-      a_unit = "us/session (throughput rows: kcalls/s)";
-      a_run = (fun ~full -> Ablations.pooling ~calls:(scale ~full 150) ());
-    };
-    {
-      a_id = "e18";
-      a_title = "E18: dispatch rings vs msgq transport, per-call latency by batch size (lib/ring)";
-      a_unit = "us/call";
-      a_run = (fun ~full -> Ablations.ring_dispatch ~rounds:(scale ~full 200) ());
-    };
-    {
-      a_id = "e19";
-      a_title =
-        "E19: compiled decision programs vs interpreted KeyNote, per-call latency by \
-         assertion count (lib/keynote/compile)";
-      a_unit = "us/call";
-      a_run = (fun ~full -> Ablations.policy_compile_dispatch ~rounds:(scale ~full 100) ());
-    };
-  ]
-
-let run_ablation_section ~full s =
-  let entries = s.a_run ~full in
-  print_endline (Ablations.render ~title:s.a_title ~unit_header:s.a_unit entries);
-  record ~id:s.a_id ~title:s.a_title (Bench_json.rows_of_entries ~unit_:s.a_unit entries)
-
-let run_ablations ~full = List.iter (run_ablation_section ~full) ablation_sections
+let list_sections ~full ~jobs =
+  Printf.printf "%-5s %-6s %10s %10s  %s\n" "id" "tasks" "est-seq" "est-par" "title";
+  List.iter
+    (fun s ->
+      let est = Experiments.estimate_seconds ~full s in
+      let tasks = s.Experiments.s_tasks ~full in
+      Printf.printf "%-5s %-6d %9.1fs %9.1fs  %s\n" s.Experiments.s_id tasks est
+        (est /. float_of_int (min jobs tasks))
+        s.Experiments.s_title)
+    Experiments.sections;
+  Printf.printf "\n(estimates assume ~%.0fk simulated dispatches/s per core; --jobs %d)\n"
+    (450_000.0 /. 1_000.0) jobs
 
 (* ------------------------------------------------------------------ *)
 (* Wall-clock cross-check via bechamel                                 *)
@@ -199,14 +113,7 @@ let wallclock () =
     "  (absolute wall-clock is the OCaml simulator's speed, not the paper's\n\
     \   hardware; only the ordering is meaningful here)\n"
 
-let write_json ~full path =
-  let doc =
-    {
-      Bench_json.mode = (if full then "full" else "quick");
-      experiments = List.rev !recorded;
-      metrics = Smod_metrics.snapshot ();
-    }
-  in
+let write_json path doc =
   let oc = open_out path in
   output_string oc (Bench_json.to_string doc);
   close_out oc;
@@ -214,46 +121,49 @@ let write_json ~full path =
     (List.length doc.Bench_json.experiments)
     (List.length doc.Bench_json.metrics)
 
-let main full no_wallclock only json_path =
+let print_section (s : Experiments.section) (o : Experiments.outcome) =
+  if s.Experiments.s_id = "e1" then print_string o.Experiments.rendered
+  else print_endline o.Experiments.rendered;
+  print_newline ()
+
+let main full no_wallclock only jobs list json_path =
+  let jobs =
+    match jobs with Some j when j >= 1 -> j | Some _ | None -> Runner.default_jobs ()
+  in
+  if list then begin
+    list_sections ~full ~jobs;
+    exit 0
+  end;
   print_testbed ();
-  let ablation_section id =
-    match List.find_opt (fun s -> s.a_id = id) ablation_sections with
-    | Some s ->
-        run_ablation_section ~full s;
-        true
-    | None -> false
-  in
-  (* --only accepts a comma-separated list of sections: --only e1,e16 *)
-  let run_section = function
-    | "figure8" | "e1" ->
-        run_figure8 ~full;
-        true
-    | "ablations" ->
-        run_ablations ~full;
-        true
-    | "wallclock" -> true
-    | other -> ablation_section other
-  in
-  let sections =
+  let requested =
     match only with
-    | None -> []
+    | None -> all_ids @ [ "wallclock" ]
     | Some s -> String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "")
   in
-  (match only with
-  | None ->
-      run_figure8 ~full;
-      run_ablations ~full
-  | Some _ ->
-      List.iter
-        (fun id ->
-          if not (run_section id) then begin
+  let ids =
+    List.concat_map
+      (fun id ->
+        match resolve_section id with
+        | Some ids -> ids
+        | None ->
             Printf.eprintf "unknown --only section %S\n" id;
-            exit 2
-          end)
-        sections);
-  let wallclock_wanted = only = None || List.mem "wallclock" sections in
-  if (not no_wallclock) && wallclock_wanted then wallclock ();
-  Option.iter (write_json ~full) json_path
+            exit 2)
+      requested
+  in
+  let wallclock_wanted = (not no_wallclock) && List.mem "wallclock" requested in
+  if (not full) && List.mem "e1" ids then
+    print_endline
+      "(per-call means are independent of trial length; use --full for the\n\
+      \ paper's 1,000,000-call trials)\n";
+  let runner = Runner.create ~jobs in
+  let doc =
+    Experiments.run_document ~on_section:print_section ~full ~runner ids
+  in
+  (* The JSON artifact must be written before the bechamel section: the
+     wall-clock steppers dispatch through instrumented paths and would
+     perturb the metric snapshot nondeterministically. *)
+  Option.iter (fun path -> write_json path doc) json_path;
+  if wallclock_wanted then wallclock ()
 
 open Cmdliner
 
@@ -270,7 +180,23 @@ let only =
     & info [ "only" ] ~docv:"BENCH"
         ~doc:
           "Run only the given comma-separated sections: figure8 (alias e1), ablations, \
-           e9..e19, wallclock.  Example: --only e1,e16,e18,e19.")
+           e9..e20, wallclock.  Example: --only e1,e16,e18,e19,e20.")
+
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run benchmark tasks on $(docv) domains (default: the number of cores).  \
+           Results are identical for any value; --jobs 1 restores fully sequential \
+           execution.")
+
+let list =
+  Arg.(
+    value & flag
+    & info [ "list" ]
+        ~doc:"List the experiment catalog with task counts and wall-clock estimates.")
 
 let json_path =
   Arg.(
@@ -285,6 +211,6 @@ let cmd =
   let doc = "Regenerate the paper's tables and figures on the simulated testbed" in
   Cmd.v
     (Cmd.info "smod-bench" ~doc)
-    Term.(const main $ full $ no_wallclock $ only $ json_path)
+    Term.(const main $ full $ no_wallclock $ only $ jobs $ list $ json_path)
 
 let () = exit (Cmd.eval cmd)

@@ -1,6 +1,7 @@
 module Machine = Smod_kern.Machine
 module Proc = Smod_kern.Proc
 module Clock = Smod_sim.Clock
+module Stats = Smod_util.Stats
 module Ast = Smod_keynote.Ast
 module Parse = Smod_keynote.Parse
 open Secmodule
@@ -13,8 +14,40 @@ let render ~title ?(unit_header = "microsec") entries =
        (fun e -> [ e.label; Printf.sprintf "%.3f" e.mean_us; Printf.sprintf "%.4f" e.stdev_us ])
        entries)
 
-let entry_of_row label (row : Trial.row) =
-  { label; mean_us = row.Trial.mean_us; stdev_us = row.Trial.stdev_us }
+let entry_of_means label samples =
+  { label; mean_us = Stats.mean samples; stdev_us = Stats.stdev samples }
+
+(* Decompose "[trials] trials of each configuration" into a flat list of
+   independent (configuration, trial) tasks, run them over [runner], and
+   hand back each configuration's per-trial samples in configuration
+   order.  Every task builds a private world from a seed derived from its
+   own coordinates, so results are identical for any job count. *)
+let map_trials runner ~trials configs measure =
+  let configs = Array.of_list configs in
+  let tasks =
+    List.concat
+      (List.init (Array.length configs) (fun ci -> List.init trials (fun t -> (ci, t))))
+  in
+  let results =
+    Array.of_list (Runner.map runner tasks (fun (ci, t) -> measure configs.(ci) ~trial:t))
+  in
+  List.init (Array.length configs) (fun ci ->
+      (configs.(ci), Array.init trials (fun t -> results.((ci * trials) + t))))
+
+(* One trial of the standard test-incr workload in a fresh world. *)
+let test_incr_trial ?(setup = fun (_ : World.t) -> ()) ?policy ~label ~calls ~trials ~seed
+    ~trial () =
+  let world = World.create ~seed:(Int64.of_int seed) ?policy ~with_rpc:false () in
+  setup world;
+  let clock = Machine.clock world.World.machine in
+  let result = ref Float.nan in
+  World.spawn_seclibc_client world ~name:"ablation-client" (fun _p conn ->
+      let spec = { Trial.name = label; calls_per_trial = calls; trials; warmup = 10 } in
+      result :=
+        Trial.run_one ~clock ~trial spec (fun i ->
+            ignore (Smod_libc.Seclibc.Client.test_incr conn i)));
+  World.run world;
+  !result
 
 (* ------------------------------------------------------------------ *)
 (* E9: policy complexity                                               *)
@@ -54,108 +87,97 @@ let policy_ladder ~budget =
     ("keynote-16", keynote_policy_with 15);
   ]
 
-let measure_calls ?(compile = false) ~policy ~label ~calls ~trials () =
-  let world = World.create ~policy ~with_rpc:false () in
-  if compile then Smod.set_policy_compile world.World.smod true;
-  let clock = Machine.clock world.World.machine in
-  let result = ref None in
-  World.spawn_seclibc_client world ~name:"ablation-client" (fun _p conn ->
-      let spec = { Trial.name = label; calls_per_trial = calls; trials; warmup = 10 } in
-      result :=
-        Some
-          (Trial.run ~clock spec (fun i ->
-               ignore (Smod_libc.Seclibc.Client.test_incr conn i))));
-  World.run world;
-  match !result with Some r -> entry_of_row label r | None -> assert false
-
-(* The interpreted ladder first (rows byte-compatible with earlier
+(* The interpreted ladder first (row order unchanged from earlier
    baselines), then the keynote rungs again with the compiled engine
-   (PR 4): same policies, same worlds, only [Smod.set_policy_compile]
+   (PR 4): same policies, same world seeds, only [Smod.set_policy_compile]
    flipped, so any difference is the engine. *)
-let policy_ablation ?(calls = 2_000) ?(trials = 5) () =
+let policy_ablation ?(runner = Runner.sequential) ?(calls = 2_000) ?(trials = 5) () =
   let budget = (calls * trials) + 100 in
   let ladder = policy_ladder ~budget in
-  List.map (fun (label, policy) -> measure_calls ~policy ~label ~calls ~trials ()) ladder
-  @ List.filter_map
-      (fun (label, policy) ->
-        match policy with
-        | Policy.Keynote _ ->
-            Some
-              (measure_calls ~compile:true ~policy ~label:(label ^ " compiled") ~calls
-                 ~trials ())
-        | _ -> None)
-      ladder
+  let configs =
+    List.map (fun (label, policy) -> (label, policy, false)) ladder
+    @ List.filter_map
+        (fun (label, policy) ->
+          match policy with
+          | Policy.Keynote _ -> Some (label ^ " compiled", policy, true)
+          | _ -> None)
+        ladder
+  in
+  map_trials runner ~trials configs (fun (label, policy, compile) ~trial ->
+      test_incr_trial
+        ~setup:(fun w -> if compile then Smod.set_policy_compile w.World.smod true)
+        ~policy ~label ~calls ~trials ~seed:(7000 + trial) ~trial ())
+  |> List.map (fun ((label, _, _), samples) -> entry_of_means label samples)
 
 (* ------------------------------------------------------------------ *)
 (* E10: shared stack vs copy-based marshaling                          *)
 (* ------------------------------------------------------------------ *)
 
-let marshal_ablation ?(calls = 1_000) ?(payload_sizes = [ 16; 256; 4096; 65536 ]) () =
-  List.concat_map
-    (fun size ->
-      let world = World.create ~with_rpc:false () in
-      let machine = world.World.machine in
-      let clock = Machine.clock machine in
-      let shared = ref None and copying = ref None in
-      (* Copying dispatcher: an echo worker that returns the payload, the
-         way an explicit-shared-window design must move argument data. *)
-      let req_q = ref 0 and rep_q = ref 0 in
-      ignore
-        (Machine.spawn machine ~daemon:true ~name:"copy-echo" (fun p ->
-             req_q := Machine.msgget machine p ~key:7001;
-             rep_q := Machine.msgget machine p ~key:7002;
-             let rec loop () =
-               let _, payload = Machine.msgrcv machine p ~qid:!req_q ~mtype:1 in
-               Machine.msgsnd machine p ~qid:!rep_q ~mtype:1 payload;
-               loop ()
-             in
-             loop ()));
-      World.spawn_seclibc_client world ~name:"marshal-client" (fun p conn ->
-          (* Pointer-passing through SecModule: cost independent of size. *)
-          let buf = Smod_libc.Seclibc.Client.malloc conn size in
-          let spec name =
-            { Trial.name; calls_per_trial = calls; trials = 5; warmup = 10 }
-          in
-          shared :=
-            Some
-              (Trial.run ~clock (spec "shared") (fun _ ->
-                   ignore (Stub.call conn ~func:"test_incr" [| buf |])));
-          (* Copy-based: the payload crosses the queue in both directions,
-             chunked through the fixed message-size window as any explicit
-             shared-memory design must (§3). *)
-          let chunk = 4096 in
-          let chunks =
-            List.init ((size + chunk - 1) / chunk) (fun i ->
-                Bytes.make (min chunk (size - (i * chunk))) 'x')
-          in
-          copying :=
-            Some
-              (Trial.run ~clock (spec "copying") (fun _ ->
-                   (* A copy-based SecModule still pays the per-call trap,
-                      credential check and stub work — charge the same
-                      fixed costs so the two designs differ only in how
-                      argument data travels. *)
-                   Clock.charge clock Smod_sim.Cost_model.Trap_enter;
-                   Clock.charge clock Smod_sim.Cost_model.Cred_check;
-                   Clock.charge clock Smod_sim.Cost_model.Policy_always_allow;
-                   Clock.charge clock (Smod_sim.Cost_model.Stub_push_args 1);
-                   Clock.charge clock Smod_sim.Cost_model.Stub_receive;
-                   Clock.charge clock Smod_sim.Cost_model.Stub_return;
-                   List.iter
-                     (fun piece ->
-                       Machine.msgsnd machine p ~qid:!req_q ~mtype:1 piece;
-                       ignore (Machine.msgrcv machine p ~qid:!rep_q ~mtype:1))
-                     chunks;
-                   Clock.charge clock Smod_sim.Cost_model.Trap_exit)));
-      World.run world;
-      match (!shared, !copying) with
-      | Some s, Some c ->
-          [
-            entry_of_row (Printf.sprintf "shared-stack %6d B" size) s;
-            entry_of_row (Printf.sprintf "copy-marshal %6d B" size) c;
-          ]
-      | _ -> assert false)
-    payload_sizes
+(* One trial measuring both designs in the same world: pointer-passing
+   through SecModule, then the payload copied through the queue in both
+   directions, chunked through the fixed message-size window as any
+   explicit shared-memory design must (§3). *)
+let marshal_trial ~calls ~trials ~size ~trial =
+  let world = World.create ~seed:(Int64.of_int (7100 + (17 * trial))) ~with_rpc:false () in
+  let machine = world.World.machine in
+  let clock = Machine.clock machine in
+  let shared = ref Float.nan and copying = ref Float.nan in
+  (* Copying dispatcher: an echo worker that returns the payload, the way
+     an explicit-shared-window design must move argument data. *)
+  let req_q = ref 0 and rep_q = ref 0 in
+  ignore
+    (Machine.spawn machine ~daemon:true ~name:"copy-echo" (fun p ->
+         req_q := Machine.msgget machine p ~key:7001;
+         rep_q := Machine.msgget machine p ~key:7002;
+         let rec loop () =
+           let _, payload = Machine.msgrcv machine p ~qid:!req_q ~mtype:1 in
+           Machine.msgsnd machine p ~qid:!rep_q ~mtype:1 payload;
+           loop ()
+         in
+         loop ()));
+  World.spawn_seclibc_client world ~name:"marshal-client" (fun p conn ->
+      (* Pointer-passing through SecModule: cost independent of size. *)
+      let buf = Smod_libc.Seclibc.Client.malloc conn size in
+      let spec name = { Trial.name; calls_per_trial = calls; trials; warmup = 10 } in
+      shared :=
+        Trial.run_one ~clock ~trial (spec "shared") (fun _ ->
+            ignore (Stub.call conn ~func:"test_incr" [| buf |]));
+      let chunk = 4096 in
+      let chunks =
+        List.init ((size + chunk - 1) / chunk) (fun i ->
+            Bytes.make (min chunk (size - (i * chunk))) 'x')
+      in
+      copying :=
+        Trial.run_one ~clock ~trial (spec "copying") (fun _ ->
+            (* A copy-based SecModule still pays the per-call trap,
+               credential check and stub work — charge the same fixed
+               costs so the two designs differ only in how argument data
+               travels. *)
+            Clock.charge clock Smod_sim.Cost_model.Trap_enter;
+            Clock.charge clock Smod_sim.Cost_model.Cred_check;
+            Clock.charge clock Smod_sim.Cost_model.Policy_always_allow;
+            Clock.charge clock (Smod_sim.Cost_model.Stub_push_args 1);
+            Clock.charge clock Smod_sim.Cost_model.Stub_receive;
+            Clock.charge clock Smod_sim.Cost_model.Stub_return;
+            List.iter
+              (fun piece ->
+                Machine.msgsnd machine p ~qid:!req_q ~mtype:1 piece;
+                ignore (Machine.msgrcv machine p ~qid:!rep_q ~mtype:1))
+              chunks;
+            Clock.charge clock Smod_sim.Cost_model.Trap_exit));
+  World.run world;
+  (!shared, !copying)
+
+let marshal_ablation ?(runner = Runner.sequential) ?(calls = 1_000)
+    ?(payload_sizes = [ 16; 256; 4096; 65536 ]) () =
+  let trials = 5 in
+  map_trials runner ~trials payload_sizes (fun size ~trial ->
+      marshal_trial ~calls ~trials ~size ~trial)
+  |> List.concat_map (fun (size, pairs) ->
+         [
+           entry_of_means (Printf.sprintf "shared-stack %6d B" size) (Array.map fst pairs);
+           entry_of_means (Printf.sprintf "copy-marshal %6d B" size) (Array.map snd pairs);
+         ])
 
 (* ------------------------------------------------------------------ *)
 (* E11: encrypted vs unmap-only protection                             *)
@@ -172,46 +194,43 @@ let padded_module ~text_size =
        ~size_hint:text_size ());
   Smod_modfmt.Smof.Builder.finish b
 
-let measure_establishment ~protection ~text_size ~trials =
-  let samples =
-    Array.init trials (fun i ->
-        let machine = Machine.create ~seed:(Int64.of_int (1000 + i)) () in
-        let smod = Smod.install machine () in
-        let entry =
-          Toolchain.package smod ~image:(padded_module ~text_size) ~protection ()
-        in
-        ignore entry;
-        let clock = Machine.clock machine in
-        let elapsed = ref 0.0 in
-        ignore
-          (Machine.spawn machine ~name:"estab-client" (fun p ->
-               let t0 = Clock.now_cycles clock in
-               let conn =
-                 Stub.connect smod p ~module_name:"padded" ~version:1
-                   ~credential:(Credential.make ~principal:"client" ())
-               in
-               elapsed := Clock.elapsed_us clock ~since:t0;
-               Stub.close conn));
-        Machine.run machine;
-        !elapsed)
-  in
-  {
-    label =
-      Printf.sprintf "%s %7d B text"
-        (match protection with Registry.Encrypted -> "encrypted" | Registry.Unmap_only -> "unmap-only")
-        text_size;
-    mean_us = Smod_util.Stats.mean samples;
-    stdev_us = Smod_util.Stats.stdev samples;
-  }
+let establishment_trial ~protection ~text_size ~trial =
+  let machine = Machine.create ~seed:(Int64.of_int (1000 + trial)) () in
+  let smod = Smod.install machine () in
+  let entry = Toolchain.package smod ~image:(padded_module ~text_size) ~protection () in
+  ignore entry;
+  let clock = Machine.clock machine in
+  let elapsed = ref 0.0 in
+  ignore
+    (Machine.spawn machine ~name:"estab-client" (fun p ->
+         let t0 = Clock.now_cycles clock in
+         let conn =
+           Stub.connect smod p ~module_name:"padded" ~version:1
+             ~credential:(Credential.make ~principal:"client" ())
+         in
+         elapsed := Clock.elapsed_us clock ~since:t0;
+         Stub.close conn));
+  Machine.run machine;
+  !elapsed
 
-let protection_ablation ?(text_sizes = [ 4096; 65536; 262144 ]) ?(trials = 5) () =
-  List.concat_map
-    (fun text_size ->
-      [
-        measure_establishment ~protection:Registry.Unmap_only ~text_size ~trials;
-        measure_establishment ~protection:Registry.Encrypted ~text_size ~trials;
-      ])
-    text_sizes
+let protection_label protection text_size =
+  Printf.sprintf "%s %7d B text"
+    (match protection with
+    | Registry.Encrypted -> "encrypted"
+    | Registry.Unmap_only -> "unmap-only")
+    text_size
+
+let protection_ablation ?(runner = Runner.sequential) ?(text_sizes = [ 4096; 65536; 262144 ])
+    ?(trials = 5) () =
+  let configs =
+    List.concat_map
+      (fun text_size -> [ (Registry.Unmap_only, text_size); (Registry.Encrypted, text_size) ])
+      text_sizes
+  in
+  map_trials runner ~trials configs (fun (protection, text_size) ~trial ->
+      establishment_trial ~protection ~text_size ~trial)
+  |> List.map (fun ((protection, text_size), samples) ->
+         entry_of_means (protection_label protection text_size) samples)
 
 (* ------------------------------------------------------------------ *)
 (* E12: shared handle bottleneck                                       *)
@@ -264,42 +283,35 @@ let run_queueing ~machine ~shared ~k ~calls_per_client =
   Machine.run machine;
   Array.of_list !depths
 
-let handle_sharing ?(clients = [ 1; 2; 4; 8 ]) ?(calls_per_client = 300) () =
-  List.concat_map
-    (fun k ->
-      let make shared =
-        let machine = Machine.create () in
-        let depths = run_queueing ~machine ~shared ~k ~calls_per_client in
-        {
-          label =
-            Printf.sprintf "%d clients, %s" k (if shared then "shared handle" else "own handles");
-          mean_us = Smod_util.Stats.mean depths;
-          stdev_us = Smod_util.Stats.stdev depths;
-        }
-      in
-      [ make false; make true ])
-    clients
+let handle_sharing ?(runner = Runner.sequential) ?(clients = [ 1; 2; 4; 8 ])
+    ?(calls_per_client = 300) () =
+  let configs = List.concat_map (fun k -> [ (k, false); (k, true) ]) clients in
+  map_trials runner ~trials:1 configs (fun (k, shared) ~trial:_ ->
+      let machine = Machine.create () in
+      run_queueing ~machine ~shared ~k ~calls_per_client)
+  |> List.map (fun ((k, shared), depth_runs) ->
+         let depths = depth_runs.(0) in
+         {
+           label =
+             Printf.sprintf "%d clients, %s" k
+               (if shared then "shared handle" else "own handles");
+           mean_us = Stats.mean depths;
+           stdev_us = Stats.stdev depths;
+         })
 
 (* ------------------------------------------------------------------ *)
 (* E14: the §5 "reduce redundant checks" future-work fast path          *)
 (* ------------------------------------------------------------------ *)
 
-let fast_path ?(calls = 2_000) ?(trials = 5) () =
-  List.map
-    (fun (label, enabled) ->
-      let world = World.create ~with_rpc:false () in
-      Smod.set_call_fast_path world.World.smod enabled;
-      let clock = Machine.clock world.World.machine in
-      let result = ref None in
-      World.spawn_seclibc_client world ~name:"fastpath-client" (fun _p conn ->
-          let spec = { Trial.name = label; calls_per_trial = calls; trials; warmup = 10 } in
-          result :=
-            Some
-              (Trial.run ~clock spec (fun i ->
-                   ignore (Smod_libc.Seclibc.Client.test_incr conn i))));
-      World.run world;
-      match !result with Some r -> entry_of_row label r | None -> assert false)
+let fast_path ?(runner = Runner.sequential) ?(calls = 2_000) ?(trials = 5) () =
+  let configs =
     [ ("prototype (per-call recheck)", false); ("fast path (checks hoisted)", true) ]
+  in
+  map_trials runner ~trials configs (fun (label, enabled) ~trial ->
+      test_incr_trial
+        ~setup:(fun w -> Smod.set_call_fast_path w.World.smod enabled)
+        ~label ~calls ~trials ~seed:(7300 + trial) ~trial ())
+  |> List.map (fun ((label, _), samples) -> entry_of_means label samples)
 
 (* ------------------------------------------------------------------ *)
 (* E15: syscall-interposition overhead (section 2 comparison)           *)
@@ -315,37 +327,31 @@ let systrace_policy =
    native-getpid: permit\n\
    default: deny\n"
 
+let systrace_trial ~attach ~calls ~trial =
+  let machine = Machine.create ~seed:(Int64.of_int (2000 + trial)) ~jitter:0.0 () in
+  let tracer = Systrace.install machine in
+  let cost = ref 0.0 in
+  ignore
+    (Machine.spawn machine ~name:"systrace-app" (fun p ->
+         if attach then
+           Systrace.attach tracer ~pid:p.Proc.pid (Systrace.parse_policy systrace_policy);
+         let clock = Machine.clock machine in
+         let t0 = Clock.now_cycles clock in
+         for _ = 1 to calls do
+           ignore (Machine.sys_getpid machine p)
+         done;
+         cost := Clock.elapsed_us clock ~since:t0 /. float_of_int calls));
+  Machine.run machine;
+  !cost
+
 (* The paper's section-2 alternative: a syscall-level monitor pays a
    linear rule scan on every trap.  Time getpid() bare and under a
    systrace policy whose getpid rule sits last in a 4-rule list, per
    trial, so the entries carry a real stdev like every other table. *)
-let systrace_overhead ?(calls = 1_000) ?(trials = 5) () =
-  let measure ~attach ~label =
-    let samples =
-      Array.init trials (fun i ->
-          let machine = Machine.create ~seed:(Int64.of_int (2000 + i)) ~jitter:0.0 () in
-          let tracer = Systrace.install machine in
-          let cost = ref 0.0 in
-          ignore
-            (Machine.spawn machine ~name:"systrace-app" (fun p ->
-                 if attach then
-                   Systrace.attach tracer ~pid:p.Proc.pid
-                     (Systrace.parse_policy systrace_policy);
-                 let clock = Machine.clock machine in
-                 let t0 = Clock.now_cycles clock in
-                 for _ = 1 to calls do
-                   ignore (Machine.sys_getpid machine p)
-                 done;
-                 cost := Clock.elapsed_us clock ~since:t0 /. float_of_int calls));
-          Machine.run machine;
-          !cost)
-    in
-    { label; mean_us = Smod_util.Stats.mean samples; stdev_us = Smod_util.Stats.stdev samples }
-  in
-  [
-    measure ~attach:false ~label:"getpid bare";
-    measure ~attach:true ~label:"getpid under systrace (4-rule scan)";
-  ]
+let systrace_overhead ?(runner = Runner.sequential) ?(calls = 1_000) ?(trials = 5) () =
+  let configs = [ ("getpid bare", false); ("getpid under systrace (4-rule scan)", true) ] in
+  map_trials runner ~trials configs (fun (_, attach) ~trial -> systrace_trial ~attach ~calls ~trial)
+  |> List.map (fun ((label, _), samples) -> entry_of_means label samples)
 
 (* ------------------------------------------------------------------ *)
 (* E16: smodd session pooling (lib/pool)                               *)
@@ -364,145 +370,130 @@ let pool_config =
 (* Establishment latency, cold fork vs warm pooled attach.  The pooled
    world gets exactly one handle so every timed session reuses it; the
    warmup connect pays the one-off fork. *)
-let measure_start_session ~pooled ~sessions ~trials =
-  let samples =
-    Array.init trials (fun i ->
-        let pool =
-          if pooled then
-            Some { pool_config with max_handles_per_module = 1; max_total_handles = 1 }
-          else None
-        in
-        let world = World.create ~seed:(Int64.of_int (3000 + i)) ?pool ~with_rpc:false () in
-        let clock = Machine.clock world.World.machine in
-        let mean = ref 0.0 in
-        ignore
-          (Machine.spawn world.World.machine ~name:"pool-estab-client" (fun p ->
-               let credential = Credential.make ~principal:"client" () in
-               let connect () =
-                 Stub.connect world.World.smod p ~module_name:Smod_libc.Seclibc.module_name
-                   ~version:Smod_libc.Seclibc.version ~credential
-               in
-               Stub.close (connect ());
-               let total = ref 0.0 in
-               for _ = 1 to sessions do
-                 let t0 = Clock.now_cycles clock in
-                 let conn = connect () in
-                 total := !total +. Clock.elapsed_us clock ~since:t0;
-                 Stub.close conn
-               done;
-               mean := !total /. float_of_int sessions));
-        World.run world;
-        !mean)
+let start_session_trial ~pooled ~sessions ~trial =
+  let pool =
+    if pooled then Some { pool_config with max_handles_per_module = 1; max_total_handles = 1 }
+    else None
   in
-  {
-    label = (if pooled then "pooled attach (smodd, warm)" else "cold fork per session");
-    mean_us = Smod_util.Stats.mean samples;
-    stdev_us = Smod_util.Stats.stdev samples;
-  }
+  let world = World.create ~seed:(Int64.of_int (3000 + trial)) ?pool ~with_rpc:false () in
+  let clock = Machine.clock world.World.machine in
+  let mean = ref 0.0 in
+  ignore
+    (Machine.spawn world.World.machine ~name:"pool-estab-client" (fun p ->
+         let credential = Credential.make ~principal:"client" () in
+         let connect () =
+           Stub.connect world.World.smod p ~module_name:Smod_libc.Seclibc.module_name
+             ~version:Smod_libc.Seclibc.version ~credential
+         in
+         Stub.close (connect ());
+         let total = ref 0.0 in
+         for _ = 1 to sessions do
+           let t0 = Clock.now_cycles clock in
+           let conn = connect () in
+           total := !total +. Clock.elapsed_us clock ~since:t0;
+           Stub.close conn
+         done;
+         mean := !total /. float_of_int sessions));
+  World.run world;
+  !mean
 
 (* Steady state: K clients each run a connect / calls / close lifetime;
    kcalls/s over the whole run.  Beyond 16 clients smodd multiplexes the
    population through the admission queue. *)
-let measure_throughput ~pooled ~k ~calls ~trials =
-  let samples =
-    Array.init trials (fun i ->
-        let pool = if pooled then Some pool_config else None in
-        let world =
-          World.create ~seed:(Int64.of_int (4000 + (17 * i))) ?pool ~with_rpc:false ()
-        in
-        let clock = Machine.clock world.World.machine in
-        for c = 0 to k - 1 do
-          World.spawn_seclibc_client world
-            ~name:(Printf.sprintf "pool-tp-%d" c)
-            (fun _p conn ->
-              for j = 1 to calls do
-                ignore (Smod_libc.Seclibc.Client.test_incr conn j)
-              done)
-        done;
-        World.run world;
-        float_of_int (k * calls) *. 1_000.0 /. Clock.now_us clock)
+let throughput_trial ~pooled ~k ~calls ~trial =
+  let pool = if pooled then Some pool_config else None in
+  let world =
+    World.create ~seed:(Int64.of_int (4000 + (17 * trial))) ?pool ~with_rpc:false ()
   in
-  {
-    label = Printf.sprintf "%s %2d clients (kcalls/s)" (if pooled then "pooled" else "cold  ") k;
-    mean_us = Smod_util.Stats.mean samples;
-    stdev_us = Smod_util.Stats.stdev samples;
-  }
+  let clock = Machine.clock world.World.machine in
+  for c = 0 to k - 1 do
+    World.spawn_seclibc_client world
+      ~name:(Printf.sprintf "pool-tp-%d" c)
+      (fun _p conn ->
+        for j = 1 to calls do
+          ignore (Smod_libc.Seclibc.Client.test_incr conn j)
+        done)
+  done;
+  World.run world;
+  float_of_int (k * calls) *. 1_000.0 /. Clock.now_us clock
 
-let pooling ?(sessions = 20) ?(calls = 150) ?(clients = [ 1; 8; 64 ]) ?(trials = 3) () =
-  [
-    measure_start_session ~pooled:false ~sessions ~trials;
-    measure_start_session ~pooled:true ~sessions ~trials;
-  ]
-  @ List.concat_map
-      (fun k ->
-        [
-          measure_throughput ~pooled:false ~k ~calls ~trials;
-          measure_throughput ~pooled:true ~k ~calls ~trials;
-        ])
-      clients
+let pooling ?(runner = Runner.sequential) ?(sessions = 20) ?(calls = 150)
+    ?(clients = [ 1; 8; 64 ]) ?(trials = 3) () =
+  let configs =
+    [ `Start false; `Start true ]
+    @ List.concat_map (fun k -> [ `Tp (false, k); `Tp (true, k) ]) clients
+  in
+  map_trials runner ~trials configs (fun cfg ~trial ->
+      match cfg with
+      | `Start pooled -> start_session_trial ~pooled ~sessions ~trial
+      | `Tp (pooled, k) -> throughput_trial ~pooled ~k ~calls ~trial)
+  |> List.map (fun (cfg, samples) ->
+         let label =
+           match cfg with
+           | `Start true -> "pooled attach (smodd, warm)"
+           | `Start false -> "cold fork per session"
+           | `Tp (pooled, k) ->
+               Printf.sprintf "%s %2d clients (kcalls/s)"
+                 (if pooled then "pooled" else "cold  ")
+                 k
+         in
+         entry_of_means label samples)
 
 (* ------------------------------------------------------------------ *)
 (* E18: shared-memory dispatch rings vs msgq transport                 *)
 (* ------------------------------------------------------------------ *)
 
-(* Per-call latency of the same test-incr workload over the two
-   transports, as a function of batch size.  The msgq rows issue the
-   batch as back-to-back legacy calls (each paying its own trap, two
-   message-queue crossings and a policy evaluation); the ring rows
-   submit the batch through the shared-memory ring (one trap, one
-   policy evaluation and at most one handle wakeup per batch).  At
-   batch 1 the ring still pays its own round trip, so it must merely
-   not lose; the amortisation shows from batch 4 up.  Mean and p99
-   rows are both recorded — the ring's tail is what the doorbell
-   fallback and spin budget are for. *)
-let ring_dispatch ?(batches = [ 1; 4; 16; 64 ]) ?(rounds = 200) ?(trials = 5) () =
-  let measure ~use_ring ~batch =
-    let means = Array.make trials 0.0 and p99s = Array.make trials 0.0 in
-    for t = 0 to trials - 1 do
-      let world =
-        World.create ~seed:(Int64.of_int (5000 + (13 * t))) ~with_rpc:false ()
+(* One trial: [rounds] batches over one transport, per-call latency
+   sampled per round.  The msgq rows issue the batch as back-to-back
+   legacy calls (each paying its own trap, two message-queue crossings
+   and a policy evaluation); the ring rows submit the batch through the
+   shared-memory ring (one trap, one policy evaluation and at most one
+   handle wakeup per batch).  At batch 1 the ring still pays its own
+   round trip, so it must merely not lose; the amortisation shows from
+   batch 4 up.  Mean and p99 are both recorded — the ring's tail is what
+   the doorbell fallback and spin budget are for. *)
+let ring_trial ~use_ring ~batch ~rounds ~trial =
+  let world = World.create ~seed:(Int64.of_int (5000 + (13 * trial))) ~with_rpc:false () in
+  let clock = Machine.clock world.World.machine in
+  let mean = ref Float.nan and p99 = ref Float.nan in
+  World.spawn_seclibc_client world ~name:"ring-bench" (fun _p conn ->
+      if use_ring then ignore (Stub.arm_ring conn);
+      let argss = List.init batch (fun i -> [| i |]) in
+      let do_batch () =
+        if use_ring then ignore (Stub.call_batch conn ~func:"test_incr" argss)
+        else List.iter (fun args -> ignore (Stub.call conn ~func:"test_incr" args)) argss
       in
-      let clock = Machine.clock world.World.machine in
-      World.spawn_seclibc_client world ~name:"ring-bench" (fun _p conn ->
-          if use_ring then ignore (Stub.arm_ring conn);
-          let argss = List.init batch (fun i -> [| i |]) in
-          let do_batch () =
-            if use_ring then ignore (Stub.call_batch conn ~func:"test_incr" argss)
-            else List.iter (fun args -> ignore (Stub.call conn ~func:"test_incr" args)) argss
-          in
-          (* Warm the session (symbol lookup, ring registration). *)
-          do_batch ();
-          let samples = Array.make rounds 0.0 in
-          for r = 0 to rounds - 1 do
-            let t0 = Clock.now_cycles clock in
-            do_batch ();
-            samples.(r) <- Clock.elapsed_us clock ~since:t0 /. float_of_int batch
-          done;
-          means.(t) <- Smod_util.Stats.mean samples;
-          p99s.(t) <- Smod_util.Stats.percentile samples 99.0);
-      World.run world
-    done;
-    (means, p99s)
+      (* Warm the session (symbol lookup, ring registration). *)
+      do_batch ();
+      let samples = Array.make rounds 0.0 in
+      for r = 0 to rounds - 1 do
+        let t0 = Clock.now_cycles clock in
+        do_batch ();
+        samples.(r) <- Clock.elapsed_us clock ~since:t0 /. float_of_int batch
+      done;
+      mean := Stats.mean samples;
+      p99 := Stats.percentile samples 99.0);
+  World.run world;
+  (!mean, !p99)
+
+let ring_dispatch ?(runner = Runner.sequential) ?(batches = [ 1; 4; 16; 64 ]) ?(rounds = 200)
+    ?(trials = 5) () =
+  let configs =
+    List.concat_map
+      (fun batch -> [ (batch, "msgq", false); (batch, "ring", true) ])
+      batches
   in
-  List.concat_map
-    (fun batch ->
-      List.concat_map
-        (fun (transport, use_ring) ->
-          let means, p99s = measure ~use_ring ~batch in
-          [
-            {
-              label = Printf.sprintf "%s batch %2d (mean)" transport batch;
-              mean_us = Smod_util.Stats.mean means;
-              stdev_us = Smod_util.Stats.stdev means;
-            };
-            {
-              label = Printf.sprintf "%s batch %2d (p99)" transport batch;
-              mean_us = Smod_util.Stats.mean p99s;
-              stdev_us = Smod_util.Stats.stdev p99s;
-            };
-          ])
-        [ ("msgq", false); ("ring", true) ])
-    batches
+  map_trials runner ~trials configs (fun (batch, _, use_ring) ~trial ->
+      ring_trial ~use_ring ~batch ~rounds ~trial)
+  |> List.concat_map (fun ((batch, transport, _), pairs) ->
+         [
+           entry_of_means
+             (Printf.sprintf "%s batch %2d (mean)" transport batch)
+             (Array.map fst pairs);
+           entry_of_means
+             (Printf.sprintf "%s batch %2d (p99)" transport batch)
+             (Array.map snd pairs);
+         ])
 
 (* ------------------------------------------------------------------ *)
 (* E19: compiled decision programs vs interpreted KeyNote              *)
@@ -539,92 +530,83 @@ let volatile_keynote_policy_with n =
   Policy.Keynote
     { policy = assertions; levels = [| "deny"; "allow" |]; min_level = "allow"; attrs = [] }
 
+let compile_trial ~use_ring ~compile ~n ~batch ~rounds ~trial =
+  let world =
+    World.create
+      ~seed:(Int64.of_int (6000 + (13 * trial)))
+      ~policy:(volatile_keynote_policy_with (n - 1))
+      ~with_rpc:false ()
+  in
+  Smod.set_policy_compile world.World.smod compile;
+  let clock = Machine.clock world.World.machine in
+  let mean = ref Float.nan and p99 = ref Float.nan in
+  World.spawn_seclibc_client world ~name:"compile-bench" (fun _p conn ->
+      if use_ring then ignore (Stub.arm_ring conn);
+      let argss = List.init batch (fun i -> [| i |]) in
+      let do_batch () =
+        if use_ring then ignore (Stub.call_batch conn ~func:"test_incr" argss)
+        else List.iter (fun args -> ignore (Stub.call conn ~func:"test_incr" args)) argss
+      in
+      (* Warm the session: symbol lookup, ring registration and — on the
+         compiled rows — the one-off compilation. *)
+      do_batch ();
+      let samples = Array.make rounds 0.0 in
+      for r = 0 to rounds - 1 do
+        let t0 = Clock.now_cycles clock in
+        do_batch ();
+        samples.(r) <- Clock.elapsed_us clock ~since:t0 /. float_of_int batch
+      done;
+      mean := Stats.mean samples;
+      p99 := Stats.percentile samples 99.0);
+  World.run world;
+  (!mean, !p99)
+
 (* Per-call latency by assertion count, over both transports and both
    engines.  The msgq rows issue plain calls; the ring rows submit
-   [batch]-slot batches (amortising trap and wakeup, but still one
-   policy evaluation per slot — the volatile guard forbids anything
-   less).  Interpreted rows pay the full KeyNote walk per slot; compiled
-   rows pay the session-memo check plus the opcode program.  Mean and
-   p99 per configuration, like E18. *)
-let policy_compile_dispatch ?(assertions = [ 1; 4; 16; 64 ]) ?(batch = 16) ?(rounds = 100)
-    ?(trials = 5) () =
-  let measure ~use_ring ~compile ~n =
-    let means = Array.make trials 0.0 and p99s = Array.make trials 0.0 in
-    for t = 0 to trials - 1 do
-      let world =
-        World.create
-          ~seed:(Int64.of_int (6000 + (13 * t)))
-          ~policy:(volatile_keynote_policy_with (n - 1))
-          ~with_rpc:false ()
-      in
-      Smod.set_policy_compile world.World.smod compile;
-      let clock = Machine.clock world.World.machine in
-      World.spawn_seclibc_client world ~name:"compile-bench" (fun _p conn ->
-          if use_ring then ignore (Stub.arm_ring conn);
-          let argss = List.init batch (fun i -> [| i |]) in
-          let do_batch () =
-            if use_ring then ignore (Stub.call_batch conn ~func:"test_incr" argss)
-            else List.iter (fun args -> ignore (Stub.call conn ~func:"test_incr" args)) argss
-          in
-          (* Warm the session: symbol lookup, ring registration and — on
-             the compiled rows — the one-off compilation. *)
-          do_batch ();
-          let samples = Array.make rounds 0.0 in
-          for r = 0 to rounds - 1 do
-            let t0 = Clock.now_cycles clock in
-            do_batch ();
-            samples.(r) <- Clock.elapsed_us clock ~since:t0 /. float_of_int batch
-          done;
-          means.(t) <- Smod_util.Stats.mean samples;
-          p99s.(t) <- Smod_util.Stats.percentile samples 99.0);
-      World.run world
-    done;
-    (means, p99s)
+   [batch]-slot batches (amortising trap and wakeup, but still one policy
+   evaluation per slot — the volatile guard forbids anything less).
+   Interpreted rows pay the full KeyNote walk per slot; compiled rows pay
+   the session-memo check plus the opcode program.  Mean and p99 per
+   configuration, like E18. *)
+let policy_compile_dispatch ?(runner = Runner.sequential) ?(assertions = [ 1; 4; 16; 64 ])
+    ?(batch = 16) ?(rounds = 100) ?(trials = 5) () =
+  let configs =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun (transport, use_ring) ->
+            List.map
+              (fun (engine, compile) -> (n, transport, use_ring, engine, compile))
+              [ ("interp", false); ("compiled", true) ])
+          [ ("msgq", false); ("ring", true) ])
+      assertions
   in
-  List.concat_map
-    (fun n ->
-      List.concat_map
-        (fun (transport, use_ring) ->
-          List.concat_map
-            (fun (engine, compile) ->
-              let means, p99s = measure ~use_ring ~compile ~n in
-              [
-                {
-                  label = Printf.sprintf "%s kn-%2d %-8s (mean)" transport n engine;
-                  mean_us = Smod_util.Stats.mean means;
-                  stdev_us = Smod_util.Stats.stdev means;
-                };
-                {
-                  label = Printf.sprintf "%s kn-%2d %-8s (p99)" transport n engine;
-                  mean_us = Smod_util.Stats.mean p99s;
-                  stdev_us = Smod_util.Stats.stdev p99s;
-                };
-              ])
-            [ ("interp", false); ("compiled", true) ])
-        [ ("msgq", false); ("ring", true) ])
-    assertions
+  map_trials runner ~trials configs (fun (n, _, use_ring, _, compile) ~trial ->
+      compile_trial ~use_ring ~compile ~n ~batch ~rounds ~trial)
+  |> List.concat_map (fun ((n, transport, _, engine, _), pairs) ->
+         [
+           entry_of_means
+             (Printf.sprintf "%s kn-%2d %-8s (mean)" transport n engine)
+             (Array.map fst pairs);
+           entry_of_means
+             (Printf.sprintf "%s kn-%2d %-8s (p99)" transport n engine)
+             (Array.map snd pairs);
+         ])
 
 (* ------------------------------------------------------------------ *)
 (* E13 cost: TOCTOU mitigations (implementation)                       *)
 (* ------------------------------------------------------------------ *)
 
-let toctou_cost ?(calls = 1_000) ?(trials = 5) () =
-  List.map
-    (fun (label, mitigation) ->
-      let world = World.create ~with_rpc:false () in
-      Smod.set_toctou_mitigation world.World.smod mitigation;
-      let clock = Machine.clock world.World.machine in
-      let result = ref None in
-      World.spawn_seclibc_client world ~name:"toctou-client" (fun _p conn ->
-          let spec = { Trial.name = label; calls_per_trial = calls; trials; warmup = 10 } in
-          result :=
-            Some
-              (Trial.run ~clock spec (fun i ->
-                   ignore (Smod_libc.Seclibc.Client.test_incr conn i))));
-      World.run world;
-      match !result with Some r -> entry_of_row label r | None -> assert false)
+let toctou_cost ?(runner = Runner.sequential) ?(calls = 1_000) ?(trials = 5) () =
+  let configs =
     [
       ("no mitigation", Smod.No_mitigation);
       ("unmap during call", Smod.Unmap_during_call);
       ("dequeue client threads", Smod.Dequeue_client_threads);
     ]
+  in
+  map_trials runner ~trials configs (fun (label, mitigation) ~trial ->
+      test_incr_trial
+        ~setup:(fun w -> Smod.set_toctou_mitigation w.World.smod mitigation)
+        ~label ~calls ~trials ~seed:(7200 + trial) ~trial ())
+  |> List.map (fun ((label, _), samples) -> entry_of_means label samples)

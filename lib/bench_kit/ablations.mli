@@ -12,44 +12,58 @@
       handle, because a many-to-one mapping ... introduces a performance
       bottleneck."
     - {!toctou_cost} — §4.4: both anti-TOCTOU mitigations exist but
-      "neither approach is very desirable in terms of client efficiency." *)
+      "neither approach is very desirable in terms of client efficiency."
+
+    Every experiment decomposes into independent (configuration, trial)
+    tasks, each in a private world seeded from its own coordinates, so a
+    {!Runner} can spread them across domains with results identical for
+    any job count.  [runner] defaults to {!Runner.sequential}. *)
 
 type entry = { label : string; mean_us : float; stdev_us : float }
 
-val policy_ablation : ?calls:int -> ?trials:int -> unit -> entry list
+val policy_ablation : ?runner:Runner.t -> ?calls:int -> ?trials:int -> unit -> entry list
 (** Per-call cost of SMOD(test-incr) under: always-allow, session-lifetime,
     call-quota, rate-limit, and KeyNote with 1, 4 and 16 assertions — the
-    interpreted ladder first (labels and worlds unchanged from earlier
-    baselines), then the keynote rungs again with
+    interpreted ladder first (labels unchanged from earlier baselines),
+    then the keynote rungs again with
     {!Secmodule.Smod.set_policy_compile} on ([... compiled] labels). *)
 
-val marshal_ablation : ?calls:int -> ?payload_sizes:int list -> unit -> entry list
+val marshal_ablation :
+  ?runner:Runner.t -> ?calls:int -> ?payload_sizes:int list -> unit -> entry list
 (** For each payload size: per-call cost of passing a buffer by pointer on
     the shared stack versus copying it through the queue both ways. *)
 
-val protection_ablation : ?text_sizes:int list -> ?trials:int -> unit -> entry list
+val protection_ablation :
+  ?runner:Runner.t -> ?text_sizes:int list -> ?trials:int -> unit -> entry list
 (** Session-establishment cost, encrypted vs unmap-only, per text size. *)
 
-val handle_sharing : ?clients:int list -> ?calls_per_client:int -> unit -> entry list
+val handle_sharing :
+  ?runner:Runner.t -> ?clients:int list -> ?calls_per_client:int -> unit -> entry list
 (** Mean request-queue depth observed at each service with K clients
     multiplexed onto one server loop versus K private server loops (the
     [mean_us] field holds the depth, not a time). *)
 
-val toctou_cost : ?calls:int -> ?trials:int -> unit -> entry list
+val toctou_cost : ?runner:Runner.t -> ?calls:int -> ?trials:int -> unit -> entry list
 (** Per-call SMOD(test-incr) cost under each §4.4 mitigation. *)
 
-val fast_path : ?calls:int -> ?trials:int -> unit -> entry list
+val fast_path : ?runner:Runner.t -> ?calls:int -> ?trials:int -> unit -> entry list
 (** E14 — the paper's §5 prediction that "its possible to gain even
     greater performance gains by reducing redundant error checks":
     per-call cost with and without {!Secmodule.Smod.set_call_fast_path}. *)
 
-val systrace_overhead : ?calls:int -> ?trials:int -> unit -> entry list
+val systrace_overhead : ?runner:Runner.t -> ?calls:int -> ?trials:int -> unit -> entry list
 (** E15 — the §2 syscall-interposition alternative: getpid() per-call
     cost bare versus under a systrace policy whose per-trap rule scan
     reaches the getpid rule last. *)
 
 val pooling :
-  ?sessions:int -> ?calls:int -> ?clients:int list -> ?trials:int -> unit -> entry list
+  ?runner:Runner.t ->
+  ?sessions:int ->
+  ?calls:int ->
+  ?clients:int list ->
+  ?trials:int ->
+  unit ->
+  entry list
 (** E16 — smodd session pooling (lib/pool): session-establishment
     latency, cold fork-per-session versus warm pooled attach, then
     steady-state throughput (the [(kcalls/s)] rows hold kilo-calls per
@@ -58,7 +72,8 @@ val pooling :
 
 val render : title:string -> ?unit_header:string -> entry list -> string
 
-val ring_dispatch : ?batches:int list -> ?rounds:int -> ?trials:int -> unit -> entry list
+val ring_dispatch :
+  ?runner:Runner.t -> ?batches:int list -> ?rounds:int -> ?trials:int -> unit -> entry list
 (** E18 — shared-memory dispatch rings (lib/ring): per-call latency of
     the test-incr workload over the legacy msgq transport versus the
     batched ring fast path, at batch sizes 1 / 4 / 16 / 64.  Two rows
@@ -67,7 +82,13 @@ val ring_dispatch : ?batches:int list -> ?rounds:int -> ?trials:int -> unit -> e
     it amortises the trap, wakeup and policy work across the batch. *)
 
 val policy_compile_dispatch :
-  ?assertions:int list -> ?batch:int -> ?rounds:int -> ?trials:int -> unit -> entry list
+  ?runner:Runner.t ->
+  ?assertions:int list ->
+  ?batch:int ->
+  ?rounds:int ->
+  ?trials:int ->
+  unit ->
+  entry list
 (** E19 — the compiled policy engine (lib/keynote/compile): per-call
     latency of test-incr under a volatile KeyNote ladder (the matching
     rung reads [calls_so_far], so smodd's decision cache cannot memoise

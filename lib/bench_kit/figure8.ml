@@ -5,44 +5,71 @@ type config = { smod_calls : int; rpc_calls : int; trials : int; noise : float }
 let paper_config = { smod_calls = 1_000_000; rpc_calls = 100_000; trials = 10; noise = 0.012 }
 let quick_config = { smod_calls = 20_000; rpc_calls = 4_000; trials = 10; noise = 0.012 }
 
-let run (world : World.t) config =
+type row_kind = Getpid | Smod_getpid | Smod_incr | Rpc
+
+(* Paper order: getpid, SMOD-getpid, SMOD(test-incr), RPC. *)
+let row_kinds =
+  [
+    ("getpid()", Getpid);
+    ("SMOD(SMOD-getpid)", Smod_getpid);
+    ("SMOD(test-incr)", Smod_incr);
+    ("RPC(test-incr)", Rpc);
+  ]
+
+let spec_of config name kind =
+  match kind with
+  | Rpc ->
+      { Trial.name; calls_per_trial = config.rpc_calls; trials = config.trials; warmup = 20 }
+  | Getpid | Smod_getpid | Smod_incr ->
+      {
+        Trial.name;
+        calls_per_trial = config.smod_calls;
+        trials = config.trials;
+        warmup = 100;
+      }
+
+(* One (row, trial) measurement in a private world: each task owns its
+   machine, clock and RNG, so tasks are independent of execution order and
+   can run on any domain.  The per-task world seed is derived from the
+   (row, trial) coordinates alone — rerunning trial k of a row alone gives
+   exactly the mean it has in a full run. *)
+let measure_one config ~kind ~name ~row_index ~trial =
+  let seed = Int64.of_int (100 + (1000 * row_index) + trial) in
+  let world = World.create ~seed ~with_rpc:(kind = Rpc) () in
   let clock = Machine.clock world.World.machine in
-  let results = ref [] in
-  let push row = results := row :: !results in
-  (* All four rows run sequentially in one client process: the simulated
-     clock is global, so concurrent measurement processes would bill each
-     other's work to the row being timed. *)
+  let spec = spec_of config name kind in
+  let result = ref Float.nan in
   World.spawn_seclibc_client world ~name:"fig8-client" (fun p conn ->
-      let spec name calls =
-        { Trial.name; calls_per_trial = calls; trials = config.trials; warmup = 100 }
+      let f =
+        match kind with
+        | Getpid -> fun _ -> ignore (Machine.sys_getpid world.World.machine p)
+        | Smod_getpid -> fun _ -> ignore (Smod_libc.Seclibc.Client.getpid conn)
+        | Smod_incr -> fun i -> ignore (Smod_libc.Seclibc.Client.test_incr conn i)
+        | Rpc ->
+            let client = World.rpc_client world p ~client_port:41000 in
+            fun i -> ignore (Smod_rpc.Testincr.incr client i)
       in
-      push
-        (Trial.run ~clock ~noise:config.noise
-           (spec "getpid()" config.smod_calls)
-           (fun _ -> ignore (Machine.sys_getpid world.World.machine p)));
-      push
-        (Trial.run ~clock ~noise:config.noise
-           (spec "SMOD(SMOD-getpid)" config.smod_calls)
-           (fun _ -> ignore (Smod_libc.Seclibc.Client.getpid conn)));
-      push
-        (Trial.run ~clock ~noise:config.noise
-           (spec "SMOD(test-incr)" config.smod_calls)
-           (fun i -> ignore (Smod_libc.Seclibc.Client.test_incr conn i)));
-      let client = World.rpc_client world p ~client_port:41000 in
-      push
-        (Trial.run ~clock ~noise:config.noise
-           {
-             Trial.name = "RPC(test-incr)";
-             calls_per_trial = config.rpc_calls;
-             trials = config.trials;
-             warmup = 20;
-           }
-           (fun i -> ignore (Smod_rpc.Testincr.incr client i))));
+      result := Trial.run_one ~clock ~noise:config.noise ~trial spec f);
   World.run world;
-  (* Paper order: getpid, SMOD-getpid, SMOD(test-incr), RPC. *)
-  let order = [ "getpid()"; "SMOD(SMOD-getpid)"; "SMOD(test-incr)"; "RPC(test-incr)" ] in
-  List.filter_map
-    (fun name -> List.find_opt (fun (r : Trial.row) -> r.Trial.spec.Trial.name = name) !results)
-    order
+  !result
+
+let run ?(runner = Runner.sequential) config =
+  let tasks =
+    List.concat
+      (List.mapi
+         (fun row_index (name, kind) ->
+           List.init config.trials (fun trial -> (row_index, name, kind, trial)))
+         row_kinds)
+  in
+  let means =
+    Runner.map runner tasks (fun (row_index, name, kind, trial) ->
+        measure_one config ~kind ~name ~row_index ~trial)
+  in
+  let means = Array.of_list means in
+  List.mapi
+    (fun row_index (name, kind) ->
+      Trial.row_of_means (spec_of config name kind)
+        (Array.sub means (row_index * config.trials) config.trials))
+    row_kinds
 
 let render = Trial.figure8_table

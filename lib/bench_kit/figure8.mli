@@ -1,6 +1,11 @@
 (** Reproduction of the paper's Figure 8: the four-row microbenchmark
     comparing native getpid, SMOD(SMOD-getpid), SMOD(test-incr) and
-    RPC(test-incr). *)
+    RPC(test-incr).
+
+    Each (row, trial) pair runs in its own private world with a seed
+    derived from its coordinates, so the table decomposes into
+    [4 * trials] independent tasks a {!Runner} can spread across
+    domains — results are identical for any job count. *)
 
 type config = {
   smod_calls : int;  (** paper: 1_000_000 *)
@@ -15,8 +20,8 @@ val paper_config : config
 val quick_config : config
 (** Scaled-down counts (per-call means are unaffected by trial length). *)
 
-val run : World.t -> config -> Trial.row list
+val run : ?runner:Runner.t -> config -> Trial.row list
 (** Rows in paper order: getpid, SMOD(SMOD-getpid), SMOD(test-incr),
-    RPC(test-incr). *)
+    RPC(test-incr).  [runner] defaults to {!Runner.sequential}. *)
 
 val render : Trial.row list -> string

@@ -1,0 +1,92 @@
+(* Parallel task execution for the bench harness.
+
+   A runner maps a task list over a pool of OCaml 5 domains.  Each task
+   runs with a FRESH domain-local metrics registry (Smod_metrics.
+   with_registry), and after all workers join, every task's metric
+   snapshot is merged into the caller's registry in task-index order.
+   Because the per-task work is deterministic (each World owns its own
+   machine, clock and RNG, and trial noise derives from the task's own
+   seed — see Trial) and the merge order is fixed, results and merged
+   metrics are bit-identical for any [jobs] value — [jobs] only changes
+   wall-clock.  [jobs = 1] uses the very same fresh-registry pipeline, so
+   float sums see the same additions in the same order as [jobs = N].
+
+   Scheduling is a shared atomic next-task index: domains steal the next
+   unclaimed task, so long tasks (e.g. a full-count Figure 8 trial) do
+   not serialise behind a static partition.  Worker exceptions are
+   captured per-task and re-raised on the caller's domain, lowest task
+   index first. *)
+
+type t = { jobs : int }
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Runner.create: jobs must be >= 1";
+  { jobs }
+
+let sequential = { jobs = 1 }
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+let jobs t = t.jobs
+
+type 'a outcome = Done of 'a * Smod_metrics.snapshot | Failed of exn * Printexc.raw_backtrace
+
+let run_task f arg =
+  let registry = Smod_metrics.create () in
+  match
+    Smod_metrics.with_registry registry (fun () ->
+        let v = f arg in
+        (v, Smod_metrics.snapshot ~registry ()))
+  with
+  | v, snap -> Done (v, snap)
+  | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+
+let collect results n =
+  (* Merge every task's metrics into the caller's registry in task order
+     — THE determinism point: float additions happen in index order no
+     matter which domain ran which task, or when it finished. *)
+  for i = 0 to n - 1 do
+    match results.(i) with
+    | Some (Done (_, snap)) -> Smod_metrics.merge snap
+    | Some (Failed _) | None -> ()
+  done;
+  Array.iteri
+    (fun _ r ->
+      match r with
+      | Some (Failed (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Done _) | None -> ())
+    results;
+  Array.map
+    (function
+      | Some (Done (v, _)) -> v
+      | Some (Failed _) | None -> assert false (* raised above *))
+    results
+
+let map t tasks f =
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let workers = min t.jobs n in
+    if workers = 1 then
+      for i = 0 to n - 1 do
+        results.(i) <- Some (run_task f tasks.(i))
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            results.(i) <- Some (run_task f tasks.(i));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      (* workers - 1 spawned domains; the calling domain works too. *)
+      let domains = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join domains
+    end;
+    Array.to_list (collect results n)
+  end

@@ -1,0 +1,30 @@
+(** Parallel task execution for the bench harness.
+
+    {!map} runs each task on a pool of OCaml 5 domains with a fresh
+    domain-local metrics registry, then merges every task's metric
+    snapshot into the caller's registry in task-index order.  Given
+    deterministic per-task work (private worlds, per-task seeds), results
+    and merged metrics are bit-identical for any job count — parallelism
+    only changes wall-clock. *)
+
+type t
+
+val create : jobs:int -> t
+(** Raises [Invalid_argument] when [jobs < 1]. *)
+
+val sequential : t
+(** [create ~jobs:1] — today's single-domain behaviour, same pipeline. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the [--jobs] default. *)
+
+val jobs : t -> int
+
+val map : t -> 'a list -> ('a -> 'b) -> 'b list
+(** [map t tasks f] applies [f] to every task (scheduling via a shared
+    next-task index, at most [jobs t] domains at once, calling domain
+    included) and returns results in task order.  Each call of [f] sees a
+    fresh {!Smod_metrics.current} registry; snapshots are merged into the
+    caller's registry in task order after all workers join.  If any task
+    raised, the exception of the lowest-indexed failed task is re-raised
+    (after metrics of successful tasks are merged). *)

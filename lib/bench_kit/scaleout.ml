@@ -1,0 +1,158 @@
+(* E20: sharded smodd scale-out.
+
+   The paper's §5 scaling question — many clients, many modules — gets a
+   multi-kernel answer: a fixed tenant population is partitioned by
+   hash-based session placement (Smod_pool.Shard) over K independent
+   simulated kernels, each running its own smodd.  Shards share nothing
+   (no locks, no cross-kernel traffic), so a router-fronted deployment
+   scales by adding kernels; what this experiment measures is how far
+   from linear the aggregate gets as K grows, per transport.
+
+   Aggregate throughput is the sum of per-shard simulated rates
+   (calls / simulated elapsed time): each shard's kernel is its own
+   timeline, exactly as K machines racked side by side would be.  The
+   latency rows pool every client-observed per-call sample across shards
+   and report the p99 — splitting a population over more kernels shortens
+   the queue each call waits in, so the tail drops as K rises.
+
+   Each (K, transport, trial, shard) cell is an independent task over a
+   private world, so the Runner can drive every shard on its own domain;
+   results are identical for any job count. *)
+
+module Machine = Smod_kern.Machine
+module Clock = Smod_sim.Clock
+module Stats = Smod_util.Stats
+
+type transport = Msgq | Ring
+
+let transport_name = function Msgq -> "msgq" | Ring -> "ring"
+
+type config = {
+  shard_counts : int list;
+  clients : int;  (* total tenant population, fixed across shard counts *)
+  calls : int;  (* per client; a multiple of [batch] *)
+  batch : int;  (* ring batch size *)
+  trials : int;
+}
+
+let default_config =
+  { shard_counts = [ 1; 2; 4; 8 ]; clients = 32; calls = 160; batch = 16; trials = 3 }
+
+(* Stable tenant names are the placement keys: the partition is a pure
+   function of (name, K), the way a real router would compute it. *)
+let tenant_names n = List.init n (fun i -> Printf.sprintf "tenant-%03d" i)
+
+(* Same smodd shape as E16: one module, pooled handles, deep queue. *)
+let pool_config =
+  {
+    Smod_pool.Smodd.default_config with
+    max_handles_per_module = 16;
+    max_total_handles = 16;
+    max_queue_depth = 128;
+  }
+
+type shard_result = {
+  sr_calls : int;
+  sr_elapsed_us : float;  (* simulated time this shard's kernel ran *)
+  sr_samples : float array;  (* client-observed per-call latency, us *)
+}
+
+(* One shard of one (K, transport) cell: a private kernel + smodd serving
+   exactly the tenants the hash places here. *)
+let run_shard ~transport ~cfg ~shards ~shard ~trial =
+  let mine =
+    List.filter
+      (fun name -> Smod_pool.Shard.place ~shards name = shard)
+      (tenant_names cfg.clients)
+  in
+  let seed = Int64.of_int (8000 + (997 * trial) + (131 * shards) + (17 * shard)) in
+  let world = World.create ~seed ~pool:pool_config ~with_rpc:false () in
+  let clock = Machine.clock world.World.machine in
+  let samples = ref [] in
+  let done_calls = ref 0 in
+  List.iter
+    (fun name ->
+      World.spawn_seclibc_client world ~name (fun _p conn ->
+          match transport with
+          | Msgq ->
+              for j = 1 to cfg.calls do
+                let t0 = Clock.now_cycles clock in
+                ignore (Smod_libc.Seclibc.Client.test_incr conn j);
+                samples := Clock.elapsed_us clock ~since:t0 :: !samples;
+                incr done_calls
+              done
+          | Ring ->
+              ignore (Secmodule.Stub.arm_ring conn);
+              let argss = List.init cfg.batch (fun i -> [| i |]) in
+              for _ = 1 to cfg.calls / cfg.batch do
+                let t0 = Clock.now_cycles clock in
+                ignore (Secmodule.Stub.call_batch conn ~func:"test_incr" argss);
+                samples :=
+                  (Clock.elapsed_us clock ~since:t0 /. float_of_int cfg.batch) :: !samples;
+                done_calls := !done_calls + cfg.batch
+              done))
+    mine;
+  World.run world;
+  {
+    sr_calls = !done_calls;
+    sr_elapsed_us = Clock.now_us clock;
+    sr_samples = Array.of_list (List.rev !samples);
+  }
+
+let kcalls_per_sec r =
+  if r.sr_calls = 0 then 0.0 else float_of_int r.sr_calls *. 1_000.0 /. r.sr_elapsed_us
+
+let run ?(runner = Runner.sequential) ?(config = default_config) () =
+  let cells =
+    List.concat_map
+      (fun shards -> List.map (fun tr -> (shards, tr)) [ Msgq; Ring ])
+      config.shard_counts
+  in
+  let tasks =
+    List.concat_map
+      (fun (ci, (shards, transport)) ->
+        List.concat
+          (List.init config.trials (fun trial ->
+               List.init shards (fun shard -> (ci, shards, transport, trial, shard)))))
+      (List.mapi (fun i c -> (i, c)) cells)
+  in
+  let results =
+    Runner.map runner tasks (fun (_, shards, transport, trial, shard) ->
+        run_shard ~transport ~cfg:config ~shards ~shard ~trial)
+  in
+  (* Regroup shard results per (cell, trial): aggregate rate is the sum of
+     per-shard rates; the latency pool is every shard's samples. *)
+  let per_trial = Hashtbl.create 64 in
+  List.iter2
+    (fun (ci, _, _, trial, _) r ->
+      let key = (ci, trial) in
+      let prev = Option.value (Hashtbl.find_opt per_trial key) ~default:[] in
+      Hashtbl.replace per_trial key (r :: prev))
+    tasks results;
+  List.concat_map
+    (fun (ci, (shards, transport)) ->
+      let rates = Array.make config.trials 0.0 in
+      let p99s = Array.make config.trials 0.0 in
+      for trial = 0 to config.trials - 1 do
+        let shard_results = Option.value (Hashtbl.find_opt per_trial (ci, trial)) ~default:[] in
+        rates.(trial) <-
+          List.fold_left (fun acc r -> acc +. kcalls_per_sec r) 0.0 shard_results;
+        let pooled = Array.concat (List.map (fun r -> r.sr_samples) shard_results) in
+        p99s.(trial) <- Stats.percentile pooled 99.0
+      done;
+      let name = transport_name transport in
+      [
+        Ablations.
+          {
+            label = Printf.sprintf "%s K=%d aggregate (kcalls/s)" name shards;
+            mean_us = Stats.mean rates;
+            stdev_us = Stats.stdev rates;
+          };
+        Ablations.
+          {
+            label = Printf.sprintf "%s K=%d p99 (us)" name shards;
+            mean_us = Stats.mean p99s;
+            stdev_us = Stats.stdev p99s;
+          };
+      ])
+    (List.mapi (fun i c -> (i, c)) cells)

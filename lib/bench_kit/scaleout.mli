@@ -1,0 +1,25 @@
+(** E20 — sharded smodd scale-out: a fixed tenant population partitioned
+    by hash-based session placement ({!Smod_pool.Shard}) over K
+    independent simulated kernels, each running its own smodd.
+
+    Two rows per (transport, K): the aggregate throughput (sum of
+    per-shard simulated rates, kcalls/s — each shard's kernel is its own
+    timeline, like K machines racked side by side) and the p99 of every
+    client-observed per-call latency pooled across shards.  Each
+    (K, transport, trial, shard) cell is an independent task, so a
+    {!Runner} can drive every shard on its own domain; results are
+    identical for any job count. *)
+
+type config = {
+  shard_counts : int list;  (** default 1 / 2 / 4 / 8 *)
+  clients : int;  (** total tenant population, fixed across shard counts *)
+  calls : int;  (** per client; must be a multiple of [batch] *)
+  batch : int;  (** ring batch size *)
+  trials : int;
+}
+
+val default_config : config
+
+val run : ?runner:Runner.t -> ?config:config -> unit -> Ablations.entry list
+(** Row order: per shard count — msgq aggregate, msgq p99, ring
+    aggregate, ring p99. *)

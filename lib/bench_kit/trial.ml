@@ -19,8 +19,45 @@ let with_commas n =
     s;
   Buffer.contents buf
 
-let run ~clock ?(noise = 0.012) ?(noise_seed = 0xBE7C4A1L) spec f =
-  let rng = Rng.create noise_seed in
+let default_noise = 0.012
+let default_noise_seed = 0xBE7C4A1L
+
+(* Per-trial load factor, derived from (noise_seed, trial) alone: trial k's
+   factor does not depend on how many earlier trials consumed the stream —
+   reordering, skipping, or running trials on different domains leaves
+   every other trial's mean untouched.  (The previous design drew all
+   factors from ONE sequential Rng, so dropping trial 0 silently changed
+   every later trial.) *)
+let noise_factor ~noise ~noise_seed ~trial =
+  if noise = 0.0 then 1.0
+  else
+    let rng = Rng.create (Int64.add noise_seed (Int64.of_int trial)) in
+    Rng.gaussian rng ~mu:1.0 ~sigma:noise
+
+let apply_noise ~noise ~noise_seed ~trial per_call =
+  per_call *. Float.max 0.5 (noise_factor ~noise ~noise_seed ~trial)
+
+let run_one ~clock ?(noise = default_noise) ?(noise_seed = default_noise_seed) ~trial spec f
+    =
+  for i = 1 to spec.warmup do
+    f (-i)
+  done;
+  let t0 = Clock.now_cycles clock in
+  for i = 0 to spec.calls_per_trial - 1 do
+    f ((trial * spec.calls_per_trial) + i)
+  done;
+  let per_call = Clock.elapsed_us clock ~since:t0 /. float_of_int spec.calls_per_trial in
+  apply_noise ~noise ~noise_seed ~trial per_call
+
+let row_of_means spec trial_means =
+  {
+    spec;
+    mean_us = Stats.mean trial_means;
+    stdev_us = Stats.stdev trial_means;
+    trial_means;
+  }
+
+let run ~clock ?(noise = default_noise) ?(noise_seed = default_noise_seed) spec f =
   for i = 1 to spec.warmup do
     f (-i)
   done;
@@ -31,15 +68,9 @@ let run ~clock ?(noise = 0.012) ?(noise_seed = 0xBE7C4A1L) spec f =
           f ((trial * spec.calls_per_trial) + i)
         done;
         let per_call = Clock.elapsed_us clock ~since:t0 /. float_of_int spec.calls_per_trial in
-        let factor = if noise = 0.0 then 1.0 else Rng.gaussian rng ~mu:1.0 ~sigma:noise in
-        per_call *. Float.max 0.5 factor)
+        apply_noise ~noise ~noise_seed ~trial per_call)
   in
-  {
-    spec;
-    mean_us = Stats.mean trial_means;
-    stdev_us = Stats.stdev trial_means;
-    trial_means;
-  }
+  row_of_means spec trial_means
 
 let figure8_table rows =
   let counts = Table.create [ "Test"; "Number of Calls/Trial"; "Total Number of Trials" ] in

@@ -31,7 +31,26 @@ val run :
   row
 (** [run ~clock spec f] calls [f i] for each call index, reading elapsed
     simulated time around each trial.  [noise] is the per-trial load
-    factor's sigma (default 0.012). *)
+    factor's sigma (default 0.012).  Trial [k]'s factor is derived from
+    [(noise_seed, k)] alone, so it does not depend on which other trials
+    ran or in what order. *)
+
+val run_one :
+  clock:Smod_sim.Clock.t ->
+  ?noise:float ->
+  ?noise_seed:int64 ->
+  trial:int ->
+  spec ->
+  (int -> unit) ->
+  float
+(** One trial of [spec] (warmup included — intended for a fresh world per
+    task), returning the noise-adjusted per-call mean.  [run_one ~trial:k]
+    applies exactly the factor trial [k] of {!run} would, so a run
+    decomposed into per-trial tasks and reassembled with {!row_of_means}
+    matches a sequential {!run} trial-for-trial. *)
+
+val row_of_means : spec -> float array -> row
+(** Assemble a row from per-trial means (index = trial number). *)
 
 val figure8_table : row list -> string
 (** Render in the layout of the paper's Figure 8. *)

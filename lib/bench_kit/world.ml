@@ -9,6 +9,12 @@ type t = {
   portmap : Smod_rpc.Portmap.t;
   rpc_port : int;
   pool : Smod_pool.Smodd.t option;
+  registry : Smod_metrics.t;
+      (* The metrics registry this world reports into: the creating
+         domain's registry at creation time.  A world must be driven on
+         the domain whose registry this is — subsystem instruments
+         resolve against the executing domain's registry, so driving it
+         elsewhere would split its metrics across registries. *)
 }
 
 let rpc_port = 2049
@@ -26,7 +32,16 @@ let create ?seed ?jitter ?(protection = Registry.Encrypted) ?policy ?pool ?(with
       (Machine.spawn machine ~daemon:true ~name:"rpc.testincrd" (fun p ->
            Smod_rpc.Server.serve_forever transport portmap p ~port:rpc_port
              (Smod_rpc.Testincr.service ())));
-  { machine; smod; libc_entry; transport; portmap; rpc_port; pool }
+  {
+    machine;
+    smod;
+    libc_entry;
+    transport;
+    portmap;
+    rpc_port;
+    pool;
+    registry = Smod_metrics.current ();
+  }
 
 let credential ?(principal = "client") _t = Credential.make ~principal ()
 

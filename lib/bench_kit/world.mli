@@ -10,6 +10,11 @@ type t = {
   portmap : Smod_rpc.Portmap.t;
   rpc_port : int;
   pool : Smod_pool.Smodd.t option;
+  registry : Smod_metrics.t;
+      (** The metrics registry this world reports into — the creating
+          domain's {!Smod_metrics.current} at creation time.  Drive the
+          world on that same domain (the Runner gives each task world a
+          fresh registry for exactly this reason). *)
 }
 
 val create :

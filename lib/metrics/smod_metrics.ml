@@ -1,17 +1,38 @@
-(* Process-wide observability: monotonic counters and fixed-bucket
-   histograms, grouped in registries with dot-separated named scopes.
+(* Observability: monotonic counters and fixed-bucket histograms, grouped
+   in registries with dot-separated named scopes.
 
-   The simulated kernel is single-threaded (one scheduler loop driving
-   effect-based coroutines), so plain mutable state is safe.  All hot-path
-   call sites register their instruments once at module-initialisation
-   time; per-event cost is a single field update (counters) or a short
-   bucket scan (histograms), cheap enough for the 1,000,000-call trials
-   the paper runs.
+   Concurrency model (PR 5): the harness runs whole simulated worlds on
+   separate OCaml 5 domains, so "one process-wide mutable registry" is no
+   longer safe.  Instead every domain reports into a DOMAIN-LOCAL registry:
 
-   Instruments live in a registry keyed by name.  [default] is the
-   process-wide registry every subsystem reports into; bench and test code
-   read it with [snapshot]/[counter_value] and may [reset] it between
-   experiments. *)
+   - [current ()] is the calling domain's registry, held in domain-local
+     storage.  The main domain's initial registry is [default], so
+     single-domain programs (tests, smodctl, --jobs 1) behave exactly as
+     before.
+   - Instrument handles ([Counter.t], [Histogram.t]) are cheap names, not
+     raw cells.  A handle created without an explicit registry re-resolves
+     against [current ()] and caches the resolution, so module-level
+     [let m_calls = Scope.counter scope "calls"] bindings keep working
+     from any domain: each domain's increments land in its own registry.
+     The hot path is one domain-local read, one physical-equality check
+     and a plain (unsynchronised) field update — no locks, no atomics.
+   - A worker publishes its results by taking a [snapshot] of its registry
+     and handing it to whoever owns the root; [merge] adds a snapshot into
+     a registry (counters sum, histograms add bucket-wise).  Merging in a
+     fixed task order keeps float sums — and therefore emitted JSON —
+     bit-identical regardless of how many domains ran the work.
+   - The rare genuinely-shared path (cross-domain progress accounting in
+     the bench runner) uses [Shared_counter], an [Atomic]-backed counter
+     that lives outside any registry.
+
+   Single-owner discipline: a registry's Hashtbl (and its instruments') is
+   plain mutable state, NOT thread-safe.  Exactly one domain may mutate a
+   registry at a time.  [with_registry] transfers ownership to the
+   executing domain for the duration of the callback, and every mutating
+   entry point asserts the discipline (see [claim_owner]); reads from
+   another domain are only meaningful after a happens-before edge such as
+   [Domain.join] — which is what the bench runner relies on when it merges
+   worker snapshots after the join. *)
 
 type counter = { c_name : string; mutable c_value : int }
 
@@ -25,10 +46,52 @@ type histogram = {
 
 type metric = M_counter of counter | M_histogram of histogram
 
-type t = { metrics : (string, metric) Hashtbl.t }
+type t = {
+  metrics : (string, metric) Hashtbl.t;
+  (* Domain currently allowed to mutate [metrics] and the instruments in
+     it.  [None] = unclaimed: the next mutating domain takes ownership.
+     [with_registry] releases ownership on exit so a registry built by one
+     domain can be filled by a worker and then merged by the parent. *)
+  mutable owner : int option;
+}
 
-let create () = { metrics = Hashtbl.create 64 }
+let domain_id () = (Domain.self () :> int)
+
+(* Assert and (if unclaimed) take the single-owner discipline on a
+   mutation path.  Raising instead of corrupting: a cross-domain mutation
+   here is always a harness bug. *)
+let claim_owner t =
+  let me = domain_id () in
+  match t.owner with
+  | Some o when o <> me ->
+      invalid_arg
+        (Printf.sprintf "Metrics: registry owned by domain %d mutated from domain %d" o me)
+  | Some _ -> ()
+  | None -> t.owner <- Some me
+
+let create () = { metrics = Hashtbl.create 64; owner = None }
+
 let default = create ()
+
+(* The calling domain's registry.  The main domain (the one that
+   initialised this module) starts on [default]; any other domain starts
+   on a private empty registry. *)
+let dls_registry : t Domain.DLS.key = Domain.DLS.new_key create
+let () = Domain.DLS.set dls_registry default
+
+let current () = Domain.DLS.get dls_registry
+
+let with_registry t f =
+  claim_owner t;
+  let previous = Domain.DLS.get dls_registry in
+  Domain.DLS.set dls_registry t;
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set dls_registry previous;
+      (* Release so the parent domain may merge / reset it after a
+         happens-before edge (e.g. Domain.join). *)
+      t.owner <- None)
+    f
 
 (* Simulated-microsecond latencies: 1 us .. ~1 ms, then overflow. *)
 let default_edges = [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0; 512.0; 1024.0 |]
@@ -51,18 +114,105 @@ let validate_edges edges =
         invalid_arg "Metrics: histogram edges must be strictly increasing")
     edges
 
+(* Find-or-create in one registry.  Mutates the registry's Hashtbl on
+   first registration, hence the ownership claim. *)
+let find_or_register registry name build project =
+  match Hashtbl.find_opt registry.metrics name with
+  | Some m -> project m
+  | None ->
+      claim_owner registry;
+      validate_name name;
+      let m = build () in
+      Hashtbl.replace registry.metrics name m;
+      project m
+
+let raw_counter registry name =
+  find_or_register registry name
+    (fun () -> M_counter { c_name = name; c_value = 0 })
+    (function
+      | M_counter c -> c
+      | M_histogram _ ->
+          invalid_arg (Printf.sprintf "Metrics.counter %s: already a histogram" name))
+
+let raw_histogram registry ~edges name =
+  find_or_register registry name
+    (fun () ->
+      M_histogram
+        {
+          h_name = name;
+          h_edges = Array.copy edges;
+          h_counts = Array.make (Array.length edges + 1) 0;
+          h_total = 0;
+          h_sum = 0.0;
+        })
+    (function
+      | M_histogram h -> h
+      | M_counter _ ->
+          invalid_arg (Printf.sprintf "Metrics.histogram %s: already a counter" name))
+
+(* ------------------------------------------------------------------ *)
+(* Handles                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A handle names an instrument; the cell it updates depends on where it
+   is used.  [fixed = Some reg] pins it to one registry (explicit
+   [~registry] at creation — test fixtures, tools).  Otherwise it tracks
+   [current ()], caching the last resolution as one immutable pair so the
+   fast path is a read + physical-equality check.  The cache write is
+   intentionally unsynchronised: handles are shared across domains, but
+   the pair is immutable, so a racing reader sees either the old or the
+   new resolution — both are valid — and re-resolves at worst. *)
+type 'cell handle = {
+  hd_name : string;
+  hd_fixed : t option;
+  mutable hd_cache : (t * 'cell) option;
+}
+
+let resolve_in reg resolve_raw h =
+  match h.hd_cache with
+  | Some (r, cell) when r == reg -> cell
+  | _ ->
+      let cell = resolve_raw reg h.hd_name in
+      h.hd_cache <- Some (reg, cell);
+      cell
+
+let target h = match h.hd_fixed with Some r -> r | None -> current ()
+let resolve resolve_raw h = resolve_in (target h) resolve_raw h
+
+(* Mutating accesses assert (and take) the single-owner discipline before
+   touching the cell; the cost on the hot path is one domain-id read and
+   one comparison on top of the plain field update. *)
+let resolve_mut resolve_raw h =
+  let reg = target h in
+  claim_owner reg;
+  resolve_in reg resolve_raw h
+
 module Counter = struct
-  type t = counter
+  type t = counter handle
 
-  let name c = c.c_name
-  let value c = c.c_value
-  let incr c = c.c_value <- c.c_value + 1
+  let resolve (h : t) = resolve raw_counter h
+  let name (h : t) = h.hd_name
+  let value h = (resolve h).c_value
 
-  let add c n =
+  let incr h =
+    let c = resolve_mut raw_counter h in
+    c.c_value <- c.c_value + 1
+
+  let add h n =
+    let c = resolve_mut raw_counter h in
     if n < 0 then
       invalid_arg (Printf.sprintf "Counter.add %s: counters are monotonic" c.c_name);
     c.c_value <- c.c_value + n
 end
+
+let counter ?registry name =
+  (* Resolve eagerly so the name is registered (and visible in snapshots,
+     even at zero) in the creating domain's registry — module-init
+     registration on the main domain keeps [default]'s instrument set
+     complete, as single-domain baselines expect. *)
+  let h = { hd_name = name; hd_fixed = registry; hd_cache = None } in
+  ignore (Counter.resolve h);
+  h
 
 (* Quantile estimate from bucketed counts: find the bucket holding the
    q-rank observation and interpolate linearly inside it.  The first
@@ -91,15 +241,26 @@ let quantile_of ~edges ~counts ~total q =
     go 0 0
   end
 
-module Histogram = struct
-  type t = histogram
+(* A histogram handle also carries the edges it registers with, so lazy
+   re-resolution in a fresh domain-local registry creates an identical
+   instrument. *)
+type histogram_handle = { hh_edges : float array; hh_handle : histogram handle }
 
-  let name h = h.h_name
-  let edges h = Array.copy h.h_edges
-  let bucket_counts h = Array.copy h.h_counts
-  let count h = h.h_total
-  let sum h = h.h_sum
-  let mean h = if h.h_total = 0 then 0.0 else h.h_sum /. float_of_int h.h_total
+module Histogram = struct
+  type t = histogram_handle
+
+  let resolve (h : t) =
+    resolve (fun reg name -> raw_histogram reg ~edges:h.hh_edges name) h.hh_handle
+
+  let name (h : t) = h.hh_handle.hd_name
+  let edges h = Array.copy (resolve h).h_edges
+  let bucket_counts h = Array.copy (resolve h).h_counts
+  let count h = (resolve h).h_total
+  let sum h = (resolve h).h_sum
+
+  let mean h =
+    let h = resolve h in
+    if h.h_total = 0 then 0.0 else h.h_sum /. float_of_int h.h_total
 
   (* Index of the bucket holding [v]: the first edge >= v, or the overflow
      bucket when v exceeds every edge. *)
@@ -108,58 +269,65 @@ module Histogram = struct
     let rec find i = if i >= n then n else if v <= h.h_edges.(i) then i else find (i + 1) in
     find 0
 
-  let observe h v =
+  let observe hh v =
+    let h =
+      resolve_mut (fun reg name -> raw_histogram reg ~edges:hh.hh_edges name) hh.hh_handle
+    in
     let i = bucket_index h v in
     h.h_counts.(i) <- h.h_counts.(i) + 1;
     h.h_total <- h.h_total + 1;
     h.h_sum <- h.h_sum +. v
 
-  let quantile h q = quantile_of ~edges:h.h_edges ~counts:h.h_counts ~total:h.h_total q
+  let quantile h q =
+    let h = resolve h in
+    quantile_of ~edges:h.h_edges ~counts:h.h_counts ~total:h.h_total q
 end
 
-let find_or_register registry name build project =
-  match Hashtbl.find_opt registry.metrics name with
-  | Some m -> project m
-  | None ->
-      validate_name name;
-      let m = build () in
-      Hashtbl.replace registry.metrics name m;
-      project m
-
-let counter ?(registry = default) name =
-  find_or_register registry name
-    (fun () -> M_counter { c_name = name; c_value = 0 })
-    (function
-      | M_counter c -> c
-      | M_histogram _ ->
-          invalid_arg (Printf.sprintf "Metrics.counter %s: already a histogram" name))
-
-let histogram ?(registry = default) ?(edges = default_edges) name =
+let histogram ?registry ?(edges = default_edges) name =
   validate_edges edges;
-  find_or_register registry name
-    (fun () ->
-      M_histogram
-        {
-          h_name = name;
-          h_edges = Array.copy edges;
-          h_counts = Array.make (Array.length edges + 1) 0;
-          h_total = 0;
-          h_sum = 0.0;
-        })
-    (function
-      | M_histogram h -> h
-      | M_counter _ ->
-          invalid_arg (Printf.sprintf "Metrics.histogram %s: already a counter" name))
+  let h =
+    { hh_edges = Array.copy edges; hh_handle = { hd_name = name; hd_fixed = registry; hd_cache = None } }
+  in
+  ignore (Histogram.resolve h);
+  h
+
+(* ------------------------------------------------------------------ *)
+(* Shared counters: the cross-domain exception                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Atomic-backed and deliberately outside every registry: for live
+   progress accounting that several domains genuinely update at once
+   (e.g. the bench runner's tasks-completed count).  Not for hot paths —
+   an atomic RMW per simulated event would serialise the domains. *)
+module Shared_counter = struct
+  type t = { sc_name : string; sc_value : int Atomic.t }
+
+  let make name =
+    validate_name name;
+    { sc_name = name; sc_value = Atomic.make 0 }
+
+  let name t = t.sc_name
+  let value t = Atomic.get t.sc_value
+  let incr t = Atomic.incr t.sc_value
+
+  let add t n =
+    if n < 0 then
+      invalid_arg (Printf.sprintf "Shared_counter.add %s: counters are monotonic" t.sc_name);
+    ignore (Atomic.fetch_and_add t.sc_value n)
+end
 
 (* ------------------------------------------------------------------ *)
 (* Scopes: namespaced instrument factories                             *)
 (* ------------------------------------------------------------------ *)
 
 module Scope = struct
-  type scope = { s_registry : t; prefix : string }
+  (* [s_registry = None] makes the scope's instruments domain-local, like
+     bare [counter]/[histogram] without [~registry]. *)
+  type scope = { s_registry : t option; prefix : string }
 
   let full_name s name = s.prefix ^ "." ^ name
-  let make ?(registry = default) prefix =
+
+  let make ?registry prefix =
     validate_name prefix;
     { s_registry = registry; prefix }
 
@@ -168,8 +336,8 @@ module Scope = struct
     { s with prefix = full_name s name }
 
   let name s = s.prefix
-  let counter s n = counter ~registry:s.s_registry (full_name s n)
-  let histogram ?edges s n = histogram ~registry:s.s_registry ?edges (full_name s n)
+  let counter s n = counter ?registry:s.s_registry (full_name s n)
+  let histogram ?edges s n = histogram ?registry:s.s_registry ?edges (full_name s n)
 end
 
 let scope = Scope.make
@@ -202,28 +370,34 @@ let sample_of = function
           hs_sum = h.h_sum;
         }
 
-let snapshot ?(registry = default) () =
+let snapshot ?registry () =
+  let registry = match registry with Some r -> r | None -> current () in
   Hashtbl.fold (fun name m acc -> (name, sample_of m) :: acc) registry.metrics []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let counter_value ?(registry = default) name =
+let counter_value ?registry name =
+  let registry = match registry with Some r -> r | None -> current () in
   match Hashtbl.find_opt registry.metrics name with
   | Some (M_counter c) -> Some c.c_value
   | Some (M_histogram _) | None -> None
 
-let histogram_sample ?(registry = default) name =
+let histogram_sample ?registry name =
+  let registry = match registry with Some r -> r | None -> current () in
   match Hashtbl.find_opt registry.metrics name with
   | Some (M_histogram h) -> (
       match sample_of (M_histogram h) with Histogram_sample s -> Some s | _ -> None)
   | Some (M_counter _) | None -> None
 
-let names ?(registry = default) () =
+let names ?registry () =
+  let registry = match registry with Some r -> r | None -> current () in
   Hashtbl.fold (fun name _ acc -> name :: acc) registry.metrics [] |> List.sort compare
 
 (* Zero every instrument but keep the registrations (call sites hold
-   direct references to the instruments, so dropping entries would
-   silently disconnect them). *)
-let reset ?(registry = default) () =
+   handles resolving to the instruments, so dropping entries would
+   silently disconnect live caches). *)
+let reset ?registry () =
+  let registry = match registry with Some r -> r | None -> current () in
+  claim_owner registry;
   Hashtbl.iter
     (fun _ -> function
       | M_counter c -> c.c_value <- 0
@@ -232,6 +406,35 @@ let reset ?(registry = default) () =
           h.h_total <- 0;
           h.h_sum <- 0.0)
     registry.metrics
+
+(* Add a snapshot into a registry: counters sum, histograms add
+   bucket-wise.  The workhorse of the domain-local model — each worker's
+   registry is merged into the root in a fixed task order, which keeps
+   the root's float sums (and so the emitted JSON) bit-identical for any
+   job count.  Instruments absent from the target are created; a
+   histogram whose bucket edges disagree with the target's is a schema
+   clash and raises. *)
+let merge ?registry (snap : snapshot) =
+  let registry = match registry with Some r -> r | None -> current () in
+  claim_owner registry;
+  List.iter
+    (fun (name, sample) ->
+      match sample with
+      | Counter_sample v ->
+          let c = raw_counter registry name in
+          c.c_value <- c.c_value + v
+      | Histogram_sample hs ->
+          let h = raw_histogram registry ~edges:hs.hs_edges name in
+          if
+            Array.length h.h_edges <> Array.length hs.hs_edges
+            || not (Array.for_all2 Float.equal h.h_edges hs.hs_edges)
+          then
+            invalid_arg
+              (Printf.sprintf "Metrics.merge %s: histogram bucket edges disagree" name);
+          Array.iteri (fun i c -> h.h_counts.(i) <- h.h_counts.(i) + c) hs.hs_counts;
+          h.h_total <- h.h_total + hs.hs_count;
+          h.h_sum <- h.h_sum +. hs.hs_sum)
+    snap
 
 (* Delta between two snapshots of the same registry: counters subtract,
    histograms subtract bucket-wise.  Metrics absent from [before] are
@@ -256,7 +459,7 @@ let delta ~before ~after =
       | Some _, _ -> Some (name, sa))
     after
 
-let pp ppf ?(registry = default) () =
+let pp ppf ?registry () =
   List.iter
     (fun (name, s) ->
       match s with
@@ -265,4 +468,4 @@ let pp ppf ?(registry = default) () =
           Format.fprintf ppf "%-40s count=%d sum=%.3f p50=%.3f p90=%.3f p99=%.3f@\n" name
             h.hs_count h.hs_sum (snapshot_quantile h 0.5) (snapshot_quantile h 0.9)
             (snapshot_quantile h 0.99))
-    (snapshot ~registry ())
+    (snapshot ?registry ())

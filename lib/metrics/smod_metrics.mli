@@ -1,10 +1,19 @@
 (** Observability for the simulated kernel: monotonic counters and
     fixed-bucket histograms in named registries.
 
-    Every subsystem registers its instruments in {!default} at module
-    initialisation; the bench harness serialises {!snapshot}s into the
-    machine-readable bench JSON (see [lib/bench_kit/bench_json.ml]) and
-    tests assert on {!counter_value} deltas. *)
+    Registries are {b domain-local}: every OCaml domain reports into its
+    own registry ({!current}), the main domain's being {!default}.
+    Instruments created without an explicit [?registry] are {e handles}
+    that re-resolve against the calling domain's registry, so module-level
+    instrument bindings work from any domain — each domain's updates land
+    in its own registry, and a parallel harness combines worker
+    {!snapshot}s into a root registry with {!merge}.
+
+    A registry is single-owner mutable state: only one domain may mutate
+    it at a time ({!with_registry} transfers ownership for the duration of
+    a callback; mutating entry points enforce the discipline by raising
+    [Invalid_argument]).  The genuinely-shared cross-domain path uses
+    {!Shared_counter}. *)
 
 type t
 (** A registry: a flat namespace of instruments keyed by dotted name. *)
@@ -12,7 +21,18 @@ type t
 val create : unit -> t
 
 val default : t
-(** The process-wide registry all built-in instrumentation reports to. *)
+(** The main domain's initial registry — what all built-in instrumentation
+    reports to in a single-domain program. *)
+
+val current : unit -> t
+(** The calling domain's registry. On the main domain this starts as
+    {!default}; on any other domain it starts empty. *)
+
+val with_registry : t -> (unit -> 'a) -> 'a
+(** [with_registry t f] runs [f] with [t] as the calling domain's
+    {!current} registry, restoring the previous registry (and releasing
+    ownership of [t]) on exit, including on exceptions.  Raises
+    [Invalid_argument] if [t] is currently owned by another domain. *)
 
 val default_edges : float array
 (** Default latency bucket edges, in simulated microseconds. *)
@@ -34,6 +54,7 @@ module Histogram : sig
 
   val name : t -> string
   val edges : t -> float array
+
   val bucket_counts : t -> int array
   (** One count per edge, plus a final overflow bucket. Bucket [i] holds
       observations [v] with [edges.(i-1) < v <= edges.(i)]. *)
@@ -51,12 +72,30 @@ module Histogram : sig
 end
 
 val counter : ?registry:t -> string -> Counter.t
-(** Find-or-create. Raises [Invalid_argument] if the name is registered as
-    a histogram or contains characters outside [[A-Za-z0-9._-]]. *)
+(** Find-or-create. Without [?registry] the result is a dynamic handle
+    that follows {!current}; with [?registry] it is pinned to that
+    registry. Raises [Invalid_argument] if the name is registered as a
+    histogram or contains characters outside [[A-Za-z0-9._-]]. *)
 
 val histogram : ?registry:t -> ?edges:float array -> string -> Histogram.t
 (** Find-or-create; [edges] (default {!default_edges}) must be strictly
-    increasing and is only consulted on first registration. *)
+    increasing and is only consulted on first registration (per registry,
+    for dynamic handles). *)
+
+(** Atomic-backed counters for the rare genuinely cross-domain path (e.g.
+    live progress accounting in the parallel bench runner). They live
+    outside every registry and never appear in snapshots. *)
+module Shared_counter : sig
+  type t
+
+  val make : string -> t
+  val name : t -> string
+  val value : t -> int
+  val incr : t -> unit
+
+  val add : t -> int -> unit
+  (** Raises [Invalid_argument] on a negative increment. *)
+end
 
 (** Namespaced instrument factories: [Scope.counter (scope "kern") "traps"]
     registers ["kern.traps"]. *)
@@ -96,8 +135,16 @@ val histogram_sample : ?registry:t -> string -> histogram_snapshot option
 val names : ?registry:t -> unit -> string list
 
 val reset : ?registry:t -> unit -> unit
-(** Zero every instrument, keeping registrations (call sites hold direct
-    references). *)
+(** Zero every instrument, keeping registrations (call sites hold handles
+    resolving to them). *)
+
+val merge : ?registry:t -> snapshot -> unit
+(** Add a snapshot into a registry (default {!current}): counters sum,
+    histograms add bucket-wise. Instruments absent from the target are
+    created. Merging worker snapshots in a fixed task order keeps float
+    sums — and emitted JSON — bit-identical for any job count. Raises
+    [Invalid_argument] if a histogram's bucket edges disagree with the
+    target's. *)
 
 val delta : before:snapshot -> after:snapshot -> snapshot
 (** Instrument-wise difference of two snapshots of the same registry. *)

@@ -1,0 +1,29 @@
+(* Hash-based session placement for a sharded smodd deployment: route
+   each client (by a stable string key — tenant name, credential
+   principal) to one of K independent smodd instances, each owning its
+   own kernel, pools and caches.
+
+   FNV-1a over the key: cheap, decent diffusion on short human-readable
+   names, and trivially portable to a real deployment's router.  The
+   placement is a pure function of (key, shards), so every router replica
+   agrees without coordination — the property the E20 scale-out
+   experiment relies on when it drives each shard on its own domain. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let hash key =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    key;
+  !h
+
+let place ~shards key =
+  if shards < 1 then invalid_arg "Shard.place: shards must be >= 1";
+  Int64.to_int (Int64.unsigned_rem (hash key) (Int64.of_int shards))
+
+let partition ~shards keys =
+  let buckets = Array.make shards [] in
+  List.iter (fun k -> buckets.(place ~shards k) <- k :: buckets.(place ~shards k)) keys;
+  Array.map List.rev buckets

@@ -1,0 +1,16 @@
+(** Hash-based session placement for a sharded smodd deployment.
+
+    [place] is a pure function of (key, shard count) — FNV-1a over the
+    key — so every router replica routes a client to the same shard
+    without coordination.  The E20 scale-out experiment uses it to
+    partition a client population over K independent simulated kernels. *)
+
+val hash : string -> int64
+(** FNV-1a. *)
+
+val place : shards:int -> string -> int
+(** Shard index in [0, shards).  Raises [Invalid_argument] when
+    [shards < 1]. *)
+
+val partition : shards:int -> string list -> string list array
+(** Group keys by {!place}, preserving input order inside each shard. *)

@@ -7,7 +7,7 @@ open Smod_bench_kit
 
 let mini_config = { Figure8.smod_calls = 3_000; rpc_calls = 600; trials = 4; noise = 0.0 }
 
-let figure8_rows = lazy (Figure8.run (World.create ()) mini_config)
+let figure8_rows = lazy (Figure8.run mini_config)
 
 let row name =
   match

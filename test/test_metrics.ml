@@ -76,6 +76,259 @@ let test_snapshot_delta_reset () =
   Alcotest.(check int) "live handle still works" 0 (Metrics.Counter.value c)
 
 (* ------------------------------------------------------------------ *)
+(* Merge (the parallel-runner combining step)                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_merge_counters () =
+  let worker = Metrics.create () in
+  Metrics.Counter.add (Metrics.counter ~registry:worker "m.calls") 7;
+  Metrics.Counter.add (Metrics.counter ~registry:worker "m.fresh") 3;
+  let root = Metrics.create () in
+  Metrics.Counter.add (Metrics.counter ~registry:root "m.calls") 10;
+  Metrics.merge ~registry:root (Metrics.snapshot ~registry:worker ());
+  Alcotest.(check (option int)) "existing counter sums" (Some 17)
+    (Metrics.counter_value ~registry:root "m.calls");
+  Alcotest.(check (option int)) "absent counter created" (Some 3)
+    (Metrics.counter_value ~registry:root "m.fresh")
+
+let test_merge_histograms () =
+  let edges = [| 1.0; 2.0; 4.0 |] in
+  let worker = Metrics.create () in
+  let hw = Metrics.histogram ~registry:worker ~edges "m.lat" in
+  List.iter (Metrics.Histogram.observe hw) [ 0.5; 1.5; 3.0; 10.0 ];
+  let root = Metrics.create () in
+  let hr = Metrics.histogram ~registry:root ~edges "m.lat" in
+  List.iter (Metrics.Histogram.observe hr) [ 0.5; 0.7 ];
+  Metrics.merge ~registry:root (Metrics.snapshot ~registry:worker ());
+  Alcotest.(check (array int)) "buckets add element-wise" [| 3; 1; 1; 1 |]
+    (Metrics.Histogram.bucket_counts hr);
+  Alcotest.(check int) "count adds" 6 (Metrics.Histogram.count hr);
+  Alcotest.(check (float 1e-9)) "sum adds" 16.2 (Metrics.Histogram.sum hr)
+
+let test_merge_quantile_agrees () =
+  (* Quantiles over a merged histogram equal quantiles over one histogram
+     fed the union of observations. *)
+  let edges = [| 1.0; 2.0; 4.0 |] in
+  let obs_a = [ 0.2; 0.4; 1.2; 1.4 ] and obs_b = [ 0.6; 0.8; 1.6; 1.8; 2.5; 3.5 ] in
+  let part name obs =
+    let r = Metrics.create () in
+    List.iter (Metrics.Histogram.observe (Metrics.histogram ~registry:r ~edges name)) obs;
+    r
+  in
+  let root = Metrics.create () in
+  Metrics.merge ~registry:root (Metrics.snapshot ~registry:(part "q" obs_a) ());
+  Metrics.merge ~registry:root (Metrics.snapshot ~registry:(part "q" obs_b) ());
+  let whole = Metrics.create () in
+  let hw = Metrics.histogram ~registry:whole ~edges "q" in
+  List.iter (Metrics.Histogram.observe hw) (obs_a @ obs_b);
+  let merged = Option.get (Metrics.histogram_sample ~registry:root "q") in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%.0f" (p *. 100.0))
+        (Metrics.Histogram.quantile hw p)
+        (Metrics.snapshot_quantile merged p))
+    [ 0.1; 0.5; 0.9; 0.99 ]
+
+let test_merge_rejects_mismatched_edges () =
+  let worker = Metrics.create () in
+  ignore (Metrics.histogram ~registry:worker ~edges:[| 1.0; 2.0 |] "m.lat");
+  let root = Metrics.create () in
+  ignore (Metrics.histogram ~registry:root ~edges:[| 1.0; 8.0 |] "m.lat");
+  Alcotest.(check bool) "edge mismatch raises" true
+    (try
+       Metrics.merge ~registry:root (Metrics.snapshot ~registry:worker ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Domain-local registries and the single-owner discipline             *)
+(* ------------------------------------------------------------------ *)
+
+let test_with_registry_swaps_current () =
+  let outer = Metrics.current () in
+  let r = Metrics.create () in
+  Metrics.with_registry r (fun () ->
+      Alcotest.(check bool) "current is the wrapped registry" true (Metrics.current () == r);
+      (* A dynamic handle resolves against the swapped-in registry. *)
+      Metrics.Counter.incr (Metrics.counter "dls.count"));
+  Alcotest.(check bool) "current restored" true (Metrics.current () == outer);
+  Alcotest.(check (option int)) "update landed in the wrapped registry" (Some 1)
+    (Metrics.counter_value ~registry:r "dls.count");
+  Alcotest.(check (option int)) "outer registry untouched" None
+    (Metrics.counter_value "dls.count");
+  (* The restore also runs on exceptions. *)
+  (try Metrics.with_registry (Metrics.create ()) (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "restored after raise" true (Metrics.current () == outer)
+
+let test_fresh_domain_gets_own_registry () =
+  let c = Metrics.counter "domain.count" in
+  Metrics.Counter.add c 5;
+  let worker_snapshot =
+    Domain.join
+      (Domain.spawn (fun () ->
+           (* Same module-level handle, different domain: a fresh registry,
+              so the counter restarts at zero here. *)
+           Alcotest.(check int) "worker sees zero" 0 (Metrics.Counter.value c);
+           Metrics.Counter.incr c;
+           Metrics.snapshot ()))
+  in
+  Alcotest.(check int) "main domain unaffected" 5 (Metrics.Counter.value c);
+  (match worker_snapshot with
+  | [ ("domain.count", Metrics.Counter_sample 1) ] -> ()
+  | _ -> Alcotest.fail "unexpected worker snapshot");
+  Metrics.merge worker_snapshot;
+  Alcotest.(check int) "merge combines the worlds" 6 (Metrics.Counter.value c)
+
+let test_cross_domain_mutation_rejected () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "owned.count" in
+  Metrics.Counter.incr c;
+  (* The main domain owns [r] now; a pinned handle used from another
+     domain must raise rather than race. *)
+  let raised =
+    Domain.join
+      (Domain.spawn (fun () ->
+           try
+             Metrics.Counter.incr c;
+             false
+           with Invalid_argument _ -> true))
+  in
+  Alcotest.(check bool) "other domain rejected" true raised;
+  Alcotest.(check int) "count unchanged" 1 (Metrics.Counter.value c);
+  (* Ownership transfers only through a release: exiting with_registry on
+     the owner leaves the registry unclaimed, another domain may then
+     claim it, and its own exit hands it back. *)
+  Metrics.with_registry r (fun () -> ());
+  let ok =
+    Domain.join
+      (Domain.spawn (fun () ->
+           Metrics.with_registry r (fun () ->
+               Metrics.Counter.incr c;
+               Metrics.Counter.value c)))
+  in
+  Alcotest.(check int) "ownership transferred" 2 ok;
+  Metrics.Counter.incr c;
+  Alcotest.(check int) "ownership returned" 3 (Metrics.Counter.value c)
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Runner = Smod_bench_kit.Runner
+
+let test_runner_order_and_metrics () =
+  List.iter
+    (fun jobs ->
+      Metrics.with_registry (Metrics.create ()) (fun () ->
+          let tasks = List.init 13 (fun i -> i) in
+          let results =
+            Runner.map (Runner.create ~jobs) tasks (fun i ->
+                (* Dynamic handle: lands in this task's fresh registry and
+                   reaches the caller only via the merge. *)
+                Metrics.Counter.add (Metrics.counter "runner.work") (i + 1);
+                i * i)
+          in
+          Alcotest.(check (list int))
+            (Printf.sprintf "results in task order (jobs=%d)" jobs)
+            (List.map (fun i -> i * i) tasks)
+            results;
+          Alcotest.(check (option int))
+            (Printf.sprintf "task metrics merged (jobs=%d)" jobs)
+            (Some 91)
+            (Metrics.counter_value "runner.work")))
+    [ 1; 4 ]
+
+let test_runner_propagates_failure () =
+  Metrics.with_registry (Metrics.create ()) (fun () ->
+      let raised =
+        try
+          ignore
+            (Runner.map (Runner.create ~jobs:4) [ 0; 1; 2; 3; 4 ] (fun i ->
+                 if i = 2 then failwith "task-2";
+                 Metrics.Counter.incr (Metrics.counter "runner.ok");
+                 i));
+          None
+        with Failure m -> Some m
+      in
+      Alcotest.(check (option string)) "lowest failed task re-raised" (Some "task-2") raised;
+      (* Successful tasks still contributed their metrics. *)
+      Alcotest.(check (option int)) "survivor metrics merged" (Some 4)
+        (Metrics.counter_value "runner.ok"))
+
+let test_runner_rejects_bad_jobs () =
+  Alcotest.(check bool) "jobs=0 rejected" true
+    (try
+       ignore (Runner.create ~jobs:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Shard placement                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Shard = Smod_pool.Shard
+
+let test_shard_placement () =
+  let keys = List.init 32 (fun i -> Printf.sprintf "tenant-%03d" i) in
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun k ->
+          let s = Shard.place ~shards k in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s in range for K=%d" k shards)
+            true
+            (s >= 0 && s < shards);
+          Alcotest.(check int) (Printf.sprintf "%s stable" k) s (Shard.place ~shards k))
+        keys)
+    [ 1; 2; 4; 8 ];
+  Alcotest.(check bool) "K=1 is the identity shard" true
+    (List.for_all (fun k -> Shard.place ~shards:1 k = 0) keys);
+  (* Every shard gets someone for the E20 population sizes. *)
+  List.iter
+    (fun shards ->
+      let buckets = Shard.partition ~shards keys in
+      Alcotest.(check int) "bucket count" shards (Array.length buckets);
+      Alcotest.(check int) "partition covers every key" 32
+        (Array.fold_left (fun acc b -> acc + List.length b) 0 buckets);
+      Array.iteri
+        (fun i b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "shard %d/%d non-empty" i shards)
+            true (b <> []))
+        buckets)
+    [ 2; 4; 8 ];
+  Alcotest.(check bool) "shards=0 rejected" true
+    (try
+       ignore (Shard.place ~shards:0 "x");
+       false
+     with Invalid_argument _ -> true)
+
+let test_shard_hash_is_fnv1a () =
+  (* Spot-check against independently computed FNV-1a 64 values so the
+     placement stays compatible with an external router implementation. *)
+  Alcotest.(check int64) "empty string" 0xcbf29ce484222325L (Shard.hash "");
+  Alcotest.(check int64) "single byte" 0xaf63dc4c8601ec8cL (Shard.hash "a")
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across job counts                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_bench_document_job_invariant () =
+  let module Experiments = Smod_bench_kit.Experiments in
+  (* The cheap sections keep the test fast; every section uses the same
+     task pipeline, so invariance here covers the mechanism. *)
+  let ids = [ "e11"; "e12"; "e15" ] in
+  let doc_for jobs =
+    Metrics.with_registry (Metrics.create ()) (fun () ->
+        Experiments.run_document ~full:false ~runner:(Runner.create ~jobs) ids)
+  in
+  let d1 = Bench_json.to_string (doc_for 1) and d4 = Bench_json.to_string (doc_for 4) in
+  Alcotest.(check string) "jobs=1 and jobs=4 emit identical documents" d1 d4
+
+(* ------------------------------------------------------------------ *)
 (* JSON emitter / parser                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -320,6 +573,32 @@ let () =
           tc "quantiles interpolate" test_quantiles;
           tc "quantile overflow and empty" test_quantile_overflow_and_empty;
         ] );
+      ( "merge",
+        [
+          tc "counters sum" test_merge_counters;
+          tc "histograms add bucket-wise" test_merge_histograms;
+          tc "quantile after merge" test_merge_quantile_agrees;
+          tc "mismatched edges rejected" test_merge_rejects_mismatched_edges;
+        ] );
+      ( "domains",
+        [
+          tc "with_registry swaps current" test_with_registry_swaps_current;
+          tc "fresh domain, fresh registry" test_fresh_domain_gets_own_registry;
+          tc "cross-domain mutation rejected" test_cross_domain_mutation_rejected;
+        ] );
+      ( "runner",
+        [
+          tc "order and merged metrics" test_runner_order_and_metrics;
+          tc "failure propagation" test_runner_propagates_failure;
+          tc "rejects jobs=0" test_runner_rejects_bad_jobs;
+        ] );
+      ( "sharding",
+        [
+          tc "placement" test_shard_placement;
+          tc "fnv-1a vectors" test_shard_hash_is_fnv1a;
+        ] );
+      ( "determinism",
+        [ tc "bench document is --jobs invariant" test_bench_document_job_invariant ] );
       ( "json",
         [
           tc "round-trip" test_json_round_trip;
