@@ -1,23 +1,42 @@
-(* benchdiff — the CI perf-regression gate.
+(* benchdiff v2 — the CI perf-regression gate.
 
-   Compares two smod-bench JSON documents (see lib/bench_kit/bench_json.ml)
-   row by row and exits non-zero when any per-call mean drifts beyond the
-   tolerance, or when nothing could be compared at all.
+   Compares two smod-bench JSON documents (any pair of snapshots, by
+   path) under per-metric gates: mean rows tighter than p99 rows, with
+   thresholds from the checked-in bench/gates.json (--gates), overridable
+   per run with flags.  Baseline rows absent from the current document
+   are reported as "skip" and counted — never a silent pass.
 
-   Usage: dune exec bin/benchdiff.exe -- bench/baseline.json out.json --tolerance 2% *)
+   Also the trajectory viewer: --trajectory DIR reads every dated
+   snapshot under DIR and renders the headline-metric history table.
+
+   Usage:
+     dune exec bin/benchdiff.exe -- bench/baseline.json out.json --gates bench/gates.json
+     dune exec bin/benchdiff.exe -- --trajectory bench/baselines
+
+   Exit codes: 0 gate passed / trajectory rendered; 1 regression or
+   nothing compared; 2 usage or parse error. *)
 
 module Json = Smod_util.Json
 module Bench_json = Smod_bench_kit.Bench_json
+module Diff = Smod_bench_kit.Diff
+module Trajectory = Smod_bench_kit.Trajectory
 
-let read_doc path =
+let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
-  try Bench_json.of_string s
-  with Json.Parse_error msg ->
-    Printf.eprintf "benchdiff: %s: %s\n" path msg;
-    exit 2
+  s
+
+let read_doc path =
+  try Bench_json.of_string (read_file path)
+  with
+  | Json.Parse_error msg ->
+      Printf.eprintf "benchdiff: %s: %s\n" path msg;
+      exit 2
+  | Sys_error msg ->
+      Printf.eprintf "benchdiff: %s\n" msg;
+      exit 2
 
 (* "2%" or "0.02" both mean a 2% relative tolerance. *)
 let parse_tolerance s =
@@ -35,62 +54,155 @@ let parse_tolerance s =
   if v < 0.0 || not (Float.is_finite v) then fail ();
   v
 
-let main baseline_path current_path tolerance abs_eps abs_eps_for =
-  let rel_tol = parse_tolerance tolerance in
+(* Threshold precedence: built-in defaults < --gates file < explicit
+   flags, so CI pins bench/gates.json and a developer can still poke at
+   one knob without editing it. *)
+let resolve_gates gates_path mean_tol p99_tol abs_eps abs_eps_for =
+  let g =
+    match gates_path with
+    | None -> Diff.default_gates
+    | Some path -> (
+        try Diff.gates_of_string (read_file path)
+        with
+        | Json.Parse_error msg ->
+            Printf.eprintf "benchdiff: %s: %s\n" path msg;
+            exit 2
+        | Sys_error msg ->
+            Printf.eprintf "benchdiff: %s\n" msg;
+            exit 2)
+  in
+  let g =
+    match mean_tol with
+    | Some t -> { g with Diff.g_mean_rel = parse_tolerance t }
+    | None -> g
+  in
+  let g =
+    match p99_tol with Some t -> { g with Diff.g_p99_rel = parse_tolerance t } | None -> g
+  in
+  let g = match abs_eps with Some e -> { g with Diff.g_abs_eps = e } | None -> g in
+  let g =
+    match abs_eps_for with
+    | [] -> g
+    | overrides ->
+        (* Flag overrides shadow same-id file entries. *)
+        let keep =
+          List.filter (fun (id, _) -> not (List.mem_assoc id overrides)) g.Diff.g_abs_eps_for
+        in
+        { g with Diff.g_abs_eps_for = keep @ overrides }
+  in
+  if g.Diff.g_mean_rel > g.Diff.g_p99_rel then begin
+    Printf.eprintf
+      "benchdiff: mean tolerance (%g) must not exceed p99 tolerance (%g) — means are gated \
+       tighter\n"
+      g.Diff.g_mean_rel g.Diff.g_p99_rel;
+    exit 2
+  end;
+  g
+
+let run_trajectory dir =
+  let files =
+    match Sys.readdir dir with
+    | entries ->
+        Array.to_list entries
+        |> List.filter (fun f -> Filename.check_suffix f ".json")
+        |> List.sort compare
+    | exception Sys_error msg ->
+        Printf.eprintf "benchdiff: %s\n" msg;
+        exit 2
+  in
+  if files = [] then begin
+    Printf.eprintf "benchdiff: no snapshots (*.json) under %s\n" dir;
+    exit 1
+  end;
+  let entries =
+    List.map
+      (fun f -> Trajectory.entry_of_doc ~snapshot:f (read_doc (Filename.concat dir f)))
+      files
+  in
+  Printf.printf "perf trajectory: %d snapshot(s) under %s\n\n%s" (List.length entries) dir
+    (Trajectory.render entries)
+
+let run_compare baseline_path current_path gates =
   let baseline = read_doc baseline_path in
   let current = read_doc current_path in
-  let c = Bench_json.compare_docs ~rel_tol ~abs_eps ~abs_eps_for ~baseline ~current () in
-  Printf.printf "benchdiff: %s vs %s (tolerance %.4g%%, abs epsilon %g)\n" baseline_path
-    current_path (rel_tol *. 100.0) abs_eps;
+  let r = Diff.compare_docs ~gates ~baseline ~current () in
+  Printf.printf "benchdiff: %s vs %s (mean %.4g%%, p99 %.4g%%, abs epsilon %g)\n" baseline_path
+    current_path
+    (gates.Diff.g_mean_rel *. 100.0)
+    (gates.Diff.g_p99_rel *. 100.0)
+    gates.Diff.g_abs_eps;
   List.iter
     (fun (id, eps) -> Printf.printf "  (epsilon override: %s rows judged with %g)\n" id eps)
-    abs_eps_for;
-  List.iter
-    (fun (d : Bench_json.drift) ->
-      let delta_pct =
-        if d.d_base = 0.0 then Float.abs (d.d_cur -. d.d_base) *. 100.0
-        else (d.d_cur -. d.d_base) /. Float.abs d.d_base *. 100.0
-      in
-      (* Flag the rows judged under a per-experiment epsilon override so a
-         reader can tell which tolerance actually applied. *)
-      let eps_note = if d.d_abs_eps = abs_eps then "" else Printf.sprintf "  [eps %g]" d.d_abs_eps in
-      Printf.printf "  %-4s %-4s %-40s base %12.4f  cur %12.4f  (%+.3f%%)%s\n"
-        (if d.d_ok then "ok" else "FAIL")
-        d.d_experiment d.d_label d.d_base d.d_cur delta_pct eps_note)
-    c.Bench_json.drifts;
-  List.iter (fun k -> Printf.printf "  note  only in baseline: %s\n" k) c.Bench_json.missing;
-  List.iter (fun k -> Printf.printf "  note  only in current:  %s\n" k) c.Bench_json.extra;
-  let failed = List.filter (fun d -> not d.Bench_json.d_ok) c.Bench_json.drifts in
-  if c.Bench_json.compared = 0 then begin
+    gates.Diff.g_abs_eps_for;
+  print_string (Diff.render ~gates r);
+  if r.Diff.compared = 0 then begin
     Printf.eprintf "benchdiff: no rows in common between the two documents\n";
     exit 1
   end;
-  if failed <> [] then begin
-    Printf.printf "benchdiff: %d of %d rows drifted beyond tolerance\n" (List.length failed)
-      c.Bench_json.compared;
-    exit 1
-  end;
-  Printf.printf "benchdiff: %d rows compared, all within tolerance\n" c.Bench_json.compared
+  if r.Diff.failed > 0 then exit 1
+
+let main trajectory baseline_path current_path gates_path mean_tol p99_tol abs_eps abs_eps_for
+    =
+  match (trajectory, baseline_path, current_path) with
+  | Some dir, None, None -> run_trajectory dir
+  | Some _, _, _ ->
+      Printf.eprintf "benchdiff: --trajectory takes no BASELINE/CURRENT positionals\n";
+      exit 2
+  | None, Some b, Some c ->
+      run_compare b c (resolve_gates gates_path mean_tol p99_tol abs_eps abs_eps_for)
+  | None, _, _ ->
+      Printf.eprintf
+        "benchdiff: need BASELINE and CURRENT paths (or --trajectory DIR); see --help\n";
+      exit 2
 
 open Cmdliner
 
 let baseline =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE" ~doc:"Baseline bench JSON.")
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"BASELINE" ~doc:"Baseline bench JSON.")
 
 let current =
-  Arg.(required & pos 1 (some file) None & info [] ~docv:"CURRENT" ~doc:"Current bench JSON.")
+  Arg.(value & pos 1 (some file) None & info [] ~docv:"CURRENT" ~doc:"Current bench JSON.")
 
-let tolerance =
+let trajectory =
   Arg.(
     value
-    & opt string "2%"
-    & info [ "tolerance" ] ~docv:"TOL"
-        ~doc:"Maximum allowed relative drift of any per-row mean: \"2%\" or \"0.02\".")
+    & opt (some dir) None
+    & info [ "trajectory" ] ~docv:"DIR"
+        ~doc:
+          "Render the headline-metric history across every dated snapshot (*.json) under \
+           $(docv) instead of comparing two documents.")
+
+let gates =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "gates" ] ~docv:"PATH"
+        ~doc:
+          "Per-metric thresholds from a smod-bench-gates JSON file (the checked-in \
+           $(b,bench/gates.json)).  Explicit tolerance flags override its values.")
+
+let mean_tolerance =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mean-tolerance"; "tolerance" ] ~docv:"TOL"
+        ~doc:
+          "Maximum relative drift of any mean row: \"2%\" or \"0.02\".  Defaults to the \
+           gates file, else 2%.")
+
+let p99_tolerance =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "p99-tolerance" ] ~docv:"TOL"
+        ~doc:
+          "Looser maximum relative drift for p99 rows (labels containing \"p99\").  \
+           Defaults to the gates file, else 5%.")
 
 let abs_eps =
   Arg.(
     value
-    & opt float 1e-9
+    & opt (some float) None
     & info [ "abs-epsilon" ] ~docv:"EPS"
         ~doc:"Additive slack so exact-zero baseline rows don't fail on any change.")
 
@@ -105,8 +217,10 @@ let abs_eps_for =
            override are flagged in the report.")
 
 let cmd =
-  let doc = "Compare two smod-bench JSON documents and gate on drift" in
+  let doc = "Compare smod-bench snapshots under per-metric gates, or render the trajectory" in
   Cmd.v (Cmd.info "benchdiff" ~doc)
-    Term.(const main $ baseline $ current $ tolerance $ abs_eps $ abs_eps_for)
+    Term.(
+      const main $ trajectory $ baseline $ current $ gates $ mean_tolerance $ p99_tolerance
+      $ abs_eps $ abs_eps_for)
 
 let () = exit (Cmd.eval cmd)

@@ -6,13 +6,26 @@ module Json = Smod_util.Json
 module Cost = Smod_sim.Cost_model
 
 let schema_name = "smod-bench"
-let schema_version = 1
+
+(* v2 (PR 6): dated-baseline snapshots — the header carries capture
+   metadata (date, commit, jobs, captured sections) so a snapshot under
+   bench/baselines/ is self-describing and the trajectory can be rebuilt
+   from the files alone. *)
+let schema_version = 2
 
 type row = { r_label : string; r_unit : string; r_mean : float; r_stdev : float }
 type experiment = { e_id : string; e_title : string; e_rows : row list }
 
+type meta = {
+  mt_date : string;  (* "YYYY-MM-DD", UTC *)
+  mt_commit : string;  (* git short sha, or "nogit" *)
+  mt_jobs : int;
+  mt_sections : string list;
+}
+
 type doc = {
   mode : string;
+  meta : meta option;
   experiments : experiment list;
   metrics : Smod_metrics.snapshot;
 }
@@ -80,18 +93,30 @@ let json_of_metric (name, sample) =
           ("p99", Json.Float (Smod_metrics.snapshot_quantile h 0.99));
         ]
 
-let to_json doc =
+let json_of_meta m =
   Json.Obj
     [
-      ("schema", Json.String schema_name);
-      ("schema_version", Json.Int schema_version);
-      ("mode", Json.String doc.mode);
+      ("date", Json.String m.mt_date);
+      ("commit", Json.String m.mt_commit);
+      ("jobs", Json.Int m.mt_jobs);
+      ("sections", Json.Arr (List.map (fun s -> Json.String s) m.mt_sections));
+    ]
+
+let to_json doc =
+  Json.Obj
+    ([
+       ("schema", Json.String schema_name);
+       ("schema_version", Json.Int schema_version);
+       ("mode", Json.String doc.mode);
+     ]
+    @ (match doc.meta with Some m -> [ ("meta", json_of_meta m) ] | None -> [])
+    @ [
       ( "testbed",
         Json.Obj
           [ ("mhz", Json.Float Cost.mhz); ("cycles_per_us", Json.Float Cost.cycles_per_us) ] );
       ("experiments", Json.Arr (List.map json_of_experiment doc.experiments));
       ("metrics", Json.Arr (List.map json_of_metric doc.metrics));
-    ]
+    ])
 
 let to_string doc = Json.to_string (to_json doc) ^ "\n"
 
@@ -132,18 +157,33 @@ let metric_of_json j =
           } )
   | kind -> raise (Json.Parse_error (Printf.sprintf "unknown metric kind %S" kind))
 
+let meta_of_json j =
+  {
+    mt_date = Json.get_string (Json.member_exn "date" j);
+    mt_commit = Json.get_string (Json.member_exn "commit" j);
+    mt_jobs = Json.get_int (Json.member_exn "jobs" j);
+    mt_sections = List.map Json.get_string (Json.to_list (Json.member_exn "sections" j));
+  }
+
 let of_json j =
   (match Json.member "schema" j with
   | Some (Json.String s) when s = schema_name -> ()
   | _ -> raise (Json.Parse_error "not a smod-bench document"));
+  (* A version mismatch is a hard error, never a best-effort read: a v1
+     snapshot has no capture metadata and would silently compare as an
+     undated document. *)
   (match Json.get_int (Json.member_exn "schema_version" j) with
   | v when v = schema_version -> ()
   | v ->
       raise
         (Json.Parse_error
-           (Printf.sprintf "schema_version %d unsupported (want %d)" v schema_version)));
+           (Printf.sprintf
+              "schema_version %d unsupported (want %d) — regenerate the snapshot with \
+               `smodctl bench capture` (or `bench --json`)"
+              v schema_version)));
   {
     mode = Json.get_string (Json.member_exn "mode" j);
+    meta = Option.map meta_of_json (Json.member "meta" j);
     experiments =
       List.map experiment_of_json (Json.to_list (Json.member_exn "experiments" j));
     metrics = List.map metric_of_json (Json.to_list (Json.member_exn "metrics" j));
@@ -151,75 +191,5 @@ let of_json j =
 
 let of_string s = of_json (Json.of_string s)
 
-(* ------------------------------------------------------------------ *)
-(* Drift comparison (the CI gate)                                      *)
-(* ------------------------------------------------------------------ *)
-
-type drift = {
-  d_experiment : string;
-  d_label : string;
-  d_base : float;
-  d_cur : float;
-  d_ok : bool;
-  d_abs_eps : float;  (** the additive epsilon this row was judged with *)
-}
-
-type comparison = {
-  compared : int;
-  drifts : drift list;  (** rows present in both documents, one entry each *)
-  missing : string list;  (** "<exp>/<label>" in baseline but not current *)
-  extra : string list;  (** in current but not baseline *)
-}
-
-let comparison_ok c = c.compared > 0 && List.for_all (fun d -> d.d_ok) c.drifts
-
-let key e r = e.e_id ^ "/" ^ r.r_label
-
-let rows_by_key doc =
-  List.concat_map (fun e -> List.map (fun r -> (key e r, (e, r))) e.e_rows) doc.experiments
-
-(* A row passes when |cur - base| <= abs_eps + rel_tol * |base|.  The
-   additive epsilon keeps exact-zero baseline rows (e.g. the E12 private
-   handle queue depths) from turning any change into an infinite relative
-   drift.  [abs_eps_for] overrides the epsilon per experiment id — some
-   experiments (queue-depth counts, sub-microsecond ring rows) need a
-   looser or tighter absolute band than the document-wide default; each
-   drift records the epsilon it was judged with so reports can show
-   which rows ran under an override. *)
-let compare_docs ?(rel_tol = 0.02) ?(abs_eps = 1e-9) ?(abs_eps_for = []) ~baseline ~current ()
-    =
-  let base_rows = rows_by_key baseline and cur_rows = rows_by_key current in
-  let drifts =
-    List.filter_map
-      (fun (k, (e, br)) ->
-        match List.assoc_opt k cur_rows with
-        | None -> None
-        | Some (_, cr) ->
-            let eps =
-              match List.assoc_opt e.e_id abs_eps_for with Some e -> e | None -> abs_eps
-            in
-            let ok =
-              Float.abs (cr.r_mean -. br.r_mean) <= eps +. (rel_tol *. Float.abs br.r_mean)
-            in
-            Some
-              {
-                d_experiment = e.e_id;
-                d_label = br.r_label;
-                d_base = br.r_mean;
-                d_cur = cr.r_mean;
-                d_ok = ok;
-                d_abs_eps = eps;
-              })
-      base_rows
-  in
-  let missing =
-    List.filter_map
-      (fun (k, _) -> if List.mem_assoc k cur_rows then None else Some k)
-      base_rows
-  in
-  let extra =
-    List.filter_map
-      (fun (k, _) -> if List.mem_assoc k base_rows then None else Some k)
-      cur_rows
-  in
-  { compared = List.length drifts; drifts; missing; extra }
+(* The drift comparison that used to live here is now lib/bench_kit/diff.ml
+   (benchdiff v2): per-metric gates, skipped-row reporting, gates.json. *)

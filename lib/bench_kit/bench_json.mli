@@ -7,13 +7,24 @@
     CI runs against [bench/baseline.json]. *)
 
 val schema_name : string
+
 val schema_version : int
+(** 2 since the dated-baseline work: the header may carry a [meta] block
+    with capture date, commit, jobs and captured sections. *)
 
 type row = { r_label : string; r_unit : string; r_mean : float; r_stdev : float }
 type experiment = { e_id : string; e_title : string; e_rows : row list }
 
+type meta = {
+  mt_date : string;  (** capture date, "YYYY-MM-DD" (UTC) *)
+  mt_commit : string;  (** git short sha at capture, or "nogit" *)
+  mt_jobs : int;  (** runner domains the capture ran with *)
+  mt_sections : string list;  (** experiment ids captured *)
+}
+
 type doc = {
   mode : string;  (** "quick" or "full" *)
+  meta : meta option;  (** present on dated snapshots ([smodctl bench capture]) *)
   experiments : experiment list;
   metrics : Smod_metrics.snapshot;
 }
@@ -30,43 +41,6 @@ val to_string : doc -> string
 val of_json : Smod_util.Json.t -> doc
 val of_string : string -> doc
 (** Raise {!Smod_util.Json.Parse_error} on malformed input, a wrong
-    [schema] tag, or an unsupported [schema_version]. *)
-
-(** {1 Drift comparison} *)
-
-type drift = {
-  d_experiment : string;
-  d_label : string;
-  d_base : float;
-  d_cur : float;
-  d_ok : bool;
-  d_abs_eps : float;  (** the additive epsilon this row was judged with *)
-}
-
-type comparison = {
-  compared : int;
-  drifts : drift list;  (** rows present in both documents, one entry each *)
-  missing : string list;  (** "<exp>/<label>" in baseline but not current *)
-  extra : string list;  (** in current but not baseline *)
-}
-
-val compare_docs :
-  ?rel_tol:float ->
-  ?abs_eps:float ->
-  ?abs_eps_for:(string * float) list ->
-  baseline:doc ->
-  current:doc ->
-  unit ->
-  comparison
-(** Compare per-row means over the intersection of rows.  A row passes
-    when [|cur - base| <= abs_eps + rel_tol * |base|]; the additive
-    [abs_eps] (default 1e-9) keeps exact-zero baseline rows from turning
-    any change into an infinite relative drift.  [abs_eps_for] overrides
-    the epsilon for specific experiment ids ([("e12", 0.05)]); every
-    {!drift} records the epsilon it was judged with.  Rows only on one
-    side are reported but do not fail the comparison — CI smoke runs a
-    subset of the experiments in the committed baseline. *)
-
-val comparison_ok : comparison -> bool
-(** True when at least one row was compared and every compared row is
-    within tolerance. *)
+    [schema] tag, or an unsupported [schema_version] — the version error
+    carries a one-line regeneration hint, and is deliberately a hard
+    error rather than a best-effort read (see {!Diff}). *)

@@ -1,0 +1,224 @@
+(* benchdiff's comparison core, as a library (PR 6).
+
+   Compares any two smod-bench documents row by row under per-metric
+   gates in the ROCmForge style: a row whose label marks it as a tail
+   quantile ("p99") is judged at a looser relative tolerance than a mean
+   row — means are tight repeatable statistics, tails wobble.  The gate
+   set is data ([gates], checked in as bench/gates.json) so CI and a
+   developer's shell agree on the thresholds without flag archaeology.
+
+   A baseline row with no counterpart in the current document is
+   SKIPPED, never silently passed: the report says so row by row and the
+   summary counts them, so a smoke run gating a subset of the committed
+   baseline shows exactly what it did not check. *)
+
+module Json = Smod_util.Json
+
+(* ------------------------------------------------------------------ *)
+(* Gates                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type metric = Mean | P99
+
+(* Row classification is by label: every tail row the harness emits
+   spells "p99" in its label ("ring batch 16 (p99)", "msgq K=8 p99 (us)"). *)
+let metric_of_label label =
+  let l = String.lowercase_ascii label in
+  let n = String.length l in
+  let rec has i = i + 3 <= n && (String.sub l i 3 = "p99" || has (i + 1)) in
+  if has 0 then P99 else Mean
+
+type gates = {
+  g_mean_rel : float;  (* relative tolerance for mean rows *)
+  g_p99_rel : float;  (* looser relative tolerance for p99 rows *)
+  g_abs_eps : float;  (* additive slack, absorbs exact-zero baselines *)
+  g_abs_eps_for : (string * float) list;  (* per-experiment overrides *)
+}
+
+let default_gates =
+  { g_mean_rel = 0.02; g_p99_rel = 0.05; g_abs_eps = 1e-9; g_abs_eps_for = [] }
+
+let gates_schema_name = "smod-bench-gates"
+let gates_schema_version = 1
+
+let validate_gates g =
+  let bad fmt = Printf.ksprintf (fun m -> raise (Json.Parse_error m)) fmt in
+  let check name v =
+    if v < 0.0 || not (Float.is_finite v) then bad "gates: %s must be finite and >= 0" name
+  in
+  check "mean_rel" g.g_mean_rel;
+  check "p99_rel" g.g_p99_rel;
+  check "abs_eps" g.g_abs_eps;
+  List.iter (fun (id, e) -> check ("abs_eps_for." ^ id) e) g.g_abs_eps_for;
+  if g.g_mean_rel > g.g_p99_rel then
+    bad "gates: mean_rel (%g) must not exceed p99_rel (%g) — means are gated tighter"
+      g.g_mean_rel g.g_p99_rel;
+  g
+
+let gates_to_json g =
+  Json.Obj
+    [
+      ("schema", Json.String gates_schema_name);
+      ("schema_version", Json.Int gates_schema_version);
+      ("mean_rel", Json.Float g.g_mean_rel);
+      ("p99_rel", Json.Float g.g_p99_rel);
+      ("abs_eps", Json.Float g.g_abs_eps);
+      ( "abs_eps_for",
+        Json.Obj (List.map (fun (id, e) -> (id, Json.Float e)) g.g_abs_eps_for) );
+    ]
+
+let gates_of_json j =
+  (match Json.member "schema" j with
+  | Some (Json.String s) when s = gates_schema_name -> ()
+  | _ -> raise (Json.Parse_error "not a smod-bench-gates document"));
+  (match Json.get_int (Json.member_exn "schema_version" j) with
+  | v when v = gates_schema_version -> ()
+  | v ->
+      raise
+        (Json.Parse_error
+           (Printf.sprintf "gates schema_version %d unsupported (want %d)" v
+              gates_schema_version)));
+  validate_gates
+    {
+      g_mean_rel = Json.get_float (Json.member_exn "mean_rel" j);
+      g_p99_rel = Json.get_float (Json.member_exn "p99_rel" j);
+      g_abs_eps = Json.get_float (Json.member_exn "abs_eps" j);
+      g_abs_eps_for =
+        (match Json.member "abs_eps_for" j with
+        | None | Some Json.Null -> []
+        | Some (Json.Obj fields) -> List.map (fun (id, v) -> (id, Json.get_float v)) fields
+        | Some _ -> raise (Json.Parse_error "gates: abs_eps_for must be an object"));
+    }
+
+let gates_of_string s = gates_of_json (Json.of_string s)
+let gates_to_string g = Json.to_string (gates_to_json g) ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type status = Pass | Fail | Skipped
+
+type row_result = {
+  rr_experiment : string;
+  rr_label : string;
+  rr_metric : metric;
+  rr_base : float;
+  rr_cur : float option;  (** [None]: the row is missing in current — skipped *)
+  rr_rel_tol : float;  (** the relative tolerance this row was judged with *)
+  rr_abs_eps : float;  (** the additive epsilon this row was judged with *)
+  rr_status : status;
+}
+
+type result = {
+  rows : row_result list;  (* baseline document order *)
+  compared : int;  (* rows present in both documents *)
+  failed : int;
+  skipped : int;  (* baseline rows with no counterpart *)
+  extra : string list;  (* "<exp>/<label>" only in current *)
+}
+
+let ok r = r.compared > 0 && r.failed = 0
+
+let key id label = id ^ "/" ^ label
+
+let rows_by_key (doc : Bench_json.doc) =
+  List.concat_map
+    (fun (e : Bench_json.experiment) ->
+      List.map (fun (r : Bench_json.row) -> (key e.e_id r.r_label, (e, r))) e.e_rows)
+    doc.experiments
+
+(* A compared row passes when |cur - base| <= abs_eps + rel_tol * |base|,
+   rel_tol picked by the row's metric class.  The additive epsilon keeps
+   exact-zero baseline rows (the E12 private-handle queue depths) from
+   turning any change into an infinite relative drift. *)
+let compare_docs ?(gates = default_gates) ~(baseline : Bench_json.doc)
+    ~(current : Bench_json.doc) () =
+  let base_rows = rows_by_key baseline and cur_rows = rows_by_key current in
+  let rows =
+    List.map
+      (fun (k, ((e : Bench_json.experiment), (br : Bench_json.row))) ->
+        let rr_metric = metric_of_label br.r_label in
+        let rr_rel_tol =
+          match rr_metric with Mean -> gates.g_mean_rel | P99 -> gates.g_p99_rel
+        in
+        let rr_abs_eps =
+          match List.assoc_opt e.e_id gates.g_abs_eps_for with
+          | Some eps -> eps
+          | None -> gates.g_abs_eps
+        in
+        let rr_cur, rr_status =
+          match List.assoc_opt k cur_rows with
+          | None -> (None, Skipped)
+          | Some (_, (cr : Bench_json.row)) ->
+              let within =
+                Float.abs (cr.r_mean -. br.r_mean)
+                <= rr_abs_eps +. (rr_rel_tol *. Float.abs br.r_mean)
+              in
+              (Some cr.r_mean, if within then Pass else Fail)
+        in
+        {
+          rr_experiment = e.e_id;
+          rr_label = br.r_label;
+          rr_metric;
+          rr_base = br.r_mean;
+          rr_cur;
+          rr_rel_tol;
+          rr_abs_eps;
+          rr_status;
+        })
+      base_rows
+  in
+  let extra =
+    List.filter_map
+      (fun (k, _) -> if List.mem_assoc k base_rows then None else Some k)
+      cur_rows
+  in
+  let count st = List.length (List.filter (fun r -> r.rr_status = st) rows) in
+  {
+    rows;
+    compared = count Pass + count Fail;
+    failed = count Fail;
+    skipped = count Skipped;
+    extra;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Report rendering                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let render ?(gates = default_gates) (r : result) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun rr ->
+      let status =
+        match rr.rr_status with Pass -> "ok" | Fail -> "FAIL" | Skipped -> "skip"
+      in
+      let metric = match rr.rr_metric with Mean -> "mean" | P99 -> "p99" in
+      let eps_note =
+        if rr.rr_abs_eps = gates.g_abs_eps then ""
+        else Printf.sprintf "  [eps %g]" rr.rr_abs_eps
+      in
+      match rr.rr_cur with
+      | None ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-4s %-4s %-4s %-40s base %12.4f  (row missing in current)\n"
+               status rr.rr_experiment metric rr.rr_label rr.rr_base)
+      | Some cur ->
+          let delta_pct =
+            if rr.rr_base = 0.0 then Float.abs (cur -. rr.rr_base) *. 100.0
+            else (cur -. rr.rr_base) /. Float.abs rr.rr_base *. 100.0
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  %-4s %-4s %-4s %-40s base %12.4f  cur %12.4f  (%+.3f%% @ %.3g%%)%s\n"
+               status rr.rr_experiment metric rr.rr_label rr.rr_base cur delta_pct
+               (rr.rr_rel_tol *. 100.0) eps_note))
+    r.rows;
+  List.iter
+    (fun k -> Buffer.add_string buf (Printf.sprintf "  note  only in current:  %s\n" k))
+    r.extra;
+  Buffer.add_string buf
+    (Printf.sprintf "benchdiff: %d compared (%d failed), %d skipped, %d only-in-current\n"
+       r.compared r.failed r.skipped (List.length r.extra));
+  Buffer.contents buf

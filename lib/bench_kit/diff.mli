@@ -1,0 +1,72 @@
+(** benchdiff's comparison core: row-by-row drift gating between two
+    bench documents under per-metric thresholds.
+
+    Mean rows are gated tighter than tail rows — a row whose label
+    contains "p99" (case-insensitive) is a {!P99} metric and judged at
+    [g_p99_rel]; everything else is a {!Mean} judged at [g_mean_rel].
+    The thresholds live in a {!gates} value, loadable from the
+    checked-in [bench/gates.json] ("smod-bench-gates" schema) so CI and
+    local runs share one configuration.
+
+    Baseline rows missing from the current document are reported as
+    {!Skipped}, never silently passed; {!ok} additionally requires that
+    at least one row was actually compared. *)
+
+type metric = Mean | P99
+
+val metric_of_label : string -> metric
+(** [P99] iff the label contains "p99", case-insensitive. *)
+
+type gates = {
+  g_mean_rel : float;  (** relative tolerance for mean rows *)
+  g_p99_rel : float;  (** looser relative tolerance for p99 rows *)
+  g_abs_eps : float;  (** additive slack, absorbs exact-zero baselines *)
+  g_abs_eps_for : (string * float) list;
+      (** per-experiment-id overrides of [g_abs_eps] *)
+}
+
+val default_gates : gates
+(** 2% mean, 5% p99, 1e-9 additive epsilon, no overrides. *)
+
+val gates_to_json : gates -> Smod_util.Json.t
+val gates_to_string : gates -> string
+
+val gates_of_json : Smod_util.Json.t -> gates
+val gates_of_string : string -> gates
+(** Raise {!Smod_util.Json.Parse_error} on a malformed document, an
+    unknown schema/version, negative or non-finite thresholds, or a
+    mean tolerance looser than the p99 tolerance. *)
+
+type status = Pass | Fail | Skipped
+
+type row_result = {
+  rr_experiment : string;
+  rr_label : string;
+  rr_metric : metric;
+  rr_base : float;
+  rr_cur : float option;  (** [None]: row missing in current — skipped *)
+  rr_rel_tol : float;  (** relative tolerance this row was judged with *)
+  rr_abs_eps : float;  (** additive epsilon this row was judged with *)
+  rr_status : status;
+}
+
+type result = {
+  rows : row_result list;  (** baseline document order *)
+  compared : int;  (** rows present in both documents *)
+  failed : int;
+  skipped : int;  (** baseline rows with no counterpart in current *)
+  extra : string list;  (** ["<exp>/<label>"] rows only in current *)
+}
+
+val compare_docs :
+  ?gates:gates -> baseline:Bench_json.doc -> current:Bench_json.doc -> unit -> result
+(** A compared row passes when
+    [|cur - base| <= abs_eps + rel_tol * |base|]. *)
+
+val ok : result -> bool
+(** At least one row compared and none failed.  Skipped rows do not
+    fail the gate, but a comparison that skipped everything does. *)
+
+val render : ?gates:gates -> result -> string
+(** The per-row ok/FAIL/skip report plus a one-line summary; shared by
+    [bin/benchdiff.ml] and CI logs. *)

@@ -247,7 +247,7 @@ let estimate_seconds ~full s = float_of_int (s.s_dispatches ~full) /. approx_dis
    harness prints; tests pass nothing).  The metric snapshot is the
    calling domain's registry — run inside [Smod_metrics.with_registry]
    for an isolated document. *)
-let run_document ?(on_section = fun _ _ -> ()) ~full ~runner ids =
+let run_document ?(on_section = fun _ _ -> ()) ?meta ~full ~runner ids =
   let chosen = List.filter (fun s -> List.mem s.s_id ids) sections in
   let experiments =
     List.map
@@ -259,6 +259,7 @@ let run_document ?(on_section = fun _ _ -> ()) ~full ~runner ids =
   in
   {
     Bench_json.mode = (if full then "full" else "quick");
+    meta;
     experiments;
     metrics = Smod_metrics.snapshot ();
   }

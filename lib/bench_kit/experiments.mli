@@ -36,6 +36,7 @@ val estimate_seconds : full:bool -> section -> float
 
 val run_document :
   ?on_section:(section -> outcome -> unit) ->
+  ?meta:Bench_json.meta ->
   full:bool ->
   runner:Runner.t ->
   string list ->
@@ -43,6 +44,8 @@ val run_document :
 (** Run the sections whose ids appear in the list (catalog order, unknown
     ids ignored — validate with {!find} first) and assemble the bench
     JSON document.  [on_section] fires after each section completes; the
-    harness uses it to print [rendered].  The document's metric snapshot
-    is taken from the calling domain's current registry — wrap the call
-    in {!Smod_metrics.with_registry} to get an isolated snapshot. *)
+    harness uses it to print [rendered].  [meta] stamps the capture
+    header ([smodctl bench capture] passes date/commit/jobs).  The
+    document's metric snapshot is taken from the calling domain's current
+    registry — wrap the call in {!Smod_metrics.with_registry} to get an
+    isolated snapshot. *)

@@ -392,6 +392,19 @@ let names ?registry () =
   let registry = match registry with Some r -> r | None -> current () in
   Hashtbl.fold (fun name _ acc -> name :: acc) registry.metrics [] |> List.sort compare
 
+let counters_with_prefix ?registry prefix =
+  let registry = match registry with Some r -> r | None -> current () in
+  let plen = String.length prefix in
+  Hashtbl.fold
+    (fun name m acc ->
+      match m with
+      | M_counter c
+        when String.length name >= plen && String.sub name 0 plen = prefix ->
+          (name, c.c_value) :: acc
+      | M_counter _ | M_histogram _ -> acc)
+    registry.metrics []
+  |> List.sort compare
+
 (* Zero every instrument but keep the registrations (call sites hold
    handles resolving to the instruments, so dropping entries would
    silently disconnect live caches). *)

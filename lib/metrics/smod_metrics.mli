@@ -134,6 +134,11 @@ val counter_value : ?registry:t -> string -> int option
 val histogram_sample : ?registry:t -> string -> histogram_snapshot option
 val names : ?registry:t -> unit -> string list
 
+val counters_with_prefix : ?registry:t -> string -> (string * int) list
+(** Every counter whose name starts with the prefix, sorted by name —
+    the read-only scan [Secmodule.Audit] derives per-function dispatch
+    sets (unused grants) from. *)
+
 val reset : ?registry:t -> unit -> unit
 (** Zero every instrument, keeping registrations (call sites hold handles
     resolving to them). *)

@@ -1,0 +1,50 @@
+(** [smodctl audit]: a least-privilege posture score per installed
+    module, 0..100, higher = tighter.
+
+    Derived entirely from existing introspection — registry entries,
+    {!Smod.policy_compile_status}, live sessions, the
+    [secmodule.func_calls.*] / [secmodule.func_denied.*] counters, and
+    systrace attachments.  Nothing new is charged on the dispatch path
+    (DESIGN.md §10).
+
+    Weighted components: policy breadth (0.45), grant usage (0.30),
+    systrace coverage of live handles (0.15), enforcement evidence
+    (0.10).  An over-privileged module — broad grants, [Always_allow],
+    unfiltered handle — scores strictly below a tight one
+    (test/test_audit.ml). *)
+
+type component = {
+  c_name : string;
+  c_weight : float;
+  c_score : float;  (** 0..1, higher = tighter *)
+  c_detail : string;
+}
+
+type report = {
+  a_m_id : int;
+  a_module : string;
+  a_policy : string;  (** {!Policy.describe} of the module's policy *)
+  a_score : float;  (** 0..100, higher = tighter *)
+  a_components : component list;
+  a_granted : string list;  (** exported functions, funcID order *)
+  a_dispatched : string list;  (** functions with any dispatch evidence *)
+  a_unused : string list;  (** granted but never dispatched *)
+  a_calls : int;  (** allowed dispatches, from the per-function counters *)
+  a_denied : int;  (** denied dispatches *)
+}
+
+val score :
+  ?registry:Smod_metrics.t -> ?systrace:Smod_systrace.Systrace.t -> Smod.t -> report list
+(** One report per registry entry, sorted by [m_id].  [registry]
+    defaults to the calling domain's current metric registry;
+    [systrace], when absent, scores the coverage component 0. *)
+
+val render : report list -> string
+(** Summary table plus a per-module component breakdown. *)
+
+val schema_name : string
+val schema_version : int
+
+val to_json : report list -> Smod_util.Json.t
+val to_string : report list -> string
+(** The ["smod-audit"] document ([smodctl audit --json]). *)

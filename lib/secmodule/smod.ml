@@ -114,6 +114,16 @@ let m_sessions_detached = Smod_metrics.Scope.counter m_scope "sessions_detached"
 let m_handle_scrubs = Smod_metrics.Scope.counter m_scope "handle_scrubs"
 let m_scrub_bytes = Smod_metrics.Scope.counter m_scope "scrub_bytes"
 
+(* Per-function dispatch accounting: dynamic counters named
+   secmodule.func_calls.<module>.<function> (and .func_denied...) are the
+   evidence `smodctl audit` reads to find granted-but-never-dispatched
+   functions.  Metrics only — no cost-model charge, so simulated timings
+   are byte-for-byte what the baselines measured. *)
+let count_func ~denied ~mod_name ~func_name =
+  let kind = if denied then "func_denied" else "func_calls" in
+  Smod_metrics.Counter.incr
+    (Smod_metrics.counter (String.concat "." [ "secmodule"; kind; mod_name; func_name ]))
+
 (* Compiled-policy cache traffic (the caches themselves live on registry
    entries and, when smodd is installed, in the pool's policy cache). *)
 let m_compile_hits = Smod_metrics.Scope.counter m_scope "policy_compile_hits"
@@ -1111,6 +1121,8 @@ let sys_call t (p : Proc.t) ~framep ~rtnaddr ~m_id ~func_id =
     | Some (Cache_deny reason) ->
         session.denied_calls <- session.denied_calls + 1;
         Smod_metrics.Counter.incr m_calls_denied;
+        count_func ~denied:true
+          ~mod_name:session.entry.Registry.image.Smof.mod_name ~func_name;
         Errno.raise_errno Errno.EACCES reason
     | None -> (
         let attrs =
@@ -1144,12 +1156,19 @@ let sys_call t (p : Proc.t) ~framep ~rtnaddr ~m_id ~func_id =
           | Some _ | None -> ());
           session.denied_calls <- session.denied_calls + 1;
           Smod_metrics.Counter.incr m_calls_denied;
+          count_func ~denied:true
+            ~mod_name:session.entry.Registry.image.Smof.mod_name ~func_name;
           raise denial)
   end
   else if Registry.symbol_of_func_id session.entry func_id = None then
     Errno.raise_errno Errno.EINVAL "smod_call: bad funcID";
   session.calls <- session.calls + 1;
   Smod_metrics.Counter.incr m_calls;
+  (match Registry.symbol_of_func_id session.entry func_id with
+  | Some sym ->
+      count_func ~denied:false ~mod_name:session.entry.Registry.image.Smof.mod_name
+        ~func_name:sym.Smof.sym_name
+  | None -> ());
   let mitigation = apply_call_mitigation t p in
   let request =
     {
@@ -1353,10 +1372,18 @@ let sys_call_batch t (p : Proc.t) ~m_id ~max_slots =
           Ring.kernel_complete ring ~seq ~status:6
         end
         else begin
+          let count_slot ~denied =
+            match Registry.symbol_of_func_id session.entry func_id with
+            | Some sym ->
+                count_func ~denied ~mod_name:session.entry.Registry.image.Smof.mod_name
+                  ~func_name:sym.Smof.sym_name
+            | None -> ()
+          in
           match decide func_id with
           | Cache_allow ->
               session.calls <- session.calls + 1;
               Smod_metrics.Counter.incr m_calls;
+              count_slot ~denied:false;
               incr allowed;
               Machine.ring_record_stamp t.machine ~pid:p.Proc.pid ~seq
                 ~m_id:slot_m_id ~func_id ~allow:true;
@@ -1365,6 +1392,7 @@ let sys_call_batch t (p : Proc.t) ~m_id ~max_slots =
               session.denied_calls <- session.denied_calls + 1;
               Smod_metrics.Counter.incr m_calls_denied;
               Smod_metrics.Counter.incr m_ring_denied;
+              count_slot ~denied:true;
               Machine.ring_record_stamp t.machine ~pid:p.Proc.pid ~seq
                 ~m_id:slot_m_id ~func_id ~allow:false;
               Ring.kernel_complete ring ~seq ~status:6

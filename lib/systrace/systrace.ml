@@ -173,6 +173,11 @@ let install machine =
 let attach t ~pid policy = Hashtbl.replace t.policies pid policy
 let detach t ~pid = Hashtbl.remove t.policies pid
 let attached t ~pid = Hashtbl.mem t.policies pid
+let attached_policy t ~pid = Hashtbl.find_opt t.policies pid
+
+let attachments t =
+  Hashtbl.fold (fun pid policy acc -> (pid, policy) :: acc) t.policies []
+  |> List.sort compare
 let audit t = List.rev t.events
 let audit_count t = t.n_events
 

@@ -56,6 +56,14 @@ val install : Smod_kern.Machine.t -> t
 val attach : t -> pid:int -> policy -> unit
 val detach : t -> pid:int -> unit
 val attached : t -> pid:int -> bool
+
+val attached_policy : t -> pid:int -> policy option
+(** The policy currently enforced on [pid], if any — read-only
+    introspection for [Secmodule.Audit]'s filter-coverage component. *)
+
+val attachments : t -> (int * policy) list
+(** Every (pid, policy) attachment, sorted by pid. *)
+
 val audit : t -> event list
 (** Oldest first; every trap by an attached process, allowed or not. *)
 

@@ -380,6 +380,7 @@ let test_json_rejects_garbage () =
 let sample_doc ?(smod_mean = 6.407) () =
   {
     Bench_json.mode = "quick";
+    meta = None;
     experiments =
       [
         Bench_json.experiment ~id:"e1" ~title:"Figure 8"
@@ -419,39 +420,8 @@ let test_bench_json_rejects_wrong_schema () =
        false
      with Json.Parse_error _ -> true)
 
-let test_compare_within_tolerance () =
-  let baseline = sample_doc () in
-  let current = sample_doc ~smod_mean:(6.407 *. 1.01) () in
-  let c = Bench_json.compare_docs ~rel_tol:0.02 ~baseline ~current () in
-  Alcotest.(check int) "all rows compared" 3 c.Bench_json.compared;
-  Alcotest.(check bool) "1% drift passes at 2%" true (Bench_json.comparison_ok c)
-
-let test_compare_flags_drift () =
-  let baseline = sample_doc () in
-  let current = sample_doc ~smod_mean:(6.407 *. 1.05) () in
-  let c = Bench_json.compare_docs ~rel_tol:0.02 ~baseline ~current () in
-  Alcotest.(check bool) "5% drift fails at 2%" false (Bench_json.comparison_ok c);
-  let failed = List.filter (fun d -> not d.Bench_json.d_ok) c.Bench_json.drifts in
-  Alcotest.(check (list string)) "only the drifted row" [ "SMOD(test-incr)" ]
-    (List.map (fun d -> d.Bench_json.d_label) failed)
-
-let test_compare_zero_row_epsilon () =
-  (* E12 private-handle rows are exactly 0.0; a pure relative test would
-     fail on any change and pass on none.  The additive epsilon absorbs
-     rounding while still catching real movement. *)
-  let baseline = sample_doc () in
-  let perturbed =
-    {
-      baseline with
-      Bench_json.experiments =
-        [
-          Bench_json.experiment ~id:"e12" ~title:"queueing"
-            [ Bench_json.row ~label:"1 clients, own handles" ~unit_:"depth" ~mean:0.25 ~stdev:0.0 () ];
-        ];
-    }
-  in
-  let c = Bench_json.compare_docs ~rel_tol:0.02 ~baseline ~current:perturbed () in
-  Alcotest.(check bool) "0.0 -> 0.25 caught" false (Bench_json.comparison_ok c)
+(* The drift-comparison tests that used to live here moved with the
+   comparison core to lib/bench_kit/diff.ml — see test/test_benchdiff.ml. *)
 
 let test_quantiles () =
   (* 10 observations spread as 4 in (0,1], 4 in (1,2], 2 in (2,4]:
@@ -513,48 +483,22 @@ let test_bench_json_emits_quantiles () =
         (Json.get_float (Json.member_exn field metric)))
     [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ]
 
-let test_compare_abs_eps_override () =
-  (* A 0.0 -> 0.25 jump fails under the document-wide epsilon but passes
-     when e12 runs under a looser per-experiment override; rows record
-     which epsilon judged them. *)
-  let baseline = sample_doc () in
-  let current =
+(* A v2 document with a meta header round-trips it intact; undated
+   documents keep emitting no "meta" key at all. *)
+let test_bench_json_meta_round_trip () =
+  let meta =
     {
-      baseline with
-      Bench_json.experiments =
-        [
-          Bench_json.experiment ~id:"e1" ~title:"Figure 8"
-            [ Bench_json.row ~label:"getpid()" ~mean:0.658 ~stdev:0.005 () ];
-          Bench_json.experiment ~id:"e12" ~title:"queueing"
-            [ Bench_json.row ~label:"1 clients, own handles" ~unit_:"depth" ~mean:0.25 ~stdev:0.0 () ];
-        ];
+      Bench_json.mt_date = "2026-08-08";
+      mt_commit = "ab12cd3";
+      mt_jobs = 4;
+      mt_sections = [ "e1"; "e16" ];
     }
   in
-  let strict = Bench_json.compare_docs ~rel_tol:0.02 ~baseline ~current () in
-  Alcotest.(check bool) "fails without override" false (Bench_json.comparison_ok strict);
-  let eased =
-    Bench_json.compare_docs ~rel_tol:0.02 ~abs_eps_for:[ ("e12", 0.5) ] ~baseline ~current ()
-  in
-  Alcotest.(check bool) "passes with e12 override" true (Bench_json.comparison_ok eased);
-  List.iter
-    (fun (d : Bench_json.drift) ->
-      let expected = if d.Bench_json.d_experiment = "e12" then 0.5 else 1e-9 in
-      Alcotest.(check (float 0.0))
-        (Printf.sprintf "%s/%s judged with its epsilon" d.Bench_json.d_experiment
-           d.Bench_json.d_label)
-        expected d.Bench_json.d_abs_eps)
-    eased.Bench_json.drifts
-
-let test_compare_subset_and_empty () =
-  let baseline = sample_doc () in
-  let subset = { baseline with Bench_json.experiments = [ List.hd baseline.Bench_json.experiments ] } in
-  let c = Bench_json.compare_docs ~baseline ~current:subset () in
-  Alcotest.(check bool) "subset run passes" true (Bench_json.comparison_ok c);
-  Alcotest.(check (list string)) "missing rows reported" [ "e12/1 clients, own handles" ]
-    c.Bench_json.missing;
-  let disjoint = { baseline with Bench_json.experiments = [] } in
-  let c0 = Bench_json.compare_docs ~baseline ~current:disjoint () in
-  Alcotest.(check bool) "nothing compared fails" false (Bench_json.comparison_ok c0)
+  let doc = { (sample_doc ()) with Bench_json.meta = Some meta } in
+  let doc' = Bench_json.of_string (Bench_json.to_string doc) in
+  Alcotest.(check bool) "meta round-trips" true (doc = doc');
+  let undated = Bench_json.to_json (sample_doc ()) in
+  Alcotest.(check bool) "no meta key when undated" true (Json.member "meta" undated = None)
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
@@ -608,12 +552,8 @@ let () =
       ( "bench documents",
         [
           tc "round-trip" test_bench_json_round_trip;
+          tc "meta header round-trip" test_bench_json_meta_round_trip;
           tc "schema guard" test_bench_json_rejects_wrong_schema;
-          tc "within tolerance" test_compare_within_tolerance;
-          tc "flags drift" test_compare_flags_drift;
-          tc "zero-row epsilon" test_compare_zero_row_epsilon;
           tc "emits quantiles" test_bench_json_emits_quantiles;
-          tc "per-experiment epsilon override" test_compare_abs_eps_override;
-          tc "subset and empty" test_compare_subset_and_empty;
         ] );
     ]
