@@ -134,6 +134,11 @@ let run_compare baseline_path current_path gates =
   List.iter
     (fun (id, eps) -> Printf.printf "  (epsilon override: %s rows judged with %g)\n" id eps)
     gates.Diff.g_abs_eps_for;
+  List.iter
+    (fun (id, (m, p)) ->
+      Printf.printf "  (tolerance override: %s rows judged at mean %.4g%%, p99 %.4g%%)\n" id
+        (m *. 100.0) (p *. 100.0))
+    gates.Diff.g_rel_for;
   print_string (Diff.render ~gates r);
   if r.Diff.compared = 0 then begin
     Printf.eprintf "benchdiff: no rows in common between the two documents\n";

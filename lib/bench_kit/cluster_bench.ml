@@ -1,0 +1,394 @@
+(* E21: the sharded control plane under load.
+
+   E20 answered "how far does K independent kernels scale?"; E21 answers
+   what it costs to make them one deployment.  A Coordinator
+   (lib/cluster) owns the keystore generation and policy revisions over
+   K shard kernels; this experiment measures the three prices that
+   control plane charges:
+
+   - Steady state: consistent-hash placement plus (in lazy mode) a
+     ~15-cycle epoch check per dispatch.  The scaling cells re-run the
+     E20 sweep through the cluster path; staying within a few percent of
+     E20's independent-shard aggregate is the acceptance bar.
+
+   - Coherence: a rotation storm (storm_rotations keystore rotations
+     published between every pair of rounds) with both modes at K=8.
+     Eager broadcast applies ops at publish and each shard pays the
+     control-message handling cost on its next dispatch; lazy coalesces
+     the whole storm into one sync on the first dispatch after staleness.
+     The storm p99 contrast between the modes is the headline trade-off.
+
+   - Movement: reshard churn (consistent-hash vs FNV mod-K on K=4->5),
+     balance under Zipf-skewed tenant weights (single-hash vs
+     power-of-two-choices), and a live migration timed end to end
+     (drain + scrub on the source, pooled re-attach on the destination).
+
+   Clients run in rounds separated by barriers — each client parks as a
+   daemon between rounds and the driver wakes it per round — so storm
+   publishes land between rounds, exactly like control-plane writes
+   arriving while a real shard is busy elsewhere.  All K shards of one
+   cell share one coordinator (mutable, single-domain), so a task is a
+   whole (cell, trial); parallelism comes from cells x trials. *)
+
+module Machine = Smod_kern.Machine
+module Proc = Smod_kern.Proc
+module Sched = Smod_kern.Sched
+module Clock = Smod_sim.Clock
+module Stats = Smod_util.Stats
+module Coordinator = Smod_cluster.Coordinator
+module Placement = Smod_cluster.Placement
+module Migrate = Smod_cluster.Migrate
+
+type transport = Msgq | Ring
+
+let transport_name = function Msgq -> "msgq" | Ring -> "ring"
+
+type config = {
+  shard_counts : int list;  (* scaling sweep *)
+  clients : int;  (* tenant population, fixed across shard counts *)
+  rounds : int;  (* barrier-separated rounds per cell *)
+  calls_per_round : int;  (* per client; a multiple of [batch] for Ring *)
+  batch : int;  (* ring batch size *)
+  storm_shards : int;  (* K for the rotation-storm cells *)
+  storm_rotations : int;  (* publishes between each pair of rounds *)
+  migration_sessions : int;  (* sessions the migrated tenant holds *)
+  trials : int;
+}
+
+let default_config =
+  {
+    shard_counts = [ 1; 2; 4; 8 ];
+    clients = 32;
+    rounds = 8;
+    calls_per_round = 16;
+    batch = 16;
+    storm_shards = 8;
+    (* Heavy enough that eager's per-message handling debt (rotations x
+       Coord_ctrl_recv on the first dispatch after the gap) clears the
+       natural queueing tail on both transports, while lazy's single
+       coalesced sync stays under it — the contrast the storm cells
+       exist to show. *)
+    storm_rotations = 24;
+    migration_sessions = 4;
+    trials = 3;
+  }
+
+let tenant_names n = List.init n (Printf.sprintf "tenant-%03d")
+
+(* Like E16/E20's smodd shape, but sized for resident tenants: E21's
+   clients hold their sessions across every round (parking at barriers
+   instead of detaching), so a K=1 cell needs a handle for each of the
+   [clients] tenants at once or admission deadlocks. *)
+let pool_config =
+  {
+    Smod_pool.Smodd.default_config with
+    max_handles_per_module = 32;
+    max_total_handles = 32;
+    max_queue_depth = 128;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Cell specs and task plan                                            *)
+(* ------------------------------------------------------------------ *)
+
+type spec =
+  | Scale of { shards : int; transport : transport }
+      (* lazy mode, no storm: the steady-state cluster tax *)
+  | Storm of { transport : transport; mode : Coordinator.mode }
+      (* K = storm_shards, rotation storm between rounds *)
+  | Placement_stats  (* pure computation: reshard churn, Zipf balance *)
+  | Migration  (* K=2 msgq: drain + scrub + re-attach, timed *)
+
+type cell_result = {
+  cr_rate : float;  (* aggregate kcalls/s, sum of per-shard rates *)
+  cr_samples : float array;  (* pooled client-observed per-call us *)
+  cr_prop : float array;  (* pooled per-op propagation samples, us *)
+}
+
+type task_result = R_cell of cell_result | R_stats of (string * float) list
+
+let barrier () = Effect.perform (Sched.Block (Sched.Custom "e21-round"))
+
+(* ------------------------------------------------------------------ *)
+(* Workload cells (Scale / Storm)                                      *)
+(* ------------------------------------------------------------------ *)
+
+type bench_shard = {
+  bs_world : World.t;
+  bs_sh : Coordinator.shard;
+  bs_pids : int list ref;
+  bs_samples : float list ref;
+  bs_calls : int ref;
+}
+
+let run_workload ~cfg ~rounds ~cell ~trial ~shards ~transport ~mode ~storm =
+  let coord = Coordinator.create ~mode () in
+  let mk shard =
+    let seed = Int64.of_int (9000 + (997 * trial) + (131 * shards) + (17 * shard) + (7 * cell)) in
+    let world = World.create ~seed ~pool:pool_config ~with_rpc:false () in
+    let sh = Coordinator.add_shard coord world.World.smod in
+    { bs_world = world; bs_sh = sh; bs_pids = ref []; bs_samples = ref []; bs_calls = ref 0 }
+  in
+  let cluster = List.init shards mk in
+  let shard_of = Array.of_list cluster in
+  (* Tenants land where the coordinator routes them — consistent-hash
+     placement, the same decision a router replica would make. *)
+  List.iter
+    (fun name ->
+      let bs = shard_of.(Coordinator.route coord name) in
+      let clock = Machine.clock bs.bs_world.World.machine in
+      World.spawn_seclibc_client bs.bs_world ~name ~principal:name (fun p conn ->
+          bs.bs_pids := p.Proc.pid :: !(bs.bs_pids);
+          p.Proc.daemon <- true;
+          match transport with
+          | Msgq ->
+              for _round = 1 to rounds do
+                barrier ();
+                for j = 1 to cfg.calls_per_round do
+                  let t0 = Clock.now_cycles clock in
+                  ignore (Smod_libc.Seclibc.Client.test_incr conn j);
+                  bs.bs_samples := Clock.elapsed_us clock ~since:t0 :: !(bs.bs_samples);
+                  incr bs.bs_calls
+                done
+              done
+          | Ring ->
+              ignore (Secmodule.Stub.arm_ring conn);
+              let argss = List.init cfg.batch (fun i -> [| i |]) in
+              for _round = 1 to rounds do
+                barrier ();
+                for _b = 1 to cfg.calls_per_round / cfg.batch do
+                  let t0 = Clock.now_cycles clock in
+                  ignore (Secmodule.Stub.call_batch conn ~func:"test_incr" argss);
+                  bs.bs_samples :=
+                    (Clock.elapsed_us clock ~since:t0 /. float_of_int cfg.batch)
+                    :: !(bs.bs_samples);
+                  bs.bs_calls := !(bs.bs_calls) + cfg.batch
+                done
+              done))
+    (tenant_names cfg.clients);
+  (* Attach everyone and park at the first barrier. *)
+  List.iter (fun bs -> World.run bs.bs_world) cluster;
+  for round = 1 to rounds do
+    if storm && round > 1 then
+      for i = 1 to cfg.storm_rotations do
+        Coordinator.publish coord
+          (Coordinator.Rotate_key
+             { name = "storm-key"; secret = Printf.sprintf "sk-%d-%d" round i })
+      done;
+    List.iter
+      (fun bs ->
+        List.iter (Machine.wakeup bs.bs_world.World.machine) !(bs.bs_pids);
+        World.run bs.bs_world)
+      cluster
+  done;
+  let rate bs =
+    let us = Clock.now_us (Machine.clock bs.bs_world.World.machine) in
+    if us <= 0.0 then 0.0 else float_of_int !(bs.bs_calls) *. 1_000.0 /. us
+  in
+  {
+    cr_rate = List.fold_left (fun acc bs -> acc +. rate bs) 0.0 cluster;
+    cr_samples =
+      Array.concat (List.map (fun bs -> Array.of_list (List.rev !(bs.bs_samples))) cluster);
+    cr_prop =
+      Array.concat
+        (List.map (fun bs -> Array.of_list (Coordinator.propagation_us bs.bs_sh)) cluster);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Placement statistics (pure)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let zipf_s = 0.9
+let placement_population = 256
+
+let placement_stats () =
+  let pop = tenant_names placement_population in
+  let n = float_of_int placement_population in
+  let r4 = Placement.create [ 0; 1; 2; 3 ] in
+  let r5 = Placement.add_shard r4 4 in
+  let moved_ch = Placement.moved ~before:r4 ~after:r5 pop in
+  let moved_fnv =
+    List.length
+      (List.filter
+         (fun k -> Smod_pool.Shard.place ~shards:4 k <> Smod_pool.Shard.place ~shards:5 k)
+         pop)
+  in
+  (* Zipf-weighted tenants over K=8: single-hash placement ignores load;
+     p2c places each tenant on the lighter of its two candidates, seeing
+     the load of everything placed before it (heaviest first, the way a
+     rebalancer would admit them). *)
+  let r8 = Placement.create (List.init 8 Fun.id) in
+  let weights = List.mapi (fun i k -> (k, 1.0 /. ((float_of_int i +. 1.0) ** zipf_s))) pop in
+  let total = List.fold_left (fun a (_, w) -> a +. w) 0.0 weights in
+  let ideal = total /. 8.0 in
+  let loads_hash = Array.make 8 0.0 in
+  List.iter
+    (fun (k, w) ->
+      let s = Placement.place r8 k in
+      loads_hash.(s) <- loads_hash.(s) +. w)
+    weights;
+  let loads_p2c = Array.make 8 0.0 in
+  List.iter
+    (fun (k, w) ->
+      let s =
+        Placement.place_p2c r8 ~load:(fun i -> int_of_float (loads_p2c.(i) *. 1e6)) k
+      in
+      loads_p2c.(s) <- loads_p2c.(s) +. w)
+    (List.sort (fun (_, a) (_, b) -> compare b a) weights);
+  let max_of = Array.fold_left max 0.0 in
+  [
+    ("reshard 4->5 moved, consistent-hash (%)", 100.0 *. float_of_int moved_ch /. n);
+    ("reshard 4->5 moved, fnv mod-K (%)", 100.0 *. float_of_int moved_fnv /. n);
+    ("zipf max/ideal, hash-only", max_of loads_hash /. ideal);
+    ("zipf max/ideal, p2c", max_of loads_p2c /. ideal);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Live migration (timed)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_migration ~cfg ~trial =
+  let coord = Coordinator.create ~mode:Coordinator.Lazy () in
+  let mk shard =
+    let seed = Int64.of_int (9500 + (997 * trial) + (17 * shard)) in
+    let world = World.create ~seed ~pool:pool_config ~with_rpc:false () in
+    ignore (Coordinator.add_shard coord world.World.smod);
+    world
+  in
+  let w0 = mk 0 in
+  let w1 = mk 1 in
+  let tenant = List.find (fun n -> Coordinator.route coord n = 0) (tenant_names cfg.clients) in
+  for i = 1 to cfg.migration_sessions do
+    World.spawn_seclibc_client w0
+      ~name:(Printf.sprintf "%s-c%d" tenant i)
+      ~principal:tenant
+      (fun p conn ->
+        ignore (Smod_libc.Seclibc.Client.test_incr conn i);
+        p.Proc.daemon <- true;
+        barrier ())
+  done;
+  World.run w0;
+  let c0 = Machine.clock w0.World.machine in
+  let c1 = Machine.clock w1.World.machine in
+  (* Drain + scrub on the source: Migrate.start detaches every session,
+     then running the machine lets each pooled handle scrub and park. *)
+  let t0 = Clock.now_cycles c0 in
+  let mg = Migrate.start coord ~tenant ~to_shard:1 in
+  World.run w0;
+  let drain_us = Clock.elapsed_us c0 ~since:t0 in
+  (* Re-attach on the destination through the ordinary pooled path. *)
+  let t1 = Clock.now_cycles c1 in
+  World.spawn_seclibc_client w1 ~name:(tenant ^ "-moved") ~principal:tenant (fun _p conn ->
+      ignore (Smod_libc.Seclibc.Client.test_incr conn 1));
+  World.run w1;
+  Migrate.finish coord mg;
+  let reattach_us = Clock.elapsed_us c1 ~since:t1 in
+  [
+    ("migration drain+scrub (us/session)", drain_us /. float_of_int cfg.migration_sessions);
+    ("migration reattach (us)", reattach_us);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Harness                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let cells cfg =
+  List.map (fun shards -> Scale { shards; transport = Msgq }) cfg.shard_counts
+  @ List.map (fun shards -> Scale { shards; transport = Ring }) cfg.shard_counts
+  @ List.concat_map
+      (fun transport ->
+        [
+          Storm { transport; mode = Coordinator.Eager };
+          Storm { transport; mode = Coordinator.Lazy };
+        ])
+      [ Msgq; Ring ]
+  @ [ Placement_stats; Migration ]
+
+let trials_of cfg = function
+  | Scale _ | Storm _ | Migration -> cfg.trials
+  | Placement_stats -> 1  (* pure function of the ring: one task *)
+
+let task_count cfg = List.fold_left (fun acc c -> acc + trials_of cfg c) 0 (cells cfg)
+
+let run_task ~cfg (cell, spec, trial) =
+  match spec with
+  | Scale { shards; transport } ->
+      (* 2x rounds: the scaling cells exist to compare against E20, so
+         give the fixed attach cost comparable amortization; the storm
+         cells keep [rounds] so the debt-carrying first-dispatch samples
+         stay above the 1% p99 cut. *)
+      R_cell
+        (run_workload ~cfg ~rounds:(2 * cfg.rounds) ~cell ~trial ~shards ~transport
+           ~mode:Coordinator.Lazy ~storm:false)
+  | Storm { transport; mode } ->
+      R_cell
+        (run_workload ~cfg ~rounds:cfg.rounds ~cell ~trial ~shards:cfg.storm_shards ~transport
+           ~mode ~storm:true)
+  | Placement_stats -> R_stats (placement_stats ())
+  | Migration -> R_stats (run_migration ~cfg ~trial)
+
+let entry label values =
+  Ablations.{ label; mean_us = Stats.mean values; stdev_us = Stats.stdev values }
+
+let run ?(runner = Runner.sequential) ?(config = default_config) () =
+  let cfg = config in
+  let specs = List.mapi (fun i s -> (i, s)) (cells cfg) in
+  let tasks =
+    List.concat_map
+      (fun (ci, spec) -> List.init (trials_of cfg spec) (fun trial -> (ci, spec, trial)))
+      specs
+  in
+  let results = Runner.map runner tasks (run_task ~cfg) in
+  let by_cell = Hashtbl.create 32 in
+  List.iter2
+    (fun (ci, _, _) r ->
+      let prev = Option.value (Hashtbl.find_opt by_cell ci) ~default:[] in
+      Hashtbl.replace by_cell ci (prev @ [ r ]))
+    tasks results;
+  let cell_trials ci =
+    List.filter_map (function R_cell c -> Some c | R_stats _ -> None)
+      (Option.value (Hashtbl.find_opt by_cell ci) ~default:[])
+  in
+  let stats_trials ci =
+    List.filter_map (function R_stats s -> Some s | R_cell _ -> None)
+      (Option.value (Hashtbl.find_opt by_cell ci) ~default:[])
+  in
+  List.concat_map
+    (fun (ci, spec) ->
+      match spec with
+      | Scale { shards; transport } ->
+          let trials = cell_trials ci in
+          let rates = Array.of_list (List.map (fun c -> c.cr_rate) trials) in
+          let p99s =
+            Array.of_list (List.map (fun c -> Stats.percentile c.cr_samples 99.0) trials)
+          in
+          let name = transport_name transport in
+          [
+            entry (Printf.sprintf "%s K=%d aggregate (kcalls/s)" name shards) rates;
+            entry (Printf.sprintf "%s K=%d p99 (us)" name shards) p99s;
+          ]
+      | Storm { transport; mode } ->
+          let trials = cell_trials ci in
+          let rates = Array.of_list (List.map (fun c -> c.cr_rate) trials) in
+          let p99s =
+            Array.of_list (List.map (fun c -> Stats.percentile c.cr_samples 99.0) trials)
+          in
+          let props = Array.of_list (List.map (fun c -> Stats.mean c.cr_prop) trials) in
+          let name = transport_name transport in
+          let m = Coordinator.mode_name mode in
+          [
+            entry
+              (Printf.sprintf "%s K=%d %s storm aggregate (kcalls/s)" name cfg.storm_shards m)
+              rates;
+            entry (Printf.sprintf "%s K=%d %s storm p99 (us)" name cfg.storm_shards m) p99s;
+            entry (Printf.sprintf "%s K=%d %s propagation (us)" name cfg.storm_shards m) props;
+          ]
+      | Placement_stats | Migration ->
+          let trials = stats_trials ci in
+          let labels = List.map fst (List.hd trials) in
+          List.map
+            (fun label ->
+              entry label
+                (Array.of_list (List.map (fun kvs -> List.assoc label kvs) trials)))
+            labels)
+    specs

@@ -1,0 +1,43 @@
+(** E21 — the sharded control plane under load: a {!Smod_cluster.Coordinator}
+    over K shard kernels, measured three ways.
+
+    {b Scaling} (lazy mode, no control traffic): the E20 sweep re-run
+    through the cluster path — consistent-hash placement plus the
+    per-dispatch epoch check — per transport and shard count.
+
+    {b Rotation storm} (K = [storm_shards], both coherence modes):
+    [storm_rotations] keystore rotations published between every pair of
+    client rounds.  Rows per (transport, mode): storm aggregate
+    throughput, storm p99, and mean propagation latency.
+
+    {b Placement and movement}: reshard churn K=4→5 (consistent-hash vs
+    FNV mod-K), Zipf-skew balance (single-hash vs power-of-two-choices),
+    and a live tenant migration timed end to end (drain + scrub per
+    session on the source, pooled re-attach on the destination).
+
+    All K shards of a cell share one coordinator (single-domain mutable
+    state), so each task is a whole (cell, trial); a {!Runner} spreads
+    cells × trials over domains and results are identical for any job
+    count. *)
+
+type config = {
+  shard_counts : int list;  (** scaling sweep, default 1 / 2 / 4 / 8 *)
+  clients : int;  (** tenant population, fixed across shard counts *)
+  rounds : int;  (** barrier-separated rounds per cell *)
+  calls_per_round : int;  (** per client; a multiple of [batch] for ring *)
+  batch : int;  (** ring batch size *)
+  storm_shards : int;  (** K for the rotation-storm cells *)
+  storm_rotations : int;  (** publishes between each pair of rounds *)
+  migration_sessions : int;  (** sessions the migrated tenant holds *)
+  trials : int;
+}
+
+val default_config : config
+
+val task_count : config -> int
+(** Independent tasks the plan decomposes into (for the catalog). *)
+
+val run : ?runner:Runner.t -> ?config:config -> unit -> Ablations.entry list
+(** Row order: msgq scaling (aggregate, p99 per K), ring scaling, then
+    per (transport, mode) the storm triple (aggregate, p99, propagation),
+    then the placement stats and migration rows. *)

@@ -33,10 +33,20 @@ type gates = {
   g_p99_rel : float;  (* looser relative tolerance for p99 rows *)
   g_abs_eps : float;  (* additive slack, absorbs exact-zero baselines *)
   g_abs_eps_for : (string * float) list;  (* per-experiment overrides *)
+  g_rel_for : (string * (float * float)) list;
+      (* per-experiment (mean_rel, p99_rel) overrides, for experiments
+         whose rows are inherently noisier than the global gate — e.g.
+         e21's aggregate throughput over eight racing domains *)
 }
 
 let default_gates =
-  { g_mean_rel = 0.02; g_p99_rel = 0.05; g_abs_eps = 1e-9; g_abs_eps_for = [] }
+  {
+    g_mean_rel = 0.02;
+    g_p99_rel = 0.05;
+    g_abs_eps = 1e-9;
+    g_abs_eps_for = [];
+    g_rel_for = [];
+  }
 
 let gates_schema_name = "smod-bench-gates"
 let gates_schema_version = 1
@@ -50,6 +60,13 @@ let validate_gates g =
   check "p99_rel" g.g_p99_rel;
   check "abs_eps" g.g_abs_eps;
   List.iter (fun (id, e) -> check ("abs_eps_for." ^ id) e) g.g_abs_eps_for;
+  List.iter
+    (fun (id, (m, p)) ->
+      check ("rel_for." ^ id ^ ".mean_rel") m;
+      check ("rel_for." ^ id ^ ".p99_rel") p;
+      if m > p then
+        bad "gates: rel_for.%s: mean_rel (%g) must not exceed p99_rel (%g)" id m p)
+    g.g_rel_for;
   if g.g_mean_rel > g.g_p99_rel then
     bad "gates: mean_rel (%g) must not exceed p99_rel (%g) — means are gated tighter"
       g.g_mean_rel g.g_p99_rel;
@@ -65,6 +82,12 @@ let gates_to_json g =
       ("abs_eps", Json.Float g.g_abs_eps);
       ( "abs_eps_for",
         Json.Obj (List.map (fun (id, e) -> (id, Json.Float e)) g.g_abs_eps_for) );
+      ( "rel_for",
+        Json.Obj
+          (List.map
+             (fun (id, (m, p)) ->
+               (id, Json.Obj [ ("mean_rel", Json.Float m); ("p99_rel", Json.Float p) ]))
+             g.g_rel_for) );
     ]
 
 let gates_of_json j =
@@ -88,6 +111,18 @@ let gates_of_json j =
         | None | Some Json.Null -> []
         | Some (Json.Obj fields) -> List.map (fun (id, v) -> (id, Json.get_float v)) fields
         | Some _ -> raise (Json.Parse_error "gates: abs_eps_for must be an object"));
+      (* Optional: absent in pre-e21 gates files, so schema_version stays 1. *)
+      g_rel_for =
+        (match Json.member "rel_for" j with
+        | None | Some Json.Null -> []
+        | Some (Json.Obj fields) ->
+            List.map
+              (fun (id, v) ->
+                ( id,
+                  ( Json.get_float (Json.member_exn "mean_rel" v),
+                    Json.get_float (Json.member_exn "p99_rel" v) ) ))
+              fields
+        | Some _ -> raise (Json.Parse_error "gates: rel_for must be an object"));
     }
 
 let gates_of_string s = gates_of_json (Json.of_string s)
@@ -139,9 +174,12 @@ let compare_docs ?(gates = default_gates) ~(baseline : Bench_json.doc)
     List.map
       (fun (k, ((e : Bench_json.experiment), (br : Bench_json.row))) ->
         let rr_metric = metric_of_label br.r_label in
-        let rr_rel_tol =
-          match rr_metric with Mean -> gates.g_mean_rel | P99 -> gates.g_p99_rel
+        let mean_rel, p99_rel =
+          match List.assoc_opt e.e_id gates.g_rel_for with
+          | Some pair -> pair
+          | None -> (gates.g_mean_rel, gates.g_p99_rel)
         in
+        let rr_rel_tol = match rr_metric with Mean -> mean_rel | P99 -> p99_rel in
         let rr_abs_eps =
           match List.assoc_opt e.e_id gates.g_abs_eps_for with
           | Some eps -> eps

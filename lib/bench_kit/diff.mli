@@ -23,6 +23,10 @@ type gates = {
   g_abs_eps : float;  (** additive slack, absorbs exact-zero baselines *)
   g_abs_eps_for : (string * float) list;
       (** per-experiment-id overrides of [g_abs_eps] *)
+  g_rel_for : (string * (float * float)) list;
+      (** per-experiment-id [(mean_rel, p99_rel)] overrides of the
+          global relative tolerances, for inherently noisier
+          experiments; each pair must keep mean no looser than p99 *)
 }
 
 val default_gates : gates

@@ -61,6 +61,10 @@ let e20_config ~full =
   let c = Scaleout.default_config in
   if full then { c with Scaleout.calls = c.Scaleout.calls * 5 } else c
 
+let e21_config ~full =
+  let c = Cluster_bench.default_config in
+  if full then { c with Cluster_bench.rounds = c.Cluster_bench.rounds * 5 } else c
+
 let sections =
   [
     {
@@ -230,6 +234,32 @@ let sections =
                  "E20: sharded smodd scale-out, aggregate throughput by shard count \
                   (lib/pool/shard)"
                ~unit_:"kcalls/s (p99 rows: us)");
+    };
+    {
+      s_id = "e21";
+      s_title =
+        "E21: sharded control plane — coherence modes, consistent-hash placement, live \
+         migration (lib/cluster)";
+      s_unit = "kcalls/s (p99/propagation/migration rows: us; placement rows: ratio or %)";
+      s_tasks = (fun ~full:_ -> Cluster_bench.task_count Cluster_bench.default_config);
+      s_dispatches =
+        (fun ~full ->
+          let c = e21_config ~full in
+          let cells =
+            (2 * List.length c.Cluster_bench.shard_counts) (* scaling: 2 transports *)
+            + 4 (* storm: 2 transports x 2 modes *)
+          in
+          cells * c.Cluster_bench.trials * c.Cluster_bench.clients * c.Cluster_bench.rounds
+          * c.Cluster_bench.calls_per_round);
+      s_run =
+        (fun ~full ~runner ->
+          Cluster_bench.run ~runner ~config:(e21_config ~full) ()
+          |> entries_outcome
+               ~title:
+                 "E21: sharded control plane — coherence modes, consistent-hash placement, \
+                  live migration (lib/cluster)"
+               ~unit_:"kcalls/s (p99/propagation/migration rows: us; placement rows: ratio \
+                       or %)");
     };
   ]
 

@@ -82,6 +82,10 @@ let headlines =
     ( "e20_ring_k8_kcalls",
       "e20 kc/s",
       fun doc -> find_mean doc ~experiment:"e20" ~label:"ring K=8 aggregate (kcalls/s)" );
+    ( "e21_ring_k8_storm_kcalls",
+      "e21 kc/s",
+      fun doc ->
+        find_mean doc ~experiment:"e21" ~label:"ring K=8 lazy storm aggregate (kcalls/s)" );
   ]
 
 let headline_keys = List.map (fun (k, _, _) -> k) headlines

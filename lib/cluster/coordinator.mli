@@ -1,0 +1,98 @@
+(** The cluster coordinator: one control plane over K shard kernels.
+
+    Owns the authoritative keystore generation and policy revisions for
+    the cluster and replicates control-plane writes ({!publish}) to every
+    shard in one of two benchmarked coherence modes:
+
+    - {b Eager broadcast}: ops apply to all shards at publish time;
+      each shard accrues the invalidation-handling cost
+      ({!Smod_sim.Cost_model.Coord_ctrl_recv}) as debt charged on its
+      next dispatch.
+    - {b Lazy epoch check}: ops queue per shard; every dispatch pays a
+      ~15-cycle epoch compare and a stale shard settles with one
+      {!Smod_sim.Cost_model.Coord_sync_fetch} plus one
+      {!Smod_sim.Cost_model.Coord_apply_op} per queued op — a rotation
+      storm coalesces into a single sync.
+
+    Settlement runs from {!Secmodule.Smod.set_dispatch_gate}, before any
+    credential or session state is consulted, so no dispatch executes
+    under a revoked keystore generation or stale policy revision.
+    Trust model and the eager/lazy trade-off: DESIGN.md §11. *)
+
+type mode = Eager | Lazy
+
+val mode_name : mode -> string
+
+type op =
+  | Rotate_key of { name : string; secret : string }
+      (** Cluster-level upsert: rotate where the principal exists,
+          install the authoritative key where a shard never saw it. *)
+  | Set_policy of { module_name : string; version : int; policy : Secmodule.Policy.t }
+      (** Applied on shards hosting (module, version); skipped elsewhere. *)
+
+val describe_op : op -> string
+
+type migration_phase = Draining | Scrubbed | Reattaching | Done
+
+val phase_name : migration_phase -> string
+
+type migration = {
+  mg_tenant : string;
+  mg_from : int;
+  mg_to : int;
+  mg_sessions : int;
+  mutable mg_phase : migration_phase;
+}
+
+type shard
+type t
+
+val create : ?vnodes:int -> mode:mode -> unit -> t
+
+val add_shard : t -> Secmodule.Smod.t -> shard
+(** Join a kernel to the cluster: assigns the next shard id, extends the
+    placement ring, and installs the coherence gate on the kernel's
+    dispatch path.  The shard starts current (epoch = cluster epoch). *)
+
+val remove_shard : t -> int -> unit
+(** Uninstalls the gate and shrinks the ring. *)
+
+val mode : t -> mode
+val epoch : t -> int
+val shards : t -> shard list
+val shard_exn : t -> int -> shard
+val shard_id : shard -> int
+val smod : shard -> Secmodule.Smod.t
+val shard_epoch : shard -> int
+(** Last cluster epoch the shard has settled (always current in eager
+    mode; in lazy mode, lags until the next dispatch on that shard). *)
+
+val propagation_us : shard -> float list
+(** Per-op propagation samples, oldest first: eager = the handling cost
+    of the control message; lazy = shard-clock time from publish to the
+    sync that applied the op. *)
+
+val reset_propagation : shard -> unit
+
+val publish : t -> op -> unit
+(** Bump the cluster epoch and replicate the op per the coherence mode. *)
+
+val route : t -> string -> int
+(** Owner shard for a tenant key: migration override if one is set,
+    otherwise consistent-hash placement ({!Placement.place}). *)
+
+val ring : t -> Placement.ring
+(** Raises [Invalid_argument] if the cluster has no shards. *)
+
+val set_override : t -> tenant:string -> shard:int -> unit
+val clear_override : t -> tenant:string -> unit
+val overrides : t -> (string * int) list
+
+val add_migration : t -> migration -> unit
+val migrations : t -> migration list
+val in_flight : t -> migration list
+
+val render_status : t -> tenants:string list -> string
+(** The [smodctl cluster status] body: coordinator line, per-shard
+    (epoch, keystore generation, sessions, policy revisions) table,
+    placement of [tenants], and the migration list. *)

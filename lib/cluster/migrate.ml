@@ -1,0 +1,118 @@
+(* Live tenant migration: move a tenant's sessions from their current
+   shard to another without ever letting a dispatch run under a stale
+   policy view.
+
+   The protocol deliberately reuses machinery that already exists and is
+   already tested, rather than inventing a parallel path:
+
+   - Drain: every active session of the tenant on the source shard is
+     detached via Smod.detach_session — the same idempotent teardown the
+     client-exit hook uses.  For pooled sessions that lands the handle on
+     the pool's scrub path (zero the secret segment, park for the next
+     tenant), so the migrated tenant's residue is destroyed by exactly
+     the code PR 2's scrub tests pin.  Each drained session charges
+     Migrate_drain on the source clock for the detach signalling.
+
+   - Override: the coordinator's placement override points the tenant at
+     the destination before any re-attach, so every router agrees on the
+     new owner from this moment — a client that races the migration
+     simply lands on the destination.
+
+   - Re-attach: the tenant's next session on the destination goes through
+     the ordinary pooled admission path (nothing special to get wrong);
+     Migrate_reattach is charged per drained session for the extra
+     bookkeeping of admitting a migrated tenant.
+
+   Coherence is orthogonal and already guaranteed: the destination shard
+   settles any pending control ops in its dispatch gate before the
+   re-attached session's first admission. *)
+
+module Smod = Secmodule.Smod
+module Credential = Secmodule.Credential
+module Machine = Smod_kern.Machine
+module Clock = Smod_sim.Clock
+module Cost = Smod_sim.Cost_model
+
+let tenant_sessions smod tenant =
+  List.filter
+    (fun (s : Smod.session) -> s.Smod.credential.Credential.principal = tenant)
+    (Smod.active_sessions smod)
+
+let start coord ~tenant ~to_shard =
+  let from_id = Coordinator.route coord tenant in
+  if from_id = to_shard then
+    invalid_arg (Printf.sprintf "Migrate.start: %s already on shard %d" tenant to_shard);
+  let src = Coordinator.shard_exn coord from_id in
+  ignore (Coordinator.shard_exn coord to_shard);
+  let src_smod = Coordinator.smod src in
+  let sessions = tenant_sessions src_smod tenant in
+  let mg =
+    {
+      Coordinator.mg_tenant = tenant;
+      mg_from = from_id;
+      mg_to = to_shard;
+      mg_sessions = List.length sessions;
+      mg_phase = Coordinator.Draining;
+    }
+  in
+  Coordinator.add_migration coord mg;
+  let src_clock = Machine.clock (Smod.machine src_smod) in
+  List.iter
+    (fun s ->
+      Clock.charge src_clock Cost.Migrate_drain;
+      Smod.detach_session src_smod s)
+    sessions;
+  (* Detach delivered; pooled handles scrub themselves on the way back to
+     the pool the next time the source machine runs. *)
+  mg.Coordinator.mg_phase <- Coordinator.Scrubbed;
+  Coordinator.set_override coord ~tenant ~shard:to_shard;
+  let dst = Coordinator.shard_exn coord to_shard in
+  let dst_clock = Machine.clock (Smod.machine (Coordinator.smod dst)) in
+  List.iter (fun _ -> Clock.charge dst_clock Cost.Migrate_reattach) sessions;
+  mg.Coordinator.mg_phase <- Coordinator.Reattaching;
+  mg
+
+let finish coord mg =
+  (match mg.Coordinator.mg_phase with
+  | Coordinator.Done -> ()
+  | _ -> mg.Coordinator.mg_phase <- Coordinator.Done);
+  ignore coord
+
+let rebalance coord ~tenants ~load =
+  (* Move the most-loaded shard's heaviest ring-placed tenants onto the
+     least-loaded shard until within one tenant of balance.  Deliberately
+     greedy and conservative: migration is not free, so only clear wins
+     move. *)
+  let migs = ref [] in
+  let continue = ref true in
+  while !continue do
+    let by_shard = Hashtbl.create 8 in
+    List.iter
+      (fun sh -> Hashtbl.replace by_shard (Coordinator.shard_id sh) [])
+      (Coordinator.shards coord);
+    List.iter
+      (fun tnt ->
+        let s = Coordinator.route coord tnt in
+        Hashtbl.replace by_shard s (tnt :: (try Hashtbl.find by_shard s with Not_found -> [])))
+      tenants;
+    let weights =
+      Hashtbl.fold
+        (fun s tnts acc -> (s, List.fold_left (fun a t -> a +. load t) 0.0 tnts, tnts) :: acc)
+        by_shard []
+    in
+    match List.sort (fun (_, a, _) (_, b, _) -> compare b a) weights with
+    | (hot, hot_w, hot_tnts) :: rest when rest <> [] ->
+        let cold, cold_w, _ = List.nth rest (List.length rest - 1) in
+        let candidate =
+          (* Heaviest tenant whose move shrinks the gap. *)
+          List.sort (fun a b -> compare (load b) (load a)) hot_tnts
+          |> List.find_opt (fun t -> 2.0 *. load t < hot_w -. cold_w)
+        in
+        (match candidate with
+        | Some tenant ->
+            migs := start coord ~tenant ~to_shard:cold :: !migs;
+            ignore hot
+        | None -> continue := false)
+    | _ -> continue := false
+  done;
+  List.rev !migs

@@ -1,0 +1,33 @@
+(** Live tenant migration between shards.
+
+    Drain → scrub → re-attach, built entirely from existing, tested
+    machinery: {!Secmodule.Smod.detach_session} drains each session (for
+    pooled sessions that is the pool scrub path — the tenant's secret
+    residue is destroyed by the same code PR 2 pins), a coordinator
+    placement override flips ownership atomically from the routers'
+    point of view, and the tenant re-attaches on the destination through
+    ordinary pooled admission.  Why this shape: DESIGN.md §11. *)
+
+val start : Coordinator.t -> tenant:string -> to_shard:int -> Coordinator.migration
+(** Drain the tenant's sessions off their current shard (charging
+    {!Smod_sim.Cost_model.Migrate_drain} per session on the source
+    clock), set the placement override, and charge
+    {!Smod_sim.Cost_model.Migrate_reattach} per session on the
+    destination.  Returns the migration record in phase [Reattaching];
+    raises [Invalid_argument] if the tenant is already on [to_shard] or
+    the shard id is unknown. *)
+
+val finish : Coordinator.t -> Coordinator.migration -> unit
+(** Mark the migration [Done] — call once the tenant has re-attached on
+    the destination. *)
+
+val rebalance :
+  Coordinator.t -> tenants:string list -> load:(string -> float) -> Coordinator.migration list
+(** Greedy rebalancing under skew: repeatedly move the hottest shard's
+    heaviest movable tenant to the coldest shard while the move strictly
+    shrinks the load gap.  Returns the migrations started (possibly
+    none). *)
+
+val tenant_sessions : Secmodule.Smod.t -> string -> Secmodule.Smod.session list
+(** The tenant's active sessions on one kernel (by credential
+    principal). *)

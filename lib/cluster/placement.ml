@@ -1,0 +1,109 @@
+(* Consistent-hash placement for the sharded control plane.
+
+   The E20 router (Smod_pool.Shard.place) is FNV-1a mod K: perfect for a
+   fixed shard count, catastrophic for resharding — changing K remaps
+   almost every key.  A consistent-hash ring fixes that: each shard owns
+   [vnodes] pseudo-random points on the 2^64 circle and a key lands on
+   the first point clockwise from its hash, so adding or removing one
+   shard only moves the keys in the arcs that shard gains or loses —
+   ~1/(K+1) of them in expectation (test/test_cluster.ml pins the bound).
+
+   Everything here is pure: a ring is an immutable value, and [place] is
+   a function of (key, ring) alone, so router replicas on different
+   domains agree without coordination — the same property E20 relied on,
+   kept under resharding. *)
+
+module Shard = Smod_pool.Shard
+
+type ring = {
+  vnodes : int;
+  shards : int list;  (* sorted, distinct *)
+  points : (int64 * int) array;  (* (point, shard id), sorted unsigned *)
+}
+
+let default_vnodes = 64
+
+(* FNV-1a diffuses enough for mod-K bucketing but not for ring positions:
+   points derived from similar strings keep similar high-order bits, so
+   raw FNV vnodes cluster and one shard ends up owning nearly the whole
+   circle.  A 64-bit avalanche finalizer (murmur3 fmix64) on top fixes
+   the spread while keeping the underlying router hash unchanged. *)
+let mix h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xff51afd7ed558ccdL in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xc4ceb9fe1a85ec53L in
+  Int64.logxor h (Int64.shift_right_logical h 33)
+
+let point ~shard ~vnode =
+  mix (Shard.hash_salted ~salt:(Printf.sprintf "vn-%d" vnode) (Printf.sprintf "shard-%d" shard))
+
+let create ?(vnodes = default_vnodes) shards =
+  if shards = [] then invalid_arg "Placement.create: no shards";
+  if vnodes < 1 then invalid_arg "Placement.create: vnodes must be >= 1";
+  let shards = List.sort_uniq compare shards in
+  let points =
+    List.concat_map
+      (fun s -> List.init vnodes (fun v -> (point ~shard:s ~vnode:v, s)))
+      shards
+    |> Array.of_list
+  in
+  Array.sort
+    (fun (p1, s1) (p2, s2) ->
+      match Int64.unsigned_compare p1 p2 with 0 -> compare s1 s2 | c -> c)
+    points;
+  { vnodes; shards; points }
+
+let shards t = t.shards
+let vnodes t = t.vnodes
+
+(* First point with point >= h (unsigned), wrapping to index 0. *)
+let successor t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.unsigned_compare (fst t.points.(mid)) h < 0 then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let place t key = snd t.points.(successor t (mix (Shard.hash key)))
+
+let add_shard t id =
+  if List.mem id t.shards then invalid_arg "Placement.add_shard: duplicate shard";
+  create ~vnodes:t.vnodes (id :: t.shards)
+
+let remove_shard t id =
+  let rest = List.filter (fun s -> s <> id) t.shards in
+  if List.length rest = List.length t.shards then
+    invalid_arg "Placement.remove_shard: unknown shard";
+  create ~vnodes:t.vnodes rest
+
+let moved ~before ~after keys =
+  List.fold_left (fun n k -> if place before k <> place after k then n + 1 else n) 0 keys
+
+(* Power-of-two-choices: the ring's owner plus a second candidate from a
+   salted hash; the less-loaded of the two wins (ties to the owner).  The
+   choice depends only on (key, ring, loads) — still coordination-free
+   given a shared load view, and provably exponentially better balanced
+   than one choice under skew (the "power of two choices" result). *)
+let place_p2c t ~load key =
+  let c1 = snd t.points.(successor t (mix (Shard.hash key))) in
+  let alt = successor t (mix (Shard.hash_salted ~salt:"p2c" key)) in
+  let c2 = snd t.points.(alt) in
+  let c2 =
+    if c2 <> c1 then c2
+    else begin
+      (* Same owner from both hashes: walk the ring to the next distinct
+         shard so there are genuinely two choices whenever K >= 2. *)
+      let n = Array.length t.points in
+      let i = ref alt in
+      let steps = ref 0 in
+      while snd t.points.(!i mod n) = c1 && !steps < n do
+        incr i;
+        incr steps
+      done;
+      snd t.points.(!i mod n)
+    end
+  in
+  if c2 = c1 then c1 else if load c2 < load c1 then c2 else c1

@@ -1,0 +1,44 @@
+(** Consistent-hash tenant placement for the sharded control plane.
+
+    Replaces the E20 router's bare [FNV-1a mod K] ({!Smod_pool.Shard.place})
+    with a vnode ring: resharding K→K±1 moves only ~1/(K+1) of the keys
+    instead of nearly all of them, and a power-of-two-choices variant
+    bounds imbalance under Zipf-skewed tenant load.
+
+    A ring is an immutable value and every placement function is pure —
+    a function of (key, ring[, load view]) only — so router replicas on
+    separate domains agree without coordination (property-tested in
+    test/test_cluster.ml). *)
+
+type ring
+
+val default_vnodes : int
+(** 64 points per shard: enough for <10% arc-length variance at K=8. *)
+
+val create : ?vnodes:int -> int list -> ring
+(** Ring over the given shard ids (deduplicated, order-insensitive).
+    Raises [Invalid_argument] on an empty list or [vnodes < 1]. *)
+
+val shards : ring -> int list
+(** Member shard ids, sorted. *)
+
+val vnodes : ring -> int
+
+val place : ring -> string -> int
+(** Owner shard: first vnode point clockwise from FNV-1a(key). *)
+
+val place_p2c : ring -> load:(int -> int) -> string -> int
+(** Power-of-two-choices: the ring owner plus a salted-hash second
+    candidate; the less-loaded wins, ties to the owner.  [load] maps a
+    shard id to its current load (e.g. resident sessions). *)
+
+val add_shard : ring -> int -> ring
+(** New ring with one more shard.  Raises [Invalid_argument] on a
+    duplicate id.  Keys move only into the new shard's arcs. *)
+
+val remove_shard : ring -> int -> ring
+(** New ring without the shard.  Raises [Invalid_argument] if absent. *)
+
+val moved : before:ring -> after:ring -> string list -> int
+(** How many of [keys] place differently on the two rings — the
+    reshard-churn metric E21 reports. *)

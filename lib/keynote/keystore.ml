@@ -11,6 +11,19 @@ let add_principal t ~name ~secret =
   t.generation <- t.generation + 1;
   List.iter (fun hook -> hook ()) t.change_hooks
 
+let rotate_principal t ~name ~secret =
+  if not (Hashtbl.mem t.secrets name) then raise Not_found;
+  Hashtbl.replace t.secrets name secret;
+  t.generation <- t.generation + 1;
+  List.iter (fun hook -> hook ()) t.change_hooks
+
+let remove_principal t ~name =
+  if Hashtbl.mem t.secrets name then begin
+    Hashtbl.remove t.secrets name;
+    t.generation <- t.generation + 1;
+    List.iter (fun hook -> hook ()) t.change_hooks
+  end
+
 let has_principal t name = Hashtbl.mem t.secrets name
 let generation t = t.generation
 let on_change t hook = t.change_hooks <- hook :: t.change_hooks

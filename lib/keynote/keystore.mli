@@ -11,6 +11,18 @@ type t
 
 val create : unit -> t
 val add_principal : t -> name:string -> secret:string -> unit
+
+val rotate_principal : t -> name:string -> secret:string -> unit
+(** Replace an existing principal's key.  Unlike {!add_principal} this is
+    strict: raises [Not_found] if the principal was never registered, so a
+    cluster-replicated rotation cannot silently mint a new principal on a
+    shard that missed the original add. *)
+
+val remove_principal : t -> name:string -> unit
+(** Drop a principal's key.  A no-op (no generation bump, no hooks) if the
+    principal is absent; otherwise every credential signed by it stops
+    verifying and the generation bump invalidates cached decisions. *)
+
 val has_principal : t -> string -> bool
 
 val generation : t -> int

@@ -19,6 +19,18 @@ let hash key =
     key;
   !h
 
+(* Salted variant: one key, many independent hash streams.  The cluster
+   Placement module (lib/cluster) derives its consistent-hash vnode
+   points and the second power-of-two-choices candidate from these, so
+   every placement decision still bottoms out in the same FNV-1a a real
+   router would ship. *)
+let hash_salted ~salt key =
+  let h = ref (hash key) in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    (salt ^ "#");
+  !h
+
 let place ~shards key =
   if shards < 1 then invalid_arg "Shard.place: shards must be >= 1";
   Int64.to_int (Int64.unsigned_rem (hash key) (Int64.of_int shards))

@@ -8,6 +8,11 @@
 val hash : string -> int64
 (** FNV-1a. *)
 
+val hash_salted : salt:string -> string -> int64
+(** FNV-1a over the key continued through the salt: independent hash
+    streams from one key.  The cluster's consistent-hash ring derives its
+    vnode points and the second power-of-two-choices candidate here. *)
+
 val place : shards:int -> string -> int
 (** Shard index in [0, shards).  Raises [Invalid_argument] when
     [shards < 1]. *)

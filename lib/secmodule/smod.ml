@@ -99,6 +99,7 @@ type t = {
   mutable policy_cache : policy_cache_hooks option;
   mutable remove_hooks : (m_id:int -> unit) list;
   mutable compile_policies : bool;
+  mutable dispatch_gate : (unit -> unit) option;
 }
 
 exception Access_denied of string
@@ -161,6 +162,7 @@ let registry t = t.registry
 let set_toctou_mitigation t m = t.toctou <- m
 let set_call_fast_path t b = t.fast_path <- b
 let call_fast_path t = t.fast_path
+let set_dispatch_gate t gate = t.dispatch_gate <- gate
 let set_policy_compile t b = t.compile_policies <- b
 let policy_compile_enabled t = t.compile_policies
 let toctou_mitigation t = t.toctou
@@ -923,7 +925,14 @@ let cold_start_session t (p : Proc.t) entry credential =
   Smod_metrics.Counter.incr m_sessions_started;
   sid
 
+(* The cluster control plane (lib/cluster) hooks admission here: the gate
+   runs before any credential or session state is consulted, so a dispatch
+   can never race past a pending coherence sync and evaluate under a
+   revoked keystore generation or stale policy revision. *)
+let run_dispatch_gate t = match t.dispatch_gate with Some gate -> gate () | None -> ()
+
 let sys_start_session t (p : Proc.t) ~desc_addr =
+  run_dispatch_gate t;
   let clock = Machine.clock t.machine in
   if Hashtbl.mem t.sessions_by_client p.Proc.pid then
     Errno.raise_errno Errno.EEXIST "smod_start_session: client already has a session";
@@ -1069,6 +1078,7 @@ let undo_call_mitigation t (client : Proc.t) = function
         saved
 
 let sys_call t (p : Proc.t) ~framep ~rtnaddr ~m_id ~func_id =
+  run_dispatch_gate t;
   let clock = Machine.clock t.machine in
   let t0_us = Clock.now_us clock in
   let session =
@@ -1244,6 +1254,7 @@ let bind_session_ring t (p : Proc.t) session =
    time-window, volatile Keynote) are forced through a per-slot
    evaluation so their ordering semantics match the per-call path. *)
 let sys_call_batch t (p : Proc.t) ~m_id ~max_slots =
+  run_dispatch_gate t;
   let session =
     match session_of_client t ~client_pid:p.Proc.pid with
     | Some s -> s
@@ -1548,6 +1559,7 @@ let install machine ?keystore () =
       policy_cache = None;
       remove_hooks = [];
       compile_policies = false;
+      dispatch_gate = None;
     }
   in
   (* Keystore rotation invalidates every compiled program in the same

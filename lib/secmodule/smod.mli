@@ -85,6 +85,15 @@ val set_call_fast_path : t -> bool -> unit
 
 val call_fast_path : t -> bool
 
+val set_dispatch_gate : t -> (unit -> unit) option -> unit
+(** Install a hook that runs at the very top of [sys_smod_start_session],
+    [sys_smod_call], and [sys_smod_call_batch], before any credential or
+    session state is consulted.  The cluster control plane (lib/cluster)
+    uses it to settle pending coherence work — charging eager-broadcast
+    handling debt, or performing the lazy epoch check and sync — so no
+    dispatch ever executes under a revoked keystore generation or a stale
+    policy revision.  Default: none (zero cost on the dispatch path). *)
+
 (** {1 Trusted tool-chain interface (host level, not via traps)} *)
 
 val register :

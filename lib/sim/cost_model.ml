@@ -49,6 +49,12 @@ type op =
   | Ring_reap
   | Ring_stamp
   | Ring_spin
+  | Coord_epoch_check
+  | Coord_ctrl_recv
+  | Coord_sync_fetch
+  | Coord_apply_op
+  | Migrate_drain
+  | Migrate_reattach
 
 let mhz = 599.0
 let cycles_per_us = mhz
@@ -109,6 +115,12 @@ let cycles = function
   | Ring_reap -> 30.0
   | Ring_stamp -> 30.0
   | Ring_spin -> 20.0
+  | Coord_epoch_check -> 15.0
+  | Coord_ctrl_recv -> 2600.0
+  | Coord_sync_fetch -> 1200.0
+  | Coord_apply_op -> 600.0
+  | Migrate_drain -> 900.0
+  | Migrate_reattach -> 700.0
 
 let describe = function
   | Trap_enter -> "trap-enter"
@@ -161,3 +173,9 @@ let describe = function
   | Ring_reap -> "ring-reap"
   | Ring_stamp -> "ring-stamp"
   | Ring_spin -> "ring-spin"
+  | Coord_epoch_check -> "coord-epoch-check"
+  | Coord_ctrl_recv -> "coord-ctrl-recv"
+  | Coord_sync_fetch -> "coord-sync-fetch"
+  | Coord_apply_op -> "coord-apply-op"
+  | Migrate_drain -> "migrate-drain"
+  | Migrate_reattach -> "migrate-reattach"

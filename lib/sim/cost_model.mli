@@ -87,6 +87,28 @@ type op =
   | Ring_spin
       (** one iteration of the adaptive spin before falling back to a
           blocking wait (both sides of the ring) *)
+  | Coord_epoch_check
+      (** cluster (lib/cluster): one load-and-compare of the shard's
+          cached cluster epoch against the coordinator's — the lazy-mode
+          per-dispatch tax *)
+  | Coord_ctrl_recv
+      (** cluster: receiving and acknowledging one eager-broadcast
+          control message on a shard — msgq round-trip plus the
+          invalidation work it triggers *)
+  | Coord_sync_fetch
+      (** cluster: a stale shard fetching the coordinator's op log tail
+          on its next dispatch (lazy mode) — one fetch amortises a whole
+          storm of coalesced ops *)
+  | Coord_apply_op
+      (** cluster: applying one replicated control op (keystore rotation
+          or policy update) to a shard's local kernel *)
+  | Migrate_drain
+      (** cluster: draining one session off its source shard during live
+          migration — detach signalling and pool bookkeeping (the handle
+          scrub itself is charged by the pooled path as usual) *)
+  | Migrate_reattach
+      (** cluster: re-admitting one migrated session on the destination
+          shard over and above the normal pooled attach *)
 
 val cycles : op -> float
 (** Cycle charge for one occurrence of [op]. *)

@@ -134,6 +134,42 @@ let test_zero_row_epsilon_and_override () =
         expected rr.Diff.rr_abs_eps)
     eased.Diff.rows
 
+let test_rel_for_override () =
+  (* A per-experiment tolerance override loosens only that experiment's
+     rows: a 4% mean drift on e1 fails under the global 2% gate but
+     passes once e1 carries a 5%/10% override — and the override is
+     recorded in the row it judged. *)
+  let baseline = doc () in
+  let current = doc ~smod_mean:(6.407 *. 1.04) () in
+  let strict = Diff.compare_docs ~baseline ~current () in
+  Alcotest.(check bool) "4% mean drift fails globally" false (Diff.ok strict);
+  let gates = { Diff.default_gates with Diff.g_rel_for = [ ("e1", (0.05, 0.10)) ] } in
+  let eased = Diff.compare_docs ~gates ~baseline ~current () in
+  Alcotest.(check bool) "passes with e1 override" true (Diff.ok eased);
+  List.iter
+    (fun (rr : Diff.row_result) ->
+      let expected =
+        match (rr.Diff.rr_experiment, rr.Diff.rr_metric) with
+        | "e1", Diff.Mean -> 0.05
+        | "e1", Diff.P99 -> 0.10
+        | _, Diff.Mean -> 0.02
+        | _, Diff.P99 -> 0.05
+      in
+      Alcotest.(check (float 0.0))
+        (rr.Diff.rr_experiment ^ "/" ^ rr.Diff.rr_label ^ " judged with its tolerance")
+        expected rr.Diff.rr_rel_tol)
+    eased.Diff.rows;
+  (* An inverted override (mean looser than p99) is rejected up front. *)
+  Alcotest.(check bool) "inverted rel_for rejected" true
+    (match
+       Diff.gates_of_string
+         "{\"schema\": \"smod-bench-gates\", \"schema_version\": 1, \"mean_rel\": 0.02, \
+          \"p99_rel\": 0.05, \"abs_eps\": 0, \"rel_for\": {\"e21\": {\"mean_rel\": 0.2, \
+          \"p99_rel\": 0.1}}}"
+     with
+    | _ -> false
+    | exception Json.Parse_error _ -> true)
+
 let test_schema_mismatch_hard_error () =
   (* A v1 snapshot (or any other version) is a hard parse error with a
      regeneration hint, never a best-effort read. *)
@@ -155,11 +191,20 @@ let test_gates_json () =
   let g =
     Diff.gates_of_string
       "{\"schema\": \"smod-bench-gates\", \"schema_version\": 1, \"mean_rel\": 0.02, \
-       \"p99_rel\": 0.05, \"abs_eps\": 1e-9, \"abs_eps_for\": {\"e12\": 0.5}}"
+       \"p99_rel\": 0.05, \"abs_eps\": 1e-9, \"abs_eps_for\": {\"e12\": 0.5}, \
+       \"rel_for\": {\"e21\": {\"mean_rel\": 0.05, \"p99_rel\": 0.1}}}"
   in
   Alcotest.(check (float 0.0)) "mean_rel" 0.02 g.Diff.g_mean_rel;
   Alcotest.(check (float 0.0)) "p99_rel" 0.05 g.Diff.g_p99_rel;
   Alcotest.(check bool) "override parsed" true (g.Diff.g_abs_eps_for = [ ("e12", 0.5) ]);
+  Alcotest.(check bool) "rel override parsed" true (g.Diff.g_rel_for = [ ("e21", (0.05, 0.1)) ]);
+  (* Pre-e21 gates files omit rel_for entirely; still schema_version 1. *)
+  let old =
+    Diff.gates_of_string
+      "{\"schema\": \"smod-bench-gates\", \"schema_version\": 1, \"mean_rel\": 0.02, \
+       \"p99_rel\": 0.05, \"abs_eps\": 1e-9}"
+  in
+  Alcotest.(check bool) "absent rel_for defaults empty" true (old.Diff.g_rel_for = []);
   (* Round-trip through the emitter. *)
   Alcotest.(check bool) "round-trips" true (Diff.gates_of_string (Diff.gates_to_string g) = g);
   (* mean looser than p99 contradicts the design and is rejected. *)
@@ -230,6 +275,7 @@ let () =
           tc "mean regression fails" test_mean_regression_fails;
           tc "p99 judged at looser gate" test_p99_looser_gate;
           tc "zero-row epsilon and override" test_zero_row_epsilon_and_override;
+          tc "per-experiment tolerance override" test_rel_for_override;
           tc "gates.json parse and validate" test_gates_json;
         ] );
       ( "skips and schema",

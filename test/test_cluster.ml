@@ -1,0 +1,415 @@
+(* The sharded control plane (lib/cluster): placement invariants the
+   E21 numbers rely on — consistent-hash reshard churn bounded by the
+   arcs the new shard gains, power-of-two-choices balance under Zipf
+   skew, placement purity across domains — and the coherence guarantees:
+   a rotation published on the cluster is seen by every shard before its
+   next admission (eagerly at publish, lazily within one epoch check),
+   and no dispatch ever runs under a revoked keystore generation, batch
+   slots included.  Migration is exercised end to end: drain, scrub,
+   override, pooled re-attach, phase transitions, and greedy
+   rebalancing. *)
+
+module M = Smod_kern.Machine
+module Proc = Smod_kern.Proc
+module Sched = Smod_kern.Sched
+module Errno = Smod_kern.Errno
+module Keystore = Smod_keynote.Keystore
+module Parse = Smod_keynote.Parse
+module World = Smod_bench_kit.World
+module Smodd = Smod_pool.Smodd
+module Placement = Smod_cluster.Placement
+module Coordinator = Smod_cluster.Coordinator
+module Migrate = Smod_cluster.Migrate
+open Secmodule
+
+let tenant_names n = List.init n (Printf.sprintf "tenant-%03d")
+
+(* ------------------------------------------------------------------ *)
+(* Placement invariants                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_reshard_churn () =
+  let pop = tenant_names 300 in
+  let r4 = Placement.create [ 0; 1; 2; 3 ] in
+  let r5 = Placement.add_shard r4 4 in
+  let moved =
+    List.filter (fun k -> Placement.place r4 k <> Placement.place r5 k) pop
+  in
+  (* ~1/(K+1) of the keys in expectation; 40% is the acceptance bound. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "consistent hash moved %d/300 < 120" (List.length moved))
+    true
+    (List.length moved < 120);
+  (* Stronger: a moved key can only have been captured by the new
+     shard's arcs, so every mover lands on shard 4. *)
+  List.iter
+    (fun k ->
+      Alcotest.(check int) (k ^ " moved to the new shard") 4 (Placement.place r5 k))
+    moved;
+  Alcotest.(check int) "Placement.moved agrees" (List.length moved)
+    (Placement.moved ~before:r4 ~after:r5 pop);
+  (* The router FNV mod-K remaps the bulk of the population on K=4->5. *)
+  let moved_fnv =
+    List.length
+      (List.filter
+         (fun k -> Smod_pool.Shard.place ~shards:4 k <> Smod_pool.Shard.place ~shards:5 k)
+         pop)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fnv mod-K moved %d/300 >= 150" moved_fnv)
+    true (moved_fnv >= 150)
+
+let test_remove_inverts_add () =
+  (* Rings are pure values: removing the shard just added restores the
+     original placement for every key. *)
+  let pop = tenant_names 128 in
+  let r4 = Placement.create [ 0; 1; 2; 3 ] in
+  let back = Placement.remove_shard (Placement.add_shard r4 4) 4 in
+  Alcotest.(check (list int)) "placements restored"
+    (List.map (Placement.place r4) pop)
+    (List.map (Placement.place back) pop)
+
+let zipf_weights pop =
+  List.mapi (fun i k -> (k, 1.0 /. ((float_of_int i +. 1.0) ** 0.9))) pop
+
+let test_p2c_balance () =
+  let pop = tenant_names 256 in
+  let ring = Placement.create (List.init 8 Fun.id) in
+  let weights = zipf_weights pop in
+  let total = List.fold_left (fun a (_, w) -> a +. w) 0.0 weights in
+  let ideal = total /. 8.0 in
+  let loads_hash = Array.make 8 0.0 in
+  List.iter
+    (fun (k, w) ->
+      let s = Placement.place ring k in
+      loads_hash.(s) <- loads_hash.(s) +. w)
+    weights;
+  let loads_p2c = Array.make 8 0.0 in
+  List.iter
+    (fun (k, w) ->
+      let s =
+        Placement.place_p2c ring ~load:(fun i -> int_of_float (loads_p2c.(i) *. 1e6)) k
+      in
+      loads_p2c.(s) <- loads_p2c.(s) +. w)
+    (List.sort (fun (_, a) (_, b) -> compare b a) weights);
+  let max_of = Array.fold_left max 0.0 in
+  let ratio_hash = max_of loads_hash /. ideal in
+  let ratio_p2c = max_of loads_p2c /. ideal in
+  Alcotest.(check bool)
+    (Printf.sprintf "p2c %.3f beats hash-only %.3f" ratio_p2c ratio_hash)
+    true (ratio_p2c < ratio_hash);
+  Alcotest.(check bool)
+    (Printf.sprintf "p2c max/ideal %.3f within 1.5" ratio_p2c)
+    true (ratio_p2c <= 1.5)
+
+let test_pure_across_domains () =
+  (* Router replicas on different domains must agree with zero
+     coordination: placement is a function of (key, ring) alone. *)
+  let keys = tenant_names 64 in
+  let compute () =
+    let ring = Placement.create [ 0; 1; 2; 3; 4 ] in
+    List.map (Placement.place ring) keys
+  in
+  let here = compute () in
+  let there = Domain.join (Domain.spawn compute) in
+  Alcotest.(check (list int)) "same placement on every domain" here there
+
+(* ------------------------------------------------------------------ *)
+(* Coherence                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let vendor_policy () =
+  Policy.Keynote
+    {
+      policy =
+        [
+          Parse.assertion_of_string
+            "keynote-version: 2\nauthorizer: \"POLICY\"\nlicensees: \"vendor\"\n\
+             conditions: module == \"seclibc\" -> \"allow\";\n";
+        ];
+      levels = [| "deny"; "allow" |];
+      min_level = "allow";
+      attrs = [];
+    }
+
+let signed_license ks =
+  Keystore.sign ks
+    (Parse.assertion_of_string
+       "keynote-version: 2\nauthorizer: \"vendor\"\nlicensees: \"alice\"\n\
+        conditions: true -> \"allow\";\n")
+
+(* Two shard kernels under the vendor-trusting policy, both knowing the
+   vendor key, joined to one coordinator. *)
+let two_shard_cluster ~mode ?pool () =
+  let coord = Coordinator.create ~mode () in
+  let mk () =
+    let world = World.create ?pool ~with_rpc:false ~policy:(vendor_policy ()) () in
+    Keystore.add_principal (Smod.keystore world.World.smod) ~name:"vendor" ~secret:"vk1";
+    ignore (Coordinator.add_shard coord world.World.smod);
+    world
+  in
+  let w0 = mk () in
+  let w1 = mk () in
+  (coord, w0, w1)
+
+let licensed_credential (world : World.t) =
+  Credential.make ~principal:"alice"
+    ~assertions:[ signed_license (Smod.keystore world.World.smod) ]
+    ()
+
+let spawn_licensed (world : World.t) ~name ~credential body =
+  let smod = world.World.smod in
+  ignore
+    (M.spawn world.World.machine ~name (fun p ->
+         match
+           Crt0.run_client smod p ~module_name:Smod_libc.Seclibc.module_name
+             ~version:Smod_libc.Seclibc.version ~credential (fun conn ->
+               ignore (Stub.call conn ~func:"test_incr" [| 1 |]);
+               body `Called)
+         with
+         | () -> ()
+         | exception Errno.Error (e, _) -> body (`Denied e)))
+
+let test_eager_rotation_before_next_admission () =
+  let coord, _w0, w1 = two_shard_cluster ~mode:Coordinator.Eager () in
+  let ks1 = Smod.keystore w1.World.smod in
+  (* Signed under the pre-rotation vendor key; reused verbatim after the
+     publish so the denial is the rotation's doing. *)
+  let credential = licensed_credential w1 in
+  (* Sanity: the licensed credential works before the rotation. *)
+  let before = ref `None in
+  spawn_licensed w1 ~name:"before" ~credential (fun r ->
+      before := (r :> [ `None | `Called | `Denied of Errno.t ]));
+  World.run w1;
+  Alcotest.(check bool) "licensed call allowed pre-rotation" true (!before = `Called);
+  let gen0 = Keystore.generation ks1 in
+  Coordinator.publish coord (Coordinator.Rotate_key { name = "vendor"; secret = "vk2" });
+  (* Eager broadcast: applied at publish on every shard, before anything
+     dispatches — generation bumped, epochs current, propagation sampled. *)
+  Alcotest.(check int) "shard B generation bumped at publish" (gen0 + 1)
+    (Keystore.generation ks1);
+  List.iter
+    (fun sh ->
+      Alcotest.(check int) "shard epoch current" (Coordinator.epoch coord)
+        (Coordinator.shard_epoch sh);
+      Alcotest.(check bool) "propagation sample recorded" true
+        (Coordinator.propagation_us sh <> []))
+    (Coordinator.shards coord);
+  (* The next admission on shard B already sees the new generation: the
+     old-signed license fails signature verification at establishment. *)
+  let after = ref `None in
+  spawn_licensed w1 ~name:"after" ~credential (fun r ->
+      after := (r :> [ `None | `Called | `Denied of Errno.t ]));
+  World.run w1;
+  Alcotest.(check bool) "old license denied on shard B" true
+    (!after = `Denied Errno.EACCES)
+
+let test_lazy_settles_within_one_epoch_check () =
+  let coord, _w0, w1 = two_shard_cluster ~mode:Coordinator.Lazy () in
+  let ks1 = Smod.keystore w1.World.smod in
+  let sh1 = List.nth (Coordinator.shards coord) 1 in
+  let credential = licensed_credential w1 in
+  let gen0 = Keystore.generation ks1 in
+  Coordinator.publish coord (Coordinator.Rotate_key { name = "vendor"; secret = "vk2" });
+  (* Lazy: nothing applied yet — the shard is visibly stale. *)
+  Alcotest.(check int) "generation unchanged at publish" gen0 (Keystore.generation ks1);
+  Alcotest.(check bool) "shard epoch stale" true
+    (Coordinator.shard_epoch sh1 < Coordinator.epoch coord);
+  Alcotest.(check bool) "no propagation sample yet" true
+    (Coordinator.propagation_us sh1 = []);
+  (* The first dispatch after the publish — the admission itself — pays
+     the epoch check, syncs, and therefore already runs under the new
+     generation: the old license must be denied, never admitted. *)
+  let after = ref `None in
+  spawn_licensed w1 ~name:"stale" ~credential (fun r ->
+      after := (r :> [ `None | `Called | `Denied of Errno.t ]));
+  World.run w1;
+  Alcotest.(check bool) "stale shard denies old license on first dispatch" true
+    (!after = `Denied Errno.EACCES);
+  Alcotest.(check int) "settled to the cluster epoch" (Coordinator.epoch coord)
+    (Coordinator.shard_epoch sh1);
+  Alcotest.(check int) "generation bumped by the sync" (gen0 + 1)
+    (Keystore.generation ks1);
+  Alcotest.(check bool) "propagation sampled at the sync" true
+    (Coordinator.propagation_us sh1 <> [])
+
+let test_no_batch_under_revoked_generation () =
+  (* test_compile's establishment-vs-first-batch scenario, with the
+     rotation arriving as a cluster publish in lazy mode: the victim's
+     batch is the shard's first dispatch after the publish, so the gate
+     syncs first and every slot re-verifies under the new generation. *)
+  let coord, w0, _w1 =
+    two_shard_cluster ~mode:Coordinator.Lazy ~pool:Smodd.default_config ()
+  in
+  let smod = w0.World.smod in
+  Smod.set_policy_compile smod true;
+  let entry = w0.World.libc_entry in
+  let credential =
+    Credential.make ~principal:"alice"
+      ~assertions:[ signed_license (Smod.keystore smod) ]
+      ()
+  in
+  let spawn name body =
+    ignore
+      (M.spawn w0.World.machine ~name (fun p ->
+           Crt0.run_client smod p ~module_name:Smod_libc.Seclibc.module_name
+             ~version:Smod_libc.Seclibc.version ~credential body))
+  in
+  spawn "warm" (fun conn -> ignore (Stub.call conn ~func:"test_incr" [| 1 |]));
+  World.run w0;
+  Alcotest.(check int) "program cached before the publish" 1
+    (Hashtbl.length entry.Registry.compiled_cache);
+  let inv0 = entry.Registry.compile_invalidations in
+  let statuses = ref [] in
+  spawn "victim" (fun conn ->
+      (* Session established under the old generation; the publish lands
+         before this session's first batch. *)
+      Coordinator.publish coord
+        (Coordinator.Rotate_key { name = "vendor"; secret = "vk2" });
+      let rs = Stub.call_batch conn ~func:"test_incr" (List.init 4 (fun i -> [| i |])) in
+      statuses := List.map (function Ok _ -> `Ok | Error (e, _) -> `Err e) rs);
+  World.run w0;
+  Alcotest.(check int) "4 slots" 4 (List.length !statuses);
+  List.iteri
+    (fun i s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d denied under the revoked generation" i)
+        true
+        (s = `Err Errno.EACCES))
+    !statuses;
+  (* The sync evicted the warm program (the batch then recompiled under
+     the new generation, so the cache is warm again — with a program
+     that denies). *)
+  Alcotest.(check bool) "eviction counted by the sync" true
+    (entry.Registry.compile_invalidations > inv0)
+
+(* ------------------------------------------------------------------ *)
+(* Migration                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pool_config =
+  {
+    Smodd.default_config with
+    max_handles_per_module = 8;
+    max_total_handles = 8;
+    max_queue_depth = 32;
+  }
+
+let park () = Effect.perform (Sched.Block (Sched.Custom "test-park"))
+
+let test_migration_protocol () =
+  let coord = Coordinator.create ~mode:Coordinator.Lazy () in
+  let mk () =
+    let world = World.create ~pool:pool_config ~with_rpc:false () in
+    ignore (Coordinator.add_shard coord world.World.smod);
+    world
+  in
+  let w0 = mk () in
+  let w1 = mk () in
+  let tenant =
+    List.find (fun n -> Coordinator.route coord n = 0) (tenant_names 32)
+  in
+  for i = 1 to 3 do
+    World.spawn_seclibc_client w0
+      ~name:(Printf.sprintf "%s-c%d" tenant i)
+      ~principal:tenant
+      (fun p conn ->
+        ignore (Smod_libc.Seclibc.Client.test_incr conn i);
+        p.Proc.daemon <- true;
+        park ())
+  done;
+  World.run w0;
+  let sessions = Migrate.tenant_sessions w0.World.smod tenant in
+  Alcotest.(check int) "3 live sessions on the source" 3 (List.length sessions);
+  let mg = Migrate.start coord ~tenant ~to_shard:1 in
+  Alcotest.(check string) "phase reattaching after start" "reattaching"
+    (Coordinator.phase_name mg.Coordinator.mg_phase);
+  Alcotest.(check int) "3 sessions drained" 3 mg.Coordinator.mg_sessions;
+  Alcotest.(check int) "from shard 0" 0 mg.Coordinator.mg_from;
+  Alcotest.(check int) "to shard 1" 1 mg.Coordinator.mg_to;
+  Alcotest.(check int) "routers now point at the destination" 1
+    (Coordinator.route coord tenant);
+  Alcotest.(check bool) "override recorded" true
+    (Coordinator.overrides coord = [ (tenant, 1) ]);
+  Alcotest.(check int) "migration in flight" 1 (List.length (Coordinator.in_flight coord));
+  (* Drain is the client-exit teardown — already idempotent. *)
+  Smod.detach_session w0.World.smod (List.hd sessions);
+  (* Let the pooled handles scrub and park; the tenant is gone. *)
+  World.run w0;
+  Alcotest.(check int) "source fully drained" 0
+    (List.length (Migrate.tenant_sessions w0.World.smod tenant));
+  (* Re-attach on the destination through ordinary pooled admission. *)
+  let ok = ref false in
+  World.spawn_seclibc_client w1 ~name:(tenant ^ "-moved") ~principal:tenant
+    (fun _p conn ->
+      ignore (Smod_libc.Seclibc.Client.test_incr conn 1);
+      ok := true);
+  World.run w1;
+  Alcotest.(check bool) "re-attached on the destination" true !ok;
+  Migrate.finish coord mg;
+  Alcotest.(check string) "phase done" "done" (Coordinator.phase_name mg.Coordinator.mg_phase);
+  Alcotest.(check int) "nothing in flight" 0 (List.length (Coordinator.in_flight coord));
+  Alcotest.(check int) "history kept" 1 (List.length (Coordinator.migrations coord));
+  (* Migrating to the shard the tenant is already on is refused. *)
+  Alcotest.(check bool) "same-shard migration refused" true
+    (match Migrate.start coord ~tenant ~to_shard:1 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_rebalance_shrinks_gap () =
+  let coord = Coordinator.create ~mode:Coordinator.Lazy () in
+  let mk () =
+    let world = World.create ~with_rpc:false () in
+    ignore (Coordinator.add_shard coord world.World.smod);
+    world
+  in
+  let _w0 = mk () in
+  let _w1 = mk () in
+  let tenants = tenant_names 32 in
+  (* All the weight on shard 0's ring-placed tenants: the greedy pass
+     must move load-1 tenants to shard 1 until within one move of
+     balance (each move shrinks the gap by 2). *)
+  let load t = if Placement.place (Coordinator.ring coord) t = 0 then 1.0 else 0.0 in
+  let gap () =
+    let w = Array.make 2 0.0 in
+    List.iter (fun t -> w.(Coordinator.route coord t) <- w.(Coordinator.route coord t) +. load t) tenants;
+    Float.abs (w.(0) -. w.(1))
+  in
+  let gap0 = gap () in
+  Alcotest.(check bool) "skewed to start" true (gap0 > 2.0);
+  let migs = Migrate.rebalance coord ~tenants ~load in
+  Alcotest.(check bool) "migrations started" true (migs <> []);
+  Alcotest.(check bool)
+    (Printf.sprintf "gap %.1f -> %.1f, within one move of balance" gap0 (gap ()))
+    true
+    (gap () <= 2.0);
+  (* Conservative: re-running on the balanced cluster moves nothing. *)
+  Alcotest.(check int) "idempotent once balanced" 0
+    (List.length (Migrate.rebalance coord ~tenants ~load))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "cluster"
+    [
+      ( "placement",
+        [
+          tc "reshard churn bounded, movers land on the new shard" test_reshard_churn;
+          tc "remove_shard inverts add_shard" test_remove_inverts_add;
+          tc "p2c balance under zipf skew" test_p2c_balance;
+          tc "pure across domains" test_pure_across_domains;
+        ] );
+      ( "coherence",
+        [
+          tc "eager: rotation visible before the next admission"
+            test_eager_rotation_before_next_admission;
+          tc "lazy: stale shard settles within one epoch check"
+            test_lazy_settles_within_one_epoch_check;
+          tc "no batch slot runs under a revoked generation"
+            test_no_batch_under_revoked_generation;
+        ] );
+      ( "migration",
+        [
+          tc "drain, scrub, override, pooled re-attach" test_migration_protocol;
+          tc "greedy rebalance shrinks the gap, then stops" test_rebalance_shrinks_gap;
+        ] );
+    ]
