@@ -65,6 +65,18 @@ let e21_config ~full =
   let c = Cluster_bench.default_config in
   if full then { c with Cluster_bench.rounds = c.Cluster_bench.rounds * 5 } else c
 
+let e22_config ~full =
+  let c = Polling.default_config in
+  if full then
+    { c with Polling.poller_sessions = c.Polling.poller_sessions @ [ 10_000 ] }
+  else c
+
+let e22_cells c = List.length c.Polling.trap_sessions + List.length c.Polling.poller_sessions
+
+let e22_calls c =
+  List.fold_left (fun acc s -> acc + (s * c.Polling.batches * c.Polling.batch)) 0
+    (c.Polling.trap_sessions @ c.Polling.poller_sessions)
+
 let sections =
   [
     {
@@ -260,6 +272,24 @@ let sections =
                   live migration (lib/cluster)"
                ~unit_:"kcalls/s (p99/propagation/migration rows: us; placement rows: ratio \
                        or %)");
+    };
+    {
+      s_id = "e22";
+      s_title =
+        "E22: zero-trap data path — kernel poller + effects multiplexing vs trap-per-batch";
+      s_unit = "us/call (traps rows: traps/call)";
+      s_tasks = (fun ~full -> e22_cells (e22_config ~full) * (e22_config ~full).Polling.trials);
+      s_dispatches = (fun ~full ->
+          let c = e22_config ~full in
+          e22_calls c * c.Polling.trials);
+      s_run =
+        (fun ~full ~runner ->
+          Polling.run ~runner ~config:(e22_config ~full) ()
+          |> entries_outcome
+               ~title:
+                 "E22: zero-trap data path — kernel poller + effects multiplexing vs \
+                  trap-per-batch"
+               ~unit_:"us/call (traps rows: traps/call)");
     };
   ]
 

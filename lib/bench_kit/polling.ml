@@ -1,0 +1,143 @@
+(* E22: the zero-trap data path — SQPOLL-style kernel poller + effects
+   multiplexer — against the trap-per-batch ring baseline, as session
+   count scales.
+
+   Two modes over the same workload (every session submits [batches]
+   ring batches of [batch] calls):
+
+   - [Trap]: the PR-3 configuration — one [sys_smod_call_batch] trap per
+     chunk stamps admission, one forked handle process serves each
+     session.  Expected traps/call = 1/batch, flat in S.
+
+   - [Poller]: the kernel poller sweeps every registered ring and stamps
+     verdicts itself, and one mux daemon serves every session on a
+     single domain via effects fibers.  The steady-state submit needs no
+     trap; the only traps inside the measured window are doorbells after
+     the poller parked (rare while work is flowing), so traps/call
+     drops toward zero as S grows — while the poll-sweep cost stays
+     honestly on the books, charged to the poller's timeline.
+
+   Both metrics come from the same run: simulated wall time per call,
+   and machine-wide [Machine.syscall_count] growth per call.  The count
+   starts when the last session has armed its ring (a shared simulated
+   barrier), so arm-time setup traps — find/start_session/obreak/
+   ring_setup and the one arm-time doorbell — stay out of the
+   steady-state figure, exactly like the warm-up convention of E1.
+
+   Each (mode, S, trial) cell is an independent deterministic world, so
+   the Runner can spread cells over domains. *)
+
+module Machine = Smod_kern.Machine
+module Sched = Smod_kern.Sched
+module Clock = Smod_sim.Clock
+module Stats = Smod_util.Stats
+module Smod = Secmodule.Smod
+module Stub = Secmodule.Stub
+
+type mode = Trap | Poller
+
+let mode_name = function Trap -> "trap" | Poller -> "poller"
+
+type config = {
+  trap_sessions : int list;
+  poller_sessions : int list;
+      (* the poller column reaches further: the whole point is that one
+         domain multiplexes thousands of sessions *)
+  batches : int;  (* ring batches per session *)
+  batch : int;  (* calls per batch = ring slots *)
+  trials : int;
+}
+
+let default_config =
+  { trap_sessions = [ 1; 8; 64 ]; poller_sessions = [ 1; 8; 64; 1000 ]; batches = 4; batch = 16; trials = 2 }
+
+type cell_result = { cr_us_per_call : float; cr_traps_per_call : float }
+
+let run_cell ~mode ~sessions ~cfg ~trial =
+  let seed = Int64.of_int (22_000 + (1009 * trial) + (7 * sessions) + match mode with Trap -> 0 | Poller -> 1) in
+  let world = World.create ~seed ~with_rpc:false () in
+  let machine = world.World.machine in
+  let clock = Machine.clock machine in
+  let smod = world.World.smod in
+  (match mode with
+  | Trap -> ()
+  | Poller ->
+      Smod.set_kernel_poller smod true;
+      Smod.set_session_mux smod true);
+  let total_calls = sessions * cfg.batches * cfg.batch in
+  let barrier = Sched.waitq "e22-armed" in
+  let ready = ref 0 in
+  let t0 = ref 0.0 and traps0 = ref 0 in
+  let t1 = ref 0.0 and traps1 = ref 0 in
+  let finished = ref 0 in
+  for i = 1 to sessions do
+    World.spawn_seclibc_client world
+      ~name:(Printf.sprintf "e22-%s-%d" (mode_name mode) i)
+      (fun p conn ->
+        ignore (Stub.arm_ring ~nslots:cfg.batch conn);
+        incr ready;
+        (* Barrier: steady state starts only once every ring is armed. *)
+        if !ready = sessions then begin
+          t0 := Clock.now_us clock;
+          traps0 := Machine.syscall_count machine;
+          ignore (Machine.wake machine barrier)
+        end
+        else Sched.wait_on barrier p.Smod_kern.Proc.pid;
+        let argss = List.init cfg.batch (fun j -> [| j |]) in
+        for _ = 1 to cfg.batches do
+          ignore (Stub.call_batch conn ~func:"test_incr" argss)
+        done;
+        incr finished;
+        if !finished = sessions then begin
+          t1 := Clock.now_us clock;
+          traps1 := Machine.syscall_count machine
+        end)
+  done;
+  World.run world;
+  {
+    cr_us_per_call = (!t1 -. !t0) /. float_of_int total_calls;
+    cr_traps_per_call = float_of_int (!traps1 - !traps0) /. float_of_int total_calls;
+  }
+
+let run ?(runner = Runner.sequential) ?(config = default_config) () =
+  let cells =
+    List.map (fun s -> (Trap, s)) config.trap_sessions
+    @ List.map (fun s -> (Poller, s)) config.poller_sessions
+  in
+  let tasks =
+    List.concat_map
+      (fun cell -> List.init config.trials (fun trial -> (cell, trial)))
+      cells
+  in
+  let results =
+    Runner.map runner tasks (fun ((mode, sessions), trial) ->
+        run_cell ~mode ~sessions ~cfg:config ~trial)
+  in
+  let per_cell = Hashtbl.create 16 in
+  List.iter2
+    (fun (cell, _) r ->
+      let prev = Option.value (Hashtbl.find_opt per_cell cell) ~default:[] in
+      Hashtbl.replace per_cell cell (r :: prev))
+    tasks results;
+  List.concat_map
+    (fun cell ->
+      let mode, sessions = cell in
+      let rs = List.rev (Option.value (Hashtbl.find_opt per_cell cell) ~default:[]) in
+      let us = Array.of_list (List.map (fun r -> r.cr_us_per_call) rs) in
+      let traps = Array.of_list (List.map (fun r -> r.cr_traps_per_call) rs) in
+      let name = mode_name mode in
+      [
+        Ablations.
+          {
+            label = Printf.sprintf "%s S=%d us/call" name sessions;
+            mean_us = Stats.mean us;
+            stdev_us = Stats.stdev us;
+          };
+        Ablations.
+          {
+            label = Printf.sprintf "%s S=%d traps/call" name sessions;
+            mean_us = Stats.mean traps;
+            stdev_us = Stats.stdev traps;
+          };
+      ])
+    cells

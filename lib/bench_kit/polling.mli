@@ -1,0 +1,25 @@
+(** E22 — the zero-trap data path: SQPOLL-style kernel poller plus
+    effects-based handle multiplexing, against the trap-per-batch ring
+    baseline, as session count scales.
+
+    Two rows per (mode, S) cell: simulated microseconds per call and
+    machine-wide traps per call, both measured from the instant the last
+    session armed its ring (setup traps excluded, like E1's warm-up).
+    The trap mode pins the 1/batch floor the PR-3 path pays forever; the
+    poller mode shows it collapsing toward zero while one mux domain
+    carries every session.  Each (mode, S, trial) cell is an independent
+    deterministic world, so a {!Runner} can spread cells over domains. *)
+
+type config = {
+  trap_sessions : int list;  (** default 1 / 8 / 64 *)
+  poller_sessions : int list;  (** default 1 / 8 / 64 / 1000 *)
+  batches : int;  (** ring batches per session *)
+  batch : int;  (** calls per batch (= ring slots) *)
+  trials : int;
+}
+
+val default_config : config
+
+val run : ?runner:Runner.t -> ?config:config -> unit -> Ablations.entry list
+(** Row order: per cell (trap sessions first, then poller sessions) —
+    us/call, then traps/call. *)

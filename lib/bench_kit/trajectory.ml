@@ -86,6 +86,9 @@ let headlines =
       "e21 kc/s",
       fun doc ->
         find_mean doc ~experiment:"e21" ~label:"ring K=8 lazy storm aggregate (kcalls/s)" );
+    ( "e22_poller_traps_per_call",
+      "e22 t/c",
+      fun doc -> find_mean doc ~experiment:"e22" ~label:"poller S=64 traps/call" );
   ]
 
 let headline_keys = List.map (fun (k, _, _) -> k) headlines

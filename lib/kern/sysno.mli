@@ -41,4 +41,8 @@ val smod_ring_setup : int
 (** 322: submit a batch of calls through the dispatch ring in one trap *)
 val smod_call_batch : int
 
+(** 323: re-arm a parked SQPOLL kernel poller — the only trap the
+    zero-trap ring path ever pays, and only while the poller naps *)
+val smod_poll_doorbell : int
+
 val name : int -> string

@@ -509,6 +509,7 @@ type status = {
   st_ring_batches : int;
   st_ring_submits : int;
   st_ring_stale_drops : int;
+  st_spin_budget : int;
 }
 
 let status t =
@@ -551,6 +552,7 @@ let status t =
     st_ring_batches = ring_counter "ring.batches";
     st_ring_submits = ring_counter "ring.submits";
     st_ring_stale_drops = ring_counter "ring.stale_drops";
+    st_spin_budget = Smod.spin_budget t.smod;
   }
 
 let render_status t =
@@ -575,7 +577,7 @@ let render_status t =
       | _ -> ())
   | _ -> Buffer.add_string buf "; policy cache disabled");
   Buffer.add_string buf
-    (Printf.sprintf "; ring: %d call(s) in %d batch(es), %d stale drop(s)" st.st_ring_submits
-       st.st_ring_batches st.st_ring_stale_drops);
+    (Printf.sprintf "; ring: %d call(s) in %d batch(es), %d stale drop(s); spin budget %d"
+       st.st_ring_submits st.st_ring_batches st.st_ring_stale_drops st.st_spin_budget);
   Buffer.add_char buf '\n';
   Buffer.contents buf

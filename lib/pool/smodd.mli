@@ -83,6 +83,9 @@ type status = {
   st_ring_batches : int;  (** process-wide [ring.*] counters: batched traps *)
   st_ring_submits : int;  (** calls submitted through dispatch rings *)
   st_ring_stale_drops : int;  (** submitted-but-unclaimed slots scrubbed at recycle *)
+  st_spin_budget : int;
+      (** the shared spin/park knob: serve-loop yields before blocking,
+          poller empty sweeps before parking ({!Smod.set_spin_budget}) *)
 }
 
 val status : t -> status

@@ -9,7 +9,7 @@
 
    Memory layout (32-bit little-endian words through Aspace):
 
-     header  8 words:  magic  nslots  head  claimed  completed  reaped  -  -
+     header  8 words:  magic  nslots  head  claimed  completed  reaped  needwake  -
      slot   16 words:  state seq m_id func verdict nargs csp cfp
                        arg0 arg1 arg2 arg3 status retval  -  -
 
@@ -82,6 +82,7 @@ let h_head = 2
 let h_claimed = 3
 let h_completed = 4
 let h_reaped = 5
+let h_need_wakeup = 6
 
 (* Slot word indices. *)
 let s_state = 0
@@ -100,6 +101,15 @@ let head t = hdr t h_head
 let claimed t = hdr t h_claimed
 let completed t = hdr t h_completed
 let reaped t = hdr t h_reaped
+
+(* SQPOLL-style need-wakeup flag (kernel-written, client-read without a
+   trap — the IORING_SQ_NEED_WAKEUP idiom).  Like every header word it
+   lives in client-writable memory, so the kernel never *trusts* it: a
+   client forging 0 merely stalls its own calls until the next honest
+   doorbell; forging 1 makes itself trap unnecessarily.  Admission is
+   unaffected either way. *)
+let need_wakeup t = hdr t h_need_wakeup <> 0
+let set_need_wakeup t v = set_hdr t h_need_wakeup (if v then 1 else 0)
 let in_flight t = head t - reaped t
 let space t = t.nslots - in_flight t
 

@@ -78,6 +78,16 @@ val completed : t -> int
 val reaped : t -> int
 (** Client's reap cursor. *)
 
+val need_wakeup : t -> bool
+(** SQPOLL-style flag (header word 6): set by the kernel when the poller
+    parks, cleared when it wakes.  The client reads it trap-free to
+    decide whether a doorbell syscall is needed.  Advisory only — it
+    lives in client-writable memory, so a forged value can only hurt the
+    forger (stalled calls or a wasted trap), never admission. *)
+
+val set_need_wakeup : t -> bool -> unit
+(** Kernel-side write of the need-wakeup flag. *)
+
 val in_flight : t -> int
 (** [head - reaped]: submitted but not yet reaped. *)
 

@@ -50,6 +50,7 @@ type session = {
   mutable handle_exec_us : float;
   mutable client_waiting_handshake : bool;
   pooled : bool;
+  mux : bool;
   mutable ring : ring_state option;
   mutable cred_digest : string option;
   mutable compiled_memo : (int * int * Policy.compiled) option;
@@ -84,6 +85,65 @@ type policy_cache_hooks = {
   compiled_store : session -> Policy.compiled -> unit;
 }
 
+(* SQPOLL-style kernel poller (E22): one kernel daemon sweeps every live
+   session's registered ring for Submitted slots, so the steady-state
+   data path needs no client trap at all.  The spin/park policy shares
+   [spin_budget] with the handle serve loop: after that many consecutive
+   empty sweeps the poller sets each ring's need-wakeup flag and blocks
+   on [p_wq]; the next submitter sees the flag (a trap-free shared-memory
+   read) and rings [sys_smod_poll_doorbell] — the only trap the zero-trap
+   path ever pays, and only while the poller naps. *)
+type poller = {
+  mutable p_run : bool;
+  mutable p_pid : int;
+  mutable p_parked : bool;
+  p_wq : Sched.waitq;
+  mutable p_sweeps : int;
+  mutable p_empty_sweeps : int;  (* total sweeps that stamped nothing *)
+  mutable p_parks : int;
+  mutable p_wakes : int;
+  mutable p_slots : int;
+  mutable p_geometry_rejects : int;
+  mutable p_doorbells : int;
+  p_session_slots : (int, int) Hashtbl.t;  (* sid -> slots stamped *)
+}
+
+(* Effects-based handle multiplexer (E22): one daemon process serves
+   thousands of ring-only sessions as fibers.  A fiber drains its
+   session's ring and performs [Mux_suspend] when it runs dry; the stamp
+   path (batch trap or poller) enqueues the session id and wakes the mux,
+   which resumes the continuation under that session's handle context
+   (address space, secret stack, role).  This replaces the
+   one-blocked-loop-per-session model: suspended sessions cost a table
+   entry, not a process. *)
+type _ Effect.t += Mux_suspend : unit Effect.t
+
+type mux_fiber =
+  | Fiber_fresh
+  | Fiber_suspended of (unit, unit) Effect.Deep.continuation
+  | Fiber_running
+  | Fiber_done
+
+type mux_session = {
+  ms_session : session;
+  ms_aspace : Aspace.t;  (* the session's handle context: module image,
+                            secret segment, force-shared client range *)
+  mutable ms_sp : int;
+  mutable ms_fp : int;
+  mutable ms_fiber : mux_fiber;
+  mutable ms_queued : bool;  (* already on [mx_ready] *)
+}
+
+type mux = {
+  mutable mx_pid : int;
+  mx_wq : Sched.waitq;
+  mx_ready : int Queue.t;  (* sids with stamped work (or a detach) pending *)
+  mx_sessions : (int, mux_session) Hashtbl.t;
+  mutable mx_live : int;
+  mutable mx_peak : int;
+  mutable mx_attached : int;  (* total sessions ever attached *)
+}
+
 type t = {
   machine : Machine.t;
   registry : Registry.t;
@@ -100,6 +160,10 @@ type t = {
   mutable remove_hooks : (m_id:int -> unit) list;
   mutable compile_policies : bool;
   mutable dispatch_gate : (unit -> unit) option;
+  mutable spin_budget : int;
+  mutable poller : poller option;
+  mutable mux : mux option;
+  mutable mux_enabled : bool;
 }
 
 exception Access_denied of string
@@ -155,6 +219,16 @@ let m_ring_stale_drops = Smod_metrics.Scope.counter m_ring_scope "stale_drops"
 let m_ring_batch_size =
   Smod_metrics.Scope.histogram m_ring_scope "batch_size"
     ~edges:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0 |]
+
+(* poller.* scope: the SQPOLL-style zero-trap path and the effects
+   multiplexer that serves it (E22). *)
+let m_poll_scope = Smod_metrics.scope "poller"
+let m_poll_sweeps = Smod_metrics.Scope.counter m_poll_scope "sweeps"
+let m_poll_slots = Smod_metrics.Scope.counter m_poll_scope "slots_stamped"
+let m_poll_parks = Smod_metrics.Scope.counter m_poll_scope "parks"
+let m_poll_wakes = Smod_metrics.Scope.counter m_poll_scope "wakes"
+let m_poll_doorbells = Smod_metrics.Scope.counter m_poll_scope "doorbells"
+let m_mux_attached = Smod_metrics.Scope.counter m_poll_scope "mux_sessions_attached"
 
 let machine t = t.machine
 let keystore t = t.keystore
@@ -240,7 +314,30 @@ let detach_session t session =
         ignore (Machine.wake t.machine rs.r_handle_wq)
     | None -> ());
     Machine.ring_teardown t.machine ~pid:session.client_pid;
-    if session.pooled then begin
+    if session.mux then begin
+      (* Mux sessions are fibers, not processes: never kill the mux proc.
+         Break the client half of the pairing, orphan the per-session
+         handle context, and kick the mux so the fiber observes
+         [detached] and finishes (dropping its continuation). *)
+      (match Machine.proc t.machine session.client_pid with
+      | Some client ->
+          Aspace.set_peer client.Proc.aspace None;
+          client.Proc.role <- Proc.Standalone
+      | None -> ());
+      match t.mux with
+      | Some mx -> (
+          match Hashtbl.find_opt mx.mx_sessions session.sid with
+          | Some ms ->
+              Aspace.set_peer ms.ms_aspace None;
+              if not ms.ms_queued then begin
+                ms.ms_queued <- true;
+                Queue.push session.sid mx.mx_ready
+              end;
+              ignore (Machine.wake t.machine mx.mx_wq)
+          | None -> ())
+      | None -> ()
+    end
+    else if session.pooled then begin
       (* Break the client half of the pairing; the handle unshares and
          scrubs itself on the way back to the pool, so its queues and
          process survive for the next tenant. *)
@@ -374,9 +471,19 @@ let execute_function t session (handle : Proc.t) (req : Wire.request) =
       | Ok retval -> { Wire.status = 0; retval = retval land 0xFFFFFFFF }
       | Error status -> { Wire.status; retval = 0 })
 
-(* How many yield-and-recheck iterations either side of the ring burns
-   before giving up the CPU for real (the adaptive spin-then-block). *)
-let handle_spin_budget = 4
+(* How many yield-and-recheck iterations the serve loop burns before
+   giving up the CPU for real (the adaptive spin-then-block).  The same
+   budget paces the kernel poller's spin/park policy: after this many
+   consecutive empty sweeps it sets the rings' need-wakeup flags and
+   parks.  Configurable via {!set_spin_budget}; 4 is the historical
+   constant every baseline was measured with. *)
+let default_spin_budget = 4
+
+let set_spin_budget t n =
+  if n < 1 then invalid_arg "Smod.set_spin_budget: budget must be >= 1";
+  t.spin_budget <- n
+
+let spin_budget t = t.spin_budget
 
 (* Drain every claimable slot: pull the next admission record from the
    kernel-private shadow (identity + verdict as stamped — whatever the
@@ -455,7 +562,7 @@ let serve_session t session (handle : Proc.t) ~req_qid ~rep_qid =
         end
       end
       else if drained > 0 then ring_serve rs
-      else spin rs handle_spin_budget
+      else spin rs t.spin_budget
     end
   and spin rs budget =
     if budget = 0 then begin
@@ -820,6 +927,7 @@ let attach_pooled t (p : Proc.t) ph ~credential =
       handle_exec_us = 0.0;
       client_waiting_handshake = false;
       pooled = true;
+      mux = false;
       ring = None;
       cred_digest = None;
       compiled_memo = None;
@@ -891,6 +999,7 @@ let cold_start_session t (p : Proc.t) entry credential =
       handle_exec_us = 0.0;
       client_waiting_handshake = false;
       pooled = false;
+      mux = false;
       ring = None;
       cred_digest = None;
       compiled_memo = None;
@@ -924,6 +1033,267 @@ let cold_start_session t (p : Proc.t) entry credential =
     entry.Registry.image.Smof.mod_name p.Proc.pid handle.Proc.pid;
   Smod_metrics.Counter.incr m_sessions_started;
   sid
+
+(* ------------------------------------------------------------------ *)
+(* Effects-based handle multiplexer (E22)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand a session's freshly stamped work (or its detach) to the mux:
+   enqueue the sid once and wake the mux proc.  The wake is a no-op when
+   the mux is already running — it drains the ready queue before
+   blocking again. *)
+let mux_notify t session =
+  match t.mux with
+  | Some mx -> (
+      match Hashtbl.find_opt mx.mx_sessions session.sid with
+      | Some ms ->
+          if not ms.ms_queued then begin
+            ms.ms_queued <- true;
+            Queue.push session.sid mx.mx_ready
+          end;
+          ignore (Machine.wake t.machine mx.mx_wq)
+      | None -> ())
+  | None -> ()
+
+let mux_finish_fiber t mx ms =
+  match ms.ms_fiber with
+  | Fiber_done -> ()
+  | Fiber_fresh | Fiber_running | Fiber_suspended _ ->
+      ms.ms_fiber <- Fiber_done;
+      Hashtbl.remove mx.mx_sessions ms.ms_session.sid;
+      mx.mx_live <- mx.mx_live - 1;
+      Aspace.destroy ms.ms_aspace;
+      Trace.emitf (Machine.trace t.machine) ~clock:(Machine.clock t.machine) ~actor:"smod-mux"
+        "fiber done sid=%d (%d live)" ms.ms_session.sid mx.mx_live
+
+(* One session's serve loop as a fiber: drain the ring, suspend when it
+   runs dry, finish when the session detaches.  Mirrors the ring half of
+   [serve_session] minus the msgq legs — mux sessions are ring-only. *)
+let mux_fiber_body t (mp : Proc.t) ms =
+  let session = ms.ms_session in
+  let rec serve () =
+    if session.detached then ()
+    else
+      match session.ring with
+      | None ->
+          (* No ring bound yet (client still setting up): sleep until the
+             stamp path notifies us. *)
+          Effect.perform Mux_suspend;
+          serve ()
+      | Some rs ->
+          rs.r_handle_engaged <- true;
+          let drained =
+            try drain_ring t session mp rs
+            with Aspace.Segv _ | Aspace.Prot_violation _ -> 0
+          in
+          if drained = 0 then Effect.perform Mux_suspend;
+          serve ()
+  in
+  serve ()
+
+(* Run [resume] under the session's handle context: install its address
+   space, secret stack and role on the mux proc, run until the fiber
+   suspends or finishes, then put the mux baseline back.  A fiber that
+   blocks in the scheduler mid-call (an unhandled [Sched.Block]) suspends
+   the whole mux proc with the session context installed — exactly what a
+   dedicated handle process would do. *)
+let mux_run_fiber (mp : Proc.t) ms resume =
+  let saved_aspace = mp.Proc.aspace
+  and saved_sp = mp.Proc.sp
+  and saved_fp = mp.Proc.fp
+  and saved_role = mp.Proc.role in
+  mp.Proc.aspace <- ms.ms_aspace;
+  mp.Proc.sp <- ms.ms_sp;
+  mp.Proc.fp <- ms.ms_fp;
+  mp.Proc.role <- Proc.Smod_handle { client_pid = ms.ms_session.client_pid };
+  resume ();
+  ms.ms_sp <- mp.Proc.sp;
+  ms.ms_fp <- mp.Proc.fp;
+  mp.Proc.aspace <- saved_aspace;
+  mp.Proc.sp <- saved_sp;
+  mp.Proc.fp <- saved_fp;
+  mp.Proc.role <- saved_role
+
+let mux_start_fiber t mx (mp : Proc.t) ms =
+  mux_run_fiber mp ms (fun () ->
+      Effect.Deep.match_with
+        (fun () -> mux_fiber_body t mp ms)
+        ()
+        {
+          Effect.Deep.retc = (fun () -> mux_finish_fiber t mx ms);
+          exnc =
+            (fun e ->
+              mux_finish_fiber t mx ms;
+              raise e);
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Mux_suspend ->
+                  Some
+                    (fun (k : (a, _) Effect.Deep.continuation) ->
+                      ms.ms_fiber <- Fiber_suspended k)
+              | _ -> None);
+        })
+
+let mux_main t mx (mp : Proc.t) =
+  let rec loop () =
+    while not (Queue.is_empty mx.mx_ready) do
+      let sid = Queue.pop mx.mx_ready in
+      match Hashtbl.find_opt mx.mx_sessions sid with
+      | None -> ()
+      | Some ms -> (
+          ms.ms_queued <- false;
+          match ms.ms_fiber with
+          | Fiber_fresh ->
+              ms.ms_fiber <- Fiber_running;
+              mux_start_fiber t mx mp ms
+          | Fiber_suspended k ->
+              ms.ms_fiber <- Fiber_running;
+              mux_run_fiber mp ms (fun () -> Effect.Deep.continue k ())
+          | Fiber_running | Fiber_done -> ())
+    done;
+    Sched.wait_on mx.mx_wq mp.Proc.pid;
+    loop ()
+  in
+  loop ()
+
+let set_session_mux t enable =
+  if enable then begin
+    (match t.mux with
+    | Some _ -> ()
+    | None ->
+        let mx =
+          {
+            mx_pid = 0;
+            mx_wq = Sched.waitq "smod-mux";
+            mx_ready = Queue.create ();
+            mx_sessions = Hashtbl.create 64;
+            mx_live = 0;
+            mx_peak = 0;
+            mx_attached = 0;
+          }
+        in
+        t.mux <- Some mx;
+        let mp = Machine.spawn t.machine ~daemon:true ~name:"smod-mux" (fun mp -> mux_main t mx mp) in
+        mp.Proc.no_core_dump <- true;
+        mp.Proc.no_ptrace <- true;
+        mp.Proc.ring <- 1;
+        mx.mx_pid <- mp.Proc.pid);
+    t.mux_enabled <- true
+  end
+  else t.mux_enabled <- false
+
+let session_mux_enabled t = t.mux_enabled && t.mux <> None
+
+(* Attach a client as a mux fiber: per-session handle context (module
+   image, secret segment, pid cache) but no process, no queue pair, no
+   handshake trap — the kernel force-shares at attach time and the
+   session is established immediately.  Ring-only by construction. *)
+let mux_attach t (p : Proc.t) entry credential =
+  let mx =
+    match t.mux with
+    | Some mx when t.mux_enabled -> mx
+    | Some _ | None -> invalid_arg "Smod.mux_attach: multiplexer not enabled"
+  in
+  if Hashtbl.mem t.sessions_by_client p.Proc.pid then
+    Errno.raise_errno Errno.EEXIST "smod_start_session: client already has a session";
+  let clock = Machine.clock t.machine in
+  let sid = t.next_sid in
+  t.next_sid <- t.next_sid + 1;
+  let ms_aspace =
+    Aspace.create ~phys:(Machine.phys t.machine) ~clock
+      ~name:(Printf.sprintf "mux-handle-%d" sid)
+  in
+  ignore (install_module_image t module_text_base_addr module_data_base_addr ms_aspace entry);
+  Aspace.add_entry ms_aspace ~start_addr:Layout.secret_base
+    ~size:(Layout.secret_pages * Layout.page_size)
+    ~prot:Prot.rw ~kind:Aspace.Secret ~name:"secret";
+  Aspace.write_word ms_aspace ~addr:client_pid_cache_addr p.Proc.pid;
+  let session =
+    {
+      sid;
+      m_id = entry.Registry.m_id;
+      entry;
+      client_pid = p.Proc.pid;
+      handle_pid = mx.mx_pid;
+      (* Ring-only: no queue pair exists, so a scalar smod_call (which
+         needs one) is refused in sys_call rather than left to hang. *)
+      req_qid = 0;
+      rep_qid = 0;
+      credential;
+      policy_state = Policy.initial_state entry.Registry.policy;
+      module_text_base = module_text_base_addr;
+      module_data_base = module_data_base_addr;
+      established = false;
+      detached = false;
+      calls = 0;
+      denied_calls = 0;
+      faulted_calls = 0;
+      handle_exec_us = 0.0;
+      client_waiting_handshake = false;
+      pooled = false;
+      mux = true;
+      ring = None;
+      cred_digest = None;
+      compiled_memo = None;
+    }
+  in
+  (* The handshake happens inline: there is one mux proc for all fibers,
+     so the per-session force-share cannot wait for a handle-side
+     session_info trap. *)
+  Aspace.force_share ~client:p.Proc.aspace ~handle:ms_aspace ~lo:Layout.share_lo
+    ~hi:Layout.share_hi;
+  session.established <- true;
+  p.Proc.role <- Proc.Smod_client { handle_pid = mx.mx_pid };
+  (* Only the client index: thousands of fibers share the mux pid, so the
+     by-handle index (a 1:1 map) stays out of it. *)
+  Hashtbl.replace t.sessions_by_client p.Proc.pid session;
+  p.Proc.exit_hooks <- (fun _ -> detach_session t session) :: p.Proc.exit_hooks;
+  let ms =
+    {
+      ms_session = session;
+      ms_aspace;
+      ms_sp = secret_stack_top - 16;
+      ms_fp = secret_stack_top - 16;
+      ms_fiber = Fiber_fresh;
+      ms_queued = false;
+    }
+  in
+  Hashtbl.replace mx.mx_sessions sid ms;
+  mx.mx_live <- mx.mx_live + 1;
+  mx.mx_attached <- mx.mx_attached + 1;
+  if mx.mx_live > mx.mx_peak then mx.mx_peak <- mx.mx_live;
+  Clock.charge clock Cost.Pool_admission;
+  Trace.emitf (Machine.trace t.machine) ~clock ~actor:"kernel"
+    "mux-attach sid=%d module=%s client=%d (%d live, peak %d)" sid
+    entry.Registry.image.Smof.mod_name p.Proc.pid mx.mx_live mx.mx_peak;
+  Smod_metrics.Counter.incr m_sessions_started;
+  Smod_metrics.Counter.incr m_mux_attached;
+  sid
+
+type mux_status = {
+  mxs_live : int;
+  mxs_peak : int;
+  mxs_attached : int;
+  mxs_suspended : int;
+}
+
+let mux_status t =
+  Option.map
+    (fun mx ->
+      let suspended =
+        Hashtbl.fold
+          (fun _ ms acc ->
+            match ms.ms_fiber with Fiber_suspended _ -> acc + 1 | _ -> acc)
+          mx.mx_sessions 0
+      in
+      {
+        mxs_live = mx.mx_live;
+        mxs_peak = mx.mx_peak;
+        mxs_attached = mx.mx_attached;
+        mxs_suspended = suspended;
+      })
+    t.mux
 
 (* The cluster control plane (lib/cluster) hooks admission here: the gate
    runs before any credential or session state is consulted, so a dispatch
@@ -974,15 +1344,18 @@ let sys_start_session t (p : Proc.t) ~desc_addr =
         Aspace.remove_range p.Proc.aspace ~start_addr:e.Aspace.start_addr
           ~size:(e.Aspace.end_addr - e.Aspace.start_addr))
     (Aspace.entries p.Proc.aspace);
-  (* With smodd installed the broker multiplexes this client onto the
-     pool; otherwise (or if it declines) fork a fresh handle per session,
-     the paper's own model. *)
-  match t.broker with
-  | Some broker -> (
-      match broker p entry credential with
-      | Some sid -> sid
-      | None -> cold_start_session t p entry credential)
-  | None -> cold_start_session t p entry credential
+  (* Routing: the effects multiplexer (when enabled) takes every new
+     session as a fiber; else with smodd installed the broker multiplexes
+     this client onto the pool; otherwise (or if it declines) fork a
+     fresh handle per session, the paper's own model. *)
+  if session_mux_enabled t then mux_attach t p entry credential
+  else
+    match t.broker with
+    | Some broker -> (
+        match broker p entry credential with
+        | Some sid -> sid
+        | None -> cold_start_session t p entry credential)
+    | None -> cold_start_session t p entry credential
 
 (* ------------------------------------------------------------------ *)
 (* sys_smod_session_info (303) — handle side                           *)
@@ -1088,6 +1461,8 @@ let sys_call t (p : Proc.t) ~framep ~rtnaddr ~m_id ~func_id =
   in
   if session.detached || not session.established then
     Errno.raise_errno Errno.EINVAL "smod_call: session not established";
+  (* Mux fibers have no queue pair; the scalar path would hang on qid 0. *)
+  if session.mux then Errno.raise_errno Errno.EPERM "smod_call: mux sessions are ring-only";
   (match Machine.proc t.machine session.handle_pid with
   | Some h when not (Proc.is_zombie h) -> ()
   | Some _ | None ->
@@ -1248,35 +1623,16 @@ let bind_session_ring t (p : Proc.t) session =
                with Errno.Error _ -> ());
               rs))
 
-(* Evaluate admission for every submitted-but-unstamped slot, once per
+(* The admission decider for one batch: evaluates policy once per
    distinct (credential, func) for cacheable policies — the per-batch
    amortization of the policy cost.  Stateful policies (quota, rate,
    time-window, volatile Keynote) are forced through a per-slot
-   evaluation so their ordering semantics match the per-call path. *)
-let sys_call_batch t (p : Proc.t) ~m_id ~max_slots =
-  run_dispatch_gate t;
-  let session =
-    match session_of_client t ~client_pid:p.Proc.pid with
-    | Some s -> s
-    | None -> Errno.raise_errno Errno.EPERM "smod_call_batch: no session"
-  in
-  if session.detached || not session.established then
-    Errno.raise_errno Errno.EINVAL "smod_call_batch: session not established";
-  (match Machine.proc t.machine session.handle_pid with
-  | Some h when not (Proc.is_zombie h) -> ()
-  | Some _ | None ->
-      detach_session t session;
-      Errno.raise_errno Errno.EIDRM "smod_call_batch: handle process is gone");
-  if session.m_id <> m_id then
-    Errno.raise_errno Errno.EINVAL "smod_call_batch: wrong module id";
-  (* The TOCTOU mitigations bracket each call with an unmap/dequeue of
-     the client — meaningless when the client keeps running to submit
-     more slots.  Force such configurations onto the per-call path. *)
-  if t.toctou <> No_mitigation then
-    Errno.raise_errno Errno.EPERM "smod_call_batch: TOCTOU mitigation forces per-call path";
+   evaluation so their ordering semantics match the per-call path.
+   Shared by the batch trap and the kernel poller; the memo is fresh per
+   call, so each sweep/batch amortizes within itself only — exactly the
+   historical per-trap behaviour. *)
+let batch_decider t session =
   let clock = Machine.clock t.machine in
-  let rs = bind_session_ring t p session in
-  let ring = rs.r_ring in
   let fast_path_applies =
     t.fast_path
     &&
@@ -1289,15 +1645,12 @@ let sys_call_batch t (p : Proc.t) ~m_id ~max_slots =
   let policy_cacheable = Policy.cacheable session.entry.Registry.policy in
   let cache =
     match t.policy_cache with
-    | Some hooks
-      when policy_cacheable && Policy.credential_cacheable session.credential ->
+    | Some hooks when policy_cacheable && Policy.credential_cacheable session.credential ->
         Some hooks
     | Some _ | None -> None
   in
-  (* Per-batch memo: distinct funcIDs in this batch each cost at most one
-     policy evaluation when the policy is cacheable. *)
   let memo : (int, cached_decision) Hashtbl.t = Hashtbl.create 4 in
-  let decide func_id =
+  fun func_id ->
     match Registry.symbol_of_func_id session.entry func_id with
     | None -> Cache_deny "no such function"
     | Some _ when fast_path_applies -> Cache_allow
@@ -1352,16 +1705,16 @@ let sys_call_batch t (p : Proc.t) ~m_id ~max_slots =
             in
             if policy_cacheable then Hashtbl.replace memo func_id d;
             d)
-  in
-  let stamped0 = Machine.ring_stamped t.machine ~pid:p.Proc.pid in
-  (* [head] is a client-writable header word and [max_slots] an
-     arbitrary trap argument: clamp the per-trap work by the registered
-     geometry so a forged head (or a huge max_slots) cannot drive one
-     trap through an unbounded kernel loop. *)
-  let budget = max 0 (min max_slots (Ring.nslots ring)) in
-  let limit = min (Ring.head ring) (stamped0 + budget) in
+
+(* Stamp every submitted-but-unstamped slot in [stamped0, limit):
+   identical charge order on the trap path ([per_slot] is a no-op there)
+   and the poller path (which charges {!Cost.Poll_slot_scan} per slot).
+   Returns (slots examined, slots admitted). *)
+let stamp_submitted t session ring ~decide ~per_slot ~stamped0 ~limit =
+  let pid = session.client_pid in
   let n = ref 0 and allowed = ref 0 in
   for seq = stamped0 to limit - 1 do
+    per_slot ();
     incr n;
     (* Every decision is recorded in the kernel-private shadow
        (Machine.ring_record_stamp) — that record, not the ring words
@@ -1370,16 +1723,15 @@ let sys_call_batch t (p : Proc.t) ~m_id ~max_slots =
     | None ->
         (* Torn or never-written slot below head: fail it kernel-side so
            the client's in-order reap is never stuck on garbage. *)
-        Machine.ring_record_stamp t.machine ~pid:p.Proc.pid ~seq ~m_id:0
-          ~func_id:0 ~allow:false;
+        Machine.ring_record_stamp t.machine ~pid ~seq ~m_id:0 ~func_id:0 ~allow:false;
         Ring.kernel_complete ring ~seq ~status:5
     | Some (slot_m_id, func_id) ->
         if slot_m_id <> session.m_id then begin
           session.denied_calls <- session.denied_calls + 1;
           Smod_metrics.Counter.incr m_calls_denied;
           Smod_metrics.Counter.incr m_ring_denied;
-          Machine.ring_record_stamp t.machine ~pid:p.Proc.pid ~seq
-            ~m_id:slot_m_id ~func_id ~allow:false;
+          Machine.ring_record_stamp t.machine ~pid ~seq ~m_id:slot_m_id ~func_id
+            ~allow:false;
           Ring.kernel_complete ring ~seq ~status:6
         end
         else begin
@@ -1396,25 +1748,30 @@ let sys_call_batch t (p : Proc.t) ~m_id ~max_slots =
               Smod_metrics.Counter.incr m_calls;
               count_slot ~denied:false;
               incr allowed;
-              Machine.ring_record_stamp t.machine ~pid:p.Proc.pid ~seq
-                ~m_id:slot_m_id ~func_id ~allow:true;
+              Machine.ring_record_stamp t.machine ~pid ~seq ~m_id:slot_m_id ~func_id
+                ~allow:true;
               Ring.stamp ring ~seq ~allow:true
           | Cache_deny _ ->
               session.denied_calls <- session.denied_calls + 1;
               Smod_metrics.Counter.incr m_calls_denied;
               Smod_metrics.Counter.incr m_ring_denied;
               count_slot ~denied:true;
-              Machine.ring_record_stamp t.machine ~pid:p.Proc.pid ~seq
-                ~m_id:slot_m_id ~func_id ~allow:false;
+              Machine.ring_record_stamp t.machine ~pid ~seq ~m_id:slot_m_id ~func_id
+                ~allow:false;
               Ring.kernel_complete ring ~seq ~status:6
         end)
   done;
-  if !n > 0 then begin
-    Smod_metrics.Counter.incr m_ring_batches;
-    Smod_metrics.Counter.add m_ring_submits !n;
-    Smod_metrics.Histogram.observe m_ring_batch_size (float_of_int !n)
-  end;
-  if !allowed > 0 then begin
+  (!n, !allowed)
+
+(* Post-stamp wake: hand the freshly admitted slots to whoever executes
+   them.  Mux sessions go to the fiber scheduler; process-backed sessions
+   get their handle waitq woken, falling back to an mtype-3 doorbell
+   message while the handle is still in its legacy blocking msgrcv.
+   [sender] supplies the process context msgsnd needs — the trapping
+   client on the batch path, the poller proc on the zero-trap path. *)
+let wake_session_server t (sender : Proc.t) (session : session) rs =
+  if session.mux then mux_notify t session
+  else begin
     let woken = Machine.wake t.machine rs.r_handle_wq in
     if woken > 0 then Smod_metrics.Counter.incr m_ring_doorbell_wakes
     else if not rs.r_handle_engaged then begin
@@ -1423,14 +1780,55 @@ let sys_call_batch t (p : Proc.t) ~m_id ~max_slots =
          batch of a session — and nothing on the steady-state path. *)
       Smod_metrics.Counter.incr m_ring_doorbell_fallbacks;
       try
-        Machine.msgsnd t.machine p ~qid:session.req_qid ~mtype:ring_doorbell_mtype
+        Machine.msgsnd t.machine sender ~qid:session.req_qid ~mtype:ring_doorbell_mtype
           (Bytes.create 0)
       with Errno.Error _ -> ()
     end
     (* else: engaged and mid-spin — it will see the stamped slots on its
        next work-available check without any kick. *)
+  end
+
+let sys_call_batch t (p : Proc.t) ~m_id ~max_slots =
+  run_dispatch_gate t;
+  let session =
+    match session_of_client t ~client_pid:p.Proc.pid with
+    | Some s -> s
+    | None -> Errno.raise_errno Errno.EPERM "smod_call_batch: no session"
+  in
+  if session.detached || not session.established then
+    Errno.raise_errno Errno.EINVAL "smod_call_batch: session not established";
+  (match Machine.proc t.machine session.handle_pid with
+  | Some h when not (Proc.is_zombie h) -> ()
+  | Some _ | None ->
+      detach_session t session;
+      Errno.raise_errno Errno.EIDRM "smod_call_batch: handle process is gone");
+  if session.m_id <> m_id then
+    Errno.raise_errno Errno.EINVAL "smod_call_batch: wrong module id";
+  (* The TOCTOU mitigations bracket each call with an unmap/dequeue of
+     the client — meaningless when the client keeps running to submit
+     more slots.  Force such configurations onto the per-call path. *)
+  if t.toctou <> No_mitigation then
+    Errno.raise_errno Errno.EPERM "smod_call_batch: TOCTOU mitigation forces per-call path";
+  let rs = bind_session_ring t p session in
+  let ring = rs.r_ring in
+  let decide = batch_decider t session in
+  let stamped0 = Machine.ring_stamped t.machine ~pid:p.Proc.pid in
+  (* [head] is a client-writable header word and [max_slots] an
+     arbitrary trap argument: clamp the per-trap work by the registered
+     geometry so a forged head (or a huge max_slots) cannot drive one
+     trap through an unbounded kernel loop. *)
+  let budget = max 0 (min max_slots (Ring.nslots ring)) in
+  let limit = min (Ring.head ring) (stamped0 + budget) in
+  let n, allowed =
+    stamp_submitted t session ring ~decide ~per_slot:ignore ~stamped0 ~limit
+  in
+  if n > 0 then begin
+    Smod_metrics.Counter.incr m_ring_batches;
+    Smod_metrics.Counter.add m_ring_submits n;
+    Smod_metrics.Histogram.observe m_ring_batch_size (float_of_int n)
   end;
-  !n
+  if allowed > 0 then wake_session_server t p session rs;
+  n
 
 (* The client stub's slow-path block while waiting for completions:
    returns immediately when no ring is bound (detach tore it down — the
@@ -1442,6 +1840,269 @@ let ring_client_wait _t session (p : Proc.t) =
 
 let session_ring session =
   match session.ring with Some rs -> Some rs.r_ring | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* SQPOLL-style kernel poller (E22)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Stable sweep order: live established sessions sorted by sid, so a
+   sweep's charge sequence is a deterministic function of the session
+   population, never of hash-table iteration order. *)
+let poller_sessions t =
+  Hashtbl.fold
+    (fun _ s acc -> if (not s.detached) && s.established then s :: acc else acc)
+    t.sessions_by_client []
+  |> List.sort (fun a b -> compare a.sid b.sid)
+
+(* Kernel-side ring bind: same pinned-geometry rules as
+   [bind_session_ring], but from the poller's context — the client's
+   address space is looked up, never trusted from a trap frame, and a
+   geometry mismatch is skipped (and counted) rather than raised: there
+   is no client trap to fail.  The client still gets its EINVAL the
+   moment it traps the doorbell or batch syscall itself. *)
+let poller_bind t po (pp : Proc.t) session =
+  match session.ring with
+  | Some rs -> Some rs
+  | None -> (
+      match Machine.ring_registration t.machine ~pid:session.client_pid with
+      | None -> None
+      | Some (base, nslots) -> (
+          match Machine.proc t.machine session.client_pid with
+          | None -> None
+          | Some client -> (
+              match Ring.of_registration client.Proc.aspace ~base ~nslots with
+              | None ->
+                  po.p_geometry_rejects <- po.p_geometry_rejects + 1;
+                  None
+              | Some ring ->
+                  let rs =
+                    {
+                      r_ring = ring;
+                      r_client_wq = Sched.waitq (Printf.sprintf "ring-client-%d" session.sid);
+                      r_handle_wq = Sched.waitq (Printf.sprintf "ring-handle-%d" session.sid);
+                      r_handle_engaged = false;
+                    }
+                  in
+                  session.ring <- Some rs;
+                  (* A process-backed handle may still be blocked in its
+                     legacy msgrcv; bounce it into the ring-aware loop.
+                     Mux sessions have no queue — the msgsnd fails
+                     harmlessly. *)
+                  (try
+                     Machine.msgsnd t.machine pp ~qid:session.req_qid
+                       ~mtype:ring_doorbell_mtype (Bytes.create 0)
+                   with Errno.Error _ -> ());
+                  Some rs)))
+
+(* One sweep over every live session's ring: charge the fixed sweep
+   overhead, then per examined slot the scan cost (stamping charges
+   Ring_stamp on top, exactly as the trap path does).  Returns the number
+   of slots stamped. *)
+let poller_sweep t po (pp : Proc.t) =
+  let clock = Machine.clock t.machine in
+  Clock.charge clock Cost.Poll_sweep;
+  po.p_sweeps <- po.p_sweeps + 1;
+  Smod_metrics.Counter.incr m_poll_sweeps;
+  let stamped = ref 0 in
+  List.iter
+    (fun session ->
+      try
+        if session.detached || not session.established then ()
+        else
+          match poller_bind t po pp session with
+          | None -> ()
+          | Some rs ->
+              let ring = rs.r_ring in
+              let stamped0 = Machine.ring_stamped t.machine ~pid:session.client_pid in
+              (* Same forged-head clamp as the trap path: at most one
+                 ring's worth of slots per session per sweep. *)
+              let limit = min (Ring.head ring) (stamped0 + Ring.nslots ring) in
+              if limit > stamped0 then begin
+                let decide = batch_decider t session in
+                let n, allowed =
+                  stamp_submitted t session ring ~decide
+                    ~per_slot:(fun () -> Clock.charge clock Cost.Poll_slot_scan)
+                    ~stamped0 ~limit
+                in
+                stamped := !stamped + n;
+                po.p_slots <- po.p_slots + n;
+                Smod_metrics.Counter.add m_poll_slots n;
+                Hashtbl.replace po.p_session_slots session.sid
+                  (n + Option.value ~default:0 (Hashtbl.find_opt po.p_session_slots session.sid));
+                if allowed > 0 then wake_session_server t pp session rs
+              end
+      with Aspace.Segv _ | Aspace.Prot_violation _ ->
+        (* Client died between snapshot and scan: its exit-hook detach
+           will drop the stale slots; skip it this sweep. *)
+        ())
+    (poller_sessions t);
+  !stamped
+
+let poller_set_flags t v =
+  Hashtbl.iter
+    (fun _ s ->
+      match s.ring with
+      | Some rs -> (
+          try Ring.set_need_wakeup rs.r_ring v
+          with Aspace.Segv _ | Aspace.Prot_violation _ -> ())
+      | None -> ())
+    t.sessions_by_client
+
+(* Submissions that raced the park decision: any bound ring whose head is
+   past the stamp cursor.  Checked after the flags go up, before the
+   poller actually blocks — the no-lost-wakeup handshake. *)
+let poller_pending t =
+  Hashtbl.fold
+    (fun _ s acc ->
+      acc
+      ||
+      (not s.detached) && s.established
+      &&
+      match s.ring with
+      | Some rs -> (
+          try Ring.head rs.r_ring > Machine.ring_stamped t.machine ~pid:s.client_pid
+          with Aspace.Segv _ | Aspace.Prot_violation _ -> false)
+      | None -> false)
+    t.sessions_by_client false
+
+let poller_loop t po (pp : Proc.t) =
+  let rec loop streak =
+    if po.p_run then begin
+      let stamped = poller_sweep t po pp in
+      if stamped > 0 then begin
+        Sched.yield ();
+        loop 0
+      end
+      else begin
+        po.p_empty_sweeps <- po.p_empty_sweeps + 1;
+        let streak = streak + 1 in
+        if streak < t.spin_budget then begin
+          Sched.yield ();
+          loop streak
+        end
+        else begin
+          (* Park: raise the need-wakeup flags first, then re-check for a
+             submission that raced the decision.  No yield between the
+             two — the recheck and the block are one scheduling turn, so
+             a submitter either finds the flag up (and doorbells) or its
+             head bump is seen here. *)
+          poller_set_flags t true;
+          if poller_pending t then begin
+            poller_set_flags t false;
+            Sched.yield ();
+            loop 0
+          end
+          else begin
+            po.p_parked <- true;
+            po.p_parks <- po.p_parks + 1;
+            Smod_metrics.Counter.incr m_poll_parks;
+            Sched.wait_on po.p_wq pp.Proc.pid;
+            po.p_parked <- false;
+            if po.p_run then begin
+              po.p_wakes <- po.p_wakes + 1;
+              Smod_metrics.Counter.incr m_poll_wakes
+            end;
+            poller_set_flags t false;
+            loop 0
+          end
+        end
+      end
+    end
+    (* else: disabled — fall through and let the proc exit. *)
+  in
+  loop 0
+
+let kernel_poller_enabled t = t.poller <> None
+
+let set_kernel_poller t enable =
+  match t.poller, enable with
+  | Some _, true | None, false -> ()
+  | Some po, false ->
+      po.p_run <- false;
+      ignore (Machine.wake t.machine po.p_wq);
+      t.poller <- None
+  | None, true ->
+      let po =
+        {
+          p_run = true;
+          p_pid = 0;
+          p_parked = false;
+          p_wq = Sched.waitq "smod-poller";
+          p_sweeps = 0;
+          p_empty_sweeps = 0;
+          p_parks = 0;
+          p_wakes = 0;
+          p_slots = 0;
+          p_geometry_rejects = 0;
+          p_doorbells = 0;
+          p_session_slots = Hashtbl.create 16;
+        }
+      in
+      t.poller <- Some po;
+      let pp =
+        Machine.spawn t.machine ~daemon:true ~name:"smod-poller" (fun pp ->
+            poller_loop t po pp)
+      in
+      (* The poller is kernel code: ring 0, untouchable. *)
+      pp.Proc.no_core_dump <- true;
+      pp.Proc.no_ptrace <- true;
+      pp.Proc.ring <- 0;
+      po.p_pid <- pp.Proc.pid
+
+(* sys_smod_poll_doorbell (323): the one trap the zero-trap path ever
+   pays.  Binds (and thereby validates) the caller's ring exactly as the
+   batch trap would — forged geometry stays EINVAL under poller mode —
+   then wakes the parked poller. *)
+let sys_poll_doorbell t (p : Proc.t) =
+  let session =
+    match session_of_client t ~client_pid:p.Proc.pid with
+    | Some s -> s
+    | None -> Errno.raise_errno Errno.EPERM "smod_poll_doorbell: no session"
+  in
+  if session.detached || not session.established then
+    Errno.raise_errno Errno.EINVAL "smod_poll_doorbell: session not established";
+  let rs = bind_session_ring t p session in
+  Clock.charge (Machine.clock t.machine) Cost.Poll_doorbell;
+  Ring.set_need_wakeup rs.r_ring false;
+  (match t.poller with
+  | Some po ->
+      po.p_doorbells <- po.p_doorbells + 1;
+      Smod_metrics.Counter.incr m_poll_doorbells;
+      ignore (Machine.wake t.machine po.p_wq)
+  | None -> ());
+  0
+
+type poller_status = {
+  ps_parked : bool;
+  ps_spin_budget : int;
+  ps_sweeps : int;
+  ps_empty_sweeps : int;
+  ps_parks : int;
+  ps_wakes : int;
+  ps_slots_stamped : int;
+  ps_geometry_rejects : int;
+  ps_doorbells : int;
+  ps_session_slots : (int * int) list;  (* sid, slots stamped; sorted *)
+}
+
+let poller_status t =
+  Option.map
+    (fun po ->
+      {
+        ps_parked = po.p_parked;
+        ps_spin_budget = t.spin_budget;
+        ps_sweeps = po.p_sweeps;
+        ps_empty_sweeps = po.p_empty_sweeps;
+        ps_parks = po.p_parks;
+        ps_wakes = po.p_wakes;
+        ps_slots_stamped = po.p_slots;
+        ps_geometry_rejects = po.p_geometry_rejects;
+        ps_doorbells = po.p_doorbells;
+        ps_session_slots =
+          Hashtbl.fold (fun sid n acc -> (sid, n) :: acc) po.p_session_slots []
+          |> List.sort compare;
+      })
+    t.poller
 
 (* ------------------------------------------------------------------ *)
 (* sys_smod_find / add / remove                                        *)
@@ -1560,6 +2221,10 @@ let install machine ?keystore () =
       remove_hooks = [];
       compile_policies = false;
       dispatch_gate = None;
+      spin_budget = default_spin_budget;
+      poller = None;
+      mux = None;
+      mux_enabled = false;
     }
   in
   (* Keystore rotation invalidates every compiled program in the same
@@ -1589,6 +2254,8 @@ let install machine ?keystore () =
       sys_call t p ~framep:args.(0) ~rtnaddr:args.(1) ~m_id:args.(2) ~func_id:args.(3));
   Machine.register_syscall machine Sysno.smod_call_batch ~name:"smod_call_batch"
     (fun _m p args -> sys_call_batch t p ~m_id:args.(0) ~max_slots:args.(1));
+  Machine.register_syscall machine Sysno.smod_poll_doorbell ~name:"smod_poll_doorbell"
+    (fun _m p _args -> sys_poll_doorbell t p);
   Machine.register_syscall machine Sysno.smod_add ~name:"smod_add" (fun _m p args ->
       sys_add t p ~info_addr:args.(0));
   Machine.register_syscall machine Sysno.smod_remove ~name:"smod_remove" (fun _m p args ->

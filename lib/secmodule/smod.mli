@@ -54,6 +54,9 @@ type session = {
       (** simulated time spent executing module code in the handle *)
   mutable client_waiting_handshake : bool;
   pooled : bool;  (** served by a smodd pooled handle, not a private fork *)
+  mux : bool;
+      (** served as a fiber of the effects multiplexer (E22): no handle
+          process of its own, ring-only dispatch *)
   mutable ring : ring_state option;
   mutable cred_digest : string option;
       (** lazily computed SHA-256 of the wire credential; part of every
@@ -282,6 +285,77 @@ type compile_status = {
 val policy_compile_status : t -> compile_status list
 (** Per-module compile state for [smodctl policy status], sorted by
     m_id. *)
+
+(** {1 The zero-trap data path (E22)}
+
+    Two coupled halves.  The {e kernel poller} is an io_uring-SQPOLL
+    analogue: a kernel daemon sweeps every live session's registered ring
+    and stamps admission verdicts itself, so the steady-state submit path
+    needs no trap at all — sweep and per-slot scan costs are charged to
+    the poller ({!Smod_sim.Cost_model.Poll_sweep} /
+    [Poll_slot_scan]), never to a client; the work moved, it did not
+    vanish.  After {!spin_budget} consecutive empty sweeps the poller
+    raises each ring's need-wakeup flag and parks; a submitter that sees
+    the flag (a trap-free shared-memory read) traps
+    [sys_smod_poll_doorbell] (323) once to re-arm it.  The {e effects
+    multiplexer} replaces one-blocked-process-per-session service with
+    fibers: a single daemon domain multiplexes thousands of ring-only
+    sessions, suspending each on an empty ring via an OCaml effect and
+    resuming it when the stamp path (trap or poller) hands it work.
+
+    Both are opt-in and default off; with them off, every dispatch path
+    charges byte-for-byte what the baselines measured. *)
+
+val set_spin_budget : t -> int -> unit
+(** Yield-and-recheck iterations the handle serve loop burns before
+    blocking, and equally the empty sweeps the kernel poller tolerates
+    before parking.  Raises [Invalid_argument] below 1.  Default 4 — the
+    constant every baseline was measured with. *)
+
+val spin_budget : t -> int
+
+val set_kernel_poller : t -> bool -> unit
+(** Start (or stop) the SQPOLL-style kernel poller daemon.  Idempotent in
+    both directions; stopping wakes a parked poller so its process
+    exits. *)
+
+val kernel_poller_enabled : t -> bool
+
+type poller_status = {
+  ps_parked : bool;
+  ps_spin_budget : int;
+  ps_sweeps : int;
+  ps_empty_sweeps : int;  (** sweeps that stamped nothing (total) *)
+  ps_parks : int;
+  ps_wakes : int;  (** doorbell (or shutdown-independent) unparks *)
+  ps_slots_stamped : int;
+  ps_geometry_rejects : int;
+      (** kernel-side binds refused because the pinned geometry no longer
+          matches the header — the poller-path analogue of the batch
+          trap's EINVAL *)
+  ps_doorbells : int;
+  ps_session_slots : (int * int) list;  (** (sid, slots stamped), sorted *)
+}
+
+val poller_status : t -> poller_status option
+(** Live poller state for [smodctl poller status]; [None] when the poller
+    is not running. *)
+
+val set_session_mux : t -> bool -> unit
+(** Route new sessions onto the effects multiplexer (spawning its daemon
+    on first enable).  Disabling stops routing new sessions; existing
+    fibers keep running until their clients detach. *)
+
+val session_mux_enabled : t -> bool
+
+type mux_status = {
+  mxs_live : int;
+  mxs_peak : int;  (** high-water mark of concurrently live fibers *)
+  mxs_attached : int;  (** sessions ever attached *)
+  mxs_suspended : int;  (** fibers currently parked on an empty ring *)
+}
+
+val mux_status : t -> mux_status option
 
 (** {1 Introspection for tests and the layout example} *)
 

@@ -138,6 +138,12 @@ let arm_ring ?(nslots = default_ring_slots) c =
       let ring = Ring.init p.Proc.aspace ~base ~nslots in
       ignore (Machine.syscall machine p Sysno.smod_ring_setup [| base; nslots |]);
       c.ring <- Some ring;
+      (* SQPOLL mode: one doorbell at arm time binds the ring kernel-side
+         and wakes the poller if it was parked before this session
+         existed.  After this, submits are trap-free unless the ring's
+         need-wakeup flag says the poller napped. *)
+      if Smod.kernel_poller_enabled c.smod then
+        ignore (Machine.syscall machine p Sysno.smod_poll_doorbell [||]);
       ring
 
 let ring c = c.ring
@@ -206,10 +212,20 @@ let call_batch_id c ~func_id argss =
           incr chunk
       | None -> full := true
     done;
-    (* One trap stamps the whole chunk and wakes the handle. *)
-    if !chunk > 0 then
-      ignore
-        (Machine.syscall machine p Sysno.smod_call_batch [| c.info.Wire.m_id; !chunk |]);
+    (* One trap stamps the whole chunk and wakes the handle — unless the
+       kernel poller is sweeping for us, in which case the submit is
+       trap-free: the only reason to enter the kernel is a raised
+       need-wakeup flag (a trap-free shared-memory read; the poller
+       parked and wants its doorbell). *)
+    if !chunk > 0 then begin
+      if Smod.kernel_poller_enabled c.smod then begin
+        if Ring.need_wakeup ring then
+          ignore (Machine.syscall machine p Sysno.smod_poll_doorbell [||])
+      end
+      else
+        ignore
+          (Machine.syscall machine p Sysno.smod_call_batch [| c.info.Wire.m_id; !chunk |])
+    end;
     (* Drain this chunk's completions in submission order before
        submitting more — frees the slots for the next chunk. *)
     let target = !reaped + !chunk in

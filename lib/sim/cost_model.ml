@@ -49,6 +49,9 @@ type op =
   | Ring_reap
   | Ring_stamp
   | Ring_spin
+  | Poll_sweep
+  | Poll_slot_scan
+  | Poll_doorbell
   | Coord_epoch_check
   | Coord_ctrl_recv
   | Coord_sync_fetch
@@ -115,6 +118,9 @@ let cycles = function
   | Ring_reap -> 30.0
   | Ring_stamp -> 30.0
   | Ring_spin -> 20.0
+  | Poll_sweep -> 120.0
+  | Poll_slot_scan -> 8.0
+  | Poll_doorbell -> 30.0
   | Coord_epoch_check -> 15.0
   | Coord_ctrl_recv -> 2600.0
   | Coord_sync_fetch -> 1200.0
@@ -173,6 +179,9 @@ let describe = function
   | Ring_reap -> "ring-reap"
   | Ring_stamp -> "ring-stamp"
   | Ring_spin -> "ring-spin"
+  | Poll_sweep -> "poll-sweep"
+  | Poll_slot_scan -> "poll-slot-scan"
+  | Poll_doorbell -> "poll-doorbell"
   | Coord_epoch_check -> "coord-epoch-check"
   | Coord_ctrl_recv -> "coord-ctrl-recv"
   | Coord_sync_fetch -> "coord-sync-fetch"

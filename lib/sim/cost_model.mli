@@ -87,6 +87,20 @@ type op =
   | Ring_spin
       (** one iteration of the adaptive spin before falling back to a
           blocking wait (both sides of the ring) *)
+  | Poll_sweep
+      (** kernel poller (SQPOLL mode): fixed overhead of one sweep over
+          the registered rings — cursor reload, liveness snapshot.  Charged
+          to the poller, never to a client, which is exactly why the
+          zero-trap path is honest: the work moved, it did not vanish *)
+  | Poll_slot_scan
+      (** kernel poller: examining one submission-queue slot during a
+          sweep (state load + sequence compare); stamping an admitted slot
+          is still charged as {!Ring_stamp} on top *)
+  | Poll_doorbell
+      (** kernel body of [sys_smod_poll_doorbell]: re-arming a parked
+          poller — clear the need-wakeup flag and wake the poller proc
+          (the trap itself is charged as usual; this is the only trap the
+          client pays while the poller naps) *)
   | Coord_epoch_check
       (** cluster (lib/cluster): one load-and-compare of the shard's
           cached cluster epoch against the coordinator's — the lazy-mode
