@@ -180,7 +180,7 @@ let only =
     & info [ "only" ] ~docv:"BENCH"
         ~doc:
           "Run only the given comma-separated sections: figure8 (alias e1), ablations, \
-           e9..e20, wallclock.  Example: --only e1,e16,e18,e19,e20.")
+           e9..e24, wallclock.  Example: --only e1,e16,e18,e19,e20,e24.")
 
 let jobs =
   Arg.(

@@ -21,6 +21,16 @@
 
 type entry = { label : string; mean_us : float; stdev_us : float }
 
+val entry_of_means : string -> float array -> entry
+
+val map_trials :
+  Runner.t -> trials:int -> 'config list -> ('config -> trial:int -> 'a) -> ('config * 'a array) list
+(** Decompose "[trials] trials of each configuration" into independent
+    (configuration, trial) tasks, run them over the runner, and return
+    each configuration's per-trial samples in configuration order —
+    the decomposition every section here uses, exported for sections
+    that live in their own module ({!Fused_bench}). *)
+
 val policy_ablation : ?runner:Runner.t -> ?calls:int -> ?trials:int -> unit -> entry list
 (** Per-call cost of SMOD(test-incr) under: always-allow, session-lifetime,
     call-quota, rate-limit, and KeyNote with 1, 4 and 16 assertions — the

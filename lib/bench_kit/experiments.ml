@@ -65,6 +65,10 @@ let e21_config ~full =
   let c = Cluster_bench.default_config in
   if full then { c with Cluster_bench.rounds = c.Cluster_bench.rounds * 5 } else c
 
+let e24_config ~full =
+  let c = Fused_bench.default_config in
+  if full then { c with Fused_bench.rounds = c.Fused_bench.rounds * 5 } else c
+
 let e22_config ~full =
   let c = Polling.default_config in
   if full then
@@ -290,6 +294,23 @@ let sections =
                  "E22: zero-trap data path — kernel poller + effects multiplexing vs \
                   trap-per-batch"
                ~unit_:"us/call (traps rows: traps/call)");
+    };
+    {
+      s_id = "e24";
+      s_title =
+        "E24: fused batch policy evaluation — one compiled pass per batch vs per-slot \
+         (lib/keynote/fuse)";
+      s_unit = "us/call (speedup rows: x; compile mem rows: KB or x)";
+      s_tasks = (fun ~full -> Fused_bench.task_count (e24_config ~full));
+      s_dispatches = (fun ~full -> Fused_bench.dispatch_count (e24_config ~full));
+      s_run =
+        (fun ~full ~runner ->
+          Fused_bench.run ~runner ~config:(e24_config ~full) ()
+          |> entries_outcome
+               ~title:
+                 "E24: fused batch policy evaluation — one compiled pass per batch vs \
+                  per-slot (lib/keynote/fuse)"
+               ~unit_:"us/call (speedup rows: x; compile mem rows: KB or x)");
     };
   ]
 

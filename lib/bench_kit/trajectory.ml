@@ -4,7 +4,9 @@
    Each entry distils a captured bench document down to a handful of
    numbers worth watching across the repo's history — the Figure-8
    dispatch cost, the E9 per-assertion slopes, pooled attach, the ring
-   batch-16 fast path, compiled kn-16, and the K=8 scale-out aggregate.
+   batch-16 fast path, compiled kn-16, the K=8 scale-out aggregate, and
+   the fused batch-64 figure.  Entries predating a headline simply lack
+   its key; rendering shows "-" for them, never an error.
    Values are [float option]: a smoke capture that skipped a section
    records [None] (JSON null) for its metrics rather than faking a zero,
    so the history stays honest about what each capture actually ran. *)
@@ -89,6 +91,9 @@ let headlines =
     ( "e22_poller_traps_per_call",
       "e22 t/c",
       fun doc -> find_mean doc ~experiment:"e22" ~label:"poller S=64 traps/call" );
+    ( "e24_fused_batch64_kn16",
+      "e24 us",
+      fun doc -> find_mean doc ~experiment:"e24" ~label:"ring b64 kn-16 fused (mean)" );
   ]
 
 let headline_keys = List.map (fun (k, _, _) -> k) headlines

@@ -70,11 +70,69 @@ type lsrc =
 
 exception Unknown_level of string
 
+(* ------------------------------------------------------------------ *)
+(* Origin predicates                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type origin_env = { known_modules : string list }
+
+let origin_attrs = [ "origin_module"; "origin_ring"; "origin_transport" ]
+let origin_transports = [ "msgq"; "ring"; "poller"; "attach" ]
+let origin_ring_max = 3
+
+exception Bad_origin of string
+
+(* An origin predicate naming a module, ring, or transport the kernel can
+   never report is a policy that can only ever misfire — same fail-closed
+   discipline as an unknown compliance level: reject at compile time so the
+   caller installs the deny-all stub instead of silently compiling a
+   predicate that a typo turned into [False] (or worse, one the author
+   believed was [False]). *)
+let check_origin_literal env attr (lit : Ast.term) =
+  let bad fmt = Printf.ksprintf (fun m -> raise (Bad_origin m)) fmt in
+  match (attr, lit) with
+  | _, Ast.Attr _ -> () (* attr-vs-attr comparisons are resolved at run time *)
+  | "origin_module", Ast.Str s ->
+      if s <> "user" && not (List.mem s env.known_modules) then
+        bad "compile: origin predicate names unknown module %S" s
+  | "origin_module", Ast.Int i ->
+      bad "compile: origin_module compared against integer %d" i
+  | "origin_ring", (Ast.Int _ | Ast.Str _) ->
+      let v =
+        match lit with
+        | Ast.Int i -> Some i
+        | Ast.Str s -> int_of_string_opt s
+        | Ast.Attr _ -> None
+      in
+      (match v with
+      | Some r when r >= 0 && r <= origin_ring_max -> ()
+      | _ -> bad "compile: origin predicate names unknown ring (want 0..%d)" origin_ring_max)
+  | "origin_transport", Ast.Str s ->
+      if not (List.mem s origin_transports) then
+        bad "compile: origin predicate names unknown transport %S" s
+  | "origin_transport", Ast.Int i ->
+      bad "compile: origin_transport compared against integer %d" i
+  | _ -> ()
+
+let rec check_origin_expr env = function
+  | Ast.True | Ast.False -> ()
+  | Ast.Not e -> check_origin_expr env e
+  | Ast.And (a, b) | Ast.Or (a, b) ->
+      check_origin_expr env a;
+      check_origin_expr env b
+  | Ast.Cmp (a, _, b) ->
+      (match a with
+      | Ast.Attr n when List.mem n origin_attrs -> check_origin_literal env n b
+      | _ -> ());
+      (match b with
+      | Ast.Attr n when List.mem n origin_attrs -> check_origin_literal env n a
+      | _ -> ())
+
 let kth_largest k values =
   let sorted = List.sort (fun a b -> compare b a) values in
   match List.nth_opt sorted (k - 1) with Some v -> v | None -> 0
 
-let compile ~policy ~credentials ~requesters ~levels =
+let compile ?origin ~policy ~credentials ~requesters ~levels () =
   if Array.length levels = 0 then Error "compile: empty levels"
   else begin
     let max_index = Array.length levels - 1 in
@@ -258,11 +316,17 @@ let compile ~policy ~credentials ~requesters ~levels =
     match
       (* Total counterpart of the interpreter's lazy [Invalid_argument]:
          validate every clause level up front, including clauses constant
-         folding would drop, so a bad level always fails closed here. *)
+         folding would drop, so a bad level always fails closed here.
+         Origin predicates get the same treatment when the caller supplies
+         the kernel's view of valid origins. *)
       List.iter
         (fun (a : Ast.assertion) ->
           List.iter
-            (fun (c : Ast.clause) -> ignore (level_index c.Ast.value))
+            (fun (c : Ast.clause) ->
+              ignore (level_index c.Ast.value);
+              match origin with
+              | Some env -> check_origin_expr env c.Ast.guard
+              | None -> ())
             a.conditions)
         (policy @ credentials);
       let roots =
@@ -282,6 +346,7 @@ let compile ~policy ~credentials ~requesters ~levels =
     | () -> Ok { instrs = Array.sub !code 0 !len; nnodes = !nnodes; levels }
     | exception Unknown_level name ->
         Error (Printf.sprintf "compile: unknown compliance level %S" name)
+    | exception Bad_origin msg -> Error msg
   end
 
 (* ------------------------------------------------------------------ *)
@@ -410,6 +475,8 @@ let run t ~attrs =
 
 let length t = Array.length t.instrs
 let node_count t = t.nnodes
+let instrs t = t.instrs
+let levels t = t.levels
 
 let op_counts t =
   let tbl = Hashtbl.create 16 in

@@ -1,0 +1,103 @@
+(** Fused batch execution of compiled decision programs.
+
+    [Compile.run] is one full interpreter pass per admission query; under
+    a 64-slot ring batch that is 64 passes over a program most of whose
+    opcodes depend only on batch-invariant inputs (credential chain,
+    module identity, call origin, static attributes).  [plan] re-lowers a
+    compiled program into contiguous segments, fuses common opcode pairs
+    into superoperators, interns segment arrays in a domain-local
+    structural-sharing arena, and partitions the segments into a
+    batch-invariant prefix and a per-slot residue.  [begin_batch] runs the
+    prefix once into a {!snapshot}; [run_slot] replays only the residue
+    per slot.
+
+    Cost accounting is the caller's job, mirroring [Compile.run]: charge
+    [Cost_model.Policy_fused_setup] plus [s_setup_ops] compiled-op units
+    when a snapshot is built, and [outcome.ops] compiled-op units per
+    slot.  Each superoperator executes (and is charged as) {e one} op —
+    that, plus prefix hoisting, is the entire speedup; there is no
+    hidden discount.
+
+    Verdict parity: for any program, origin, and attribute list that
+    includes the origin pairs (as the dispatcher guarantees),
+    [run_slot] returns exactly [Compile.run]'s outcome modulo [ops] —
+    asserted over randomized programs by [test/test_compile.ml]. *)
+
+type origin = { o_module : string; o_ring : int; o_transport : string }
+(** Caller provenance, resolved by the kernel from session state at
+    dispatch — never from client-supplied data, so a compromised client
+    cannot forge its origin.  [o_module] is the SecModule whose handle
+    made the call, or ["user"] for a plain client process. *)
+
+val no_origin : origin
+(** ["user"] at ring 3 over msgq — the provenance of a plain process. *)
+
+type t
+(** A fused plan for one compiled program.  Immutable and, like the
+    program it lowers, safe to cache per (credential, policy revision,
+    keystore generation). *)
+
+type snapshot = {
+  s_nodes : int array;
+      (** value-node results; invariant entries are final, variant entries
+          are scratch space the residue rewrites every slot *)
+  s_setup_ops : int;  (** prefix opcodes executed building the snapshot *)
+}
+
+val plan : Compile.t -> varying:string list -> t
+(** Lower, fuse, intern, and partition.  [varying] names the action
+    attributes that change slot to slot (the dispatcher passes
+    ["function"] and the volatile attributes); every opcode whose value
+    could depend on one — directly or through a value node — lands in the
+    residue.  Planning is total: a program whose shape defeats
+    segmentation degrades to an all-residue plan (per-slot execution,
+    still superoperator-fused), never to wrong answers. *)
+
+val begin_batch : t -> origin:origin -> attrs:(string * string) list -> snapshot
+(** Evaluate the batch-invariant prefix once.  [attrs] here are the
+    batch-invariant attributes (module, phase, static policy attributes,
+    origin pairs); varying attributes are absent by construction — no
+    prefix opcode reads them. *)
+
+val run_slot :
+  t -> snapshot -> origin:origin -> attrs:(string * string) list -> Compile.outcome
+(** Evaluate the per-slot residue against one slot's full attribute list.
+    [ops] is the residue opcode count — the per-slot cost driver.  The
+    snapshot may be reused across any number of slots and batches until
+    the program it came from is invalidated. *)
+
+val run : t -> origin:origin -> attrs:(string * string) list -> snapshot * Compile.outcome
+(** [begin_batch] + [run_slot] in one step, for scalar callers and tests. *)
+
+(** {2 Introspection} *)
+
+type stats = {
+  segments : int;
+  invariant_segments : int;
+  total_fops : int;
+  invariant_fops : int;  (** static prefix size; fraction of [total_fops] *)
+  superops : (string * int) list;
+      (** fused-opcode histogram by mnemonic, most frequent first *)
+  origin_fops : int;
+}
+
+val stats : t -> stats
+
+val prefix_fraction : t -> float
+(** [invariant_fops / total_fops], 0 for an empty plan. *)
+
+type arena_stats = {
+  a_segments : int;  (** distinct segment arrays interned on this domain *)
+  a_hits : int;
+  a_misses : int;
+  a_bytes_saved : int;  (** estimated bytes deduplicated (32 B/opcode) *)
+}
+
+val arena_stats : unit -> arena_stats
+(** The calling domain's structural-sharing arena.  Registry-wide in the
+    sense that every plan built on this domain shares it, whichever
+    module or session triggered compilation. *)
+
+val arena_reset : unit -> unit
+(** Drop the calling domain's arena (tests and the E24 memory curve, which
+    need a clean baseline before measuring). *)

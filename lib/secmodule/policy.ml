@@ -2,6 +2,7 @@ module Clock = Smod_sim.Clock
 module Cost = Smod_sim.Cost_model
 module Eval = Smod_keynote.Eval
 module Compile = Smod_keynote.Compile
+module Fuse = Smod_keynote.Fuse
 
 type t =
   | Always_allow
@@ -49,6 +50,12 @@ let deny policy reason = Error { reason; policy }
    state, no clock dependence, and no condition guard that reads an action
    attribute that varies call to call. *)
 let volatile_attrs = [ "calls_so_far" ]
+
+(* Attributes that change from slot to slot within one batch: the called
+   function, plus everything already too volatile to cache.  This is the
+   [varying] set the fused planner partitions against — an opcode reading
+   any of these (directly or through a value node) stays per-slot. *)
+let batch_varying_attrs = "function" :: volatile_attrs
 
 let rec term_volatile = function
   | Smod_keynote.Ast.Attr name -> List.mem name volatile_attrs
@@ -165,6 +172,7 @@ type compiled =
   | C_pass of t
   | C_keynote of {
       program : Compile.t;
+      plan : Fuse.t option;  (* fused lowering, built when the kernel opts in *)
       min_index : int;
       min_level : string;
       static_attrs : (string * string) list;
@@ -176,7 +184,7 @@ type compiled =
 let m_policy_compiles = Smod_metrics.Scope.counter m_scope "policy_compiles"
 let m_policy_compile_denials = Smod_metrics.Scope.counter m_scope "policy_compile_denials"
 
-let compile ~clock ~keystore ~credential policy =
+let compile ?(fuse = false) ?origin_env ~clock ~keystore ~credential policy =
   Smod_metrics.Counter.incr m_policy_compiles;
   (* Hoisted credential-chain verification: one signature check per
      credential assertion now, none per call. *)
@@ -194,10 +202,10 @@ let compile ~clock ~keystore ~credential policy =
           Clock.charge_n clock Cost.Policy_compile_assertion
             (List.length assertions + List.length credential.Credential.assertions);
           match
-            Compile.compile ~policy:assertions
+            Compile.compile ?origin:origin_env ~policy:assertions
               ~credentials:credential.Credential.assertions
               ~requesters:[ credential.Credential.principal ]
-              ~levels
+              ~levels ()
           with
           | Ok program ->
               let min_index =
@@ -208,7 +216,11 @@ let compile ~clock ~keystore ~credential policy =
                 in
                 find 0
               in
-              C_keynote { program; min_index; min_level; static_attrs; policy = p }
+              let plan =
+                if fuse then Some (Fuse.plan program ~varying:batch_varying_attrs)
+                else None
+              in
+              C_keynote { program; plan; min_index; min_level; static_attrs; policy = p }
           | Error reason ->
               Smod_metrics.Counter.incr m_policy_compile_denials;
               C_deny { reason; policy = p }
@@ -221,7 +233,7 @@ let compile ~clock ~keystore ~credential policy =
 let rec check_compiled_inner ~clock ~now_us ~credential ~attrs compiled state =
   match (compiled, state) with
   | C_pass p, s -> check_inner ~clock ~now_us ~credential ~attrs p s
-  | C_keynote { program; min_index; min_level; static_attrs; policy }, S_none -> (
+  | C_keynote { program; min_index; min_level; static_attrs; policy; plan = _ }, S_none -> (
       let outcome = Compile.run program ~attrs:(attrs @ static_attrs) in
       Clock.charge_n clock Cost.Policy_compiled_op outcome.Compile.ops;
       match outcome.Compile.index >= min_index with
@@ -250,6 +262,94 @@ let rec check_compiled_inner ~clock ~now_us ~credential ~attrs compiled state =
 let check_compiled ~clock ~now_us ~credential ~attrs compiled state =
   Smod_metrics.Counter.incr m_policy_checks;
   match check_compiled_inner ~clock ~now_us ~credential ~attrs compiled state with
+  | Ok () as ok -> ok
+  | Error _ as e ->
+      Smod_metrics.Counter.incr m_policy_denials;
+      e
+
+(* ------------------------------------------------------------------ *)
+(* Fused batch checking                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A fused context is a compiled tree armed for one batch: every planned
+   KeyNote arm carries the snapshot its batch-invariant prefix produced.
+   Stateful arms ([C_pass] quotas, rate limits) keep their per-slot
+   interpreted evaluation — batching must not change when a quota
+   decrements.  Arms compiled without a plan (fusion off at compile time)
+   fall back to per-slot [Compile.run], so a context is always total. *)
+type fused_ctx =
+  | FC_pass of t
+  | FC_keynote of {
+      plan : Fuse.t;
+      snapshot : Fuse.snapshot;
+      min_index : int;
+      min_level : string;
+      static_attrs : (string * string) list;
+      policy : t;
+    }
+  | FC_slow of compiled  (* no plan: per-slot compiled execution *)
+  | FC_deny of { reason : string; policy : t }
+  | FC_all of fused_ctx list * t
+
+let rec fusible = function
+  | C_keynote { plan = Some _; _ } -> true
+  | C_all (cs, _) -> List.exists fusible cs
+  | C_pass _ | C_keynote { plan = None; _ } | C_deny _ -> false
+
+(* Arm the compiled tree for a batch: run each planned arm's invariant
+   prefix once, charging the amortized setup ([Policy_fused_setup] plus
+   the prefix opcodes) to the caller — the per-slot loop then pays only
+   residue opcodes.  [attrs] are the batch-invariant attributes (module,
+   phase, origin pairs); no prefix opcode reads a varying attribute. *)
+let begin_fused ~clock ~origin ~attrs compiled =
+  let rec arm = function
+    | C_pass p -> FC_pass p
+    | C_deny { reason; policy } -> FC_deny { reason; policy }
+    | C_keynote { plan = None; _ } as c -> FC_slow c
+    | C_keynote { plan = Some plan; min_index; min_level; static_attrs; policy; _ } ->
+        Clock.charge clock Cost.Policy_fused_setup;
+        let snapshot = Fuse.begin_batch plan ~origin ~attrs:(attrs @ static_attrs) in
+        Clock.charge_n clock Cost.Policy_compiled_op snapshot.Fuse.s_setup_ops;
+        FC_keynote { plan; snapshot; min_index; min_level; static_attrs; policy }
+    | C_all (cs, p) -> FC_all (List.map arm cs, p)
+  in
+  arm compiled
+
+let rec check_fused_inner ~clock ~now_us ~credential ~origin ~attrs ctx state =
+  match (ctx, state) with
+  | FC_pass p, s -> check_inner ~clock ~now_us ~credential ~attrs p s
+  | FC_slow c, s -> check_compiled_inner ~clock ~now_us ~credential ~attrs c s
+  | FC_keynote { plan; snapshot; min_index; min_level; static_attrs; policy }, S_none -> (
+      let outcome =
+        Fuse.run_slot plan snapshot ~origin ~attrs:(attrs @ static_attrs)
+      in
+      Clock.charge_n clock Cost.Policy_compiled_op outcome.Compile.ops;
+      match outcome.Compile.index >= min_index with
+      | true -> Ok ()
+      | false ->
+          deny policy
+            (Printf.sprintf "keynote compliance %S below required %S"
+               outcome.Compile.level min_level))
+  | FC_deny { reason; policy }, _ ->
+      Clock.charge clock Cost.Policy_compiled_op;
+      deny policy reason
+  | FC_all (cs, policy), S_list states ->
+      let rec all cs states =
+        match (cs, states) with
+        | [], [] -> Ok ()
+        | c :: cs', s :: ss' -> (
+            match check_fused_inner ~clock ~now_us ~credential ~origin ~attrs c s with
+            | Ok () -> all cs' ss'
+            | Error _ as e -> e)
+        | _ -> deny policy "policy/state shape mismatch"
+      in
+      all cs states
+  | FC_keynote { policy; _ }, _ | FC_all (_, policy), _ ->
+      deny policy "policy/state shape mismatch"
+
+let check_fused ~clock ~now_us ~credential ~origin ~attrs ctx state =
+  Smod_metrics.Counter.incr m_policy_checks;
+  match check_fused_inner ~clock ~now_us ~credential ~origin ~attrs ctx state with
   | Ok () as ok -> ok
   | Error _ as e ->
       Smod_metrics.Counter.incr m_policy_denials;
@@ -297,3 +397,45 @@ let compiled_stats compiled =
         (fun (ma, na) (mb, nb) -> if na <> nb then compare nb na else compare ma mb)
         acc.opcode_counts;
   }
+
+(* Merged fusion statistics over every planned KeyNote arm; [None] when
+   nothing in the tree was compiled with fusion on. *)
+let fusion_stats compiled =
+  let merge_assoc a b =
+    List.fold_left
+      (fun acc (m, n) ->
+        let prev = Option.value ~default:0 (List.assoc_opt m acc) in
+        (m, prev + n) :: List.remove_assoc m acc)
+      a b
+  in
+  let add (a : Fuse.stats) (b : Fuse.stats) =
+    Fuse.
+      {
+        segments = a.segments + b.segments;
+        invariant_segments = a.invariant_segments + b.invariant_segments;
+        total_fops = a.total_fops + b.total_fops;
+        invariant_fops = a.invariant_fops + b.invariant_fops;
+        superops = merge_assoc a.superops b.superops;
+        origin_fops = a.origin_fops + b.origin_fops;
+      }
+  in
+  let rec fold acc = function
+    | C_keynote { plan = Some plan; _ } -> (
+        let s = Fuse.stats plan in
+        match acc with None -> Some s | Some a -> Some (add a s))
+    | C_all (cs, _) -> List.fold_left fold acc cs
+    | C_pass _ | C_keynote { plan = None; _ } | C_deny _ -> acc
+  in
+  match fold None compiled with
+  | None -> None
+  | Some s ->
+      Some
+        Fuse.
+          {
+            s with
+            superops =
+              List.sort
+                (fun (ma, na) (mb, nb) ->
+                  if na <> nb then compare nb na else compare ma mb)
+                s.superops;
+          }

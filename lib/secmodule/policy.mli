@@ -53,6 +53,8 @@ type compiled
     never serialized into client-shared memory. *)
 
 val compile :
+  ?fuse:bool ->
+  ?origin_env:Smod_keynote.Compile.origin_env ->
   clock:Smod_sim.Clock.t ->
   keystore:Smod_keynote.Keystore.t ->
   credential:Credential.t ->
@@ -62,9 +64,13 @@ val compile :
     (the hoisted chain verification) and
     {!Smod_sim.Cost_model.Policy_compile_assertion} per assertion
     flattened.  Never raises: a failed signature chain or an
-    uncompilable KeyNote arm (unknown compliance level) yields a policy
-    that denies every call with the reason recorded — EACCES at the
-    dispatch layer, not a crash. *)
+    uncompilable KeyNote arm (unknown compliance level — or, when
+    [origin_env] is supplied, an origin predicate naming an unknown
+    module, ring, or transport) yields a policy that denies every call
+    with the reason recorded — EACCES at the dispatch layer, not a
+    crash.  [fuse] additionally lowers each KeyNote arm into a fused
+    batch plan ({!Smod_keynote.Fuse}) partitioned against
+    {!batch_varying_attrs}; planning is folded into the compile charge. *)
 
 val check_compiled :
   clock:Smod_sim.Clock.t ->
@@ -80,6 +86,44 @@ val check_compiled :
     of 420-cycle assertion evaluations, and no per-call credential
     revalidation is needed (the chain was pre-verified). *)
 
+type fused_ctx
+(** A compiled policy armed for one batch: every fused KeyNote arm
+    carries the node snapshot its batch-invariant prefix produced.  Valid
+    exactly as long as the compiled policy it was built from — the
+    dispatcher caches it under the same (policy revision, keystore
+    generation) key, further split by transport because the origin
+    differs per path. *)
+
+val fusible : compiled -> bool
+(** True when at least one KeyNote arm carries a fused plan (i.e. was
+    compiled with [~fuse:true]). *)
+
+val begin_fused :
+  clock:Smod_sim.Clock.t ->
+  origin:Smod_keynote.Fuse.origin ->
+  attrs:(string * string) list ->
+  compiled ->
+  fused_ctx
+(** Run every fused arm's batch-invariant prefix once, charging
+    {!Smod_sim.Cost_model.Policy_fused_setup} plus one
+    {!Smod_sim.Cost_model.Policy_compiled_op} per prefix opcode.  [attrs]
+    are the batch-invariant attributes (module, phase, origin pairs). *)
+
+val check_fused :
+  clock:Smod_sim.Clock.t ->
+  now_us:float ->
+  credential:Credential.t ->
+  origin:Smod_keynote.Fuse.origin ->
+  attrs:(string * string) list ->
+  fused_ctx ->
+  state ->
+  (unit, denial) result
+(** The per-slot residue check: same verdicts over the same [state] as
+    {!check_compiled} and {!check} (asserted by the fused differential
+    suite in test/test_compile.ml), but fused KeyNote arms charge only
+    residue opcodes.  Stateful arms (quotas, rate limits) still evaluate
+    per slot — batching never changes when a counter moves. *)
+
 type compiled_stats = {
   programs : int;  (** KeyNote arms compiled to decision programs *)
   opcodes : int;  (** total static program size *)
@@ -91,6 +135,16 @@ type compiled_stats = {
 
 val compiled_stats : compiled -> compiled_stats
 (** Introspection for [smodctl policy status]. *)
+
+val fusion_stats : compiled -> Smod_keynote.Fuse.stats option
+(** Merged fusion statistics over every planned KeyNote arm — superop
+    mix, batch-invariant prefix fraction inputs — or [None] when the
+    policy was compiled without fusion. *)
+
+val batch_varying_attrs : string list
+(** Action attributes that differ slot to slot within one batch
+    (["function"] plus the volatile attributes) — the partition the
+    fused planner hoists against. *)
 
 val cacheable : t -> bool
 (** True when a decision under this policy is a pure function of

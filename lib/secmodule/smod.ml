@@ -12,6 +12,8 @@ module Cost = Smod_sim.Cost_model
 module Trace = Smod_sim.Trace
 module Smof = Smod_modfmt.Smof
 module Keystore = Smod_keynote.Keystore
+module Fuse = Smod_keynote.Fuse
+module KCompile = Smod_keynote.Compile
 module Interp = Smod_svm.Interp
 module Ring = Smod_ring.Ring
 
@@ -54,6 +56,10 @@ type session = {
   mutable ring : ring_state option;
   mutable cred_digest : string option;
   mutable compiled_memo : (int * int * Policy.compiled) option;
+  mutable fused_memo : (int * int * string * Policy.fused_ctx) option;
+      (* (policy_rev, keystore_gen, transport) -> armed batch context.
+         Transport is part of the key because [origin_transport] differs
+         per admission path and one session can mix paths. *)
 }
 
 (* A reusable handle co-process managed by the smodd service layer
@@ -159,6 +165,7 @@ type t = {
   mutable policy_cache : policy_cache_hooks option;
   mutable remove_hooks : (m_id:int -> unit) list;
   mutable compile_policies : bool;
+  mutable fuse_policies : bool;
   mutable dispatch_gate : (unit -> unit) option;
   mutable spin_budget : int;
   mutable poller : poller option;
@@ -239,6 +246,9 @@ let call_fast_path t = t.fast_path
 let set_dispatch_gate t gate = t.dispatch_gate <- gate
 let set_policy_compile t b = t.compile_policies <- b
 let policy_compile_enabled t = t.compile_policies
+
+let set_policy_fuse t b = t.fuse_policies <- b
+let policy_fuse_enabled t = t.fuse_policies
 let toctou_mitigation t = t.toctou
 
 (* Where module images land inside the handle's address space: text below
@@ -753,9 +763,18 @@ let policy_of t session =
                   Smod_metrics.Counter.incr m_compile_hits;
                   c
               | None ->
+                  let origin_env =
+                    {
+                      KCompile.known_modules =
+                        List.map
+                          (fun e -> e.Registry.image.Smof.mod_name)
+                          (Registry.entries t.registry);
+                    }
+                  in
                   let c =
-                    Policy.compile ~clock ~keystore:t.keystore
-                      ~credential:session.credential entry.Registry.policy
+                    Policy.compile ~fuse:t.fuse_policies ~origin_env ~clock
+                      ~keystore:t.keystore ~credential:session.credential
+                      entry.Registry.policy
                   in
                   Smod_metrics.Counter.incr m_compile_misses;
                   Registry.store_compiled entry key c;
@@ -767,6 +786,85 @@ let policy_of t session =
         session.compiled_memo <- Some (rev, gen, compiled);
         Some compiled
   end
+
+(* ------------------------------------------------------------------ *)
+(* Caller provenance                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Resolved from kernel-held state only: the session table says whether
+   the calling process is itself some module's handle (a nested module
+   call) and the proc table says which protection ring it runs in.  A
+   client cannot influence any of it from user space, which is what makes
+   origin predicates trustworthy post-compromise. *)
+let origin_of_client t ~client_pid ~transport =
+  let o_module =
+    match session_of_handle t ~handle_pid:client_pid with
+    | Some inner -> inner.entry.Registry.image.Smof.mod_name
+    | None -> "user"
+  in
+  let o_ring =
+    match Machine.proc t.machine client_pid with
+    | Some p -> p.Proc.ring
+    | None -> 3
+  in
+  { Fuse.o_module; o_ring; o_transport = transport }
+
+let origin_of t session ~transport =
+  origin_of_client t ~client_pid:session.client_pid ~transport
+
+(* The same provenance as attribute pairs, appended to every admission
+   query so origin predicates resolve identically under the interpreted,
+   compiled, and fused engines.  Appending is free (no cost-model charge)
+   and invisible to policies that never name an origin attribute. *)
+let origin_attr_pairs (origin : Fuse.origin) =
+  [
+    ("origin_module", origin.Fuse.o_module);
+    ("origin_ring", string_of_int origin.Fuse.o_ring);
+    ("origin_transport", origin.Fuse.o_transport);
+  ]
+
+let check_fused_or_deny t ~ctx ~origin ~state ~credential ~attrs =
+  let clock = Machine.clock t.machine in
+  match
+    Policy.check_fused ~clock ~now_us:(Clock.now_us clock) ~credential ~origin ~attrs ctx
+      state
+  with
+  | Ok () -> ()
+  | Error denial ->
+      Errno.raise_errno Errno.EACCES
+        (Printf.sprintf "policy %s: %s" (Policy.describe denial.Policy.policy)
+           denial.Policy.reason)
+
+(* The session's armed fused context for one transport, or [None] when
+   fusion is off or nothing in the compiled tree carries a plan.  The
+   snapshot survives across batches and scalar calls under the same
+   (policy revision, keystore generation, transport) — eager invalidation
+   clears it exactly where [compiled_memo] is cleared. *)
+let fused_of t session ~transport =
+  if not (t.compile_policies && t.fuse_policies) then None
+  else
+    match policy_of t session with
+    | None -> None
+    | Some compiled when not (Policy.fusible compiled) -> None
+    | Some compiled -> (
+        let rev = session.entry.Registry.policy_rev in
+        let gen = Keystore.generation t.keystore in
+        match session.fused_memo with
+        | Some (r, g, tr, ctx) when r = rev && g = gen && tr = transport -> Some ctx
+        | _ ->
+            let origin = origin_of t session ~transport in
+            let attrs =
+              [
+                ("phase", "call");
+                ("module", session.entry.Registry.image.Smof.mod_name);
+              ]
+              @ origin_attr_pairs origin
+            in
+            let ctx =
+              Policy.begin_fused ~clock:(Machine.clock t.machine) ~origin ~attrs compiled
+            in
+            session.fused_memo <- Some (rev, gen, transport, ctx);
+            Some ctx)
 
 let install_module_image t session_text_base session_data_base handle_aspace entry =
   let clock = Machine.clock t.machine in
@@ -931,6 +1029,7 @@ let attach_pooled t (p : Proc.t) ph ~credential =
       ring = None;
       cred_digest = None;
       compiled_memo = None;
+      fused_memo = None;
     }
   in
   ph.ph_session <- Some session;
@@ -1003,6 +1102,7 @@ let cold_start_session t (p : Proc.t) entry credential =
       ring = None;
       cred_digest = None;
       compiled_memo = None;
+      fused_memo = None;
     }
   in
   let handle =
@@ -1236,6 +1336,7 @@ let mux_attach t (p : Proc.t) entry credential =
       ring = None;
       cred_digest = None;
       compiled_memo = None;
+      fused_memo = None;
     }
   in
   (* The handshake happens inline: there is one mux proc for all fibers,
@@ -1331,11 +1432,13 @@ let sys_start_session t (p : Proc.t) ~desc_addr =
     ~state:(Policy.initial_state entry.Registry.policy)
     ~credential
     ~attrs:
-      [
-        ("phase", "session");
-        ("module", entry.Registry.image.Smof.mod_name);
-        ("principal", credential.Credential.principal);
-      ];
+      ([
+         ("phase", "session");
+         ("module", entry.Registry.image.Smof.mod_name);
+         ("principal", credential.Credential.principal);
+       ]
+      @ origin_attr_pairs
+          (origin_of_client t ~client_pid:p.Proc.pid ~transport:"attach"));
   (* §4.1 approach 2: if the client had a plain image of this library
      mapped, forcibly unmap it and deny later re-mapping. *)
   List.iter
@@ -1510,6 +1613,7 @@ let sys_call t (p : Proc.t) ~framep ~rtnaddr ~m_id ~func_id =
           ~mod_name:session.entry.Registry.image.Smof.mod_name ~func_name;
         Errno.raise_errno Errno.EACCES reason
     | None -> (
+        let origin = origin_of t session ~transport:"msgq" in
         let attrs =
           [
             ("phase", "call");
@@ -1517,20 +1621,29 @@ let sys_call t (p : Proc.t) ~framep ~rtnaddr ~m_id ~func_id =
             ("module", session.entry.Registry.image.Smof.mod_name);
             ("calls_so_far", string_of_int session.calls);
           ]
+          @ origin_attr_pairs origin
         in
         try
-          (match policy_of t session with
-          | Some compiled ->
-              (* Compiled path: the credential chain was verified when the
-                 program was compiled, so no per-call Cred_check. *)
-              check_compiled_or_deny t ~compiled ~state:session.policy_state
+          (match fused_of t session ~transport:"msgq" with
+          | Some ctx ->
+              (* Fused path: the invariant prefix was charged when the
+                 snapshot was armed (and is reused until invalidation);
+                 this call pays residue opcodes only. *)
+              check_fused_or_deny t ~ctx ~origin ~state:session.policy_state
                 ~credential:session.credential ~attrs
-          | None ->
-              (* Per-call revalidation: the kernel "will then verify that p
-                 did provide the proper credentials" (§3.1). *)
-              Clock.charge clock Cost.Cred_check;
-              check_policy_or_deny t ~policy:session.entry.Registry.policy
-                ~state:session.policy_state ~credential:session.credential ~attrs);
+          | None -> (
+              match policy_of t session with
+              | Some compiled ->
+                  (* Compiled path: the credential chain was verified when the
+                     program was compiled, so no per-call Cred_check. *)
+                  check_compiled_or_deny t ~compiled ~state:session.policy_state
+                    ~credential:session.credential ~attrs
+              | None ->
+                  (* Per-call revalidation: the kernel "will then verify that p
+                     did provide the proper credentials" (§3.1). *)
+                  Clock.charge clock Cost.Cred_check;
+                  check_policy_or_deny t ~policy:session.entry.Registry.policy
+                    ~state:session.policy_state ~credential:session.credential ~attrs));
           match cache with
           | Some hooks -> hooks.cache_store session ~func_name Cache_allow
           | None -> ()
@@ -1631,8 +1744,12 @@ let bind_session_ring t (p : Proc.t) session =
    Shared by the batch trap and the kernel poller; the memo is fresh per
    call, so each sweep/batch amortizes within itself only — exactly the
    historical per-trap behaviour. *)
-let batch_decider t session =
+let batch_decider t session ~transport =
   let clock = Machine.clock t.machine in
+  (* Origin and (when fusion is on) the armed snapshot are batch-invariant:
+     resolve both once per decider, not per slot. *)
+  let origin = origin_of t session ~transport in
+  let fused = fused_of t session ~transport in
   let fast_path_applies =
     t.fast_path
     &&
@@ -1677,21 +1794,30 @@ let batch_decider t session =
                       ("module", session.entry.Registry.image.Smof.mod_name);
                       ("calls_so_far", string_of_int session.calls);
                     ]
+                    @ origin_attr_pairs origin
                   in
                   try
-                    (match policy_of t session with
-                    | Some compiled ->
-                        (* Compiled path: chain verification was hoisted to
-                           compile time — no per-slot Cred_check. *)
-                        check_compiled_or_deny t ~compiled
+                    (match fused with
+                    | Some ctx ->
+                        (* Fused path: per-slot residue only; the prefix was
+                           charged once when the snapshot was armed. *)
+                        check_fused_or_deny t ~ctx ~origin
                           ~state:session.policy_state
                           ~credential:session.credential ~attrs
-                    | None ->
-                        Clock.charge clock Cost.Cred_check;
-                        check_policy_or_deny t
-                          ~policy:session.entry.Registry.policy
-                          ~state:session.policy_state
-                          ~credential:session.credential ~attrs);
+                    | None -> (
+                        match policy_of t session with
+                        | Some compiled ->
+                            (* Compiled path: chain verification was hoisted to
+                               compile time — no per-slot Cred_check. *)
+                            check_compiled_or_deny t ~compiled
+                              ~state:session.policy_state
+                              ~credential:session.credential ~attrs
+                        | None ->
+                            Clock.charge clock Cost.Cred_check;
+                            check_policy_or_deny t
+                              ~policy:session.entry.Registry.policy
+                              ~state:session.policy_state
+                              ~credential:session.credential ~attrs));
                     (match cache with
                     | Some hooks -> hooks.cache_store session ~func_name Cache_allow
                     | None -> ());
@@ -1811,7 +1937,7 @@ let sys_call_batch t (p : Proc.t) ~m_id ~max_slots =
     Errno.raise_errno Errno.EPERM "smod_call_batch: TOCTOU mitigation forces per-call path";
   let rs = bind_session_ring t p session in
   let ring = rs.r_ring in
-  let decide = batch_decider t session in
+  let decide = batch_decider t session ~transport:"ring" in
   let stamped0 = Machine.ring_stamped t.machine ~pid:p.Proc.pid in
   (* [head] is a client-writable header word and [max_slots] an
      arbitrary trap argument: clamp the per-trap work by the registered
@@ -1918,7 +2044,7 @@ let poller_sweep t po (pp : Proc.t) =
                  ring's worth of slots per session per sweep. *)
               let limit = min (Ring.head ring) (stamped0 + Ring.nslots ring) in
               if limit > stamped0 then begin
-                let decide = batch_decider t session in
+                let decide = batch_decider t session ~transport:"poller" in
                 let n, allowed =
                   stamp_submitted t session ring ~decide
                     ~per_slot:(fun () -> Clock.charge clock Cost.Poll_slot_scan)
@@ -2175,6 +2301,7 @@ type compile_status = {
   cs_misses : int;
   cs_invalidations : int;
   cs_stats : Policy.compiled_stats option;
+  cs_fusion : Fuse.stats option;
 }
 
 let policy_compile_status t =
@@ -2184,6 +2311,12 @@ let policy_compile_status t =
            Hashtbl.fold
              (fun _ c acc ->
                match acc with Some _ -> acc | None -> Some (Policy.compiled_stats c))
+             e.Registry.compiled_cache None
+         in
+         let fusion =
+           Hashtbl.fold
+             (fun _ c acc ->
+               match acc with Some _ -> acc | None -> Policy.fusion_stats c)
              e.Registry.compiled_cache None
          in
          {
@@ -2196,6 +2329,7 @@ let policy_compile_status t =
            cs_misses = e.Registry.compile_misses;
            cs_invalidations = e.Registry.compile_invalidations;
            cs_stats = stats;
+           cs_fusion = fusion;
          })
   |> List.sort (fun a b -> compare a.cs_m_id b.cs_m_id)
 
@@ -2220,6 +2354,7 @@ let install machine ?keystore () =
       policy_cache = None;
       remove_hooks = [];
       compile_policies = false;
+      fuse_policies = false;
       dispatch_gate = None;
       spin_budget = default_spin_budget;
       poller = None;
@@ -2237,7 +2372,11 @@ let install machine ?keystore () =
         (fun e ->
           Smod_metrics.Counter.add m_compile_invalidations (Registry.flush_compiled e))
         (Registry.entries t.registry);
-      Hashtbl.iter (fun _ s -> s.compiled_memo <- None) t.sessions_by_client);
+      Hashtbl.iter
+        (fun _ s ->
+          s.compiled_memo <- None;
+          s.fused_memo <- None)
+        t.sessions_by_client);
   Machine.register_syscall machine Sysno.smod_find ~name:"smod_find" (fun _m p args ->
       sys_find t p ~name_addr:args.(0) ~version:args.(1));
   Machine.register_syscall machine Sysno.smod_start_session ~name:"smod_start_session"

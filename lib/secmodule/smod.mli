@@ -64,6 +64,11 @@ type session = {
   mutable compiled_memo : (int * int * Policy.compiled) option;
       (** the session's compiled policy, valid while the stamped
           (policy_rev, keystore generation) pair still matches *)
+  mutable fused_memo : (int * int * string * Policy.fused_ctx) option;
+      (** the armed fused-batch context, additionally keyed by transport
+          (["msgq"]/["ring"]/["poller"]) because [origin_transport]
+          differs per admission path; same invalidation discipline as
+          [compiled_memo] *)
 }
 
 exception Access_denied of string
@@ -269,6 +274,23 @@ val set_policy_compile : t -> bool -> unit
 
 val policy_compile_enabled : t -> bool
 
+val set_policy_fuse : t -> bool -> unit
+(** Layer the fused batch engine ({!Smod_keynote.Fuse}) on top of
+    compiled policies (requires {!set_policy_compile} on to take
+    effect): each KeyNote arm is additionally lowered into
+    superoperator-fused segments partitioned into a batch-invariant
+    prefix and a per-slot residue.  The prefix runs once per (session,
+    policy revision, keystore generation, transport) — charged
+    {!Smod_sim.Cost_model.Policy_fused_setup} plus its opcodes — and
+    every admission (scalar call, ring batch slot, poller slot) then
+    pays residue opcodes only.  Origin predicates ([origin_module],
+    [origin_ring], [origin_transport]) resolve against kernel-held
+    session state on every engine; compilation fails closed when one
+    names an unknown module, ring, or transport.  Stateful arms
+    (quotas, rate limits) still evaluate per slot.  Default: off. *)
+
+val policy_fuse_enabled : t -> bool
+
 type compile_status = {
   cs_m_id : int;
   cs_module : string;
@@ -280,6 +302,9 @@ type compile_status = {
   cs_invalidations : int;
   cs_stats : Policy.compiled_stats option;
       (** a representative cached program's size/opcode breakdown *)
+  cs_fusion : Smod_keynote.Fuse.stats option;
+      (** fusion statistics (superop mix, invariant prefix size) for a
+          representative cached program compiled with fusion on *)
 }
 
 val policy_compile_status : t -> compile_status list

@@ -41,6 +41,11 @@ type op =
       (** one opcode of a compiled decision program
           ([Smod_keynote.Compile]) — the tight-loop replacement for
           {!Keynote_assertion_eval} *)
+  | Policy_fused_setup
+      (** fused batch engine ([Smod_keynote.Fuse]): building or re-arming
+          the batch-invariant snapshot before a batch — prefix opcodes are
+          charged as {!Policy_compiled_op} on top; per-slot residue opcodes
+          are the only per-slot charge *)
   | Policy_compile_assertion
       (** flattening one assertion into a decision program: delegation
           walk share, constant folding, opcode emission (one-time, cached

@@ -265,6 +265,38 @@ let test_trajectory_slope () =
   Alcotest.(check bool) "compiled slope is None" true
     (List.assoc "e9_slope_compiled_us" e.Trajectory.t_values = None)
 
+(* Entries serialized before a headline existed (e.g. pre-E24 history)
+   lack its key entirely: they must parse, mix with new entries, and
+   render "-" for the absent metric — a skipped cell, never an error. *)
+let test_trajectory_old_entries_tolerated () =
+  let old_json =
+    {|{"schema":"smod-bench-trajectory","schema_version":1,"entries":[{"date":"2026-07-01","commit":"0ldc0mm","mode":"quick","jobs":4,"snapshot":"2026-07-01_0ldc0mm.json","values":{"e1_test_incr_us":6.407}}]}|}
+  in
+  let history = Trajectory.of_string old_json in
+  let e24 =
+    Bench_json.experiment ~id:"e24" ~title:"fused batch"
+      [ Bench_json.row ~label:"ring b64 kn-16 fused (mean)" ~mean:0.963 ~stdev:0.0 () ]
+  in
+  let d = { (doc ()) with Bench_json.experiments = [ e24 ] } in
+  let e = Trajectory.entry_of_doc ~snapshot:"2026-08-08_fffffff.json" d in
+  (match List.assoc "e24_fused_batch64_kn16" e.Trajectory.t_values with
+  | Some v -> Alcotest.(check (float 1e-9)) "e24 headline extracted" 0.963 v
+  | None -> Alcotest.fail "e24 headline missing from a doc that has the row");
+  let history = Trajectory.append history e in
+  let rendered = Trajectory.render history in
+  Alcotest.(check bool) "old entry renders" true (contains ~affix:"0ldc0mm" rendered);
+  Alcotest.(check bool) "old entry's e1 value renders" true
+    (contains ~affix:"6.4070" rendered);
+  Alcotest.(check bool) "new entry's e24 value renders" true
+    (contains ~affix:"0.9630" rendered);
+  (* The old entry's row ends in "-" cells for every post-dating headline
+     (the e24 column included); rendering must not have invented a value. *)
+  let old_row =
+    List.find (fun l -> contains ~affix:"0ldc0mm" l) (String.split_on_char '\n' rendered)
+  in
+  Alcotest.(check bool) "absent e24 metric shows a dash" true
+    (contains ~affix:"-" old_row && not (contains ~affix:"0.9630" old_row))
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "benchdiff"
@@ -287,5 +319,6 @@ let () =
         [
           tc "ordering, idempotence, headlines" test_trajectory_ordering_and_headlines;
           tc "e9 least-squares slope" test_trajectory_slope;
+          tc "old entries tolerate new headlines" test_trajectory_old_entries_tolerated;
         ] );
     ]

@@ -14,6 +14,7 @@ module Ast = Smod_keynote.Ast
 module Parse = Smod_keynote.Parse
 module Eval = Smod_keynote.Eval
 module Compile = Smod_keynote.Compile
+module Fuse = Smod_keynote.Fuse
 module Keystore = Smod_keynote.Keystore
 module World = Smod_bench_kit.World
 module Smodd = Smod_pool.Smodd
@@ -38,7 +39,11 @@ let principals = [ "alice"; "kp0"; "kp1"; "kp2" ]
 let gen_query =
   let open QCheck.Gen in
   let gen_principal = oneofl principals in
-  let gen_attr_name = oneofl [ "a"; "b"; "c"; "module" ] in
+  let gen_attr_name =
+    oneofl
+      [ "a"; "b"; "c"; "module"; "function"; "calls_so_far";
+        "origin_module"; "origin_ring"; "origin_transport" ]
+  in
   let gen_value = oneof [ map string_of_int (int_range (-2) 3); oneofl [ "x"; "libc"; "" ] ] in
   let gen_term =
     oneof
@@ -110,7 +115,7 @@ let prop_compiled_matches_interpreted =
     (QCheck.make ~print:print_query gen_query)
     (fun (policy, credentials, attrs, requesters) ->
       let r = Eval.query ~policy ~credentials ~attrs ~requesters ~levels in
-      match Compile.compile ~policy ~credentials ~requesters ~levels with
+      match Compile.compile ~policy ~credentials ~requesters ~levels () with
       | Error e -> QCheck.Test.fail_reportf "compile failed on valid levels: %s" e
       | Ok prog ->
           let o = Compile.run prog ~attrs in
@@ -125,7 +130,7 @@ let prop_program_reusable_across_attrs =
   QCheck.Test.make ~name:"one compiled program serves many attr sets" ~count:500
     (QCheck.make ~print:print_query gen_query)
     (fun (policy, credentials, attrs, requesters) ->
-      match Compile.compile ~policy ~credentials ~requesters ~levels with
+      match Compile.compile ~policy ~credentials ~requesters ~levels () with
       | Error e -> QCheck.Test.fail_reportf "compile failed: %s" e
       | Ok prog ->
           List.for_all
@@ -165,7 +170,7 @@ let test_e9_ladder_differential () =
           let r =
             Eval.query ~policy ~credentials:[] ~attrs ~requesters:[ "client" ] ~levels
           in
-          match Compile.compile ~policy ~credentials:[] ~requesters:[ "client" ] ~levels with
+          match Compile.compile ~policy ~credentials:[] ~requesters:[ "client" ] ~levels () with
           | Error e -> Alcotest.failf "keynote-%d failed to compile: %s" (n + 1) e
           | Ok prog ->
               let o = Compile.run prog ~attrs in
@@ -192,7 +197,7 @@ let test_e9_op_slope () =
   let attrs = [ ("module", "seclibc"); ("calls_so_far", "5") ] in
   let ops n =
     match Compile.compile ~policy:(e9_policy n) ~credentials:[] ~requesters:[ "client" ]
-            ~levels
+            ~levels ()
     with
     | Ok prog -> (Compile.run prog ~attrs).Compile.ops
     | Error e -> Alcotest.failf "compile: %s" e
@@ -204,8 +209,116 @@ let test_e9_op_slope () =
     true (per_assertion <= 8.0)
 
 (* ------------------------------------------------------------------ *)
-(* Policy.check ≡ Policy.check_compiled                                *)
+(* Fused batch engine (E24): Fuse.run_slot ≡ Compile.run ≡ Eval.query  *)
 (* ------------------------------------------------------------------ *)
+
+let origin_pairs (o : Fuse.origin) =
+  [
+    ("origin_module", o.Fuse.o_module);
+    ("origin_ring", string_of_int o.Fuse.o_ring);
+    ("origin_transport", o.Fuse.o_transport);
+  ]
+
+let gen_origin =
+  let open QCheck.Gen in
+  map3
+    (fun m r t -> { Fuse.o_module = m; o_ring = r; o_transport = t })
+    (oneofl [ "user"; "seclibc"; "kp0" ])
+    (int_range 0 3)
+    (oneofl [ "msgq"; "ring"; "poller"; "attach" ])
+
+let print_fused_query (q, (o : Fuse.origin)) =
+  Printf.sprintf "%s\norigin: %s ring %d via %s" (print_query q) o.Fuse.o_module
+    o.Fuse.o_ring o.Fuse.o_transport
+
+let strip k l = List.filter (fun (k', _) -> k' <> k) l
+
+(* A batch of attribute sets differing only in the varying attributes —
+   exactly what sys_smod_call_batch presents slot to slot. *)
+let batch_slots base =
+  [
+    base;
+    ("function", "f1") :: strip "function" base;
+    ("calls_so_far", "2") :: strip "calls_so_far" base;
+    ("function", "g") :: ("calls_so_far", "-1")
+    :: strip "function" (strip "calls_so_far" base);
+  ]
+
+(* The tentpole's correctness contract: one snapshot per batch, residue
+   replayed per slot, and every slot's verdict equals both the per-slot
+   compiled pass and the interpreted checker — including programs with
+   origin predicates (resolved from the kernel origin record on the fused
+   engine, from the appended attr pairs on the other two) and varying
+   attributes.  Residue op counts must never exceed the full pass. *)
+let prop_fused_matches_compiled_and_interpreted =
+  QCheck.Test.make ~name:"fused verdict = per-slot = interpreted (batch)" ~count:2000
+    (QCheck.make ~print:print_fused_query (QCheck.Gen.pair gen_query gen_origin))
+    (fun ((policy, credentials, attrs0, requesters), origin) ->
+      (* Attrs must agree with the kernel origin record, as the dispatcher
+         guarantees: drop any generated origin pair, append the real ones. *)
+      let base =
+        List.filter (fun (k, _) -> not (List.mem k Compile.origin_attrs)) attrs0
+        @ origin_pairs origin
+      in
+      match Compile.compile ~policy ~credentials ~requesters ~levels () with
+      | Error e -> QCheck.Test.fail_reportf "compile failed on valid levels: %s" e
+      | Ok prog ->
+          let plan = Fuse.plan prog ~varying:Policy.batch_varying_attrs in
+          let invariant =
+            List.filter
+              (fun (k, _) -> not (List.mem k Policy.batch_varying_attrs))
+              base
+          in
+          let snap = Fuse.begin_batch plan ~origin ~attrs:invariant in
+          List.for_all
+            (fun attrs ->
+              let r = Eval.query ~policy ~credentials ~attrs ~requesters ~levels in
+              let c = Compile.run prog ~attrs in
+              let f = Fuse.run_slot plan snap ~origin ~attrs in
+              if
+                f.Compile.index <> c.Compile.index
+                || f.Compile.level <> c.Compile.level
+                || c.Compile.index <> r.Eval.index
+                || c.Compile.level <> r.Eval.level
+              then
+                QCheck.Test.fail_reportf
+                  "slot [%s]: fused (%s,%d) per-slot (%s,%d) interpreted (%s,%d)"
+                  (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) attrs))
+                  f.Compile.level f.Compile.index c.Compile.level c.Compile.index
+                  r.Eval.level r.Eval.index
+              else if f.Compile.ops > c.Compile.ops then
+                QCheck.Test.fail_reportf "residue ops %d exceed full pass %d"
+                  f.Compile.ops c.Compile.ops
+              else true)
+            (batch_slots base))
+
+(* Snapshot reuse across batches: re-arming must be unnecessary as long
+   as the program is live.  Run the same slot through two snapshots and a
+   shared one many times — verdicts and op counts must be stable. *)
+let prop_snapshot_reusable =
+  QCheck.Test.make ~name:"snapshot reusable across batches" ~count:300
+    (QCheck.make ~print:print_fused_query (QCheck.Gen.pair gen_query gen_origin))
+    (fun ((policy, credentials, attrs0, requesters), origin) ->
+      let base =
+        List.filter (fun (k, _) -> not (List.mem k Compile.origin_attrs)) attrs0
+        @ origin_pairs origin
+      in
+      match Compile.compile ~policy ~credentials ~requesters ~levels () with
+      | Error e -> QCheck.Test.fail_reportf "compile failed: %s" e
+      | Ok prog ->
+          let plan = Fuse.plan prog ~varying:Policy.batch_varying_attrs in
+          let snap1 = Fuse.begin_batch plan ~origin ~attrs:base in
+          let snap2 = Fuse.begin_batch plan ~origin ~attrs:base in
+          let o1 = Fuse.run_slot plan snap1 ~origin ~attrs:base in
+          List.for_all
+            (fun slot ->
+              let a = Fuse.run_slot plan snap1 ~origin ~attrs:slot in
+              let b = Fuse.run_slot plan snap2 ~origin ~attrs:slot in
+              a.Compile.index = b.Compile.index && a.Compile.ops = b.Compile.ops)
+            (batch_slots base @ [ base; base ])
+          &&
+          let o1' = Fuse.run_slot plan snap1 ~origin ~attrs:base in
+          o1'.Compile.index = o1.Compile.index && o1'.Compile.ops = o1.Compile.ops)
 
 let mk_clock () = M.clock (M.create ~jitter:0.0 ())
 
@@ -237,6 +350,184 @@ let policy_trusting_vendor ?(conds = "calls_so_far < 3 -> \"allow\";") () =
       min_level = "allow";
       attrs = [ ("color", "red") ];
     }
+
+(* Policy-layer parity: a stateful composite (quota over a volatile
+   keynote arm) armed once per batch must consume quota per slot exactly
+   like the interpreted and per-slot compiled engines. *)
+let test_policy_fused_parity () =
+  let clock = mk_clock () in
+  let ks = vendor_keystore () in
+  let credential =
+    Credential.make ~principal:"alice" ~assertions:[ signed_license ks () ] ()
+  in
+  let policy = Policy.All_of [ Policy.Call_quota 4; policy_trusting_vendor () ] in
+  let s_interp = Policy.initial_state policy in
+  let s_fused = Policy.initial_state policy in
+  let compiled = Policy.compile ~fuse:true ~clock ~keystore:ks ~credential policy in
+  Alcotest.(check bool) "composite is fusible" true (Policy.fusible compiled);
+  let origin = Fuse.no_origin in
+  let ctx =
+    Policy.begin_fused ~clock ~origin ~attrs:(origin_pairs origin) compiled
+  in
+  for i = 0 to 5 do
+    let attrs = ("calls_so_far", string_of_int i) :: origin_pairs origin in
+    let a = Policy.check ~clock ~now_us:0.0 ~credential ~attrs policy s_interp in
+    let b =
+      Policy.check_fused ~clock ~now_us:0.0 ~credential ~origin ~attrs ctx s_fused
+    in
+    match (a, b) with
+    | Ok (), Ok () ->
+        Alcotest.(check bool) (Printf.sprintf "call %d allowed" i) true (i < 3)
+    | Error da, Error db ->
+        Alcotest.(check bool) (Printf.sprintf "call %d denied" i) true (i >= 3);
+        Alcotest.(check string)
+          (Printf.sprintf "call %d same reason" i)
+          da.Policy.reason db.Policy.reason
+    | Ok (), Error d ->
+        Alcotest.failf "call %d: interpreted allowed, fused denied (%s)" i
+          d.Policy.reason
+    | Error d, Ok () ->
+        Alcotest.failf "call %d: interpreted denied (%s), fused allowed" i
+          d.Policy.reason
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Origin predicates: fail-closed compilation (satellite b)            *)
+(* ------------------------------------------------------------------ *)
+
+let compile_origin_conds ?(env = { Compile.known_modules = [ "seclibc" ] }) conds =
+  let policy =
+    [
+      Parse.assertion_of_string
+        (Printf.sprintf
+           "keynote-version: 2\nauthorizer: \"POLICY\"\nlicensees: \"client\"\n\
+            conditions: %s\n"
+           conds);
+    ]
+  in
+  Compile.compile ~origin:env ~policy ~credentials:[] ~requesters:[ "client" ]
+    ~levels:[| "deny"; "allow" |] ()
+
+let test_origin_validation_fails_closed () =
+  (match
+     compile_origin_conds
+       "origin_module == \"seclibc\" && origin_ring <= 2 && origin_transport != \
+        \"poller\" -> \"allow\";"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "valid origin predicate rejected: %s" e);
+  (match compile_origin_conds "origin_module == \"user\" -> \"allow\";" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "\"user\" must always be a known origin: %s" e);
+  (* origin-vs-origin comparisons carry no literal to validate *)
+  (match compile_origin_conds "origin_module == origin_transport -> \"allow\";" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "attr-vs-attr origin comparison rejected: %s" e);
+  (match compile_origin_conds "origin_module == \"ghost\" -> \"allow\";" with
+  | Error e ->
+      Alcotest.(check bool) "diagnostic names the module" true (contains e "ghost")
+  | Ok _ -> Alcotest.fail "unknown origin module must not compile");
+  (match compile_origin_conds "origin_ring == 7 -> \"allow\";" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ring 7 must not compile");
+  (match compile_origin_conds "origin_ring == \"x\" -> \"allow\";" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-numeric ring must not compile");
+  match compile_origin_conds "origin_transport == \"carrier-pigeon\" -> \"allow\";" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown transport must not compile"
+
+(* Same discipline one layer up: Policy.compile with an origin
+   environment turns the validation error into a deny-all stub, exactly
+   like unknown compliance levels. *)
+let test_origin_unknown_denies_at_policy_layer () =
+  let clock = mk_clock () in
+  let ks = vendor_keystore () in
+  let credential = Credential.make ~principal:"client" () in
+  let policy =
+    Policy.Keynote
+      {
+        policy =
+          [
+            Parse.assertion_of_string
+              "keynote-version: 2\nauthorizer: \"POLICY\"\nlicensees: \"client\"\n\
+               conditions: origin_module == \"ghost\" -> \"allow\";\n";
+          ];
+        levels = [| "deny"; "allow" |];
+        min_level = "allow";
+        attrs = [];
+      }
+  in
+  let compiled =
+    Policy.compile ~fuse:true
+      ~origin_env:{ Compile.known_modules = [] }
+      ~clock ~keystore:ks ~credential policy
+  in
+  (match Policy.compiled_stats compiled with
+  | { Policy.denied = Some r; programs = 0; _ } ->
+      Alcotest.(check bool) "reason names the module" true (contains r "ghost")
+  | _ -> Alcotest.fail "expected a deny-all stub with no program");
+  match
+    Policy.check_compiled ~clock ~now_us:0.0 ~credential ~attrs:[] compiled
+      (Policy.initial_state policy)
+  with
+  | Ok () -> Alcotest.fail "deny-all stub must deny"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Structural sharing: compile memory sublinear (satellite c)          *)
+(* ------------------------------------------------------------------ *)
+
+(* 10k single-assertion-unique policies over a shared 10-assertion
+   suffix: the arena must intern the suffix (and root) segments once, so
+   distinct segment storage grows with the unique clauses only — not with
+   the naive sum of every plan's segments. *)
+let test_arena_sharing_sublinear () =
+  Fuse.arena_reset ();
+  let lv = [| "deny"; "allow" |] in
+  let shared =
+    List.init 10 (fun i ->
+        Parse.assertion_of_string
+          (Printf.sprintf
+             "keynote-version: 2\nauthorizer: \"POLICY\"\nlicensees: \"client\"\n\
+              conditions: module == \"seclibc\" && tier == \"t%d\" -> \"allow\";\n"
+             i))
+  in
+  let n = 10_000 in
+  let naive_segments = ref 0 in
+  for i = 0 to n - 1 do
+    let unique =
+      Parse.assertion_of_string
+        (Printf.sprintf
+           "keynote-version: 2\nauthorizer: \"POLICY\"\nlicensees: \"client\"\n\
+            conditions: clause == %d -> \"allow\";\n"
+           i)
+    in
+    match
+      Compile.compile ~policy:(unique :: shared) ~credentials:[]
+        ~requesters:[ "client" ] ~levels:lv ()
+    with
+    | Error e -> Alcotest.failf "policy %d failed to compile: %s" i e
+    | Ok prog ->
+        let plan = Fuse.plan prog ~varying:Policy.batch_varying_attrs in
+        let st = Fuse.stats plan in
+        naive_segments := !naive_segments + st.Fuse.segments
+  done;
+  let a = Fuse.arena_stats () in
+  Alcotest.(check bool)
+    (Printf.sprintf "distinct segments %d stay near the %d unique clauses" a.Fuse.a_segments n)
+    true
+    (a.Fuse.a_segments < n + 64);
+  Alcotest.(check bool)
+    (Printf.sprintf "arena %d segments ≪ naive %d" a.Fuse.a_segments !naive_segments)
+    true
+    (!naive_segments > 8 * a.Fuse.a_segments);
+  Alcotest.(check bool) "sharing measured in bytes" true (a.Fuse.a_bytes_saved > 0);
+  Alcotest.(check bool) "hits dominate misses" true (a.Fuse.a_hits > a.Fuse.a_misses)
+
+(* ------------------------------------------------------------------ *)
+(* Policy.check ≡ Policy.check_compiled                                *)
+(* ------------------------------------------------------------------ *)
 
 (* Stateful composite over a volatile keynote arm: verdict-for-verdict
    (and reason-for-reason) parity across a call sequence, with each path
@@ -513,11 +804,12 @@ let test_compiled_dispatch_end_to_end () =
 (* The batch path evaluates volatile compiled programs per slot with the
    same verdicts the interpreter produces: 3 allowed, then denials as
    calls_so_far crosses the threshold. *)
-let batch_statuses ~compile () =
+let batch_statuses ?(fuse = false) ~compile () =
   let world =
     World.create ~with_rpc:false ~policy:(client_keynote_policy ~volatile:true ()) ()
   in
   Smod.set_policy_compile world.World.smod compile;
+  Smod.set_policy_fuse world.World.smod fuse;
   let results = ref [] in
   World.spawn_seclibc_client world ~name:"batch-client" (fun _p conn ->
       results := Stub.call_batch conn ~func:"test_incr" (List.init 5 (fun i -> [| i |])));
@@ -537,6 +829,135 @@ let test_batch_volatile_compiled_per_slot () =
       else
         Alcotest.(check bool) (Printf.sprintf "slot %d denied" i) true (s = `Err Errno.EACCES))
     compiled
+
+(* The fused batch path: same stateful per-slot verdicts (quota opcodes
+   stay per slot even when the keynote prefix is hoisted). *)
+let test_batch_volatile_fused_per_slot () =
+  let fused = batch_statuses ~compile:true ~fuse:true () in
+  let interpreted = batch_statuses ~compile:false () in
+  Alcotest.(check int) "5 slots" 5 (List.length fused);
+  Alcotest.(check bool) "same verdict sequence as interpreted" true
+    (fused = interpreted);
+  List.iteri
+    (fun i s ->
+      if i < 3 then
+        Alcotest.(check bool) (Printf.sprintf "slot %d allowed" i) true (s = `Ok)
+      else
+        Alcotest.(check bool) (Printf.sprintf "slot %d denied" i) true
+          (s = `Err Errno.EACCES))
+    fused
+
+(* Origin predicates at dispatch: the kernel resolves the caller's
+   transport, so the same session is admitted over msgq and refused over
+   the ring batch path — and the client has no attribute to forge. *)
+let origin_world conds =
+  World.create ~with_rpc:false
+    ~policy:
+      (Policy.Keynote
+         {
+           policy =
+             [
+               Parse.assertion_of_string
+                 (Printf.sprintf
+                    "keynote-version: 2\nauthorizer: \"POLICY\"\n\
+                     licensees: \"client\"\nconditions: %s\n"
+                    conds);
+             ];
+           levels = [| "deny"; "allow" |];
+           min_level = "allow";
+           attrs = [];
+         })
+    ()
+
+let test_origin_transport_gates_paths () =
+  let world =
+    origin_world
+      "phase == \"session\" -> \"allow\"; origin_transport == \"msgq\" && module \
+       == \"seclibc\" -> \"allow\";"
+  in
+  Smod.set_policy_compile world.World.smod true;
+  Smod.set_policy_fuse world.World.smod true;
+  let scalar = ref `Unset and batch = ref [] in
+  World.spawn_seclibc_client world ~name:"transport-client" (fun _p conn ->
+      (scalar :=
+         match Stub.call conn ~func:"test_incr" [| 1 |] with
+         | v -> `Allowed v
+         | exception Errno.Error (Errno.EACCES, _) -> `Denied);
+      batch :=
+        List.map
+          (function Ok _ -> `Ok | Error (e, _) -> `Err e)
+          (Stub.call_batch conn ~func:"test_incr" [ [| 1 |]; [| 2 |] ]));
+  World.run world;
+  Alcotest.(check bool) "msgq call admitted" true (!scalar = `Allowed 2);
+  Alcotest.(check int) "2 ring slots" 2 (List.length !batch);
+  List.iteri
+    (fun i s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "ring slot %d denied by transport" i)
+        true
+        (s = `Err Errno.EACCES))
+    !batch
+
+let test_origin_module_ring_admits () =
+  let world =
+    origin_world "origin_module == \"user\" && origin_ring >= 3 -> \"allow\";"
+  in
+  Smod.set_policy_compile world.World.smod true;
+  Smod.set_policy_fuse world.World.smod true;
+  let scalar = ref `Unset and batch = ref [] in
+  World.spawn_seclibc_client world ~name:"user-ring3" (fun _p conn ->
+      (scalar :=
+         match Stub.call conn ~func:"test_incr" [| 1 |] with
+         | v -> `Allowed v
+         | exception Errno.Error (Errno.EACCES, _) -> `Denied);
+      batch :=
+        List.map
+          (function Ok v -> `Ok v | Error (e, _) -> `Err e)
+          (Stub.call_batch conn ~func:"test_incr" [ [| 1 |]; [| 2 |] ]));
+  World.run world;
+  Alcotest.(check bool) "scalar admitted" true (!scalar = `Allowed 2);
+  Alcotest.(check bool) "batch admitted" true (!batch = [ `Ok 2; `Ok 3 ]);
+  (* The fused plan actually carries origin opcodes. *)
+  match Smod.policy_compile_status world.World.smod with
+  | [ cs ] -> (
+      match cs.Smod.cs_fusion with
+      | Some fs ->
+          Alcotest.(check bool) "origin fops present" true (fs.Fuse.origin_fops > 0);
+          Alcotest.(check bool) "plan nonempty" true (fs.Fuse.total_fops > 0)
+      | None -> Alcotest.fail "fused policy reports no fusion stats")
+  | l -> Alcotest.failf "expected one status row, got %d" (List.length l)
+
+(* Satellite b at dispatch: a policy clause naming an origin module the
+   registry has never seen compiles to a deny-all stub — EACCES on every
+   call, never an allow, never a crash.  Establishment still interprets
+   (origin_module resolves to "user" there, so the hostile clause simply
+   never fires). *)
+let test_unknown_origin_module_fails_closed_at_dispatch () =
+  let world =
+    origin_world
+      "phase == \"session\" -> \"allow\"; origin_module == \"ghost\" -> \"allow\";"
+  in
+  Smod.set_policy_compile world.World.smod true;
+  Smod.set_policy_fuse world.World.smod true;
+  let outcome = ref `Unset in
+  World.spawn_seclibc_client world ~name:"ghost-chaser" (fun _p conn ->
+      outcome :=
+        match Stub.call conn ~func:"test_incr" [| 1 |] with
+        | v -> `Allowed v
+        | exception Errno.Error (Errno.EACCES, _) -> `Denied);
+  World.run world;
+  Alcotest.(check bool) "EACCES, not a crash" true (!outcome = `Denied);
+  match Smod.policy_compile_status world.World.smod with
+  | [ cs ] -> (
+      match cs.Smod.cs_stats with
+      | Some stats -> (
+          match stats.Policy.denied with
+          | Some r ->
+              Alcotest.(check bool) "stub reason names the module" true
+                (contains r "ghost")
+          | None -> Alcotest.fail "expected a deny-all stub")
+      | None -> Alcotest.fail "no stats for the cached stub")
+  | l -> Alcotest.failf "expected one status row, got %d" (List.length l)
 
 (* ------------------------------------------------------------------ *)
 (* Invalidation: rotation evicts everything in the same step           *)
@@ -644,6 +1065,58 @@ let test_rotation_between_session_and_first_batch () =
         (s = `Err Errno.EACCES))
     !statuses
 
+(* The fused analogue of the between-establishment-and-first-batch race:
+   a snapshot armed for batch 1 must not survive a keystore rotation into
+   batch 2.  The rotation hook clears the session's fused memo alongside
+   the compiled one; the re-armed context re-verifies the chain under the
+   new generation and denies every slot. *)
+let test_fused_rotation_between_batches () =
+  let world =
+    World.create ~with_rpc:false
+      ~policy:
+        (Policy.Keynote
+           {
+             policy =
+               [
+                 Parse.assertion_of_string
+                   "keynote-version: 2\nauthorizer: \"POLICY\"\nlicensees: \"vendor\"\n\
+                    conditions: module == \"seclibc\" -> \"allow\";\n";
+               ];
+             levels = [| "deny"; "allow" |];
+             min_level = "allow";
+             attrs = [];
+           })
+      ()
+  in
+  let smod = world.World.smod in
+  Smod.set_policy_compile smod true;
+  Smod.set_policy_fuse smod true;
+  let ks = Smod.keystore smod in
+  Keystore.add_principal ks ~name:"vendor" ~secret:"vk1";
+  let credential =
+    Credential.make ~principal:"alice" ~assertions:[ signed_license ks () ] ()
+  in
+  let before = ref [] and after = ref [] in
+  ignore
+    (M.spawn world.World.machine ~name:"rotated-mid-stream" (fun p ->
+         Crt0.run_client smod p ~module_name:Smod_libc.Seclibc.module_name
+           ~version:Smod_libc.Seclibc.version ~credential (fun conn ->
+             let classify rs =
+               List.map (function Ok _ -> `Ok | Error (e, _) -> `Err e) rs
+             in
+             before :=
+               classify
+                 (Stub.call_batch conn ~func:"test_incr" (List.init 3 (fun i -> [| i |])));
+             Keystore.add_principal ks ~name:"vendor" ~secret:"vk2";
+             after :=
+               classify
+                 (Stub.call_batch conn ~func:"test_incr" (List.init 3 (fun i -> [| i |]))))));
+  World.run world;
+  Alcotest.(check bool) "batch before rotation fully admitted" true
+    (!before = [ `Ok; `Ok; `Ok ]);
+  Alcotest.(check bool) "batch after rotation fully denied" true
+    (!after = [ `Err Errno.EACCES; `Err Errno.EACCES; `Err Errno.EACCES ])
+
 (* set_policy on a live entry must drop its programs too. *)
 let test_set_policy_evicts () =
   let world =
@@ -672,6 +1145,23 @@ let () =
         ]
         @ List.map QCheck_alcotest.to_alcotest
             [ prop_compiled_matches_interpreted; prop_program_reusable_across_attrs ] );
+      ( "fused",
+        [
+          tc "policy fused parity over stateful sequence" test_policy_fused_parity;
+          tc "arena sharing sublinear" test_arena_sharing_sublinear;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_fused_matches_compiled_and_interpreted; prop_snapshot_reusable ] );
+      ( "origin",
+        [
+          tc "origin validation fails closed" test_origin_validation_fails_closed;
+          tc "unknown origin denies at policy layer"
+            test_origin_unknown_denies_at_policy_layer;
+          tc "transport gates paths" test_origin_transport_gates_paths;
+          tc "module and ring admit" test_origin_module_ring_admits;
+          tc "unknown module fails closed at dispatch"
+            test_unknown_origin_module_fails_closed_at_dispatch;
+        ] );
       ( "policy",
         [
           tc "check parity over stateful sequence" test_policy_check_parity;
@@ -692,11 +1182,13 @@ let () =
         [
           tc "end to end with caches" test_compiled_dispatch_end_to_end;
           tc "batch volatile per slot" test_batch_volatile_compiled_per_slot;
+          tc "batch volatile fused per slot" test_batch_volatile_fused_per_slot;
         ] );
       ( "invalidation",
         [
           tc "rotation evicts same step" test_rotation_evicts_same_step;
           tc "rotation before first batch" test_rotation_between_session_and_first_batch;
+          tc "fused snapshot dropped on rotation" test_fused_rotation_between_batches;
           tc "set_policy evicts" test_set_policy_evicts;
         ] );
     ]
