@@ -69,6 +69,10 @@ let e24_config ~full =
   let c = Fused_bench.default_config in
   if full then { c with Fused_bench.rounds = c.Fused_bench.rounds * 5 } else c
 
+let e25_config ~full =
+  let c = Vexec_bench.default_config in
+  if full then { c with Vexec_bench.rounds = c.Vexec_bench.rounds * 5 } else c
+
 let e22_config ~full =
   let c = Polling.default_config in
   if full then
@@ -311,6 +315,23 @@ let sections =
                  "E24: fused batch policy evaluation — one compiled pass per batch vs \
                   per-slot (lib/keynote/fuse)"
                ~unit_:"us/call (speedup rows: x; compile mem rows: KB or x)");
+    };
+    {
+      s_id = "e25";
+      s_title =
+        "E25: vectorized batch-major residue execution — one pass per opcode over all \
+         lanes vs slot-major (lib/keynote/vexec)";
+      s_unit = "us/call (speedup rows: x)";
+      s_tasks = (fun ~full -> Vexec_bench.task_count (e25_config ~full));
+      s_dispatches = (fun ~full -> Vexec_bench.dispatch_count (e25_config ~full));
+      s_run =
+        (fun ~full ~runner ->
+          Vexec_bench.run ~runner ~config:(e25_config ~full) ()
+          |> entries_outcome
+               ~title:
+                 "E25: vectorized batch-major residue execution — one pass per opcode \
+                  over all lanes vs slot-major (lib/keynote/vexec)"
+               ~unit_:"us/call (speedup rows: x)");
     };
   ]
 

@@ -94,6 +94,9 @@ let headlines =
     ( "e24_fused_batch64_kn16",
       "e24 us",
       fun doc -> find_mean doc ~experiment:"e24" ~label:"ring b64 kn-16 fused (mean)" );
+    ( "e25_vector_batch64_kn16",
+      "e25 us",
+      fun doc -> find_mean doc ~experiment:"e25" ~label:"ring b64 kn-16 vectorized (mean)" );
   ]
 
 let headline_keys = List.map (fun (k, _, _) -> k) headlines

@@ -1,0 +1,290 @@
+(* E25: vectorized batch-major residue execution — one pass per opcode
+   over all N lanes — against slot-major fused replay and per-slot
+   compiled execution, across batch size, assertion count and both
+   batched admission transports (ring trap, E22 kernel poller; msgq is
+   scalar by construction and has no vector row).
+
+   The E24 ladder is useless here: its matching rung reads calls_so_far,
+   which makes lane k's input depend on how many earlier lanes were
+   allowed — exactly the volatile shape the vector path refuses
+   (Policy.vector_eligible) and falls back slot-major on.  So this
+   ladder keeps the same invariant conjuncts but varies on [function]
+   instead: every rung opens with a function term, which drags the whole
+   segment into the per-slot residue (a segment reading any varying
+   attribute is residue wholesale).  Fusion hoists nothing; the fused
+   engine replays the full ladder per slot, and the vectorized engine
+   walks the same opcodes once per batch at ceil(live/W) units per pass
+   — the lane-width discount is the measured claim.
+
+   Two details defeat the scalar path's own batch memo: the ladder is a
+   pure function of [function] (cacheable), so the slot-major decider
+   memoizes per func_id within a batch — one evaluation per distinct
+   function — and the vector pre-pass deduplicates the same way.  A
+   single-function batch would therefore measure 1 evaluation vs 1
+   evaluation.  The bench registers its own 128-function module
+   ("vecmod": 64 allow-family vf_nn, 64 deny-family xf_nn) and gives
+   every slot a distinct function via {!Stub.call_batch_funcs}, so a batch of
+   64 is 64 genuine evaluations on the scalar engines and one vectorized
+   sweep on the vector engine.
+
+   The divergence ladder rides along: X% of a 64-slot batch calls
+   deny-family functions (function < "x" fails), which fail the matching
+   rung's first test and jump to segment end after one pass — the live
+   count the ceil(live/W) charge sees shrinks, without branching the
+   walk.  0/25/50/100% denying lanes measure how the vector win degrades
+   (or doesn't) under divergence.
+
+   Each (cell, trial) task builds a private world from coordinate-derived
+   seeds, so the document is bit-identical for any job count. *)
+
+module Machine = Smod_kern.Machine
+module Clock = Smod_sim.Clock
+module Stats = Smod_util.Stats
+module Parse = Smod_keynote.Parse
+open Secmodule
+
+type transport = Ring | Poller
+
+let transport_name = function Ring -> "ring" | Poller -> "poller"
+
+type engine = Perslot | Fused | Vector
+
+let engine_name = function Perslot -> "perslot" | Fused -> "fused" | Vector -> "vectorized"
+
+type config = {
+  cells : (int * int) list;  (* (batch, assertions) *)
+  rounds : int;  (* measured batches per trial *)
+  trials : int;
+  divergence : int list;  (* percent of lanes denying early *)
+}
+
+let default_config =
+  {
+    cells = [ (1, 16); (4, 16); (16, 16); (64, 16); (64, 1); (64, 4); (64, 64) ];
+    rounds = 60;
+    trials = 3;
+    divergence = [ 0; 25; 50; 100 ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The vecmod module                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let vec_module_name = "vecmod"
+let family_size = 64
+
+let allow_func i = Printf.sprintf "vf_%02d" (i mod family_size)
+let deny_func i = Printf.sprintf "xf_%02d" (i mod family_size)
+
+(* 128 tiny bytecode members: enough distinct funcIDs that every slot of
+   a 64-batch carries its own function column entry.  The bodies differ
+   (each adds its own constant) so the symbol table can't collapse. *)
+let image () =
+  Toolchain.assemble_module ~name:vec_module_name ~version:1
+    (List.init family_size (fun i ->
+         (allow_func i, Printf.sprintf "loadarg 0\npush %d\nadd\nret\n" i))
+    @ List.init family_size (fun i ->
+          (deny_func i, Printf.sprintf "loadarg 0\npush %d\nadd\nret\n" (1000 + i))))
+
+(* ------------------------------------------------------------------ *)
+(* Policies                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* [n]-assertion ladder, all-residue: every rung opens with a function
+   term ahead of the same invariant conjuncts, so no segment is
+   batch-invariant and the whole ladder replays per slot on the fused
+   engine.  The matching rung's guard is a parameter: the main ladder
+   uses a tautology (every function allowed); the divergence ladder uses
+   [function < "x"], which admits vf_* and refuses xf_* on the first
+   test of the segment. *)
+let ladder_policy ?(matching_guard = "function != \"__none\"") n =
+  let invariant_tail =
+    "module == \"vecmod\" && origin_ring <= 3 && tier == \"gold\" && region == \"us\""
+  in
+  let matching =
+    Parse.assertion_of_string
+      (Printf.sprintf
+         "keynote-version: 2\n\
+          authorizer: \"POLICY\"\n\
+          licensees: \"client\"\n\
+          conditions: %s && %s -> \"allow\";\n"
+         matching_guard invariant_tail)
+  in
+  let non_matching =
+    List.init (n - 1) (fun i ->
+        Parse.assertion_of_string
+          (Printf.sprintf
+             "keynote-version: 2\n\
+              authorizer: \"POLICY\"\n\
+              licensees: \"client\"\n\
+              conditions: function == \"__clause_%d\" && %s -> \"allow\";\n"
+             i invariant_tail))
+  in
+  Policy.Keynote
+    {
+      policy = matching :: non_matching;
+      levels = [| "deny"; "allow" |];
+      min_level = "allow";
+      attrs = [ ("tier", "gold"); ("region", "us") ];
+    }
+
+(* ------------------------------------------------------------------ *)
+(* One (cell, trial) measurement                                       *)
+(* ------------------------------------------------------------------ *)
+
+let set_engine smod = function
+  | Perslot -> Smod.set_policy_compile smod true
+  | Fused ->
+      Smod.set_policy_compile smod true;
+      Smod.set_policy_fuse smod true
+  | Vector ->
+      Smod.set_policy_compile smod true;
+      Smod.set_policy_fuse smod true;
+      Smod.set_policy_vectorize smod true
+
+(* [deny_pct] of the batch calls deny-family functions, interleaved
+   (i mod 4 spread) so divergence is within every ring chunk rather than
+   a prefix. *)
+let batch_calls conn ~batch ~deny_pct =
+  List.init batch (fun i ->
+      let denied = deny_pct > 0 && i mod 4 < deny_pct / 25 in
+      let name = if denied then deny_func i else allow_func i in
+      match Stub.func_id conn name with
+      | Some id -> (id, [| i |])
+      | None -> invalid_arg ("vexec_bench: no symbol " ^ name))
+
+let cell_trial ~policy ~transport ~engine ~batch ~deny_pct ~rounds ~seed =
+  let world = World.create ~seed:(Int64.of_int seed) ~with_rpc:false () in
+  let smod = world.World.smod in
+  set_engine smod engine;
+  (match transport with
+  | Poller ->
+      Smod.set_kernel_poller smod true;
+      Smod.set_session_mux smod true
+  | Ring -> ());
+  ignore
+    (Toolchain.package smod ~image:(image ()) ~protection:Registry.Encrypted ~policy ());
+  let clock = Machine.clock world.World.machine in
+  let credential = World.credential world in
+  let mean = ref Float.nan and p99 = ref Float.nan in
+  ignore
+    (Machine.spawn world.World.machine ~name:"e25-client" (fun p ->
+         Crt0.run_client smod p ~module_name:vec_module_name ~version:1 ~credential
+           (fun conn ->
+             ignore (Stub.arm_ring ~nslots:(max batch 16) conn);
+             let calls = batch_calls conn ~batch ~deny_pct in
+             let do_batch () = ignore (Stub.call_batch_funcs conn calls) in
+             (* Warm: symbol lookup, ring arming, the one-off compile +
+                plan + fused-ctx memo fill. *)
+             do_batch ();
+             let samples = Array.make rounds 0.0 in
+             for r = 0 to rounds - 1 do
+               let t0 = Clock.now_cycles clock in
+               do_batch ();
+               samples.(r) <- Clock.elapsed_us clock ~since:t0 /. float_of_int batch
+             done;
+             mean := Stats.mean samples;
+             p99 := Stats.percentile samples 99.0)));
+  World.run world;
+  (!mean, !p99)
+
+(* ------------------------------------------------------------------ *)
+(* The experiment                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let engines = [ Perslot; Fused; Vector ]
+let div_engines = [ Fused; Vector ]
+
+let engine_offset = function Perslot -> 0 | Fused -> 7 | Vector -> 14
+
+let run ?(runner = Runner.sequential) ?(config = default_config) () =
+  let main_configs =
+    List.concat_map
+      (fun (batch, kn) ->
+        List.concat_map
+          (fun transport -> List.map (fun e -> `Main (batch, kn, transport, e)) engines)
+          [ Ring; Poller ])
+      config.cells
+  in
+  let div_configs =
+    List.concat_map
+      (fun pct -> List.map (fun e -> `Div (pct, e)) div_engines)
+      config.divergence
+  in
+  let measure cfg ~trial =
+    match cfg with
+    | `Main (batch, kn, transport, engine) ->
+        let seed =
+          25_000 + (1009 * trial) + (17 * batch) + (3 * kn)
+          + (match transport with Ring -> 0 | Poller -> 1)
+          + engine_offset engine
+        in
+        cell_trial ~policy:(ladder_policy kn) ~transport ~engine ~batch ~deny_pct:0
+          ~rounds:config.rounds ~seed
+    | `Div (pct, engine) ->
+        let seed = 25_800 + (1009 * trial) + pct + engine_offset engine in
+        cell_trial
+          ~policy:(ladder_policy ~matching_guard:"function < \"x\"" 16)
+          ~transport:Ring ~engine ~batch:64 ~deny_pct:pct ~rounds:config.rounds ~seed
+  in
+  let results =
+    Ablations.map_trials runner ~trials:config.trials (main_configs @ div_configs) measure
+  in
+  let mean_of pairs = Stats.mean (Array.map fst pairs) in
+  let label_of = function
+    | `Main (batch, kn, transport, e) ->
+        Printf.sprintf "%s b%d kn-%d %s" (transport_name transport) batch kn
+          (engine_name e)
+    | `Div (pct, e) -> Printf.sprintf "div-%d ring b64 kn-16 %s" pct (engine_name e)
+  in
+  let measured =
+    List.concat_map
+      (fun (cfg, pairs) ->
+        let label = label_of cfg in
+        [
+          Ablations.entry_of_means (label ^ " (mean)") (Array.map fst pairs);
+          Ablations.entry_of_means (label ^ " (p99)") (Array.map snd pairs);
+        ])
+      results
+  in
+  (* Speedup ratios per cell: the vector win over the fused engine (the
+     headline) and the fused win over per-slot (continuity with E24 on
+     an all-residue ladder, where hoisting buys nothing). *)
+  let ratio label num den = Ablations.{ label; mean_us = num /. den; stdev_us = 0.0 } in
+  let main_ratios =
+    List.concat_map
+      (fun (batch, kn) ->
+        List.concat_map
+          (fun transport ->
+            let find e = mean_of (List.assoc (`Main (batch, kn, transport, e)) results) in
+            let perslot = find Perslot and fused = find Fused and vector = find Vector in
+            let cell = Printf.sprintf "%s b%d kn-%d" (transport_name transport) batch kn in
+            [
+              ratio (cell ^ " vec speedup (ratio)") fused vector;
+              ratio (cell ^ " fused speedup (ratio)") perslot fused;
+            ])
+          [ Ring; Poller ])
+      config.cells
+  in
+  let div_ratios =
+    List.map
+      (fun pct ->
+        let find e = mean_of (List.assoc (`Div (pct, e)) results) in
+        ratio
+          (Printf.sprintf "div-%d ring b64 kn-16 vec speedup (ratio)" pct)
+          (find Fused) (find Vector))
+      config.divergence
+  in
+  measured @ main_ratios @ div_ratios
+
+let task_count config =
+  ((List.length engines * 2 * List.length config.cells)
+  + (List.length div_engines * List.length config.divergence))
+  * config.trials
+
+let dispatch_count config =
+  let main_per_round =
+    List.fold_left (fun acc (b, _) -> acc + b) 0 config.cells * List.length engines * 2
+  in
+  let div_per_round = 64 * List.length div_engines * List.length config.divergence in
+  (main_per_round + div_per_round) * (config.rounds + 1) * config.trials

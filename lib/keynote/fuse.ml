@@ -169,6 +169,11 @@ let arena_reset () =
   a.misses <- 0;
   a.bytes_saved <- 0
 
+let arena_hit_rate_pct () =
+  let a = Domain.DLS.get arena_key in
+  let total = a.hits + a.misses in
+  if total = 0 then None else Some (100.0 *. float_of_int a.hits /. float_of_int total)
+
 (* ------------------------------------------------------------------ *)
 (* Planning: segment, lower, fuse, classify                            *)
 (* ------------------------------------------------------------------ *)
@@ -637,3 +642,17 @@ let prefix_fraction t =
   let s = stats t in
   if s.total_fops = 0 then 0.0
   else float_of_int s.invariant_fops /. float_of_int s.total_fops
+
+(* Plan internals for the batch-major executor (Vexec): the vectorized
+   walk re-interprets residue segments lane-major, so it needs the raw
+   lowered form, not just [run_slot]. *)
+let segments t = t.f_segs
+let residue_segments t = t.f_residue
+let levels t = t.f_levels
+let node_count t = t.f_nnodes
+let max_seg t = t.f_max_seg
+
+let residue_reads t attrs =
+  Array.exists
+    (fun si -> Array.exists (reads_varying ~varying:attrs) t.f_segs.(si).ops)
+    t.f_residue

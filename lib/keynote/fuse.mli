@@ -32,6 +32,45 @@ type origin = { o_module : string; o_ring : int; o_transport : string }
 val no_origin : origin
 (** ["user"] at ring 3 over msgq — the provenance of a plain process. *)
 
+type ofield = OF_module | OF_ring | OF_transport
+
+type fop =
+  (* base opcodes, unchanged semantics (jumps segment-relative) *)
+  | F_test of Compile.operand * Ast.cmp * Compile.operand
+  | F_push_bool of bool
+  | F_not
+  | F_jfalse of int
+  | F_jtrue of int
+  | F_node_begin
+  | F_clause of int
+  | F_push_level of int
+  | F_load_node of int
+  | F_min2
+  | F_max2
+  | F_kof of int * int
+  | F_node_end of int
+  | F_node_end_const of int * int
+  | F_store_node of int
+  | F_root of int * int array
+  (* superoperators: two base opcodes, one dispatch, one op charged *)
+  | F_test_jf of Compile.operand * Ast.cmp * Compile.operand * int
+  | F_test_jt of Compile.operand * Ast.cmp * Compile.operand * int
+  | F_test_clause of Compile.operand * Ast.cmp * Compile.operand * int
+  | F_load_max of int
+  | F_const_max of int
+  | F_const_min of int
+  (* origin predicates, resolved from the kernel-held origin record *)
+  | F_origin of ofield * Ast.cmp * Compile.operand
+  | F_origin_jf of ofield * Ast.cmp * Compile.operand * int
+  | F_origin_jt of ofield * Ast.cmp * Compile.operand * int
+  | F_origin_clause of ofield * Ast.cmp * Compile.operand * int
+      (** The lowered opcode set, public so the batch-major executor
+          ({!Vexec}) can re-interpret residue segments lane-major.  All
+          jumps are segment-relative and — a property [Compile.compile]
+          guarantees and {!Vexec} relies on — strictly forward. *)
+
+type seg = { ops : fop array; invariant : bool }
+
 type t
 (** A fused plan for one compiled program.  Immutable and, like the
     program it lowers, safe to cache per (credential, policy revision,
@@ -69,6 +108,30 @@ val run_slot :
 val run : t -> origin:origin -> attrs:(string * string) list -> snapshot * Compile.outcome
 (** [begin_batch] + [run_slot] in one step, for scalar callers and tests. *)
 
+(** {2 Plan internals (consumed by {!Vexec})} *)
+
+val segments : t -> seg array
+val residue_segments : t -> int array
+(** Indices into {!segments} of the per-slot residue, program order
+    (includes the root segment). *)
+
+val levels : t -> string array
+val node_count : t -> int
+val max_seg : t -> int
+(** Longest segment in opcodes — bounds any per-lane evaluation stack. *)
+
+val origin_value : origin -> ofield -> string
+val holds : Ast.cmp -> int -> bool
+(** [holds cmp c] applies [cmp] to a [Compile.compare_values] result —
+    exported so every engine shares one comparison semantics. *)
+
+val residue_reads : t -> string list -> bool
+(** Does any residue opcode read one of the named attributes?  Used by
+    the vector-eligibility test: a residue that reads a volatile
+    attribute ([calls_so_far]) has a lane-order data dependency and must
+    stay slot-major.  Direct reads suffice — an opcode reading the
+    attribute is itself in the residue by construction. *)
+
 (** {2 Introspection} *)
 
 type stats = {
@@ -101,3 +164,8 @@ val arena_stats : unit -> arena_stats
 val arena_reset : unit -> unit
 (** Drop the calling domain's arena (tests and the E24 memory curve, which
     need a clean baseline before measuring). *)
+
+val arena_hit_rate_pct : unit -> float option
+(** Hit rate of the calling domain's arena as a percentage, or [None]
+    when the arena has never been probed — so renderers ([smodctl policy
+    status]) print a placeholder instead of a meaningless rate. *)

@@ -5,9 +5,9 @@
    dispatch path: the audit is a read-only scan, so the simulated
    timings the baselines measured are untouched (see DESIGN.md §10).
 
-   The score is 0..100, higher = tighter.  Four weighted components:
+   The score is 0..100, higher = tighter.  Five weighted components:
 
-   - policy breadth (0.45): how much the access policy can actually
+   - policy breadth (0.40): how much the access policy can actually
      refuse — Always_allow scores 0, counter policies the middle,
      KeyNote climbs with assertion count, All_of takes its strongest arm.
    - grant usage (0.30): fraction of granted functions ever dispatched
@@ -18,6 +18,12 @@
      double what default-permit does.
    - enforcement evidence (0.10): has the policy ever said no (denial
      ratio), and are decisions served from the compiled/decision caches.
+   - origin coverage (0.05): modules reachable from ring 3 whose
+     policies never test an origin_* attribute are flagged — any user
+     process holding a credential is then indistinguishable from a
+     trusted inner-ring caller.  Read off the compiled programs'
+     Test operands (Policy.compiled_stats.origin_guarded), nothing new
+     on the dispatch path.
 
    An over-privileged module (broad grants, Always_allow, no filter)
    scores strictly below a tight one on every component — the property
@@ -79,7 +85,7 @@ let breadth_component entry compile_status =
   in
   {
     c_name = "policy breadth";
-    c_weight = 0.45;
+    c_weight = 0.40;
     c_score = policy_tightness policy;
     c_detail = Policy.describe policy ^ opcode_note;
   }
@@ -177,6 +183,34 @@ let evidence_component ?registry entry ~calls ~denied =
         (calls + denied) hits misses;
   }
 
+(* Reachable-from-ring-3 x origin-unguarded.  Reachability is what the
+   live proc table shows: a session whose client runs at ring 3, or no
+   session at all (nothing stops a ring-3 attach, so an idle module is
+   conservatively reachable).  Guardedness comes from the compiled
+   programs only — no compiled program yet means unknown, scored
+   neutral like the evidence component's no-traffic case. *)
+let origin_component machine compile_status sessions =
+  let ring_of (s : Smod.session) =
+    match Smod_kern.Machine.proc machine s.Smod.client_pid with
+    | Some p -> p.Smod_kern.Proc.ring
+    | None -> 3
+  in
+  let reachable = sessions = [] || List.exists (fun s -> ring_of s = 3) sessions in
+  let guarded =
+    match compile_status with
+    | Some { Smod.cs_stats = Some (st : Policy.compiled_stats); _ } ->
+        Some st.Policy.origin_guarded
+    | _ -> None
+  in
+  let score, detail =
+    match (reachable, guarded) with
+    | false, _ -> (1.0, "inner-ring clients only; origin exposure moot")
+    | true, Some true -> (1.0, "ring-3 reachable, policy tests origin_* attributes")
+    | true, Some false -> (0.0, "ring-3 reachable, compiled policy carries no origin_* guard")
+    | true, None -> (0.5, "ring-3 reachable, no compiled program to introspect")
+  in
+  { c_name = "origin coverage"; c_weight = 0.05; c_score = score; c_detail = detail }
+
 (* ------------------------------------------------------------------ *)
 (* The report                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -204,6 +238,7 @@ let score ?registry ?systrace (t : Smod.t) =
              usage;
              systrace_component ?systrace sessions;
              evidence_component ?registry entry ~calls ~denied;
+             origin_component (Smod.machine t) cs sessions;
            ]
          in
          let total =

@@ -3,6 +3,7 @@ module Cost = Smod_sim.Cost_model
 module Eval = Smod_keynote.Eval
 module Compile = Smod_keynote.Compile
 module Fuse = Smod_keynote.Fuse
+module Vexec = Smod_keynote.Vexec
 
 type t =
   | Always_allow
@@ -355,13 +356,164 @@ let check_fused ~clock ~now_us ~credential ~origin ~attrs ctx state =
       Smod_metrics.Counter.incr m_policy_denials;
       e
 
+(* ------------------------------------------------------------------ *)
+(* Vectorized (batch-major) checking — E25                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Arm-major evaluation of a whole batch: each arm of the fused tree is
+   evaluated over all lanes before the next arm runs, with a shared
+   alive mask so an arm never touches a lane an earlier arm already
+   denied.  KeyNote arms run batch-major through [Vexec]; stateful arms
+   (quotas) are delegated per lane *in lane order*, which reproduces the
+   slot-major path's counter semantics exactly: a quota verdict for lane
+   k depends only on how many earlier lanes reached that arm, and the
+   alive mask is precisely "reached".
+
+   Eligibility is conservative and decided per batch from the armed
+   context:
+
+   - a residue that reads a volatile attribute ([calls_so_far]) has a
+     lane-order data dependency — lane k's value depends on earlier
+     lanes' overall verdicts — so it stays slot-major;
+   - clock-dependent arms ([Rate_limit], [Time_window]) are excluded
+     because arm-major charge reordering shifts [now_us] at evaluation
+     relative to the slot-major path;
+   - unplanned arms ([FC_slow]) have no residue to vectorize.
+
+   An ineligible tree simply keeps the fused slot-major path — the
+   dispatcher falls back wholesale, never per arm. *)
+
+type vector_lane = { vl_origin : Fuse.origin; vl_attrs : (string * string) list }
+
+let rec vector_eligible = function
+  | FC_pass (Always_allow | Session_lifetime | Call_quota _) -> true
+  | FC_pass _ -> false
+  | FC_keynote { plan; _ } -> not (Fuse.residue_reads plan volatile_attrs)
+  | FC_slow _ -> false
+  | FC_deny _ -> true
+  | FC_all (cs, _) -> List.for_all vector_eligible cs
+
+let check_vector ~clock ~now_us ~credential ~width ~(lanes : vector_lane array) ctx state =
+  let n = Array.length lanes in
+  let alive = Array.make n true in
+  let results : (unit, denial) result array = Array.make n (Ok ()) in
+  let kill k d =
+    alive.(k) <- false;
+    results.(k) <- Error d
+  in
+  let live () = Array.fold_left (fun a b -> if b then a + 1 else a) 0 alive in
+  let rec arm ctx state =
+    match (ctx, state) with
+    | FC_pass p, s ->
+        Array.iteri
+          (fun k lane ->
+            if alive.(k) then
+              match check_inner ~clock ~now_us ~credential ~attrs:lane.vl_attrs p s with
+              | Ok () -> ()
+              | Error d -> kill k d)
+          lanes
+    | FC_slow c, s ->
+        (* Unreachable under [vector_eligible], but stay total. *)
+        Array.iteri
+          (fun k lane ->
+            if alive.(k) then
+              match
+                check_compiled_inner ~clock ~now_us ~credential ~attrs:lane.vl_attrs c s
+              with
+              | Ok () -> ()
+              | Error d -> kill k d)
+          lanes
+    | FC_deny { reason; policy }, _ ->
+        let l = live () in
+        if l > 0 then begin
+          Clock.charge_n clock Cost.Policy_vector_op ((l + width - 1) / width);
+          for k = 0 to n - 1 do
+            if alive.(k) then kill k { reason; policy }
+          done
+        end
+    | FC_keynote { plan; snapshot; min_index; min_level; static_attrs; policy }, S_none ->
+        (* Lane compaction: only still-alive lanes enter the vector walk,
+           so an early-denied lane drops out of the ceil(L/W) charge. *)
+        let packed_idx =
+          let l = ref [] in
+          for k = n - 1 downto 0 do
+            if alive.(k) then l := k :: !l
+          done;
+          Array.of_list !l
+        in
+        let packed = Array.map (fun k -> lanes.(k)) packed_idx in
+        if Array.length packed > 0 then begin
+          let vlanes =
+            Array.map
+              (fun (l : vector_lane) ->
+                Vexec.{ l_origin = l.vl_origin; l_attrs = l.vl_attrs @ static_attrs })
+              packed
+          in
+          let res = Vexec.run_residue plan snapshot ~width ~lanes:vlanes in
+          Clock.charge_n clock Cost.Policy_vector_op res.Vexec.vr_units;
+          Array.iteri
+            (fun j k ->
+              let index = res.Vexec.vr_indices.(j) in
+              if index < min_index then
+                kill k
+                  {
+                    reason =
+                      Printf.sprintf "keynote compliance %S below required %S"
+                        (Vexec.level_of plan index) min_level;
+                    policy;
+                  })
+            packed_idx
+        end
+    | FC_all (cs, policy), S_list states ->
+        let rec all cs states =
+          match (cs, states) with
+          | [], [] -> ()
+          | c :: cs', s :: ss' ->
+              arm c s;
+              all cs' ss'
+          | _ ->
+              for k = 0 to n - 1 do
+                if alive.(k) then kill k { reason = "policy/state shape mismatch"; policy }
+              done
+        in
+        all cs states
+    | FC_keynote { policy; _ }, _ | FC_all (_, policy), _ ->
+        for k = 0 to n - 1 do
+          if alive.(k) then kill k { reason = "policy/state shape mismatch"; policy }
+        done
+  in
+  arm ctx state;
+  (* Metrics parity with the slot-major paths: one check per lane, one
+     denial per denied lane. *)
+  Smod_metrics.Counter.add m_policy_checks n;
+  Array.iter
+    (function Error _ -> Smod_metrics.Counter.incr m_policy_denials | Ok () -> ())
+    results;
+  results
+
 type compiled_stats = {
   programs : int;
   opcodes : int;
   value_nodes : int;
   opcode_counts : (string * int) list;
   denied : string option;
+  origin_guarded : bool;
 }
+
+(* Does any Test opcode compare an origin_* attribute?  Purely static
+   introspection over the already-compiled program — the audit's
+   origin-coverage component reads this instead of re-walking the policy
+   AST. *)
+let program_origin_guarded program =
+  let is_origin = function
+    | Compile.O_attr n -> List.mem n Compile.origin_attrs
+    | Compile.O_str _ -> false
+  in
+  Array.exists
+    (function
+      | Compile.Test (a, _, b) -> is_origin a || is_origin b
+      | _ -> false)
+    (Compile.instrs program)
 
 let compiled_stats compiled =
   let merge counts extra =
@@ -380,6 +532,7 @@ let compiled_stats compiled =
           opcodes = acc.opcodes + Compile.length program;
           value_nodes = acc.value_nodes + Compile.node_count program;
           opcode_counts = merge acc.opcode_counts (Compile.op_counts program);
+          origin_guarded = acc.origin_guarded || program_origin_guarded program;
         }
     | C_deny { reason; _ } ->
         if acc.denied = None then { acc with denied = Some reason } else acc
@@ -387,7 +540,14 @@ let compiled_stats compiled =
   in
   let acc =
     fold
-      { programs = 0; opcodes = 0; value_nodes = 0; opcode_counts = []; denied = None }
+      {
+        programs = 0;
+        opcodes = 0;
+        value_nodes = 0;
+        opcode_counts = [];
+        denied = None;
+        origin_guarded = false;
+      }
       compiled
   in
   {

@@ -124,6 +124,43 @@ val check_fused :
     residue opcodes.  Stateful arms (quotas, rate limits) still evaluate
     per slot — batching never changes when a counter moves. *)
 
+type vector_lane = {
+  vl_origin : Smod_keynote.Fuse.origin;
+  vl_attrs : (string * string) list;
+      (** the lane's full per-slot attribute list, function and origin
+          pairs included — exactly what the slot-major path would pass *)
+}
+
+val vector_eligible : fused_ctx -> bool
+(** True when the armed tree can be evaluated batch-major with verdicts,
+    state transitions, and total charge order all matching the
+    slot-major path: every KeyNote arm is planned and its residue reads
+    no volatile attribute (a [calls_so_far] read makes lane k's input
+    depend on earlier lanes' verdicts), and no arm is clock-dependent
+    ([Rate_limit]/[Time_window] — arm-major evaluation would shift
+    [now_us] at their evaluation points).  Quota arms are fine: the
+    alive-mask discipline reproduces their counter order exactly. *)
+
+val check_vector :
+  clock:Smod_sim.Clock.t ->
+  now_us:float ->
+  credential:Credential.t ->
+  width:int ->
+  lanes:vector_lane array ->
+  fused_ctx ->
+  state ->
+  (unit, denial) result array
+(** Evaluate one whole batch arm-major (E25): each arm of the fused tree
+    runs over all still-alive lanes before the next arm, KeyNote arms
+    batch-major through {!Smod_keynote.Vexec} (charging
+    {!Smod_sim.Cost_model.Policy_vector_op} per [ceil(live/width)]-unit
+    pass, compacted as lanes are denied), stateful quota arms per lane
+    in lane order.  Returns one verdict per lane, positionally: the same
+    verdict, against the same [state], that [check_fused] would return
+    slot-major — asserted by the four-way differential in
+    test/test_compile.ml.  The caller is responsible for only invoking
+    this on {!vector_eligible} trees (it stays total regardless). *)
+
 type compiled_stats = {
   programs : int;  (** KeyNote arms compiled to decision programs *)
   opcodes : int;  (** total static program size *)
@@ -131,6 +168,11 @@ type compiled_stats = {
   opcode_counts : (string * int) list;  (** by mnemonic, most frequent first *)
   denied : string option;
       (** when the compiled policy is a deny-all stub, why *)
+  origin_guarded : bool;
+      (** some Test opcode compares an [origin_*] attribute — the policy
+          discriminates on call provenance.  Static introspection over
+          the compiled programs; consumed by the audit's origin-coverage
+          component. *)
 }
 
 val compiled_stats : compiled -> compiled_stats

@@ -13,6 +13,7 @@ module Trace = Smod_sim.Trace
 module Smof = Smod_modfmt.Smof
 module Keystore = Smod_keynote.Keystore
 module Fuse = Smod_keynote.Fuse
+module Vexec = Smod_keynote.Vexec
 module KCompile = Smod_keynote.Compile
 module Interp = Smod_svm.Interp
 module Ring = Smod_ring.Ring
@@ -166,6 +167,8 @@ type t = {
   mutable remove_hooks : (m_id:int -> unit) list;
   mutable compile_policies : bool;
   mutable fuse_policies : bool;
+  mutable vectorize_policies : bool;
+  mutable vector_width : int;
   mutable dispatch_gate : (unit -> unit) option;
   mutable spin_budget : int;
   mutable poller : poller option;
@@ -249,6 +252,14 @@ let policy_compile_enabled t = t.compile_policies
 
 let set_policy_fuse t b = t.fuse_policies <- b
 let policy_fuse_enabled t = t.fuse_policies
+let set_policy_vectorize t b = t.vectorize_policies <- b
+let policy_vectorize_enabled t = t.vectorize_policies
+
+let set_vector_width t w =
+  if w < 1 then invalid_arg "Smod.set_vector_width: width < 1";
+  t.vector_width <- w
+
+let vector_width t = t.vector_width
 let toctou_mitigation t = t.toctou
 
 (* Where module images land inside the handle's address space: text below
@@ -1832,11 +1843,144 @@ let batch_decider t session ~transport =
             if policy_cacheable then Hashtbl.replace memo func_id d;
             d)
 
+(* E25 batch-major pre-pass: when vectorization is on and the session's
+   armed fused context is vector-eligible, the whole batch's verdicts are
+   computed lane-major — SoA columns gathered from the kernel's own read
+   of each submitted slot, one vector pass per residue opcode — before
+   the stamp loop consumes them positionally.  Returns a seq-indexed
+   lookup; [fun _ -> None] (the slot-major decider runs as usual) when
+   the batch cannot benefit or cannot be proven equivalent:
+
+   - fewer than two evaluable lanes (honest scalar fallback at N=1);
+   - the stateless fast path or the smodd decision cache already reduces
+     the batch to cheaper-than-vector work;
+   - the tree is not {!Policy.vector_eligible} (volatile residue reads,
+     clock-dependent arms, unplanned arms);
+   - a cacheable policy's batch has fewer than two distinct functions —
+     the decider's per-batch memo already evaluates once per function,
+     so vectorizing a single-function batch would be a regression.
+
+   For cacheable policies lanes are deduplicated by function and the
+   verdicts broadcast, matching the decider's memo exactly (same
+   evaluation count, same state: cacheable policies have none). *)
+let vector_prestamp t session ring ~transport ~stamped0 ~limit =
+  let no_pre = fun (_ : int) -> None in
+  if not (t.vectorize_policies && t.compile_policies && t.fuse_policies) then no_pre
+  else if limit - stamped0 < 2 then no_pre
+  else if
+    t.fast_path
+    &&
+    match session.entry.Registry.policy with
+    | Policy.Always_allow | Policy.Session_lifetime -> true
+    | _ -> false
+  then no_pre
+  else begin
+    let policy_cacheable = Policy.cacheable session.entry.Registry.policy in
+    let smodd_cache_active =
+      t.policy_cache <> None && policy_cacheable
+      && Policy.credential_cacheable session.credential
+    in
+    if smodd_cache_active then no_pre
+    else
+      match fused_of t session ~transport with
+      | None -> no_pre
+      | Some ctx when not (Policy.vector_eligible ctx) -> no_pre
+      | Some ctx -> (
+          let origin = origin_of t session ~transport in
+          let opairs = origin_attr_pairs origin in
+          let mod_name = session.entry.Registry.image.Smof.mod_name in
+          let calls0 = string_of_int session.calls in
+          (* Gather the function column.  Slots that fail the structural
+             checks (torn write, wrong m_id, unknown function) are left
+             to the stamp loop, which denies them before any policy
+             evaluation — exactly the slot-major order, and the
+             lane-divergence ladder's "deny early" case. *)
+          let slots = ref [] in
+          for seq = limit - 1 downto stamped0 do
+            match Ring.submitted_info ring ~seq with
+            | Some (slot_m_id, func_id) when slot_m_id = session.m_id -> (
+                match Registry.symbol_of_func_id session.entry func_id with
+                | Some sym -> slots := (seq, func_id, sym.Smof.sym_name) :: !slots
+                | None -> ())
+            | Some _ | None -> ()
+          done;
+          let slots = !slots in
+          let lane_attrs func_name =
+            [
+              ("phase", "call");
+              ("function", func_name);
+              ("module", mod_name);
+              ("calls_so_far", calls0);
+            ]
+            @ opairs
+          in
+          let decision_of = function
+            | Ok () -> Cache_allow
+            | Error (d : Policy.denial) ->
+                Cache_deny
+                  (Printf.sprintf "policy %s: %s" (Policy.describe d.Policy.policy)
+                     d.Policy.reason)
+          in
+          let run_lanes keys =
+            (* One lane per key, in order; returns decisions positionally. *)
+            let lanes =
+              Array.of_list
+                (List.map
+                   (fun (_, name) ->
+                     { Policy.vl_origin = origin; vl_attrs = lane_attrs name })
+                   keys)
+            in
+            let clock = Machine.clock t.machine in
+            Policy.check_vector ~clock ~now_us:(Clock.now_us clock)
+              ~credential:session.credential ~width:t.vector_width ~lanes ctx
+              session.policy_state
+            |> Array.map decision_of
+          in
+          if policy_cacheable then begin
+            let distinct = ref [] in
+            List.iter
+              (fun (_, func_id, name) ->
+                if not (List.mem_assoc func_id !distinct) then
+                  distinct := (func_id, name) :: !distinct)
+              slots;
+            let distinct = List.rev !distinct in
+            if List.length distinct < 2 then no_pre
+            else begin
+              let verdicts = run_lanes distinct in
+              let by_func = Hashtbl.create 8 in
+              List.iteri
+                (fun i (func_id, _) -> Hashtbl.replace by_func func_id verdicts.(i))
+                distinct;
+              let by_seq = Hashtbl.create 16 in
+              List.iter
+                (fun (seq, func_id, _) ->
+                  match Hashtbl.find_opt by_func func_id with
+                  | Some d -> Hashtbl.replace by_seq seq (func_id, d)
+                  | None -> ())
+                slots;
+              Hashtbl.find_opt by_seq
+            end
+          end
+          else if List.length slots < 2 then no_pre
+          else begin
+            let verdicts = run_lanes (List.map (fun (_, f, n) -> (f, n)) slots) in
+            let by_seq = Hashtbl.create 16 in
+            List.iteri
+              (fun i (seq, func_id, _) -> Hashtbl.replace by_seq seq (func_id, verdicts.(i)))
+              slots;
+            Hashtbl.find_opt by_seq
+          end)
+  end
+
 (* Stamp every submitted-but-unstamped slot in [stamped0, limit):
    identical charge order on the trap path ([per_slot] is a no-op there)
    and the poller path (which charges {!Cost.Poll_slot_scan} per slot).
-   Returns (slots examined, slots admitted). *)
-let stamp_submitted t session ring ~decide ~per_slot ~stamped0 ~limit =
+   [pre] is the vector pre-pass's verdict table — consulted positionally,
+   with a function-match guard so a slot whose words changed between
+   gather and stamp (impossible within one trap, but belt-and-braces)
+   falls back to the slot-major decider.  Returns (slots examined,
+   slots admitted). *)
+let stamp_submitted t session ring ~decide ~pre ~per_slot ~stamped0 ~limit =
   let pid = session.client_pid in
   let n = ref 0 and allowed = ref 0 in
   for seq = stamped0 to limit - 1 do
@@ -1868,7 +2012,12 @@ let stamp_submitted t session ring ~decide ~per_slot ~stamped0 ~limit =
                   ~func_name:sym.Smof.sym_name
             | None -> ()
           in
-          match decide func_id with
+          let verdict =
+            match pre seq with
+            | Some (pf, d) when pf = func_id -> d
+            | Some _ | None -> decide func_id
+          in
+          match verdict with
           | Cache_allow ->
               session.calls <- session.calls + 1;
               Smod_metrics.Counter.incr m_calls;
@@ -1945,8 +2094,9 @@ let sys_call_batch t (p : Proc.t) ~m_id ~max_slots =
      trap through an unbounded kernel loop. *)
   let budget = max 0 (min max_slots (Ring.nslots ring)) in
   let limit = min (Ring.head ring) (stamped0 + budget) in
+  let pre = vector_prestamp t session ring ~transport:"ring" ~stamped0 ~limit in
   let n, allowed =
-    stamp_submitted t session ring ~decide ~per_slot:ignore ~stamped0 ~limit
+    stamp_submitted t session ring ~decide ~pre ~per_slot:ignore ~stamped0 ~limit
   in
   if n > 0 then begin
     Smod_metrics.Counter.incr m_ring_batches;
@@ -2045,8 +2195,11 @@ let poller_sweep t po (pp : Proc.t) =
               let limit = min (Ring.head ring) (stamped0 + Ring.nslots ring) in
               if limit > stamped0 then begin
                 let decide = batch_decider t session ~transport:"poller" in
+                let pre =
+                  vector_prestamp t session ring ~transport:"poller" ~stamped0 ~limit
+                in
                 let n, allowed =
-                  stamp_submitted t session ring ~decide
+                  stamp_submitted t session ring ~decide ~pre
                     ~per_slot:(fun () -> Clock.charge clock Cost.Poll_slot_scan)
                     ~stamped0 ~limit
                 in
@@ -2355,6 +2508,8 @@ let install machine ?keystore () =
       remove_hooks = [];
       compile_policies = false;
       fuse_policies = false;
+      vectorize_policies = false;
+      vector_width = Vexec.default_width;
       dispatch_gate = None;
       spin_budget = default_spin_budget;
       poller = None;

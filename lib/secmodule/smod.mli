@@ -291,6 +291,36 @@ val set_policy_fuse : t -> bool -> unit
 
 val policy_fuse_enabled : t -> bool
 
+val set_policy_vectorize : t -> bool -> unit
+(** Layer batch-major residue execution (E25, {!Smod_keynote.Vexec}) on
+    top of fused policies (requires both {!set_policy_compile} and
+    {!set_policy_fuse} on to take effect): before the stamp loop of a
+    ring batch or a poller sweep, the varying attributes of every
+    evaluable submitted slot are gathered into struct-of-arrays columns
+    and the residue executes one pass per opcode over all lanes,
+    charging {!Smod_sim.Cost_model.Policy_vector_op} at
+    [ceil(live_lanes/W)] units per pass.  Per-lane verdict masks keep
+    denied lanes out of later passes; verdicts, quota state transitions,
+    and denial reasons are identical to the slot-major path (the
+    four-way differential in test/test_compile.ml asserts it).  The
+    pre-pass declines — falling back to slot-major fused evaluation
+    wholesale — for batches under two lanes, single-function batches of
+    cacheable policies (the per-batch memo is already cheaper),
+    vector-ineligible trees ({!Policy.vector_eligible}), and sessions
+    served by the smodd decision cache.  The msgq path stays scalar —
+    there is nothing to vectorize.  Default: off. *)
+
+val policy_vectorize_enabled : t -> bool
+
+val set_vector_width : t -> int -> unit
+(** Lane width W for the vector cost discount (default 8, the
+    {!Smod_keynote.Vexec.default_width}).  Raises [Invalid_argument]
+    below 1.  Width 1 prices every pass like a scalar compiled op —
+    useful for differential tests that want vectorized execution with
+    scalar-identical charging. *)
+
+val vector_width : t -> int
+
 type compile_status = {
   cs_m_id : int;
   cs_module : string;

@@ -187,12 +187,15 @@ let reap_blocking c ring =
   in
   wait client_spin_budget
 
-let call_batch_id c ~func_id argss =
+(* The general batch loop: each element names its own function, so one
+   batch can carry a mixed function column — what the vectorized
+   admission path (E25) gathers into its SoA lanes. *)
+let call_batch_funcs c calls =
   let machine = Smod.machine c.smod in
   let clock = Machine.clock machine in
   let p = c.proc in
   let ring = arm_ring c in
-  let calls = Array.of_list argss in
+  let calls = Array.of_list calls in
   let n_total = Array.length calls in
   let results = Array.make n_total (Error (Errno.EINVAL, "not completed")) in
   let next = ref 0 and reaped = ref 0 in
@@ -201,7 +204,7 @@ let call_batch_id c ~func_id argss =
     let chunk = ref 0 in
     let full = ref false in
     while (not !full) && !next < n_total do
-      let args = calls.(!next) in
+      let func_id, args = calls.(!next) in
       Clock.charge clock (Cost.Stub_push_args (Array.length args));
       match
         Ring.try_submit ring ~m_id:c.info.Wire.m_id ~func_id ~client_sp:p.Proc.sp
@@ -235,6 +238,9 @@ let call_batch_id c ~func_id argss =
     done
   done;
   Array.to_list results
+
+let call_batch_id c ~func_id argss =
+  call_batch_funcs c (List.map (fun args -> (func_id, args)) argss)
 
 let call_batch c ~func argss =
   match func_id c func with

@@ -65,5 +65,13 @@ val call_batch :
 val call_batch_id :
   conn -> func_id:int -> int array list -> (int, Smod_kern.Errno.t * string) result list
 
+val call_batch_funcs :
+  conn -> (int * int array) list -> (int, Smod_kern.Errno.t * string) result list
+(** Like {!call_batch_id}, but each element names its own [(func_id,
+    args)] — one batch carrying a mixed function column, the shape the
+    vectorized admission path (E25) gathers into SoA lanes.  Unknown
+    function ids fail their slot alone ([Error (EINVAL, _)]), exactly as
+    a denied slot does. *)
+
 val close : conn -> unit
 (** Detach the session (kills the handle). *)

@@ -22,6 +22,7 @@ type op =
   | Keynote_assertion_eval
   | Policy_compiled_op
   | Policy_fused_setup
+  | Policy_vector_op
   | Policy_compile_assertion
   | Stub_push_args of int
   | Stub_receive
@@ -92,6 +93,7 @@ let cycles = function
   | Keynote_assertion_eval -> 420.0
   | Policy_compiled_op -> 12.0
   | Policy_fused_setup -> 40.0
+  | Policy_vector_op -> 12.0
   | Policy_compile_assertion -> 700.0
   | Stub_push_args n -> 18.0 +. (6.0 *. float_of_int n)
   | Stub_receive -> 120.0
@@ -154,6 +156,7 @@ let describe = function
   | Keynote_assertion_eval -> "keynote-assertion"
   | Policy_compiled_op -> "policy-compiled-op"
   | Policy_fused_setup -> "policy-fused-setup"
+  | Policy_vector_op -> "policy-vector-op"
   | Policy_compile_assertion -> "policy-compile-assertion"
   | Stub_push_args n -> Printf.sprintf "stub-push-args[%d]" n
   | Stub_receive -> "stub-receive"

@@ -46,6 +46,13 @@ type op =
           the batch-invariant snapshot before a batch — prefix opcodes are
           charged as {!Policy_compiled_op} on top; per-slot residue opcodes
           are the only per-slot charge *)
+  | Policy_vector_op
+      (** one {e pass} of the batch-major residue executor
+          ([Smod_keynote.Vexec]) over up to W lanes: same per-unit price
+          as {!Policy_compiled_op} (the opcode work is the same), but a
+          pass over N live lanes is charged [ceil(N/W)] units — the
+          SIMD-style lane-width discount the accelerator guides price.
+          At one live lane it degenerates to exactly one compiled op *)
   | Policy_compile_assertion
       (** flattening one assertion into a decision program: delegation
           walk share, constant folding, opcode emission (one-time, cached

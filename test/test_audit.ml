@@ -153,6 +153,93 @@ let test_components_and_json () =
       | Smod_util.Json.Arr ms -> Alcotest.(check int) "two modules in JSON" 2 (List.length ms)
       | _ -> Alcotest.fail "modules not an array")
 
+(* The origin-coverage component: a module whose compiled policy tests an
+   origin_* attribute scores full marks even when ring-3 clients can
+   reach it; an equally reachable module whose compiled program carries
+   no origin guard is flagged at 0.0.  The flag comes from static
+   introspection of the compiled programs (Policy.compiled_stats), never
+   from client-supplied attributes. *)
+let test_origin_coverage_component () =
+  Smod_metrics.with_registry (Smod_metrics.create ()) (fun () ->
+      let m = M.create ~jitter:0.0 () in
+      let smod = Smod.install m () in
+      Smod.set_policy_compile smod true;
+      let keynote conds =
+        Policy.Keynote
+          {
+            policy =
+              [
+                Smod_keynote.Parse.assertion_of_string
+                  (Printf.sprintf
+                     "keynote-version: 2\nauthorizer: \"POLICY\"\n\
+                      licensees: \"alice\"\nconditions: %s\n"
+                     conds);
+              ];
+            levels = [| "deny"; "allow" |];
+            min_level = "allow";
+            attrs = [];
+          }
+      in
+      ignore
+        (Toolchain.package smod
+           ~image:(image ~name:"guarded" [ "g" ])
+           ~policy:(keynote "origin_ring <= 3 -> \"allow\";")
+           ());
+      ignore
+        (Toolchain.package smod
+           ~image:(image ~name:"openmod" [ "h" ])
+           ~policy:(keynote "module == \"openmod\" -> \"allow\";")
+           ());
+      (* One call each so the registry holds a compiled program to
+         introspect. *)
+      List.iter
+        (fun (mod_name, fn) ->
+          ignore
+            (M.spawn m ~name:(mod_name ^ "-client") (fun p ->
+                 Crt0.run_client smod p ~module_name:mod_name ~version:1
+                   ~credential:(cred "alice") (fun conn ->
+                     ignore (Stub.call conn ~func:fn [| 1 |])))))
+        [ ("guarded", "g"); ("openmod", "h") ];
+      M.run m;
+      let reports = Audit.score smod in
+      let component name (r : Audit.report) =
+        match
+          List.find_opt
+            (fun (c : Audit.component) -> c.Audit.c_name = name)
+            r.Audit.a_components
+        with
+        | Some c -> c
+        | None -> Alcotest.fail ("missing component " ^ name)
+      in
+      let origin name = component "origin coverage" (find name reports) in
+      Alcotest.(check (float 1e-9)) "origin-guarded module scores full" 1.0
+        (origin "guarded").Audit.c_score;
+      Alcotest.(check (float 1e-9)) "unguarded reachable module flagged" 0.0
+        (origin "openmod").Audit.c_score;
+      Alcotest.(check bool) "flag carries the evidence" true
+        (String.length (origin "openmod").Audit.c_detail > 0))
+
+(* Without policy compilation there is no program to introspect: the
+   component stays neutral rather than rewarding or flagging blindly. *)
+let test_origin_coverage_neutral_without_programs () =
+  with_fixture (fun reports ->
+      let component (r : Audit.report) =
+        match
+          List.find_opt
+            (fun (c : Audit.component) -> c.Audit.c_name = "origin coverage")
+            r.Audit.a_components
+        with
+        | Some c -> c
+        | None -> Alcotest.fail "missing origin coverage component"
+      in
+      List.iter
+        (fun name ->
+          Alcotest.(check (float 1e-9))
+            (name ^ ": neutral with no compiled program")
+            0.5
+            (component (find name reports)).Audit.c_score)
+        [ "vault"; "blob" ])
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "audit"
@@ -162,5 +249,8 @@ let () =
           tc "over-privileged scores strictly worse" test_over_privileged_scores_worse;
           tc "unused grants detected" test_unused_grants_detected;
           tc "components and json" test_components_and_json;
+          tc "origin coverage component" test_origin_coverage_component;
+          tc "origin coverage neutral without programs"
+            test_origin_coverage_neutral_without_programs;
         ] );
     ]

@@ -15,6 +15,7 @@ module Parse = Smod_keynote.Parse
 module Eval = Smod_keynote.Eval
 module Compile = Smod_keynote.Compile
 module Fuse = Smod_keynote.Fuse
+module Vexec = Smod_keynote.Vexec
 module Keystore = Smod_keynote.Keystore
 module World = Smod_bench_kit.World
 module Smodd = Smod_pool.Smodd
@@ -320,6 +321,112 @@ let prop_snapshot_reusable =
           let o1' = Fuse.run_slot plan snap1 ~origin ~attrs:base in
           o1'.Compile.index = o1.Compile.index && o1'.Compile.ops = o1.Compile.ops)
 
+(* ------------------------------------------------------------------ *)
+(* Vectorized batch engine (E25): Vexec ≡ run_slot ≡ Compile ≡ Eval    *)
+(* ------------------------------------------------------------------ *)
+
+(* The four-way differential: the min-pc uniform walk over SoA lanes
+   computes, per lane, exactly the verdict of the slot-major fused
+   replay, the per-slot compiled pass, and the interpreted checker —
+   over generated programs that include origin predicates, per-lane
+   attribute divergence (different functions, calls_so_far extremes) and
+   the early-deny short-circuits fused test+jf produces.  At one lane
+   the walk must also charge exactly the scalar residue op count: the
+   honest fallback the batch-1 bench row relies on. *)
+let prop_vectorized_matches_all =
+  QCheck.Test.make ~name:"vectorized = fused = per-slot = interpreted (batch)"
+    ~count:2000
+    (QCheck.make ~print:print_fused_query (QCheck.Gen.pair gen_query gen_origin))
+    (fun ((policy, credentials, attrs0, requesters), origin) ->
+      let base =
+        List.filter (fun (k, _) -> not (List.mem k Compile.origin_attrs)) attrs0
+        @ origin_pairs origin
+      in
+      match Compile.compile ~policy ~credentials ~requesters ~levels () with
+      | Error e -> QCheck.Test.fail_reportf "compile failed on valid levels: %s" e
+      | Ok prog ->
+          let plan = Fuse.plan prog ~varying:Policy.batch_varying_attrs in
+          let invariant =
+            List.filter
+              (fun (k, _) -> not (List.mem k Policy.batch_varying_attrs))
+              base
+          in
+          let snap = Fuse.begin_batch plan ~origin ~attrs:invariant in
+          let slots = Array.of_list (batch_slots base) in
+          let lanes =
+            Array.map
+              (fun attrs -> { Vexec.l_origin = origin; l_attrs = attrs })
+              slots
+          in
+          let res = Vexec.run_residue plan snap ~width:Vexec.default_width ~lanes in
+          Array.length res.Vexec.vr_indices = Array.length slots
+          && Array.for_all Fun.id
+               (Array.mapi
+                  (fun k attrs ->
+                    let r = Eval.query ~policy ~credentials ~attrs ~requesters ~levels in
+                    let f = Fuse.run_slot plan snap ~origin ~attrs in
+                    let v = res.Vexec.vr_indices.(k) in
+                    if v <> f.Compile.index || f.Compile.index <> r.Eval.index then
+                      QCheck.Test.fail_reportf
+                        "lane %d [%s]: vectorized %d fused (%s,%d) interpreted (%s,%d)"
+                        k
+                        (String.concat "," (List.map (fun (a, b) -> a ^ "=" ^ b) attrs))
+                        v f.Compile.level f.Compile.index r.Eval.level r.Eval.index
+                    else
+                      (* Scalar fallback: one lane, any width — same
+                         verdict, and unit count = the scalar residue
+                         replay's op count. *)
+                      let solo =
+                        Vexec.run_residue plan snap ~width:1 ~lanes:[| lanes.(k) |]
+                      in
+                      if solo.Vexec.vr_indices.(0) <> f.Compile.index then
+                        QCheck.Test.fail_reportf "lane %d solo verdict diverges" k
+                      else if solo.Vexec.vr_units <> f.Compile.ops then
+                        QCheck.Test.fail_reportf
+                          "lane %d solo units %d <> scalar residue ops %d" k
+                          solo.Vexec.vr_units f.Compile.ops
+                      else true)
+                  slots))
+
+(* The lane-mask accounting, pinned on a hand-built ladder: a lane that
+   fails the matching rung's first test jumps forward to the join point
+   and sleeps; every position it needs is one the allowed lane visits
+   too, so inside one width-W group the divergent lane costs no extra
+   units.  An all-denying batch shrinks the walk itself (the skipped
+   stretch is never visited). *)
+let test_vexec_divergent_lane_rides_free () =
+  let levels = [| "deny"; "allow" |] in
+  let policy =
+    [
+      Parse.assertion_of_string
+        "keynote-version: 2\nauthorizer: \"POLICY\"\nlicensees: \"client\"\n\
+         conditions: function == \"f\" && a == \"1\" && b == \"2\" -> \"allow\";\n";
+    ]
+  in
+  match Compile.compile ~policy ~credentials:[] ~requesters:[ "client" ] ~levels () with
+  | Error e -> Alcotest.failf "compile: %s" e
+  | Ok prog -> (
+      let plan = Fuse.plan prog ~varying:Policy.batch_varying_attrs in
+      let origin = Fuse.no_origin in
+      let slot_attrs = [ ("a", "1"); ("b", "2") ] in
+      let snap = Fuse.begin_batch plan ~origin ~attrs:slot_attrs in
+      let lane f = { Vexec.l_origin = origin; l_attrs = ("function", f) :: slot_attrs } in
+      let allow = Vexec.run_residue plan snap ~width:8 ~lanes:[| lane "f" |] in
+      let deny = Vexec.run_residue plan snap ~width:8 ~lanes:[| lane "zzz" |] in
+      let both = Vexec.run_residue plan snap ~width:8 ~lanes:[| lane "f"; lane "zzz" |] in
+      Alcotest.(check (array int))
+        "verdicts per lane" [| 1; 0 |] both.Vexec.vr_indices;
+      Alcotest.(check int) "divergent lane rides free inside one width group"
+        allow.Vexec.vr_units both.Vexec.vr_units;
+      Alcotest.(check bool)
+        (Printf.sprintf "all-deny walk skips the stretch (%d < %d passes)"
+           deny.Vexec.vr_passes allow.Vexec.vr_passes)
+        true
+        (deny.Vexec.vr_passes < allow.Vexec.vr_passes);
+      match Vexec.run_residue plan snap ~width:0 ~lanes:[| lane "f" |] with
+      | _ -> Alcotest.fail "width 0 must be rejected"
+      | exception Invalid_argument _ -> ())
+
 let mk_clock () = M.clock (M.create ~jitter:0.0 ())
 
 let vendor_keystore () =
@@ -350,6 +457,114 @@ let policy_trusting_vendor ?(conds = "calls_so_far < 3 -> \"allow\";") () =
       min_level = "allow";
       attrs = [ ("color", "red") ];
     }
+
+(* Which armed trees the dispatcher may evaluate batch-major: volatile
+   residues (calls_so_far makes lane k's input depend on earlier
+   verdicts) and clock-dependent arms must fall back slot-major; quota
+   composites and function-varying ladders are fair game. *)
+let test_vector_eligibility () =
+  let clock = mk_clock () in
+  let ks = vendor_keystore () in
+  let credential =
+    Credential.make ~principal:"alice" ~assertions:[ signed_license ks () ] ()
+  in
+  let keynote_arm conds = policy_trusting_vendor ~conds () in
+  let ctx_of policy =
+    let compiled = Policy.compile ~fuse:true ~clock ~keystore:ks ~credential policy in
+    Policy.begin_fused ~clock ~origin:Fuse.no_origin
+      ~attrs:(origin_pairs Fuse.no_origin) compiled
+  in
+  let eligible p = Policy.vector_eligible (ctx_of p) in
+  Alcotest.(check bool) "function-varying arm eligible" true
+    (eligible (keynote_arm "function != \"x\" -> \"allow\";"));
+  Alcotest.(check bool) "volatile residue ineligible" false
+    (eligible (keynote_arm "calls_so_far < 3 -> \"allow\";"));
+  Alcotest.(check bool) "quota composite eligible" true
+    (eligible
+       (Policy.All_of
+          [ Policy.Call_quota 9; keynote_arm "function != \"x\" -> \"allow\";" ]));
+  Alcotest.(check bool) "rate limit ineligible" false
+    (eligible
+       (Policy.All_of
+          [
+            Policy.Rate_limit { max_calls = 5; window_us = 1000.0 };
+            keynote_arm "function != \"x\" -> \"allow\";";
+          ]));
+  Alcotest.(check bool) "time window ineligible" false
+    (eligible
+       (Policy.All_of
+          [
+            Policy.Time_window { not_before_us = 0.0; not_after_us = 1e12 };
+            keynote_arm "function != \"x\" -> \"allow\";";
+          ]))
+
+(* Arm-major evaluation of a quota + KeyNote composite: one check_vector
+   call over six lanes must hand back, lane for lane, the verdicts (and
+   denial reasons) six sequential check_fused calls produce against a
+   twin state — quota consumed in lane order, the KeyNote arm evaluated
+   batch-major through Vexec with lane compaction. *)
+let test_policy_vector_parity () =
+  let clock = mk_clock () in
+  let ks = vendor_keystore () in
+  let credential =
+    Credential.make ~principal:"alice" ~assertions:[ signed_license ks () ] ()
+  in
+  let policy =
+    Policy.All_of
+      [
+        Policy.Call_quota 4;
+        policy_trusting_vendor ~conds:"function != \"blocked\" -> \"allow\";" ();
+      ]
+  in
+  let compiled = Policy.compile ~fuse:true ~clock ~keystore:ks ~credential policy in
+  let origin = Fuse.no_origin in
+  let ctx =
+    Policy.begin_fused ~clock ~origin ~attrs:(origin_pairs origin) compiled
+  in
+  Alcotest.(check bool) "composite is vector eligible" true
+    (Policy.vector_eligible ctx);
+  let funcs = [| "f0"; "blocked"; "f1"; "f2"; "f3"; "f4" |] in
+  let attrs_of f = ("function", f) :: origin_pairs origin in
+  let lanes =
+    Array.map
+      (fun f -> { Policy.vl_origin = origin; vl_attrs = attrs_of f })
+      funcs
+  in
+  let s_vec = Policy.initial_state policy in
+  let s_seq = Policy.initial_state policy in
+  let vec =
+    Policy.check_vector ~clock ~now_us:0.0 ~credential ~width:8 ~lanes ctx s_vec
+  in
+  Alcotest.(check int) "one verdict per lane" (Array.length funcs)
+    (Array.length vec);
+  Array.iteri
+    (fun i f ->
+      let seq =
+        Policy.check_fused ~clock ~now_us:0.0 ~credential ~origin
+          ~attrs:(attrs_of f) ctx s_seq
+      in
+      match (vec.(i), seq) with
+      | Ok (), Ok () -> ()
+      | Error a, Error b ->
+          Alcotest.(check string)
+            (Printf.sprintf "lane %d (%s) denial reason" i f)
+            b.Policy.reason a.Policy.reason
+      | Ok (), Error b ->
+          Alcotest.failf "lane %d (%s): vector allowed, slot-major denied (%s)" i
+            f b.Policy.reason
+      | Error a, Ok () ->
+          Alcotest.failf "lane %d (%s): vector denied (%s), slot-major allowed" i
+            f a.Policy.reason)
+    funcs;
+  (* Pin the composite semantics: the keynote arm rejects "blocked", and
+     the quota arm consumes on its own pass — including for the lane the
+     keynote arm later denies — so only three keynote-approved lanes fit
+     before the counter starves the tail, exactly as slot-major does. *)
+  let verdict i = match vec.(i) with Ok () -> "allow" | Error _ -> "deny" in
+  Alcotest.(check (list string))
+    "verdict pattern"
+    [ "allow"; "deny"; "allow"; "allow"; "deny"; "deny" ]
+    (List.init (Array.length funcs) verdict)
 
 (* Policy-layer parity: a stateful composite (quota over a volatile
    keynote arm) armed once per batch must consume quota per slot exactly
@@ -1117,6 +1332,163 @@ let test_fused_rotation_between_batches () =
   Alcotest.(check bool) "batch after rotation fully denied" true
     (!after = [ `Err Errno.EACCES; `Err Errno.EACCES; `Err Errno.EACCES ])
 
+(* The vectorized admission path end to end: a mixed-function ring batch
+   under a function-discriminating policy must produce the exact verdict
+   sequence the slot-major fused path produces, and the keynote vector
+   counters must prove the batch actually went batch-major (at least two
+   distinct funcIDs, fused, eligible — nothing to decline on). *)
+let mixed_batch_statuses ~vectorize () =
+  let world =
+    origin_world
+      "phase == \"session\" -> \"allow\"; function != \"abs\" && module == \
+       \"seclibc\" -> \"allow\";"
+  in
+  let smod = world.World.smod in
+  Smod.set_policy_compile smod true;
+  Smod.set_policy_fuse smod true;
+  Smod.set_policy_vectorize smod vectorize;
+  let statuses = ref [] in
+  World.spawn_seclibc_client world ~name:"mixed-batch-client" (fun _p conn ->
+      ignore (Stub.arm_ring conn);
+      let id f = Option.get (Stub.func_id conn f) in
+      let rs =
+        Stub.call_batch_funcs conn
+          [
+            (id "test_incr", [| 1 |]);
+            (id "abs", [| 7 |]);
+            (id "getpid", [||]);
+            (id "test_incr", [| 5 |]);
+          ]
+      in
+      statuses := List.map (function Ok v -> `Ok v | Error (e, _) -> `Err e) rs);
+  World.run world;
+  !statuses
+
+let test_vectorized_dispatch_end_to_end () =
+  let counter name =
+    Option.value ~default:0 (Smod_metrics.counter_value name)
+  in
+  let batches0 = counter "keynote.vector_batches" in
+  let scalar = mixed_batch_statuses ~vectorize:false () in
+  let batches1 = counter "keynote.vector_batches" in
+  Alcotest.(check int) "scalar run spawns no vector batch" batches0 batches1;
+  let vectorized = mixed_batch_statuses ~vectorize:true () in
+  let batches2 = counter "keynote.vector_batches" in
+  Alcotest.(check bool) "vector path actually ran" true (batches2 > batches1);
+  Alcotest.(check bool) "lanes counted" true
+    (counter "keynote.vector_lanes" >= 4);
+  Alcotest.(check int) "4 slots" 4 (List.length vectorized);
+  Alcotest.(check bool) "same verdicts as the slot-major fused path" true
+    (vectorized = scalar);
+  (match vectorized with
+  | [ `Ok 2; `Err e; `Ok _pid; `Ok 6 ] ->
+      Alcotest.(check bool) "abs denied with EACCES" true (e = Errno.EACCES)
+  | _ -> Alcotest.fail "unexpected verdict shape for the mixed batch")
+
+(* Satellite: establishment-phase clauses under the attach transport
+   crossing a rotation.  A policy that admits sessions via an
+   origin_transport == "attach" clause (and calls via the ring clause)
+   must re-verify the credential chain when the keystore rotates: the
+   session established before the rotation keeps its armed ring batches
+   denied, and a second session's establishment — same attach clause,
+   same credential — is refused outright because the vendor signature no
+   longer verifies under the new generation. *)
+let test_attach_clause_across_rotation () =
+  let world =
+    World.create ~with_rpc:false
+      ~policy:
+        (Policy.Keynote
+           {
+             policy =
+               [
+                 Parse.assertion_of_string
+                   "keynote-version: 2\nauthorizer: \"POLICY\"\nlicensees: \"vendor\"\n\
+                    conditions: origin_transport == \"attach\" -> \"allow\"; \
+                    origin_transport == \"ring\" -> \"allow\"; origin_transport \
+                    == \"msgq\" -> \"allow\";\n";
+               ];
+             levels = [| "deny"; "allow" |];
+             min_level = "allow";
+             attrs = [];
+           })
+      ()
+  in
+  let smod = world.World.smod in
+  Smod.set_policy_compile smod true;
+  Smod.set_policy_fuse smod true;
+  let ks = Smod.keystore smod in
+  Keystore.add_principal ks ~name:"vendor" ~secret:"vk1";
+  let credential =
+    Credential.make ~principal:"alice" ~assertions:[ signed_license ks () ] ()
+  in
+  let spawn name body =
+    ignore
+      (M.spawn world.World.machine ~name (fun p ->
+           Crt0.run_client smod p ~module_name:Smod_libc.Seclibc.module_name
+             ~version:Smod_libc.Seclibc.version ~credential body))
+  in
+  let before = ref [] and after = ref [] and second = ref `Unset in
+  spawn "attach-admitted" (fun conn ->
+      let classify rs =
+        List.map (function Ok _ -> `Ok | Error (e, _) -> `Err e) rs
+      in
+      before :=
+        classify
+          (Stub.call_batch conn ~func:"test_incr" (List.init 2 (fun i -> [| i |])));
+      Keystore.add_principal ks ~name:"vendor" ~secret:"vk2";
+      after :=
+        classify
+          (Stub.call_batch conn ~func:"test_incr" (List.init 2 (fun i -> [| i |]))));
+  World.run world;
+  Alcotest.(check bool) "attach clause admitted the session, ring clause the batch"
+    true
+    (!before = [ `Ok; `Ok ]);
+  Alcotest.(check bool) "armed batches denied after rotation" true
+    (!after = [ `Err Errno.EACCES; `Err Errno.EACCES ]);
+  (* The second establishment re-runs the attach-phase check under the
+     new generation: the same signed license no longer verifies. *)
+  ignore
+    (M.spawn world.World.machine ~name:"attach-refused" (fun p ->
+         match
+           Crt0.run_client smod p ~module_name:Smod_libc.Seclibc.module_name
+             ~version:Smod_libc.Seclibc.version ~credential (fun _conn ->
+               second := `Admitted)
+         with
+         | () -> ()
+         | exception Errno.Error (Errno.EACCES, _) -> second := `Denied));
+  World.run world;
+  Alcotest.(check bool) "second establishment denied under new generation" true
+    (!second = `Denied)
+
+(* Satellite: the arena hit-rate introspection smodctl renders must
+   distinguish "no interning yet" (None — the CLI prints "-") from a
+   real 0%. *)
+let test_arena_hit_rate_introspection () =
+  Fuse.arena_reset ();
+  Alcotest.(check bool) "empty arena has no rate" true
+    (Fuse.arena_hit_rate_pct () = None);
+  (match
+     Compile.compile
+       ~policy:
+         [
+           Parse.assertion_of_string
+             "keynote-version: 2\nauthorizer: \"POLICY\"\nlicensees: \"client\"\n\
+              conditions: a == \"1\" -> \"allow\";\n";
+         ]
+       ~credentials:[] ~requesters:[ "client" ] ~levels:[| "deny"; "allow" |] ()
+   with
+  | Error e -> Alcotest.failf "compile: %s" e
+  | Ok prog ->
+      ignore (Fuse.plan prog ~varying:Policy.batch_varying_attrs);
+      ignore (Fuse.plan prog ~varying:Policy.batch_varying_attrs));
+  match Fuse.arena_hit_rate_pct () with
+  | Some pct ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rate in range after interning (%.0f%%)" pct)
+        true
+        (pct >= 0.0 && pct <= 100.0)
+  | None -> Alcotest.fail "arena populated but rate still None"
+
 (* set_policy on a live entry must drop its programs too. *)
 let test_set_policy_evicts () =
   let world =
@@ -1149,9 +1521,18 @@ let () =
         [
           tc "policy fused parity over stateful sequence" test_policy_fused_parity;
           tc "arena sharing sublinear" test_arena_sharing_sublinear;
+          tc "arena hit-rate introspection" test_arena_hit_rate_introspection;
         ]
         @ List.map QCheck_alcotest.to_alcotest
             [ prop_fused_matches_compiled_and_interpreted; prop_snapshot_reusable ] );
+      ( "vectorized",
+        [
+          tc "divergent lane rides free" test_vexec_divergent_lane_rides_free;
+          tc "vector eligibility" test_vector_eligibility;
+          tc "policy vector parity over quota composite" test_policy_vector_parity;
+          tc "vectorized dispatch end to end" test_vectorized_dispatch_end_to_end;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_vectorized_matches_all ] );
       ( "origin",
         [
           tc "origin validation fails closed" test_origin_validation_fails_closed;
@@ -1189,6 +1570,7 @@ let () =
           tc "rotation evicts same step" test_rotation_evicts_same_step;
           tc "rotation before first batch" test_rotation_between_session_and_first_batch;
           tc "fused snapshot dropped on rotation" test_fused_rotation_between_batches;
+          tc "attach clause across rotation" test_attach_clause_across_rotation;
           tc "set_policy evicts" test_set_policy_evicts;
         ] );
     ]
